@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper (see
+DESIGN.md's per-experiment index) and prints the same rows/series the
+paper reports.  Simulations are expensive, so each benchmark runs its
+experiment exactly once (``pedantic(rounds=1, iterations=1)``).
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``smoke``   (default) — 96 nodes, 40 s adaptation: minutes, preserves
+  every qualitative result.
+* ``default`` — 256 nodes, 120 s adaptation: tens of minutes, close to
+  quantitative agreement.
+* ``full``    — the paper's 1,024 nodes and 500 s adaptation: hours
+  (pure Python is ~2 orders slower than the paper's C++ simulator).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+BENCH_SCALES = {
+    "smoke": dict(n_nodes=96, adapt_time=40.0, n_messages=40),
+    "default": dict(n_nodes=256, adapt_time=120.0, n_messages=100),
+    "full": dict(n_nodes=1024, adapt_time=500.0, n_messages=1000),
+}
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    if name not in BENCH_SCALES:
+        raise KeyError(f"REPRO_BENCH_SCALE={name!r}; choose from {sorted(BENCH_SCALES)}")
+    return dict(BENCH_SCALES[name])
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

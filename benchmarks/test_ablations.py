@@ -1,0 +1,61 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each compares the paper's setting against the alternative it rejects
+(Section 2.2.3's discussion) on convergence cost and outcome quality.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_c4_factor(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: ablations.run_c4_factor(
+            n_nodes=bench_scale["n_nodes"], adapt_time=bench_scale["adapt_time"]
+        ),
+    )
+    print()
+    print(result.format_table())
+    paper = result.outcomes["paper (0.5)"]
+    greedy = result.outcomes["greedy (0.99)"]
+    # Greedy replacement churns more links for a comparable outcome.
+    assert greedy.total_link_changes > paper.total_link_changes
+    assert paper.connected
+
+
+def test_ablation_drop_threshold(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: ablations.run_drop_threshold(
+            n_nodes=bench_scale["n_nodes"], adapt_time=bench_scale["adapt_time"]
+        ),
+    )
+    print()
+    print(result.format_table())
+    paper = result.outcomes["paper (+2)"]
+    aggressive = result.outcomes["aggressive (+1)"]
+    # Paper: the aggressive threshold "increases the number of link
+    # changes by almost one third" and "takes longer to stabilize".
+    # The durable signature is the post-convergence churn rate (totals
+    # are dominated by the initial all-random convergence, which both
+    # variants share); the paper's own factor is ~1.33.
+    assert aggressive.late_churn_rate > 1.2 * max(paper.late_churn_rate, 0.05)
+    assert paper.connected and aggressive.connected
+
+
+def test_ablation_c1_bound(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: ablations.run_c1_bound(
+            n_nodes=bench_scale["n_nodes"], adapt_time=bench_scale["adapt_time"]
+        ),
+    )
+    print()
+    print(result.format_table())
+    paper = result.outcomes["paper (C_near-1)"]
+    strict = result.outcomes["strict (C_near)"]
+    # Paper: the strict bound "would produce an overlay whose link
+    # latencies are dramatically higher".
+    assert strict.nearby_link_latency > paper.nearby_link_latency
+    assert paper.connected

@@ -1,0 +1,48 @@
+"""Extension benches: sustained churn self-healing and datagram-loss robustness."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import churn, loss
+
+
+def test_sustained_churn_self_healing(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: churn.run(
+            churn_intervals=(5.0, 2.0),
+            n_nodes=min(bench_scale["n_nodes"], 96),
+            adapt_time=bench_scale["adapt_time"],
+        ),
+    )
+    print()
+    print(result.format_table())
+
+    for outcome in result.outcomes:
+        # Long-lived members never miss a message, at any churn rate.
+        assert outcome.veteran_reliability == 1.0
+        assert outcome.connected
+        # Degrees stay concentrated near the target despite churn.
+        assert 5.0 <= outcome.mean_degree <= 7.5
+        assert outcome.events > 0
+
+
+def test_datagram_loss_robustness(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: loss.run(
+            loss_rates=(0.0, 0.1, 0.3),
+            n_nodes=min(bench_scale["n_nodes"], 96),
+            adapt_time=bench_scale["adapt_time"],
+            n_messages=bench_scale["n_messages"],
+        ),
+    )
+    print()
+    print(result.format_table())
+
+    clean = result.outcomes[0]
+    lossy = result.outcomes[-1]
+    # Dissemination rides reliable channels: loss never costs delivery.
+    for outcome in result.outcomes:
+        assert outcome.reliability == 1.0
+    # Heavy probe loss costs at most a modest link-quality penalty.
+    assert lossy.mean_link_latency < 2.0 * clean.mean_link_latency
+    assert lossy.mean_delay < 2.0 * clean.mean_delay

@@ -1,0 +1,38 @@
+"""Extension benches: footnote 1 (push-pull) and the constant-overhead claim."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import extensions
+
+
+def test_footnote1_pushpull_reliability(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: extensions.run_pushpull(
+            fanouts=(2, 3, 5), n_nodes=bench_scale["n_nodes"]
+        ),
+    )
+    print()
+    print(result.format_table())
+
+    # Push-pull dominates push-only at every fanout and is near-perfect
+    # already at fanout 2 (footnote 1 / Karp et al.).
+    for f in result.fanouts:
+        assert result.reliability[("push-pull", f)] >= result.reliability[("push", f)]
+    assert result.reliability[("push-pull", 2)] > 0.99
+    assert result.reliability[("push", 2)] < 0.95
+    # The footnote's challenge is met: both go silent when idle.
+    assert result.idle_traffic["push-pull"] == 0
+
+
+def test_constant_per_node_overhead(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: extensions.run_overhead(sizes=(32, 64, 128)),
+    )
+    print()
+    print(result.format_table())
+
+    # Paper: "the maintenance cost and gossip overhead at a node is
+    # independent of the size of the system."  Allow 50% wiggle for the
+    # small-size end effects.
+    assert result.max_growth() < 1.5

@@ -1,0 +1,31 @@
+"""Extension bench: root-failover timing (Section 2.3's unquantified claim)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import failover
+
+
+def test_root_failover_timing(benchmark, bench_scale):
+    timeout = 12.0
+    result = run_once(
+        benchmark,
+        lambda: failover.run(
+            seeds=(1, 2, 3),
+            n_nodes=min(bench_scale["n_nodes"], 96),
+            adapt_time=bench_scale["adapt_time"],
+            heartbeat_timeout=timeout,
+        ),
+    )
+    print()
+    print(result.format_table())
+
+    for outcome in result.outcomes:
+        # A claim appears within the timeout plus a little slack...
+        assert outcome.claim_time < timeout + 5.0
+        # ...and the whole system follows one new root within roughly a
+        # further heartbeat flood (the ex-neighbor rule gives the first
+        # claim; competing claims die out under the precedence order).
+        assert outcome.convergence_time < 2.0 * timeout + 10.0
+        # Delivery never suffered: gossip carries the headless window.
+        assert outcome.reliability_through_transition == 1.0
+    # The paper's rule: a neighbor of the dead root takes over.
+    assert any(o.new_root_was_neighbor for o in result.outcomes)

@@ -1,0 +1,18 @@
+"""Figure 1 — analytic push-gossip reliability curves.
+
+Regenerates both curves at the paper's exact parameters (n = 1024,
+fanout 1..25).  Checked against the paper: reliability for 1,000
+messages stays below 0.5 until fanout 15.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1
+
+
+def test_fig1_reliability(benchmark):
+    result = run_once(benchmark, lambda: fig1.run(n=1024))
+    print()
+    print(result.format_table())
+    assert result.min_fanout_for_half == 15
+    # Single-message curve crosses 0.99 before fanout 12.
+    assert any(p > 0.99 for f, p in zip(result.fanouts, result.p_one_message) if f <= 12)

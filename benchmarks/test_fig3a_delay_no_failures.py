@@ -1,0 +1,33 @@
+"""Figure 3(a) — delay CDFs of five protocols, no failures.
+
+Paper shape to reproduce: GoCast fastest by a wide margin (headline:
+8.9x lower delay than push gossip), then no-wait gossip, then proximity
+overlay, then random overlay ~ push gossip; the overlay protocols
+deliver every message to every node while push gossip misses some pairs.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3
+
+
+def test_fig3a_delay_no_failures(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: fig3.run(fail_fraction=0.0, drain_time=30.0, **bench_scale),
+    )
+    print()
+    print(result.format_table())
+
+    r = result.results
+    # Ordering: GoCast beats everything.
+    for other in ("proximity", "random_overlay", "push_gossip", "nowait_gossip"):
+        assert r["gocast"].mean_delay < r[other].mean_delay
+    # Proximity-aware gossip beats random-overlay gossip.
+    assert r["proximity"].mean_delay < r["random_overlay"].mean_delay
+    # Overlay protocols are perfectly reliable; push gossip is not.
+    assert r["gocast"].reliability == 1.0
+    assert r["proximity"].reliability == 1.0
+    assert r["random_overlay"].reliability == 1.0
+    assert r["push_gossip"].reliability < 1.0
+    # Headline factor: the paper reports 8.9x; shape check >= 4x.
+    assert result.speedup_vs_gossip() >= 4.0

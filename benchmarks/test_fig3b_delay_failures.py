@@ -1,0 +1,29 @@
+"""Figure 3(b) — delay CDFs under 20% concurrent failures, no repair.
+
+Paper shape to reproduce: overlay protocols still deliver everything to
+every live node; GoCast slows (tree fragments bridged by gossip) but
+keeps the lead (headline: 2.3x faster than push gossip); push gossip
+loses a larger fraction of (message, node) pairs than in 3(a).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3
+
+
+def test_fig3b_delay_with_failures(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: fig3.run(fail_fraction=0.2, drain_time=45.0, **bench_scale),
+    )
+    print()
+    print(result.format_table())
+
+    r = result.results
+    assert r["gocast"].reliability == 1.0
+    assert r["proximity"].reliability == 1.0
+    assert r["random_overlay"].reliability == 1.0
+    assert r["push_gossip"].reliability < 1.0
+    assert r["gocast"].mean_delay < r["proximity"].mean_delay
+    assert r["gocast"].mean_delay < r["push_gossip"].mean_delay
+    # Headline factor 2.3x; shape check >= 1.5x.
+    assert result.speedup_vs_gossip() >= 1.5

@@ -1,0 +1,35 @@
+"""Figure 4 — GoCast delay at two system sizes, 0% and 20% failures.
+
+Paper shape to reproduce: with no failures the small- and large-system
+CDFs nearly coincide (0.33 s vs 0.42 s full-coverage delay at 1k/8k);
+with 20% failures the large system grows a longer tail (~1.6x the
+worst-case delay).  Moderate growth under a 4-8x size increase is the
+scalability claim.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4
+
+
+def test_fig4_scalability(benchmark, bench_scale):
+    small = bench_scale["n_nodes"]
+    result = run_once(
+        benchmark,
+        lambda: fig4.run(
+            small_n=small,
+            large_n=4 * small,
+            adapt_time=bench_scale["adapt_time"],
+            n_messages=bench_scale["n_messages"],
+        ),
+    )
+    print()
+    print(result.format_table())
+
+    # Reliability stays perfect at both sizes, with and without failures.
+    for res in result.results.values():
+        assert res.reliability == 1.0
+    # No-failure delay grows only modestly with 4x the nodes.
+    assert result.tail_stretch(0.0) < 2.0
+    # Failures stretch the tail more at the larger size than the
+    # no-failure case does (the paper's fragmentation argument).
+    assert result.tail_stretch(0.2) >= result.tail_stretch(0.0) * 0.8

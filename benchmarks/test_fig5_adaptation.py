@@ -1,0 +1,41 @@
+"""Figure 5 — adaptation of the overlay (5a: degrees) and tree (5b: latency).
+
+Paper shape to reproduce: starting all-random, the degree distribution
+concentrates on the target degree 6 within seconds (22% -> 57% after
+5 s -> ~60% converged; average 6.4); mean overlay-link latency drops
+steeply in the first minute; tree links converge near 15 ms versus the
+91 ms random-pair average.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5
+
+
+def test_fig5_adaptation(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: fig5.run(
+            n_nodes=bench_scale["n_nodes"],
+            duration=bench_scale["adapt_time"],
+            histogram_times=(0.0, 5.0),
+        ),
+    )
+    print()
+    print(result.format_table())
+
+    duration = result.times[-1]
+    # 5a: convergence toward the target degree.
+    initial = result.degree_fraction_at(0.0, result.target_degree)
+    after_5s = result.degree_fraction_at(5.0, result.target_degree)
+    final = result.degree_fraction_at(duration, result.target_degree)
+    assert after_5s > initial
+    assert final >= 0.45  # paper: ~60%
+    assert 5.8 <= result.final_mean_degree <= 7.0  # paper: 6.4
+
+    # 5b: link quality improves dramatically; tree links are the best.
+    assert result.overlay_latency[-1] < 0.6 * result.overlay_latency[0]
+    assert result.tree_latency[-1] < result.overlay_latency[-1]
+    # Tree links far below the random-pair average (paper: 15.5 vs 91 ms).
+    assert result.tree_latency[-1] < 0.4 * result.random_pair_latency
+    # Random links stay long; nearby links got short.
+    assert result.nearby_latency[-1] < 0.5 * result.random_latency[-1]

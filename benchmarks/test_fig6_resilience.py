@@ -1,0 +1,32 @@
+"""Figure 6 — largest connected component vs failed fraction and C_rand.
+
+Paper shape to reproduce: with C_rand = 0 the overlay is partitioned
+even before failures (nearby links never bridge continents); with
+C_rand = 1 it survives 25% concurrent failures connected; C_rand = 4 is
+barely better than 1 — the justification for one random link per node.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6
+
+
+def test_fig6_resilience(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: fig6.run(
+            n_nodes=bench_scale["n_nodes"],
+            adapt_time=bench_scale["adapt_time"],
+            c_rand_values=(0, 1, 2, 4),
+            trials=3,
+        ),
+    )
+    print()
+    print(result.format_table())
+
+    # One random link keeps the overlay connected through 25% failures.
+    assert result.q(1, 0.25) >= 0.99
+    # More random links help only marginally beyond one.
+    assert result.q(4, 0.25) - result.q(1, 0.25) < 0.05
+    # Zero random links is the worst configuration at heavy failure.
+    assert result.q(0, 0.5) <= result.q(1, 0.5)
+    assert result.q(0, 0.5) <= result.q(4, 0.5)

@@ -1,0 +1,27 @@
+"""Extension bench: delivery delay is flat in the message rate, and
+gossip overhead amortizes (one summary carries many IDs)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import message_rate
+
+
+def test_delay_flat_in_message_rate(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: message_rate.run(
+            rates=(5.0, 25.0, 100.0),
+            n_nodes=min(bench_scale["n_nodes"], 96),
+            adapt_time=bench_scale["adapt_time"],
+        ),
+    )
+    print()
+    print(result.format_table())
+
+    # Tree forwarding is rate-independent: delays within 25% across a
+    # 20x rate sweep, reliability always perfect.
+    assert result.delay_spread() < 1.25
+    for outcome in result.outcomes:
+        assert outcome.reliability == 1.0
+    # Gossip overhead per message falls as summaries batch more IDs.
+    per_msg = [o.gossips_per_message for o in result.outcomes]
+    assert per_msg[-1] < 0.5 * per_msg[0]

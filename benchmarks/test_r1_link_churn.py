@@ -1,0 +1,24 @@
+"""Summary result R1 — link changes per second drop sharply over time.
+
+Paper: "the number of changed links per second drops exponentially over
+time" as the overlay converges from its all-random start.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import adaptation
+
+
+def test_r1_link_churn(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: adaptation.run(
+            n_nodes=bench_scale["n_nodes"],
+            duration=bench_scale["adapt_time"],
+            bucket=bench_scale["adapt_time"] / 16,
+        ),
+    )
+    print()
+    print(result.format_table())
+
+    # Early churn dwarfs late churn (paper: exponential decay).
+    assert result.early_rate() > 5.0 * max(result.late_rate(), 0.1)

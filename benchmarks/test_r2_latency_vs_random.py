@@ -1,0 +1,28 @@
+"""Summary result R2 — mean link latency grows ~linearly with C_rand.
+
+Paper: "the average latency of the overlay links grows almost linearly
+with the number of random links, which again justifies our use of only
+one random link per node."
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import random_links
+
+
+def test_r2_latency_vs_random_links(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: random_links.run(
+            n_nodes=bench_scale["n_nodes"],
+            adapt_time=bench_scale["adapt_time"],
+            c_rand_values=(0, 1, 2, 3, 4, 5),
+        ),
+    )
+    print()
+    print(result.format_table())
+
+    lat = result.mean_overlay_latency
+    # Strictly more random links -> strictly worse mean latency.
+    assert all(a < b for a, b in zip(lat, lat[1:]))
+    # Close to linear (paper: "almost linearly").
+    assert result.linear_fit_r2() > 0.95

@@ -1,0 +1,27 @@
+"""Summary result R3 — overlay diameter grows logarithmically with size.
+
+Paper: "the diameter of the overlay grows from 6 hops to 10 hops when
+the system size increases from 256 nodes to 8,192 nodes" — roughly one
+extra hop per doubling, as expected of a degree-6 overlay with a random
+link per node.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import diameter
+
+
+def test_r3_diameter(benchmark, bench_scale):
+    base = max(32, bench_scale["n_nodes"] // 4)
+    sizes = (base, 2 * base, 4 * base)
+    result = run_once(
+        benchmark,
+        lambda: diameter.run(sizes=sizes, adapt_time=bench_scale["adapt_time"] / 2),
+    )
+    print()
+    print(result.format_table())
+
+    # Non-decreasing, small absolute values, logarithmic growth.
+    ds = result.diameters
+    assert all(a <= b for a, b in zip(ds, ds[1:]))
+    assert ds[-1] <= 12
+    assert result.growth_is_logarithmic()

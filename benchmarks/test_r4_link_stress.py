@@ -1,0 +1,31 @@
+"""Summary result R4 — bottleneck physical-link stress, GoCast vs gossip.
+
+Paper: routed over AS-level Internet snapshots, GoCast imposes 4-7x
+less traffic on bottleneck links than fanout-5 push gossip, because its
+proximity-aware links keep most hops inside regions while random gossip
+repeatedly crosses the backbone hubs.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import linkstress
+
+
+def test_r4_link_stress(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: linkstress.run(
+            n_members=min(bench_scale["n_nodes"], 128),
+            adapt_time=bench_scale["adapt_time"],
+            n_messages=bench_scale["n_messages"],
+        ),
+    )
+    print()
+    print(result.format_table())
+
+    # GoCast's long-haul links carry several times less dissemination
+    # traffic (paper band: 4-7x; shape check >= 3x).
+    assert result.stress_reduction() >= 3.0
+    # Its worst single backbone link is also far lighter.
+    gocast_max, _ = result.backbone_load("gocast")
+    gossip_max, _ = result.backbone_load("push_gossip")
+    assert gocast_max < 0.5 * gossip_max

@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not paper artifacts — these track the cost of the hot paths that bound
+how large a simulation fits in a time budget: raw event throughput,
+transport sends, and a running GoCast node's per-simulated-second cost.
+"""
+
+import random
+
+from repro.experiments.runner import run_delay_experiment
+from repro.experiments.scenarios import ScenarioConfig
+from repro.net.latency import ConstantLatencyModel
+from repro.sim.engine import Simulator
+from repro.sim.transport import Network
+
+
+def test_engine_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        for i in range(20_000):
+            sim.schedule(i * 0.001, lambda: None)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run_events)
+    assert executed == 20_000
+
+
+def test_transport_send_throughput(benchmark):
+    class Sink:
+        def __init__(self, node_id):
+            self.node_id = node_id
+            self.count = 0
+
+        def handle_message(self, src, msg):
+            self.count += 1
+
+        def handle_send_failure(self, dst, msg):
+            pass
+
+    def run_sends():
+        sim = Simulator()
+        network = Network(sim, ConstantLatencyModel(2, 0.001), rng=random.Random(1))
+        a, b = Sink(0), Sink(1)
+        network.register(a)
+        network.register(b)
+        for _ in range(10_000):
+            network.send(0, 1, "payload")
+        sim.run()
+        return b.count
+
+    delivered = benchmark(run_sends)
+    assert delivered == 10_000
+
+
+def test_small_gocast_run_cost(benchmark):
+    def run_sim():
+        scenario = ScenarioConfig(
+            protocol="gocast", n_nodes=32, adapt_time=10.0, n_messages=10,
+            drain_time=5.0, seed=1,
+        )
+        return run_delay_experiment(scenario)
+
+    result = benchmark.pedantic(run_sim, rounds=1, iterations=1)
+    assert result.reliability == 1.0

@@ -1,0 +1,32 @@
+"""In-text claim T-deg — converged degree splits.
+
+Paper: "approximately 88% of nodes have C_rand random neighbors and 12%
+of nodes have C_rand + 1"; "about 70% of nodes have C_near nearby
+neighbors and about 30% have C_near + 1".
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import text_metrics
+
+
+def test_text_degree_split(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: text_metrics.run_degree_split(
+            n_nodes=bench_scale["n_nodes"], adapt_time=bench_scale["adapt_time"]
+        ),
+    )
+    print()
+    print(result.format_table())
+
+    # Random degrees concentrate on {C_rand, C_rand + 1}, mostly C_rand.
+    at_target = result.random_split.get(result.c_rand, 0.0)
+    at_plus_one = result.random_split.get(result.c_rand + 1, 0.0)
+    assert at_target + at_plus_one >= 0.9
+    assert at_target > at_plus_one
+
+    # Nearby degrees concentrate on {C_near, C_near + 1}.
+    near_target = result.nearby_split.get(result.c_near, 0.0)
+    near_plus_one = result.nearby_split.get(result.c_near + 1, 0.0)
+    assert near_target + near_plus_one >= 0.75
+    assert near_target > 0.3

@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Mini Figure 3: compare all five protocols on one workload.
+
+Runs GoCast, the two overlay-gossip ablations, push gossip and no-wait
+gossip on identical scaled-down workloads, with and without a 20% crash
+wave, and prints paper-style delay/reliability rows.
+
+Run:  python examples/compare_protocols.py          (a few minutes)
+      REPRO_SCALE=smoke python examples/compare_protocols.py   (fast)
+"""
+
+import os
+
+from repro.experiments import fig3
+
+
+def main() -> None:
+    os.environ.setdefault("REPRO_SCALE", "smoke")
+    for fail_fraction in (0.0, 0.2):
+        label = "no failures" if fail_fraction == 0 else "20% concurrent failures"
+        print(f"\n=== {label} ===")
+        result = fig3.run(fail_fraction=fail_fraction)
+        print(result.format_table())
+
+
+if __name__ == "__main__":
+    main()

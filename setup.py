@@ -1,0 +1,10 @@
+"""Shim enabling legacy editable installs in offline environments.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP-517 editable installs fail; ``pip install -e .`` falls back to this
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""GoCast reproduction: gossip-enhanced overlay multicast (DSN 2005).
+
+Public API layers:
+
+* ``repro.core`` — the GoCast protocol (:class:`~repro.core.GoCastNode`,
+  :class:`~repro.core.GoCastConfig`).
+* ``repro.sim`` — the discrete-event substrate (engine, transport,
+  failures, tracing).
+* ``repro.net`` — latency models, the synthetic King dataset, the AS
+  topology, and distance estimation.
+* ``repro.protocols`` — the baselines the paper compares against.
+* ``repro.analysis`` — reliability math, overlay snapshots, link stress.
+* ``repro.experiments`` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro.experiments import ScenarioConfig, run_delay_experiment
+
+    scenario = ScenarioConfig(protocol="gocast", n_nodes=128,
+                              adapt_time=60.0, n_messages=50)
+    result = run_delay_experiment(scenario)
+    print(result.summary_row())
+"""
+
+from repro.core import GoCastConfig, GoCastNode, MessageId
+from repro.experiments import (
+    DelayResult,
+    GoCastSystem,
+    ScenarioConfig,
+    run_delay_experiment,
+)
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DelayResult",
+    "GoCastConfig",
+    "GoCastNode",
+    "GoCastSystem",
+    "MessageId",
+    "ScenarioConfig",
+    "Simulator",
+    "run_delay_experiment",
+    "__version__",
+]

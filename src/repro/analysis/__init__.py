@@ -1,0 +1,29 @@
+"""Analysis utilities: closed-form models and graph/traffic metrics.
+
+* :mod:`repro.analysis.reliability` — the push-gossip reliability model
+  behind Figure 1.
+* :mod:`repro.analysis.graphstats` — overlay snapshots: degree
+  distributions, connectivity under failures, diameter, link latencies.
+* :mod:`repro.analysis.linkstress` — physical-link stress accounting
+  over an AS topology.
+"""
+
+from repro.analysis.graphstats import OverlaySnapshot
+from repro.analysis.inspect import node_summary, overlay_summary, render_tree
+from repro.analysis.linkstress import LinkStressAccumulator
+from repro.analysis.reliability import (
+    atomic_broadcast_probability,
+    min_fanout_for_reliability,
+    multi_message_probability,
+)
+
+__all__ = [
+    "LinkStressAccumulator",
+    "OverlaySnapshot",
+    "atomic_broadcast_probability",
+    "min_fanout_for_reliability",
+    "multi_message_probability",
+    "node_summary",
+    "overlay_summary",
+    "render_tree",
+]

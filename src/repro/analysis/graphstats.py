@@ -1,0 +1,168 @@
+"""Graph analytics over overlay snapshots.
+
+An :class:`OverlaySnapshot` freezes the union of all nodes' neighbor
+tables at one simulated instant and answers the structural questions the
+paper's evaluation asks: degree distributions (Figure 5a), average link
+latencies for random/nearby/tree links (Figure 5b), largest-component
+survival under random node failures (Figure 6), and overlay diameter in
+hops (summary result 3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.core.messages import RANDOM
+
+
+class OverlaySnapshot:
+    """Immutable structural snapshot of a set of GoCast nodes."""
+
+    def __init__(self, nodes: Iterable) -> None:
+        """``nodes`` is an iterable of live :class:`GoCastNode` objects."""
+        self.graph = nx.Graph()
+        self.tree = nx.Graph()
+        link_kind: Dict[Tuple[int, int], str] = {}
+        link_rtt: Dict[Tuple[int, int], float] = {}
+        node_list = list(nodes)
+        for node in node_list:
+            self.graph.add_node(node.node_id)
+        alive_ids = set(self.graph.nodes)
+        for node in node_list:
+            for peer, state in node.overlay.table.items():
+                if peer not in alive_ids:
+                    continue
+                key = (node.node_id, peer) if node.node_id < peer else (peer, node.node_id)
+                self.graph.add_edge(*key)
+                link_rtt[key] = state.rtt
+                # A link is "random" if either endpoint classified it so
+                # (classification is agreed at establishment; this guards
+                # against transient disagreement).
+                existing = link_kind.get(key)
+                if existing != RANDOM:
+                    link_kind[key] = state.kind
+            for peer in node.tree.tree_neighbors():
+                if peer in alive_ids:
+                    self.tree.add_edge(node.node_id, peer)
+        self._link_kind = link_kind
+        self._link_rtt = link_rtt
+
+    # ------------------------------------------------------------------
+    # Degrees (Figure 5a)
+    # ------------------------------------------------------------------
+    def degrees(self) -> List[int]:
+        return [d for _, d in self.graph.degree]
+
+    def degree_histogram(self) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for d in self.degrees():
+            hist[d] = hist.get(d, 0) + 1
+        return hist
+
+    def degree_fraction(self, degree: int) -> float:
+        degs = self.degrees()
+        if not degs:
+            return 0.0
+        return sum(1 for d in degs if d == degree) / len(degs)
+
+    def mean_degree(self) -> float:
+        degs = self.degrees()
+        return float(np.mean(degs)) if degs else 0.0
+
+    # ------------------------------------------------------------------
+    # Link latencies (Figure 5b)
+    # ------------------------------------------------------------------
+    def mean_link_latency(self, kind: Optional[str] = None) -> float:
+        """Mean one-way link latency; ``kind`` filters random/nearby."""
+        values = [
+            rtt / 2.0
+            for key, rtt in self._link_rtt.items()
+            if kind is None or self._link_kind.get(key) == kind
+        ]
+        return float(np.mean(values)) if values else 0.0
+
+    def mean_tree_link_latency(self, latency_model) -> float:
+        """Mean one-way latency over current tree links."""
+        values = [latency_model.one_way(a, b) for a, b in self.tree.edges]
+        return float(np.mean(values)) if values else 0.0
+
+    def count_links(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return self.graph.number_of_edges()
+        return sum(1 for k in self._link_kind.values() if k == kind)
+
+    # ------------------------------------------------------------------
+    # Connectivity & resilience (Figure 6)
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        if self.graph.number_of_nodes() == 0:
+            return True
+        return nx.is_connected(self.graph)
+
+    def largest_component_fraction(self) -> float:
+        n = self.graph.number_of_nodes()
+        if n == 0:
+            return 1.0
+        largest = max(nx.connected_components(self.graph), key=len)
+        return len(largest) / n
+
+    def largest_component_after_failures(
+        self, fail_fraction: float, rng: Optional[random.Random] = None
+    ) -> float:
+        """Figure 6's metric: remove a random fraction of nodes, report
+        the fraction of *surviving* nodes in the largest component."""
+        if not 0.0 <= fail_fraction < 1.0:
+            raise ValueError("fail_fraction must be in [0, 1)")
+        rng = rng if rng is not None else random.Random(0)
+        nodes = list(self.graph.nodes)
+        k = int(round(fail_fraction * len(nodes)))
+        victims = set(rng.sample(nodes, k))
+        survivor_graph = self.graph.subgraph(n for n in nodes if n not in victims)
+        n_live = survivor_graph.number_of_nodes()
+        if n_live == 0:
+            return 1.0
+        largest = max(nx.connected_components(survivor_graph), key=len)
+        return len(largest) / n_live
+
+    # ------------------------------------------------------------------
+    # Diameter (summary result 3)
+    # ------------------------------------------------------------------
+    def diameter_hops(self, sample: int = 64, rng: Optional[random.Random] = None) -> int:
+        """Overlay diameter in hops (exact for small graphs, else a
+        double-sweep BFS estimate from sampled sources)."""
+        if not self.is_connected():
+            raise ValueError("diameter undefined on a disconnected overlay")
+        n = self.graph.number_of_nodes()
+        if n <= 1:
+            return 0
+        if n <= 256:
+            return nx.diameter(self.graph)
+        rng = rng if rng is not None else random.Random(0)
+        nodes = list(self.graph.nodes)
+        best = 0
+        for _ in range(min(sample, n)):
+            start = nodes[rng.randrange(n)]
+            dist = nx.single_source_shortest_path_length(self.graph, start)
+            far_node, far_dist = max(dist.items(), key=lambda kv: kv[1])
+            best = max(best, far_dist)
+            dist2 = nx.single_source_shortest_path_length(self.graph, far_node)
+            best = max(best, max(dist2.values()))
+        return best
+
+    # ------------------------------------------------------------------
+    # Tree structure
+    # ------------------------------------------------------------------
+    def tree_is_spanning(self) -> bool:
+        """True if the tree links connect every overlay node."""
+        if self.graph.number_of_nodes() == 0:
+            return True
+        if set(self.tree.nodes) != set(self.graph.nodes):
+            return False
+        return nx.is_connected(self.tree)
+
+    def tree_is_acyclic(self) -> bool:
+        return nx.is_forest(self.tree) if self.tree.number_of_nodes() else True

@@ -1,0 +1,104 @@
+"""Human-readable introspection of a running GoCast deployment.
+
+Debugging aids for library users: render the dissemination tree as
+ASCII, and summarize a node's protocol state in one line each.  Both
+work on any iterable of live :class:`~repro.core.node.GoCastNode`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List
+
+
+def render_tree(nodes: Iterable, max_depth: int = 12) -> str:
+    """ASCII rendering of the tree implied by the nodes' parent pointers.
+
+    Orphaned nodes (no parent, not the root) are listed separately —
+    their presence usually means a repair is in flight.
+    """
+    node_list = list(nodes)
+    by_id = {n.node_id: n for n in node_list}
+    children: Dict[int, List[int]] = {}
+    roots: List[int] = []
+    orphans: List[int] = []
+    for node in node_list:
+        tree = node.tree
+        if tree.is_root:
+            roots.append(node.node_id)
+        elif tree.parent is None or tree.parent not in by_id:
+            orphans.append(node.node_id)
+        else:
+            children.setdefault(tree.parent, []).append(node.node_id)
+
+    lines: List[str] = []
+    rendered: set = set()
+
+    def emit(node_id: int, prefix: str, is_last: bool, depth: int) -> None:
+        rendered.add(node_id)
+        node = by_id[node_id]
+        dist = node.tree.dist
+        dist_str = "inf" if math.isinf(dist) else f"{dist * 1000:.0f}ms"
+        connector = "`-- " if is_last else "|-- "
+        lines.append(f"{prefix}{connector}{node_id} ({dist_str})")
+        if depth >= max_depth:
+            below = _descendants(node_id, children)
+            if below:
+                lines.append(
+                    f"{prefix}    ... subtree elided ({len(below)} nodes)"
+                )
+                rendered.update(below)
+            return
+        kids = sorted(children.get(node_id, []))
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        for i, kid in enumerate(kids):
+            emit(kid, child_prefix, i == len(kids) - 1, depth + 1)
+
+    for root in sorted(roots):
+        rendered.add(root)
+        lines.append(f"root {root}")
+        for i, kid in enumerate(sorted(children.get(root, []))):
+            emit(kid, "", i == len(children.get(root, [])) - 1, 1)
+    if orphans:
+        rendered.update(orphans)
+        lines.append(f"orphans (repair in flight): {sorted(orphans)}")
+    # Nodes whose parent chains never reach a root: transient parent
+    # cycles mid-repair (the next heartbeat wave dissolves them).
+    detached = sorted(set(by_id) - rendered)
+    if detached:
+        lines.append(f"unreachable from any root (cycle mid-repair): {detached}")
+    if not roots:
+        lines.append("(no root claimed)")
+    return "\n".join(lines)
+
+
+def _descendants(node_id: int, children: Dict[int, List[int]]) -> List[int]:
+    out: List[int] = []
+    stack = list(children.get(node_id, []))
+    seen = set()
+    while stack:
+        cur = stack.pop()
+        if cur in seen:
+            continue
+        seen.add(cur)
+        out.append(cur)
+        stack.extend(children.get(cur, []))
+    return out
+
+
+def node_summary(node) -> str:
+    """One-line protocol state of a node."""
+    tree = node.tree
+    dist = "inf" if math.isinf(tree.dist) else f"{tree.dist * 1000:.0f}ms"
+    role = "ROOT" if tree.is_root else f"parent={tree.parent}"
+    return (
+        f"node {node.node_id}: d_rand={node.overlay.d_rand} "
+        f"d_near={node.overlay.d_near} {role} dist={dist} "
+        f"children={sorted(tree.children)} buffered={len(node.disseminator.buffer)} "
+        f"view={len(node.view)}"
+    )
+
+
+def overlay_summary(nodes: Iterable) -> str:
+    """Multi-line dump: one `node_summary` per live node."""
+    return "\n".join(node_summary(n) for n in sorted(nodes, key=lambda n: n.node_id))

@@ -1,0 +1,110 @@
+"""Physical-link stress accounting (summary result 4).
+
+Application-level multicast makes every protocol hop a unicast flow over
+the physical network.  Routing each hop over the AS topology and
+counting per-link crossings reveals what random gossip hides: with
+latency-oblivious targets, traffic concentrates on the backbone's hub
+links, while GoCast's proximity-aware links keep most traffic inside
+regions.  The paper reports GoCast reducing bottleneck-link traffic by
+4–7x versus fanout-5 push gossip.
+
+The accumulator plugs into :attr:`repro.sim.transport.Network.on_send`,
+so it observes every message of a live simulation without the protocols
+knowing they are being measured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.net.astopo import Edge, RoutedTopology
+
+
+def _edge_key(edge: Edge) -> Edge:
+    u, v = edge
+    return (u, v) if u <= v else (v, u)
+
+
+class LinkStressAccumulator:
+    """Counts per-physical-link message crossings (optionally byte-weighted).
+
+    ``message_filter``, if given, restricts accounting to matching
+    messages — e.g. the dissemination path only, excluding constant-rate
+    control traffic (RTT probes, keepalives) that amortizes to nothing
+    at production message rates.
+    """
+
+    def __init__(
+        self,
+        topology: RoutedTopology,
+        weight_by_bytes: bool = False,
+        message_filter=None,
+    ):
+        self.topology = topology
+        self.weight_by_bytes = weight_by_bytes
+        self.message_filter = message_filter
+        self._stress: Dict[Edge, float] = {}
+        self.messages_routed = 0
+
+    def on_send(self, src: int, dst: int, msg: object) -> None:
+        """Network hook: route one protocol message over the AS graph."""
+        if self.message_filter is not None and not self.message_filter(msg):
+            return
+        weight = 1.0
+        if self.weight_by_bytes:
+            wire_size = getattr(msg, "wire_size", None)
+            weight = float(wire_size()) if callable(wire_size) else 1.0
+        self.messages_routed += 1
+        for edge in self.topology.route_edges(src, dst):
+            self._stress[edge] = self._stress.get(edge, 0.0) + weight
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def stresses(self) -> List[float]:
+        """Per-link stress for links that carried any traffic."""
+        return list(self._stress.values())
+
+    def max_stress(self) -> float:
+        return max(self._stress.values()) if self._stress else 0.0
+
+    def mean_stress(self) -> float:
+        values = self.stresses()
+        return float(np.mean(values)) if values else 0.0
+
+    def percentile(self, q: float) -> float:
+        values = self.stresses()
+        return float(np.percentile(values, q)) if values else 0.0
+
+    def top_links(self, k: int = 10) -> List[Tuple[Edge, float]]:
+        """The ``k`` most stressed physical links (the bottlenecks)."""
+        ranked = sorted(self._stress.items(), key=lambda kv: kv[1], reverse=True)
+        return ranked[:k]
+
+    def bottleneck_stress(self, top_fraction: float = 0.01) -> float:
+        """Mean stress over the most-stressed ``top_fraction`` of links.
+
+        This is the "load on bottleneck network links" the paper
+        compares: the heavy tail, not the average.
+        """
+        values = sorted(self._stress.values(), reverse=True)
+        if not values:
+            return 0.0
+        k = max(1, int(round(top_fraction * self.topology.edge_count())))
+        return float(np.mean(values[:k]))
+
+    def stress_over(self, edges) -> Tuple[float, float]:
+        """(max, mean) stress restricted to the given physical links.
+
+        Used with :meth:`TransitStubTopology.backbone_edges` to measure
+        load on the long-haul links specifically.
+        """
+        values = [self._stress.get(_edge_key(e), 0.0) for e in edges]
+        if not values:
+            return 0.0, 0.0
+        return float(max(values)), float(np.mean(values))
+
+    def total_traffic(self) -> float:
+        return float(sum(self._stress.values()))

@@ -1,0 +1,151 @@
+"""Command-line interface to the experiment harness.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig3a
+    python -m repro run fig6 --scale smoke --seed 3
+    python -m repro run all --scale default
+
+Each experiment prints the same table the corresponding paper artifact
+reports (see EXPERIMENTS.md).  ``--scale`` overrides the ``REPRO_SCALE``
+environment variable for the invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict
+
+from repro.experiments import (
+    ablations,
+    adaptation,
+    churn,
+    diameter,
+    extensions,
+    failover,
+    fanout,
+    fig1,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    linkstress,
+    loss,
+    message_rate,
+    random_links,
+    text_metrics,
+)
+
+
+def _fig3a(seed: int):
+    return fig3.run(fail_fraction=0.0, seed=seed)
+
+
+def _fig3b(seed: int):
+    return fig3.run(fail_fraction=0.2, drain_time=45.0, seed=seed)
+
+
+#: Experiment id -> (description, runner).  Runners take a seed and
+#: return an object with ``format_table()``.
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig1": ("analytic push-gossip reliability", lambda seed: fig1.run()),
+    "fig3a": ("delay CDFs, five protocols, no failures", _fig3a),
+    "fig3b": ("delay CDFs under 20% failures", _fig3b),
+    "fig4": ("GoCast scalability (two sizes x two fail levels)",
+             lambda seed: fig4.run(seed=seed)),
+    "fig5": ("overlay/tree adaptation over time", lambda seed: fig5.run(seed=seed)),
+    "fig6": ("resilience vs failed fraction vs C_rand",
+             lambda seed: fig6.run(seed=seed)),
+    "tdeg": ("in-text converged degree split",
+             lambda seed: text_metrics.run_degree_split(seed=seed)),
+    "tred": ("in-text delivery redundancy vs f",
+             lambda seed: text_metrics.run_redundancy(seed=seed)),
+    "r1": ("link churn over time", lambda seed: adaptation.run(seed=seed)),
+    "r2": ("link latency vs number of random links",
+           lambda seed: random_links.run(seed=seed)),
+    "r3": ("overlay diameter vs size", lambda seed: diameter.run(seed=seed)),
+    "r4": ("long-haul link stress vs push gossip",
+           lambda seed: linkstress.run(seed=seed)),
+    "r5": ("push-gossip delay vs fanout", lambda seed: fanout.run(seed=seed)),
+    "ablation-c4": ("C4 improvement-factor ablation",
+                    lambda seed: ablations.run_c4_factor(seed=seed)),
+    "ablation-drop": ("drop-threshold ablation",
+                      lambda seed: ablations.run_drop_threshold(seed=seed)),
+    "ablation-c1": ("C1 bound ablation",
+                    lambda seed: ablations.run_c1_bound(seed=seed)),
+    "pushpull": ("footnote 1: push vs push-pull gossip",
+                 lambda seed: extensions.run_pushpull(seed=seed)),
+    "overhead": ("per-node control overhead vs size",
+                 lambda seed: extensions.run_overhead(seed=seed)),
+    "churn": ("sustained join/leave churn self-healing",
+              lambda seed: churn.run(seed=seed)),
+    "failover": ("root-crash failover timing",
+                 lambda seed: failover.run(seeds=(seed, seed + 1))),
+    "loss": ("datagram-loss robustness",
+             lambda seed: loss.run(seed=seed)),
+    "rate": ("message-rate sensitivity (delay flat, gossip amortizes)",
+             lambda seed: message_rate.run(seed=seed)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GoCast (DSN 2005) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run.add_argument(
+        "--scale",
+        choices=("smoke", "default", "full"),
+        help="override REPRO_SCALE for this invocation",
+    )
+    run.add_argument("--seed", type=int, default=1, help="simulation seed")
+    return parser
+
+
+def cmd_list(out=None) -> int:
+    out = out if out is not None else sys.stdout
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (description, _runner) in EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {description}", file=out)
+    return 0
+
+
+def cmd_run(experiment: str, scale, seed: int, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    if scale is not None:
+        os.environ["REPRO_SCALE"] = scale
+    names = list(EXPERIMENTS) if experiment == "all" else [experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"see 'python -m repro list'", file=sys.stderr)
+        return 2
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"== {name}: {description} (seed {seed}) ==", file=out)
+        started = time.time()
+        result = runner(seed)
+        print(result.format_table(), file=out)
+        print(f"-- {time.time() - started:.1f}s\n", file=out)
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    return cmd_run(args.experiment, args.scale, args.seed)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The GoCast protocol — the paper's primary contribution.
+
+A :class:`~repro.core.node.GoCastNode` composes three cooperating
+subsystems over the shared neighbor table:
+
+* :mod:`repro.core.overlay` — builds and continuously adapts the
+  degree-constrained, proximity-aware overlay (Section 2.2): node join,
+  random-neighbor maintenance, and nearby-neighbor maintenance with the
+  paper's conditions C1–C4.
+* :mod:`repro.core.tree` — embeds a low-latency spanning tree in the
+  overlay (Section 2.3): DVMRP-style shortest-path parents, periodic
+  root heartbeats, and epoch-based root failover.
+* :mod:`repro.core.dissemination` — floods multicast messages down the
+  tree and, in the background, gossips message-ID summaries round-robin
+  to overlay neighbors, pulling anything the tree missed (Section 2.1).
+"""
+
+from repro.core.config import GoCastConfig
+from repro.core.ids import MessageId
+from repro.core.node import GoCastNode
+
+__all__ = ["GoCastConfig", "GoCastNode", "MessageId"]

@@ -1,0 +1,117 @@
+"""GoCast protocol parameters.
+
+Defaults follow Section 2 and Section 3 of the paper exactly:
+``C_rand = 1``, ``C_near = 5`` (the paper's headline parameter finding),
+gossip period ``t = 0.1 s``, maintenance period ``r = 0.1 s``, buffer
+reclaim wait ``b = 120 s``, root heartbeat every 15 s.  The
+``request_delay_f`` optimization (delay pull requests until a message
+has had ``f`` seconds to arrive via the tree) defaults to off, matching
+the main experiments; the paper recommends the tree's 90th-percentile
+delay (0.3 s at 1,024 nodes) when enabling it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class GoCastConfig:
+    """Tunable parameters for a GoCast deployment."""
+
+    #: Target number of random neighbors (paper: 1).
+    c_rand: int = 1
+    #: Target number of proximity-chosen neighbors (paper: 5).
+    c_near: int = 5
+    #: Gossip period ``t`` in seconds — one gossip is sent per period,
+    #: to neighbors in round-robin order.
+    gossip_period: float = 0.1
+    #: Maintenance period ``r`` in seconds — one random-maintenance and
+    #: one nearby-maintenance step per period.
+    maintenance_period: float = 0.1
+    #: Buffer reclaim wait ``b``: payload is retained this long after the
+    #: ID has been gossiped to the last neighbor (paper: two minutes).
+    reclaim_wait_b: float = 120.0
+    #: Pull-request delay ``f``: wait until a gossiped message is at
+    #: least this old before pulling it, giving the tree time to deliver
+    #: it first (paper recommends the 90th-percentile tree delay; 0 = off).
+    request_delay_f: float = 0.0
+    #: Root heartbeat flood period (paper: 15 s).
+    heartbeat_period: float = 15.0
+    #: Root considered failed after this long without a heartbeat.
+    heartbeat_timeout: float = 45.0
+    #: Degree-acceptance slack: a node accepts a new random/nearby link
+    #: only while its degree is below target + slack (paper: +5).
+    degree_slack: int = 5
+    #: Nearby degree at which dropping starts (paper: C_near + 2).
+    drop_threshold_slack: int = 2
+    #: C1 lower bound: a neighbor may be replaced/dropped only if its
+    #: nearby degree is at least ``c_near - c1_slack`` (paper: slack 1).
+    c1_slack: int = 1
+    #: C4 improvement factor: a candidate replaces a neighbor only if
+    #: ``rtt(candidate) <= factor * rtt(neighbor)`` (paper: 0.5).
+    replace_rtt_factor: float = 0.5
+    #: Maximum partial-view size (paper: "hundreds of nodes").
+    membership_max: int = 120
+    #: Random member addresses piggybacked on each gossip.
+    piggyback_members: int = 4
+    #: Send an (otherwise suppressed) empty gossip if nothing has been
+    #: sent to a neighbor for this long; doubles as failure detection.
+    keepalive_interval: float = 2.0
+    #: Evict a neighbor after this long without hearing anything from it
+    #: (complements TCP-reset detection; with keepalives flowing every
+    #: ``keepalive_interval``, a healthy link is never anywhere near
+    #: this quiet).  0 disables the timeout.
+    neighbor_timeout: float = 10.0
+    #: Re-request a pulled message if it has not arrived in this time.
+    pull_timeout: float = 1.0
+    #: Tolerance for keeping a tree parent that is slightly off the best
+    #: path.  MUST stay ~0: any real slack lets co-located clusters far
+    #: from the root sustain parent cycles (see TreeManager docs).  Ties
+    #: favour the current parent, so 0 does not cause flapping.
+    tree_switch_threshold: float = 0.0
+    #: Whether multicast messages propagate through the tree at all.
+    #: False gives the paper's "proximity overlay"/"random overlay"
+    #: gossip-only baselines.
+    use_tree: bool = True
+    #: Dynamic tuning of the maintenance period (the paper's stated
+    #: future work: "As the overlay stabilizes, the opportunity for
+    #: improvement diminishes.  The maintenance cycle r can be increased
+    #: accordingly").  When on, the period stretches toward
+    #: ``maintenance_period_max`` while no link changes occur and snaps
+    #: back to ``maintenance_period`` on any change.
+    adaptive_maintenance: bool = False
+    maintenance_period_max: float = 2.0
+    #: Seconds without a link change before the period starts growing.
+    maintenance_idle_threshold: float = 5.0
+    #: Dynamic tuning of the gossip period ("the gossip period t is
+    #: dynamically tunable according to the message rate"): stretches
+    #: toward ``gossip_period_max`` while no multicast traffic flows,
+    #: snapping back on the next delivery.
+    adaptive_gossip: bool = False
+    gossip_period_max: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.c_rand < 0 or self.c_near < 0:
+            raise ValueError("target degrees must be non-negative")
+        if self.c_rand + self.c_near < 1:
+            raise ValueError("total target degree must be at least 1")
+        if self.gossip_period <= 0 or self.maintenance_period <= 0:
+            raise ValueError("periods must be positive")
+        if self.reclaim_wait_b < 0 or self.request_delay_f < 0:
+            raise ValueError("waits must be non-negative")
+        if self.heartbeat_period <= 0 or self.heartbeat_timeout <= self.heartbeat_period:
+            raise ValueError("heartbeat timeout must exceed the period")
+        if self.degree_slack < 1:
+            raise ValueError("degree_slack must be >= 1")
+        if self.drop_threshold_slack < 1:
+            raise ValueError("drop_threshold_slack must be >= 1")
+        if not 0 < self.replace_rtt_factor <= 1:
+            raise ValueError("replace_rtt_factor must be in (0, 1]")
+        if self.membership_max < self.c_rand + self.c_near:
+            raise ValueError("membership view must hold at least the neighbors")
+
+    @property
+    def c_degree(self) -> int:
+        """Total target node degree ``C_degree = C_rand + C_near``."""
+        return self.c_rand + self.c_near

@@ -1,0 +1,20 @@
+"""Message dissemination (Section 2.1).
+
+Multicast messages propagate *unconditionally* through the tree and
+*conditionally* through gossips exchanged between overlay neighbors:
+
+* :mod:`repro.core.dissemination.buffer` — the per-node message store
+  with heard-from / gossiped-to bookkeeping and reclaim after the
+  waiting period ``b``.
+* :mod:`repro.core.dissemination.gossip` — the round-robin summary
+  sender (one gossip per period ``t``, to one neighbor).
+* :mod:`repro.core.dissemination.disseminator` — tree flooding, gossip
+  reception, pull requests (with the optional ``f``-second delay that
+  gives the tree a head start), and redundancy accounting.
+"""
+
+from repro.core.dissemination.buffer import BufferEntry, MessageBuffer
+from repro.core.dissemination.disseminator import Disseminator
+from repro.core.dissemination.gossip import GossipEngine
+
+__all__ = ["BufferEntry", "Disseminator", "GossipEngine", "MessageBuffer"]

@@ -1,0 +1,136 @@
+"""Per-node multicast message buffer.
+
+An entry is created when the node receives (or injects) a message and
+records everything the gossip protocol needs:
+
+* ``heard_from`` — neighbors known to already have the message (they
+  sent us the data or gossiped its ID), excluded from our summaries to
+  them ("excludes the IDs of messages that X heard from Y");
+* ``gossiped_to`` — neighbors we already advertised the ID to ("node X
+  gossips the ID of a message to each of its neighbors only once");
+* the delivery time and age, from which the current message age is
+  derived for the ``f``-delay optimization.
+
+Reclaim follows the paper: after the ID has been gossiped to the last
+neighbor, the payload is retained for the waiting period ``b`` (two
+minutes) to serve stragglers' pull requests, then dropped.  The ID stays
+in the duplicate-suppression set forever (simulation runs are finite;
+a production port would age this set out too).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set
+
+from repro.core.ids import MessageId
+
+
+@dataclasses.dataclass
+class BufferEntry:
+    """Book-keeping for one buffered multicast message."""
+
+    msg_id: MessageId
+    payload_size: int
+    #: The application's opaque payload object (None for size-only runs).
+    payload: object
+    deliver_time: float
+    age_at_deliver: float
+    heard_from: Set[int] = dataclasses.field(default_factory=set)
+    gossiped_to: Set[int] = dataclasses.field(default_factory=set)
+    reclaim_handle: Optional[object] = None
+
+    def age(self, now: float) -> float:
+        """Estimated time since the message was injected at its source."""
+        return self.age_at_deliver + (now - self.deliver_time)
+
+
+class MessageBuffer:
+    """Stores received messages until they are safely reclaimable."""
+
+    def __init__(self) -> None:
+        self._seen: Set[MessageId] = set()
+        self._entries: Dict[MessageId, BufferEntry] = {}
+        #: Entries whose reclaim timer is not armed yet — the only ones
+        #: the per-tick coverage sweep needs to look at.
+        self._unarmed: Dict[MessageId, BufferEntry] = {}
+        self.reclaimed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def has_seen(self, msg_id: MessageId) -> bool:
+        """True if this node ever received the message (even if reclaimed)."""
+        return msg_id in self._seen
+
+    def entry(self, msg_id: MessageId) -> Optional[BufferEntry]:
+        return self._entries.get(msg_id)
+
+    def entries(self) -> List[BufferEntry]:
+        return list(self._entries.values())
+
+    def insert(
+        self,
+        msg_id: MessageId,
+        payload_size: int,
+        now: float,
+        age: float,
+        from_peer: Optional[int] = None,
+        payload: object = None,
+    ) -> BufferEntry:
+        """Record a newly received (or locally injected) message."""
+        if msg_id in self._seen:
+            raise ValueError(f"message {msg_id} inserted twice")
+        self._seen.add(msg_id)
+        entry = BufferEntry(
+            msg_id=msg_id,
+            payload_size=payload_size,
+            payload=payload,
+            deliver_time=now,
+            age_at_deliver=age,
+        )
+        if from_peer is not None:
+            entry.heard_from.add(from_peer)
+        self._entries[msg_id] = entry
+        self._unarmed[msg_id] = entry
+        return entry
+
+    def unarmed_entries(self) -> List[BufferEntry]:
+        """Entries whose reclaim timer has not been armed yet."""
+        return list(self._unarmed.values())
+
+    def mark_armed(self, msg_id: MessageId) -> None:
+        """The reclaim timer for ``msg_id`` is now armed."""
+        self._unarmed.pop(msg_id, None)
+
+    def mark_heard_from(self, msg_id: MessageId, peer: int) -> None:
+        entry = self._entries.get(msg_id)
+        if entry is not None:
+            entry.heard_from.add(peer)
+
+    def ids_to_gossip(self, peer: int, now: float) -> List[BufferEntry]:
+        """Entries whose ID should appear in the next gossip to ``peer``."""
+        return [
+            entry
+            for entry in self._entries.values()
+            if peer not in entry.gossiped_to and peer not in entry.heard_from
+        ]
+
+    def mark_gossiped(self, msg_id: MessageId, peer: int) -> None:
+        entry = self._entries.get(msg_id)
+        if entry is not None:
+            entry.gossiped_to.add(peer)
+
+    def fully_gossiped(self, entry: BufferEntry, neighbor_ids) -> bool:
+        """True once every current neighbor got or heard the ID."""
+        covered = entry.gossiped_to | entry.heard_from
+        return all(peer in covered for peer in neighbor_ids)
+
+    def reclaim(self, msg_id: MessageId) -> bool:
+        """Drop the payload; the ID remains known for dedup."""
+        entry = self._entries.pop(msg_id, None)
+        self._unarmed.pop(msg_id, None)
+        if entry is None:
+            return False
+        self.reclaimed += 1
+        return True

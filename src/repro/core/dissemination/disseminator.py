@@ -1,0 +1,279 @@
+"""Tree flooding + gossip-driven pulls: the heart of Section 2.1.
+
+Delivery paths:
+
+* **Tree push** — a node that receives a new message immediately
+  forwards it on all its tree links except the one it arrived on.  A
+  push for an already-received message is aborted (counted, not
+  re-delivered) — the paper's optimization (1).
+* **Gossip pull** — a gossip advertising an unknown ID creates a pending
+  pull.  With ``request_delay_f > 0`` the request waits until the
+  message is at least ``f`` seconds old, giving the tree its head start
+  (optimization (2)); by default it is sent immediately.  Unanswered
+  pulls retry against any other neighbor that advertised the ID.
+  A message obtained by pull is treated exactly like a tree arrival:
+  it is delivered and *immediately forwarded along the remaining tree
+  links*, which is how messages race through tree fragments when the
+  tree is broken (the reason "GoCast" beats "proximity overlay" in
+  Figure 3b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.dissemination.buffer import BufferEntry, MessageBuffer
+from repro.core.ids import MessageId
+from repro.core.messages import Gossip, MulticastData, PullData, PullRequest
+
+#: Give up re-requesting a message after this many unanswered pulls; the
+#: next gossip advertising the ID starts the process afresh.
+MAX_PULL_ATTEMPTS = 5
+
+
+class _PendingPull:
+    __slots__ = ("sources", "age_estimate", "heard_at", "requested_from", "attempts", "handle")
+
+    def __init__(self, age_estimate: float, heard_at: float):
+        self.sources: Set[int] = set()
+        self.age_estimate = age_estimate
+        self.heard_at = heard_at
+        self.requested_from: Optional[int] = None
+        self.attempts = 0
+        self.handle = None  # pending request or timeout event
+
+
+class Disseminator:
+    """One node's dissemination engine."""
+
+    def __init__(self, node) -> None:
+        self.node = node
+        self.buffer = MessageBuffer()
+        self._pending: Dict[MessageId, _PendingPull] = {}
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+    def multicast(self, payload_size: int = 1024, payload: object = None) -> MessageId:
+        """Start a multicast from this node ("any node can start one").
+
+        ``payload`` is an opaque application object carried to every
+        receiver (None keeps the simulation size-only).
+        """
+        node = self.node
+        msg_id = node.allocate_message_id()
+        node.tracer.injected(msg_id, node.sim.now, node.node_id)
+        node.record_dissemination_activity()
+        self.buffer.insert(msg_id, payload_size, node.sim.now, age=0.0, payload=payload)
+        self._forward_tree(msg_id, exclude=None)
+        return msg_id
+
+    # ------------------------------------------------------------------
+    # Tree path
+    # ------------------------------------------------------------------
+    def on_multicast_data(self, src: int, msg: MulticastData) -> None:
+        node = self.node
+        if self.buffer.has_seen(msg.msg_id):
+            # Optimization (1): abort the redundant transfer.
+            self.buffer.mark_heard_from(msg.msg_id, src)
+            node.tracer.redundant(msg.msg_id, node.node_id)
+            node.tracer.aborted(msg.msg_id, node.node_id)
+            return
+        owl = self._one_way_to(src)
+        self._deliver(
+            msg.msg_id, msg.payload_size, msg.age + owl, src,
+            via_pull=False, payload=msg.payload,
+        )
+
+    def _forward_tree(self, msg_id: MessageId, exclude: Optional[int]) -> None:
+        node = self.node
+        if not node.config.use_tree:
+            return
+        entry = self.buffer.entry(msg_id)
+        if entry is None:
+            return
+        age = entry.age(node.sim.now)
+        data = MulticastData(msg_id, age, entry.payload_size, entry.payload)
+        for peer in node.tree.tree_neighbors():
+            if peer == exclude:
+                continue
+            node.send(peer, data)
+            entry.heard_from.add(peer)
+
+    # ------------------------------------------------------------------
+    # Gossip path
+    # ------------------------------------------------------------------
+    def on_gossip(self, src: int, gossip: Gossip) -> None:
+        node = self.node
+        owl = self._one_way_to(src)
+        immediate: List[MessageId] = []
+        for msg_id, age in gossip.summaries:
+            local_age = age + owl
+            if self.buffer.has_seen(msg_id):
+                self.buffer.mark_heard_from(msg_id, src)
+                continue
+            pending = self._pending.get(msg_id)
+            if pending is not None:
+                pending.sources.add(src)
+                continue
+            pending = _PendingPull(age_estimate=local_age, heard_at=node.sim.now)
+            pending.sources.add(src)
+            self._pending[msg_id] = pending
+            wait = node.config.request_delay_f - local_age
+            if wait > 0:
+                pending.handle = node.sim.schedule(wait, self._send_pull, msg_id)
+            else:
+                immediate.append(msg_id)
+        if immediate:
+            self._request(src, immediate)
+
+    def _send_pull(self, msg_id: MessageId) -> None:
+        """A deferred pull became due (f-delay elapsed or retry)."""
+        pending = self._pending.get(msg_id)
+        if pending is None:
+            return
+        pending.handle = None
+        if self.buffer.has_seen(msg_id):
+            self._pending.pop(msg_id, None)
+            return
+        source = self._choose_source(pending)
+        if source is None:
+            self._pending.pop(msg_id, None)
+            return
+        self._request(source, [msg_id])
+
+    def _choose_source(self, pending: _PendingPull) -> Optional[int]:
+        """Prefer a source we have not asked yet."""
+        if not pending.sources:
+            return None
+        fresh = [s for s in pending.sources if s != pending.requested_from]
+        pool = fresh if fresh else list(pending.sources)
+        return self.node.rng.choice(sorted(pool))
+
+    def _request(self, source: int, ids: List[MessageId]) -> None:
+        node = self.node
+        node.send(source, PullRequest(ids=tuple(ids)))
+        for msg_id in ids:
+            pending = self._pending.get(msg_id)
+            if pending is None:
+                continue
+            pending.requested_from = source
+            pending.attempts += 1
+            if pending.handle is not None:
+                pending.handle.cancel()
+            pending.handle = node.sim.schedule(
+                node.config.pull_timeout, self._pull_timed_out, msg_id
+            )
+
+    def _pull_timed_out(self, msg_id: MessageId) -> None:
+        pending = self._pending.get(msg_id)
+        if pending is None:
+            return
+        pending.handle = None
+        if self.buffer.has_seen(msg_id):
+            self._pending.pop(msg_id, None)
+            return
+        if pending.attempts >= MAX_PULL_ATTEMPTS:
+            # Give up for now; a future gossip re-advertises the ID.
+            self._pending.pop(msg_id, None)
+            return
+        self._send_pull(msg_id)
+
+    def on_pull_request(self, src: int, msg: PullRequest) -> None:
+        node = self.node
+        now = node.sim.now
+        available: List[Tuple[MessageId, float, int]] = []
+        for msg_id in msg.ids:
+            entry = self.buffer.entry(msg_id)
+            if entry is not None:
+                available.append(
+                    (msg_id, entry.age(now), entry.payload_size, entry.payload)
+                )
+                # The requester evidently knows the ID already.
+                entry.heard_from.add(src)
+        if available:
+            node.send(src, PullData(messages=tuple(available)))
+
+    def on_pull_data(self, src: int, msg: PullData) -> None:
+        node = self.node
+        owl = self._one_way_to(src)
+        for msg_id, age, size, payload in msg.messages:
+            if self.buffer.has_seen(msg_id):
+                node.tracer.redundant(msg_id, node.node_id)
+                continue
+            self._deliver(msg_id, size, age + owl, src, via_pull=True, payload=payload)
+
+    # ------------------------------------------------------------------
+    # Common delivery path
+    # ------------------------------------------------------------------
+    def _deliver(
+        self,
+        msg_id: MessageId,
+        size: int,
+        age: float,
+        from_peer: int,
+        via_pull: bool,
+        payload: object = None,
+    ) -> None:
+        node = self.node
+        self._cancel_pending(msg_id)
+        self.buffer.insert(
+            msg_id, size, node.sim.now, age=age, from_peer=from_peer, payload=payload
+        )
+        node.tracer.delivered(msg_id, node.node_id, node.sim.now)
+        node.record_dissemination_activity()
+        if via_pull:
+            node.tracer.pulled(msg_id, node.node_id)
+        node.on_deliver(msg_id, size)
+        # Pulled messages restart the tree flood inside our fragment.
+        self._forward_tree(msg_id, exclude=from_peer)
+
+    def _cancel_pending(self, msg_id: MessageId) -> None:
+        pending = self._pending.pop(msg_id, None)
+        if pending is not None and pending.handle is not None:
+            pending.handle.cancel()
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+    def maybe_schedule_reclaim(self, entry: BufferEntry) -> None:
+        """Arm the reclaim timer once the ID reached every neighbor."""
+        node = self.node
+        if entry.reclaim_handle is not None:
+            return
+        if not self.buffer.fully_gossiped(entry, node.overlay.table.ids()):
+            return
+        entry.reclaim_handle = node.sim.schedule(
+            node.config.reclaim_wait_b, self.buffer.reclaim, entry.msg_id
+        )
+        self.buffer.mark_armed(entry.msg_id)
+
+    def sweep_reclaims(self) -> None:
+        """Arm reclaim timers for entries that became fully covered via
+        pushes/pulls rather than our own gossips (called per gossip tick;
+        only entries without an armed timer are examined)."""
+        for entry in self.buffer.unarmed_entries():
+            self.maybe_schedule_reclaim(entry)
+
+    def on_peer_failed(self, peer: int) -> None:
+        """Retry any pull that was waiting on a crashed neighbor."""
+        for msg_id in list(self._pending):
+            pending = self._pending.get(msg_id)
+            if pending is None:
+                continue
+            pending.sources.discard(peer)
+            if pending.requested_from == peer:
+                pending.requested_from = None
+                if pending.handle is not None:
+                    pending.handle.cancel()
+                    pending.handle = None
+                if pending.sources:
+                    self._send_pull(msg_id)
+                else:
+                    self._pending.pop(msg_id, None)
+
+    def _one_way_to(self, peer: int) -> float:
+        state = self.node.overlay.table.get(peer)
+        if state is not None:
+            return state.one_way
+        return self.node.measure_rtt(peer) / 2.0

@@ -1,0 +1,101 @@
+"""Round-robin neighbor gossip (the background channel of Section 2.1).
+
+Every gossip period ``t`` the node picks its next overlay neighbor in
+round-robin order and sends one summary: the IDs (with age estimates) of
+messages that neighbor has neither heard from us nor advertised to us.
+With ``s`` neighbors a given pair therefore exchanges a gossip every
+``s * t`` seconds (~0.6 s at the default degree 6).
+
+An empty gossip "can be saved"; we suppress it unless nothing at all has
+been sent to that neighbor for ``keepalive_interval`` seconds, in which
+case the empty gossip doubles as a failure-detection keepalive (a send
+to a crashed neighbor fails and evicts it from the overlay).
+
+Every gossip piggybacks a few random member addresses (the partial
+membership service of [5]) and the sender's degree / root-distance
+state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.messages import Gossip
+
+
+class GossipEngine:
+    """Owns the round-robin cursor and builds outgoing gossips."""
+
+    def __init__(self, node) -> None:
+        self.node = node
+        self._cursor = 0
+        self.gossips_sent = 0
+        self.gossips_saved = 0
+
+    def on_tick(self) -> None:
+        """One gossip period elapsed: gossip to the next neighbor."""
+        node = self.node
+        node.disseminator.sweep_reclaims()
+        if node.config.adaptive_gossip:
+            self._tune_period()
+        peer = self._next_neighbor()
+        if peer is None:
+            return
+        self._gossip_to(peer)
+
+    def _tune_period(self) -> None:
+        """Stretch the gossip period while no multicast traffic flows.
+
+        "The gossip period t is dynamically tunable according to the
+        message rate" (Section 2.1).  Idle systems converge toward
+        ``gossip_period_max`` (keepalives still flow at that pace); the
+        first delivery snaps back to the base period (see
+        :meth:`GoCastNode.record_dissemination_activity`).
+        """
+        node = self.node
+        cfg = node.config
+        idle = node.sim.now - node.last_dissemination
+        if idle <= 1.0:
+            node._gossip_timer.set_period(cfg.gossip_period)
+            return
+        period = min(cfg.gossip_period_max, cfg.gossip_period * idle)
+        node._gossip_timer.set_period(period)
+
+    def _next_neighbor(self) -> Optional[int]:
+        neighbors = sorted(self.node.overlay.table.ids())
+        if not neighbors:
+            return None
+        self._cursor %= len(neighbors)
+        peer = neighbors[self._cursor]
+        self._cursor += 1
+        return peer
+
+    def _gossip_to(self, peer: int) -> None:
+        node = self.node
+        now = node.sim.now
+        buffer = node.disseminator.buffer
+        entries = buffer.ids_to_gossip(peer, now)
+
+        state = node.overlay.table.get(peer)
+        if not entries:
+            # Nothing to advertise: save the gossip unless the link has
+            # been silent long enough to need a keepalive.
+            if (
+                state is not None
+                and now - state.last_sent < node.config.keepalive_interval
+            ):
+                self.gossips_saved += 1
+                return
+
+        summaries = tuple((entry.msg_id, entry.age(now)) for entry in entries)
+        sample = node.view.sample(node.config.piggyback_members, exclude={peer})
+        gossip = Gossip(
+            summaries=summaries,
+            member_sample=tuple(sample),
+            degrees=node.make_degree_update(),
+        )
+        node.send(peer, gossip)
+        self.gossips_sent += 1
+        for entry in entries:
+            buffer.mark_gossiped(entry.msg_id, peer)
+            node.disseminator.maybe_schedule_reclaim(entry)

@@ -1,0 +1,34 @@
+"""Multicast message identifiers.
+
+"Each message injected into the system has a unique identifier.  The
+identifier of a message injected by node P is a concatenation of P's IP
+address and a monotonically increasing sequence number locally assigned
+by P."  We use the node id in place of the IP address.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class MessageId(NamedTuple):
+    """Globally unique multicast message identifier."""
+
+    source: int
+    seq: int
+
+    def __str__(self) -> str:
+        return f"{self.source}:{self.seq}"
+
+
+class MessageIdAllocator:
+    """Per-node monotonically increasing sequence numbers."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self._next_seq = 0
+
+    def allocate(self) -> MessageId:
+        msg_id = MessageId(self.node_id, self._next_seq)
+        self._next_seq += 1
+        return msg_id

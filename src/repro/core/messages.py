@@ -1,0 +1,239 @@
+"""Wire messages exchanged by GoCast nodes.
+
+Messages between overlay neighbors travel over the pre-established
+reliable channels (TCP in the paper); join traffic and RTT probes
+between non-neighbors use unreliable datagrams (UDP).  Each message
+reports an approximate ``wire_size`` in bytes so experiments can account
+for traffic volume without serializing anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.core.ids import MessageId
+
+#: Link kinds.  A link's kind is agreed at establishment and symmetric.
+RANDOM = "random"
+NEARBY = "nearby"
+LINK_KINDS = (RANDOM, NEARBY)
+
+_HEADER = 20
+
+
+@dataclasses.dataclass(frozen=True)
+class JoinRequest:
+    """New node asks a bootstrap contact for its member list."""
+
+    def wire_size(self) -> int:
+        return _HEADER
+
+
+@dataclasses.dataclass(frozen=True)
+class JoinReply:
+    """Bootstrap contact's member list, adopted by the joiner."""
+
+    members: Tuple[int, ...]
+
+    def wire_size(self) -> int:
+        return _HEADER + 6 * len(self.members)
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkRequest:
+    """Ask the receiver to become an overlay neighbor of the sender.
+
+    The receiver evaluates its local acceptance conditions (degree slack
+    for both kinds; C2/C3 for nearby links) and replies with
+    :class:`LinkAccept` or :class:`LinkReject`.
+    """
+
+    kind: str
+    #: Sender's current degrees, for the receiver's bookkeeping.
+    nearby_degree: int = 0
+    random_degree: int = 0
+
+    def wire_size(self) -> int:
+        return _HEADER + 4
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkAccept:
+    kind: str
+    nearby_degree: int
+    random_degree: int
+
+    def wire_size(self) -> int:
+        return _HEADER + 4
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkReject:
+    kind: str
+    reason: str
+
+    def wire_size(self) -> int:
+        return _HEADER + 4
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkDrop:
+    """Notify a neighbor that the link is being closed."""
+
+    kind: str
+
+    def wire_size(self) -> int:
+        return _HEADER
+
+
+@dataclasses.dataclass(frozen=True)
+class RewireRequest:
+    """Random-degree reduction, operation 1 of Section 2.2.2.
+
+    X (with random degree >= C_rand + 2) asks its random neighbor Y to
+    establish a random link to X's other random neighbor ``target``,
+    then drops its own links to both.
+    """
+
+    target: int
+
+    def wire_size(self) -> int:
+        return _HEADER + 6
+
+
+@dataclasses.dataclass(frozen=True)
+class Ping:
+    """UDP RTT probe used by nearby-neighbor maintenance."""
+
+    nonce: int
+    sent_at: float
+
+    def wire_size(self) -> int:
+        return _HEADER + 12
+
+
+@dataclasses.dataclass(frozen=True)
+class Pong:
+    nonce: int
+    sent_at: float
+
+    def wire_size(self) -> int:
+        return _HEADER + 12
+
+
+@dataclasses.dataclass(frozen=True)
+class DegreeUpdate:
+    """Piggybacked state a node shares with its overlay neighbors.
+
+    Carries the degrees needed by conditions C1/C2, the sender's current
+    distance to the tree root (used for fast local tree repair when a
+    parent link disappears), and the sender's tree parent — the ground
+    truth against which neighbors reconcile their ``children`` sets
+    (crossing attach/detach messages can leave stale child entries).
+    """
+
+    nearby_degree: int
+    random_degree: int
+    dist_to_root: float
+    root_epoch: int
+    tree_parent: Optional[int] = None
+
+    def wire_size(self) -> int:
+        return _HEADER + 18
+
+
+@dataclasses.dataclass(frozen=True)
+class Gossip:
+    """Round-robin message summary sent to one overlay neighbor.
+
+    ``summaries`` pairs each advertised :class:`MessageId` with the
+    message's age (seconds since injection, estimated by accumulating
+    per-hop delays), which the receiver uses for the ``f``-delay pull
+    optimization.  A few random member addresses and the sender's degree
+    state piggyback on every gossip.
+    """
+
+    summaries: Tuple[Tuple[MessageId, float], ...]
+    member_sample: Tuple[int, ...]
+    degrees: DegreeUpdate
+
+    def wire_size(self) -> int:
+        return _HEADER + 12 * len(self.summaries) + 6 * len(self.member_sample) + 12
+
+
+@dataclasses.dataclass(frozen=True)
+class PullRequest:
+    """Request full messages discovered through a gossip."""
+
+    ids: Tuple[MessageId, ...]
+
+    def wire_size(self) -> int:
+        return _HEADER + 8 * len(self.ids)
+
+
+@dataclasses.dataclass(frozen=True)
+class PullData:
+    """Full messages served in response to a :class:`PullRequest`.
+
+    Each element is ``(id, age_at_send, payload_size, payload)`` —
+    ``payload`` is the application's opaque object (None when the
+    simulation models sizes only).
+    """
+
+    messages: Tuple[Tuple[MessageId, float, int, object], ...]
+
+    def wire_size(self) -> int:
+        return _HEADER + sum(12 + size for _, _, size, _ in self.messages)
+
+
+@dataclasses.dataclass(frozen=True)
+class MulticastData:
+    """A multicast message travelling along a tree link.
+
+    ``age`` is the elapsed time since injection as estimated at send
+    time; the receiver adds the link's one-way latency.  ``payload`` is
+    the application's opaque object (None for size-only simulations).
+    """
+
+    msg_id: MessageId
+    age: float
+    payload_size: int
+    payload: object = None
+
+    def wire_size(self) -> int:
+        return _HEADER + 12 + self.payload_size
+
+
+@dataclasses.dataclass(frozen=True)
+class TreeHeartbeat:
+    """Root-flooded heartbeat, also the distance-vector update wave.
+
+    Flooded on *every* overlay link (Section 2.3) so it detects overlay
+    partitions; ``dist`` accumulates link latencies from the root and
+    drives shortest-path parent selection.
+    """
+
+    epoch: int
+    root: int
+    seq: int
+    dist: float
+
+    def wire_size(self) -> int:
+        return _HEADER + 16
+
+
+@dataclasses.dataclass(frozen=True)
+class TreeAttach:
+    """Sender adopts the receiver as its tree parent."""
+
+    def wire_size(self) -> int:
+        return _HEADER
+
+
+@dataclasses.dataclass(frozen=True)
+class TreeDetach:
+    """Sender is no longer the receiver's tree child (or vice versa)."""
+
+    def wire_size(self) -> int:
+        return _HEADER

@@ -1,0 +1,323 @@
+"""GoCastNode: composition root of the protocol stack.
+
+A node owns one :class:`~repro.core.overlay.manager.OverlayManager`, one
+:class:`~repro.core.tree.manager.TreeManager`, one
+:class:`~repro.core.dissemination.disseminator.Disseminator` and one
+:class:`~repro.core.dissemination.gossip.GossipEngine`, and wires them
+to the simulated network and the two periodic timers (gossip period
+``t`` and maintenance period ``r``).  Timers start with a random phase
+so thousands of nodes do not act in lock-step.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from repro.core import messages as wire
+from repro.core.config import GoCastConfig
+from repro.core.dissemination.disseminator import Disseminator
+from repro.core.dissemination.gossip import GossipEngine
+from repro.core.ids import MessageId, MessageIdAllocator
+from repro.core.overlay import join as join_protocol
+from repro.core.overlay.manager import OverlayManager
+from repro.core.tree.manager import TreeManager
+from repro.membership.partial_view import PartialView
+from repro.net.estimation import TriangularEstimator
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+from repro.sim.trace import DeliveryTracer, TraceRecorder
+from repro.sim.transport import Network
+
+
+class GoCastNode:
+    """One GoCast protocol participant."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        config: Optional[GoCastConfig] = None,
+        rng: Optional[random.Random] = None,
+        estimator: Optional[TriangularEstimator] = None,
+        tracer: Optional[DeliveryTracer] = None,
+        events: Optional[TraceRecorder] = None,
+    ):
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.config = config if config is not None else GoCastConfig()
+        self.rng = rng if rng is not None else random.Random(node_id)
+        self.estimator = estimator
+        self.tracer = tracer if tracer is not None else DeliveryTracer()
+        self.events = events
+
+        self.view = PartialView(node_id, self.rng, self.config.membership_max)
+        self.overlay = OverlayManager(self)
+        self.tree = TreeManager(self)
+        self.disseminator = Disseminator(self)
+        self.gossip_engine = GossipEngine(self)
+        self._id_alloc = MessageIdAllocator(node_id)
+        self.alive = False
+        #: Frozen nodes run no maintenance or repair of any kind — the
+        #: paper's stress-test setup where only dissemination continues.
+        self.frozen = False
+        #: Timestamps driving the adaptive period tuning (paper's
+        #: "dynamically tunable" periods; see GoCastConfig).
+        self.last_link_change = 0.0
+        self.last_dissemination = 0.0
+        #: Application callbacks invoked on each first delivery.
+        self.delivery_listeners: List[Callable[[MessageId, int], None]] = []
+
+        self._gossip_timer = PeriodicTimer(
+            sim, self.config.gossip_period, self.gossip_engine.on_tick
+        )
+        self._maint_timer = PeriodicTimer(
+            sim, self.config.maintenance_period, self._on_maintenance
+        )
+
+        self._dispatch = {
+            wire.JoinRequest: self._on_join_request,
+            wire.JoinReply: self._on_join_reply,
+            wire.LinkRequest: self.overlay.on_link_request,
+            wire.LinkAccept: self.overlay.on_link_accept,
+            wire.LinkReject: self.overlay.on_link_reject,
+            wire.LinkDrop: self.overlay.on_link_drop,
+            wire.RewireRequest: self.overlay.on_rewire_request,
+            wire.Ping: self.overlay.on_ping,
+            wire.Pong: self.overlay.on_pong,
+            wire.DegreeUpdate: self._on_degree_update,
+            wire.Gossip: self._on_gossip,
+            wire.PullRequest: self.disseminator.on_pull_request,
+            wire.PullData: self.disseminator.on_pull_data,
+            wire.MulticastData: self.disseminator.on_multicast_data,
+            wire.TreeHeartbeat: self._on_tree_heartbeat,
+            wire.TreeAttach: self._on_tree_attach,
+            wire.TreeDetach: self._on_tree_detach,
+        }
+
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the periodic timers with a random phase."""
+        if self.alive:
+            return
+        self.alive = True
+        self._gossip_timer.start(phase=self.rng.uniform(0, self.config.gossip_period))
+        self._maint_timer.start(
+            phase=self.rng.uniform(0, self.config.maintenance_period)
+        )
+        self.tree.last_heartbeat = self.sim.now
+
+    def stop(self) -> None:
+        """Halt all activity (crash or shutdown); state is retained."""
+        self.alive = False
+        self._gossip_timer.stop()
+        self._maint_timer.stop()
+        self.tree.stop()
+
+    def crash(self) -> None:
+        """Crash-stop: the network drops traffic, timers go silent."""
+        self.network.kill(self.node_id)
+        self.stop()
+
+    def leave(self) -> None:
+        """Graceful departure: notify neighbors, then vanish."""
+        self.overlay.close_all_links()
+        self.stop()
+        self.network.remove(self.node_id)
+
+    def freeze(self) -> None:
+        """Stop all maintenance and repair; dissemination keeps running.
+
+        Reproduces the paper's failure experiments, where "the system
+        does not execute any of GoCast's maintenance protocols to repair
+        the overlay or the tree" after the crash wave.
+        """
+        self.frozen = True
+        self._maint_timer.stop()
+        self.tree.stop()
+
+    def join(self, bootstrap: int) -> None:
+        """Join the overlay via the ``bootstrap`` contact (Section 2.2.1)."""
+        join_protocol.start_join(self, bootstrap)
+
+    # ------------------------------------------------------------------
+    # Application API
+    # ------------------------------------------------------------------
+    def multicast(self, payload_size: int = 1024, payload: object = None) -> MessageId:
+        """Multicast a message of ``payload_size`` bytes to the group.
+
+        ``payload`` is an opaque application object carried to every
+        receiver; fetch it in a delivery listener via :meth:`payload_of`.
+        """
+        if not self.alive:
+            raise RuntimeError(f"node {self.node_id} is not running")
+        return self.disseminator.multicast(payload_size, payload=payload)
+
+    def payload_of(self, msg_id: MessageId) -> object:
+        """The application payload of a buffered message (None once the
+        buffer entry has been reclaimed)."""
+        entry = self.disseminator.buffer.entry(msg_id)
+        return entry.payload if entry is not None else None
+
+    def on_deliver(self, msg_id: MessageId, payload_size: int) -> None:
+        for listener in self.delivery_listeners:
+            listener(msg_id, payload_size)
+
+    def allocate_message_id(self) -> MessageId:
+        return self._id_alloc.allocate()
+
+    # ------------------------------------------------------------------
+    # Transport interface
+    # ------------------------------------------------------------------
+    def send(self, dst: int, msg: object, reliable: bool = True) -> None:
+        state = self.overlay.table.get(dst)
+        if state is not None:
+            state.last_sent = self.sim.now
+        self.network.send(self.node_id, dst, msg, reliable=reliable)
+
+    def handle_message(self, src: int, msg: object) -> None:
+        if not self.alive:
+            return
+        state = self.overlay.table.get(src)
+        if state is not None:
+            state.last_heard = self.sim.now
+        handler = self._dispatch.get(type(msg))
+        if handler is None:
+            raise TypeError(f"node {self.node_id}: unhandled message {type(msg).__name__}")
+        handler(src, msg)
+
+    def handle_send_failure(self, dst: int, msg: object) -> None:
+        if not self.alive or self.frozen:
+            return
+        self.view.remove(dst)
+        self.disseminator.on_peer_failed(dst)
+        self.overlay.on_peer_failed(dst)
+
+    def measure_rtt(self, peer: int) -> float:
+        """Handshake-time RTT measurement (the simulation's stand-in for
+        timing a TCP connection setup)."""
+        return self.network.latency.rtt(self.node_id, peer)
+
+    # ------------------------------------------------------------------
+    # Cross-subsystem hooks
+    # ------------------------------------------------------------------
+    def on_neighbor_added(self, peer: int) -> None:
+        self.view.add(peer)
+        # Tell the new neighbor our state right away (degree info feeds
+        # C1/C2; root distance feeds its tree repair).
+        self.send(peer, self.make_degree_update())
+
+    def on_neighbor_removed(self, peer: int) -> None:
+        self.tree.on_neighbor_removed(peer)
+
+    def degrees_changed(self) -> None:
+        update = self.make_degree_update()
+        for peer in self.overlay.table.ids():
+            self.send(peer, update)
+
+    def make_degree_update(self) -> wire.DegreeUpdate:
+        return wire.DegreeUpdate(
+            nearby_degree=self.overlay.d_near,
+            random_degree=self.overlay.d_rand,
+            dist_to_root=self.tree.dist,
+            root_epoch=self.tree.epoch,
+            tree_parent=self.tree.parent,
+        )
+
+    def record_link_change(self, kind: str, action: str) -> None:
+        self.last_link_change = self.sim.now
+        if self.config.adaptive_maintenance:
+            # Activity: snap the maintenance period back to its base.
+            self._maint_timer.set_period(self.config.maintenance_period)
+        if self.events is not None:
+            self.events.count(f"link_{action}_{kind}")
+            self.events.record("link_changes", self.sim.now, 1.0)
+
+    def record_dissemination_activity(self) -> None:
+        """A multicast message moved through this node."""
+        self.last_dissemination = self.sim.now
+        if self.config.adaptive_gossip:
+            self._gossip_timer.set_period(self.config.gossip_period)
+
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+    def _on_join_request(self, src: int, msg: wire.JoinRequest) -> None:
+        join_protocol.handle_join_request(self, src)
+
+    def _on_join_reply(self, src: int, msg: wire.JoinReply) -> None:
+        join_protocol.handle_join_reply(self, src, msg)
+
+    def _on_degree_update(self, src: int, msg: wire.DegreeUpdate) -> None:
+        self._apply_degree_update(src, msg)
+
+    def _apply_degree_update(self, src: int, update: wire.DegreeUpdate) -> None:
+        state = self.overlay.table.get(src)
+        if state is None:
+            return
+        state.nearby_degree = update.nearby_degree
+        state.random_degree = update.random_degree
+        state.dist_to_root = update.dist_to_root
+        state.root_epoch = update.root_epoch
+        if self.config.use_tree and not self.frozen:
+            self.tree.reconcile_child(src, update.tree_parent)
+            self.tree.on_neighbor_info(src)
+
+    def _on_gossip(self, src: int, msg: wire.Gossip) -> None:
+        self.view.add_many(m for m in msg.member_sample if m != self.node_id)
+        self._apply_degree_update(src, msg.degrees)
+        self.disseminator.on_gossip(src, msg)
+
+    def _on_tree_heartbeat(self, src: int, msg: wire.TreeHeartbeat) -> None:
+        if self.config.use_tree:
+            self.tree.on_heartbeat(src, msg)
+
+    def _on_tree_attach(self, src: int, msg: wire.TreeAttach) -> None:
+        if self.config.use_tree:
+            self.tree.on_attach(src)
+
+    def _on_tree_detach(self, src: int, msg: wire.TreeDetach) -> None:
+        if self.config.use_tree:
+            self.tree.on_detach(src)
+
+    # ------------------------------------------------------------------
+    # Periodic maintenance (period r)
+    # ------------------------------------------------------------------
+    def _on_maintenance(self) -> None:
+        self.overlay.evict_silent_neighbors()
+        self.overlay.maintain_random()
+        self.overlay.maintain_nearby()
+        if self.config.use_tree:
+            self.tree.check_root_liveness()
+        if self.config.adaptive_maintenance:
+            self._tune_maintenance_period()
+
+    def _tune_maintenance_period(self) -> None:
+        """Stretch the maintenance period while the overlay is stable.
+
+        The paper's future-work knob: "As the overlay stabilizes, the
+        opportunity for improvement diminishes.  The maintenance cycle r
+        can be increased accordingly to reduce maintenance overheads."
+        The period grows linearly with idle time, capped at
+        ``maintenance_period_max``; any link change snaps it back (see
+        :meth:`record_link_change`).
+        """
+        cfg = self.config
+        idle = self.sim.now - self.last_link_change
+        if idle <= cfg.maintenance_idle_threshold:
+            return
+        stretch = 1.0 + (idle - cfg.maintenance_idle_threshold) / cfg.maintenance_idle_threshold
+        period = min(cfg.maintenance_period_max, cfg.maintenance_period * stretch)
+        self._maint_timer.set_period(period)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GoCastNode(id={self.node_id}, d_rand={self.overlay.d_rand}, "
+            f"d_near={self.overlay.d_near}, root={self.tree.root})"
+        )

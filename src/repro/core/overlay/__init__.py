@@ -1,0 +1,13 @@
+"""Overlay construction and adaptation (Section 2.2).
+
+:class:`~repro.core.overlay.state.NeighborTable` holds the node's
+random and nearby neighbors with per-neighbor telemetry;
+:class:`~repro.core.overlay.manager.OverlayManager` implements the join
+handshake, the random-neighbor maintenance of Section 2.2.2, and the
+nearby-neighbor maintenance of Section 2.2.3 with conditions C1–C4.
+"""
+
+from repro.core.overlay.state import NeighborState, NeighborTable
+from repro.core.overlay.manager import OverlayManager
+
+__all__ = ["NeighborState", "NeighborTable", "OverlayManager"]

@@ -1,0 +1,55 @@
+"""Node join protocol (Section 2.2.1).
+
+A joining node N knows one bootstrap contact P through an out-of-band
+method.  N fetches P's member list, adopts it as its own partial view,
+connects to ``C_rand`` random members, ranks the rest by *estimated*
+latency (triangular heuristic — measuring RTT to hundreds of members up
+front would be too expensive) and connects to the ``C_near`` best
+estimates.  The regular maintenance protocols take over from there,
+gradually replacing estimate-chosen links with measured low-latency
+ones.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import NEARBY, RANDOM, JoinReply, JoinRequest
+
+
+def start_join(node, bootstrap: int) -> None:
+    """Begin the join handshake against ``bootstrap``."""
+    if bootstrap == node.node_id:
+        raise ValueError("a node cannot bootstrap from itself")
+    node.view.add(bootstrap)
+    node.send(bootstrap, JoinRequest())
+
+
+def handle_join_request(node, src: int) -> None:
+    """Serve a joiner with our member list (us included)."""
+    members = node.view.members()
+    members.append(node.node_id)
+    node.view.add(src)
+    node.send(src, JoinReply(members=tuple(members)))
+
+
+def handle_join_reply(node, src: int, msg: JoinReply) -> None:
+    """Adopt the bootstrap's member list and open initial links."""
+    node.view.add_many(m for m in msg.members if m != node.node_id)
+
+    cfg = node.config
+    overlay = node.overlay
+
+    exclude = {node.node_id} | set(overlay.table.ids())
+    for _ in range(cfg.c_rand):
+        candidate = node.view.random_member(exclude)
+        if candidate is None:
+            break
+        overlay.request_link(candidate, RANDOM)
+        exclude.add(candidate)
+
+    members = [m for m in node.view.members() if m not in exclude]
+    if node.estimator is not None:
+        members = node.estimator.rank_candidates(node.node_id, members)
+    else:
+        node.rng.shuffle(members)
+    for candidate in members[: cfg.c_near]:
+        overlay.request_link(candidate, NEARBY)

@@ -1,0 +1,430 @@
+"""Overlay join and adaptation protocols (Sections 2.2.1–2.2.3).
+
+The manager owns the link-handshake state machine and the two periodic
+maintenance protocols:
+
+* **Random neighbors** (2.2.2): repair deficits from the member list;
+  shed surpluses either by *rewiring* two random neighbors to each other
+  (degree >= C_rand + 2) or by dropping a link to a random neighbor that
+  itself has spare random degree.  A node may legitimately rest at
+  C_rand + 1 (the paper proves the stable split is C_rand : C_rand + 1
+  at roughly 88% : 12%).
+* **Nearby neighbors** (2.2.3): one candidate RTT probe per cycle.
+  Replacement applies the paper's four conditions — C1 (only replace a
+  neighbor whose own nearby degree is not dangerously low, picking the
+  longest-RTT such neighbor), C2 (candidate's degree below
+  C_near + 5, checked at the candidate), C3 (the new link must beat the
+  candidate's current worst nearby link, checked at the candidate), and
+  C4 (the candidate must be at least 2x closer than the neighbor it
+  replaces).  Additions reuse C2/C3; drops reuse C1 and shed the
+  longest-RTT links first, starting only at C_near + 2 so degrees
+  stabilize at C_near or C_near + 1 (paper: ~70% : ~30%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.messages import (
+    NEARBY,
+    RANDOM,
+    LinkAccept,
+    LinkDrop,
+    LinkReject,
+    LinkRequest,
+    Ping,
+    Pong,
+    RewireRequest,
+)
+from repro.core.overlay.state import UNKNOWN_DEGREE, NeighborTable
+
+#: How long an unanswered link request or RTT probe stays pending.
+HANDSHAKE_TIMEOUT = 2.0
+
+
+class _PendingRequest:
+    __slots__ = ("kind", "is_replacement", "new_rtt", "timeout")
+
+    def __init__(self, kind: str, is_replacement: bool, new_rtt: float, timeout):
+        self.kind = kind
+        self.is_replacement = is_replacement
+        self.new_rtt = new_rtt
+        self.timeout = timeout
+
+
+class OverlayManager:
+    """Builds and adapts one node's view of the overlay."""
+
+    def __init__(self, node) -> None:
+        self.node = node
+        self.table = NeighborTable()
+        self._pending: Dict[int, _PendingRequest] = {}
+        self._probe_target: Optional[int] = None
+        self._probe_nonce = 0
+        self._probe_timeout = None
+        #: Candidates sorted by estimated latency, scanned once after
+        #: join; afterwards the scan falls back to round-robin over the
+        #: member view ("the estimated latencies are no longer used").
+        self._estimate_queue: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def _cfg(self):
+        return self.node.config
+
+    @property
+    def d_rand(self) -> int:
+        return self.table.d_rand
+
+    @property
+    def d_near(self) -> int:
+        return self.table.d_near
+
+    def neighbor_ids(self) -> List[int]:
+        return self.table.ids()
+
+    # ------------------------------------------------------------------
+    # Link establishment handshake
+    # ------------------------------------------------------------------
+    def request_link(
+        self,
+        peer: int,
+        kind: str,
+        is_replacement: bool = False,
+        new_rtt: float = 0.0,
+    ) -> bool:
+        """Ask ``peer`` to become a neighbor; returns False if not sent."""
+        node = self.node
+        if peer == node.node_id or peer in self.table or peer in self._pending:
+            return False
+        timeout = node.sim.schedule(HANDSHAKE_TIMEOUT, self._expire_pending, peer)
+        self._pending[peer] = _PendingRequest(kind, is_replacement, new_rtt, timeout)
+        node.send(
+            peer,
+            LinkRequest(
+                kind=kind,
+                nearby_degree=self.d_near,
+                random_degree=self.d_rand,
+            ),
+        )
+        return True
+
+    def _expire_pending(self, peer: int) -> None:
+        pending = self._pending.get(peer)
+        if pending is not None and pending.timeout is not None:
+            self._pending.pop(peer, None)
+
+    def on_link_request(self, src: int, msg: LinkRequest) -> None:
+        node = self.node
+        node.view.add(src)
+        if src in self.table:
+            # Duplicate request; confirm the existing link.
+            node.send(src, LinkAccept(self.table.get(src).kind, self.d_near, self.d_rand))
+            return
+        if src in self._pending:
+            # Crossed requests (possibly with different kinds): the
+            # lower node id's request wins so both ends agree on the
+            # link's kind.
+            if node.node_id < src:
+                return  # ours is in flight; the peer yields to it
+            pending = self._pending.pop(src)
+            if pending.timeout is not None:
+                pending.timeout.cancel()
+
+        cfg = self._cfg
+        if msg.kind == RANDOM:
+            if self.d_rand >= cfg.c_rand + cfg.degree_slack:
+                node.send(src, LinkReject(msg.kind, "random-degree-full"))
+                return
+            rtt = node.measure_rtt(src)
+        else:
+            # C2: our nearby degree must not be excessive.
+            if self.d_near >= cfg.c_near + cfg.degree_slack:
+                node.send(src, LinkReject(msg.kind, "C2"))
+                return
+            rtt = node.measure_rtt(src)
+            # C3: if we already have enough nearby neighbors, the new
+            # link must be "no worse than the worst nearby link" we
+            # currently have (non-strict, per the Adding text in
+            # Section 2.2.3 — strict rejection would deadlock on ties).
+            if self.d_near >= cfg.c_near and rtt > self.table.max_nearby_rtt():
+                node.send(src, LinkReject(msg.kind, "C3"))
+                return
+
+        self._add_link(src, msg.kind, rtt)
+        state = self.table.get(src)
+        state.nearby_degree = msg.nearby_degree
+        state.random_degree = msg.random_degree
+        node.send(src, LinkAccept(msg.kind, self.d_near, self.d_rand))
+
+    def on_link_accept(self, src: int, msg: LinkAccept) -> None:
+        pending = self._pending.pop(src, None)
+        if pending is not None and pending.timeout is not None:
+            pending.timeout.cancel()
+        if src in self.table:
+            return
+        rtt = pending.new_rtt if (pending and pending.new_rtt > 0) else self.node.measure_rtt(src)
+        kind = pending.kind if pending else msg.kind
+        self._add_link(src, kind, rtt)
+        state = self.table.get(src)
+        state.nearby_degree = msg.nearby_degree
+        state.random_degree = msg.random_degree
+        if pending is not None and pending.is_replacement:
+            self._complete_replacement(src, rtt)
+
+    def on_link_reject(self, src: int, msg: LinkReject) -> None:
+        pending = self._pending.pop(src, None)
+        if pending is not None and pending.timeout is not None:
+            pending.timeout.cancel()
+
+    def on_link_drop(self, src: int, msg: LinkDrop) -> None:
+        self._remove_link(src, notify=False)
+
+    def on_rewire_request(self, src: int, msg: RewireRequest) -> None:
+        target = msg.target
+        if target != self.node.node_id and target not in self.table:
+            self.request_link(target, RANDOM)
+
+    def on_peer_failed(self, peer: int) -> None:
+        """A send to ``peer`` failed: treat the peer as crashed."""
+        pending = self._pending.pop(peer, None)
+        if pending is not None and pending.timeout is not None:
+            pending.timeout.cancel()
+        if self._probe_target == peer:
+            self._clear_probe()
+        self.node.view.remove(peer)
+        self._remove_link(peer, notify=False)
+
+    def _add_link(self, peer: int, kind: str, rtt: float) -> None:
+        node = self.node
+        self.table.add(peer, kind, rtt, node.sim.now)
+        node.record_link_change(kind, "add")
+        node.on_neighbor_added(peer)
+        node.degrees_changed()
+
+    def _remove_link(self, peer: int, notify: bool) -> bool:
+        state = self.table.remove(peer)
+        if state is None:
+            return False
+        node = self.node
+        if notify:
+            node.send(peer, LinkDrop(state.kind))
+        node.record_link_change(state.kind, "drop")
+        node.on_neighbor_removed(peer)
+        node.degrees_changed()
+        return True
+
+    def drop_link(self, peer: int) -> bool:
+        """Deliberately close the link to ``peer`` (with notification)."""
+        return self._remove_link(peer, notify=True)
+
+    def force_link(self, peer: int, kind: str, rtt: float) -> None:
+        """Install a link without the handshake (experiment bootstrap)."""
+        if peer in self.table:
+            return
+        self._add_link(peer, kind, rtt)
+
+    # ------------------------------------------------------------------
+    # Random-neighbor maintenance (Section 2.2.2)
+    # ------------------------------------------------------------------
+    def evict_silent_neighbors(self) -> None:
+        """Drop neighbors that have been silent past the timeout.
+
+        Backstop for the TCP-reset detector: a peer that crashed while
+        we had nothing to send it is still discovered, because healthy
+        links carry keepalive gossips every ``keepalive_interval``.
+        """
+        timeout = self._cfg.neighbor_timeout
+        if timeout <= 0:
+            return
+        now = self.node.sim.now
+        for peer in self.table.ids():
+            state = self.table.get(peer)
+            if state is not None and now - state.last_heard > timeout:
+                self.on_peer_failed(peer)
+
+    def maintain_random(self) -> None:
+        cfg = self._cfg
+        d = self.d_rand
+        if d < cfg.c_rand:
+            self._repair_random_deficit()
+        elif d >= cfg.c_rand + 2:
+            self._rewire_random_surplus()
+        elif d == cfg.c_rand + 1:
+            self._shed_one_random()
+        # d == c_rand: nothing to do.
+
+    def _repair_random_deficit(self) -> None:
+        node = self.node
+        exclude = set(self.table.ids()) | set(self._pending) | {node.node_id}
+        candidate = node.view.random_member(exclude)
+        if candidate is not None:
+            self.request_link(candidate, RANDOM)
+
+    def _rewire_random_surplus(self) -> None:
+        """Operation 1: ask Y to link to Z, then drop our links to both."""
+        node = self.node
+        randoms = self.table.random_neighbors()
+        if len(randoms) < 2:
+            return
+        y, z = node.rng.sample(randoms, 2)
+        node.send(y, RewireRequest(target=z))
+        self.drop_link(y)
+        self.drop_link(z)
+
+    def _shed_one_random(self) -> None:
+        """Operation 2: drop a link to a random neighbor with surplus."""
+        cfg = self._cfg
+        for peer in self.table.random_neighbors():
+            state = self.table.get(peer)
+            if state.random_degree > cfg.c_rand:
+                self.drop_link(peer)
+                return
+        # No neighbor has surplus: rest at C_rand + 1 (paper's stable state).
+
+    # ------------------------------------------------------------------
+    # Nearby-neighbor maintenance (Section 2.2.3)
+    # ------------------------------------------------------------------
+    def maintain_nearby(self) -> None:
+        cfg = self._cfg
+        d = self.d_near
+        if d >= cfg.c_near + cfg.drop_threshold_slack:
+            self._drop_excess_nearby()
+        elif d < cfg.c_near:
+            self._try_add_nearby()
+        else:
+            self._try_replace_nearby()
+
+    def _c1_bound(self) -> int:
+        return self._cfg.c_near - self._cfg.c1_slack
+
+    def _replaceable(self, exclude: Optional[int] = None) -> List[Tuple[float, int]]:
+        """Nearby neighbors eligible under C1, as (rtt, id) pairs.
+
+        UNKNOWN_DEGREE (-1) fails the bound naturally, so neighbors that
+        have not yet reported a degree are conservatively protected.
+        """
+        bound = self._c1_bound()
+        out = []
+        for peer in self.table.nearby_neighbors():
+            if peer == exclude:
+                continue
+            state = self.table.get(peer)
+            if state.nearby_degree >= bound:
+                out.append((state.rtt, peer))
+        return out
+
+    def _drop_excess_nearby(self) -> None:
+        cfg = self._cfg
+        while self.d_near > cfg.c_near:
+            eligible = self._replaceable()
+            if not eligible:
+                return
+            _, victim = max(eligible)
+            self.drop_link(victim)
+
+    def _try_add_nearby(self) -> None:
+        candidate = self._next_candidate()
+        if candidate is not None:
+            # C2/C3 are evaluated at the candidate when it receives the
+            # request; at most one addition is attempted per cycle.
+            self.request_link(candidate, NEARBY)
+
+    def _try_replace_nearby(self) -> None:
+        if self._probe_target is not None:
+            return
+        if not self._replaceable():
+            return
+        candidate = self._next_candidate()
+        if candidate is None:
+            return
+        node = self.node
+        self._probe_target = candidate
+        self._probe_nonce += 1
+        self._probe_timeout = node.sim.schedule(HANDSHAKE_TIMEOUT, self._expire_probe)
+        node.send(candidate, Ping(self._probe_nonce, node.sim.now), reliable=False)
+
+    def _expire_probe(self) -> None:
+        self._probe_target = None
+        self._probe_timeout = None
+
+    def _clear_probe(self) -> None:
+        if self._probe_timeout is not None:
+            self._probe_timeout.cancel()
+        self._probe_target = None
+        self._probe_timeout = None
+
+    def on_ping(self, src: int, msg: Ping) -> None:
+        self.node.send(src, Pong(msg.nonce, msg.sent_at), reliable=False)
+
+    def on_pong(self, src: int, msg: Pong) -> None:
+        if src != self._probe_target or msg.nonce != self._probe_nonce:
+            return
+        rtt = self.node.sim.now - msg.sent_at
+        self._clear_probe()
+        self._evaluate_replacement(src, rtt)
+
+    def _evaluate_replacement(self, candidate: int, rtt: float) -> None:
+        if candidate in self.table or candidate in self._pending:
+            return
+        cfg = self._cfg
+        eligible = self._replaceable()
+        if not eligible:
+            return
+        # C1 picks the longest-latency eligible neighbor as the victim.
+        worst_rtt, _ = max(eligible)
+        # C4: the candidate must be significantly (2x) better.
+        if rtt > cfg.replace_rtt_factor * worst_rtt:
+            return
+        self.request_link(candidate, NEARBY, is_replacement=True, new_rtt=rtt)
+
+    def _complete_replacement(self, new_peer: int, new_rtt: float) -> None:
+        """After the candidate accepted, drop the neighbor it replaces.
+
+        Re-evaluated with fresh state (the old victim may itself have
+        been dropped while the handshake was in flight); if no neighbor
+        still satisfies C1 + C4 the link is simply kept and the regular
+        drop protocol restores the degree bound later.
+        """
+        cfg = self._cfg
+        eligible = [
+            (link_rtt, peer)
+            for link_rtt, peer in self._replaceable(exclude=new_peer)
+            if new_rtt <= cfg.replace_rtt_factor * link_rtt
+        ]
+        if eligible:
+            _, victim = max(eligible)
+            self.drop_link(victim)
+
+    # ------------------------------------------------------------------
+    # Candidate scanning
+    # ------------------------------------------------------------------
+    def _next_candidate(self) -> Optional[int]:
+        """Next nearby-neighbor candidate from the member list.
+
+        First pass: members in increasing *estimated* latency (triangular
+        heuristic).  Afterwards: plain round-robin over the view.
+        """
+        node = self.node
+        skip = set(self.table.ids()) | set(self._pending) | {node.node_id}
+        if self._estimate_queue is None and node.estimator is not None:
+            members = node.view.members()
+            ranked = node.estimator.rank_candidates(node.node_id, members)
+            ranked.reverse()  # pop() then yields the lowest-estimate first
+            self._estimate_queue = ranked
+        if self._estimate_queue:
+            while self._estimate_queue:
+                candidate = self._estimate_queue.pop()
+                if candidate not in skip:
+                    return candidate
+        return node.view.round_robin_next(exclude=skip)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close_all_links(self) -> None:
+        """Gracefully notify all neighbors on leave."""
+        for peer in list(self.table.ids()):
+            self.drop_link(peer)

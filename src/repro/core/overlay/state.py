@@ -1,0 +1,112 @@
+"""Per-neighbor state and the neighbor table.
+
+Every overlay link is either *random* or *nearby* (its kind is agreed at
+establishment and symmetric).  Alongside the measured link RTT, the
+table caches what the neighbor last told us about itself — its degrees
+(needed by conditions C1/C2 of Section 2.2.3) and its distance to the
+tree root (used for fast local tree repair) — refreshed by
+``DegreeUpdate`` messages and gossip piggybacks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional
+
+from repro.core.messages import LINK_KINDS, NEARBY, RANDOM
+
+#: Sentinel for "the neighbor has not reported this yet".
+UNKNOWN_DEGREE = -1
+
+
+@dataclasses.dataclass
+class NeighborState:
+    """What a node knows about one of its overlay neighbors."""
+
+    kind: str
+    rtt: float
+    nearby_degree: int = UNKNOWN_DEGREE
+    random_degree: int = UNKNOWN_DEGREE
+    dist_to_root: float = math.inf
+    root_epoch: int = -1
+    last_sent: float = 0.0
+    last_heard: float = 0.0
+    is_tree_child: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in LINK_KINDS:
+            raise ValueError(f"unknown link kind {self.kind!r}")
+        if self.rtt < 0:
+            raise ValueError("rtt must be non-negative")
+
+    @property
+    def one_way(self) -> float:
+        """Estimated one-way latency of this link."""
+        return self.rtt / 2.0
+
+
+class NeighborTable:
+    """A node's current overlay neighbors, indexed by node id."""
+
+    def __init__(self) -> None:
+        self._neighbors: Dict[int, NeighborState] = {}
+
+    def __len__(self) -> int:
+        return len(self._neighbors)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._neighbors
+
+    def get(self, node: int) -> Optional[NeighborState]:
+        return self._neighbors.get(node)
+
+    def items(self):
+        return self._neighbors.items()
+
+    def ids(self) -> List[int]:
+        return list(self._neighbors)
+
+    def add(self, node: int, kind: str, rtt: float, now: float) -> NeighborState:
+        if node in self._neighbors:
+            raise ValueError(f"node {node} is already a neighbor")
+        state = NeighborState(kind=kind, rtt=rtt, last_sent=now, last_heard=now)
+        self._neighbors[node] = state
+        return state
+
+    def remove(self, node: int) -> Optional[NeighborState]:
+        return self._neighbors.pop(node, None)
+
+    # ------------------------------------------------------------------
+    # Degree accessors (the D_rand / D_near of the paper)
+    # ------------------------------------------------------------------
+    @property
+    def d_rand(self) -> int:
+        return sum(1 for s in self._neighbors.values() if s.kind == RANDOM)
+
+    @property
+    def d_near(self) -> int:
+        return sum(1 for s in self._neighbors.values() if s.kind == NEARBY)
+
+    @property
+    def degree(self) -> int:
+        return len(self._neighbors)
+
+    def of_kind(self, kind: str) -> List[int]:
+        return [n for n, s in self._neighbors.items() if s.kind == kind]
+
+    def random_neighbors(self) -> List[int]:
+        return self.of_kind(RANDOM)
+
+    def nearby_neighbors(self) -> List[int]:
+        return self.of_kind(NEARBY)
+
+    def max_nearby_rtt(self) -> float:
+        """max_nearby_RTT of condition C3; 0.0 with no nearby neighbors."""
+        rtts = [s.rtt for s in self._neighbors.values() if s.kind == NEARBY]
+        return max(rtts) if rtts else 0.0
+
+    def mean_link_rtt(self) -> float:
+        if not self._neighbors:
+            return 0.0
+        return sum(s.rtt for s in self._neighbors.values()) / len(self._neighbors)

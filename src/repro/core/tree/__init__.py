@@ -1,0 +1,15 @@
+"""Tree construction and maintenance (Section 2.3).
+
+The single shared dissemination tree is embedded in the overlay: every
+tree link is an overlay link, and tree links lie on the (latency)
+shortest paths between the conceptual root and all other nodes.  The
+algorithm is DVMRP-in-spirit: the root's periodic heartbeat, flooded on
+*every* overlay link, doubles as a distance-vector wave from which each
+node picks its lowest-latency parent.  Epoch-numbered root claims give
+crash failover ("if the root fails, one of its neighbors will take over
+its role").
+"""
+
+from repro.core.tree.manager import TreeManager
+
+__all__ = ["TreeManager"]

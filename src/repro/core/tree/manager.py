@@ -1,0 +1,360 @@
+"""The shared-tree state machine.
+
+Parent selection.  Each heartbeat flood is one distance-vector wave:
+a node's distance for wave ``seq`` is the minimum over neighbors of
+(neighbor's advertised distance + link one-way latency), and the node
+re-floods whenever its distance improves, so the wave converges to
+shortest paths within one flood.  The first copy of a wave typically
+arrives over the lowest-latency path, so convergence is fast and
+re-floods are rare once the overlay stabilizes.  A node keeps its
+parent only while the parent lies on (within ``tree_switch_threshold``
+of) its best path — a strict invariant; see
+:meth:`TreeManager._consider_parent_switch` for why any real slack
+would let co-located clusters sustain parent cycles.
+
+Failover.  Roots are ordered by ``(epoch, -node_id)``: a higher epoch
+always wins, ties go to the smaller node id.  A node that misses
+heartbeats for ``heartbeat_timeout`` claims the root role with
+``epoch + 1`` — immediately if it was an overlay neighbor of the dead
+root (the paper's rule), after twice the timeout otherwise (so a
+partition that contains no ex-neighbor still elects a root).  Competing
+claims resolve through the precedence rule as heartbeats flood.
+
+Repair.  When a parent link disappears, the node immediately re-attaches
+to the overlay neighbor advertising the best root distance (neighbors
+piggyback their distance on gossips and degree updates), falling back to
+the next heartbeat wave when nothing is known.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Set
+
+from repro.core.messages import TreeAttach, TreeDetach, TreeHeartbeat
+from repro.sim.timers import PeriodicTimer
+
+
+def root_precedes(epoch_a: int, root_a: int, epoch_b: int, root_b: int) -> bool:
+    """True if claim A takes precedence over claim B."""
+    if epoch_a != epoch_b:
+        return epoch_a > epoch_b
+    return root_a < root_b
+
+
+class TreeManager:
+    """One node's view of the shared dissemination tree."""
+
+    def __init__(self, node) -> None:
+        self.node = node
+        self.epoch = -1
+        self.root: Optional[int] = None
+        self.parent: Optional[int] = None
+        self.children: Set[int] = set()
+        self.dist = math.inf
+        self.last_heartbeat = 0.0
+        self._wave_seq = -1
+        self._wave_best_src: Optional[int] = None
+        #: Distance via the current parent as confirmed *in the current
+        #: wave* (None until the parent's copy of the wave arrives).
+        self._wave_parent_cand: Optional[float] = None
+        self._hb_seq = 0
+        self._hb_timer: Optional[PeriodicTimer] = None
+        #: True when our overlay link to the current root vanished —
+        #: preserves "I was the root's neighbor" for the failover fast
+        #: path even after failure detection removed the link.
+        self._lost_root_link = False
+        #: Counts parent switches, for adaptation experiments.
+        self.parent_switches = 0
+
+    # ------------------------------------------------------------------
+    # Role management
+    # ------------------------------------------------------------------
+    @property
+    def is_root(self) -> bool:
+        return self.root == self.node.node_id
+
+    def become_root(self, epoch: Optional[int] = None) -> None:
+        """Assume the root role (initial designation or failover claim)."""
+        node = self.node
+        self.epoch = self.epoch + 1 if epoch is None else epoch
+        self.root = node.node_id
+        self.dist = 0.0
+        self._lost_root_link = False
+        self._wave_parent_cand = None
+        if self.parent is not None:
+            self._send_detach(self.parent)
+            self.parent = None
+        self.last_heartbeat = node.sim.now
+        if self._hb_timer is None:
+            self._hb_timer = PeriodicTimer(
+                node.sim, node.config.heartbeat_period, self._emit_heartbeat
+            )
+        self._hb_timer.start(phase=0.0)
+
+    def _resign_root(self) -> None:
+        if self._hb_timer is not None:
+            self._hb_timer.stop()
+
+    def stop(self) -> None:
+        self._resign_root()
+
+    def _emit_heartbeat(self) -> None:
+        if not self.is_root:
+            self._resign_root()
+            return
+        self._hb_seq += 1
+        self.last_heartbeat = self.node.sim.now
+        beat = TreeHeartbeat(self.epoch, self.root, self._hb_seq, 0.0)
+        self._flood(beat, exclude=None)
+
+    def _flood(self, beat: TreeHeartbeat, exclude: Optional[int]) -> None:
+        for peer in self.node.overlay.table.ids():
+            if peer != exclude:
+                self.node.send(peer, beat)
+
+    # ------------------------------------------------------------------
+    # Heartbeat processing (distance-vector wave)
+    # ------------------------------------------------------------------
+    def on_heartbeat(self, src: int, msg: TreeHeartbeat) -> None:
+        if self.node.frozen:
+            return
+        state = self.node.overlay.table.get(src)
+        if state is None:
+            # Race with a link teardown; distances over a vanished link
+            # are meaningless.
+            return
+
+        if self.root is not None and root_precedes(
+            self.epoch, self.root, msg.epoch, msg.root
+        ):
+            # The sender follows a stale root; teach it ours directly.
+            self.node.send(
+                src, TreeHeartbeat(self.epoch, self.root, self._wave_seq, self.dist)
+            )
+            return
+
+        if self.root is None or root_precedes(msg.epoch, msg.root, self.epoch, self.root):
+            self._adopt_root(msg.epoch, msg.root)
+
+        self.last_heartbeat = self.node.sim.now
+        # The wave doubles as fresh distance info about the sender,
+        # which local repair uses when a parent link later vanishes.
+        state.dist_to_root = msg.dist
+        state.root_epoch = msg.epoch
+
+        if self.is_root:
+            # An echo of our own wave: the root's distance is 0 by
+            # definition and it never takes a parent.
+            return
+        if msg.seq > self._wave_seq:
+            # Close out the previous wave first: a parent that never
+            # confirmed during a whole wave is unreachable from the root
+            # (every live node floods at least once per wave) — abandon
+            # it for the best source that wave produced.
+            if (
+                self._wave_seq >= 0
+                and self.parent is not None
+                and self._wave_parent_cand is None
+                and self._wave_best_src is not None
+                and self._wave_best_src != self.parent
+            ):
+                self._switch_to(self._wave_best_src)
+            self._wave_seq = msg.seq
+            self.dist = math.inf
+            self._wave_best_src = None
+            self._wave_parent_cand = None
+        elif msg.seq < self._wave_seq:
+            return
+
+        cand = msg.dist + state.one_way
+        if src == self.parent:
+            self._wave_parent_cand = cand
+        if cand < self.dist:
+            self.dist = cand
+            self._wave_best_src = src
+            self._flood(
+                TreeHeartbeat(msg.epoch, msg.root, msg.seq, self.dist), exclude=src
+            )
+        self._consider_parent_switch()
+
+    def _adopt_root(self, epoch: int, root: int) -> None:
+        was_root = self.is_root
+        self.epoch = epoch
+        self.root = root
+        self._lost_root_link = False
+        self._wave_seq = -1
+        self.dist = math.inf
+        self._wave_parent_cand = None
+        self._wave_best_src = None
+        if was_root:
+            self._resign_root()
+
+    def _consider_parent_switch(self) -> None:
+        """Keep the parent only while it matches the best path.
+
+        The invariant that makes the parent graph a tree is: a node's
+        parent-candidate distance may exceed the node's best distance by
+        at most the (small) configured tolerance.  Any slack beyond a
+        tolerance of ~0 lets a tight low-latency cluster far from the
+        root sustain a parent *cycle* fed by outside wave arrivals —
+        the cycle condition is sum(intra-cluster latencies) <=
+        tolerance * sum(distances), easily met by co-located nodes — so
+        the default tolerance is exactly 0 and ties favour the current
+        parent.
+        """
+        best = self._wave_best_src
+        if best is None or best == self.parent:
+            return
+        if self.parent is None:
+            self._switch_to(best)
+            return
+        if self._wave_parent_cand is None:
+            # The parent's copy of this wave has not arrived yet; judge
+            # it when it does (or at wave close-out if it never does).
+            return
+        tolerance = self.node.config.tree_switch_threshold
+        if self._wave_parent_cand > self.dist * (1.0 + tolerance) + 1e-12:
+            self._switch_to(best)
+
+    def _switch_to(self, best: int) -> None:
+        if best in self.children:
+            # Switching toward a current child is legal — it is how
+            # parent cycles break: our TreeAttach makes the child yield
+            # its own parent pointer (see on_attach) — but the child
+            # must first stop being our child.
+            self.children.discard(best)
+            state = self.node.overlay.table.get(best)
+            if state is not None:
+                state.is_tree_child = False
+        self._set_parent(best)
+        self._wave_parent_cand = self.dist
+
+    def _set_parent(self, new_parent: Optional[int]) -> None:
+        if new_parent == self.parent:
+            return
+        old = self.parent
+        self.parent = new_parent
+        if old is not None:
+            self._send_detach(old)
+        if new_parent is not None:
+            self.parent_switches += 1
+            self.node.send(new_parent, TreeAttach())
+
+    def _send_detach(self, peer: int) -> None:
+        if peer in self.node.overlay.table:
+            self.node.send(peer, TreeDetach())
+
+    # ------------------------------------------------------------------
+    # Attach / detach bookkeeping
+    # ------------------------------------------------------------------
+    def on_attach(self, src: int) -> None:
+        state = self.node.overlay.table.get(src)
+        if state is None:
+            # Not (or no longer) an overlay neighbor: refuse the child.
+            self.node.send(src, TreeDetach())
+            return
+        if src == self.parent:
+            # Our parent adopted us as *its* parent: yield ours to break
+            # the two-cycle, then re-attach elsewhere.
+            self.parent = None
+            self._wave_parent_cand = None
+        self.children.add(src)
+        state.is_tree_child = True
+        if self.parent is None and not self.is_root:
+            self._repair_parent()
+
+    def on_detach(self, src: int) -> None:
+        self.children.discard(src)
+        state = self.node.overlay.table.get(src)
+        if state is not None:
+            state.is_tree_child = False
+        if src == self.parent:
+            # A parent refusing us (attach raced with a link drop).
+            self.parent = None
+            self._repair_parent()
+
+    # ------------------------------------------------------------------
+    # Overlay change hooks
+    # ------------------------------------------------------------------
+    def on_neighbor_removed(self, peer: int) -> None:
+        self.children.discard(peer)
+        if peer == self.root:
+            self._lost_root_link = True
+        if peer == self.parent:
+            self.parent = None
+            self._wave_parent_cand = None
+            self._repair_parent()
+
+    def on_neighbor_info(self, peer: int) -> None:
+        """A neighbor reported fresh root-distance info (piggyback)."""
+        if self.parent is None and not self.is_root and self.root is not None:
+            self._repair_parent()
+
+    def reconcile_child(self, peer: int, peer_parent: Optional[int]) -> None:
+        """Align our ``children`` set with the peer's parent pointer.
+
+        Crossing attach/detach messages (e.g. two nodes adopting each
+        other in the same wave, both yielding) can leave a stale child
+        entry on either side; the parent pointer the peer piggybacks on
+        its degree updates is the ground truth.
+        """
+        state = self.node.overlay.table.get(peer)
+        if peer_parent == self.node.node_id:
+            if peer not in self.children and peer != self.parent:
+                self.children.add(peer)
+                if state is not None:
+                    state.is_tree_child = True
+        elif peer in self.children:
+            self.children.discard(peer)
+            if state is not None:
+                state.is_tree_child = False
+
+    def _repair_parent(self) -> None:
+        """Re-attach via the neighbor advertising the best root distance."""
+        if self.is_root or self.node.frozen:
+            return
+        table = self.node.overlay.table
+        best_peer = None
+        best_dist = math.inf
+        for peer, state in table.items():
+            if state.root_epoch != self.epoch or state.is_tree_child:
+                continue
+            cand = state.dist_to_root + state.one_way
+            if cand < best_dist:
+                best_dist = cand
+                best_peer = peer
+        if best_peer is not None:
+            self.dist = best_dist
+            self._wave_parent_cand = best_dist
+            self._set_parent(best_peer)
+        # Otherwise stay detached; the next heartbeat wave re-attaches us.
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def check_root_liveness(self) -> None:
+        """Called from the maintenance tick; claims the root role on timeout."""
+        node = self.node
+        if self.is_root:
+            return
+        silent_for = node.sim.now - self.last_heartbeat
+        timeout = node.config.heartbeat_timeout
+        if silent_for <= timeout:
+            return
+        was_root_neighbor = self._lost_root_link or (
+            self.root is not None and self.root in node.overlay.table
+        )
+        if was_root_neighbor or silent_for > 2.0 * timeout:
+            self.become_root()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def tree_neighbors(self) -> List[int]:
+        """Current tree links (parent + children), restricted to live links."""
+        table = self.node.overlay.table
+        out = [c for c in self.children if c in table]
+        if self.parent is not None and self.parent in table and self.parent not in self.children:
+            out.append(self.parent)
+        return out

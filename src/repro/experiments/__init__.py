@@ -1,0 +1,26 @@
+"""Experiment harness: scenario configs, system builders, and one module
+per paper table/figure (see DESIGN.md's per-experiment index).
+
+Entry points:
+
+* :func:`repro.experiments.runner.run_delay_experiment` — one
+  delay-CDF run of any of the five protocols (Figures 3 and 4).
+* :class:`repro.experiments.system.GoCastSystem` — a fully wired GoCast
+  deployment for adaptation/structure experiments (Figures 5, 6, the
+  in-text numbers, and the ablations).
+* ``repro.experiments.fig1`` … ``fig6`` and the ``summary results``
+  modules — each regenerates one paper artifact and formats it as the
+  same rows/series the paper reports.
+"""
+
+from repro.experiments.scenarios import ScenarioConfig, scale_preset
+from repro.experiments.system import GoCastSystem
+from repro.experiments.runner import DelayResult, run_delay_experiment
+
+__all__ = [
+    "DelayResult",
+    "GoCastSystem",
+    "ScenarioConfig",
+    "run_delay_experiment",
+    "scale_preset",
+]

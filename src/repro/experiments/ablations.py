@@ -1,0 +1,151 @@
+"""Ablations of GoCast's adaptation design choices (Section 2.2.3).
+
+The paper motivates three deliberately non-obvious choices; each
+ablation runs the adaptation phase with the paper's setting and the
+rejected alternative and compares convergence cost (total link changes)
+and outcome quality (mean overlay-link latency, connectivity):
+
+* **C4 improvement factor** — adopt a candidate only if it is 2x closer
+  than the neighbor it replaces ("intended to avoid futile minor
+  adaptations").  Ablation: a greedy factor of ~1.0.
+* **Drop threshold** — start dropping nearby neighbors only at
+  C_near + 2.  Ablation: the aggressive C_near + 1, which the paper
+  says "increases the number of link changes by almost one third".
+* **C1 bound** — a neighbor may be replaced while its degree is at
+  least C_near - 1.  Ablation: the stricter C_near, which the paper
+  says produces "dramatically higher" link latencies because too few
+  neighbors qualify for replacement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.core.config import GoCastConfig
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import ScenarioConfig, scale_preset
+from repro.experiments.system import GoCastSystem
+
+
+@dataclasses.dataclass
+class VariantOutcome:
+    mean_link_latency: float
+    nearby_link_latency: float
+    total_link_changes: int
+    #: Link changes per second over the final third of the run — the
+    #: post-convergence churn ("takes longer to stabilize" shows here).
+    late_churn_rate: float
+    connected: bool
+    mean_degree: float
+
+
+@dataclasses.dataclass
+class AblationResult:
+    name: str
+    n_nodes: int
+    outcomes: Dict[str, VariantOutcome]
+
+    def format_table(self) -> str:
+        headers = [
+            "variant", "overlay (ms)", "nearby (ms)", "link changes",
+            "late churn (/s)", "connected", "mean degree",
+        ]
+        rows = [
+            (
+                label,
+                o.mean_link_latency * 1000,
+                o.nearby_link_latency * 1000,
+                o.total_link_changes,
+                o.late_churn_rate,
+                o.connected,
+                o.mean_degree,
+            )
+            for label, o in self.outcomes.items()
+        ]
+        return f"Ablation: {self.name} ({self.n_nodes} nodes)\n" + format_table(
+            headers, rows
+        )
+
+
+def _run_variant(config: GoCastConfig, n_nodes: int, adapt_time: float, seed: int) -> VariantOutcome:
+    scenario = ScenarioConfig(
+        protocol="gocast", n_nodes=n_nodes, adapt_time=adapt_time,
+        gocast=config, seed=seed,
+    )
+    system = GoCastSystem(scenario)
+    system.run_adaptation()
+    snap = system.snapshot()
+    times, _ = system.events.series_arrays("link_changes")
+    late_start = 2.0 * adapt_time / 3.0
+    late_window = adapt_time - late_start
+    late_changes = float((times > late_start).sum()) / 2.0 if len(times) else 0.0
+    return VariantOutcome(
+        mean_link_latency=snap.mean_link_latency(),
+        nearby_link_latency=snap.mean_link_latency("nearby"),
+        total_link_changes=len(times) // 2,  # two endpoints per change
+        late_churn_rate=late_changes / late_window,
+        connected=snap.is_connected(),
+        mean_degree=snap.mean_degree(),
+    )
+
+
+def _run_pair(
+    name: str,
+    paper_cfg: GoCastConfig,
+    ablated_cfg: GoCastConfig,
+    labels,
+    n_nodes: Optional[int],
+    adapt_time: Optional[float],
+    seed: int,
+) -> AblationResult:
+    default_n, default_adapt, _ = scale_preset()
+    n_nodes = default_n if n_nodes is None else n_nodes
+    adapt_time = default_adapt if adapt_time is None else adapt_time
+    outcomes = {
+        labels[0]: _run_variant(paper_cfg, n_nodes, adapt_time, seed),
+        labels[1]: _run_variant(ablated_cfg, n_nodes, adapt_time, seed),
+    }
+    return AblationResult(name=name, n_nodes=n_nodes, outcomes=outcomes)
+
+
+def run_c4_factor(
+    n_nodes: Optional[int] = None, adapt_time: Optional[float] = None, seed: int = 1
+) -> AblationResult:
+    return _run_pair(
+        "C4 improvement factor (0.5 vs greedy 0.99)",
+        GoCastConfig(replace_rtt_factor=0.5),
+        GoCastConfig(replace_rtt_factor=0.99),
+        ("paper (0.5)", "greedy (0.99)"),
+        n_nodes,
+        adapt_time,
+        seed,
+    )
+
+
+def run_drop_threshold(
+    n_nodes: Optional[int] = None, adapt_time: Optional[float] = None, seed: int = 1
+) -> AblationResult:
+    return _run_pair(
+        "nearby drop threshold (C_near+2 vs aggressive C_near+1)",
+        GoCastConfig(drop_threshold_slack=2),
+        GoCastConfig(drop_threshold_slack=1),
+        ("paper (+2)", "aggressive (+1)"),
+        n_nodes,
+        adapt_time,
+        seed,
+    )
+
+
+def run_c1_bound(
+    n_nodes: Optional[int] = None, adapt_time: Optional[float] = None, seed: int = 1
+) -> AblationResult:
+    return _run_pair(
+        "C1 replaceability bound (C_near-1 vs strict C_near)",
+        GoCastConfig(c1_slack=1),
+        GoCastConfig(c1_slack=0),
+        ("paper (C_near-1)", "strict (C_near)"),
+        n_nodes,
+        adapt_time,
+        seed,
+    )

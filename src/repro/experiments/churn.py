@@ -1,0 +1,161 @@
+"""Extension: sustained churn (continuous joins and leaves).
+
+The paper stresses GoCast with a one-shot crash wave; long-running
+deployments instead see *continuous* membership churn.  This experiment
+runs the full join protocol (Section 2.2.1) and graceful leaves at a
+configurable rate while a workload flows, and reports the two things a
+churned deployment cares about:
+
+* delivery reliability to members that were present the whole time, and
+* overlay health at the end (connectivity, degree concentration).
+
+GoCast's self-healing (deficit repair, tree re-parenting, partial-view
+refresh) must keep both intact at any churn rate the maintenance period
+can keep up with.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.core.node import GoCastNode
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import ScenarioConfig, scale_preset
+from repro.experiments.system import GoCastSystem
+from repro.net.king import SyntheticKingModel
+from repro.sim.failures import ChurnProcess
+
+
+@dataclasses.dataclass
+class ChurnOutcome:
+    churn_interval: float
+    events: int
+    veteran_reliability: float
+    veteran_mean_delay: float
+    connected: bool
+    mean_degree: float
+
+
+@dataclasses.dataclass
+class ChurnResult:
+    n_nodes: int
+    outcomes: List[ChurnOutcome]
+
+    def format_table(self) -> str:
+        rows = [
+            (
+                o.churn_interval,
+                o.events,
+                o.veteran_reliability,
+                o.veteran_mean_delay,
+                o.connected,
+                o.mean_degree,
+            )
+            for o in self.outcomes
+        ]
+        return (
+            f"Churn extension — continuous join/leave ({self.n_nodes} nodes)\n"
+            + format_table(
+                [
+                    "leave+join every (s)",
+                    "events",
+                    "veteran reliability",
+                    "veteran mean delay (s)",
+                    "connected",
+                    "mean degree",
+                ],
+                rows,
+            )
+        )
+
+
+def run(
+    churn_intervals: Sequence[float] = (5.0, 2.0, 1.0),
+    n_nodes: Optional[int] = None,
+    adapt_time: Optional[float] = None,
+    workload_time: float = 20.0,
+    message_rate: float = 10.0,
+    seed: int = 1,
+) -> ChurnResult:
+    default_n, default_adapt, _ = scale_preset()
+    n_nodes = default_n if n_nodes is None else n_nodes
+    adapt_time = default_adapt if adapt_time is None else adapt_time
+
+    outcomes: List[ChurnOutcome] = []
+    for interval in churn_intervals:
+        outcomes.append(
+            _run_one(interval, n_nodes, adapt_time, workload_time, message_rate, seed)
+        )
+    return ChurnResult(n_nodes=n_nodes, outcomes=outcomes)
+
+
+def _run_one(
+    interval: float,
+    n_nodes: int,
+    adapt_time: float,
+    workload_time: float,
+    message_rate: float,
+    seed: int,
+) -> ChurnOutcome:
+    n_messages = max(1, int(workload_time * message_rate))
+    scenario = ScenarioConfig(
+        protocol="gocast",
+        n_nodes=n_nodes,
+        adapt_time=adapt_time,
+        n_messages=n_messages,
+        message_rate=message_rate,
+        seed=seed,
+    )
+    # Reserve id space for joiners.
+    latency = SyntheticKingModel(2 * n_nodes, seed=seed)
+    system = GoCastSystem(scenario, latency=latency)
+    system.run_adaptation()
+
+    next_id = [n_nodes]
+    churn_rng = system.rngs.stream("churn")
+
+    def one_leave() -> None:
+        live = sorted(system.live_node_ids())
+        candidates = [n for n in live if n != system.root_id]
+        if candidates:
+            system.nodes[candidates[churn_rng.randrange(len(candidates))]].leave()
+
+    def one_join() -> None:
+        node_id = next_id[0]
+        if node_id >= latency.size:
+            return
+        node = GoCastNode(
+            node_id,
+            system.sim,
+            system.network,
+            config=system.config,
+            rng=system.rngs.node_stream(node_id),
+            estimator=system.estimator,
+            tracer=system.tracer,
+            events=system.events,
+        )
+        system.nodes[node_id] = node
+        node.start()
+        live = sorted(system.live_node_ids() - {node_id})
+        node.join(live[churn_rng.randrange(len(live))])
+        next_id[0] += 1
+
+    churn = ChurnProcess(system.sim, interval, one_leave, one_join)
+    churn.start()
+    end = system.schedule_workload(system.sim.now + 0.5)
+    system.run_until(end + 20.0)
+    churn.stop()
+    system.run_until(system.sim.now + 10.0)
+
+    live = sorted(system.live_node_ids())
+    veterans = [n for n in live if n < n_nodes]
+    snap = system.snapshot()
+    return ChurnOutcome(
+        churn_interval=interval,
+        events=churn.events,
+        veteran_reliability=system.tracer.reliability(veterans),
+        veteran_mean_delay=system.tracer.mean_delay(veterans),
+        connected=snap.is_connected(),
+        mean_degree=snap.mean_degree(),
+    )

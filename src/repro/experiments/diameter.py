@@ -1,0 +1,56 @@
+"""Summary result (3): overlay diameter vs system size.
+
+"The overlay is scalable; the diameter of the overlay grows from 6 hops
+to 10 hops when the system size increases from 256 nodes to 8,192
+nodes." — logarithmic growth, as expected of a degree-6 overlay with one
+random link per node (an expander-like structure).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.system import GoCastSystem
+
+
+@dataclasses.dataclass
+class DiameterResult:
+    sizes: List[int]
+    diameters: List[int]
+
+    def growth_is_logarithmic(self) -> bool:
+        """Diameter growth per doubling should stay ~constant and small."""
+        if len(self.sizes) < 2:
+            return True
+        increments = []
+        for i in range(1, len(self.sizes)):
+            doublings = math.log2(self.sizes[i] / self.sizes[i - 1])
+            increments.append((self.diameters[i] - self.diameters[i - 1]) / doublings)
+        return all(inc <= 2.5 for inc in increments)
+
+    def format_table(self) -> str:
+        rows = list(zip(self.sizes, self.diameters))
+        return (
+            "R3 — overlay diameter vs size (paper: 6 hops @256 -> 10 hops "
+            "@8192)\n" + format_table(["nodes", "diameter (hops)"], rows)
+        )
+
+
+def run(
+    sizes: Sequence[int] = (64, 128, 256, 512),
+    adapt_time: Optional[float] = 60.0,
+    seed: int = 1,
+) -> DiameterResult:
+    diameters: List[int] = []
+    for n in sizes:
+        scenario = ScenarioConfig(
+            protocol="gocast", n_nodes=n, adapt_time=adapt_time, seed=seed
+        )
+        system = GoCastSystem(scenario)
+        system.run_adaptation()
+        diameters.append(system.snapshot().diameter_hops())
+    return DiameterResult(sizes=list(sizes), diameters=diameters)

@@ -1,0 +1,165 @@
+"""Extension experiments beyond the paper's figures.
+
+* **Footnote 1** — "[low reliability at small fanouts] can be improved
+  by combining both push and pull in gossip disseminations": reliability
+  of push-only vs push-pull gossip across small fanouts, plus the idle
+  overhead both incur (the footnote's stated challenge).
+* **Constant per-node overhead** — Section 2's scalability claim:
+  "Regardless of the size of the system, [GoCast] incurs a constant low
+  overhead on each node.  ...the maintenance cost and gossip overhead at
+  a node is independent of the size of the system."  We measure control
+  messages per node per second across system sizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import ScenarioConfig, scale_preset
+from repro.experiments.system import GoCastSystem
+from repro.net.king import SyntheticKingModel
+from repro.protocols.push_gossip import PushGossipNode
+from repro.protocols.pushpull_gossip import PushPullGossipNode
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import DeliveryTracer
+from repro.sim.transport import Network
+
+
+# ----------------------------------------------------------------------
+# Footnote 1: push vs push-pull
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class PushPullResult:
+    n_nodes: int
+    fanouts: List[int]
+    #: (protocol, fanout) -> reliability
+    reliability: Dict[tuple, float]
+    #: protocol -> messages sent during a 30 s idle tail
+    idle_traffic: Dict[str, int]
+
+    def format_table(self) -> str:
+        rows = [
+            (
+                f,
+                self.reliability[("push", f)],
+                self.reliability[("push-pull", f)],
+            )
+            for f in self.fanouts
+        ]
+        table = format_table(["fanout", "push reliability", "push-pull reliability"], rows)
+        return (
+            f"Footnote 1 — push vs push-pull gossip ({self.n_nodes} nodes)\n"
+            f"{table}\nidle-tail traffic: push={self.idle_traffic['push']}, "
+            f"push-pull={self.idle_traffic['push-pull']} messages"
+        )
+
+
+def run_pushpull(
+    fanouts: Sequence[int] = (2, 3, 5),
+    n_nodes: Optional[int] = None,
+    n_messages: int = 20,
+    seed: int = 2,
+) -> PushPullResult:
+    default_n, _adapt, _msgs = scale_preset()
+    n_nodes = default_n if n_nodes is None else n_nodes
+
+    reliability: Dict[tuple, float] = {}
+    idle_traffic: Dict[str, int] = {}
+    for label, cls in (("push", PushGossipNode), ("push-pull", PushPullGossipNode)):
+        for fanout in fanouts:
+            rngs = RngRegistry(seed)
+            sim = Simulator()
+            network = Network(
+                sim, SyntheticKingModel(n_nodes, seed=seed), rng=rngs.stream("net")
+            )
+            tracer = DeliveryTracer()
+            membership = list(range(n_nodes))
+            nodes = {
+                i: cls(
+                    i, sim, network, membership, fanout=fanout,
+                    rng=rngs.node_stream(i), tracer=tracer,
+                )
+                for i in membership
+            }
+            for node in nodes.values():
+                node.start()
+            workload_rng = rngs.stream("workload")
+
+            def inject():
+                nodes[workload_rng.randrange(n_nodes)].multicast()
+
+            for i in range(n_messages):
+                sim.schedule_at(0.1 + i / 100.0, inject)
+            sim.run_until(40.0)
+            reliability[(label, fanout)] = tracer.reliability(membership)
+            # Idle tail: the footnote's overhead concern.
+            before = network.messages_sent
+            sim.run_until(70.0)
+            idle_traffic[label] = network.messages_sent - before
+    return PushPullResult(
+        n_nodes=n_nodes,
+        fanouts=list(fanouts),
+        reliability=reliability,
+        idle_traffic=idle_traffic,
+    )
+
+
+# ----------------------------------------------------------------------
+# Constant per-node overhead vs system size
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class OverheadResult:
+    sizes: List[int]
+    #: size -> control messages per node per second (steady state)
+    control_rate: Dict[int, float]
+    #: size -> control bytes per node per second (steady state)
+    control_bytes_rate: Dict[int, float]
+
+    def max_growth(self) -> float:
+        """Largest-over-smallest per-node control rate (flat => ~1)."""
+        rates = [self.control_rate[s] for s in self.sizes]
+        return max(rates) / min(rates) if min(rates) > 0 else float("inf")
+
+    def format_table(self) -> str:
+        rows = [
+            (s, self.control_rate[s], self.control_bytes_rate[s])
+            for s in self.sizes
+        ]
+        return (
+            "Per-node control overhead vs system size (paper: constant)\n"
+            + format_table(
+                ["nodes", "ctrl msgs/node/s", "ctrl bytes/node/s"], rows
+            )
+            + f"\nmax/min ratio across sizes: {self.max_growth():.2f}"
+        )
+
+
+def run_overhead(
+    sizes: Sequence[int] = (32, 64, 128),
+    adapt_time: float = 40.0,
+    measure_time: float = 20.0,
+    seed: int = 1,
+) -> OverheadResult:
+    control_rate: Dict[int, float] = {}
+    control_bytes_rate: Dict[int, float] = {}
+    for n in sizes:
+        scenario = ScenarioConfig(
+            protocol="gocast", n_nodes=n, adapt_time=adapt_time, seed=seed
+        )
+        system = GoCastSystem(scenario)
+        system.run_adaptation()
+        start_msgs = system.network.messages_sent
+        start_bytes = sum(system.network.bytes_by_type.values())
+        system.run_until(adapt_time + measure_time)
+        sent = system.network.messages_sent - start_msgs
+        sent_bytes = sum(system.network.bytes_by_type.values()) - start_bytes
+        control_rate[n] = sent / (n * measure_time)
+        control_bytes_rate[n] = sent_bytes / (n * measure_time)
+    return OverheadResult(
+        sizes=list(sizes),
+        control_rate=control_rate,
+        control_bytes_rate=control_bytes_rate,
+    )

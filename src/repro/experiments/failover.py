@@ -1,0 +1,143 @@
+"""Extension: root-failover timing.
+
+Section 2.3: "If the root fails, one of its neighbors will take over
+its role."  The paper never quantifies how fast; this experiment does.
+The root crashes at a known instant and we measure:
+
+* **claim time** — until some live node claims the root role
+  (bounded by ``heartbeat_timeout`` + one maintenance period);
+* **convergence time** — until every live node follows a single root
+  (one heartbeat flood after the winning claim);
+* **delivery through the transition** — a workload injected right
+  after the crash must still reach every live node (gossip covers the
+  window in which the tree is headless).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.core.config import GoCastConfig
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import ScenarioConfig, scale_preset
+from repro.experiments.system import GoCastSystem
+
+
+@dataclasses.dataclass
+class FailoverOutcome:
+    seed: int
+    claim_time: float
+    convergence_time: float
+    new_root_was_neighbor: bool
+    reliability_through_transition: float
+
+
+@dataclasses.dataclass
+class FailoverResult:
+    n_nodes: int
+    heartbeat_timeout: float
+    outcomes: List[FailoverOutcome]
+
+    def max_convergence(self) -> float:
+        return max(o.convergence_time for o in self.outcomes)
+
+    def format_table(self) -> str:
+        rows = [
+            (
+                o.seed,
+                o.claim_time,
+                o.convergence_time,
+                o.new_root_was_neighbor,
+                o.reliability_through_transition,
+            )
+            for o in self.outcomes
+        ]
+        return (
+            f"Failover extension — root crash recovery ({self.n_nodes} nodes, "
+            f"timeout {self.heartbeat_timeout:.0f} s)\n"
+            + format_table(
+                ["seed", "claim (s)", "converged (s)", "neighbor took over",
+                 "reliability"],
+                rows,
+            )
+        )
+
+
+def run(
+    seeds: Sequence[int] = (1, 2, 3),
+    n_nodes: Optional[int] = None,
+    adapt_time: Optional[float] = None,
+    heartbeat_period: float = 5.0,
+    heartbeat_timeout: float = 12.0,
+    probe_interval: float = 0.5,
+) -> FailoverResult:
+    default_n, default_adapt, _ = scale_preset()
+    n_nodes = default_n if n_nodes is None else n_nodes
+    adapt_time = default_adapt if adapt_time is None else adapt_time
+
+    outcomes = []
+    for seed in seeds:
+        outcomes.append(
+            _run_one(
+                seed, n_nodes, adapt_time, heartbeat_period, heartbeat_timeout,
+                probe_interval,
+            )
+        )
+    return FailoverResult(
+        n_nodes=n_nodes, heartbeat_timeout=heartbeat_timeout, outcomes=outcomes
+    )
+
+
+def _run_one(
+    seed: int,
+    n_nodes: int,
+    adapt_time: float,
+    heartbeat_period: float,
+    heartbeat_timeout: float,
+    probe_interval: float,
+) -> FailoverOutcome:
+    config = GoCastConfig(
+        heartbeat_period=heartbeat_period, heartbeat_timeout=heartbeat_timeout
+    )
+    scenario = ScenarioConfig(
+        protocol="gocast", n_nodes=n_nodes, adapt_time=adapt_time,
+        n_messages=20, gocast=config, seed=seed,
+    )
+    system = GoCastSystem(scenario)
+    system.run_adaptation()
+
+    old_root = system.root_id
+    old_neighbors = set(system.nodes[old_root].overlay.table.ids())
+    crash_time = system.sim.now
+    system.nodes[old_root].crash()
+
+    end = system.schedule_workload(crash_time + 0.5)
+
+    claim_time = float("inf")
+    convergence_time = float("inf")
+    new_root = None
+    deadline = crash_time + 3.0 * heartbeat_timeout + 10.0
+    t = crash_time
+    while t < deadline:
+        t += probe_interval
+        system.run_until(t)
+        live = system.live_nodes()
+        claimants = {n.tree.root for n in live if n.tree.is_root}
+        if claimants and claim_time == float("inf"):
+            claim_time = system.sim.now - crash_time
+        roots = {n.tree.root for n in live}
+        if len(roots) == 1 and old_root not in roots:
+            convergence_time = system.sim.now - crash_time
+            new_root = next(iter(roots))
+            break
+
+    system.run_until(max(system.sim.now, end) + 20.0)
+    receivers = sorted(system.live_node_ids())
+    return FailoverOutcome(
+        seed=seed,
+        claim_time=claim_time,
+        convergence_time=convergence_time,
+        new_root_was_neighbor=new_root in old_neighbors if new_root is not None else False,
+        reliability_through_transition=system.tracer.reliability(receivers),
+    )

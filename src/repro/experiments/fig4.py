@@ -1,0 +1,87 @@
+"""Figure 4: GoCast delay CDFs at two system sizes, 0% and 20% failures.
+
+Paper: 1,024 vs 8,192 nodes.  With no failures the curves nearly
+coincide (0.33 s vs 0.42 s to reach everyone); with 20% failures the
+larger system's tail stretches (~60% longer worst-case delay) because
+the tree breaks into more fragments bridged by slow gossip.  The
+moderate growth under an 8x size increase is the paper's scalability
+argument.  We run a size pair scaled to the selected preset (the full
+pair via ``REPRO_SCALE=full``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.report import ascii_cdf, cdf_points, format_table
+from repro.experiments.runner import DelayResult, run_delay_experiment
+from repro.experiments.scenarios import ScenarioConfig, scale_preset
+
+COVERAGES = (0.50, 0.90, 0.99, 0.999)
+
+
+@dataclasses.dataclass
+class Fig4Result:
+    sizes: Tuple[int, int]
+    #: results[(n_nodes, fail_fraction)] -> DelayResult
+    results: Dict[Tuple[int, float], DelayResult]
+
+    def tail_stretch(self, fail_fraction: float) -> float:
+        """Large-system p99 delay relative to the small system's."""
+        small = self.results[(self.sizes[0], fail_fraction)].p99_delay
+        large = self.results[(self.sizes[1], fail_fraction)].p99_delay
+        return large / small
+
+    def format_table(self) -> str:
+        headers = ["nodes", "fail", "mean", "p90", "p99", "max", "reliability"] + [
+            f"cdf@{c:g}" for c in COVERAGES
+        ]
+        rows = []
+        for (n, fail), res in sorted(self.results.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+            rows.append(
+                [n, f"{fail:.0%}", res.mean_delay, res.p90_delay, res.p99_delay,
+                 res.max_delay, res.reliability]
+                + cdf_points(res.cdf_x, res.cdf_y, COVERAGES)
+            )
+        curves = {
+            f"n{n}-fail{int(fail * 100)}": (res.cdf_x, res.cdf_y)
+            for (n, fail), res in sorted(self.results.items())
+        }
+        return (
+            "Figure 4 — GoCast scalability (delays in seconds)\n"
+            + format_table(headers, rows)
+            + "\n"
+            + ascii_cdf(curves)
+            + f"\np99 stretch {self.sizes[1]}/{self.sizes[0]} nodes: "
+            f"no-fail {self.tail_stretch(0.0):.2f}x, "
+            f"20%-fail {self.tail_stretch(0.2):.2f}x"
+        )
+
+
+def run(
+    small_n: Optional[int] = None,
+    large_n: Optional[int] = None,
+    adapt_time: Optional[float] = None,
+    n_messages: Optional[int] = None,
+    seed: int = 1,
+) -> Fig4Result:
+    default_n, default_adapt, default_msgs = scale_preset()
+    small_n = default_n if small_n is None else small_n
+    large_n = 4 * small_n if large_n is None else large_n
+    adapt_time = default_adapt if adapt_time is None else adapt_time
+    n_messages = default_msgs if n_messages is None else n_messages
+
+    results: Dict[Tuple[int, float], DelayResult] = {}
+    for n in (small_n, large_n):
+        for fail in (0.0, 0.2):
+            scenario = ScenarioConfig(
+                protocol="gocast",
+                n_nodes=n,
+                adapt_time=adapt_time,
+                n_messages=n_messages,
+                fail_fraction=fail,
+                seed=seed,
+            )
+            results[(n, fail)] = run_delay_experiment(scenario)
+    return Fig4Result(sizes=(small_n, large_n), results=results)

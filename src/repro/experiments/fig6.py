@@ -1,0 +1,93 @@
+"""Figure 6: overlay resilience vs the number of random links.
+
+For each target random degree (paper: 0, 1, 2, 4 with total degree 6)
+the overlay adapts, then a random fraction of nodes (5%–50%) is removed
+from the structural snapshot and we report ``q``: the fraction of live
+nodes inside the largest connected component.
+
+Paper checkpoints: with C_rand = 0 the overlay is partitioned *before
+any failure* (nearby links never bridge remote clusters); with just one
+random link per node it stays connected through 25% concurrent
+failures; one random link is nearly as good as four.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import GoCastConfig
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import ScenarioConfig, scale_preset
+from repro.experiments.system import GoCastSystem
+
+FAIL_FRACTIONS = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50)
+
+
+@dataclasses.dataclass
+class Fig6Result:
+    n_nodes: int
+    fail_fractions: List[float]
+    #: c_rand -> q values aligned with fail_fractions (mean over trials)
+    largest_component: Dict[int, List[float]]
+
+    def q(self, c_rand: int, fail_fraction: float) -> float:
+        idx = self.fail_fractions.index(fail_fraction)
+        return self.largest_component[c_rand][idx]
+
+    def format_table(self) -> str:
+        headers = ["fail %"] + [f"C_rand={c}" for c in sorted(self.largest_component)]
+        rows = []
+        for i, frac in enumerate(self.fail_fractions):
+            rows.append(
+                [f"{frac:.0%}"]
+                + [self.largest_component[c][i] for c in sorted(self.largest_component)]
+            )
+        return (
+            f"Figure 6 — largest live component fraction q ({self.n_nodes} nodes, "
+            f"degree 6)\n" + format_table(headers, rows)
+        )
+
+
+def run(
+    n_nodes: Optional[int] = None,
+    adapt_time: Optional[float] = None,
+    c_rand_values: Sequence[int] = (0, 1, 2, 4),
+    fail_fractions: Sequence[float] = FAIL_FRACTIONS,
+    trials: int = 3,
+    total_degree: int = 6,
+    seed: int = 1,
+) -> Fig6Result:
+    default_n, default_adapt, _ = scale_preset()
+    n_nodes = default_n if n_nodes is None else n_nodes
+    adapt_time = default_adapt if adapt_time is None else adapt_time
+
+    largest: Dict[int, List[float]] = {}
+    for c_rand in c_rand_values:
+        config = GoCastConfig(c_rand=c_rand, c_near=total_degree - c_rand)
+        scenario = ScenarioConfig(
+            protocol="gocast",
+            n_nodes=n_nodes,
+            adapt_time=adapt_time,
+            gocast=config,
+            seed=seed,
+        )
+        system = GoCastSystem(scenario)
+        system.run_adaptation()
+        snapshot = system.snapshot()
+        series = []
+        for frac in fail_fractions:
+            qs = [
+                snapshot.largest_component_after_failures(
+                    frac, rng=random.Random(seed * 1000 + trial)
+                )
+                for trial in range(trials)
+            ]
+            series.append(sum(qs) / len(qs))
+        largest[c_rand] = series
+    return Fig6Result(
+        n_nodes=n_nodes,
+        fail_fractions=list(fail_fractions),
+        largest_component=largest,
+    )

@@ -1,0 +1,87 @@
+"""Extension: robustness to datagram loss.
+
+GoCast's control plane splits across two transports: overlay-neighbor
+traffic rides pre-established reliable connections (TCP in the paper),
+while RTT probes between non-neighbors are datagrams (UDP).  This
+experiment injects datagram loss and checks that (a) dissemination is
+untouched (it only uses the reliable channels) and (b) the overlay still
+converges — lost probes only slow nearby-neighbor optimization, because
+the probe state machine times out and moves on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import ScenarioConfig, scale_preset
+
+
+@dataclasses.dataclass
+class LossOutcome:
+    loss_rate: float
+    reliability: float
+    mean_delay: float
+    mean_link_latency: float
+
+
+@dataclasses.dataclass
+class LossResult:
+    n_nodes: int
+    outcomes: List[LossOutcome]
+
+    def format_table(self) -> str:
+        rows = [
+            (f"{o.loss_rate:.0%}", o.reliability, o.mean_delay,
+             o.mean_link_latency * 1000)
+            for o in self.outcomes
+        ]
+        return (
+            f"Loss extension — datagram loss robustness ({self.n_nodes} nodes)\n"
+            + format_table(
+                ["UDP loss", "reliability", "mean delay (s)", "overlay link (ms)"],
+                rows,
+            )
+        )
+
+
+def run(
+    loss_rates: Sequence[float] = (0.0, 0.1, 0.3),
+    n_nodes: Optional[int] = None,
+    adapt_time: Optional[float] = None,
+    n_messages: Optional[int] = None,
+    seed: int = 1,
+) -> LossResult:
+    default_n, default_adapt, default_msgs = scale_preset()
+    n_nodes = default_n if n_nodes is None else n_nodes
+    adapt_time = default_adapt if adapt_time is None else adapt_time
+    n_messages = default_msgs if n_messages is None else n_messages
+
+    outcomes: List[LossOutcome] = []
+    for loss in loss_rates:
+        scenario = ScenarioConfig(
+            protocol="gocast",
+            n_nodes=n_nodes,
+            adapt_time=adapt_time,
+            n_messages=n_messages,
+            loss_rate=loss,
+            seed=seed,
+        )
+        from repro.experiments.system import GoCastSystem
+
+        system = GoCastSystem(scenario)
+        system.run_adaptation()
+        link_latency = system.snapshot().mean_link_latency()
+        end = system.schedule_workload(system.sim.now + 0.1)
+        system.run_until(end + scenario.drain_time)
+        receivers = sorted(system.live_node_ids())
+        outcomes.append(
+            LossOutcome(
+                loss_rate=loss,
+                reliability=system.tracer.reliability(receivers),
+                mean_delay=system.tracer.mean_delay(receivers),
+                mean_link_latency=link_latency,
+            )
+        )
+    return LossResult(n_nodes=n_nodes, outcomes=outcomes)

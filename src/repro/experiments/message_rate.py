@@ -1,0 +1,94 @@
+"""Extension: sensitivity to the multicast message rate.
+
+The paper evaluates one rate (100 messages/s).  Because GoCast's tree
+forwards messages without stop and gossips are only a safety net, its
+delivery delay should be *flat* in the message rate, while its gossip
+overhead amortizes (one summary can carry many IDs).  This experiment
+sweeps the rate and reports mean delay, redundancy, and gossip traffic
+per multicast message.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import ScenarioConfig, scale_preset
+from repro.experiments.system import GoCastSystem
+
+
+@dataclasses.dataclass
+class RateOutcome:
+    rate: float
+    mean_delay: float
+    reliability: float
+    receptions_per_delivery: float
+    gossips_per_message: float
+
+
+@dataclasses.dataclass
+class RateResult:
+    n_nodes: int
+    outcomes: List[RateOutcome]
+
+    def delay_spread(self) -> float:
+        delays = [o.mean_delay for o in self.outcomes]
+        return max(delays) / min(delays)
+
+    def format_table(self) -> str:
+        rows = [
+            (o.rate, o.mean_delay, o.reliability, o.receptions_per_delivery,
+             o.gossips_per_message)
+            for o in self.outcomes
+        ]
+        return (
+            f"Message-rate extension ({self.n_nodes} nodes)\n"
+            + format_table(
+                ["msgs/s", "mean delay (s)", "reliability",
+                 "receptions/delivery", "gossips/message"],
+                rows,
+            )
+            + f"\nmax/min mean-delay ratio across rates: {self.delay_spread():.2f}"
+        )
+
+
+def run(
+    rates: Sequence[float] = (5.0, 25.0, 100.0),
+    n_nodes: Optional[int] = None,
+    adapt_time: Optional[float] = None,
+    workload_time: float = 4.0,
+    seed: int = 1,
+) -> RateResult:
+    default_n, default_adapt, _ = scale_preset()
+    n_nodes = default_n if n_nodes is None else n_nodes
+    adapt_time = default_adapt if adapt_time is None else adapt_time
+
+    outcomes: List[RateOutcome] = []
+    for rate in rates:
+        n_messages = max(1, int(rate * workload_time))
+        scenario = ScenarioConfig(
+            protocol="gocast",
+            n_nodes=n_nodes,
+            adapt_time=adapt_time,
+            n_messages=n_messages,
+            message_rate=rate,
+            seed=seed,
+        )
+        system = GoCastSystem(scenario)
+        system.run_adaptation()
+        gossips_before = system.network.sent_by_type.get("Gossip", 0)
+        end = system.schedule_workload(system.sim.now + 0.1)
+        system.run_until(end + scenario.drain_time)
+        gossips = system.network.sent_by_type.get("Gossip", 0) - gossips_before
+        receivers = sorted(system.live_node_ids())
+        outcomes.append(
+            RateOutcome(
+                rate=rate,
+                mean_delay=system.tracer.mean_delay(receivers),
+                reliability=system.tracer.reliability(receivers),
+                receptions_per_delivery=system.tracer.receptions_per_delivery(),
+                gossips_per_message=gossips / n_messages,
+            )
+        )
+    return RateResult(n_nodes=n_nodes, outcomes=outcomes)

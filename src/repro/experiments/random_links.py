@@ -1,0 +1,79 @@
+"""Summary result (2): link latency vs the number of random links.
+
+"The average latency of the overlay links grows almost linearly with the
+number of random links, which again justifies our use of only one random
+link per node."  Total degree stays at 6 while C_rand sweeps 0..5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import GoCastConfig
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import ScenarioConfig, scale_preset
+from repro.experiments.system import GoCastSystem
+
+
+@dataclasses.dataclass
+class RandomLinksResult:
+    n_nodes: int
+    c_rand_values: List[int]
+    mean_overlay_latency: List[float]
+
+    def linear_fit_r2(self) -> float:
+        """R^2 of a linear fit latency ~ C_rand (paper: "almost linear")."""
+        x = np.asarray(self.c_rand_values, dtype=float)
+        y = np.asarray(self.mean_overlay_latency)
+        if len(x) < 3:
+            return 1.0
+        coeffs = np.polyfit(x, y, 1)
+        pred = np.polyval(coeffs, x)
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+    def format_table(self) -> str:
+        rows = [
+            (c, lat * 1000)
+            for c, lat in zip(self.c_rand_values, self.mean_overlay_latency)
+        ]
+        return (
+            f"R2 — mean overlay link latency vs C_rand ({self.n_nodes} nodes, "
+            f"degree 6); linear fit R^2 = {self.linear_fit_r2():.3f}\n"
+            + format_table(["C_rand", "mean link latency (ms)"], rows)
+        )
+
+
+def run(
+    n_nodes: Optional[int] = None,
+    adapt_time: Optional[float] = None,
+    c_rand_values: Sequence[int] = (0, 1, 2, 3, 4, 5),
+    total_degree: int = 6,
+    seed: int = 1,
+) -> RandomLinksResult:
+    default_n, default_adapt, _ = scale_preset()
+    n_nodes = default_n if n_nodes is None else n_nodes
+    adapt_time = default_adapt if adapt_time is None else adapt_time
+
+    latencies: List[float] = []
+    for c_rand in c_rand_values:
+        config = GoCastConfig(c_rand=c_rand, c_near=total_degree - c_rand)
+        scenario = ScenarioConfig(
+            protocol="gocast",
+            n_nodes=n_nodes,
+            adapt_time=adapt_time,
+            gocast=config,
+            seed=seed,
+        )
+        system = GoCastSystem(scenario)
+        system.run_adaptation()
+        latencies.append(system.snapshot().mean_link_latency())
+    return RandomLinksResult(
+        n_nodes=n_nodes,
+        c_rand_values=list(c_rand_values),
+        mean_overlay_latency=latencies,
+    )

@@ -1,0 +1,114 @@
+"""Plain-text table/series formatting for experiment outputs.
+
+Benchmarks print these tables so a run of ``pytest benchmarks/
+--benchmark-only -s`` regenerates the same rows/series the paper
+reports, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Monospace table with right-aligned numeric-ish columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        if abs(cell) >= 1000 or (cell != 0 and abs(cell) < 0.001):
+            return f"{cell:.3e}"
+        return f"{cell:.4f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def cdf_points(
+    delays: np.ndarray, fractions: np.ndarray, coverages: Sequence[float]
+) -> List[float]:
+    """Delay at which each coverage level is first reached (NaN if never)."""
+    out = []
+    for coverage in coverages:
+        idx = np.searchsorted(fractions, coverage)
+        out.append(float(delays[idx]) if idx < len(delays) else float("nan"))
+    return out
+
+
+def ascii_cdf(
+    curves: "dict[str, tuple]",
+    width: int = 64,
+    height: int = 16,
+    x_max: Optional[float] = None,
+) -> str:
+    """Render delay-CDF curves as ASCII art (the shape of Figures 3/4).
+
+    ``curves`` maps a label to ``(delays, fractions)`` arrays.  Each
+    curve is drawn with its label's first letter; later curves overwrite
+    earlier ones where they collide.
+    """
+    curves = {k: v for k, v in curves.items() if len(v[0])}
+    if not curves:
+        return "(no data)"
+    if x_max is None:
+        x_max = max(float(x[-1]) for x, _y in curves.values())
+    if x_max <= 0:
+        return "(no data)"
+    # Pick a distinct mark per curve: first unused letter of its label,
+    # falling back to a symbol palette on collision.
+    marks: "dict[str, str]" = {}
+    fallback = iter("*#%@+~^&")
+    for label in curves:
+        mark = next(
+            (ch for ch in label if ch.isalnum() and ch not in marks.values()),
+            None,
+        )
+        marks[label] = mark if mark is not None else next(fallback)
+
+    grid = [[" "] * width for _ in range(height)]
+    for label, (xs, ys) in curves.items():
+        mark = marks[label]
+        for col in range(width):
+            x = (col + 1) / width * x_max
+            idx = np.searchsorted(xs, x, side="right") - 1
+            y = float(ys[idx]) if idx >= 0 else 0.0
+            row = height - 1 - int(round(y * (height - 1)))
+            grid[row][col] = mark
+    lines = ["1.0 |" + "".join(row) for row in grid[:1]]
+    lines += ["    |" + "".join(row) for row in grid[1:-1]]
+    lines += ["0.0 +" + "".join(grid[-1])]
+    lines.append("     0" + " " * (width - 8) + f"{x_max:.2f}s")
+    legend = "  ".join(f"{marks[label]}={label}" for label in curves)
+    lines.append(f"     {legend}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Cheap terminal sparkline for time series."""
+    blocks = " .:-=+*#%@"
+    values = list(values)
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return blocks[1] * len(values)
+    return "".join(
+        blocks[1 + int((v - lo) / (hi - lo) * (len(blocks) - 2))] for v in values
+    )

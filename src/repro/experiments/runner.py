@@ -1,0 +1,194 @@
+"""Unified delay-experiment runner (Figures 3 and 4).
+
+``run_delay_experiment(scenario)`` executes the scenario's protocol end
+to end — overlay adaptation (for the overlay protocols), the optional
+crash wave, the message workload, the drain phase — and returns a
+:class:`DelayResult` with the delay CDF and summary statistics the
+paper reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.system import GoCastSystem
+from repro.net.king import SyntheticKingModel
+from repro.net.latency import LatencyModel
+from repro.protocols.nowait_gossip import NoWaitGossipNode
+from repro.protocols.push_gossip import PushGossipNode
+from repro.sim.engine import Simulator
+from repro.sim.failures import FailureInjector
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import DeliveryTracer
+from repro.sim.transport import Network
+
+
+@dataclasses.dataclass
+class DelayResult:
+    """Outcome of one delay experiment."""
+
+    scenario: ScenarioConfig
+    delays: np.ndarray
+    cdf_x: np.ndarray
+    cdf_y: np.ndarray
+    reliability: float
+    mean_delay: float
+    median_delay: float
+    p90_delay: float
+    p99_delay: float
+    max_delay: float
+    receptions_per_delivery: float
+    live_receivers: int
+    messages_sent: int
+    sent_by_type: Dict[str, int]
+
+    def delay_at_coverage(self, coverage: float) -> float:
+        """Delay by which the given fraction of (msg, node) pairs was served.
+
+        NaN if the protocol never reached that coverage (lost messages).
+        """
+        idx = np.searchsorted(self.cdf_y, coverage)
+        if idx >= len(self.cdf_x):
+            return float("nan")
+        return float(self.cdf_x[idx])
+
+    def summary_row(self) -> str:
+        return (
+            f"{self.scenario.protocol:>15s}  n={self.scenario.n_nodes:<5d} "
+            f"fail={self.scenario.fail_fraction:<4.0%} "
+            f"mean={self.mean_delay:6.3f}s  p50={self.median_delay:6.3f}s  "
+            f"p90={self.p90_delay:6.3f}s  p99={self.p99_delay:6.3f}s  "
+            f"reliability={self.reliability:8.6f}"
+        )
+
+
+def run_delay_experiment(
+    scenario: ScenarioConfig,
+    latency: Optional[LatencyModel] = None,
+    network_hook=None,
+) -> DelayResult:
+    """Run one scenario to completion and collect delivery statistics.
+
+    ``network_hook(network, sim, workload_start)``, if given, is invoked
+    just before the workload is scheduled — e.g. to attach a
+    link-stress accumulator to :attr:`Network.on_send` at workload time.
+    """
+    if scenario.uses_overlay:
+        return _run_overlay_protocol(scenario, latency, network_hook)
+    return _run_random_gossip_protocol(scenario, latency, network_hook)
+
+
+def _result_from_tracer(
+    scenario: ScenarioConfig,
+    tracer: DeliveryTracer,
+    receivers: Set[int],
+    network: Network,
+) -> DelayResult:
+    delays = tracer.delays(receivers)
+    cdf_x, cdf_y = tracer.delay_cdf(sorted(receivers))
+    have = delays.size > 0
+    return DelayResult(
+        scenario=scenario,
+        delays=delays,
+        cdf_x=cdf_x,
+        cdf_y=cdf_y,
+        reliability=tracer.reliability(sorted(receivers)),
+        mean_delay=float(delays.mean()) if have else float("nan"),
+        median_delay=float(np.percentile(delays, 50)) if have else float("nan"),
+        p90_delay=float(np.percentile(delays, 90)) if have else float("nan"),
+        p99_delay=float(np.percentile(delays, 99)) if have else float("nan"),
+        max_delay=float(delays.max()) if have else float("nan"),
+        receptions_per_delivery=tracer.receptions_per_delivery(),
+        live_receivers=len(receivers),
+        messages_sent=network.messages_sent,
+        sent_by_type=dict(network.sent_by_type),
+    )
+
+
+def _run_overlay_protocol(
+    scenario: ScenarioConfig, latency: Optional[LatencyModel], network_hook=None
+) -> DelayResult:
+    system = GoCastSystem(scenario, latency=latency)
+    system.run_adaptation()
+
+    fail_time = scenario.adapt_time
+    if scenario.fail_fraction > 0:
+        system.fail_random_fraction(fail_time, scenario.fail_fraction)
+
+    # The paper injects the workload right after the crash wave.
+    workload_start = fail_time + 0.1
+    if network_hook is not None:
+        network_hook(system.network, system.sim, workload_start)
+    end = system.schedule_workload(workload_start)
+    system.run_until(end + scenario.drain_time)
+
+    receivers = system.live_node_ids()
+    return _result_from_tracer(scenario, system.tracer, receivers, system.network)
+
+
+def _run_random_gossip_protocol(
+    scenario: ScenarioConfig, latency: Optional[LatencyModel], network_hook=None
+) -> DelayResult:
+    rngs = RngRegistry(scenario.seed)
+    sim = Simulator()
+    if latency is None:
+        latency = SyntheticKingModel(
+            scenario.n_nodes, n_sites=scenario.n_sites, seed=scenario.seed
+        )
+    network = Network(sim, latency, loss_rate=scenario.loss_rate, rng=rngs.stream("net"))
+    tracer = DeliveryTracer()
+    membership = list(range(scenario.n_nodes))
+
+    nodes = {}
+    for node_id in membership:
+        if scenario.protocol == "push_gossip":
+            node = PushGossipNode(
+                node_id,
+                sim,
+                network,
+                membership,
+                fanout=scenario.fanout,
+                gossip_period=scenario.baseline_gossip_period,
+                rng=rngs.node_stream(node_id),
+                tracer=tracer,
+            )
+        else:
+            node = NoWaitGossipNode(
+                node_id,
+                sim,
+                network,
+                membership,
+                fanout=scenario.fanout,
+                rng=rngs.node_stream(node_id),
+                tracer=tracer,
+            )
+        nodes[node_id] = node
+        node.start()
+
+    injector = FailureInjector(sim, network, rngs.stream("fail"))
+    injector.on_node_failed = lambda node_id: nodes[node_id].stop()
+    if scenario.fail_fraction > 0:
+        injector.fail_fraction_at(0.0, scenario.fail_fraction, membership)
+
+    workload_rng = rngs.stream("workload")
+
+    def inject_one() -> None:
+        live = sorted(network.alive_nodes())
+        if live:
+            source = live[workload_rng.randrange(len(live))]
+            nodes[source].multicast(scenario.payload_size)
+
+    start = 0.1
+    if network_hook is not None:
+        network_hook(network, sim, start)
+    for i in range(scenario.n_messages):
+        sim.schedule_at(start + i / scenario.message_rate, inject_one)
+    end = start + scenario.n_messages / scenario.message_rate
+    sim.run_until(end + scenario.drain_time)
+
+    receivers = network.alive_nodes()
+    return _result_from_tracer(scenario, tracer, receivers, network)

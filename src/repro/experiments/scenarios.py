@@ -1,0 +1,121 @@
+"""Scenario configuration for delay experiments.
+
+The paper's canonical setup (Section 3): 1,024 nodes on King latencies,
+500 s of overlay adaptation, then 1,000 messages injected from random
+sources at 100 messages/s; ``t = r = 0.1 s``, ``C_rand = 1``,
+``C_near = 5``, push-gossip fanout 5.
+
+Pure-Python simulation is slower than the paper's C++, so every
+experiment honours a scale preset: ``smoke`` (CI tests), ``default``
+(benchmark runs), ``full`` (the paper's exact scale).  Select with the
+``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Optional
+
+from repro.core.config import GoCastConfig
+
+#: The five protocols of Figure 3.
+PROTOCOLS = ("gocast", "proximity", "random_overlay", "push_gossip", "nowait_gossip")
+
+#: Experiment scale presets: (n_nodes, adapt_time, n_messages).
+SCALES = {
+    "smoke": (64, 30.0, 20),
+    "default": (256, 120.0, 100),
+    "full": (1024, 500.0, 1000),
+}
+
+
+def scale_preset(name: Optional[str] = None) -> tuple:
+    """(n_nodes, adapt_time, n_messages) for the selected scale."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "default")
+    if name not in SCALES:
+        raise KeyError(f"unknown scale {name!r}; choose from {sorted(SCALES)}")
+    return SCALES[name]
+
+
+@dataclasses.dataclass
+class ScenarioConfig:
+    """Everything needed to reproduce one delay-CDF run."""
+
+    protocol: str = "gocast"
+    n_nodes: int = 256
+    seed: int = 1
+    #: Overlay adaptation phase before the workload (paper: 500 s).
+    adapt_time: float = 120.0
+    #: Workload: messages injected from random sources at ``message_rate``.
+    n_messages: int = 100
+    message_rate: float = 100.0
+    payload_size: int = 1024
+    #: Extra simulated time after the last injection for stragglers.
+    drain_time: float = 30.0
+    #: Fraction of nodes crashed at the start of the workload (paper: 0.2).
+    fail_fraction: float = 0.0
+    #: Freeze all maintenance/repair at failure time (the paper's
+    #: stress-test rule); only meaningful when fail_fraction > 0.
+    freeze_on_failure: bool = True
+    #: Push-gossip / no-wait-gossip fanout.
+    fanout: int = 5
+    #: Gossip period for the push-gossip baseline.
+    baseline_gossip_period: float = 0.1
+    #: GoCast protocol parameters (also used by the overlay baselines).
+    gocast: GoCastConfig = dataclasses.field(default_factory=GoCastConfig)
+    #: Number of distinct latency sites (None: min(n_nodes, 1740)).
+    n_sites: Optional[int] = None
+    #: UDP loss rate for unreliable sends.
+    loss_rate: float = 0.0
+    #: Landmark count for the triangular estimator.
+    n_landmarks: int = 12
+    #: Initial random links initiated per node (None: C_degree / 2).
+    initial_links: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}"
+            )
+        if self.n_nodes < 2:
+            raise ValueError("need at least 2 nodes")
+        if not 0.0 <= self.fail_fraction < 1.0:
+            raise ValueError("fail_fraction must be in [0, 1)")
+        if self.n_messages < 1:
+            raise ValueError("need at least 1 message")
+        if self.message_rate <= 0:
+            raise ValueError("message_rate must be positive")
+
+    @property
+    def uses_overlay(self) -> bool:
+        return self.protocol in ("gocast", "proximity", "random_overlay")
+
+    def effective_gocast_config(self) -> GoCastConfig:
+        """The GoCastConfig this scenario's protocol variant runs with."""
+        base = dataclasses.asdict(self.gocast)
+        if self.protocol == "gocast":
+            base["use_tree"] = True
+        elif self.protocol == "proximity":
+            base["use_tree"] = False
+        elif self.protocol == "random_overlay":
+            base["use_tree"] = False
+            base["c_rand"] = self.gocast.c_degree
+            base["c_near"] = 0
+        else:
+            raise ValueError(f"{self.protocol} does not use the GoCast overlay")
+        return GoCastConfig(**base)
+
+
+def paper_scenario(protocol: str = "gocast", scale: Optional[str] = None, **overrides) -> ScenarioConfig:
+    """The canonical Figure 3 scenario at the selected scale."""
+    n_nodes, adapt_time, n_messages = scale_preset(scale)
+    params = dict(
+        protocol=protocol,
+        n_nodes=n_nodes,
+        adapt_time=adapt_time,
+        n_messages=n_messages,
+    )
+    params.update(overrides)
+    return ScenarioConfig(**params)

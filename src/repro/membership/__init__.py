@@ -1,0 +1,11 @@
+"""Partial membership service (lpbcast-style).
+
+Each node knows a uniformly random subset of the system; the knowledge
+is refreshed by piggybacking a few random addresses on the gossips
+exchanged between overlay neighbors, as in Lightweight Probabilistic
+Broadcast [5] — the paper omits the details and defers to [5, 16].
+"""
+
+from repro.membership.partial_view import PartialView
+
+__all__ = ["PartialView"]

@@ -1,0 +1,120 @@
+"""A bounded, uniformly sampled partial view of the system membership.
+
+The view supports O(1) insertion, deletion, and uniform random sampling
+(list + index-map representation), plus the two access patterns GoCast's
+maintenance protocols need: uniform random picks (random-neighbor
+repair) and stable round-robin iteration (nearby-neighbor candidate
+scanning, Section 2.2.3).
+
+Eviction is uniform-random when the view overflows, which — combined
+with receiving random addresses piggybacked on gossips — keeps the view
+an approximately uniform sample of the live membership [5].
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Set
+
+
+class PartialView:
+    """Bounded random subset of node ids, excluding the owner."""
+
+    def __init__(self, owner: int, rng: random.Random, max_size: int = 120):
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        self.owner = owner
+        self.max_size = max_size
+        self._rng = rng
+        self._members: List[int] = []
+        self._index: dict = {}
+        self._rr_cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._index
+
+    def members(self) -> List[int]:
+        """A copy of the current view."""
+        return list(self._members)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, node: int) -> bool:
+        """Insert ``node``; returns True if the view changed."""
+        if node == self.owner or node in self._index:
+            return False
+        if len(self._members) >= self.max_size:
+            self._evict_random()
+        self._index[node] = len(self._members)
+        self._members.append(node)
+        return True
+
+    def add_many(self, nodes: Iterable[int]) -> int:
+        return sum(1 for node in nodes if self.add(node))
+
+    def remove(self, node: int) -> bool:
+        """Remove ``node`` (e.g. after discovering it failed)."""
+        pos = self._index.pop(node, None)
+        if pos is None:
+            return False
+        last = self._members.pop()
+        if pos < len(self._members):
+            self._members[pos] = last
+            self._index[last] = pos
+        return True
+
+    def _evict_random(self) -> None:
+        victim = self._members[self._rng.randrange(len(self._members))]
+        self.remove(victim)
+
+    # ------------------------------------------------------------------
+    # Access patterns
+    # ------------------------------------------------------------------
+    def random_member(self, exclude: Optional[Set[int]] = None) -> Optional[int]:
+        """Uniform random member not in ``exclude``; None if exhausted."""
+        if not self._members:
+            return None
+        if not exclude:
+            return self._members[self._rng.randrange(len(self._members))]
+        # Try a few cheap draws before paying for the filtered fallback.
+        for _ in range(4):
+            pick = self._members[self._rng.randrange(len(self._members))]
+            if pick not in exclude:
+                return pick
+        eligible = [m for m in self._members if m not in exclude]
+        if not eligible:
+            return None
+        return eligible[self._rng.randrange(len(eligible))]
+
+    def sample(self, k: int, exclude: Optional[Set[int]] = None) -> List[int]:
+        """Up to ``k`` distinct random members (for gossip piggybacking)."""
+        pool = (
+            self._members
+            if not exclude
+            else [m for m in self._members if m not in exclude]
+        )
+        if len(pool) <= k:
+            return list(pool)
+        return self._rng.sample(pool, k)
+
+    def round_robin_next(self, exclude: Optional[Set[int]] = None) -> Optional[int]:
+        """Next candidate in a stable circular scan of the view.
+
+        Used by the nearby-neighbor maintenance: "node X still
+        continuously tries to replace its current nearby neighbors by
+        considering candidate nodes in S in a round robin fashion."
+        """
+        n = len(self._members)
+        if n == 0:
+            return None
+        for _ in range(n):
+            self._rr_cursor %= len(self._members)
+            candidate = self._members[self._rr_cursor]
+            self._rr_cursor += 1
+            if exclude is None or candidate not in exclude:
+                return candidate
+        return None

@@ -1,0 +1,39 @@
+"""Network substrate: latency models, synthetic Internet data, topology.
+
+The paper drives its simulator with the King dataset (real RTT
+measurements between 1,740 DNS servers) and, for the link-stress
+experiment, with AS-level snapshots of the Internet.  Neither dataset is
+available offline, so this package synthesizes statistically faithful
+stand-ins (see DESIGN.md, "Substitutions"):
+
+* :mod:`repro.net.king` — a clustered Euclidean latency matrix calibrated
+  to the King statistics the paper reports (mean one-way 91 ms, max
+  399 ms, strong geographic clustering).
+* :mod:`repro.net.astopo` — a power-law AS graph with shortest-path
+  routing for measuring physical-link stress.
+* :mod:`repro.net.estimation` — the triangular heuristic used by GoCast
+  to rank candidate neighbors before measuring real RTTs.
+"""
+
+from repro.net.astopo import ASTopology, TransitStubTopology
+from repro.net.coordinates import GnpCoordinates
+from repro.net.king import SyntheticKingModel
+from repro.net.latency import (
+    ConstantLatencyModel,
+    EuclideanLatencyModel,
+    LatencyModel,
+    MatrixLatencyModel,
+)
+from repro.net.estimation import TriangularEstimator
+
+__all__ = [
+    "ASTopology",
+    "ConstantLatencyModel",
+    "EuclideanLatencyModel",
+    "GnpCoordinates",
+    "LatencyModel",
+    "MatrixLatencyModel",
+    "SyntheticKingModel",
+    "TransitStubTopology",
+    "TriangularEstimator",
+]

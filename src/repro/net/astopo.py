@@ -1,0 +1,270 @@
+"""Physical Internet topologies for link-stress experiments.
+
+The paper's summary result (4) reports that, routed over "large-scale
+snapshots of the Internet Autonomous Systems", GoCast imposes 4–7x less
+traffic on bottleneck network links than fanout-5 push gossip.  Those
+snapshots are not available offline, so this module provides the two
+standard synthetic substitutes of the paper's era:
+
+* :class:`ASTopology` — a flat Barabási–Albert preferential-attachment
+  graph; its power-law degree distribution is the defining property of
+  the AS-level Internet and the reason hub links exist.
+* :class:`TransitStubTopology` — a GT-ITM-style transit–stub hierarchy:
+  a small backbone of transit ASes, regional hubs hanging off it, and
+  stub ASes inside each region.  This is the structure that makes the
+  paper's result reproducible: proximity-aware overlay links stay
+  *inside a region* (cheap, uncontended), while topology-oblivious
+  gossip drags every delivery across the long-haul backbone — the
+  bottleneck links.
+
+Both expose the same API: member placement (:meth:`host_of`), a
+member-to-member latency model derived from shortest physical paths
+(so the overlay under test is proximity-aware with respect to the same
+network it is routed over), and per-hop routing
+(:meth:`route_edges`) for the stress accumulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.net.latency import MatrixLatencyModel
+
+Edge = Tuple[int, int]
+
+
+def _canonical(u: int, v: int) -> Edge:
+    return (u, v) if u <= v else (v, u)
+
+
+class RoutedTopology:
+    """Shared machinery: latency-weighted routing over a physical graph.
+
+    Subclasses must set ``self.graph`` (with per-edge ``latency``),
+    ``self.n_members`` and ``self._host_of_member`` before calling
+    ``_finalize()``.
+    """
+
+    graph: nx.Graph
+    n_members: int
+    _host_of_member: List[int]
+
+    def _finalize(self) -> None:
+        self._paths: Dict[int, Dict[int, List[int]]] = {}
+        self._latency_model = self._build_latency_model()
+
+    def host_of(self, member: int) -> int:
+        """The AS hosting group member ``member``."""
+        return self._host_of_member[member]
+
+    @property
+    def latency_model(self) -> MatrixLatencyModel:
+        """Member-to-member one-way latencies = shortest-path latency."""
+        return self._latency_model
+
+    def _build_latency_model(self) -> MatrixLatencyModel:
+        hosts = sorted(set(self._host_of_member))
+        dist_from: Dict[int, Dict[int, float]] = {}
+        for h in hosts:
+            dist_from[h] = nx.single_source_dijkstra_path_length(
+                self.graph, h, weight="latency"
+            )
+        n = self.n_members
+        matrix = np.zeros((n, n), dtype=float)
+        # Distinct members on the same AS still pay a small access delay.
+        same_as_latency = 0.001
+        for i in range(n):
+            hi = self._host_of_member[i]
+            row = dist_from[hi]
+            for j in range(i + 1, n):
+                hj = self._host_of_member[j]
+                latency = same_as_latency if hi == hj else row[hj] + 0.002
+                matrix[i, j] = matrix[j, i] = latency
+        return MatrixLatencyModel(matrix)
+
+    def _paths_from(self, host: int) -> Dict[int, List[int]]:
+        paths = self._paths.get(host)
+        if paths is None:
+            paths = nx.single_source_dijkstra_path(self.graph, host, weight="latency")
+            self._paths[host] = paths
+        return paths
+
+    def route_edges(self, member_a: int, member_b: int) -> List[Edge]:
+        """Physical links crossed by a message from ``member_a`` to ``member_b``."""
+        ha, hb = self._host_of_member[member_a], self._host_of_member[member_b]
+        if ha == hb:
+            return []
+        path = self._paths_from(ha)[hb]
+        return [_canonical(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+    def edge_count(self) -> int:
+        return self.graph.number_of_edges()
+
+    def degree_distribution(self) -> List[int]:
+        """Sorted (descending) AS degrees."""
+        return sorted((d for _, d in self.graph.degree), reverse=True)
+
+    def members_on_host(self, host: int) -> List[int]:
+        return [m for m, h in enumerate(self._host_of_member) if h == host]
+
+
+class ASTopology(RoutedTopology):
+    """Flat power-law AS graph with member placement on stub ASes.
+
+    Parameters
+    ----------
+    n_as:
+        Number of autonomous systems.
+    n_members:
+        Number of multicast group members to place on stub ASes.
+    attachment:
+        Barabási–Albert attachment parameter ``m`` (edges per new AS).
+    seed:
+        Seed for graph generation, edge latencies, and member placement.
+    member_sites:
+        If set, members pack onto this many stub ASes (groups cluster
+        in datacenters/campuses); otherwise each member independently
+        picks a stub.
+    """
+
+    def __init__(
+        self,
+        n_as: int = 512,
+        n_members: int = 256,
+        attachment: int = 2,
+        seed: int = 0,
+        member_sites: Optional[int] = None,
+    ):
+        if n_as < 4:
+            raise ValueError("need at least 4 ASes")
+        if n_members < 1:
+            raise ValueError("need at least 1 member")
+        if member_sites is not None and not 1 <= member_sites <= n_as:
+            raise ValueError("member_sites must be in [1, n_as]")
+        self.n_as = n_as
+        self.n_members = n_members
+        rng = np.random.default_rng(seed)
+
+        self.graph = nx.barabasi_albert_graph(n_as, attachment, seed=int(seed))
+        # Inter-AS link latencies: 5–40 ms one-way.  Hub-to-hub backbone
+        # links are modestly faster, as in the real Internet core.
+        for u, v in self.graph.edges:
+            base = rng.uniform(0.005, 0.040)
+            if self.graph.degree[u] > 8 and self.graph.degree[v] > 8:
+                base *= 0.5
+            self.graph.edges[u, v]["latency"] = float(base)
+
+        # Members live on stub ASes: sample with probability ~ 1/degree.
+        degrees = np.array([self.graph.degree[a] for a in range(n_as)], dtype=float)
+        probs = (1.0 / degrees) / np.sum(1.0 / degrees)
+        if member_sites is None:
+            pool = rng.choice(n_as, size=n_members, p=probs)
+        else:
+            sites = rng.choice(n_as, size=member_sites, replace=False, p=probs)
+            pool = sites[rng.integers(0, member_sites, size=n_members)]
+        self._host_of_member = [int(a) for a in pool]
+        self._finalize()
+
+
+class TransitStubTopology(RoutedTopology):
+    """GT-ITM-style transit–stub hierarchy.
+
+    Structure: ``backbone_as`` transit ASes form a Barabási–Albert core
+    with 15–35 ms long-haul links; each of ``n_regions`` regional hubs
+    attaches to two backbone ASes (5–10 ms); each region contains
+    ``stubs_per_region`` stub ASes attached to their hub (1–4 ms) plus a
+    few intra-region stub–stub shortcuts.  Group members spread over the
+    stubs of all regions.
+
+    The resulting member latencies are strongly clustered (a few ms
+    intra-region, ~50–120 ms across regions), so a proximity-aware
+    overlay keeps its nearby links and its transit traffic inside
+    regions, while random gossip crosses the backbone per delivery —
+    reproducing the paper's bottleneck-link result.
+    """
+
+    def __init__(
+        self,
+        n_regions: int = 8,
+        stubs_per_region: int = 6,
+        backbone_as: int = 12,
+        n_members: int = 96,
+        seed: int = 0,
+    ):
+        if n_regions < 2:
+            raise ValueError("need at least 2 regions")
+        if stubs_per_region < 1 or backbone_as < 3:
+            raise ValueError("invalid topology shape")
+        if n_members < 1:
+            raise ValueError("need at least 1 member")
+        self.n_regions = n_regions
+        self.stubs_per_region = stubs_per_region
+        self.backbone_as = backbone_as
+        self.n_members = n_members
+        rng = np.random.default_rng(seed)
+
+        graph = nx.barabasi_albert_graph(backbone_as, 2, seed=int(seed))
+        for u, v in graph.edges:
+            graph.edges[u, v]["latency"] = float(rng.uniform(0.015, 0.035))
+            graph.edges[u, v]["tier"] = "backbone"
+
+        next_as = backbone_as
+        self._region_of_as: Dict[int, int] = {}
+        self._hub_of_region: List[int] = []
+        stub_ases: List[int] = []
+        for region in range(n_regions):
+            hub = next_as
+            next_as += 1
+            graph.add_node(hub)
+            self._region_of_as[hub] = region
+            self._hub_of_region.append(hub)
+            for attach in rng.choice(backbone_as, size=2, replace=False):
+                graph.add_edge(
+                    hub, int(attach),
+                    latency=float(rng.uniform(0.005, 0.010)), tier="regional",
+                )
+            region_stubs = []
+            for _ in range(stubs_per_region):
+                stub = next_as
+                next_as += 1
+                graph.add_node(stub)
+                self._region_of_as[stub] = region
+                graph.add_edge(
+                    stub, hub,
+                    latency=float(rng.uniform(0.001, 0.004)), tier="access",
+                )
+                region_stubs.append(stub)
+            # A couple of intra-region stub-stub shortcuts.
+            for _ in range(max(1, stubs_per_region // 3)):
+                a, b = rng.choice(region_stubs, size=2, replace=False)
+                if not graph.has_edge(int(a), int(b)):
+                    graph.add_edge(
+                        int(a), int(b),
+                        latency=float(rng.uniform(0.002, 0.006)), tier="access",
+                    )
+            stub_ases.extend(region_stubs)
+
+        self.graph = graph
+        self.n_as = next_as
+        # Members spread over stubs, round-robin across regions so every
+        # region is populated, with a random stub within the region.
+        self._host_of_member = []
+        for m in range(n_members):
+            region = m % n_regions
+            stubs = [s for s in stub_ases if self._region_of_as[s] == region]
+            self._host_of_member.append(int(rng.choice(stubs)))
+        self._finalize()
+
+    def region_of_member(self, member: int) -> int:
+        return self._region_of_as[self._host_of_member[member]]
+
+    def backbone_edges(self) -> List[Edge]:
+        """The long-haul links — the bottlenecks of this topology."""
+        return [
+            _canonical(u, v)
+            for u, v, data in self.graph.edges(data=True)
+            if data.get("tier") in ("backbone", "regional")
+        ]

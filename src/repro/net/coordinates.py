@@ -1,0 +1,168 @@
+"""GNP-style network coordinates (Ng & Zhang [13]).
+
+The paper uses "the triangular heuristic [13] to estimate latencies";
+the same cited work's main contribution is *Global Network Positioning*:
+embed nodes into a low-dimensional Euclidean space so that coordinate
+distance approximates RTT.  This module implements that alternative
+estimator — useful where the triangular bounds are loose — with the
+standard two-phase construction:
+
+1. **Landmark phase** — the landmark nodes measure RTTs among
+   themselves and solve for landmark coordinates minimizing squared
+   relative error (scipy when available, with a pure-numpy coordinate
+   descent fallback so the offline environment never breaks).
+2. **Node phase** — each other node measures RTTs to the landmarks only
+   and solves for its own coordinates against the fixed landmark
+   positions.
+
+Both estimators expose the same ``estimate_rtt`` / ``rank_candidates``
+API, so GoCast's join and maintenance code can use either.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.net.latency import LatencyModel
+
+try:  # pragma: no cover - exercised implicitly by either branch
+    from scipy.optimize import least_squares
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    _HAVE_SCIPY = False
+
+
+def _fit_landmarks(rtt: np.ndarray, dims: int, rng: np.random.Generator) -> np.ndarray:
+    """Embed the landmark RTT matrix into ``dims`` dimensions."""
+    n = rtt.shape[0]
+
+    def residuals(flat: np.ndarray) -> np.ndarray:
+        coords = flat.reshape(n, dims)
+        out = []
+        for i in range(n):
+            for j in range(i + 1, n):
+                dist = np.linalg.norm(coords[i] - coords[j])
+                out.append(dist - rtt[i, j])
+        return np.asarray(out)
+
+    start = rng.normal(0.0, rtt.mean() or 1.0, size=n * dims)
+    if _HAVE_SCIPY:
+        fit = least_squares(residuals, start)
+        return fit.x.reshape(n, dims)
+    return _descend(residuals, start, steps=400).reshape(n, dims)
+
+
+def _fit_node(
+    landmark_coords: np.ndarray, rtts: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Position one node against fixed landmark coordinates."""
+    dims = landmark_coords.shape[1]
+
+    def residuals(point: np.ndarray) -> np.ndarray:
+        return np.linalg.norm(landmark_coords - point, axis=1) - rtts
+
+    start = landmark_coords.mean(axis=0) + rng.normal(0.0, 0.01, size=dims)
+    if _HAVE_SCIPY:
+        return least_squares(residuals, start).x
+    return _descend(residuals, start, steps=200)
+
+
+def _descend(residuals, start: np.ndarray, steps: int, lr: float = 0.05) -> np.ndarray:
+    """Numerical-gradient descent fallback when scipy is unavailable."""
+    x = start.astype(float).copy()
+    eps = 1e-6
+    for _ in range(steps):
+        base = residuals(x)
+        grad = np.zeros_like(x)
+        for k in range(len(x)):
+            x[k] += eps
+            grad[k] = (np.sum(residuals(x) ** 2) - np.sum(base ** 2)) / eps
+            x[k] -= eps
+        norm = np.linalg.norm(grad)
+        if norm < 1e-12:
+            break
+        x -= lr * grad / norm * max(np.sqrt(np.sum(base ** 2)), 1e-6)
+    return x
+
+
+class GnpCoordinates:
+    """GNP coordinate estimator over a ground-truth latency model.
+
+    Parameters
+    ----------
+    model:
+        Ground truth used to synthesize the measurements each node
+        would have performed.
+    landmarks:
+        Landmark node ids (7-15 typical).
+    dims:
+        Embedding dimensionality (Ng & Zhang find 5-7 sufficient for
+        the Internet; clustered synthetic data does well with 2-4).
+    """
+
+    def __init__(
+        self,
+        model: LatencyModel,
+        landmarks: Sequence[int],
+        dims: int = 4,
+        seed: int = 0,
+    ):
+        if len(landmarks) < dims + 1:
+            raise ValueError("need at least dims + 1 landmarks")
+        self._model = model
+        self._landmarks = list(landmarks)
+        self._dims = dims
+        self._rng = np.random.default_rng(seed)
+
+        n_lm = len(self._landmarks)
+        rtt = np.zeros((n_lm, n_lm))
+        for i, a in enumerate(self._landmarks):
+            for j, b in enumerate(self._landmarks):
+                rtt[i, j] = model.rtt(a, b)
+        self._landmark_coords = _fit_landmarks(rtt, dims, self._rng)
+        self._coords: Dict[int, np.ndarray] = {
+            lm: self._landmark_coords[i] for i, lm in enumerate(self._landmarks)
+        }
+
+    @property
+    def landmarks(self) -> Sequence[int]:
+        return tuple(self._landmarks)
+
+    @property
+    def dims(self) -> int:
+        return self._dims
+
+    def coordinates(self, node: int) -> np.ndarray:
+        """The node's (cached) fitted coordinates."""
+        coords = self._coords.get(node)
+        if coords is None:
+            rtts = np.array([self._model.rtt(node, lm) for lm in self._landmarks])
+            coords = _fit_node(self._landmark_coords, rtts, self._rng)
+            self._coords[node] = coords
+        return coords
+
+    def estimate_rtt(self, a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        return float(np.linalg.norm(self.coordinates(a) - self.coordinates(b)))
+
+    def rank_candidates(self, node: int, candidates: Sequence[int]) -> List[int]:
+        """Candidates sorted by increasing estimated RTT from ``node``."""
+        return sorted(candidates, key=lambda c: self.estimate_rtt(node, c))
+
+    def estimation_error(self, pairs: Sequence, relative: bool = True) -> float:
+        """Mean (relative) absolute error over ``pairs`` of (a, b)."""
+        errors = []
+        for a, b in pairs:
+            true = self._model.rtt(a, b)
+            est = self.estimate_rtt(a, b)
+            if relative:
+                if true <= 0:
+                    continue
+                errors.append(abs(est - true) / true)
+            else:
+                errors.append(abs(est - true))
+        return float(np.mean(errors)) if errors else 0.0

@@ -1,0 +1,116 @@
+"""Network-distance estimation: the triangular heuristic.
+
+When a GoCast node obtains a member list with hundreds of entries it
+cannot afford to measure RTTs to all of them before picking initial
+nearby neighbors (Section 2.2.1).  Instead it *estimates* distances with
+the triangular heuristic of Ng & Zhang [13] and only later verifies the
+promising candidates with real measurements.
+
+The heuristic: each node measures its RTT to a small, fixed set of
+landmark nodes once, producing a landmark vector.  For two nodes *x* and
+*q* with vectors ``dx`` and ``dq``, the triangle inequality bounds the
+true RTT for every landmark *l*::
+
+    |dx[l] - dq[l]|  <=  rtt(x, q)  <=  dx[l] + dq[l]
+
+The estimate is the midpoint of the tightest bounds.  Landmark vectors
+are tiny and piggyback naturally on membership entries, so a node can
+rank any member it hears about without sending a single probe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.net.latency import LatencyModel
+
+
+class TriangularEstimator:
+    """Estimates RTTs from landmark vectors.
+
+    Parameters
+    ----------
+    model:
+        The ground-truth latency model (used to synthesize the landmark
+        measurements each node would have performed at bootstrap).
+    landmarks:
+        Node ids acting as landmarks.  8–15 landmarks give good rankings;
+        the paper leaves the count unspecified.
+    measurement_noise:
+        Relative sigma of multiplicative noise applied to the landmark
+        measurements, modelling imperfect probes.
+    """
+
+    def __init__(
+        self,
+        model: LatencyModel,
+        landmarks: Sequence[int],
+        measurement_noise: float = 0.0,
+        seed: int = 0,
+    ):
+        if not landmarks:
+            raise ValueError("at least one landmark is required")
+        for l in landmarks:
+            if not 0 <= l < model.size:
+                raise IndexError(f"landmark {l} out of range")
+        self._model = model
+        self._landmarks = list(landmarks)
+        self._noise = measurement_noise
+        self._rng = np.random.default_rng(seed)
+        self._vectors: Dict[int, np.ndarray] = {}
+
+    @property
+    def landmarks(self) -> Sequence[int]:
+        return tuple(self._landmarks)
+
+    def vector(self, node: int) -> np.ndarray:
+        """The node's (cached) measured RTT vector to the landmarks."""
+        vec = self._vectors.get(node)
+        if vec is None:
+            vec = np.array(
+                [self._model.rtt(node, l) for l in self._landmarks], dtype=float
+            )
+            if self._noise > 0:
+                vec = vec * self._rng.lognormal(0.0, self._noise, size=len(vec))
+            self._vectors[node] = vec
+        return vec
+
+    def estimate_rtt(self, a: int, b: int) -> float:
+        """Triangular-heuristic RTT estimate between ``a`` and ``b``."""
+        if a == b:
+            return 0.0
+        da, db = self.vector(a), self.vector(b)
+        lower = float(np.max(np.abs(da - db)))
+        upper = float(np.min(da + db))
+        if upper < lower:
+            # Noise or triangle-inequality violations crossed the bounds;
+            # fall back to their average, which remains a sane ranking key.
+            return (upper + lower) / 2.0
+        return (lower + upper) / 2.0
+
+    def rank_candidates(self, node: int, candidates: Sequence[int]) -> list:
+        """Candidates sorted by increasing estimated RTT from ``node``."""
+        return sorted(candidates, key=lambda c: self.estimate_rtt(node, c))
+
+    def estimation_error(self, pairs: Sequence, relative: bool = True) -> float:
+        """Mean (relative) absolute error over ``pairs`` of (a, b)."""
+        errors = []
+        for a, b in pairs:
+            true = self._model.rtt(a, b)
+            est = self.estimate_rtt(a, b)
+            if relative:
+                if true <= 0:
+                    continue
+                errors.append(abs(est - true) / true)
+            else:
+                errors.append(abs(est - true))
+        return float(np.mean(errors)) if errors else 0.0
+
+
+def default_landmarks(n_nodes: int, count: int = 12, seed: int = 0) -> list:
+    """A seeded random landmark set, as a deployment would provision."""
+    rng = np.random.default_rng(seed)
+    count = min(count, n_nodes)
+    return [int(x) for x in rng.choice(n_nodes, size=count, replace=False)]

@@ -1,0 +1,132 @@
+"""Latency models: the interface between protocols and the "Internet".
+
+A latency model answers one question — the one-way delay between two
+nodes — and everything else (transport, RTT probes, tree costs) is built
+on it.  Like the paper's simulator we do not model bandwidth or queueing;
+propagation delay dominates for the small control messages and message
+summaries these protocols exchange.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+
+class LatencyModel(abc.ABC):
+    """One-way latencies between node ids ``0 .. size-1`` (seconds)."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of nodes this model covers."""
+
+    @abc.abstractmethod
+    def one_way(self, a: int, b: int) -> float:
+        """One-way latency from ``a`` to ``b`` in seconds (symmetric)."""
+
+    def rtt(self, a: int, b: int) -> float:
+        """Round-trip time between ``a`` and ``b`` in seconds."""
+        return 2.0 * self.one_way(a, b)
+
+    def mean_one_way(self, sample: int = 20000, seed: int = 0) -> float:
+        """Mean one-way latency over distinct pairs (sampled for large n)."""
+        n = self.size
+        rng = np.random.default_rng(seed)
+        total_pairs = n * (n - 1) // 2
+        if total_pairs <= sample:
+            values = [
+                self.one_way(i, j) for i in range(n) for j in range(i + 1, n)
+            ]
+            return float(np.mean(values)) if values else 0.0
+        a = rng.integers(0, n, size=sample)
+        b = rng.integers(0, n, size=sample)
+        mask = a != b
+        values = [self.one_way(int(i), int(j)) for i, j in zip(a[mask], b[mask])]
+        return float(np.mean(values))
+
+
+class ConstantLatencyModel(LatencyModel):
+    """Every pair has the same latency.  Useful in unit tests."""
+
+    def __init__(self, size: int, latency: float = 0.05):
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self._size = size
+        self._latency = latency
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def one_way(self, a: int, b: int) -> float:
+        self._check(a)
+        self._check(b)
+        return 0.0 if a == b else self._latency
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self._size:
+            raise IndexError(f"node {node} out of range [0, {self._size})")
+
+
+class MatrixLatencyModel(LatencyModel):
+    """Latencies given by an explicit symmetric matrix (seconds)."""
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("latency matrix must be square")
+        if np.any(matrix < 0):
+            raise ValueError("latencies must be non-negative")
+        if not np.allclose(matrix, matrix.T):
+            raise ValueError("latency matrix must be symmetric")
+        if np.any(np.diag(matrix) != 0):
+            raise ValueError("self-latency must be zero")
+        self._matrix = matrix
+
+    @property
+    def size(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying matrix (callers must not mutate it)."""
+        return self._matrix
+
+    def one_way(self, a: int, b: int) -> float:
+        return float(self._matrix[a, b])
+
+
+class EuclideanLatencyModel(LatencyModel):
+    """Latency proportional to Euclidean distance between coordinates.
+
+    A simple geometric model used in tests and as the backbone of the
+    synthetic King generator (which adds clustering and noise on top).
+    """
+
+    def __init__(self, coordinates: Sequence[Sequence[float]], seconds_per_unit: float = 1.0):
+        coords = np.asarray(coordinates, dtype=float)
+        if coords.ndim != 2:
+            raise ValueError("coordinates must be a 2-D array (n_nodes x dims)")
+        if seconds_per_unit <= 0:
+            raise ValueError("seconds_per_unit must be positive")
+        self._coords = coords
+        self._scale = seconds_per_unit
+
+    @property
+    def size(self) -> int:
+        return self._coords.shape[0]
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        return self._coords
+
+    def one_way(self, a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        diff = self._coords[a] - self._coords[b]
+        return float(np.sqrt(np.dot(diff, diff)) * self._scale)

@@ -1,0 +1,30 @@
+"""Baseline dissemination protocols the paper compares against.
+
+* :mod:`repro.protocols.push_gossip` — the "gossip" curve: a push-based
+  gossip multicast in the style of Bimodal Multicast, fanout ``F``, one
+  gossip to one uniformly random node per period ``t``.
+* :mod:`repro.protocols.nowait_gossip` — the "no-wait gossip" curve:
+  upon receiving a message a node immediately gossips its ID to ``F``
+  random nodes (gossip period effectively zero); reveals the fundamental
+  delay limit of gossip multicast.
+* :mod:`repro.protocols.overlay_gossip` — the "proximity overlay" and
+  "random overlay" curves: the full GoCast overlay but dissemination
+  through neighbor gossip only (no tree).  These are configuration
+  presets of :class:`~repro.core.node.GoCastNode`.
+* :mod:`repro.protocols.pushpull_gossip` — the push+pull combination
+  the paper's footnote 1 sketches as the fix for push gossip's
+  reliability, with its "no unnecessary pulls" guard.
+"""
+
+from repro.protocols.nowait_gossip import NoWaitGossipNode
+from repro.protocols.overlay_gossip import proximity_overlay_config, random_overlay_config
+from repro.protocols.push_gossip import PushGossipNode
+from repro.protocols.pushpull_gossip import PushPullGossipNode
+
+__all__ = [
+    "NoWaitGossipNode",
+    "PushGossipNode",
+    "PushPullGossipNode",
+    "proximity_overlay_config",
+    "random_overlay_config",
+]

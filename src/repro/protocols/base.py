@@ -1,0 +1,212 @@
+"""Shared machinery for the random-gossip baseline protocols.
+
+Both push gossip and no-wait gossip follow the same anti-entropy shape:
+advertise message IDs to random nodes, answer pull requests with the
+payloads.  The difference is purely *when* IDs are advertised, so the
+common node keeps per-message fanout budgets and pull bookkeeping and
+lets subclasses decide the advertisement schedule.
+
+All traffic is unreliable (UDP-like): the baselines maintain no
+connections, so sends to crashed nodes vanish silently — which is
+exactly why "some nodes in a 1,024-node system never hear about a given
+message" with small fanouts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ids import MessageId, MessageIdAllocator
+from repro.core.messages import PullData, PullRequest
+from repro.sim.engine import Simulator
+from repro.sim.trace import DeliveryTracer
+from repro.sim.transport import Network
+
+_HEADER = 20
+
+
+@dataclasses.dataclass(frozen=True)
+class RandomGossip:
+    """ID summary pushed to a uniformly random node."""
+
+    summaries: Tuple[Tuple[MessageId, float], ...]
+
+    def wire_size(self) -> int:
+        return _HEADER + 12 * len(self.summaries)
+
+
+@dataclasses.dataclass
+class _GossipedMessage:
+    payload_size: int
+    deliver_time: float
+    age_at_deliver: float
+    remaining_fanout: int
+
+    def age(self, now: float) -> float:
+        return self.age_at_deliver + (now - self.deliver_time)
+
+
+class RandomGossipNode:
+    """Common base of the push-gossip and no-wait-gossip baselines."""
+
+    #: How long an unanswered pull blocks re-requesting the same ID.
+    PULL_TIMEOUT = 1.0
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        membership: Sequence[int],
+        fanout: int = 5,
+        rng: Optional[random.Random] = None,
+        tracer: Optional[DeliveryTracer] = None,
+    ):
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        #: Full membership, as assumed by Bimodal-style protocols.
+        self.membership = [m for m in membership if m != node_id]
+        self.fanout = fanout
+        self.rng = rng if rng is not None else random.Random(node_id)
+        self.tracer = tracer if tracer is not None else DeliveryTracer()
+        self._messages: Dict[MessageId, _GossipedMessage] = {}
+        self._pending: Dict[MessageId, object] = {}
+        self._id_alloc = MessageIdAllocator(node_id)
+        self.alive = False
+        #: Last time this node saw evidence of multicast traffic (a
+        #: delivery or any incoming gossip); drives push-pull's
+        #: "pull only while the system is active" guard.
+        self.last_heard_traffic = float("-inf")
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.alive = True
+
+    def stop(self) -> None:
+        self.alive = False
+
+    def crash(self) -> None:
+        self.network.kill(self.node_id)
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Application API
+    # ------------------------------------------------------------------
+    def multicast(self, payload_size: int = 1024) -> MessageId:
+        if not self.alive:
+            raise RuntimeError(f"node {self.node_id} is not running")
+        msg_id = self._id_alloc.allocate()
+        self.tracer.injected(msg_id, self.sim.now, self.node_id)
+        self._store(msg_id, payload_size, age=0.0)
+        return msg_id
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def on_new_message(self, msg_id: MessageId) -> None:
+        """Called when a message first becomes available locally."""
+
+    # ------------------------------------------------------------------
+    # Message plumbing
+    # ------------------------------------------------------------------
+    def send(self, dst: int, msg: object) -> None:
+        self.network.send(self.node_id, dst, msg, reliable=False)
+
+    def random_targets(self, count: int) -> List[int]:
+        if count >= len(self.membership):
+            return list(self.membership)
+        return self.rng.sample(self.membership, count)
+
+    def handle_message(self, src: int, msg: object) -> None:
+        if not self.alive:
+            return
+        if isinstance(msg, RandomGossip):
+            self._on_gossip(src, msg)
+        elif isinstance(msg, PullRequest):
+            self._on_pull_request(src, msg)
+        elif isinstance(msg, PullData):
+            self._on_pull_data(src, msg)
+        else:
+            raise TypeError(f"baseline node: unhandled message {type(msg).__name__}")
+
+    def handle_send_failure(self, dst: int, msg: object) -> None:
+        """Unreliable transport never reports failures; nothing to do."""
+
+    # ------------------------------------------------------------------
+    # Gossip / pull mechanics
+    # ------------------------------------------------------------------
+    def _on_gossip(self, src: int, gossip: RandomGossip) -> None:
+        if gossip.summaries:
+            # Empty gossips are pull probes, not traffic evidence —
+            # counting them would make probing self-sustaining.
+            self.last_heard_traffic = self.sim.now
+        unknown = [
+            msg_id
+            for msg_id, _age in gossip.summaries
+            if msg_id not in self._messages and msg_id not in self._pending
+        ]
+        if not unknown:
+            return
+        for msg_id in unknown:
+            self._pending[msg_id] = self.sim.schedule(
+                self.PULL_TIMEOUT, self._expire_pending, msg_id
+            )
+        self.send(src, PullRequest(ids=tuple(unknown)))
+
+    def _expire_pending(self, msg_id: MessageId) -> None:
+        # The pull went unanswered; allow a future gossip to retry.
+        self._pending.pop(msg_id, None)
+
+    def _on_pull_request(self, src: int, msg: PullRequest) -> None:
+        now = self.sim.now
+        available = [
+            (msg_id, self._messages[msg_id].age(now),
+             self._messages[msg_id].payload_size, None)
+            for msg_id in msg.ids
+            if msg_id in self._messages
+        ]
+        if available:
+            self.send(src, PullData(messages=tuple(available)))
+
+    def _on_pull_data(self, src: int, msg: PullData) -> None:
+        owl = self.network.latency.one_way(src, self.node_id)
+        for msg_id, age, size, _payload in msg.messages:
+            handle = self._pending.pop(msg_id, None)
+            if handle is not None:
+                handle.cancel()
+            if msg_id in self._messages:
+                self.tracer.redundant(msg_id, self.node_id)
+                continue
+            self.tracer.delivered(msg_id, self.node_id, self.sim.now)
+            self.tracer.pulled(msg_id, self.node_id)
+            self._store(msg_id, size, age=age + owl)
+
+    def _store(self, msg_id: MessageId, payload_size: int, age: float) -> None:
+        self.last_heard_traffic = self.sim.now
+        self._messages[msg_id] = _GossipedMessage(
+            payload_size=payload_size,
+            deliver_time=self.sim.now,
+            age_at_deliver=age,
+            remaining_fanout=self.fanout,
+        )
+        self.on_new_message(msg_id)
+
+    def message_entry(self, msg_id: MessageId) -> Optional[_GossipedMessage]:
+        return self._messages.get(msg_id)
+
+    def active_summaries(self) -> List[Tuple[MessageId, float, _GossipedMessage]]:
+        """Messages whose fanout budget is not exhausted."""
+        now = self.sim.now
+        return [
+            (msg_id, entry.age(now), entry)
+            for msg_id, entry in self._messages.items()
+            if entry.remaining_fanout > 0
+        ]

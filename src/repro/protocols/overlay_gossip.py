@@ -1,0 +1,34 @@
+"""Overlay-gossip baselines: GoCast without its tree.
+
+The paper's "proximity overlay" and "random overlay" curves are
+"simplified versions of the GoCast protocol that only propagate
+messages through gossips exchanged between overlay neighbors; the
+system neither maintains nor uses the tree."
+
+* *Proximity overlay*: 5 nearby + 1 random neighbor per node — isolates
+  the value of the tree (GoCast minus tree).
+* *Random overlay*: 6 random neighbors only — additionally removes
+  proximity awareness; its delay resembles plain gossip but its
+  *reliability* is perfect because the overlay stays connected.
+
+Both are plain :class:`~repro.core.config.GoCastConfig` presets with
+``use_tree=False``; the node implementation is unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import GoCastConfig
+
+
+def proximity_overlay_config(**overrides) -> GoCastConfig:
+    """GoCast overlay (1 random + 5 nearby), gossip-only dissemination."""
+    params = dict(c_rand=1, c_near=5, use_tree=False)
+    params.update(overrides)
+    return GoCastConfig(**params)
+
+
+def random_overlay_config(degree: int = 6, **overrides) -> GoCastConfig:
+    """Purely random overlay of the given degree, gossip-only."""
+    params = dict(c_rand=degree, c_near=0, use_tree=False)
+    params.update(overrides)
+    return GoCastConfig(**params)

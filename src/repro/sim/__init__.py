@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates GoCast with a custom event-driven simulator (6,100
+lines of C++).  This package is our Python equivalent: a deterministic
+event engine (:mod:`repro.sim.engine`), periodic timers
+(:mod:`repro.sim.timers`), a message transport that models reliable
+FIFO neighbor channels and lossy datagrams (:mod:`repro.sim.transport`),
+failure injection (:mod:`repro.sim.failures`), and statistics tracing
+(:mod:`repro.sim.trace`).
+"""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.failures import ChurnProcess, FailureInjector
+from repro.sim.timers import PeriodicTimer
+from repro.sim.transport import Endpoint, Network
+from repro.sim.trace import DeliveryTracer, TraceRecorder
+
+__all__ = [
+    "ChurnProcess",
+    "DeliveryTracer",
+    "Endpoint",
+    "EventHandle",
+    "FailureInjector",
+    "Network",
+    "PeriodicTimer",
+    "Simulator",
+    "TraceRecorder",
+]

@@ -1,0 +1,159 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic calendar queue built on :mod:`heapq`.  Events are
+``(time, sequence, callback)`` triples; the monotonically increasing
+sequence number makes the execution order of same-time events
+deterministic (FIFO in scheduling order), which in turn makes every
+simulation in this repository reproducible from its seed.
+
+Cancellation is lazy: :meth:`EventHandle.cancel` marks the handle and the
+main loop skips cancelled entries when they surface, so cancel is O(1)
+and the queue never needs re-heapification.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the engine (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """A scheduled event; the only mutation callers may perform is cancel."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[..., Any]] = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so it will be skipped when it surfaces."""
+        self.cancelled = True
+        # Drop references early; a long-lived cancelled timer should not
+        # pin its callback's closure (and transitively a dead node) alive.
+        self.callback = None
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, node.on_timer)
+        sim.run_until(100.0)
+
+    The clock unit is seconds throughout the repository.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: List[EventHandle] = []
+        self._executed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queue entries, including not-yet-collected cancellations."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def run_until(self, end_time: float) -> None:
+        """Execute events up to and including ``end_time``.
+
+        After the call returns the clock rests exactly at ``end_time``
+        even if the queue drained earlier, so that back-to-back
+        ``run_until`` calls compose naturally.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"run_until({end_time}) would move time backwards from {self._now}"
+            )
+        self._run(end_time)
+        self._now = end_time
+
+    def run(self) -> None:
+        """Execute events until the queue is empty."""
+        self._run(None)
+
+    def step(self) -> bool:
+        """Execute the single next pending event.  Returns False if none."""
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            callback, args = handle.callback, handle.args
+            handle.callback, handle.args = None, ()
+            self._executed += 1
+            assert callback is not None
+            callback(*args)
+            return True
+        return False
+
+    def _run(self, end_time: Optional[float]) -> None:
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            queue = self._queue
+            while queue:
+                handle = queue[0]
+                if handle.cancelled:
+                    heapq.heappop(queue)
+                    continue
+                if end_time is not None and handle.time > end_time:
+                    break
+                heapq.heappop(queue)
+                self._now = handle.time
+                callback, args = handle.callback, handle.args
+                handle.callback, handle.args = None, ()
+                self._executed += 1
+                assert callback is not None
+                callback(*args)
+        finally:
+            self._running = False

@@ -1,0 +1,165 @@
+"""Simulated message transport.
+
+Two delivery modes mirror the paper's use of the real stack:
+
+* **Reliable** sends model the pre-established TCP connections between
+  overlay neighbors: never lost, and FIFO per ordered pair (latency is
+  constant per pair and the engine breaks ties by scheduling order, so
+  FIFO holds by construction).  If the destination is dead or the link
+  has been failed, the *sender* is informed after one RTT — the moral
+  equivalent of a TCP reset — via ``handle_send_failure``.
+* **Unreliable** sends model UDP (RTT probes between non-neighbors):
+  subject to the configured loss rate and silently dropped on dead
+  destinations.
+
+The transport also exposes per-message-type counters and an optional
+``on_send`` hook used by the link-stress analysis to route every
+application-level hop over the physical topology.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional, Protocol, Set, Tuple
+
+from repro.net.latency import LatencyModel
+from repro.sim.engine import Simulator
+
+
+class Endpoint(Protocol):
+    """What the transport requires of a protocol node."""
+
+    node_id: int
+
+    def handle_message(self, src: int, msg: Any) -> None:
+        """Deliver ``msg`` sent by ``src``."""
+
+    def handle_send_failure(self, dst: int, msg: Any) -> None:
+        """A reliable send to ``dst`` failed (peer dead or link down)."""
+
+
+class Network:
+    """Routes messages between registered endpoints with realistic delay."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.latency = latency
+        self.loss_rate = loss_rate
+        self._rng = rng if rng is not None else random.Random(0)
+        self._endpoints: Dict[int, Endpoint] = {}
+        self._dead: Set[int] = set()
+        self._failed_links: Set[Tuple[int, int]] = set()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_lost = 0
+        self.sent_by_type: Dict[str, int] = {}
+        self.bytes_by_type: Dict[str, int] = {}
+        #: Optional hook called as ``on_send(src, dst, msg)`` for every send.
+        self.on_send: Optional[Callable[[int, int, Any], None]] = None
+
+    # ------------------------------------------------------------------
+    # Registration and liveness
+    # ------------------------------------------------------------------
+    def register(self, endpoint: Endpoint) -> None:
+        node_id = endpoint.node_id
+        if node_id in self._endpoints:
+            raise ValueError(f"node {node_id} already registered")
+        self._endpoints[node_id] = endpoint
+        self._dead.discard(node_id)
+
+    def kill(self, node_id: int) -> None:
+        """Crash-stop ``node_id``; in-flight messages to it are dropped."""
+        if node_id in self._endpoints:
+            self._dead.add(node_id)
+
+    def revive(self, node_id: int) -> None:
+        """Bring a previously killed node back (used by churn scenarios)."""
+        self._dead.discard(node_id)
+
+    def remove(self, node_id: int) -> None:
+        """Fully deregister a node (after a graceful leave)."""
+        self._endpoints.pop(node_id, None)
+        self._dead.discard(node_id)
+
+    def is_alive(self, node_id: int) -> bool:
+        return node_id in self._endpoints and node_id not in self._dead
+
+    def alive_nodes(self) -> Set[int]:
+        return {n for n in self._endpoints if n not in self._dead}
+
+    # ------------------------------------------------------------------
+    # Link failures
+    # ------------------------------------------------------------------
+    def fail_link(self, a: int, b: int) -> None:
+        self._failed_links.add(self._link_key(a, b))
+
+    def restore_link(self, a: int, b: int) -> None:
+        self._failed_links.discard(self._link_key(a, b))
+
+    def link_ok(self, a: int, b: int) -> bool:
+        return self._link_key(a, b) not in self._failed_links
+
+    @staticmethod
+    def _link_key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, msg: Any, reliable: bool = True) -> None:
+        """Send ``msg`` from ``src`` to ``dst``.
+
+        Latency is the model's one-way delay.  See the module docstring
+        for the reliable/unreliable semantics.
+        """
+        if src == dst:
+            raise ValueError("a node cannot send a network message to itself")
+        self.messages_sent += 1
+        type_name = type(msg).__name__
+        self.sent_by_type[type_name] = self.sent_by_type.get(type_name, 0) + 1
+        wire_size = getattr(msg, "wire_size", None)
+        if callable(wire_size):
+            self.bytes_by_type[type_name] = (
+                self.bytes_by_type.get(type_name, 0) + wire_size()
+            )
+        if self.on_send is not None:
+            self.on_send(src, dst, msg)
+
+        delay = self.latency.one_way(src, dst)
+        broken = not self.is_alive(dst) or not self.link_ok(src, dst)
+
+        if reliable:
+            if broken:
+                # TCP-style: the sender learns after ~1 RTT.
+                self.messages_lost += 1
+                self.sim.schedule(2.0 * delay, self._notify_failure, src, dst, msg)
+                return
+            self.sim.schedule(delay, self._deliver, src, dst, msg)
+            return
+
+        # UDP-style datagram.
+        if broken or (self.loss_rate > 0.0 and self._rng.random() < self.loss_rate):
+            self.messages_lost += 1
+            return
+        self.sim.schedule(delay, self._deliver, src, dst, msg)
+
+    def _deliver(self, src: int, dst: int, msg: Any) -> None:
+        if not self.is_alive(dst):
+            # Destination died while the message was in flight.
+            self.messages_lost += 1
+            return
+        self.messages_delivered += 1
+        self._endpoints[dst].handle_message(src, msg)
+
+    def _notify_failure(self, src: int, dst: int, msg: Any) -> None:
+        if not self.is_alive(src):
+            return
+        self._endpoints[src].handle_send_failure(dst, msg)

@@ -1,0 +1,109 @@
+"""Tests for overlay snapshots and graph analytics."""
+
+import random
+
+import pytest
+
+from repro.analysis.graphstats import OverlaySnapshot
+from repro.core.messages import NEARBY, RANDOM
+from tests.conftest import TinyCluster
+
+
+def make_snapshot(links, n=6, kinds=None, tree_links=None):
+    cluster = TinyCluster(n)
+    kinds = kinds or {}
+    for a, b in links:
+        cluster.connect(a, b, kinds.get((a, b), NEARBY))
+    if tree_links:
+        for parent, child in tree_links:
+            cluster.nodes[child].tree.parent = parent
+            cluster.nodes[parent].tree.children.add(child)
+    return cluster, OverlaySnapshot(cluster.nodes.values())
+
+
+def test_degree_histogram():
+    _, snap = make_snapshot([(0, 1), (1, 2), (2, 3)], n=4)
+    assert snap.degree_histogram() == {1: 2, 2: 2}
+    assert snap.degree_fraction(2) == 0.5
+    assert snap.mean_degree() == pytest.approx(1.5)
+
+
+def test_link_kind_counting():
+    _, snap = make_snapshot(
+        [(0, 1), (1, 2)], n=3, kinds={(0, 1): RANDOM, (1, 2): NEARBY}
+    )
+    assert snap.count_links() == 2
+    assert snap.count_links(RANDOM) == 1
+    assert snap.count_links(NEARBY) == 1
+
+
+def test_mean_link_latency_by_kind():
+    cluster, snap = make_snapshot(
+        [(0, 1), (1, 2)], n=3, kinds={(0, 1): RANDOM, (1, 2): NEARBY}
+    )
+    # TinyCluster uses constant 10 ms one-way latencies.
+    assert snap.mean_link_latency() == pytest.approx(0.010)
+    assert snap.mean_link_latency(RANDOM) == pytest.approx(0.010)
+
+
+def test_connectivity_and_components():
+    _, snap = make_snapshot([(0, 1), (2, 3)], n=4)
+    assert not snap.is_connected()
+    assert snap.largest_component_fraction() == 0.5
+    _, snap2 = make_snapshot([(0, 1), (1, 2), (2, 3)], n=4)
+    assert snap2.is_connected()
+    assert snap2.largest_component_fraction() == 1.0
+
+
+def test_largest_component_after_failures_bounds():
+    links = [(i, (i + 1) % 8) for i in range(8)]
+    _, snap = make_snapshot(links, n=8)
+    q = snap.largest_component_after_failures(0.25, rng=random.Random(1))
+    assert 0.0 < q <= 1.0
+    assert snap.largest_component_after_failures(0.0) == 1.0
+    with pytest.raises(ValueError):
+        snap.largest_component_after_failures(1.0)
+
+
+def test_diameter_exact_small():
+    links = [(0, 1), (1, 2), (2, 3)]
+    _, snap = make_snapshot(links, n=4)
+    assert snap.diameter_hops() == 3
+    _, ring = make_snapshot([(i, (i + 1) % 6) for i in range(6)], n=6)
+    assert ring.diameter_hops() == 3
+
+
+def test_diameter_undefined_for_disconnected():
+    _, snap = make_snapshot([(0, 1)], n=4)
+    with pytest.raises(ValueError):
+        snap.diameter_hops()
+
+
+def test_tree_spanning_and_acyclic():
+    links = [(0, 1), (1, 2), (0, 2)]
+    _, snap = make_snapshot(links, n=3, tree_links=[(0, 1), (1, 2)])
+    assert snap.tree_is_spanning()
+    assert snap.tree_is_acyclic()
+
+
+def test_tree_not_spanning_when_node_detached():
+    links = [(0, 1), (1, 2)]
+    _, snap = make_snapshot(links, n=3, tree_links=[(0, 1)])
+    assert not snap.tree_is_spanning()
+
+
+def test_mean_tree_link_latency():
+    cluster, snap = make_snapshot(
+        [(0, 1), (1, 2)], n=3, tree_links=[(0, 1), (1, 2)]
+    )
+    assert snap.mean_tree_link_latency(cluster.latency_model) == pytest.approx(0.010)
+
+
+def test_snapshot_ignores_links_to_dead_nodes():
+    cluster = TinyCluster(3)
+    cluster.connect(0, 1)
+    cluster.connect(1, 2)
+    # Snapshot only over nodes 0 and 1: the 1-2 link has a dead end.
+    snap = OverlaySnapshot([cluster.nodes[0], cluster.nodes[1]])
+    assert snap.count_links() == 1
+    assert set(snap.graph.nodes) == {0, 1}

@@ -1,0 +1,66 @@
+"""Tests for the introspection helpers."""
+
+import pytest
+
+from repro.analysis.inspect import node_summary, overlay_summary, render_tree
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.system import GoCastSystem
+from tests.conftest import TinyCluster
+
+
+@pytest.fixture(scope="module")
+def system():
+    scenario = ScenarioConfig(protocol="gocast", n_nodes=24, adapt_time=20.0, seed=8)
+    sys_ = GoCastSystem(scenario)
+    sys_.run_adaptation()
+    return sys_
+
+
+def test_render_tree_contains_every_node(system):
+    out = render_tree(system.live_nodes())
+    for node_id in system.live_node_ids():
+        assert str(node_id) in out
+    assert f"root {system.root_id}" in out
+    assert "no root" not in out
+
+
+def test_render_tree_marks_orphans():
+    cluster = TinyCluster(3)
+    cluster.connect(0, 1)
+    for node in cluster.nodes.values():
+        node.start()
+        node._maint_timer.stop()
+    cluster.nodes[0].tree.become_root(epoch=0)
+    cluster.run(1.0)
+    # Node 2 has no links and no parent: an orphan.
+    out = render_tree(cluster.nodes.values())
+    assert "orphans" in out
+    assert "2" in out.split("orphans")[1]
+
+
+def test_render_tree_depth_cap(system):
+    out = render_tree(system.live_nodes(), max_depth=1)
+    assert "root" in out  # still renders, possibly elided below depth 1
+
+
+def test_node_summary_fields(system):
+    node = system.nodes[system.root_id]
+    line = node_summary(node)
+    assert "ROOT" in line
+    assert f"node {system.root_id}:" in line
+    other = next(n for n in system.live_nodes() if not n.tree.is_root)
+    line2 = node_summary(other)
+    assert "parent=" in line2
+    assert "dist=" in line2
+
+
+def test_overlay_summary_one_line_per_node(system):
+    out = overlay_summary(system.live_nodes())
+    assert len(out.splitlines()) == len(system.live_node_ids())
+
+
+def test_no_root_case():
+    cluster = TinyCluster(2)
+    cluster.connect(0, 1)
+    out = render_tree(cluster.nodes.values())
+    assert "(no root claimed)" in out

@@ -1,0 +1,82 @@
+"""Tests for the physical-link stress accumulator."""
+
+import pytest
+
+from repro.analysis.linkstress import LinkStressAccumulator
+from repro.net.astopo import ASTopology
+
+
+class SizedMsg:
+    def wire_size(self):
+        return 100
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return ASTopology(n_as=64, n_members=32, seed=4)
+
+
+def test_counts_every_routed_hop(topo):
+    acc = LinkStressAccumulator(topo)
+    acc.on_send(0, 1, "msg")
+    assert acc.messages_routed == 1
+    edges = topo.route_edges(0, 1)
+    assert acc.total_traffic() == len(edges)
+
+
+def test_stress_accumulates_on_shared_links(topo):
+    acc = LinkStressAccumulator(topo)
+    for _ in range(5):
+        acc.on_send(0, 1, "msg")
+    edges = topo.route_edges(0, 1)
+    if edges:
+        assert acc.max_stress() == 5.0
+
+
+def test_byte_weighting(topo):
+    acc = LinkStressAccumulator(topo, weight_by_bytes=True)
+    acc.on_send(0, 1, SizedMsg())
+    edges = topo.route_edges(0, 1)
+    assert acc.total_traffic() == pytest.approx(100.0 * len(edges))
+
+
+def test_same_host_members_cause_no_stress():
+    topo = ASTopology(n_as=8, n_members=64, seed=1)
+    pairs = [
+        (a, b)
+        for a in range(64)
+        for b in range(64)
+        if a != b and topo.host_of(a) == topo.host_of(b)
+    ]
+    assert pairs, "64 members on 8 ASes must share hosts"
+    acc = LinkStressAccumulator(topo)
+    acc.on_send(*pairs[0][:2], "msg")
+    assert acc.total_traffic() == 0.0
+
+
+def test_bottleneck_stress_is_tail_mean(topo):
+    acc = LinkStressAccumulator(topo)
+    # Route a bunch of random pairs.
+    for a in range(0, 30, 2):
+        acc.on_send(a, a + 1, "m")
+        acc.on_send(a + 1, a, "m")
+    assert acc.bottleneck_stress(0.01) >= acc.mean_stress()
+    assert acc.max_stress() >= acc.bottleneck_stress(0.01)
+    assert acc.percentile(100) == acc.max_stress()
+
+
+def test_top_links_sorted(topo):
+    acc = LinkStressAccumulator(topo)
+    for a in range(0, 20, 2):
+        acc.on_send(a, a + 1, "m")
+    top = acc.top_links(5)
+    stresses = [s for _, s in top]
+    assert stresses == sorted(stresses, reverse=True)
+
+
+def test_empty_accumulator(topo):
+    acc = LinkStressAccumulator(topo)
+    assert acc.max_stress() == 0.0
+    assert acc.mean_stress() == 0.0
+    assert acc.bottleneck_stress() == 0.0
+    assert acc.top_links() == []

@@ -1,0 +1,73 @@
+"""Tests for the analytic gossip-reliability model (Figure 1)."""
+
+import math
+
+import pytest
+
+from repro.analysis.reliability import (
+    atomic_broadcast_probability,
+    figure1_series,
+    min_fanout_for_reliability,
+    multi_message_probability,
+)
+
+
+def test_matches_closed_form():
+    n, fanout = 1024, 5
+    expected = math.exp(-math.exp(math.log(n) - fanout))
+    assert atomic_broadcast_probability(n, fanout) == pytest.approx(expected)
+
+
+def test_monotone_in_fanout():
+    probs = [atomic_broadcast_probability(1024, f) for f in range(1, 25)]
+    assert all(a <= b for a, b in zip(probs, probs[1:]))
+
+
+def test_decreasing_in_system_size():
+    assert atomic_broadcast_probability(2048, 8) < atomic_broadcast_probability(512, 8)
+
+
+def test_multi_message_is_power_of_single():
+    p1 = atomic_broadcast_probability(1024, 10)
+    p5 = multi_message_probability(1024, 10, 5)
+    assert p5 == pytest.approx(p1 ** 5, rel=1e-9)
+
+
+def test_paper_checkpoint_fanout_15_for_half():
+    """Paper: with fanout < 15 the probability that all nodes receive
+    1,000 messages is lower than 0.5 (n = 1024)."""
+    assert multi_message_probability(1024, 14, 1000) < 0.5
+    assert multi_message_probability(1024, 15, 1000) >= 0.5
+    assert min_fanout_for_reliability(1024, 1000, 0.5) == 15
+
+
+def test_paper_checkpoint_single_message_mostly_delivered_at_fanout5():
+    """Paper: ~0.7% of nodes miss a message at fanout 5 — so the
+    all-nodes probability is visibly below 1 at n=1024."""
+    p = atomic_broadcast_probability(1024, 5)
+    assert 0.0 < p < 0.25
+
+
+def test_edge_cases():
+    assert atomic_broadcast_probability(1, 0) == 1.0
+    assert multi_message_probability(1024, 5, 0) == 1.0
+    assert multi_message_probability(1, 3, 100) == 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        atomic_broadcast_probability(0, 5)
+    with pytest.raises(ValueError):
+        atomic_broadcast_probability(10, -1)
+    with pytest.raises(ValueError):
+        multi_message_probability(10, 5, -1)
+    with pytest.raises(ValueError):
+        min_fanout_for_reliability(1024, 1000, 1.5)
+
+
+def test_figure1_series_shapes():
+    one, thousand = figure1_series(n=1024, fanouts=range(1, 26))
+    assert len(one) == len(thousand) == 25
+    assert all(0.0 <= p <= 1.0 for p in one + thousand)
+    # 1,000-message curve is everywhere below the single-message curve.
+    assert all(t <= o for o, t in zip(one, thousand))

@@ -1,0 +1,85 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import GoCastConfig
+from repro.core.messages import NEARBY, RANDOM
+from repro.core.node import GoCastNode
+from repro.net.latency import ConstantLatencyModel
+from repro.sim.engine import Simulator
+from repro.sim.trace import DeliveryTracer
+from repro.sim.transport import Network
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim) -> Network:
+    """A 64-endpoint-capable network with uniform 10 ms one-way latency."""
+    return Network(sim, ConstantLatencyModel(64, latency=0.010), rng=random.Random(7))
+
+
+class TinyCluster:
+    """A hand-wired group of GoCastNodes for focused protocol tests.
+
+    Unlike :class:`~repro.experiments.system.GoCastSystem` this builds
+    the bare minimum: no synthetic King model, no estimator, constant
+    latencies — so tests can assert exact protocol behaviour.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        latency: float = 0.010,
+        config: GoCastConfig = None,
+        seed: int = 42,
+        sim: Simulator = None,
+    ):
+        self.sim = sim if sim is not None else Simulator()
+        self.latency_model = ConstantLatencyModel(max(n, 2), latency=latency)
+        self.network = Network(self.sim, self.latency_model, rng=random.Random(seed))
+        self.tracer = DeliveryTracer()
+        self.config = config if config is not None else GoCastConfig()
+        self.nodes = {}
+        for node_id in range(n):
+            self.nodes[node_id] = GoCastNode(
+                node_id,
+                self.sim,
+                self.network,
+                config=self.config,
+                rng=random.Random(seed + node_id),
+                tracer=self.tracer,
+            )
+
+    def start_all(self) -> None:
+        for node in self.nodes.values():
+            node.start()
+
+    def connect(self, a: int, b: int, kind: str = NEARBY) -> None:
+        rtt = self.latency_model.rtt(a, b)
+        self.nodes[a].overlay.force_link(b, kind, rtt)
+        self.nodes[b].overlay.force_link(a, kind, rtt)
+
+    def connect_chain(self, ids, kind: str = NEARBY) -> None:
+        for a, b in zip(ids, ids[1:]):
+            self.connect(a, b, kind)
+
+    def seed_views(self) -> None:
+        ids = list(self.nodes)
+        for node_id, node in self.nodes.items():
+            node.view.add_many(i for i in ids if i != node_id)
+
+    def run(self, seconds: float) -> None:
+        self.sim.run_until(self.sim.now + seconds)
+
+
+@pytest.fixture
+def tiny_cluster_factory():
+    return TinyCluster

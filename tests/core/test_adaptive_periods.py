@@ -1,0 +1,99 @@
+"""Tests for the dynamic period tuning (the paper's future-work knobs).
+
+"The gossip period t is dynamically tunable according to the message
+rate" (Section 2.1); "The maintenance cycle r can be increased
+accordingly [as the overlay stabilizes] to reduce maintenance
+overheads" (Section 2.2.3, left as future work by the authors).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GoCastConfig
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.system import GoCastSystem
+
+
+def build(config, n=24, seed=3, adapt=20.0):
+    scenario = ScenarioConfig(
+        protocol="gocast", n_nodes=n, adapt_time=adapt, seed=seed, gocast=config
+    )
+    system = GoCastSystem(scenario)
+    return system
+
+
+def test_maintenance_period_stretches_when_stable():
+    config = GoCastConfig(
+        adaptive_maintenance=True,
+        maintenance_period_max=2.0,
+        maintenance_idle_threshold=3.0,
+    )
+    system = build(config)
+    system.run_adaptation()  # 20 s: converged well before the end
+    periods = [node._maint_timer.period for node in system.live_nodes()]
+    # Most nodes relaxed their maintenance cadence.
+    assert np.median(periods) > config.maintenance_period
+    assert max(periods) <= config.maintenance_period_max + 1e-9
+
+
+def test_maintenance_period_snaps_back_on_link_change():
+    config = GoCastConfig(
+        adaptive_maintenance=True,
+        maintenance_period_max=2.0,
+        maintenance_idle_threshold=3.0,
+    )
+    system = build(config)
+    system.run_adaptation()
+    node = system.live_nodes()[0]
+    assert node._maint_timer.period > config.maintenance_period
+    node.record_link_change("random", "add")
+    assert node._maint_timer.period == config.maintenance_period
+
+
+def test_adaptive_maintenance_cuts_idle_control_traffic():
+    baseline = build(GoCastConfig(), seed=9, adapt=40.0)
+    baseline.run_adaptation()
+    base_pings = baseline.network.sent_by_type.get("Ping", 0)
+
+    adaptive = build(
+        GoCastConfig(
+            adaptive_maintenance=True,
+            maintenance_period_max=2.0,
+            maintenance_idle_threshold=3.0,
+        ),
+        seed=9,
+        adapt=40.0,
+    )
+    adaptive.run_adaptation()
+    adaptive_pings = adaptive.network.sent_by_type.get("Ping", 0)
+    assert adaptive_pings < 0.8 * base_pings
+    # ...without hurting the outcome.
+    assert adaptive.snapshot().is_connected()
+
+
+def test_adaptive_maintenance_preserves_delivery():
+    config = GoCastConfig(
+        adaptive_maintenance=True, adaptive_gossip=True,
+        maintenance_period_max=2.0, maintenance_idle_threshold=3.0,
+        gossip_period_max=0.5,
+    )
+    system = build(config, adapt=25.0)
+    system.run_adaptation()
+    end = system.schedule_workload(system.sim.now + 0.1)
+    system.run_until(end + 15.0)
+    receivers = sorted(system.live_node_ids())
+    assert system.tracer.reliability(receivers) == 1.0
+
+
+def test_gossip_period_stretches_when_idle_and_recovers():
+    config = GoCastConfig(adaptive_gossip=True, gossip_period_max=0.5)
+    system = build(config, adapt=30.0)
+    system.run_adaptation()  # no messages yet: 30 s of idle
+    node = system.live_nodes()[0]
+    assert node._gossip_timer.period == pytest.approx(config.gossip_period_max)
+
+    # Traffic arrives: the period snaps back on delivery.
+    end = system.schedule_workload(system.sim.now + 0.1)
+    system.run_until(end + 1.0)
+    periods = [n._gossip_timer.period for n in system.live_nodes()]
+    assert min(periods) == pytest.approx(config.gossip_period)

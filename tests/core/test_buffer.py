@@ -1,0 +1,94 @@
+"""Unit tests for the multicast message buffer."""
+
+import pytest
+
+from repro.core.dissemination.buffer import MessageBuffer
+from repro.core.ids import MessageId
+
+
+@pytest.fixture
+def buf():
+    return MessageBuffer()
+
+
+def test_insert_and_lookup(buf):
+    entry = buf.insert(MessageId(1, 0), 512, now=5.0, age=0.2)
+    assert buf.has_seen(MessageId(1, 0))
+    assert buf.entry(MessageId(1, 0)) is entry
+    assert entry.payload_size == 512
+    assert len(buf) == 1
+
+
+def test_insert_records_sender_as_heard_from(buf):
+    entry = buf.insert(MessageId(1, 0), 512, now=5.0, age=0.2, from_peer=9)
+    assert 9 in entry.heard_from
+
+
+def test_double_insert_rejected(buf):
+    buf.insert(MessageId(1, 0), 512, now=5.0, age=0.0)
+    with pytest.raises(ValueError):
+        buf.insert(MessageId(1, 0), 512, now=6.0, age=0.0)
+
+
+def test_age_accumulates(buf):
+    entry = buf.insert(MessageId(1, 0), 512, now=5.0, age=0.2)
+    assert entry.age(5.0) == pytest.approx(0.2)
+    assert entry.age(6.5) == pytest.approx(1.7)
+
+
+def test_ids_to_gossip_excludes_heard_and_gossiped(buf):
+    a = buf.insert(MessageId(1, 0), 10, now=0.0, age=0.0, from_peer=7)
+    b = buf.insert(MessageId(1, 1), 10, now=0.0, age=0.0)
+    # Peer 7 already sent us message a: never advertise it back.
+    assert [e.msg_id for e in buf.ids_to_gossip(7, 1.0)] == [b.msg_id]
+    # Fresh peer gets both.
+    assert len(buf.ids_to_gossip(8, 1.0)) == 2
+    # After gossiping b to 8, only a remains for 8.
+    buf.mark_gossiped(b.msg_id, 8)
+    assert [e.msg_id for e in buf.ids_to_gossip(8, 1.0)] == [a.msg_id]
+
+
+def test_gossip_id_sent_only_once_per_neighbor(buf):
+    entry = buf.insert(MessageId(1, 0), 10, now=0.0, age=0.0)
+    buf.mark_gossiped(entry.msg_id, 3)
+    assert buf.ids_to_gossip(3, 1.0) == []
+
+
+def test_fully_gossiped(buf):
+    entry = buf.insert(MessageId(1, 0), 10, now=0.0, age=0.0, from_peer=1)
+    assert not buf.fully_gossiped(entry, [1, 2, 3])
+    buf.mark_gossiped(entry.msg_id, 2)
+    buf.mark_gossiped(entry.msg_id, 3)
+    assert buf.fully_gossiped(entry, [1, 2, 3])
+    # Neighbor set changes are re-evaluated against the current list.
+    assert not buf.fully_gossiped(entry, [1, 2, 3, 4])
+
+
+def test_fully_gossiped_counts_heard_from(buf):
+    entry = buf.insert(MessageId(1, 0), 10, now=0.0, age=0.0)
+    buf.mark_heard_from(entry.msg_id, 5)
+    assert buf.fully_gossiped(entry, [5])
+
+
+def test_reclaim_keeps_dedup_id(buf):
+    msg_id = MessageId(1, 0)
+    buf.insert(msg_id, 10, now=0.0, age=0.0)
+    assert buf.reclaim(msg_id)
+    assert buf.has_seen(msg_id)
+    assert buf.entry(msg_id) is None
+    assert len(buf) == 0
+    assert buf.reclaimed == 1
+    assert not buf.reclaim(msg_id)
+
+
+def test_mark_heard_from_on_reclaimed_is_noop(buf):
+    msg_id = MessageId(1, 0)
+    buf.insert(msg_id, 10, now=0.0, age=0.0)
+    buf.reclaim(msg_id)
+    buf.mark_heard_from(msg_id, 3)  # must not raise
+
+
+def test_entries_listing(buf):
+    buf.insert(MessageId(1, 0), 10, now=0.0, age=0.0)
+    buf.insert(MessageId(2, 0), 10, now=0.0, age=0.0)
+    assert {e.msg_id for e in buf.entries()} == {MessageId(1, 0), MessageId(2, 0)}

@@ -1,0 +1,47 @@
+"""Unit tests for GoCastConfig validation and defaults."""
+
+import pytest
+
+from repro.core.config import GoCastConfig
+
+
+def test_paper_defaults():
+    cfg = GoCastConfig()
+    assert cfg.c_rand == 1
+    assert cfg.c_near == 5
+    assert cfg.c_degree == 6
+    assert cfg.gossip_period == 0.1
+    assert cfg.maintenance_period == 0.1
+    assert cfg.reclaim_wait_b == 120.0
+    assert cfg.heartbeat_period == 15.0
+    assert cfg.degree_slack == 5
+    assert cfg.replace_rtt_factor == 0.5
+    assert cfg.use_tree is True
+    assert cfg.request_delay_f == 0.0
+
+
+def test_random_overlay_style_config_allowed():
+    cfg = GoCastConfig(c_rand=6, c_near=0, use_tree=False)
+    assert cfg.c_degree == 6
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(c_rand=-1),
+        dict(c_rand=0, c_near=0),
+        dict(gossip_period=0.0),
+        dict(maintenance_period=-1.0),
+        dict(reclaim_wait_b=-1.0),
+        dict(request_delay_f=-0.1),
+        dict(heartbeat_period=10.0, heartbeat_timeout=10.0),
+        dict(degree_slack=0),
+        dict(drop_threshold_slack=0),
+        dict(replace_rtt_factor=0.0),
+        dict(replace_rtt_factor=1.5),
+        dict(membership_max=3),
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        GoCastConfig(**kwargs)

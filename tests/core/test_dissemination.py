@@ -1,0 +1,259 @@
+"""Protocol tests for dissemination: tree flood, gossip, pulls (Section 2.1)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import GoCastConfig
+from repro.core.messages import NEARBY, Gossip, MulticastData, PullRequest
+from repro.core.node import GoCastNode
+from repro.net.latency import MatrixLatencyModel
+from repro.sim.engine import Simulator
+from repro.sim.trace import DeliveryTracer
+from repro.sim.transport import Network
+
+
+def build_cluster(n, latency=0.005, config=None, seed=3, links=None):
+    m = np.full((n, n), latency)
+    np.fill_diagonal(m, 0.0)
+    sim = Simulator()
+    network = Network(sim, MatrixLatencyModel(m), rng=random.Random(seed))
+    tracer = DeliveryTracer()
+    cfg = config if config is not None else GoCastConfig()
+    nodes = {
+        i: GoCastNode(
+            i, sim, network, config=cfg, rng=random.Random(seed + i), tracer=tracer
+        )
+        for i in range(n)
+    }
+    for a, b in links or []:
+        nodes[a].overlay.force_link(b, NEARBY, 2 * latency)
+        nodes[b].overlay.force_link(a, NEARBY, 2 * latency)
+    return sim, network, nodes, tracer
+
+
+def start(nodes, maintenance=False, root=0):
+    for node in nodes.values():
+        node.start()
+        if not maintenance:
+            node._maint_timer.stop()
+    if root is not None:
+        nodes[root].tree.become_root(epoch=0)
+
+
+def test_multicast_floods_whole_tree_exactly_once():
+    links = [(0, 1), (1, 2), (2, 3), (1, 4)]
+    sim, network, nodes, tracer = build_cluster(5, links=links)
+    start(nodes)
+    sim.run_until(1.0)  # let the tree form
+
+    nodes[3].multicast(payload_size=256)
+    sim.run_until(2.0)
+    assert tracer.reliability(range(5)) == 1.0
+    assert tracer.redundant_receptions == 0
+    assert tracer.pulled_deliveries == 0
+
+
+def test_any_node_can_be_source():
+    links = [(0, 1), (1, 2)]
+    sim, network, nodes, tracer = build_cluster(3, links=links)
+    start(nodes)
+    sim.run_until(1.0)
+    for source in range(3):
+        nodes[source].multicast()
+    sim.run_until(2.0)
+    assert tracer.reliability(range(3)) == 1.0
+
+
+def test_delivery_delay_tracks_tree_path_latency():
+    links = [(0, 1), (1, 2)]
+    sim, network, nodes, tracer = build_cluster(3, latency=0.010, links=links)
+    start(nodes)
+    sim.run_until(1.0)
+    nodes[0].multicast()
+    sim.run_until(2.0)
+    delays = sorted(tracer.delays())
+    assert delays[0] == pytest.approx(0.010)  # one hop
+    assert delays[1] == pytest.approx(0.020)  # two hops
+
+
+def test_message_age_estimate_accumulates_along_path():
+    links = [(0, 1), (1, 2)]
+    sim, network, nodes, tracer = build_cluster(3, latency=0.010, links=links)
+    start(nodes)
+    sim.run_until(1.0)
+    msg_id = nodes[0].multicast()
+    sim.run_until(2.0)
+    entry = nodes[2].disseminator.buffer.entry(msg_id)
+    assert entry.age_at_deliver == pytest.approx(0.020, abs=1e-6)
+
+
+def test_gossip_recovers_message_for_node_off_the_tree():
+    # Node 2 is an overlay neighbor of 1 but its tree is broken: we
+    # freeze node 2 with no parent so tree pushes never reach it.
+    links = [(0, 1), (1, 2)]
+    sim, network, nodes, tracer = build_cluster(3, links=links)
+    start(nodes)
+    sim.run_until(1.0)
+    # Break the tree: node 1 forgets child 2; node 2 has no parent.
+    nodes[1].tree.children.discard(2)
+    nodes[2].tree.parent = None
+    for node in nodes.values():
+        node.freeze()
+
+    nodes[0].multicast()
+    sim.run_until(3.0)
+    # Node 2 still got the message — via gossip from 1 and a pull.
+    assert tracer.reliability(range(3)) == 1.0
+    assert tracer.pulled_deliveries >= 1
+
+
+def test_pulled_message_forwarded_along_remaining_tree_links():
+    # Chain 0-1-2-3.  The 1->2 tree link is severed, so 2 pulls from 1
+    # via gossip and must then push down its intact tree link to 3.
+    links = [(0, 1), (1, 2), (2, 3)]
+    sim, network, nodes, tracer = build_cluster(4, links=links)
+    start(nodes)
+    sim.run_until(1.0)
+    nodes[1].tree.children.discard(2)
+    nodes[2].tree.parent = None
+    # Keep 2 -> 3 tree intact: 3's parent is 2.
+    assert nodes[3].tree.parent == 2
+    for node in nodes.values():
+        node.freeze()
+
+    nodes[0].multicast()
+    sim.run_until(3.0)
+    assert tracer.reliability(range(4)) == 1.0
+    # 3 received via tree push from 2 (not a pull): exactly one pull total.
+    assert tracer.pulled_deliveries == 1
+
+
+def test_redundant_tree_push_counted_and_aborted():
+    sim, network, nodes, tracer = build_cluster(2, links=[(0, 1)])
+    start(nodes)
+    sim.run_until(1.0)
+    msg_id = nodes[0].multicast()
+    sim.run_until(1.5)
+    # Simulate a duplicate push of the same message.
+    nodes[0].send(1, MulticastData(msg_id, 0.0, 100))
+    sim.run_until(2.0)
+    assert tracer.redundant_receptions == 1
+    assert tracer.aborted_transfers == 1
+    assert tracer.reliability(range(2)) == 1.0
+
+
+def test_gossip_excludes_ids_heard_from_peer():
+    sim, network, nodes, tracer = build_cluster(2, links=[(0, 1)])
+    start(nodes)
+    sim.run_until(1.0)
+    nodes[0].multicast()
+    sim.run_until(1.2)
+    # Node 1 received via tree from 0; its gossip back to 0 must not
+    # advertise the ID.
+    entries = nodes[1].disseminator.buffer.ids_to_gossip(0, sim.now)
+    assert entries == []
+
+
+def test_gossip_id_advertised_once_per_neighbor():
+    links = [(0, 1), (0, 2)]
+    sim, network, nodes, tracer = build_cluster(3, links=links)
+    start(nodes)
+    sim.run_until(1.0)
+    msg_id = nodes[0].multicast()
+    sim.run_until(3.0)
+    entry = nodes[0].disseminator.buffer.entry(msg_id)
+    covered = entry.gossiped_to | entry.heard_from
+    assert {1, 2} <= covered
+
+
+def test_reclaim_scheduled_after_full_gossip_coverage():
+    cfg = GoCastConfig(reclaim_wait_b=2.0)
+    sim, network, nodes, tracer = build_cluster(2, config=cfg, links=[(0, 1)])
+    start(nodes)
+    sim.run_until(1.0)
+    msg_id = nodes[0].multicast()
+    sim.run_until(1.2)
+    assert nodes[0].disseminator.buffer.entry(msg_id) is not None
+    # heard_from covers neighbor 1 (we pushed to it); the next gossip
+    # tick arms the reclaim timer, b seconds later the payload drops.
+    sim.run_until(6.0)
+    assert nodes[0].disseminator.buffer.entry(msg_id) is None
+    assert nodes[0].disseminator.buffer.has_seen(msg_id)
+
+
+def test_request_delay_f_defers_pull():
+    cfg = GoCastConfig(request_delay_f=0.5)
+    sim, network, nodes, tracer = build_cluster(3, links=[(0, 1), (1, 2)], config=cfg)
+    start(nodes)
+    sim.run_until(1.0)
+    nodes[1].tree.children.discard(2)
+    nodes[2].tree.parent = None
+    for node in nodes.values():
+        node.freeze()
+
+    t0 = sim.now
+    nodes[0].multicast()
+    sim.run_until(t0 + 3.0)
+    assert tracer.reliability(range(3)) == 1.0
+    delays = tracer.delays(receivers=[2])
+    # The pull could not fire before the message was f seconds old.
+    assert delays.min() >= 0.5
+
+
+def test_pull_retries_against_other_source_when_first_dies():
+    cfg = GoCastConfig(pull_timeout=0.3)
+    # Node 2 neighbors both 0 and 1; both have the message; the first
+    # pull target dies before answering.
+    links = [(0, 1), (0, 2), (1, 2)]
+    sim, network, nodes, tracer = build_cluster(3, config=cfg, links=links)
+    start(nodes)
+    sim.run_until(1.0)
+
+    # Deliver a message to 0 and 1 only, by hand.
+    from repro.core.ids import MessageId
+
+    msg_id = MessageId(0, 999)
+    tracer.injected(msg_id, sim.now, 0)
+    nodes[0].disseminator.buffer.insert(msg_id, 64, sim.now, age=0.0)
+    nodes[1].disseminator.buffer.insert(msg_id, 64, sim.now, age=0.0)
+    tracer.delivered(msg_id, 1, sim.now)
+
+    # Node 2 hears the ID from node 0 only, then 0 crashes.
+    gossip = Gossip(
+        summaries=((msg_id, 0.0),),
+        member_sample=(),
+        degrees=nodes[0].make_degree_update(),
+    )
+    nodes[0].send(2, gossip)
+    sim.run_until(sim.now + 0.004)
+    network.kill(0)
+    nodes[0].stop()
+    # Node 2 must learn of the alternative source from 1's gossip.
+    sim.run_until(sim.now + 3.0)
+    assert nodes[2].disseminator.buffer.has_seen(msg_id)
+
+
+def test_pull_request_for_reclaimed_message_is_ignored():
+    sim, network, nodes, tracer = build_cluster(2, links=[(0, 1)])
+    start(nodes)
+    from repro.core.ids import MessageId
+
+    unknown = MessageId(5, 5)
+    nodes[0].send(1, PullRequest(ids=(unknown,)))
+    sim.run_until(1.0)  # must not raise; no data comes back
+    assert not nodes[0].disseminator.buffer.has_seen(unknown)
+
+
+def test_no_tree_mode_disseminates_by_gossip_alone():
+    cfg = GoCastConfig(use_tree=False)
+    links = [(0, 1), (1, 2), (2, 3)]
+    sim, network, nodes, tracer = build_cluster(4, config=cfg, links=links)
+    start(nodes, root=None)
+    sim.run_until(0.5)
+    nodes[0].multicast()
+    sim.run_until(5.0)
+    assert tracer.reliability(range(4)) == 1.0
+    # Every non-source delivery was a pull.
+    assert tracer.pulled_deliveries == 3

@@ -1,0 +1,110 @@
+"""Direct tests for the round-robin gossip engine."""
+
+import pytest
+
+from repro.core.config import GoCastConfig
+from repro.core.messages import Gossip
+from tests.conftest import TinyCluster
+
+
+def star(n=4, config=None):
+    """Node 0 linked to everyone else; timers off (manual ticks)."""
+    cluster = TinyCluster(n, config=config)
+    for peer in range(1, n):
+        cluster.connect(0, peer)
+    for node in cluster.nodes.values():
+        node.start()
+        node._maint_timer.stop()
+        node._gossip_timer.stop()
+    return cluster
+
+
+def captured_gossips(cluster, target_node):
+    """Record gossips arriving at each node."""
+    log = []
+    seen = cluster.network.on_send
+    def hook(src, dst, msg):
+        if isinstance(msg, Gossip):
+            log.append((src, dst, msg))
+    cluster.network.on_send = hook
+    return log
+
+
+def test_round_robin_visits_neighbors_in_id_order():
+    cluster = star(4)
+    node = cluster.nodes[0]
+    node.multicast()
+    log = captured_gossips(cluster, 0)
+    for _ in range(6):
+        node.gossip_engine.on_tick()
+        cluster.run(0.01)
+    targets = [dst for src, dst, _m in log if src == 0]
+    # Data pushes mark neighbors as heard_from, so the first cycle may
+    # be suppressed... the multicast goes via tree; with no tree built,
+    # summaries flow. Targets cycle 1,2,3,1,2,3 (ids sorted).
+    assert targets[:3] == sorted(set(targets))[:len(targets[:3])]
+
+
+def test_empty_gossip_saved_until_keepalive():
+    config = GoCastConfig(keepalive_interval=1.0)
+    cluster = star(2, config=config)
+    node = cluster.nodes[0]
+    engine = node.gossip_engine
+    engine.on_tick()  # nothing to say, link fresh -> saved
+    assert engine.gossips_saved == 1
+    assert engine.gossips_sent == 0
+    cluster.run(1.5)  # link silent beyond the keepalive interval
+    engine.on_tick()
+    assert engine.gossips_sent == 1
+
+
+def test_gossip_carries_membership_sample_and_degrees():
+    cluster = star(3)
+    cluster.seed_views()
+    node = cluster.nodes[0]
+    node.multicast()
+    log = captured_gossips(cluster, 0)
+    node.gossip_engine.on_tick()
+    assert log, "expected a gossip"
+    gossip = log[0][2]
+    assert gossip.degrees.nearby_degree == node.overlay.d_near
+    assert all(m != log[0][1] for m in gossip.member_sample)
+
+
+def test_summaries_exclude_ids_peer_already_has():
+    cluster = star(2)
+    node0, node1 = cluster.nodes[0], cluster.nodes[1]
+    msg_id = node0.multicast()
+    cluster.run(0.1)  # node 1 received via... no tree; still pending
+    # Simulate node 1 having advertised it back.
+    node0.disseminator.buffer.mark_heard_from(msg_id, 1)
+    log = captured_gossips(cluster, 0)
+    node0.gossip_engine.on_tick()
+    summaries = [m.summaries for _s, _d, m in log]
+    assert all(
+        msg_id not in [mid for mid, _age in summary] for summary in summaries
+    )
+
+
+def test_no_neighbors_no_gossip():
+    cluster = TinyCluster(2)
+    node = cluster.nodes[0]
+    node.start()
+    node._maint_timer.stop()
+    node.gossip_engine.on_tick()  # must not raise
+    assert node.gossip_engine.gossips_sent == 0
+
+
+def test_each_id_gossiped_once_per_neighbor():
+    cluster = star(3)
+    node = cluster.nodes[0]
+    msg_id = node.multicast()
+    log = captured_gossips(cluster, 0)
+    for _ in range(8):
+        node.gossip_engine.on_tick()
+        cluster.run(0.05)
+    advertised = [
+        dst for _s, dst, m in log
+        if any(mid == msg_id for mid, _a in m.summaries)
+    ]
+    assert len(advertised) == len(set(advertised))  # once per neighbor

@@ -1,0 +1,76 @@
+"""Unit tests for message IDs and wire-message metadata."""
+
+from repro.core.ids import MessageId, MessageIdAllocator
+from repro.core import messages as wire
+
+
+def test_allocator_monotonic_and_unique():
+    alloc = MessageIdAllocator(7)
+    ids = [alloc.allocate() for _ in range(10)]
+    assert all(i.source == 7 for i in ids)
+    assert [i.seq for i in ids] == list(range(10))
+    assert len(set(ids)) == 10
+
+
+def test_ids_from_different_sources_never_collide():
+    a = MessageIdAllocator(1).allocate()
+    b = MessageIdAllocator(2).allocate()
+    assert a != b
+    assert str(a) == "1:0"
+
+
+def test_message_id_is_hashable_tuple():
+    m = MessageId(3, 4)
+    assert m == (3, 4)
+    assert hash(m) == hash((3, 4))
+
+
+def test_all_messages_report_positive_wire_size():
+    samples = [
+        wire.JoinRequest(),
+        wire.JoinReply(members=(1, 2, 3)),
+        wire.LinkRequest(kind=wire.NEARBY, nearby_degree=2, random_degree=1),
+        wire.LinkAccept(kind=wire.RANDOM, nearby_degree=0, random_degree=1),
+        wire.LinkReject(kind=wire.NEARBY, reason="C2"),
+        wire.LinkDrop(kind=wire.RANDOM),
+        wire.RewireRequest(target=9),
+        wire.Ping(nonce=1, sent_at=0.5),
+        wire.Pong(nonce=1, sent_at=0.5),
+        wire.DegreeUpdate(2, 1, 0.05, 0),
+        wire.Gossip(
+            summaries=((MessageId(1, 2), 0.1),),
+            member_sample=(4, 5),
+            degrees=wire.DegreeUpdate(2, 1, 0.05, 0),
+        ),
+        wire.PullRequest(ids=(MessageId(1, 2),)),
+        wire.PullData(messages=((MessageId(1, 2), 0.1, 1024, None),)),
+        wire.MulticastData(MessageId(1, 2), 0.1, 1024),
+        wire.TreeHeartbeat(0, 3, 1, 0.0),
+        wire.TreeAttach(),
+        wire.TreeDetach(),
+    ]
+    for msg in samples:
+        assert msg.wire_size() > 0
+
+
+def test_wire_size_scales_with_content():
+    small = wire.Gossip(
+        summaries=(), member_sample=(), degrees=wire.DegreeUpdate(0, 0, 0.0, 0)
+    )
+    big = wire.Gossip(
+        summaries=tuple((MessageId(1, i), 0.1) for i in range(10)),
+        member_sample=(1, 2, 3, 4),
+        degrees=wire.DegreeUpdate(0, 0, 0.0, 0),
+    )
+    assert big.wire_size() > small.wire_size()
+    assert wire.MulticastData(MessageId(1, 1), 0.0, 10_000).wire_size() > 10_000
+
+
+def test_messages_are_immutable():
+    msg = wire.LinkDrop(kind=wire.RANDOM)
+    try:
+        msg.kind = wire.NEARBY
+        mutated = True
+    except AttributeError:
+        mutated = False
+    assert not mutated

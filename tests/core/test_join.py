@@ -1,0 +1,125 @@
+"""Direct tests for the join protocol (Section 2.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GoCastConfig
+from repro.core.messages import JoinReply
+from repro.core.node import GoCastNode
+from repro.core.overlay import join as join_protocol
+from repro.net.estimation import TriangularEstimator
+from repro.net.latency import MatrixLatencyModel
+from repro.sim.engine import Simulator
+from repro.sim.transport import Network
+import random
+
+
+def build(n=10, estimator=True, seed=6, config=None):
+    rng = np.random.default_rng(seed)
+    m = np.triu(0.01 * rng.uniform(0.5, 3.0, size=(n, n)), k=1)
+    m = m + m.T
+    sim = Simulator()
+    model = MatrixLatencyModel(m)
+    network = Network(sim, model, rng=random.Random(seed))
+    est = TriangularEstimator(model, landmarks=[0, 1, 2]) if estimator else None
+    nodes = {
+        i: GoCastNode(i, sim, network, config=config, rng=random.Random(seed + i),
+                      estimator=est)
+        for i in range(n)
+    }
+    return sim, network, nodes
+
+
+def test_bootstrap_serves_member_list_including_itself():
+    sim, network, nodes = build()
+    for i in range(5):
+        nodes[0].view.add(i + 1)
+    nodes[0].start()
+    nodes[9].start()
+    nodes[9].join(bootstrap=0)
+    sim.run_until(1.0)
+    # The joiner learned the bootstrap's view plus the bootstrap itself.
+    assert 0 in nodes[9].view
+    assert len(nodes[9].view) >= 6
+    # And the bootstrap learned about the joiner.
+    assert 9 in nodes[0].view
+
+
+def test_join_initiates_target_degree_links():
+    config = GoCastConfig(c_rand=1, c_near=3)
+    sim, network, nodes = build(config=config)
+    for i in range(9):
+        nodes[i].view.add_many(j for j in range(9) if j != i)
+        nodes[i].start()
+    joiner = nodes[9]
+    joiner.start()
+    joiner.join(bootstrap=0)
+    sim.run_until(2.0)
+    # Joiner established links of both kinds right away (no maintenance
+    # needed for the first wave).
+    assert joiner.overlay.d_rand >= 1
+    assert joiner.overlay.d_near >= 1
+    assert joiner.overlay.table.degree <= config.c_degree + 2
+
+
+def test_join_without_estimator_uses_random_ranking():
+    config = GoCastConfig(c_rand=1, c_near=2)
+    sim, network, nodes = build(estimator=False, config=config)
+    for i in range(9):
+        nodes[i].view.add_many(j for j in range(9) if j != i)
+        nodes[i].start()
+    joiner = nodes[9]
+    joiner.start()
+    joiner.join(bootstrap=3)
+    sim.run_until(2.0)
+    assert joiner.overlay.table.degree >= 2
+
+
+def test_join_reply_excludes_self_reference():
+    sim, network, nodes = build()
+    joiner = nodes[9]
+    joiner.start()
+    # A malicious/echoing reply listing the joiner itself must not make
+    # the joiner its own member or neighbor.
+    join_protocol.handle_join_reply(
+        joiner, src=0, msg=JoinReply(members=(9, 0, 1, 2))
+    )
+    assert 9 not in joiner.view
+    sim.run_until(1.0)
+    assert 9 not in joiner.overlay.table
+
+
+def test_estimator_picks_close_nearby_candidates():
+    # Joiner 9's closest nodes by construction: make 4 and 5 very close.
+    n = 10
+    m = np.full((n, n), 0.05)
+    np.fill_diagonal(m, 0.0)
+    for close in (4, 5):
+        m[9, close] = m[close, 9] = 0.002
+    sim = Simulator()
+    model = MatrixLatencyModel(m)
+    network = Network(sim, model, rng=random.Random(1))
+    est = TriangularEstimator(model, landmarks=[0, 1, 2])
+    config = GoCastConfig(c_rand=0, c_near=2)
+    nodes = {
+        i: GoCastNode(i, sim, network, config=config, rng=random.Random(i),
+                      estimator=est)
+        for i in range(n)
+    }
+    for i in range(9):
+        nodes[i].view.add_many(j for j in range(9) if j != i)
+        nodes[i].start()
+    joiner = nodes[9]
+    joiner.start()
+    joiner.join(bootstrap=0)
+    sim.run_until(2.0)
+    picked = set(joiner.overlay.table.nearby_neighbors())
+    assert picked <= {4, 5} or picked >= {4, 5} & picked  # at least one close
+    assert picked & {4, 5}
+
+
+def test_self_bootstrap_rejected():
+    sim, network, nodes = build()
+    nodes[0].start()
+    with pytest.raises(ValueError):
+        join_protocol.start_join(nodes[0], bootstrap=0)

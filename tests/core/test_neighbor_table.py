@@ -1,0 +1,77 @@
+"""Unit tests for the neighbor table."""
+
+import math
+
+import pytest
+
+from repro.core.messages import NEARBY, RANDOM
+from repro.core.overlay.state import UNKNOWN_DEGREE, NeighborState, NeighborTable
+
+
+@pytest.fixture
+def table():
+    t = NeighborTable()
+    t.add(1, RANDOM, rtt=0.2, now=0.0)
+    t.add(2, NEARBY, rtt=0.05, now=0.0)
+    t.add(3, NEARBY, rtt=0.08, now=0.0)
+    return t
+
+
+def test_degrees(table):
+    assert table.d_rand == 1
+    assert table.d_near == 2
+    assert table.degree == 3
+    assert len(table) == 3
+
+
+def test_kind_listing(table):
+    assert table.random_neighbors() == [1]
+    assert sorted(table.nearby_neighbors()) == [2, 3]
+
+
+def test_contains_and_get(table):
+    assert 2 in table
+    assert 9 not in table
+    assert table.get(2).rtt == 0.05
+    assert table.get(9) is None
+
+
+def test_duplicate_add_rejected(table):
+    with pytest.raises(ValueError):
+        table.add(1, NEARBY, rtt=0.1, now=0.0)
+
+
+def test_remove_returns_state(table):
+    state = table.remove(2)
+    assert state.kind == NEARBY
+    assert table.remove(2) is None
+    assert table.d_near == 1
+
+
+def test_max_nearby_rtt(table):
+    assert table.max_nearby_rtt() == 0.08
+    table.remove(3)
+    assert table.max_nearby_rtt() == 0.05
+    table.remove(2)
+    assert table.max_nearby_rtt() == 0.0
+
+
+def test_mean_link_rtt(table):
+    assert table.mean_link_rtt() == pytest.approx((0.2 + 0.05 + 0.08) / 3)
+    assert NeighborTable().mean_link_rtt() == 0.0
+
+
+def test_new_neighbor_state_defaults():
+    state = NeighborState(kind=RANDOM, rtt=0.1)
+    assert state.nearby_degree == UNKNOWN_DEGREE
+    assert state.random_degree == UNKNOWN_DEGREE
+    assert math.isinf(state.dist_to_root)
+    assert state.one_way == pytest.approx(0.05)
+    assert not state.is_tree_child
+
+
+def test_state_validation():
+    with pytest.raises(ValueError):
+        NeighborState(kind="bogus", rtt=0.1)
+    with pytest.raises(ValueError):
+        NeighborState(kind=RANDOM, rtt=-0.1)

@@ -1,0 +1,56 @@
+"""Tests for the silence-based neighbor eviction backstop."""
+
+from repro.core.config import GoCastConfig
+from tests.conftest import TinyCluster
+
+
+def test_hung_neighbor_evicted_by_timeout():
+    # The case TCP resets cannot catch: node 1 *hangs* — its transport
+    # endpoint still accepts deliveries (so node 0's sends never fail)
+    # but its protocol goes silent.  Only the last-heard timeout evicts.
+    config = GoCastConfig(neighbor_timeout=3.0)
+    cluster = TinyCluster(3, config=config)
+    cluster.connect(0, 1)
+    cluster.connect(0, 2)
+    for node in cluster.nodes.values():
+        node.start()
+    cluster.run(1.0)
+
+    cluster.nodes[1].stop()  # hung: registered but mute
+    cluster.run(5.0)
+    assert 1 not in cluster.nodes[0].overlay.table
+    # The healthy, chattering neighbor 2 is untouched.
+    assert 2 in cluster.nodes[0].overlay.table
+
+
+def test_healthy_links_never_time_out():
+    config = GoCastConfig(neighbor_timeout=3.0)
+    cluster = TinyCluster(2, config=config)
+    cluster.connect(0, 1)
+    for node in cluster.nodes.values():
+        node.start()
+    cluster.run(20.0)  # keepalives flow every <= 2 s
+    assert 1 in cluster.nodes[0].overlay.table
+    assert 0 in cluster.nodes[1].overlay.table
+
+
+def test_timeout_zero_disables_eviction():
+    config = GoCastConfig(neighbor_timeout=0.0)
+    cluster = TinyCluster(2, config=config)
+    cluster.connect(0, 1)
+    node0 = cluster.nodes[0]
+    node0.start()
+    # Node 1 never starts: it is silent forever, yet never evicted.
+    cluster.run(15.0)
+    assert 1 in node0.overlay.table
+
+
+def test_frozen_node_never_evicts():
+    config = GoCastConfig(neighbor_timeout=2.0)
+    cluster = TinyCluster(2, config=config)
+    cluster.connect(0, 1)
+    node0 = cluster.nodes[0]
+    node0.start()
+    node0.freeze()
+    cluster.run(10.0)
+    assert 1 in node0.overlay.table

@@ -1,0 +1,206 @@
+"""Tests for GoCastNode lifecycle, dispatch, and the join protocol."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import GoCastConfig
+from repro.core.messages import NEARBY, RANDOM
+from repro.core.node import GoCastNode
+from repro.net.estimation import TriangularEstimator
+from repro.net.latency import MatrixLatencyModel
+from repro.sim.engine import Simulator
+from repro.sim.trace import DeliveryTracer, TraceRecorder
+from repro.sim.transport import Network
+
+
+def build(n, latency=0.005, config=None, seed=9, estimator=False, events=None):
+    rng = np.random.default_rng(seed)
+    m = np.triu(latency * rng.uniform(0.5, 1.5, size=(n, n)), k=1)
+    m = m + m.T
+    sim = Simulator()
+    model = MatrixLatencyModel(m)
+    network = Network(sim, model, rng=random.Random(seed))
+    est = TriangularEstimator(model, landmarks=list(range(min(4, n)))) if estimator else None
+    tracer = DeliveryTracer()
+    nodes = {
+        i: GoCastNode(
+            i,
+            sim,
+            network,
+            config=config,
+            rng=random.Random(seed + i),
+            estimator=est,
+            tracer=tracer,
+            events=events,
+        )
+        for i in range(n)
+    }
+    return sim, network, nodes
+
+
+def test_start_is_idempotent_and_stop_halts_timers():
+    sim, network, nodes = build(2)
+    node = nodes[0]
+    node.start()
+    node.start()
+    assert node.alive
+    node.stop()
+    assert not node.alive
+    pending_before = sim.pending_events
+    sim.run_until(5.0)
+    # Nothing re-arms after stop.
+    assert sim.pending_events <= pending_before
+
+
+def test_multicast_requires_running_node():
+    _, _, nodes = build(2)
+    with pytest.raises(RuntimeError):
+        nodes[0].multicast()
+
+
+def test_unknown_message_type_raises():
+    sim, network, nodes = build(2)
+    nodes[0].start()
+    nodes[1].start()
+    network.send(1, 0, object())
+    with pytest.raises(TypeError):
+        sim.run_until(1.0)
+
+
+def test_dead_node_ignores_late_messages():
+    sim, network, nodes = build(2)
+    nodes[0].start()
+    nodes[1].start()
+    nodes[0].overlay.force_link(1, RANDOM, 0.01)
+    nodes[1].overlay.force_link(0, RANDOM, 0.01)
+    nodes[1].send(0, nodes[1].make_degree_update())
+    nodes[0].stop()  # stops before delivery; network still routes
+    sim.run_until(1.0)  # must not raise
+
+
+def test_delivery_listener_invoked_once_per_message():
+    sim, network, nodes = build(3)
+    for node in nodes.values():
+        node.start()
+        node._maint_timer.stop()
+    nodes[0].overlay.force_link(1, NEARBY, 0.01)
+    nodes[1].overlay.force_link(0, NEARBY, 0.01)
+    nodes[1].overlay.force_link(2, NEARBY, 0.01)
+    nodes[2].overlay.force_link(1, NEARBY, 0.01)
+    nodes[0].tree.become_root(epoch=0)
+    sim.run_until(1.0)
+    got = []
+    nodes[2].delivery_listeners.append(lambda msg_id, size: got.append((msg_id, size)))
+    nodes[0].multicast(payload_size=77)
+    sim.run_until(2.0)
+    assert len(got) == 1
+    assert got[0][1] == 77
+
+
+def test_graceful_leave_notifies_neighbors_and_deregisters():
+    sim, network, nodes = build(3)
+    for node in nodes.values():
+        node.start()
+        node._maint_timer.stop()
+    nodes[0].overlay.force_link(1, RANDOM, 0.01)
+    nodes[1].overlay.force_link(0, RANDOM, 0.01)
+    nodes[0].leave()
+    sim.run_until(1.0)
+    assert not network.is_alive(0)
+    assert 0 not in nodes[1].overlay.table
+
+
+def test_crash_stops_everything():
+    sim, network, nodes = build(2)
+    nodes[0].start()
+    nodes[0].crash()
+    assert not network.is_alive(0)
+    assert not nodes[0].alive
+
+
+def test_freeze_stops_maintenance_but_not_gossip():
+    sim, network, nodes = build(2)
+    nodes[0].start()
+    nodes[1].start()
+    nodes[0].overlay.force_link(1, NEARBY, 0.01)
+    nodes[1].overlay.force_link(0, NEARBY, 0.01)
+    nodes[0].freeze()
+    assert nodes[0].frozen
+    assert not nodes[0]._maint_timer.running
+    assert nodes[0]._gossip_timer.running
+
+
+def test_frozen_node_ignores_send_failures():
+    sim, network, nodes = build(3)
+    for node in nodes.values():
+        node.start()
+    nodes[0].overlay.force_link(1, NEARBY, 0.01)
+    nodes[1].overlay.force_link(0, NEARBY, 0.01)
+    nodes[0].freeze()
+    network.kill(1)
+    nodes[1].stop()
+    nodes[0].send(1, nodes[0].make_degree_update())
+    sim.run_until(1.0)
+    # Despite the failed send, the frozen node keeps the dead link —
+    # exactly the paper's no-repair stress setup.
+    assert 1 in nodes[0].overlay.table
+
+
+def test_join_adopts_member_list_and_builds_links():
+    config = GoCastConfig(c_rand=1, c_near=2)
+    sim, network, nodes = build(8, config=config, estimator=True)
+    # Nodes 0..6 form an existing overlay with full views.
+    for i in range(7):
+        nodes[i].view.add_many(j for j in range(7) if j != i)
+        nodes[i].start()
+    nodes[0].tree.become_root(epoch=0)
+    sim.run_until(10.0)
+
+    joiner = nodes[7]
+    joiner.start()
+    joiner.join(bootstrap=0)
+    sim.run_until(20.0)
+    assert len(joiner.view) >= 7
+    assert joiner.overlay.d_rand >= 1
+    assert joiner.overlay.d_near >= 1
+    # The joiner is integrated into the tree as well.
+    assert joiner.tree.root is not None
+
+
+def test_join_rejects_self_bootstrap():
+    _, _, nodes = build(2)
+    nodes[0].start()
+    with pytest.raises(ValueError):
+        nodes[0].join(bootstrap=0)
+
+
+def test_link_changes_recorded_to_events():
+    events = TraceRecorder()
+    sim, network, nodes = build(2, events=events)
+    nodes[0].start()
+    nodes[1].start()
+    nodes[0].overlay.force_link(1, RANDOM, 0.01)
+    nodes[1].overlay.force_link(0, RANDOM, 0.01)
+    nodes[0].overlay.drop_link(1)
+    assert events.counters.get("link_add_random") == 2
+    assert events.counters.get("link_drop_random") == 1
+    times, _ = events.series_arrays("link_changes")
+    assert len(times) == 3
+
+
+def test_degree_update_propagates_tree_distance():
+    sim, network, nodes = build(2)
+    for node in nodes.values():
+        node.start()
+        node._maint_timer.stop()
+    nodes[0].overlay.force_link(1, NEARBY, 0.01)
+    nodes[1].overlay.force_link(0, NEARBY, 0.01)
+    nodes[0].tree.become_root(epoch=0)
+    sim.run_until(1.0)
+    nodes[0].degrees_changed()
+    sim.run_until(2.0)
+    state = nodes[1].overlay.table.get(0)
+    assert state.dist_to_root == 0.0
+    assert state.root_epoch == 0

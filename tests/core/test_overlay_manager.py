@@ -1,0 +1,360 @@
+"""Protocol tests for the overlay manager: handshakes, random-neighbor
+maintenance (Section 2.2.2), and nearby maintenance conditions C1-C4
+(Section 2.2.3)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import GoCastConfig
+from repro.core.messages import NEARBY, RANDOM
+from repro.core.node import GoCastNode
+from repro.net.latency import MatrixLatencyModel
+from repro.sim.engine import Simulator
+from repro.sim.trace import DeliveryTracer
+from repro.sim.transport import Network
+
+
+def make_cluster(matrix, config=None, seed=11):
+    """Nodes over an explicit latency matrix; nothing started."""
+    sim = Simulator()
+    model = MatrixLatencyModel(np.asarray(matrix))
+    network = Network(sim, model, rng=random.Random(seed))
+    tracer = DeliveryTracer()
+    cfg = config if config is not None else GoCastConfig()
+    nodes = {
+        i: GoCastNode(i, sim, network, config=cfg, rng=random.Random(seed + i), tracer=tracer)
+        for i in range(model.size)
+    }
+    return sim, network, nodes
+
+
+def uniform_matrix(n, latency=0.01):
+    m = np.full((n, n), latency)
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+def jittered_matrix(n, latency=0.01, seed=0):
+    """Distinct pairwise latencies — avoids C3 ties, like real networks."""
+    rng = np.random.default_rng(seed)
+    m = np.triu(latency * rng.uniform(0.8, 1.2, size=(n, n)), k=1)
+    m = m + m.T
+    return m
+
+
+def start_all(nodes, maintenance=True):
+    """Start nodes; handshake-focused tests disable the periodic
+    maintenance so it cannot re-create links behind the assertion."""
+    for node in nodes.values():
+        node.start()
+        if not maintenance:
+            node._maint_timer.stop()
+
+
+# ----------------------------------------------------------------------
+# Link handshake
+# ----------------------------------------------------------------------
+def test_link_request_accept_creates_symmetric_link():
+    sim, network, nodes = make_cluster(uniform_matrix(3))
+    start_all(nodes, maintenance=False)
+    assert nodes[0].overlay.request_link(1, RANDOM)
+    sim.run_until(1.0)
+    assert 1 in nodes[0].overlay.table
+    assert 0 in nodes[1].overlay.table
+    assert nodes[0].overlay.table.get(1).kind == RANDOM
+
+
+def test_duplicate_request_not_sent():
+    sim, network, nodes = make_cluster(uniform_matrix(3))
+    start_all(nodes, maintenance=False)
+    assert nodes[0].overlay.request_link(1, RANDOM)
+    assert not nodes[0].overlay.request_link(1, RANDOM)  # pending
+    sim.run_until(1.0)
+    assert not nodes[0].overlay.request_link(1, NEARBY)  # established
+
+
+def test_request_to_self_refused():
+    _, _, nodes = make_cluster(uniform_matrix(2))
+    assert not nodes[0].overlay.request_link(0, RANDOM)
+
+
+def test_random_link_rejected_when_degree_slack_exhausted():
+    cfg = GoCastConfig(c_rand=1, c_near=5, degree_slack=2)
+    sim, network, nodes = make_cluster(uniform_matrix(8), config=cfg)
+    target = nodes[0]
+    # Saturate node 0 with c_rand + slack = 3 random links.
+    for peer in (1, 2, 3):
+        target.overlay.force_link(peer, RANDOM, 0.02)
+        nodes[peer].overlay.force_link(0, RANDOM, 0.02)
+    start_all(nodes, maintenance=False)
+    nodes[4].overlay.request_link(0, RANDOM)
+    sim.run_until(1.0)
+    assert 0 not in nodes[4].overlay.table
+    assert 4 not in target.overlay.table
+
+
+def test_nearby_link_rejected_by_c2():
+    cfg = GoCastConfig(c_rand=1, c_near=2, degree_slack=1)
+    sim, network, nodes = make_cluster(uniform_matrix(8), config=cfg)
+    # Node 0 at nearby degree c_near + slack = 3.
+    for peer in (1, 2, 3):
+        nodes[0].overlay.force_link(peer, NEARBY, 0.02)
+        nodes[peer].overlay.force_link(0, NEARBY, 0.02)
+    start_all(nodes, maintenance=False)
+    nodes[4].overlay.request_link(0, NEARBY)
+    sim.run_until(1.0)
+    assert 4 not in nodes[0].overlay.table
+
+
+def test_nearby_link_rejected_by_c3_when_worse_than_worst():
+    # Node 0 has c_near nearby neighbors at 10 ms RTT; node 4 sits at
+    # 100 ms. C3 must reject (0's degree is already sufficient and the
+    # new link is worse than its worst).
+    n = 6
+    m = uniform_matrix(n, latency=0.005)  # rtt = 10 ms
+    m[0, 4] = m[4, 0] = 0.050             # rtt = 100 ms
+    cfg = GoCastConfig(c_rand=1, c_near=2)
+    sim, network, nodes = make_cluster(m, config=cfg)
+    for peer in (1, 2):
+        nodes[0].overlay.force_link(peer, NEARBY, 0.01)
+        nodes[peer].overlay.force_link(0, NEARBY, 0.01)
+    start_all(nodes, maintenance=False)
+    nodes[4].overlay.request_link(0, NEARBY)
+    sim.run_until(1.0)
+    assert 4 not in nodes[0].overlay.table
+
+
+def test_nearby_link_accepted_when_better_than_worst():
+    n = 6
+    m = uniform_matrix(n, latency=0.050)
+    m[0, 4] = m[4, 0] = 0.002  # much better than existing links
+    cfg = GoCastConfig(c_rand=1, c_near=2)
+    sim, network, nodes = make_cluster(m, config=cfg)
+    for peer in (1, 2):
+        nodes[0].overlay.force_link(peer, NEARBY, 0.1)
+        nodes[peer].overlay.force_link(0, NEARBY, 0.1)
+    start_all(nodes, maintenance=False)
+    nodes[4].overlay.request_link(0, NEARBY)
+    sim.run_until(1.0)
+    assert 4 in nodes[0].overlay.table
+
+
+def test_link_drop_notifies_peer():
+    sim, network, nodes = make_cluster(uniform_matrix(3))
+    nodes[0].overlay.force_link(1, RANDOM, 0.02)
+    nodes[1].overlay.force_link(0, RANDOM, 0.02)
+    start_all(nodes, maintenance=False)
+    nodes[0].overlay.drop_link(1)
+    assert 1 not in nodes[0].overlay.table
+    sim.run_until(1.0)
+    assert 0 not in nodes[1].overlay.table
+
+
+def test_degree_exchange_on_establishment():
+    sim, network, nodes = make_cluster(uniform_matrix(4))
+    nodes[1].overlay.force_link(2, NEARBY, 0.02)
+    nodes[2].overlay.force_link(1, NEARBY, 0.02)
+    start_all(nodes, maintenance=False)
+    nodes[0].overlay.request_link(1, RANDOM)
+    sim.run_until(1.0)
+    # Both ends know each other's degrees after the handshake.
+    assert nodes[0].overlay.table.get(1).nearby_degree == 1
+    assert nodes[1].overlay.table.get(0).random_degree >= 0
+
+
+# ----------------------------------------------------------------------
+# Random-neighbor maintenance (2.2.2)
+# ----------------------------------------------------------------------
+def test_random_deficit_repaired_from_view():
+    sim, network, nodes = make_cluster(uniform_matrix(5))
+    for node in nodes.values():
+        node.view.add_many(i for i in nodes if i != node.node_id)
+        node.start()
+    sim.run_until(5.0)
+    for node in nodes.values():
+        assert node.overlay.d_rand >= node.config.c_rand
+
+
+def test_random_surplus_rewired_down():
+    cfg = GoCastConfig(c_rand=1, c_near=5)
+    sim, network, nodes = make_cluster(uniform_matrix(8), config=cfg)
+    # Node 0 starts with 4 random neighbors (surplus of 3).
+    for peer in (1, 2, 3, 4):
+        nodes[0].overlay.force_link(peer, RANDOM, 0.02)
+        nodes[peer].overlay.force_link(0, RANDOM, 0.02)
+    for node in nodes.values():
+        node.view.add_many(i for i in nodes if i != node.node_id)
+        node.start()
+    sim.run_until(10.0)
+    assert nodes[0].overlay.d_rand <= cfg.c_rand + 1
+
+
+def test_random_degrees_converge_to_c_rand_or_plus_one():
+    # Ring of 6 where everyone starts with 2 random neighbors
+    # (c_rand + 1).  c_near = 0 isolates the random-maintenance
+    # protocol.  Section 2.2.2: "when the overlay stabilizes, each node
+    # eventually has either C_rand or C_rand + 1 random neighbors".
+    cfg = GoCastConfig(c_rand=1, c_near=0)
+    sim, network, nodes = make_cluster(uniform_matrix(6), config=cfg)
+    ids = list(nodes)
+    for a, b in zip(ids, ids[1:] + ids[:1]):
+        nodes[a].overlay.force_link(b, RANDOM, 0.02)
+        nodes[b].overlay.force_link(a, RANDOM, 0.02)
+    for node in nodes.values():
+        node.view.add_many(i for i in nodes if i != node.node_id)
+    start_all(nodes, maintenance=True)
+    sim.run_until(20.0)
+    degrees = sorted(n.overlay.d_rand for n in nodes.values())
+    assert degrees[0] >= cfg.c_rand
+    assert degrees[-1] <= cfg.c_rand + 1
+
+
+# ----------------------------------------------------------------------
+# Nearby-neighbor maintenance (2.2.3)
+# ----------------------------------------------------------------------
+def test_nearby_deficit_filled_from_view():
+    cfg = GoCastConfig(c_rand=0, c_near=2)
+    sim, network, nodes = make_cluster(uniform_matrix(6), config=cfg)
+    for node in nodes.values():
+        node.view.add_many(i for i in nodes if i != node.node_id)
+        node.start()
+    sim.run_until(5.0)
+    for node in nodes.values():
+        assert node.overlay.d_near >= cfg.c_near
+
+
+def test_drop_excess_nearby_sheds_longest_links_first():
+    cfg = GoCastConfig(c_rand=0, c_near=2, drop_threshold_slack=2)
+    n = 8
+    m = uniform_matrix(n, latency=0.005)
+    for peer, one_way in [(1, 0.005), (2, 0.010), (3, 0.050), (4, 0.100)]:
+        m[0, peer] = m[peer, 0] = one_way
+    sim, network, nodes = make_cluster(m, config=cfg)
+    for peer in (1, 2, 3, 4):
+        rtt = 2 * m[0, peer]
+        nodes[0].overlay.force_link(peer, NEARBY, rtt)
+        nodes[peer].overlay.force_link(0, NEARBY, rtt)
+        # Give every neighbor healthy degree info so C1 allows dropping.
+        for other in (5, 6, 7):
+            if other not in nodes[peer].overlay.table:
+                nodes[peer].overlay.force_link(other, NEARBY, 0.01)
+                nodes[other].overlay.force_link(peer, NEARBY, 0.01)
+    start_all(nodes, maintenance=True)
+    sim.run_until(5.0)
+    # Excess shed down to C_near, longest (4 then 3) dropped first.
+    assert nodes[0].overlay.d_near == cfg.c_near
+    assert 4 not in nodes[0].overlay.table
+    assert 3 not in nodes[0].overlay.table
+
+
+def test_no_drop_at_c_near_plus_one():
+    # The paper deliberately tolerates C_near + 1 to avoid churn.
+    cfg = GoCastConfig(c_rand=0, c_near=2, drop_threshold_slack=2)
+    sim, network, nodes = make_cluster(uniform_matrix(8), config=cfg)
+    for peer in (1, 2, 3):
+        nodes[0].overlay.force_link(peer, NEARBY, 0.02)
+        nodes[peer].overlay.force_link(0, NEARBY, 0.02)
+        for other in (4, 5):
+            if other not in nodes[peer].overlay.table:
+                nodes[peer].overlay.force_link(other, NEARBY, 0.02)
+                nodes[other].overlay.force_link(peer, NEARBY, 0.02)
+    start_all(nodes, maintenance=True)
+    sim.run_until(3.0)
+    assert nodes[0].overlay.d_near == 3  # c_near + 1 kept
+
+
+def test_c1_protects_low_degree_neighbors_from_drop():
+    cfg = GoCastConfig(c_rand=0, c_near=3, drop_threshold_slack=2, c1_slack=1)
+    sim, network, nodes = make_cluster(uniform_matrix(8), config=cfg)
+    # Node 0 has c_near + 2 = 5 nearby neighbors (drop threshold met),
+    # but all of them have degree 1 < c_near - 1 = 2, so C1 forbids
+    # dropping any of them: the excess must be tolerated.
+    for peer in (1, 2, 3, 4, 5):
+        nodes[0].overlay.force_link(peer, NEARBY, 0.02)
+        nodes[peer].overlay.force_link(0, NEARBY, 0.02)
+    # Only node 0 runs maintenance, so the neighbors' degrees stay at 1.
+    start_all(nodes, maintenance=False)
+    nodes[0]._maint_timer.start(phase=0.05)
+    sim.run_until(2.0)
+    assert nodes[0].overlay.d_near == 5
+
+
+def test_replacement_respects_c4_factor():
+    # Node 0 has 2 nearby neighbors at 40 ms one-way. Candidate 3 at
+    # 25 ms is better but NOT 2x better -> C4 must refuse the switch.
+    cfg = GoCastConfig(c_rand=0, c_near=2)
+    n = 6
+    m = uniform_matrix(n, latency=0.040)
+    m[0, 3] = m[3, 0] = 0.025
+    sim, network, nodes = make_cluster(m, config=cfg)
+    for peer in (1, 2):
+        nodes[0].overlay.force_link(peer, NEARBY, 0.08)
+        nodes[peer].overlay.force_link(0, NEARBY, 0.08)
+        for other in (4, 5):
+            nodes[peer].overlay.force_link(other, NEARBY, 0.08)
+            nodes[other].overlay.force_link(peer, NEARBY, 0.08)
+    nodes[0].view.add(3)
+    start_all(nodes, maintenance=True)
+    sim.run_until(10.0)
+    assert 3 not in nodes[0].overlay.table
+    assert sorted(nodes[0].overlay.table.nearby_neighbors()) == [1, 2]
+
+
+def test_replacement_happens_when_candidate_2x_better():
+    cfg = GoCastConfig(c_rand=0, c_near=2)
+    n = 6
+    m = uniform_matrix(n, latency=0.040)
+    m[0, 3] = m[3, 0] = 0.005  # 8x better than current neighbors
+    sim, network, nodes = make_cluster(m, config=cfg)
+    for peer in (1, 2):
+        nodes[0].overlay.force_link(peer, NEARBY, 0.08)
+        nodes[peer].overlay.force_link(0, NEARBY, 0.08)
+        for other in (4, 5):
+            nodes[peer].overlay.force_link(other, NEARBY, 0.08)
+            nodes[other].overlay.force_link(peer, NEARBY, 0.08)
+    nodes[0].view.add(3)
+    start_all(nodes, maintenance=True)
+    sim.run_until(10.0)
+    # Candidate adopted and exactly one old neighbor replaced.
+    assert 3 in nodes[0].overlay.table
+    assert nodes[0].overlay.d_near == 2
+
+
+def test_peer_failure_removes_link_and_probe_state():
+    sim, network, nodes = make_cluster(uniform_matrix(4))
+    nodes[0].overlay.force_link(1, RANDOM, 0.02)
+    nodes[1].overlay.force_link(0, RANDOM, 0.02)
+    start_all(nodes, maintenance=True)
+    network.kill(1)
+    nodes[1].stop()
+    # Trigger detection via a reliable send failure.
+    nodes[0].send(1, nodes[0].make_degree_update())
+    sim.run_until(1.0)
+    assert 1 not in nodes[0].overlay.table
+    assert 1 not in nodes[0].view
+
+
+def test_rewire_request_establishes_link_between_targets():
+    sim, network, nodes = make_cluster(uniform_matrix(5))
+    start_all(nodes, maintenance=False)
+    from repro.core.messages import RewireRequest
+
+    nodes[1].overlay.on_rewire_request(0, RewireRequest(target=2))
+    sim.run_until(1.0)
+    assert 2 in nodes[1].overlay.table
+    assert 1 in nodes[2].overlay.table
+
+
+def test_close_all_links_notifies_everyone():
+    sim, network, nodes = make_cluster(uniform_matrix(4))
+    for peer in (1, 2, 3):
+        nodes[0].overlay.force_link(peer, RANDOM, 0.02)
+        nodes[peer].overlay.force_link(0, RANDOM, 0.02)
+    start_all(nodes, maintenance=False)
+    nodes[0].overlay.close_all_links()
+    sim.run_until(1.0)
+    assert len(nodes[0].overlay.table) == 0
+    for peer in (1, 2, 3):
+        assert 0 not in nodes[peer].overlay.table

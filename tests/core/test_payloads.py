@@ -1,0 +1,61 @@
+"""Application payload passthrough: real objects travel with messages."""
+
+import pytest
+
+from tests.conftest import TinyCluster
+
+
+@pytest.fixture
+def chain():
+    cluster = TinyCluster(4)
+    cluster.connect_chain([0, 1, 2, 3])
+    for node in cluster.nodes.values():
+        node.start()
+        node._maint_timer.stop()
+    cluster.nodes[0].tree.become_root(epoch=0)
+    cluster.run(1.0)
+    return cluster
+
+
+def test_payload_reaches_every_receiver_via_tree(chain):
+    payload = {"event": "disk-full", "host": "db-7"}
+    msg_id = chain.nodes[0].multicast(payload_size=256, payload=payload)
+    chain.run(1.0)
+    for node_id in (1, 2, 3):
+        assert chain.nodes[node_id].payload_of(msg_id) == payload
+
+
+def test_payload_survives_gossip_pull(chain):
+    # Sever the 1->2 tree link; node 2 must pull the payload via gossip.
+    chain.nodes[1].tree.children.discard(2)
+    chain.nodes[2].tree.parent = None
+    for node in chain.nodes.values():
+        node.freeze()
+    payload = b"binary blob"
+    msg_id = chain.nodes[0].multicast(payload_size=11, payload=payload)
+    chain.run(3.0)
+    assert chain.nodes[2].payload_of(msg_id) == payload
+    assert chain.nodes[3].payload_of(msg_id) == payload
+
+
+def test_listener_can_fetch_payload(chain):
+    received = []
+    node3 = chain.nodes[3]
+    node3.delivery_listeners.append(
+        lambda msg_id, size: received.append(node3.payload_of(msg_id))
+    )
+    chain.nodes[0].multicast(payload_size=8, payload="hello")
+    chain.run(1.0)
+    assert received == ["hello"]
+
+
+def test_payload_none_by_default(chain):
+    msg_id = chain.nodes[0].multicast(payload_size=64)
+    chain.run(1.0)
+    assert chain.nodes[3].payload_of(msg_id) is None
+
+
+def test_payload_of_unknown_message(chain):
+    from repro.core.ids import MessageId
+
+    assert chain.nodes[0].payload_of(MessageId(9, 9)) is None

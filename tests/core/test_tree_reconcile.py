@@ -1,0 +1,87 @@
+"""Direct tests for children/parent reconciliation and wave close-out."""
+
+import math
+
+from repro.core.messages import NEARBY
+from tests.conftest import TinyCluster
+
+
+def pair():
+    cluster = TinyCluster(3)
+    cluster.connect(0, 1)
+    cluster.connect(1, 2)
+    for node in cluster.nodes.values():
+        node.start()
+        node._maint_timer.stop()
+    cluster.nodes[0].tree.become_root(epoch=0)
+    cluster.run(1.0)
+    return cluster
+
+
+def test_reconcile_removes_stale_child():
+    cluster = pair()
+    tree1 = cluster.nodes[1].tree
+    assert 2 in tree1.children
+    # Fabricate the crossing-attach aftermath: node 2 claims another
+    # parent while node 1 still lists it as a child.
+    tree1.reconcile_child(2, peer_parent=0)
+    assert 2 not in tree1.children
+    state = cluster.nodes[1].overlay.table.get(2)
+    assert not state.is_tree_child
+
+
+def test_reconcile_adds_missing_child():
+    cluster = pair()
+    tree1 = cluster.nodes[1].tree
+    tree1.children.discard(2)  # lost attach
+    tree1.reconcile_child(2, peer_parent=1)
+    assert 2 in tree1.children
+
+
+def test_reconcile_never_adds_own_parent_as_child():
+    cluster = pair()
+    tree1 = cluster.nodes[1].tree
+    assert tree1.parent == 0
+    tree1.reconcile_child(0, peer_parent=1)  # inconsistent claim
+    assert 0 not in tree1.children
+
+
+def test_reconciliation_happens_through_degree_updates():
+    cluster = pair()
+    tree1 = cluster.nodes[1].tree
+    # Corrupt: stale child entry for node 2.
+    cluster.nodes[2].tree.parent = None
+    cluster.nodes[2].tree._repair_parent()
+    assert cluster.nodes[2].tree.parent == 1  # repaired locally
+    tree1.children.add(2)
+    # Node 2's next degree update (keepalive gossip piggyback) fixes
+    # node 1's view either way; force one now.
+    cluster.nodes[2].degrees_changed()
+    cluster.run(0.5)
+    assert 2 in tree1.children  # consistent: 2's parent IS 1
+
+
+def test_wave_closeout_abandons_silent_parent():
+    cluster = pair()
+    node2 = cluster.nodes[2]
+    # Give node 2 an alternative link to the root.
+    cluster.connect(0, 2)
+    cluster.run(0.1)
+    assert node2.tree.parent == 1
+
+    # Node 1 goes silent (frozen mid-protocol, still "alive" to the
+    # network so no send-failures fire) across two heartbeat waves.
+    cluster.nodes[1].frozen = True
+    cluster.run(2 * node2.config.heartbeat_period + 2.0)
+    # Node 2 received waves only via node 0 and must have re-parented.
+    assert node2.tree.parent == 0
+
+
+def test_detached_node_dist_is_infinite_until_wave():
+    cluster = TinyCluster(2)
+    cluster.connect(0, 1)
+    node1 = cluster.nodes[1]
+    node1.start()
+    node1._maint_timer.stop()
+    assert math.isinf(node1.tree.dist)
+    assert node1.tree.root is None

@@ -1,0 +1,188 @@
+"""Smoke tests for every per-figure experiment module at tiny scale.
+
+The benchmarks run these at meaningful scale with shape assertions;
+here we verify each module's API contract (runs, formats, fields) fast.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    adaptation,
+    churn,
+    diameter,
+    extensions,
+    fanout,
+    fig1,
+    fig3,
+    fig5,
+    fig6,
+    linkstress,
+    loss,
+    random_links,
+    text_metrics,
+)
+
+TINY = dict(n_nodes=24, adapt_time=12.0)
+
+
+def test_fig1_module():
+    result = fig1.run(n=256, fanouts=range(1, 10))
+    assert len(result.p_one_message) == 9
+    assert "Figure 1" in result.format_table()
+    assert result.min_fanout_for_half > 0
+
+
+def test_fig3_module():
+    result = fig3.run(
+        fail_fraction=0.0,
+        protocols=("gocast", "push_gossip"),
+        n_messages=6,
+        drain_time=10.0,
+        **TINY,
+    )
+    assert set(result.results) == {"gocast", "push_gossip"}
+    assert result.speedup_vs_gossip() > 0
+    assert "Figure 3a" in result.format_table()
+
+
+def test_fig5_module():
+    result = fig5.run(
+        n_nodes=24, duration=12.0, histogram_times=(0.0, 5.0), sample_period=6.0
+    )
+    assert 0.0 in result.degree_histograms
+    assert result.times[-1] == 12.0
+    assert len(result.times) == len(result.overlay_latency)
+    assert "Figure 5a" in result.format_table()
+
+
+def test_fig6_module():
+    result = fig6.run(
+        c_rand_values=(1,), fail_fractions=(0.0, 0.25), trials=1, **TINY
+    )
+    assert result.q(1, 0.0) > 0
+    assert "Figure 6" in result.format_table()
+
+
+def test_text_metrics_module():
+    split = text_metrics.run_degree_split(**TINY)
+    assert abs(sum(split.random_split.values()) - 1.0) < 1e-9
+    assert abs(sum(split.nearby_split.values()) - 1.0) < 1e-9
+    assert "T-deg" in split.format_table()
+
+    red = text_metrics.run_redundancy(n_messages=6, f_values=(0.0,), **TINY)
+    assert red.receptions(0.0) >= 1.0
+    assert "T-red" in red.format_table()
+
+
+def test_adaptation_module():
+    result = adaptation.run(n_nodes=24, duration=12.0, bucket=3.0)
+    assert len(result.changes_per_second) == 4
+    assert result.early_rate() >= result.late_rate() * 0.0
+    assert "R1" in result.format_table()
+
+
+def test_random_links_module():
+    result = random_links.run(c_rand_values=(0, 3), **TINY)
+    assert len(result.mean_overlay_latency) == 2
+    assert "R2" in result.format_table()
+
+
+def test_diameter_module():
+    result = diameter.run(sizes=(16, 32), adapt_time=10.0)
+    assert len(result.diameters) == 2
+    assert all(d >= 1 for d in result.diameters)
+    assert "R3" in result.format_table()
+
+
+def test_linkstress_module():
+    result = linkstress.run(
+        n_members=24, n_regions=4, stubs_per_region=3,
+        adapt_time=12.0, n_messages=6,
+    )
+    assert result.stress_reduction() > 0
+    gocast_max, gocast_mean = result.backbone_load("gocast")
+    assert gocast_max >= gocast_mean >= 0
+    assert "R4" in result.format_table()
+
+
+def test_fanout_module():
+    result = fanout.run(fanouts=(3, 6), n_nodes=24, n_messages=6)
+    assert set(result.results) == {3, 6}
+    improvement = result.relative_improvement(3, 6)
+    assert math.isfinite(improvement)
+    assert "R5" in result.format_table()
+
+
+def test_churn_module():
+    result = churn.run(
+        churn_intervals=(4.0,), n_nodes=24, adapt_time=12.0,
+        workload_time=5.0, message_rate=4.0,
+    )
+    assert len(result.outcomes) == 1
+    outcome = result.outcomes[0]
+    assert outcome.events >= 1
+    assert 0.0 <= outcome.veteran_reliability <= 1.0
+    assert "Churn extension" in result.format_table()
+
+
+def test_loss_module():
+    result = loss.run(loss_rates=(0.0, 0.2), n_messages=6, **TINY)
+    assert len(result.outcomes) == 2
+    assert result.outcomes[0].loss_rate == 0.0
+    assert "Loss extension" in result.format_table()
+
+
+def test_message_rate_module():
+    from repro.experiments import message_rate
+
+    result = message_rate.run(
+        rates=(10.0, 50.0), n_nodes=24, adapt_time=12.0, workload_time=2.0
+    )
+    assert len(result.outcomes) == 2
+    assert result.delay_spread() >= 1.0
+    assert "Message-rate" in result.format_table()
+
+
+def test_failover_module():
+    from repro.experiments import failover
+
+    result = failover.run(
+        seeds=(3,), n_nodes=24, adapt_time=12.0,
+        heartbeat_period=2.0, heartbeat_timeout=5.0,
+    )
+    outcome = result.outcomes[0]
+    assert outcome.claim_time < 12.0
+    assert outcome.convergence_time < 20.0
+    assert outcome.reliability_through_transition == 1.0
+    assert "Failover extension" in result.format_table()
+
+
+def test_extensions_pushpull_module():
+    result = extensions.run_pushpull(fanouts=(2,), n_nodes=24, n_messages=5)
+    assert ("push", 2) in result.reliability
+    assert ("push-pull", 2) in result.reliability
+    assert "Footnote 1" in result.format_table()
+
+
+def test_extensions_overhead_module():
+    result = extensions.run_overhead(sizes=(16, 24), adapt_time=10.0, measure_time=5.0)
+    assert set(result.control_rate) == {16, 24}
+    assert result.max_growth() > 0
+    assert "overhead" in result.format_table()
+
+
+def test_ablation_modules():
+    for runner in (
+        ablations.run_c4_factor,
+        ablations.run_drop_threshold,
+        ablations.run_c1_bound,
+    ):
+        result = runner(**TINY)
+        assert len(result.outcomes) == 2
+        for outcome in result.outcomes.values():
+            assert outcome.total_link_changes >= 0
+            assert outcome.late_churn_rate >= 0
+        assert "Ablation" in result.format_table()

@@ -1,0 +1,76 @@
+"""Tests for the report formatting helpers."""
+
+import numpy as np
+
+from repro.experiments.report import cdf_points, format_table, sparkline
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [("a", 1.5), ("bb", 20)])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "name" in lines[0] and "value" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+    # All rows share the same width.
+    assert len({len(line) for line in lines}) == 1
+
+
+def test_format_table_float_rendering():
+    out = format_table(["x"], [(float("nan"),), (1234.5,), (0.00001,), (0.25,)])
+    assert "nan" in out
+    assert "e" in out.lower()  # scientific for extremes
+    assert "0.25" in out
+
+
+def test_cdf_points_lookup():
+    delays = np.array([0.1, 0.2, 0.3, 0.4])
+    fractions = np.array([0.25, 0.5, 0.75, 1.0])
+    points = cdf_points(delays, fractions, [0.5, 0.9, 1.0])
+    assert points[0] == 0.2
+    assert points[1] == 0.4
+    assert points[2] == 0.4
+
+
+def test_cdf_points_nan_when_coverage_unreached():
+    delays = np.array([0.1])
+    fractions = np.array([0.4])
+    points = cdf_points(delays, fractions, [0.9])
+    assert np.isnan(points[0])
+
+
+def test_ascii_cdf_renders_curves():
+    from repro.experiments.report import ascii_cdf
+
+    out = ascii_cdf(
+        {
+            "gocast": (np.array([0.1, 0.2]), np.array([0.5, 1.0])),
+            "gossip": (np.array([0.5, 1.0]), np.array([0.4, 0.9])),
+        },
+        width=40,
+        height=8,
+    )
+    lines = out.splitlines()
+    assert lines[0].startswith("1.0 |")
+    assert any(line.startswith("0.0 +") for line in lines)
+    # Distinct marks despite the shared first letter.
+    legend = lines[-1]
+    assert "g=gocast" in legend and "o=gossip" in legend
+
+
+def test_ascii_cdf_empty():
+    from repro.experiments.report import ascii_cdf
+
+    assert ascii_cdf({}) == "(no data)"
+    assert ascii_cdf({"x": (np.array([]), np.array([]))}) == "(no data)"
+
+
+def test_sparkline_basic():
+    line = sparkline([0, 1, 2, 3, 4, 5])
+    assert len(line) == 6
+    assert line[0] != line[-1]
+    assert sparkline([]) == ""
+    assert len(set(sparkline([2, 2, 2]))) == 1
+
+
+def test_sparkline_downsamples():
+    assert len(sparkline(list(range(500)), width=60)) == 60

@@ -1,0 +1,91 @@
+"""Tests for the unified delay-experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_delay_experiment
+from repro.experiments.scenarios import ScenarioConfig
+
+SMOKE = dict(n_nodes=32, adapt_time=15.0, n_messages=10, drain_time=10.0, seed=4)
+
+
+@pytest.fixture(scope="module")
+def gocast_result():
+    return run_delay_experiment(ScenarioConfig(protocol="gocast", **SMOKE))
+
+
+def test_gocast_full_reliability(gocast_result):
+    assert gocast_result.reliability == 1.0
+    assert gocast_result.live_receivers == 32
+
+
+def test_delay_stats_consistent(gocast_result):
+    res = gocast_result
+    assert 0 < res.median_delay <= res.p90_delay <= res.p99_delay <= res.max_delay
+    assert res.mean_delay > 0
+    # 10 messages x 31 receivers.
+    assert len(res.delays) == 310
+
+
+def test_cdf_monotone_and_bounded(gocast_result):
+    res = gocast_result
+    assert np.all(np.diff(res.cdf_x) >= 0)
+    assert np.all(np.diff(res.cdf_y) > 0)
+    assert res.cdf_y[-1] <= 1.0 + 1e-9
+
+
+def test_delay_at_coverage(gocast_result):
+    res = gocast_result
+    d50 = res.delay_at_coverage(0.5)
+    d99 = res.delay_at_coverage(0.99)
+    assert 0 < d50 <= d99
+    assert np.isnan(res.delay_at_coverage(1.1))
+
+
+def test_summary_row_renders(gocast_result):
+    row = gocast_result.summary_row()
+    assert "gocast" in row
+    assert "reliability" in row
+
+
+def test_baseline_runner_works():
+    res = run_delay_experiment(ScenarioConfig(protocol="push_gossip", fanout=8, **SMOKE))
+    assert res.reliability > 0.8
+    assert res.messages_sent > 0
+    assert "RandomGossip" in res.sent_by_type
+
+
+def test_failures_reduce_receivers():
+    params = dict(SMOKE, fail_fraction=0.25)
+    res = run_delay_experiment(ScenarioConfig(protocol="gocast", **params))
+    assert res.live_receivers == 24
+    assert res.reliability == 1.0  # the paper's headline for GoCast
+
+
+def test_deterministic_given_seed():
+    a = run_delay_experiment(ScenarioConfig(protocol="gocast", **SMOKE))
+    b = run_delay_experiment(ScenarioConfig(protocol="gocast", **SMOKE))
+    assert np.array_equal(a.delays, b.delays)
+    assert a.messages_sent == b.messages_sent
+
+
+def test_different_seed_changes_run():
+    params = dict(SMOKE)
+    params["seed"] = 99
+    a = run_delay_experiment(ScenarioConfig(protocol="gocast", **SMOKE))
+    b = run_delay_experiment(ScenarioConfig(protocol="gocast", **params))
+    assert not np.array_equal(a.delays, b.delays)
+
+
+def test_network_hook_invoked():
+    seen = {}
+
+    def hook(network, sim, start):
+        seen["start"] = start
+        seen["network"] = network
+
+    run_delay_experiment(
+        ScenarioConfig(protocol="gocast", **SMOKE), network_hook=hook
+    )
+    assert seen["start"] == pytest.approx(15.1)
+    assert seen["network"].messages_sent > 0

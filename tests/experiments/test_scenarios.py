@@ -1,0 +1,82 @@
+"""Tests for scenario configuration and scale presets."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    PROTOCOLS,
+    ScenarioConfig,
+    paper_scenario,
+    scale_preset,
+)
+
+
+def test_scale_presets():
+    assert scale_preset("smoke") == (64, 30.0, 20)
+    assert scale_preset("full") == (1024, 500.0, 1000)
+    with pytest.raises(KeyError):
+        scale_preset("huge")
+
+
+def test_env_var_selects_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+    assert scale_preset() == scale_preset("smoke")
+    monkeypatch.delenv("REPRO_SCALE")
+    assert scale_preset() == scale_preset("default")
+
+
+def test_paper_scenario_uses_preset(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+    sc = paper_scenario("gocast")
+    assert (sc.n_nodes, sc.adapt_time, sc.n_messages) == (64, 30.0, 20)
+    sc2 = paper_scenario("push_gossip", n_messages=5)
+    assert sc2.n_messages == 5
+
+
+def test_protocol_validation():
+    with pytest.raises(ValueError):
+        ScenarioConfig(protocol="carrier-pigeon")
+    for protocol in PROTOCOLS:
+        ScenarioConfig(protocol=protocol)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(n_nodes=1),
+        dict(fail_fraction=1.0),
+        dict(n_messages=0),
+        dict(message_rate=0.0),
+    ],
+)
+def test_invalid_scenarios_rejected(kwargs):
+    with pytest.raises(ValueError):
+        ScenarioConfig(**kwargs)
+
+
+def test_uses_overlay_classification():
+    assert ScenarioConfig(protocol="gocast").uses_overlay
+    assert ScenarioConfig(protocol="proximity").uses_overlay
+    assert ScenarioConfig(protocol="random_overlay").uses_overlay
+    assert not ScenarioConfig(protocol="push_gossip").uses_overlay
+    assert not ScenarioConfig(protocol="nowait_gossip").uses_overlay
+
+
+def test_effective_gocast_config_variants():
+    gocast = ScenarioConfig(protocol="gocast").effective_gocast_config()
+    assert gocast.use_tree and gocast.c_rand == 1 and gocast.c_near == 5
+
+    prox = ScenarioConfig(protocol="proximity").effective_gocast_config()
+    assert not prox.use_tree and prox.c_rand == 1 and prox.c_near == 5
+
+    rand = ScenarioConfig(protocol="random_overlay").effective_gocast_config()
+    assert not rand.use_tree and rand.c_rand == 6 and rand.c_near == 0
+
+    with pytest.raises(ValueError):
+        ScenarioConfig(protocol="push_gossip").effective_gocast_config()
+
+
+def test_effective_config_preserves_overrides():
+    from repro.core.config import GoCastConfig
+
+    sc = ScenarioConfig(protocol="gocast", gocast=GoCastConfig(request_delay_f=0.3))
+    assert sc.effective_gocast_config().request_delay_f == 0.3

@@ -1,0 +1,126 @@
+"""Tests for the GoCastSystem experiment builder."""
+
+import pytest
+
+from repro.core.config import GoCastConfig
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.system import GoCastSystem
+
+
+@pytest.fixture(scope="module")
+def adapted_system():
+    scenario = ScenarioConfig(
+        protocol="gocast", n_nodes=48, adapt_time=20.0, n_messages=10, seed=5
+    )
+    system = GoCastSystem(scenario)
+    system.run_adaptation()
+    return system
+
+
+def test_bootstrap_creates_initial_random_degree():
+    scenario = ScenarioConfig(protocol="gocast", n_nodes=32, adapt_time=10.0, seed=2)
+    system = GoCastSystem(scenario)
+    system.bootstrap()
+    snap = system.snapshot()
+    # Each node initiated C_degree/2 = 3 links: average degree ~6.
+    assert 5.0 <= snap.mean_degree() <= 7.0
+    assert snap.count_links("nearby") == 0  # all random at start
+
+
+def test_bootstrap_designates_root():
+    scenario = ScenarioConfig(protocol="gocast", n_nodes=16, adapt_time=5.0, seed=2)
+    system = GoCastSystem(scenario)
+    system.bootstrap()
+    assert system.root_id is not None
+    assert system.nodes[system.root_id].tree.is_root
+
+
+def test_gossip_only_protocols_have_no_root():
+    scenario = ScenarioConfig(protocol="proximity", n_nodes=16, adapt_time=5.0)
+    system = GoCastSystem(scenario)
+    system.bootstrap()
+    assert system.root_id is None
+
+
+def test_rejects_non_overlay_protocols():
+    scenario = ScenarioConfig(protocol="push_gossip", n_nodes=16)
+    with pytest.raises(ValueError):
+        GoCastSystem(scenario)
+
+
+def test_adaptation_converges_degrees(adapted_system):
+    snap = adapted_system.snapshot()
+    cfg = adapted_system.config
+    degrees = snap.degrees()
+    # Most nodes in [C_degree, C_degree + 2] after adaptation.
+    in_band = sum(1 for d in degrees if cfg.c_degree <= d <= cfg.c_degree + 2)
+    assert in_band >= 0.5 * len(degrees)
+    assert snap.is_connected()
+
+
+def test_adaptation_produces_spanning_tree(adapted_system):
+    snap = adapted_system.snapshot()
+    assert snap.tree_is_spanning()
+    assert snap.tree_is_acyclic()
+
+
+def test_failure_injection_kills_fraction_and_freezes_rest():
+    scenario = ScenarioConfig(
+        protocol="gocast", n_nodes=32, adapt_time=10.0, fail_fraction=0.25, seed=3
+    )
+    system = GoCastSystem(scenario)
+    system.run_adaptation()
+    victims = system.fail_random_fraction(scenario.adapt_time, 0.25)
+    system.run_until(scenario.adapt_time + 0.1)
+    assert len(victims) == 8
+    assert len(system.live_node_ids()) == 24
+    for node_id, node in system.nodes.items():
+        if node_id in victims:
+            assert not node.alive
+        else:
+            assert node.frozen
+
+
+def test_workload_injects_from_live_sources():
+    scenario = ScenarioConfig(
+        protocol="gocast", n_nodes=24, adapt_time=10.0, n_messages=8,
+        message_rate=50.0, seed=7,
+    )
+    system = GoCastSystem(scenario)
+    system.run_adaptation()
+    end = system.schedule_workload(scenario.adapt_time + 0.1)
+    system.run_until(end + 5.0)
+    assert system.tracer.n_messages == 8
+    assert system.tracer.reliability(sorted(system.live_node_ids())) == 1.0
+
+
+def test_connect_pair_symmetric():
+    scenario = ScenarioConfig(protocol="gocast", n_nodes=8, adapt_time=5.0)
+    system = GoCastSystem(scenario)
+    system.connect_pair(0, 1, "nearby")
+    assert 1 in system.nodes[0].overlay.table
+    assert 0 in system.nodes[1].overlay.table
+
+
+def test_mean_tree_depth_finite_after_adaptation(adapted_system):
+    assert adapted_system.mean_tree_depth() < 1.0  # seconds of latency
+
+
+def test_initial_links_parameter_controls_bootstrap_degree():
+    scenario = ScenarioConfig(
+        protocol="gocast", n_nodes=24, adapt_time=5.0, initial_links=1, seed=4
+    )
+    system = GoCastSystem(scenario)
+    system.bootstrap()
+    # One initiated link per node -> average degree ~2.
+    assert 1.5 <= system.snapshot().mean_degree() <= 2.5
+
+
+def test_n_sites_shares_latency_sites():
+    scenario = ScenarioConfig(
+        protocol="gocast", n_nodes=32, adapt_time=5.0, n_sites=8, seed=4
+    )
+    system = GoCastSystem(scenario)
+    assert system.latency.n_sites == 8
+    sites = {system.latency.site_of(i) for i in range(32)}
+    assert len(sites) == 8

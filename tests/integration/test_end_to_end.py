@@ -1,0 +1,155 @@
+"""End-to-end integration tests: the whole GoCast stack under one roof.
+
+These use the real experiment harness at small scale and assert the
+paper's qualitative claims hold on every run.
+"""
+
+import pytest
+
+from repro.core.config import GoCastConfig
+from repro.experiments.runner import run_delay_experiment
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.system import GoCastSystem
+
+
+@pytest.fixture(scope="module")
+def adapted():
+    scenario = ScenarioConfig(
+        protocol="gocast", n_nodes=64, adapt_time=40.0, n_messages=20, seed=17
+    )
+    system = GoCastSystem(scenario)
+    system.run_adaptation()
+    return system
+
+
+def test_overlay_connected_and_degree_bounded(adapted):
+    snap = adapted.snapshot()
+    assert snap.is_connected()
+    cfg = adapted.config
+    for degree in snap.degrees():
+        # Hard bound: target + acceptance slack on each class.
+        assert degree <= cfg.c_degree + 2 * cfg.degree_slack
+        assert degree >= 1
+
+
+def test_tree_spans_and_is_acyclic(adapted):
+    snap = adapted.snapshot()
+    assert snap.tree_is_spanning()
+    assert snap.tree_is_acyclic()
+
+
+def test_tree_links_subset_of_overlay_links(adapted):
+    snap = adapted.snapshot()
+    for edge in snap.tree.edges:
+        assert snap.graph.has_edge(*edge)
+
+
+def test_nearby_links_shorter_than_random_links(adapted):
+    snap = adapted.snapshot()
+    assert snap.mean_link_latency("nearby") < 0.5 * snap.mean_link_latency("random")
+
+
+def test_single_root_claimed(adapted):
+    roots = {node.tree.root for node in adapted.live_nodes()}
+    assert roots == {adapted.root_id}
+
+
+def test_every_node_delivered_every_message_exactly_once(adapted):
+    end = adapted.schedule_workload(adapted.sim.now + 0.1)
+    adapted.run_until(end + 15.0)
+    tracer = adapted.tracer
+    receivers = sorted(adapted.live_node_ids())
+    assert tracer.reliability(receivers) == 1.0
+    # Exactly-once at the application layer: receptions/delivery close
+    # to 1 (small gossip-vs-tree race tolerated, as in the paper).
+    assert tracer.receptions_per_delivery() < 1.15
+
+
+def test_message_delivery_faster_than_gossip_period_bound(adapted):
+    """Tree-based delivery is not quantized by the 0.1 s gossip period:
+    median delay must sit well below 3 gossip periods."""
+    delays = adapted.tracer.delays(sorted(adapted.live_node_ids()))
+    import numpy as np
+
+    assert np.median(delays) < 0.3
+
+
+class TestFailureStorm:
+    """The paper's stress test: 20% concurrent failures, no repair."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        scenario = ScenarioConfig(
+            protocol="gocast",
+            n_nodes=64,
+            adapt_time=40.0,
+            n_messages=20,
+            fail_fraction=0.2,
+            drain_time=30.0,
+            seed=23,
+        )
+        return run_delay_experiment(scenario)
+
+    def test_all_live_nodes_served(self, result):
+        assert result.live_receivers == 51  # 64 - round(0.2 * 64) victims
+        assert result.reliability == 1.0
+
+    def test_delays_degrade_but_bounded(self, result):
+        # Slower than the no-failure case but still sub-10 s for all.
+        assert result.max_delay < 10.0
+
+
+def test_graceful_leave_keeps_system_working():
+    scenario = ScenarioConfig(
+        protocol="gocast", n_nodes=32, adapt_time=25.0, n_messages=5, seed=3
+    )
+    system = GoCastSystem(scenario)
+    system.run_adaptation()
+    # A quarter of the nodes leave gracefully, then traffic flows.
+    for node_id in list(system.live_node_ids())[:8]:
+        system.nodes[node_id].leave()
+    system.run_until(system.sim.now + 10.0)
+    end = system.schedule_workload(system.sim.now)
+    system.run_until(end + 15.0)
+    receivers = sorted(system.live_node_ids())
+    assert len(receivers) == 24
+    assert system.tracer.reliability(receivers) == 1.0
+
+
+def test_root_crash_heals_and_delivery_continues():
+    config = GoCastConfig(heartbeat_period=2.0, heartbeat_timeout=5.0)
+    scenario = ScenarioConfig(
+        protocol="gocast", n_nodes=32, adapt_time=25.0, n_messages=5,
+        gocast=config, seed=31,
+    )
+    system = GoCastSystem(scenario)
+    system.run_adaptation()
+    root = system.root_id
+    system.nodes[root].crash()
+    # Allow failover: timeout + claim + flood.
+    system.run_until(system.sim.now + 30.0)
+    live = system.live_nodes()
+    roots = {node.tree.root for node in live}
+    assert roots != {root}
+    assert len(roots) == 1
+    end = system.schedule_workload(system.sim.now)
+    system.run_until(end + 15.0)
+    assert system.tracer.reliability(sorted(system.live_node_ids())) == 1.0
+
+
+def test_partition_heals_after_link_restoration():
+    """Fail half the random links bridging clusters, verify gossip keeps
+    delivery complete (the overlay remains connected via other links)."""
+    scenario = ScenarioConfig(
+        protocol="gocast", n_nodes=32, adapt_time=25.0, n_messages=10, seed=41
+    )
+    system = GoCastSystem(scenario)
+    system.run_adaptation()
+    # Fail ~10 arbitrary overlay links (transport level).
+    snap = system.snapshot()
+    edges = list(snap.graph.edges)[:10]
+    for a, b in edges:
+        system.network.fail_link(a, b)
+    end = system.schedule_workload(system.sim.now + 1.0)
+    system.run_until(end + 30.0)
+    assert system.tracer.reliability(sorted(system.live_node_ids())) == 1.0

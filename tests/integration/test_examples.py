@@ -1,0 +1,38 @@
+"""The example scripts must actually run (they are documentation)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "reliability: 1.000000" in out
+    assert "mean delay" in out
+
+
+def test_datacenter_brokers(capsys):
+    out = run_example("datacenter_brokers.py", capsys)
+    assert "reliability: 1.000000" in out
+    assert "broker 0" in out
+
+
+def test_monitoring_events(capsys):
+    out = run_example("monitoring_events.py", capsys)
+    assert out.count("reliability") >= 2
+    assert "Phase 2" in out
+
+
+@pytest.mark.slow
+def test_churn_example(capsys):
+    out = run_example("churn.py", capsys)
+    assert "reliability: 1.000000" in out

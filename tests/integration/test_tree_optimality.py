@@ -1,0 +1,69 @@
+"""The tree converges to true shortest paths (the §2.3 guarantee).
+
+"The tree links are overlay links on the shortest paths (in terms of
+latency) between the root and all other nodes."  After a churn-free
+heartbeat wave, every node's distance and parent chain are checked
+against an independent Dijkstra over the overlay graph.
+"""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.system import GoCastSystem
+
+
+@pytest.mark.parametrize("seed", (2, 13))
+def test_tree_distances_match_dijkstra(seed):
+    scenario = ScenarioConfig(protocol="gocast", n_nodes=40, adapt_time=25.0, seed=seed)
+    system = GoCastSystem(scenario)
+    system.run_adaptation()
+    # Quiesce: no more overlay changes, then one full wave.
+    for node in system.live_nodes():
+        node._maint_timer.stop()
+    system.run_until(system.sim.now + system.config.heartbeat_period + 2.0)
+
+    # Independent ground truth: Dijkstra over the overlay with measured
+    # one-way link latencies.
+    graph = nx.Graph()
+    for node in system.live_nodes():
+        for peer, state in node.overlay.table.items():
+            graph.add_edge(node.node_id, peer, weight=state.one_way)
+    root = system.root_id
+    expected = nx.single_source_dijkstra_path_length(graph, root, weight="weight")
+
+    for node in system.live_nodes():
+        if node.node_id == root:
+            assert node.tree.dist == 0.0
+            continue
+        assert not math.isinf(node.tree.dist), f"node {node.node_id} detached"
+        assert node.tree.dist == pytest.approx(expected[node.node_id], rel=1e-6), (
+            f"node {node.node_id}: protocol dist {node.tree.dist} vs "
+            f"dijkstra {expected[node.node_id]}"
+        )
+        # The parent lies on a shortest path: dist == parent dist + link.
+        parent = node.tree.parent
+        parent_dist = system.nodes[parent].tree.dist
+        link = node.overlay.table.get(parent).one_way
+        assert node.tree.dist == pytest.approx(parent_dist + link, rel=1e-6)
+
+
+def test_parent_chains_terminate_at_root():
+    scenario = ScenarioConfig(protocol="gocast", n_nodes=40, adapt_time=25.0, seed=7)
+    system = GoCastSystem(scenario)
+    system.run_adaptation()
+    for node in system.live_nodes():
+        node._maint_timer.stop()
+    system.run_until(system.sim.now + system.config.heartbeat_period + 2.0)
+
+    root = system.root_id
+    for node in system.live_nodes():
+        seen = set()
+        current = node.node_id
+        while current != root:
+            assert current not in seen, f"cycle through {current}"
+            seen.add(current)
+            current = system.nodes[current].tree.parent
+            assert current is not None

@@ -1,0 +1,123 @@
+"""Unit tests for the partial membership view."""
+
+import random
+
+import pytest
+
+from repro.membership.partial_view import PartialView
+
+
+@pytest.fixture
+def view():
+    return PartialView(owner=0, rng=random.Random(1), max_size=10)
+
+
+def test_add_and_contains(view):
+    assert view.add(5)
+    assert 5 in view
+    assert len(view) == 1
+
+
+def test_add_owner_ignored(view):
+    assert not view.add(0)
+    assert 0 not in view
+
+
+def test_add_duplicate_ignored(view):
+    view.add(5)
+    assert not view.add(5)
+    assert len(view) == 1
+
+
+def test_add_many_returns_inserted_count(view):
+    assert view.add_many([1, 2, 2, 0, 3]) == 3
+
+
+def test_remove(view):
+    view.add_many([1, 2, 3])
+    assert view.remove(2)
+    assert 2 not in view
+    assert not view.remove(2)
+    assert sorted(view.members()) == [1, 3]
+
+
+def test_bounded_size_evicts_randomly(view):
+    view.add_many(range(1, 31))
+    assert len(view) == 10
+    assert all(m in range(1, 31) for m in view.members())
+
+
+def test_random_member_uniformish():
+    rng = random.Random(7)
+    view = PartialView(owner=0, rng=rng, max_size=50)
+    view.add_many(range(1, 11))
+    counts = {}
+    for _ in range(2000):
+        m = view.random_member()
+        counts[m] = counts.get(m, 0) + 1
+    assert set(counts) == set(range(1, 11))
+    assert min(counts.values()) > 100  # no member starved
+
+
+def test_random_member_respects_exclude(view):
+    view.add_many([1, 2, 3])
+    for _ in range(50):
+        assert view.random_member(exclude={1, 2}) == 3
+    assert view.random_member(exclude={1, 2, 3}) is None
+
+
+def test_random_member_empty_view(view):
+    assert view.random_member() is None
+
+
+def test_sample_distinct(view):
+    view.add_many(range(1, 9))
+    s = view.sample(4)
+    assert len(s) == len(set(s)) == 4
+    assert all(m in view for m in s)
+
+
+def test_sample_larger_than_view_returns_all(view):
+    view.add_many([1, 2, 3])
+    assert sorted(view.sample(10)) == [1, 2, 3]
+
+
+def test_sample_with_exclusion(view):
+    view.add_many([1, 2, 3, 4])
+    s = view.sample(10, exclude={1, 2})
+    assert sorted(s) == [3, 4]
+
+
+def test_round_robin_cycles_through_all(view):
+    view.add_many([3, 1, 2])
+    seen = [view.round_robin_next() for _ in range(3)]
+    assert sorted(seen) == [1, 2, 3]
+    seen2 = [view.round_robin_next() for _ in range(3)]
+    assert sorted(seen2) == [1, 2, 3]
+
+
+def test_round_robin_skips_excluded(view):
+    view.add_many([1, 2, 3])
+    picks = {view.round_robin_next(exclude={2}) for _ in range(6)}
+    assert picks == {1, 3}
+
+
+def test_round_robin_exhausted(view):
+    view.add_many([1])
+    assert view.round_robin_next(exclude={1}) is None
+    assert PartialView(0, random.Random(0)).round_robin_next() is None
+
+
+def test_round_robin_survives_removals(view):
+    view.add_many([1, 2, 3, 4])
+    view.round_robin_next()
+    view.remove(3)
+    view.remove(1)
+    picks = {view.round_robin_next() for _ in range(4)}
+    assert picks <= {2, 4}
+    assert picks
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PartialView(0, random.Random(0), max_size=0)

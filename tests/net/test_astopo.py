@@ -1,0 +1,92 @@
+"""Unit tests for the AS-level topology substrate."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.net.astopo import ASTopology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return ASTopology(n_as=128, n_members=64, seed=3)
+
+
+def test_graph_connected(topo):
+    assert nx.is_connected(topo.graph)
+
+
+def test_power_law_shape(topo):
+    degrees = topo.degree_distribution()
+    # Preferential attachment: the top hub is far above the median.
+    assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+
+def test_members_prefer_stub_ases(topo):
+    member_degrees = [topo.graph.degree[topo.host_of(m)] for m in range(64)]
+    all_degrees = [d for _, d in topo.graph.degree]
+    assert np.mean(member_degrees) < np.mean(all_degrees) * 1.2
+    assert np.median(member_degrees) <= np.median(all_degrees)
+
+
+def test_route_edges_form_a_path(topo):
+    edges = topo.route_edges(0, 1)
+    ha, hb = topo.host_of(0), topo.host_of(1)
+    if ha == hb:
+        assert edges == []
+        return
+    # Consecutive edges share an endpoint; ends match the hosts.
+    assert all(topo.graph.has_edge(*e) for e in edges)
+    path_nodes = {ha, hb}
+    for u, v in edges:
+        path_nodes.update((u, v))
+    assert ha in path_nodes and hb in path_nodes
+
+
+def test_route_edges_canonicalized(topo):
+    for u, v in topo.route_edges(2, 3):
+        assert u <= v
+
+
+def test_route_symmetric_same_links(topo):
+    assert set(topo.route_edges(4, 5)) == set(topo.route_edges(5, 4))
+
+
+def test_latency_model_matches_shortest_paths(topo):
+    model = topo.latency_model
+    assert model.size == 64
+    ha, hb = topo.host_of(10), topo.host_of(20)
+    if ha != hb:
+        expected = nx.shortest_path_length(topo.graph, ha, hb, weight="latency")
+        assert model.one_way(10, 20) == pytest.approx(expected + 0.002)
+
+
+def test_same_host_members_have_small_latency():
+    topo = ASTopology(n_as=16, n_members=64, seed=1)
+    by_host = {}
+    for m in range(64):
+        by_host.setdefault(topo.host_of(m), []).append(m)
+    multi = [ms for ms in by_host.values() if len(ms) >= 2]
+    assert multi, "with 64 members on 16 ASes some must share a host"
+    a, b = multi[0][:2]
+    assert topo.latency_model.one_way(a, b) == pytest.approx(0.001)
+
+
+def test_deterministic_for_seed():
+    a = ASTopology(n_as=64, n_members=32, seed=2)
+    b = ASTopology(n_as=64, n_members=32, seed=2)
+    assert [a.host_of(m) for m in range(32)] == [b.host_of(m) for m in range(32)]
+    assert np.array_equal(a.latency_model.matrix, b.latency_model.matrix)
+
+
+def test_members_on_host_inverse_of_host_of(topo):
+    for host in {topo.host_of(m) for m in range(64)}:
+        for m in topo.members_on_host(host):
+            assert topo.host_of(m) == host
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ASTopology(n_as=2)
+    with pytest.raises(ValueError):
+        ASTopology(n_as=16, n_members=0)

@@ -1,0 +1,73 @@
+"""Tests for the GNP coordinate estimator."""
+
+import numpy as np
+import pytest
+
+from repro.net.coordinates import GnpCoordinates
+from repro.net.estimation import TriangularEstimator, default_landmarks
+from repro.net.king import SyntheticKingModel
+from repro.net.latency import EuclideanLatencyModel
+
+
+@pytest.fixture(scope="module")
+def king():
+    return SyntheticKingModel(n_nodes=120, n_sites=120, seed=8)
+
+
+@pytest.fixture(scope="module")
+def gnp(king):
+    return GnpCoordinates(king, default_landmarks(120, count=10, seed=1), dims=3, seed=1)
+
+
+def test_self_estimate_zero(gnp):
+    assert gnp.estimate_rtt(7, 7) == 0.0
+
+
+def test_estimates_symmetric(gnp):
+    assert gnp.estimate_rtt(3, 9) == pytest.approx(gnp.estimate_rtt(9, 3))
+
+
+def test_exact_recovery_in_clean_euclidean_space():
+    # Points genuinely in 2-D: GNP must recover distances near-exactly.
+    rng = np.random.default_rng(5)
+    coords = rng.uniform(0, 1, size=(30, 2))
+    model = EuclideanLatencyModel(coords, seconds_per_unit=0.1)
+    gnp = GnpCoordinates(model, landmarks=[0, 1, 2, 3, 4], dims=2, seed=3)
+    pairs = [(10, 20), (5, 25), (7, 14), (11, 28)]
+    assert gnp.estimation_error(pairs, relative=True) < 0.05
+
+
+def test_useful_ranking_on_king(king, gnp):
+    rng = np.random.default_rng(2)
+    hits = 0
+    trials = 30
+    for _ in range(trials):
+        node = int(rng.integers(0, 120))
+        candidates = [int(c) for c in rng.choice(120, size=15, replace=False) if c != node]
+        ranked = gnp.rank_candidates(node, candidates)
+        true_best = min(candidates, key=lambda c: king.rtt(node, c))
+        if ranked.index(true_best) < max(1, len(ranked) // 4):
+            hits += 1
+    assert hits >= trials * 0.55
+
+
+def test_error_comparable_to_triangular(king, gnp):
+    landmarks = list(gnp.landmarks)
+    tri = TriangularEstimator(king, landmarks)
+    rng = np.random.default_rng(3)
+    pairs = [(int(a), int(b)) for a, b in rng.integers(0, 120, size=(60, 2)) if a != b]
+    gnp_err = gnp.estimation_error(pairs, relative=False)
+    tri_err = tri.estimation_error(pairs, relative=False)
+    # Both should be decent; GNP within 2x of triangular either way.
+    assert gnp_err < max(2.0 * tri_err, 0.08)
+
+
+def test_coordinates_cached(gnp):
+    a = gnp.coordinates(42)
+    b = gnp.coordinates(42)
+    assert a is b
+
+
+def test_validation(king):
+    with pytest.raises(ValueError):
+        GnpCoordinates(king, landmarks=[0, 1], dims=3)

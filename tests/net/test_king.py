@@ -1,0 +1,100 @@
+"""Unit tests for the synthetic King latency model."""
+
+import numpy as np
+import pytest
+
+from repro.net.king import (
+    COLOCATED_LATENCY,
+    KING_MAX_ONE_WAY,
+    KING_MEAN_ONE_WAY,
+    SyntheticKingModel,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SyntheticKingModel(n_nodes=400, n_sites=400, seed=7)
+
+
+def test_mean_calibrated_to_king(model):
+    assert model.mean_one_way(sample=30000) == pytest.approx(KING_MEAN_ONE_WAY, rel=0.08)
+
+
+def test_max_capped_near_king_max(model):
+    assert model.site_matrix.max() <= KING_MAX_ONE_WAY + 1e-9
+    assert model.site_matrix.max() > 0.8 * KING_MAX_ONE_WAY
+
+
+def test_symmetry_and_zero_diagonal(model):
+    m = model.site_matrix
+    assert np.allclose(m, m.T)
+    assert np.all(np.diag(m) == 0.0)
+    assert np.all(m >= 0.0)
+
+
+def test_clustering_intra_much_cheaper_than_inter(model):
+    intra, inter = [], []
+    rng = np.random.default_rng(0)
+    for _ in range(4000):
+        a, b = rng.integers(0, model.size, size=2)
+        if a == b:
+            continue
+        lat = model.one_way(int(a), int(b))
+        if model.cluster_of(int(a)) == model.cluster_of(int(b)):
+            intra.append(lat)
+        else:
+            inter.append(lat)
+    # Geographic clustering: intra-continent latency far below
+    # inter-continent — the property driving Figures 5b and 6.
+    assert np.mean(intra) < 0.4 * np.mean(inter)
+
+
+def test_more_nodes_than_sites_share_sites():
+    model = SyntheticKingModel(n_nodes=100, n_sites=40, seed=1)
+    sites = {model.site_of(i) for i in range(100)}
+    assert len(sites) == 40
+    # Two nodes mapped to one site see the LAN latency.
+    by_site = {}
+    for i in range(100):
+        by_site.setdefault(model.site_of(i), []).append(i)
+    a, b = next(nodes for nodes in by_site.values() if len(nodes) >= 2)[:2]
+    assert model.one_way(a, b) == COLOCATED_LATENCY
+
+
+def test_fewer_nodes_than_sites_use_distinct_sites():
+    model = SyntheticKingModel(n_nodes=50, n_sites=200, seed=1)
+    sites = [model.site_of(i) for i in range(50)]
+    assert len(set(sites)) == 50
+
+
+def test_deterministic_for_seed():
+    a = SyntheticKingModel(64, seed=3)
+    b = SyntheticKingModel(64, seed=3)
+    assert np.array_equal(a.site_matrix, b.site_matrix)
+    assert a.one_way(3, 9) == b.one_way(3, 9)
+
+
+def test_different_seeds_differ():
+    a = SyntheticKingModel(64, seed=3)
+    b = SyntheticKingModel(64, seed=4)
+    assert not np.array_equal(a.site_matrix, b.site_matrix)
+
+
+def test_submatrix_matches_pointwise(model):
+    nodes = [1, 17, 100, 250]
+    sub = model.node_latency_submatrix(nodes)
+    for i, a in enumerate(nodes):
+        for j, b in enumerate(nodes):
+            assert sub[i, j] == pytest.approx(model.one_way(a, b))
+
+
+def test_cluster_sizes_cover_all_sites(model):
+    assert sum(model.cluster_sizes()) == model.n_sites
+    assert len(model.cluster_sizes()) == model.n_clusters
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SyntheticKingModel(0)
+    with pytest.raises(ValueError):
+        SyntheticKingModel(10, n_sites=1)

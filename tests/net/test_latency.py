@@ -1,0 +1,80 @@
+"""Unit tests for the latency model hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.net.latency import (
+    ConstantLatencyModel,
+    EuclideanLatencyModel,
+    MatrixLatencyModel,
+)
+
+
+def test_constant_model_basics():
+    model = ConstantLatencyModel(4, latency=0.05)
+    assert model.size == 4
+    assert model.one_way(0, 1) == 0.05
+    assert model.one_way(1, 1) == 0.0
+    assert model.rtt(0, 2) == 0.10
+
+
+def test_constant_model_bounds_checked():
+    model = ConstantLatencyModel(4)
+    with pytest.raises(IndexError):
+        model.one_way(0, 4)
+    with pytest.raises(ValueError):
+        ConstantLatencyModel(0)
+    with pytest.raises(ValueError):
+        ConstantLatencyModel(4, latency=-1.0)
+
+
+def test_matrix_model_symmetric_lookup():
+    m = np.array([[0.0, 0.1, 0.2], [0.1, 0.0, 0.3], [0.2, 0.3, 0.0]])
+    model = MatrixLatencyModel(m)
+    assert model.one_way(0, 2) == 0.2
+    assert model.one_way(2, 0) == 0.2
+    assert model.size == 3
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        np.ones((2, 3)),                               # not square
+        np.array([[0.0, 1.0], [2.0, 0.0]]),            # asymmetric
+        np.array([[0.5, 0.1], [0.1, 0.0]]),            # nonzero diagonal
+        np.array([[0.0, -0.1], [-0.1, 0.0]]),          # negative
+    ],
+)
+def test_matrix_model_validation(bad):
+    with pytest.raises(ValueError):
+        MatrixLatencyModel(bad)
+
+
+def test_euclidean_model_distances():
+    model = EuclideanLatencyModel([[0.0, 0.0], [3.0, 4.0]], seconds_per_unit=0.01)
+    assert model.one_way(0, 1) == pytest.approx(0.05)
+    assert model.one_way(0, 0) == 0.0
+
+
+def test_euclidean_model_validation():
+    with pytest.raises(ValueError):
+        EuclideanLatencyModel([1.0, 2.0])
+    with pytest.raises(ValueError):
+        EuclideanLatencyModel([[0.0]], seconds_per_unit=0.0)
+
+
+def test_mean_one_way_exact_for_small_models():
+    m = np.array([[0.0, 0.1, 0.2], [0.1, 0.0, 0.3], [0.2, 0.3, 0.0]])
+    model = MatrixLatencyModel(m)
+    assert model.mean_one_way() == pytest.approx(0.2)
+
+
+def test_mean_one_way_sampled_close_to_exact():
+    rng = np.random.default_rng(0)
+    n = 300
+    m = rng.uniform(0.01, 0.2, size=(n, n))
+    m = (m + m.T) / 2
+    np.fill_diagonal(m, 0.0)
+    model = MatrixLatencyModel(m)
+    exact = m[np.triu_indices(n, k=1)].mean()
+    assert model.mean_one_way(sample=20000) == pytest.approx(exact, rel=0.05)

@@ -1,0 +1,74 @@
+"""Tests for the transit-stub physical topology."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.net.astopo import TransitStubTopology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return TransitStubTopology(n_regions=6, stubs_per_region=5, n_members=48, seed=2)
+
+
+def test_structure_counts(topo):
+    # backbone + hubs + stubs
+    assert topo.n_as == 12 + 6 + 6 * 5
+    assert nx.is_connected(topo.graph)
+
+
+def test_members_cover_all_regions(topo):
+    regions = {topo.region_of_member(m) for m in range(48)}
+    assert regions == set(range(6))
+
+
+def test_intra_region_latency_much_lower(topo):
+    intra, inter = [], []
+    model = topo.latency_model
+    for a in range(48):
+        for b in range(a + 1, 48):
+            lat = model.one_way(a, b)
+            if topo.region_of_member(a) == topo.region_of_member(b):
+                intra.append(lat)
+            else:
+                inter.append(lat)
+    assert np.mean(intra) < 0.25 * np.mean(inter)
+    # Intra-region pairs are single-digit milliseconds.
+    assert np.median(intra) < 0.02
+
+
+def test_inter_region_routes_cross_backbone(topo):
+    backbone = set(topo.backbone_edges())
+    crossed = 0
+    checked = 0
+    for a in range(0, 48, 5):
+        for b in range(1, 48, 7):
+            if a != b and topo.region_of_member(a) != topo.region_of_member(b):
+                checked += 1
+                if any(e in backbone for e in topo.route_edges(a, b)):
+                    crossed += 1
+    assert checked > 0
+    assert crossed == checked  # every inter-region path uses long-haul links
+
+
+def test_intra_region_routes_avoid_backbone(topo):
+    backbone = set(topo.backbone_edges())
+    for a in range(48):
+        for b in range(a + 1, 48):
+            if topo.region_of_member(a) == topo.region_of_member(b):
+                assert not any(e in backbone for e in topo.route_edges(a, b))
+
+
+def test_deterministic(topo):
+    other = TransitStubTopology(n_regions=6, stubs_per_region=5, n_members=48, seed=2)
+    assert [other.host_of(m) for m in range(48)] == [topo.host_of(m) for m in range(48)]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TransitStubTopology(n_regions=1)
+    with pytest.raises(ValueError):
+        TransitStubTopology(backbone_as=2)
+    with pytest.raises(ValueError):
+        TransitStubTopology(n_members=0)

@@ -1,0 +1,77 @@
+"""Property-based tests for the message buffer's gossip bookkeeping."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dissemination.buffer import MessageBuffer
+from repro.core.ids import MessageId
+
+events = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "hear", "gossip", "reclaim"]),
+        st.integers(0, 15),  # message seq
+        st.integers(0, 8),   # peer
+    ),
+    max_size=150,
+)
+
+
+@given(events)
+def test_buffer_invariants(sequence):
+    buf = MessageBuffer()
+    t = 0.0
+    for op, seq, peer in sequence:
+        t += 0.1
+        msg_id = MessageId(0, seq)
+        if op == "insert" and not buf.has_seen(msg_id):
+            buf.insert(msg_id, 100, now=t, age=0.0, from_peer=peer)
+        elif op == "hear":
+            buf.mark_heard_from(msg_id, peer)
+        elif op == "gossip":
+            buf.mark_gossiped(msg_id, peer)
+        elif op == "reclaim":
+            buf.reclaim(msg_id)
+
+        # Invariants:
+        # 1. Every stored entry is also in the seen set.
+        for entry in buf.entries():
+            assert buf.has_seen(entry.msg_id)
+        # 2. A peer never appears in a gossip summary after it has heard
+        #    or been gossiped the ID.
+        for entry in buf.entries():
+            for target in range(9):
+                entries_for_target = buf.ids_to_gossip(target, t)
+                if target in entry.heard_from or target in entry.gossiped_to:
+                    assert entry not in entries_for_target
+        # 3. Unarmed entries are a subset of stored entries.
+        stored = {e.msg_id for e in buf.entries()}
+        assert {e.msg_id for e in buf.unarmed_entries()} <= stored
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=50))
+def test_seen_set_is_monotone(seqs):
+    """Once seen, always seen — even across reclaim."""
+    buf = MessageBuffer()
+    seen_ever = set()
+    for i, seq in enumerate(seqs):
+        msg_id = MessageId(1, seq)
+        if not buf.has_seen(msg_id):
+            buf.insert(msg_id, 10, now=float(i), age=0.0)
+        seen_ever.add(msg_id)
+        if seq % 3 == 0:
+            buf.reclaim(msg_id)
+        for m in seen_ever:
+            assert buf.has_seen(m)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=100.0),
+    st.floats(min_value=0.0, max_value=100.0),
+    st.floats(min_value=0.0, max_value=100.0),
+)
+def test_age_is_affine_in_elapsed_time(age0, t0, dt):
+    buf = MessageBuffer()
+    entry = buf.insert(MessageId(0, 0), 10, now=t0, age=age0)
+    assert entry.age(t0) == age0
+    assert entry.age(t0 + dt) >= entry.age(t0)
+    assert abs(entry.age(t0 + dt) - (age0 + dt)) < 1e-9 * max(1.0, age0 + dt)

@@ -1,0 +1,66 @@
+"""Property-based tests for the event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False), min_size=1, max_size=200
+)
+
+
+@given(delays)
+def test_events_execute_in_nondecreasing_time_order(ds):
+    sim = Simulator()
+    observed = []
+    for d in ds:
+        sim.schedule(d, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(ds)
+
+
+@given(delays, st.sets(st.integers(min_value=0, max_value=199)))
+def test_cancellation_removes_exactly_the_cancelled(ds, cancel_idx):
+    sim = Simulator()
+    fired = []
+    handles = [sim.schedule(d, fired.append, i) for i, d in enumerate(ds)]
+    cancelled = {i for i in cancel_idx if i < len(handles)}
+    for i in cancelled:
+        handles[i].cancel()
+    sim.run()
+    assert set(fired) == set(range(len(ds))) - cancelled
+
+
+@given(
+    delays,
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+)
+def test_run_until_executes_exactly_events_up_to_t(ds, cut):
+    sim = Simulator()
+    fired = []
+    for d in ds:
+        sim.schedule(d, fired.append, d)
+    sim.run_until(cut)
+    assert all(d <= cut for d in fired)
+    assert len(fired) == sum(1 for d in ds if d <= cut)
+    assert sim.now == cut
+
+
+@given(st.lists(st.floats(min_value=1e-6, max_value=10.0), min_size=1, max_size=20))
+@settings(max_examples=30)
+def test_nested_scheduling_preserves_causality(ds):
+    """An event can only spawn events at or after its own time."""
+    sim = Simulator()
+    trace = []
+
+    def spawn(remaining):
+        trace.append(sim.now)
+        if remaining:
+            sim.schedule(remaining[0], spawn, remaining[1:])
+
+    sim.schedule(ds[0], spawn, ds[1:])
+    sim.run()
+    assert trace == sorted(trace)
+    assert len(trace) == len(ds)

@@ -1,0 +1,71 @@
+"""Property-based tests for latency models and the reliability math."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.reliability import (
+    atomic_broadcast_probability,
+    multi_message_probability,
+)
+from repro.net.king import SyntheticKingModel
+
+
+@given(
+    st.integers(min_value=2, max_value=60),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_king_model_is_a_valid_latency_model(n_nodes, seed):
+    model = SyntheticKingModel(n_nodes=n_nodes, seed=seed)
+    rng = np.random.default_rng(seed)
+    for _ in range(20):
+        a, b = int(rng.integers(0, n_nodes)), int(rng.integers(0, n_nodes))
+        lat = model.one_way(a, b)
+        assert lat == model.one_way(b, a)  # symmetric
+        assert lat >= 0.0
+        if a == b:
+            assert lat == 0.0
+        else:
+            assert lat > 0.0
+        assert model.rtt(a, b) == 2.0 * lat
+
+
+@given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=100))
+@settings(max_examples=15, deadline=None)
+def test_king_matrix_max_respects_cap(n_nodes, seed):
+    model = SyntheticKingModel(n_nodes=n_nodes, seed=seed)
+    assert model.site_matrix.max() <= 0.399 + 1e-9
+
+
+@given(
+    st.integers(min_value=1, max_value=100_000),
+    st.floats(min_value=0.0, max_value=64.0),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_reliability_is_a_probability(n, fanout, n_messages):
+    p = multi_message_probability(n, fanout, n_messages)
+    assert 0.0 <= p <= 1.0
+
+
+@given(
+    st.integers(min_value=2, max_value=100_000),
+    st.floats(min_value=0.0, max_value=30.0),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+def test_reliability_monotone_in_fanout(n, fanout, bump):
+    assert atomic_broadcast_probability(n, fanout) <= atomic_broadcast_probability(
+        n, fanout + bump
+    )
+
+
+@given(
+    st.integers(min_value=2, max_value=100_000),
+    st.floats(min_value=0.0, max_value=30.0),
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=100),
+)
+def test_reliability_monotone_decreasing_in_message_count(n, fanout, m1, extra):
+    assert multi_message_probability(n, fanout, m1 + extra) <= multi_message_probability(
+        n, fanout, m1
+    )

@@ -1,0 +1,83 @@
+"""Property-based whole-protocol invariants across random seeds.
+
+Each example is a full (small) GoCast simulation; examples are few but
+each checks every safety invariant the design relies on.
+"""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import run_delay_experiment
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.system import GoCastSystem
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=5, deadline=None)
+def test_adapted_overlay_invariants_hold_for_any_seed(seed):
+    scenario = ScenarioConfig(
+        protocol="gocast", n_nodes=32, adapt_time=25.0, seed=seed
+    )
+    system = GoCastSystem(scenario)
+    system.run_adaptation()
+    # Parent pointers may be transiently cyclic right after churn
+    # (repairs use cached distances); the guaranteed property is
+    # *quiescent* consistency: once churn stops, the next heartbeat
+    # wave restores a proper tree.  Stop maintenance, allow one wave.
+    for node in system.live_nodes():
+        node._maint_timer.stop()
+    system.run_until(system.sim.now + system.config.heartbeat_period + 2.0)
+
+    # Link symmetry: every neighbor relation is mutual.
+    for node in system.live_nodes():
+        for peer in node.overlay.table.ids():
+            assert node.node_id in system.nodes[peer].overlay.table
+
+    # Kind agreement: both endpoints classify the link the same way.
+    for node in system.live_nodes():
+        for peer, state in node.overlay.table.items():
+            peer_state = system.nodes[peer].overlay.table.get(node.node_id)
+            assert peer_state.kind == state.kind
+
+    # Degree bounds: nobody exceeds target + slack per class.
+    cfg = system.config
+    for node in system.live_nodes():
+        assert node.overlay.d_rand <= cfg.c_rand + cfg.degree_slack
+        assert node.overlay.d_near <= cfg.c_near + cfg.degree_slack
+
+    # Parent pointers form a forest rooted at the designated root.
+    g = nx.DiGraph()
+    for node in system.live_nodes():
+        if node.tree.parent is not None:
+            g.add_edge(node.node_id, node.tree.parent)
+    try:
+        cycle = nx.find_cycle(g)
+    except nx.NetworkXNoCycle:
+        cycle = None
+    assert cycle is None
+
+    # Parent links are overlay links ("a tree link is also an overlay
+    # link").
+    for node in system.live_nodes():
+        if node.tree.parent is not None:
+            assert node.tree.parent in node.overlay.table
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=4, deadline=None)
+def test_delivery_safety_for_any_seed(seed):
+    scenario = ScenarioConfig(
+        protocol="gocast",
+        n_nodes=24,
+        adapt_time=20.0,
+        n_messages=8,
+        drain_time=15.0,
+        seed=seed,
+    )
+    result = run_delay_experiment(scenario)
+    # Liveness: everyone gets everything.
+    assert result.reliability == 1.0
+    # Safety: no negative delays, no runaway redundancy.
+    assert (result.delays >= 0).all()
+    assert result.receptions_per_delivery < 1.5

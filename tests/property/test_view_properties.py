@@ -1,0 +1,63 @@
+"""Property-based tests for the partial membership view."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.membership.partial_view import PartialView
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["add", "remove", "rr", "sample"]), st.integers(0, 50)),
+    max_size=200,
+)
+
+
+@given(ops, st.integers(min_value=1, max_value=20))
+def test_view_invariants_under_arbitrary_op_sequences(sequence, max_size):
+    view = PartialView(owner=0, rng=random.Random(1), max_size=max_size)
+    shadow = set()
+    for op, arg in sequence:
+        if op == "add":
+            view.add(arg)
+            if arg != 0:
+                shadow.add(arg)
+        elif op == "remove":
+            view.remove(arg)
+            shadow.discard(arg)
+        elif op == "rr":
+            got = view.round_robin_next()
+            if got is not None:
+                assert got in view
+        elif op == "sample":
+            sample = view.sample(3)
+            assert len(sample) == len(set(sample))
+            assert all(s in view for s in sample)
+        # Invariants after every operation:
+        assert len(view) <= max_size
+        assert 0 not in view
+        members = view.members()
+        assert len(members) == len(set(members))
+        # Every member was added at some point and not since removed
+        # (unless evicted, which only shrinks).
+        assert set(members) <= shadow
+
+
+@given(st.sets(st.integers(1, 1000), min_size=1, max_size=50))
+def test_round_robin_covers_every_member_exactly_once_per_cycle(members):
+    view = PartialView(owner=0, rng=random.Random(2), max_size=100)
+    view.add_many(members)
+    seen = [view.round_robin_next() for _ in range(len(members))]
+    assert sorted(seen) == sorted(members)
+
+
+@given(
+    st.sets(st.integers(1, 100), min_size=2, max_size=40),
+    st.integers(min_value=1, max_value=40),
+)
+def test_sample_respects_k_and_distinctness(members, k):
+    view = PartialView(owner=0, rng=random.Random(3), max_size=100)
+    view.add_many(members)
+    sample = view.sample(k)
+    assert len(sample) == min(k, len(members))
+    assert len(set(sample)) == len(sample)

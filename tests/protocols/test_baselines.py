@@ -1,0 +1,148 @@
+"""Tests for the push-gossip and no-wait-gossip baselines."""
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatencyModel
+from repro.protocols.base import RandomGossipNode
+from repro.protocols.nowait_gossip import NoWaitGossipNode
+from repro.protocols.overlay_gossip import (
+    proximity_overlay_config,
+    random_overlay_config,
+)
+from repro.protocols.push_gossip import PushGossipNode
+from repro.sim.engine import Simulator
+from repro.sim.trace import DeliveryTracer
+from repro.sim.transport import Network
+
+
+def build(cls, n=16, fanout=5, latency=0.005, seed=2, **kwargs):
+    sim = Simulator()
+    network = Network(sim, ConstantLatencyModel(n, latency), rng=random.Random(seed))
+    tracer = DeliveryTracer()
+    membership = list(range(n))
+    nodes = {
+        i: cls(
+            i,
+            sim,
+            network,
+            membership,
+            fanout=fanout,
+            rng=random.Random(seed + i),
+            tracer=tracer,
+            **kwargs,
+        )
+        for i in range(n)
+    }
+    for node in nodes.values():
+        node.start()
+    return sim, network, nodes, tracer
+
+
+def test_push_gossip_disseminates_to_most_nodes():
+    sim, network, nodes, tracer = build(PushGossipNode, n=16, fanout=5)
+    nodes[0].multicast()
+    sim.run_until(20.0)
+    assert tracer.reliability(range(16)) >= 0.8
+
+
+def test_push_gossip_fanout_budget_respected():
+    sim, network, nodes, tracer = build(PushGossipNode, n=16, fanout=3)
+    msg_id = nodes[0].multicast()
+    sim.run_until(20.0)
+    source_entry = nodes[0].message_entry(msg_id)
+    assert source_entry.remaining_fanout == 0
+    assert nodes[0].gossips_sent >= 3
+
+
+def test_push_gossip_no_gossip_without_messages():
+    sim, network, nodes, tracer = build(PushGossipNode, n=8)
+    sim.run_until(5.0)
+    assert all(node.gossips_sent == 0 for node in nodes.values())
+    assert network.messages_sent == 0
+
+
+def test_push_gossip_membership_excludes_self():
+    _, _, nodes, _ = build(PushGossipNode, n=4)
+    assert 0 not in nodes[0].membership
+    assert len(nodes[0].membership) == 3
+
+
+def test_nowait_gossip_bursts_immediately():
+    sim, network, nodes, tracer = build(NoWaitGossipNode, n=16, fanout=5)
+    nodes[0].multicast()
+    # No periodic timers: all traffic stems from the burst chain.
+    sim.run_until(5.0)
+    assert tracer.reliability(range(16)) >= 0.8
+    # Much faster than period-bound gossip: everything within ~1 s.
+    assert tracer.delays().max() < 1.0
+
+
+def test_nowait_gossip_sets_budget_to_zero_after_burst():
+    sim, network, nodes, tracer = build(NoWaitGossipNode, n=8, fanout=3)
+    msg_id = nodes[0].multicast()
+    assert nodes[0].message_entry(msg_id).remaining_fanout == 0
+
+
+def test_pull_answered_with_payload():
+    sim, network, nodes, tracer = build(NoWaitGossipNode, n=8, fanout=7)
+    nodes[0].multicast(payload_size=321)
+    sim.run_until(5.0)
+    delivered = [n for i, n in nodes.items() if i != 0 and len(n._messages)]
+    assert delivered
+    entry = next(iter(delivered[0]._messages.values()))
+    assert entry.payload_size == 321
+
+
+def test_redundant_pull_data_counted_not_redelivered():
+    sim, network, nodes, tracer = build(NoWaitGossipNode, n=8, fanout=7)
+    nodes[0].multicast()
+    sim.run_until(10.0)
+    # Fanout 7 in an 8-node system: everyone hears multiple times; the
+    # tracer must show receptions > deliveries but reliability exactly 1.
+    assert tracer.reliability(range(8)) == 1.0
+    delays = tracer.delays()
+    assert len(delays) == 7  # one first-delivery per non-source node
+
+
+def test_crashed_node_stops_participating():
+    sim, network, nodes, tracer = build(PushGossipNode, n=16, fanout=10)
+    for i in range(1, 5):
+        nodes[i].crash()
+    nodes[0].multicast()
+    sim.run_until(20.0)
+    live = [0] + list(range(5, 16))
+    # Live nodes can still be served (fanout ample for the losses)...
+    assert tracer.reliability(live) > 0.7
+    # ...while crashed nodes received nothing.
+    assert all(len(nodes[i]._messages) == 0 for i in range(1, 5))
+
+
+def test_fanout_validation():
+    sim = Simulator()
+    network = Network(sim, ConstantLatencyModel(4), rng=random.Random(1))
+    with pytest.raises(ValueError):
+        RandomGossipNode(0, sim, network, [0, 1, 2], fanout=0)
+    with pytest.raises(ValueError):
+        PushGossipNode(
+            1, sim, network, [0, 1, 2], fanout=2, gossip_period=0.0
+        )
+
+
+def test_multicast_requires_started_node():
+    sim = Simulator()
+    network = Network(sim, ConstantLatencyModel(4), rng=random.Random(1))
+    node = PushGossipNode(0, sim, network, [0, 1], fanout=2)
+    with pytest.raises(RuntimeError):
+        node.multicast()
+
+
+def test_overlay_gossip_config_presets():
+    prox = proximity_overlay_config()
+    assert (prox.c_rand, prox.c_near, prox.use_tree) == (1, 5, False)
+    rand = random_overlay_config()
+    assert (rand.c_rand, rand.c_near, rand.use_tree) == (6, 0, False)
+    custom = random_overlay_config(degree=8, gossip_period=0.2)
+    assert custom.c_rand == 8
+    assert custom.gossip_period == 0.2

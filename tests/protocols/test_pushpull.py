@@ -1,0 +1,74 @@
+"""Tests for the push-pull gossip baseline (footnote 1)."""
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatencyModel
+from repro.protocols.push_gossip import PushGossipNode
+from repro.protocols.pushpull_gossip import PushPullGossipNode
+from repro.sim.engine import Simulator
+from repro.sim.trace import DeliveryTracer
+from repro.sim.transport import Network
+
+
+def build(cls, n=24, fanout=3, seed=4):
+    sim = Simulator()
+    network = Network(sim, ConstantLatencyModel(n, 0.005), rng=random.Random(seed))
+    tracer = DeliveryTracer()
+    membership = list(range(n))
+    nodes = {
+        i: cls(i, sim, network, membership, fanout=fanout,
+               rng=random.Random(seed + i), tracer=tracer)
+        for i in range(n)
+    }
+    for node in nodes.values():
+        node.start()
+    return sim, network, nodes, tracer
+
+
+def test_idle_system_is_silent():
+    sim, network, nodes, _ = build(PushPullGossipNode)
+    sim.run_until(10.0)
+    # Footnote 1's guard: no messages -> no gossips, no pull probes.
+    assert network.messages_sent == 0
+
+
+def test_pull_direction_spreads_news():
+    sim, network, nodes, tracer = build(PushPullGossipNode, n=16, fanout=2)
+    nodes[0].multicast()
+    sim.run_until(20.0)
+    assert tracer.reliability(range(16)) == 1.0
+    assert sum(n.answers_sent for n in nodes.values()) > 0
+
+
+def test_beats_push_only_at_small_fanout():
+    def reliability(cls):
+        sim, network, nodes, tracer = build(cls, n=48, fanout=2, seed=11)
+        rng = random.Random(7)
+        for i in range(5):
+            sim.schedule_at(0.1 + i / 100.0, lambda: nodes[rng.randrange(48)].multicast())
+        sim.run_until(20.0)
+        return tracer.reliability(range(48))
+
+    assert reliability(PushPullGossipNode) > reliability(PushGossipNode)
+
+
+def test_answer_respects_pull_window():
+    sim, network, nodes, tracer = build(PushPullGossipNode, n=4, fanout=1)
+    nodes[0].multicast()
+    sim.run_until(10.0)  # everything delivered, window long expired
+    from repro.protocols.pushpull_gossip import PushPullGossip
+
+    answers_before = nodes[1].answers_sent
+    # A late gossip mentioning nothing: node 1's news is stale, no answer.
+    nodes[0].send(1, PushPullGossip(summaries=()))
+    sim.run_until(11.0)
+    assert nodes[1].answers_sent == answers_before
+
+
+def test_validation():
+    sim = Simulator()
+    network = Network(sim, ConstantLatencyModel(4), rng=random.Random(1))
+    with pytest.raises(ValueError):
+        PushPullGossipNode(0, sim, network, [0, 1], fanout=2, gossip_period=0.0)

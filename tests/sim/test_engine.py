@@ -1,0 +1,184 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_until_executes_in_time_order(sim):
+    order = []
+    sim.schedule(2.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(3.0, order.append, "c")
+    sim.run_until(10.0)
+    assert order == ["a", "b", "c"]
+    assert sim.now == 10.0
+
+
+def test_same_time_events_run_in_scheduling_order(sim):
+    order = []
+    for tag in "abcde":
+        sim.schedule(1.0, order.append, tag)
+    sim.run_until(1.0)
+    assert order == list("abcde")
+
+
+def test_run_until_is_inclusive_of_end_time(sim):
+    fired = []
+    sim.schedule(5.0, fired.append, 1)
+    sim.run_until(5.0)
+    assert fired == [1]
+
+
+def test_events_after_end_time_stay_queued(sim):
+    fired = []
+    sim.schedule(5.0, fired.append, 1)
+    sim.run_until(4.999)
+    assert fired == []
+    sim.run_until(5.0)
+    assert fired == [1]
+
+
+def test_schedule_at_absolute_time(sim):
+    seen = []
+    sim.schedule_at(7.5, lambda: seen.append(sim.now))
+    sim.run_until(10.0)
+    assert seen == [7.5]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected(sim):
+    sim.run_until(5.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(4.0, lambda: None)
+
+
+def test_run_until_backwards_rejected(sim):
+    sim.run_until(5.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(4.0)
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    handle = sim.schedule(1.0, fired.append, 1)
+    handle.cancel()
+    sim.run_until(2.0)
+    assert fired == []
+    assert sim.events_executed == 0
+
+
+def test_cancel_releases_callback_reference(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    assert handle.callback is None
+    assert handle.args == ()
+
+
+def test_events_scheduled_during_execution_run_same_pass(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0.5, lambda: order.append("nested"))
+
+    sim.schedule(1.0, first)
+    sim.run_until(2.0)
+    assert order == ["first", "nested"]
+
+
+def test_zero_delay_event_runs_at_current_time(sim):
+    times = []
+
+    def outer():
+        sim.schedule(0.0, lambda: times.append(sim.now))
+
+    sim.schedule(1.0, outer)
+    sim.run_until(1.0)
+    assert times == [1.0]
+
+
+def test_run_drains_queue_completely(sim):
+    count = []
+    for i in range(10):
+        sim.schedule(float(i), count.append, i)
+    sim.run()
+    assert count == list(range(10))
+    assert sim.pending_events == 0
+
+
+def test_step_executes_single_event(sim):
+    order = []
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    assert sim.step()
+    assert order == ["a"]
+    assert sim.now == 1.0
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_step_skips_cancelled(sim):
+    order = []
+    handle = sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    handle.cancel()
+    assert sim.step()
+    assert order == ["b"]
+
+
+def test_clock_monotonic_through_callbacks(sim):
+    observed = []
+    for delay in (3.0, 1.0, 2.0, 1.0):
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    sim.run_until(5.0)
+    assert observed == sorted(observed)
+
+
+def test_executed_counter_excludes_cancelled(sim):
+    handles = [sim.schedule(1.0, lambda: None) for _ in range(5)]
+    handles[0].cancel()
+    handles[3].cancel()
+    sim.run_until(2.0)
+    assert sim.events_executed == 3
+
+
+def test_not_reentrant():
+    sim = Simulator()
+
+    def recurse():
+        sim.run_until(10.0)
+
+    sim.schedule(1.0, recurse)
+    with pytest.raises(SimulationError):
+        sim.run_until(5.0)
+
+
+def test_callback_args_passed_through(sim):
+    seen = []
+    sim.schedule(1.0, lambda a, b, c: seen.append((a, b, c)), 1, "x", None)
+    sim.run_until(1.0)
+    assert seen == [(1, "x", None)]
+
+
+def test_many_events_keep_total_order(sim):
+    import random
+
+    rng = random.Random(0)
+    fired = []
+    expected = []
+    for i in range(1000):
+        t = rng.uniform(0, 100)
+        expected.append((t, i))
+        sim.schedule(t, fired.append, (t, i))
+    sim.run()
+    # Sort by (time, scheduling order) — exactly the engine's contract.
+    assert fired == sorted(expected)

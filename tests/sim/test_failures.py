@@ -1,0 +1,117 @@
+"""Unit tests for failure and churn injection."""
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatencyModel
+from repro.sim.engine import Simulator
+from repro.sim.failures import ChurnProcess, FailureInjector
+from repro.sim.transport import Network
+
+
+class StubEndpoint:
+    def __init__(self, node_id):
+        self.node_id = node_id
+
+    def handle_message(self, src, msg):
+        pass
+
+    def handle_send_failure(self, dst, msg):
+        pass
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    network = Network(sim, ConstantLatencyModel(32), rng=random.Random(1))
+    for i in range(20):
+        network.register(StubEndpoint(i))
+    injector = FailureInjector(sim, network, random.Random(5))
+    return sim, network, injector
+
+
+def test_fail_nodes_at_kills_at_the_right_time(setup):
+    sim, network, injector = setup
+    injector.fail_nodes_at(10.0, [3, 7])
+    sim.run_until(9.999)
+    assert network.is_alive(3)
+    sim.run_until(10.0)
+    assert not network.is_alive(3)
+    assert not network.is_alive(7)
+    assert injector.failed_nodes == [3, 7]
+
+
+def test_fail_fraction_selects_requested_count(setup):
+    sim, network, injector = setup
+    victims = injector.fail_fraction_at(1.0, 0.25, list(range(20)))
+    assert len(victims) == 5
+    sim.run_until(1.0)
+    assert len(network.alive_nodes()) == 15
+
+
+def test_fail_fraction_is_deterministic_for_seed():
+    def run(seed):
+        sim = Simulator()
+        network = Network(sim, ConstantLatencyModel(32), rng=random.Random(1))
+        for i in range(20):
+            network.register(StubEndpoint(i))
+        injector = FailureInjector(sim, network, random.Random(seed))
+        return injector.fail_fraction_at(1.0, 0.3, list(range(20)))
+
+    assert run(9) == run(9)
+    assert run(9) != run(10)
+
+
+def test_fail_fraction_bounds(setup):
+    _, _, injector = setup
+    with pytest.raises(ValueError):
+        injector.fail_fraction_at(1.0, 1.5, list(range(20)))
+
+
+def test_on_node_failed_callback_fires_per_victim(setup):
+    sim, network, injector = setup
+    killed = []
+    injector.on_node_failed = killed.append
+    injector.fail_nodes_at(2.0, [1, 2, 3])
+    sim.run_until(2.0)
+    assert killed == [1, 2, 3]
+
+
+def test_link_failure_scheduling(setup):
+    sim, network, injector = setup
+    injector.fail_link_at(1.0, 0, 1)
+    injector.restore_link_at(2.0, 0, 1)
+    sim.run_until(1.0)
+    assert not network.link_ok(0, 1)
+    sim.run_until(2.0)
+    assert network.link_ok(0, 1)
+
+
+def test_churn_invokes_callbacks_each_interval():
+    sim = Simulator()
+    leaves, joins = [], []
+    churn = ChurnProcess(
+        sim, 5.0, lambda: leaves.append(sim.now), lambda: joins.append(sim.now)
+    )
+    churn.start()
+    sim.run_until(16.0)
+    assert leaves == [5.0, 10.0, 15.0]
+    assert joins == leaves
+    assert churn.events == 3
+
+
+def test_churn_stop(setup):
+    sim = Simulator()
+    leaves = []
+    churn = ChurnProcess(sim, 1.0, lambda: leaves.append(sim.now))
+    churn.start()
+    sim.run_until(2.0)
+    churn.stop()
+    sim.run_until(10.0)
+    assert leaves == [1.0, 2.0]
+
+
+def test_churn_invalid_interval():
+    with pytest.raises(ValueError):
+        ChurnProcess(Simulator(), 0.0, lambda: None)

@@ -1,0 +1,43 @@
+"""Unit tests for the named-stream RNG registry."""
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_name_returns_same_stream():
+    reg = RngRegistry(1)
+    assert reg.stream("a") is reg.stream("a")
+
+
+def test_streams_reproducible_across_registries():
+    a = RngRegistry(123).stream("workload")
+    b = RngRegistry(123).stream("workload")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_give_independent_streams():
+    reg = RngRegistry(1)
+    xs = [reg.stream("x").random() for _ in range(5)]
+    ys = [reg.stream("y").random() for _ in range(5)]
+    assert xs != ys
+
+
+def test_different_seeds_give_different_streams():
+    a = RngRegistry(1).stream("s")
+    b = RngRegistry(2).stream("s")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_creation_order_does_not_matter():
+    reg1 = RngRegistry(9)
+    reg1.stream("first")
+    late = [reg1.stream("second").random() for _ in range(3)]
+
+    reg2 = RngRegistry(9)
+    early = [reg2.stream("second").random() for _ in range(3)]
+    assert late == early
+
+
+def test_node_stream_is_namespaced():
+    reg = RngRegistry(5)
+    assert reg.node_stream(3) is reg.stream("node/3")
+    assert reg.node_stream(3) is not reg.node_stream(4)

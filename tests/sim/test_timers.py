@@ -1,0 +1,88 @@
+"""Unit tests for PeriodicTimer."""
+
+import pytest
+
+from repro.sim.timers import PeriodicTimer
+
+
+def test_fires_every_period(sim):
+    fires = []
+    timer = PeriodicTimer(sim, 1.0, lambda: fires.append(sim.now))
+    timer.start()
+    sim.run_until(5.5)
+    assert fires == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_phase_controls_first_fire(sim):
+    fires = []
+    timer = PeriodicTimer(sim, 1.0, lambda: fires.append(sim.now))
+    timer.start(phase=0.25)
+    sim.run_until(3.0)
+    assert fires == [0.25, 1.25, 2.25]
+
+
+def test_zero_phase_fires_immediately(sim):
+    fires = []
+    timer = PeriodicTimer(sim, 1.0, lambda: fires.append(sim.now))
+    timer.start(phase=0.0)
+    sim.run_until(0.0)
+    assert fires == [0.0]
+
+
+def test_stop_halts_firing(sim):
+    fires = []
+    timer = PeriodicTimer(sim, 1.0, lambda: fires.append(sim.now))
+    timer.start()
+    sim.run_until(2.5)
+    timer.stop()
+    sim.run_until(10.0)
+    assert fires == [1.0, 2.0]
+    assert not timer.running
+
+
+def test_restart_after_stop(sim):
+    fires = []
+    timer = PeriodicTimer(sim, 1.0, lambda: fires.append(sim.now))
+    timer.start()
+    sim.run_until(1.5)
+    timer.stop()
+    sim.run_until(5.0)
+    timer.start()
+    sim.run_until(7.0)
+    assert fires == [1.0, 6.0, 7.0]
+
+
+def test_stop_from_within_callback(sim):
+    fires = []
+    timer = PeriodicTimer(sim, 1.0, lambda: (fires.append(sim.now), timer.stop()))
+    timer.start()
+    sim.run_until(10.0)
+    assert fires == [1.0]
+
+
+def test_set_period_takes_effect_next_reschedule(sim):
+    fires = []
+    timer = PeriodicTimer(sim, 1.0, lambda: fires.append(sim.now))
+    timer.start()
+    sim.run_until(1.0)
+    timer.set_period(2.0)
+    sim.run_until(6.0)
+    # Pending fire at 2.0 kept its time; subsequent gaps are 2.0.
+    assert fires == [1.0, 2.0, 4.0, 6.0]
+
+
+def test_double_start_is_idempotent(sim):
+    fires = []
+    timer = PeriodicTimer(sim, 1.0, lambda: fires.append(sim.now))
+    timer.start()
+    timer.start()
+    sim.run_until(2.0)
+    assert fires == [1.0, 2.0]
+
+
+def test_invalid_period_rejected(sim):
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 0.0, lambda: None)
+    timer = PeriodicTimer(sim, 1.0, lambda: None)
+    with pytest.raises(ValueError):
+        timer.set_period(-1.0)

@@ -1,0 +1,114 @@
+"""Unit tests for delivery tracing and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import DeliveryTracer, TraceRecorder
+
+
+def test_recorder_counters():
+    rec = TraceRecorder()
+    rec.count("x")
+    rec.count("x", 4)
+    rec.count("y")
+    assert rec.counters == {"x": 5, "y": 1}
+
+
+def test_recorder_series():
+    rec = TraceRecorder()
+    rec.record("lat", 1.0, 0.5)
+    rec.record("lat", 2.0, 0.7)
+    times, values = rec.series_arrays("lat")
+    assert list(times) == [1.0, 2.0]
+    assert list(values) == [0.5, 0.7]
+
+
+def test_recorder_missing_series_is_empty():
+    times, values = TraceRecorder().series_arrays("nope")
+    assert times.size == 0 and values.size == 0
+
+
+@pytest.fixture
+def tracer():
+    t = DeliveryTracer()
+    t.injected("m1", 10.0, source=0)
+    t.delivered("m1", 1, 10.2)
+    t.delivered("m1", 2, 10.5)
+    return t
+
+
+def test_delays_exclude_source(tracer):
+    delays = tracer.delays()
+    assert sorted(delays) == pytest.approx([0.2, 0.5])
+
+
+def test_delays_restricted_to_receivers(tracer):
+    assert list(tracer.delays(receivers=[1])) == pytest.approx([0.2])
+
+
+def test_reliability_full(tracer):
+    assert tracer.reliability([0, 1, 2]) == 1.0
+
+
+def test_reliability_partial(tracer):
+    # Node 3 never received m1.
+    assert tracer.reliability([0, 1, 2, 3]) == pytest.approx(2 / 3)
+    assert tracer.undelivered_pairs([0, 1, 2, 3]) == 1
+
+
+def test_source_counts_as_having_message(tracer):
+    # Source 0 in receivers: it is excluded from the denominator.
+    assert tracer.reliability([0, 1]) == 1.0
+
+
+def test_duplicate_first_delivery_rejected(tracer):
+    with pytest.raises(ValueError):
+        tracer.delivered("m1", 1, 11.0)
+
+
+def test_delivery_of_unknown_message_rejected(tracer):
+    with pytest.raises(KeyError):
+        tracer.delivered("m2", 1, 11.0)
+
+
+def test_cdf_normalized_by_expected_pairs(tracer):
+    x, y = tracer.delay_cdf([0, 1, 2, 3])
+    assert list(x) == pytest.approx([0.2, 0.5])
+    # 3 expected receivers, 2 served.
+    assert list(y) == pytest.approx([1 / 3, 2 / 3])
+
+
+def test_cdf_empty_when_no_receivers():
+    t = DeliveryTracer()
+    x, y = t.delay_cdf([])
+    assert x.size == 0 and y.size == 0
+
+
+def test_receptions_per_delivery(tracer):
+    assert tracer.receptions_per_delivery() == 1.0
+    tracer.redundant("m1", 2)
+    assert tracer.receptions_per_delivery() == pytest.approx(1.5)
+
+
+def test_percentiles_and_extremes(tracer):
+    assert tracer.mean_delay() == pytest.approx(0.35)
+    assert tracer.max_delay() == pytest.approx(0.5)
+    assert tracer.delay_percentile(50) == pytest.approx(0.35)
+
+
+def test_empty_tracer_metrics_are_nan():
+    t = DeliveryTracer()
+    assert np.isnan(t.mean_delay())
+    assert np.isnan(t.delay_percentile(90))
+    assert t.receptions_per_delivery() == 1.0
+
+
+def test_multiple_messages_pool_delays():
+    t = DeliveryTracer()
+    t.injected("a", 0.0, 0)
+    t.injected("b", 1.0, 1)
+    t.delivered("a", 1, 0.3)
+    t.delivered("b", 0, 1.4)
+    assert sorted(t.delays()) == pytest.approx([0.3, 0.4])
+    assert t.n_messages == 2
+    assert set(t.message_ids()) == {"a", "b"}

@@ -1,0 +1,193 @@
+"""Unit tests for the simulated network transport."""
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatencyModel
+from repro.sim.engine import Simulator
+from repro.sim.transport import Network
+
+
+class StubEndpoint:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.received = []
+        self.failures = []
+
+    def handle_message(self, src, msg):
+        self.received.append((src, msg))
+
+    def handle_send_failure(self, dst, msg):
+        self.failures.append((dst, msg))
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    network = Network(sim, ConstantLatencyModel(8, latency=0.010), rng=random.Random(1))
+    endpoints = {i: StubEndpoint(i) for i in range(4)}
+    for ep in endpoints.values():
+        network.register(ep)
+    return sim, network, endpoints
+
+
+def test_delivery_after_one_way_latency(net):
+    sim, network, eps = net
+    network.send(0, 1, "hello")
+    sim.run_until(0.009)
+    assert eps[1].received == []
+    sim.run_until(0.010)
+    assert eps[1].received == [(0, "hello")]
+
+
+def test_fifo_per_pair(net):
+    sim, network, eps = net
+    for i in range(5):
+        network.send(0, 1, i)
+    sim.run_until(1.0)
+    assert [msg for _, msg in eps[1].received] == [0, 1, 2, 3, 4]
+
+
+def test_send_to_self_rejected(net):
+    _, network, _ = net
+    with pytest.raises(ValueError):
+        network.send(2, 2, "loop")
+
+
+def test_duplicate_registration_rejected(net):
+    _, network, eps = net
+    with pytest.raises(ValueError):
+        network.register(StubEndpoint(0))
+
+
+def test_reliable_send_to_dead_node_notifies_sender_after_rtt(net):
+    sim, network, eps = net
+    network.kill(1)
+    network.send(0, 1, "x")
+    sim.run_until(0.019)
+    assert eps[0].failures == []
+    sim.run_until(0.020)
+    assert eps[0].failures == [(1, "x")]
+    assert eps[1].received == []
+
+
+def test_unreliable_send_to_dead_node_silently_dropped(net):
+    sim, network, eps = net
+    network.kill(1)
+    network.send(0, 1, "x", reliable=False)
+    sim.run_until(1.0)
+    assert eps[0].failures == []
+    assert eps[1].received == []
+
+
+def test_message_in_flight_to_node_that_dies_is_lost(net):
+    sim, network, eps = net
+    network.send(0, 1, "x")
+    sim.run_until(0.005)
+    network.kill(1)
+    sim.run_until(1.0)
+    assert eps[1].received == []
+    assert network.messages_lost == 1
+
+
+def test_failed_link_blocks_both_reliable_and_unreliable(net):
+    sim, network, eps = net
+    network.fail_link(0, 1)
+    network.send(0, 1, "a")
+    network.send(1, 0, "b", reliable=False)
+    sim.run_until(1.0)
+    assert eps[1].received == []
+    assert eps[0].received == []
+    assert eps[0].failures == [(1, "a")]
+
+
+def test_restored_link_carries_traffic_again(net):
+    sim, network, eps = net
+    network.fail_link(0, 1)
+    network.restore_link(0, 1)
+    network.send(0, 1, "a")
+    sim.run_until(1.0)
+    assert eps[1].received == [(0, "a")]
+
+
+def test_loss_rate_drops_fraction_of_datagrams():
+    sim = Simulator()
+    network = Network(
+        sim, ConstantLatencyModel(4, latency=0.001), loss_rate=0.5, rng=random.Random(3)
+    )
+    a, b = StubEndpoint(0), StubEndpoint(1)
+    network.register(a)
+    network.register(b)
+    for _ in range(400):
+        network.send(0, 1, "m", reliable=False)
+    sim.run_until(1.0)
+    assert 120 < len(b.received) < 280  # ~200 expected
+
+
+def test_loss_rate_never_applies_to_reliable_sends():
+    sim = Simulator()
+    network = Network(
+        sim, ConstantLatencyModel(4, latency=0.001), loss_rate=0.9, rng=random.Random(3)
+    )
+    a, b = StubEndpoint(0), StubEndpoint(1)
+    network.register(a)
+    network.register(b)
+    for _ in range(50):
+        network.send(0, 1, "m", reliable=True)
+    sim.run_until(1.0)
+    assert len(b.received) == 50
+
+
+def test_counters(net):
+    sim, network, eps = net
+    network.send(0, 1, "x")
+    network.send(0, 2, "y")
+    sim.run_until(1.0)
+    assert network.messages_sent == 2
+    assert network.messages_delivered == 2
+    assert network.sent_by_type == {"str": 2}
+    assert network.bytes_by_type == {}  # str has no wire_size
+
+
+def test_byte_accounting_uses_wire_size(net):
+    sim, network, eps = net
+
+    class Sized:
+        def wire_size(self):
+            return 77
+
+    network.send(0, 1, Sized())
+    network.send(0, 2, Sized())
+    assert network.bytes_by_type == {"Sized": 154}
+
+
+def test_on_send_hook_observes_every_send(net):
+    sim, network, eps = net
+    seen = []
+    network.on_send = lambda src, dst, msg: seen.append((src, dst, msg))
+    network.send(0, 1, "x")
+    network.send(1, 2, "y", reliable=False)
+    assert seen == [(0, 1, "x"), (1, 2, "y")]
+
+
+def test_revive_restores_delivery(net):
+    sim, network, eps = net
+    network.kill(1)
+    network.revive(1)
+    network.send(0, 1, "x")
+    sim.run_until(1.0)
+    assert eps[1].received == [(0, "x")]
+
+
+def test_remove_deregisters(net):
+    sim, network, eps = net
+    network.remove(1)
+    assert not network.is_alive(1)
+    assert 1 not in network.alive_nodes()
+
+
+def test_invalid_loss_rate_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Network(sim, ConstantLatencyModel(2), loss_rate=1.0)

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, cmd_list, cmd_run, main
+
+
+def test_list_covers_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_every_experiment_has_description_and_runner():
+    for name, (description, runner) in EXPERIMENTS.items():
+        assert description
+        assert callable(runner)
+
+
+def test_run_unknown_experiment_fails(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_fig1(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+    assert main(["run", "fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "min fanout" in out
+
+
+def test_scale_flag_sets_env(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert main(["run", "fig1", "--scale", "smoke"]) == 0
+    import os
+
+    assert os.environ["REPRO_SCALE"] == "smoke"
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_seed_passed_through(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+    seen = {}
+
+    def fake_runner(seed):
+        seen["seed"] = seed
+
+        class Result:
+            def format_table(self):
+                return "table"
+
+        return Result()
+
+    monkeypatch.setitem(EXPERIMENTS, "fake", ("fake experiment", fake_runner))
+    assert main(["run", "fake", "--seed", "42"]) == 0
+    assert seen["seed"] == 42
+    assert "table" in capsys.readouterr().out
