@@ -1,0 +1,91 @@
+"""Zero-overhead assertion for the observability layer.
+
+The instrumentation contract (docs/OBSERVABILITY.md): with
+observability disabled, a fixed-seed run is bit-identical to the
+uninstrumented path and costs the same wall-clock to within noise.
+Every hook is guarded by a single ``obs.enabled`` attribute check, so
+the disabled path adds only those checks — this benchmark measures the
+two paths back to back and fails if the disabled layer ever grows a
+real cost (e.g. someone adds an unguarded hook).
+"""
+
+import time
+
+import numpy as np
+
+from repro.experiments.runner import run_delay_experiment
+from repro.experiments.scenarios import paper_scenario
+from repro.obs import Observability
+
+#: Accept up to this fractional slowdown for the disabled path.  Single
+#: runs jitter by a few percent, so both arms are measured interleaved
+#: (warmup round discarded, min over the rest) before comparing.
+MAX_DISABLED_OVERHEAD = 0.05
+REPEATS = 4
+
+
+def _scenario():
+    return paper_scenario("gocast", scale="smoke", n_nodes=48, seed=11)
+
+
+def _interleaved_best(fn_a, fn_b, repeats=REPEATS):
+    """(best_a, last_result_a, best_b, last_result_b), arms alternated."""
+    best_a = best_b = float("inf")
+    result_a = result_b = None
+    for i in range(repeats + 1):
+        t0 = time.perf_counter()
+        result_a = fn_a()
+        dt_a = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        result_b = fn_b()
+        dt_b = time.perf_counter() - t0
+        if i == 0:
+            continue  # warmup: allocator and caches settle
+        best_a = min(best_a, dt_a)
+        best_b = min(best_b, dt_b)
+    return best_a, result_a, best_b, result_b
+
+
+def test_disabled_observability_costs_nothing(benchmark):
+    def compare():
+        return _interleaved_best(
+            lambda: run_delay_experiment(_scenario()),
+            lambda: run_delay_experiment(
+                _scenario(), obs=Observability(enabled=False)
+            ),
+        )
+
+    plain_s, plain, disabled_s, disabled = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+
+    # Bit-identical simulation with the layer disabled.
+    assert np.array_equal(plain.delays, disabled.delays)
+    assert plain.sent_by_type == disabled.sent_by_type
+    assert plain.messages_sent == disabled.messages_sent
+
+    overhead = disabled_s / plain_s - 1.0
+    print(
+        f"\nplain={plain_s:.3f}s disabled={disabled_s:.3f}s "
+        f"overhead={overhead:+.1%} (budget {MAX_DISABLED_OVERHEAD:.0%})"
+    )
+    assert overhead <= MAX_DISABLED_OVERHEAD
+
+
+def test_enabled_observability_overhead_is_bounded(benchmark):
+    """Informative companion: the *enabled* layer should stay cheap
+    (counters and ring-buffer appends), well under 2x."""
+
+    def compare():
+        plain_s, _, enabled_s, result = _interleaved_best(
+            lambda: run_delay_experiment(_scenario()),
+            lambda: run_delay_experiment(_scenario(), obs=Observability()),
+            repeats=2,
+        )
+        return plain_s, enabled_s, result
+
+    plain_s, enabled_s, result = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert result.metrics is not None
+    overhead = enabled_s / plain_s - 1.0
+    print(f"\nenabled instrumentation overhead: {overhead:+.1%}")
+    assert enabled_s < 2.0 * plain_s

@@ -6,10 +6,15 @@ Usage::
     python -m repro run fig3a
     python -m repro run fig6 --scale smoke --seed 3
     python -m repro run all --scale default
+    python -m repro obs summary --fail 0.1
+    python -m repro obs trace --category gossip.pull --out pulls.jsonl
+    python -m repro obs profile --nodes 128
 
 Each experiment prints the same table the corresponding paper artifact
 reports (see EXPERIMENTS.md).  ``--scale`` overrides the ``REPRO_SCALE``
-environment variable for the invocation.
+environment variable for the invocation.  The ``obs`` subcommands run a
+single instrumented delay experiment (see docs/OBSERVABILITY.md) and
+report its metrics, trace events, or callback profile.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from repro.experiments import (
     random_links,
     text_metrics,
 )
+from repro.experiments.scenarios import PROTOCOLS
 
 
 def _fig3a(seed: int):
@@ -109,6 +115,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="override REPRO_SCALE for this invocation",
     )
     run.add_argument("--seed", type=int, default=1, help="simulation seed")
+
+    obs = sub.add_parser(
+        "obs", help="run one instrumented experiment; report its observability"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summary = obs_sub.add_parser(
+        "summary", help="protocol counters, derived ratios, histograms"
+    )
+    trace = obs_sub.add_parser(
+        "trace", help="structured event trace (print or JSONL export)"
+    )
+    trace.add_argument("--category", help="only events of this category")
+    trace.add_argument("--out", help="write JSONL here instead of printing")
+    trace.add_argument(
+        "--limit", type=int, default=40, help="max events to print (default 40)"
+    )
+    profile = obs_sub.add_parser(
+        "profile", help="wall-clock attribution per callback category"
+    )
+    profile.add_argument(
+        "--top-k", type=int, default=10, help="hot callbacks to list (default 10)"
+    )
+    for cmd in (summary, trace, profile):
+        cmd.add_argument(
+            "--protocol",
+            choices=PROTOCOLS,
+            default="gocast",
+            help="protocol to run (default gocast)",
+        )
+        cmd.add_argument("--nodes", type=int, help="override node count")
+        cmd.add_argument(
+            "--adapt", type=float, help="override adaptation time (seconds)"
+        )
+        cmd.add_argument("--messages", type=int, help="override message count")
+        cmd.add_argument(
+            "--fail", type=float, default=0.0, help="crash fraction (default 0)"
+        )
+        cmd.add_argument("--seed", type=int, default=1, help="simulation seed")
+        cmd.add_argument(
+            "--scale",
+            choices=("smoke", "default", "full"),
+            default="smoke",
+            help="scale preset (default smoke)",
+        )
     return parser
 
 
@@ -140,10 +190,70 @@ def cmd_run(experiment: str, scale, seed: int, out=None) -> int:
     return 0
 
 
+def _obs_scenario(args):
+    from repro.experiments.scenarios import paper_scenario
+
+    overrides = {"fail_fraction": args.fail, "seed": args.seed}
+    if args.nodes is not None:
+        overrides["n_nodes"] = args.nodes
+    if args.adapt is not None:
+        overrides["adapt_time"] = args.adapt
+    if args.messages is not None:
+        overrides["n_messages"] = args.messages
+    return paper_scenario(args.protocol, scale=args.scale, **overrides)
+
+
+def cmd_obs(args, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    from repro.experiments.runner import run_delay_experiment
+    from repro.obs import Observability
+    from repro.obs.summary import format_metrics_summary
+
+    try:
+        scenario = _obs_scenario(args)
+    except ValueError as exc:
+        print(f"invalid scenario: {exc}", file=sys.stderr)
+        return 2
+    obs = Observability(profile=args.obs_command == "profile")
+    print(
+        f"== obs {args.obs_command}: {scenario.protocol} "
+        f"n={scenario.n_nodes} fail={scenario.fail_fraction:.0%} "
+        f"seed={scenario.seed} ==",
+        file=out,
+    )
+    result = run_delay_experiment(scenario, obs=obs)
+    print(result.summary_row(), file=out)
+    print(file=out)
+
+    if args.obs_command == "summary":
+        print(format_metrics_summary(result.metrics), file=out)
+    elif args.obs_command == "trace":
+        if args.out:
+            n = obs.tracer.export_jsonl(args.out)
+            print(f"wrote {n} events to {args.out} "
+                  f"({obs.tracer.dropped} dropped by the ring buffer)", file=out)
+        else:
+            events = obs.tracer.events(category=args.category)
+            for event in events[-args.limit:]:
+                fields = " ".join(f"{k}={v}" for k, v in event.fields.items())
+                print(f"{event.time:10.4f}  {event.category:<16} {fields}", file=out)
+            print(
+                f"-- {len(events)} events"
+                + (f" in category {args.category}" if args.category else "")
+                + f" ({obs.tracer.dropped} dropped)",
+                file=out,
+            )
+    else:
+        print(obs.profiler.report(top_k=args.top_k).format_table(), file=out)
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()
+    if args.command == "obs":
+        return cmd_obs(args)
     return cmd_run(args.experiment, args.scale, args.seed)
 
 

@@ -78,6 +78,8 @@ class Disseminator:
             self.buffer.mark_heard_from(msg.msg_id, src)
             node.tracer.redundant(msg.msg_id, node.node_id)
             node.tracer.aborted(msg.msg_id, node.node_id)
+            if node.obs.enabled:
+                node.obs.metrics.inc("dissem.push_aborted")
             return
         owl = self._one_way_to(src)
         self._deliver(
@@ -94,11 +96,19 @@ class Disseminator:
             return
         age = entry.age(node.sim.now)
         data = MulticastData(msg_id, age, entry.payload_size, entry.payload)
+        pushed = 0
         for peer in node.tree.tree_neighbors():
             if peer == exclude:
                 continue
             node.send(peer, data)
             entry.heard_from.add(peer)
+            pushed += 1
+        if pushed and node.obs.enabled:
+            node.obs.metrics.inc("dissem.tree_push", amount=pushed)
+            node.obs.tracer.emit(
+                node.sim.now, "tree.push",
+                node=node.node_id, msg=str(msg_id), fanout=pushed,
+            )
 
     # ------------------------------------------------------------------
     # Gossip path
@@ -107,6 +117,7 @@ class Disseminator:
         node = self.node
         owl = self._one_way_to(src)
         immediate: List[MessageId] = []
+        new_ids = 0
         for msg_id, age in gossip.summaries:
             local_age = age + owl
             if self.buffer.has_seen(msg_id):
@@ -116,6 +127,7 @@ class Disseminator:
             if pending is not None:
                 pending.sources.add(src)
                 continue
+            new_ids += 1
             pending = _PendingPull(age_estimate=local_age, heard_at=node.sim.now)
             pending.sources.add(src)
             self._pending[msg_id] = pending
@@ -124,6 +136,12 @@ class Disseminator:
                 pending.handle = node.sim.schedule(wait, self._send_pull, msg_id)
             else:
                 immediate.append(msg_id)
+        if gossip.summaries and node.obs.enabled:
+            # Gossip-round effectiveness: how many advertised IDs were
+            # actually news to this receiver.
+            node.obs.metrics.inc("gossip.summaries_heard", amount=len(gossip.summaries))
+            if new_ids:
+                node.obs.metrics.inc("gossip.summaries_new", amount=new_ids)
         if immediate:
             self._request(src, immediate)
 
@@ -152,6 +170,12 @@ class Disseminator:
 
     def _request(self, source: int, ids: List[MessageId]) -> None:
         node = self.node
+        if node.obs.enabled:
+            node.obs.metrics.inc("dissem.pull_request", amount=len(ids))
+            node.obs.tracer.emit(
+                node.sim.now, "gossip.pull",
+                node=node.node_id, source=source, ids=len(ids),
+            )
         node.send(source, PullRequest(ids=tuple(ids)))
         for msg_id in ids:
             pending = self._pending.get(msg_id)
@@ -216,7 +240,9 @@ class Disseminator:
         payload: object = None,
     ) -> None:
         node = self.node
-        self._cancel_pending(msg_id)
+        pending = self._pending.pop(msg_id, None)
+        if pending is not None and pending.handle is not None:
+            pending.handle.cancel()
         self.buffer.insert(
             msg_id, size, node.sim.now, age=age, from_peer=from_peer, payload=payload
         )
@@ -224,14 +250,18 @@ class Disseminator:
         node.record_dissemination_activity()
         if via_pull:
             node.tracer.pulled(msg_id, node.node_id)
+        if node.obs.enabled:
+            node.obs.metrics.inc(
+                "dissem.delivered", via="pull" if via_pull else "tree"
+            )
+            if via_pull and pending is not None:
+                # Pull-repair latency: first advertisement to delivery.
+                node.obs.metrics.observe(
+                    "dissem.pull_latency", node.sim.now - pending.heard_at
+                )
         node.on_deliver(msg_id, size)
         # Pulled messages restart the tree flood inside our fragment.
         self._forward_tree(msg_id, exclude=from_peer)
-
-    def _cancel_pending(self, msg_id: MessageId) -> None:
-        pending = self._pending.pop(msg_id, None)
-        if pending is not None and pending.handle is not None:
-            pending.handle.cancel()
 
     # ------------------------------------------------------------------
     # Housekeeping

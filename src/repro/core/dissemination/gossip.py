@@ -85,6 +85,8 @@ class GossipEngine:
                 and now - state.last_sent < node.config.keepalive_interval
             ):
                 self.gossips_saved += 1
+                if node.obs.enabled:
+                    node.obs.metrics.inc("gossip.saved")
                 return
 
         summaries = tuple((entry.msg_id, entry.age(now)) for entry in entries)
@@ -96,6 +98,14 @@ class GossipEngine:
         )
         node.send(peer, gossip)
         self.gossips_sent += 1
+        if node.obs.enabled:
+            node.obs.metrics.inc("gossip.sent")
+            if summaries:
+                node.obs.metrics.inc("gossip.summaries_sent", amount=len(summaries))
+            node.obs.tracer.emit(
+                now, "gossip.summary",
+                node=node.node_id, peer=peer, summaries=len(summaries),
+            )
         for entry in entries:
             buffer.mark_gossiped(entry.msg_id, peer)
             node.disseminator.maybe_schedule_reclaim(entry)

@@ -24,9 +24,10 @@ from repro.core.overlay.manager import OverlayManager
 from repro.core.tree.manager import TreeManager
 from repro.membership.partial_view import PartialView
 from repro.net.estimation import TriangularEstimator
+from repro.obs import DISABLED, MetricsRegistry, Observability
 from repro.sim.engine import Simulator
 from repro.sim.timers import PeriodicTimer
-from repro.sim.trace import DeliveryTracer, TraceRecorder
+from repro.sim.trace import DeliveryTracer
 from repro.sim.transport import Network
 
 
@@ -42,7 +43,8 @@ class GoCastNode:
         rng: Optional[random.Random] = None,
         estimator: Optional[TriangularEstimator] = None,
         tracer: Optional[DeliveryTracer] = None,
-        events: Optional[TraceRecorder] = None,
+        events: Optional[MetricsRegistry] = None,
+        obs: Optional[Observability] = None,
     ):
         self.node_id = node_id
         self.sim = sim
@@ -52,6 +54,7 @@ class GoCastNode:
         self.estimator = estimator
         self.tracer = tracer if tracer is not None else DeliveryTracer()
         self.events = events
+        self.obs = obs if obs is not None else DISABLED
 
         self.view = PartialView(node_id, self.rng, self.config.membership_max)
         self.overlay = OverlayManager(self)
@@ -71,10 +74,12 @@ class GoCastNode:
         self.delivery_listeners: List[Callable[[MessageId, int], None]] = []
 
         self._gossip_timer = PeriodicTimer(
-            sim, self.config.gossip_period, self.gossip_engine.on_tick
+            sim, self.config.gossip_period, self.gossip_engine.on_tick,
+            obs=self.obs, name="gossip",
         )
         self._maint_timer = PeriodicTimer(
-            sim, self.config.maintenance_period, self._on_maintenance
+            sim, self.config.maintenance_period, self._on_maintenance,
+            obs=self.obs, name="maintenance",
         )
 
         self._dispatch = {
@@ -122,6 +127,9 @@ class GoCastNode:
 
     def crash(self) -> None:
         """Crash-stop: the network drops traffic, timers go silent."""
+        if self.obs.enabled:
+            self.obs.metrics.inc("node.crash")
+            self.obs.tracer.emit(self.sim.now, "node.crash", node=self.node_id)
         self.network.kill(self.node_id)
         self.stop()
 
@@ -238,6 +246,12 @@ class GoCastNode:
         if self.events is not None:
             self.events.count(f"link_{action}_{kind}")
             self.events.record("link_changes", self.sim.now, 1.0)
+        if self.obs.enabled:
+            self.obs.metrics.inc("overlay.link_change", kind=kind, action=action)
+            self.obs.tracer.emit(
+                self.sim.now, "overlay.adapt",
+                node=self.node_id, kind=kind, action=action,
+            )
 
     def record_dissemination_activity(self) -> None:
         """A multicast message moved through this node."""

@@ -36,7 +36,7 @@ from repro.core.messages import (
     Pong,
     RewireRequest,
 )
-from repro.core.overlay.state import UNKNOWN_DEGREE, NeighborTable
+from repro.core.overlay.state import NeighborTable
 
 #: How long an unanswered link request or RTT probe stays pending.
 HANDSHAKE_TIMEOUT = 2.0
@@ -101,6 +101,8 @@ class OverlayManager:
             return False
         timeout = node.sim.schedule(HANDSHAKE_TIMEOUT, self._expire_pending, peer)
         self._pending[peer] = _PendingRequest(kind, is_replacement, new_rtt, timeout)
+        if node.obs.enabled:
+            node.obs.metrics.inc("overlay.link_request", kind=kind)
         node.send(
             peer,
             LinkRequest(
@@ -270,6 +272,8 @@ class OverlayManager:
         if len(randoms) < 2:
             return
         y, z = node.rng.sample(randoms, 2)
+        if node.obs.enabled:
+            node.obs.metrics.inc("overlay.rewire")
         node.send(y, RewireRequest(target=z))
         self.drop_link(y)
         self.drop_link(z)
@@ -344,6 +348,8 @@ class OverlayManager:
         self._probe_target = candidate
         self._probe_nonce += 1
         self._probe_timeout = node.sim.schedule(HANDSHAKE_TIMEOUT, self._expire_probe)
+        if node.obs.enabled:
+            node.obs.metrics.inc("overlay.probe")
         node.send(candidate, Ping(self._probe_nonce, node.sim.now), reliable=False)
 
     def _expire_probe(self) -> None:

@@ -79,6 +79,11 @@ class TreeManager:
         node = self.node
         self.epoch = self.epoch + 1 if epoch is None else epoch
         self.root = node.node_id
+        if node.obs.enabled:
+            node.obs.metrics.inc("tree.root_claim")
+            node.obs.tracer.emit(
+                node.sim.now, "tree.root_claim", node=node.node_id, epoch=self.epoch
+            )
         self.dist = 0.0
         self._lost_root_link = False
         self._wave_parent_cand = None
@@ -88,7 +93,8 @@ class TreeManager:
         self.last_heartbeat = node.sim.now
         if self._hb_timer is None:
             self._hb_timer = PeriodicTimer(
-                node.sim, node.config.heartbeat_period, self._emit_heartbeat
+                node.sim, node.config.heartbeat_period, self._emit_heartbeat,
+                obs=node.obs, name="heartbeat",
             )
         self._hb_timer.start(phase=0.0)
 
@@ -105,6 +111,8 @@ class TreeManager:
             return
         self._hb_seq += 1
         self.last_heartbeat = self.node.sim.now
+        if self.node.obs.enabled:
+            self.node.obs.metrics.inc("tree.heartbeat_wave")
         beat = TreeHeartbeat(self.epoch, self.root, self._hb_seq, 0.0)
         self._flood(beat, exclude=None)
 
@@ -239,6 +247,8 @@ class TreeManager:
             self._send_detach(old)
         if new_parent is not None:
             self.parent_switches += 1
+            if self.node.obs.enabled:
+                self.node.obs.metrics.inc("tree.parent_switch")
             self.node.send(new_parent, TreeAttach())
 
     def _send_detach(self, peer: int) -> None:

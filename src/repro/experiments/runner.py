@@ -10,7 +10,7 @@ paper reports.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Set
+from typing import Any, Dict, Optional, Set
 
 import numpy as np
 
@@ -18,6 +18,8 @@ from repro.experiments.scenarios import ScenarioConfig
 from repro.experiments.system import GoCastSystem
 from repro.net.king import SyntheticKingModel
 from repro.net.latency import LatencyModel
+from repro.obs import Observability
+from repro.obs.summary import record_link_stress
 from repro.protocols.nowait_gossip import NoWaitGossipNode
 from repro.protocols.push_gossip import PushGossipNode
 from repro.sim.engine import Simulator
@@ -45,6 +47,10 @@ class DelayResult:
     live_receivers: int
     messages_sent: int
     sent_by_type: Dict[str, int]
+    #: :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` of the run's
+    #: observability metrics, when the experiment ran with an enabled
+    #: :class:`~repro.obs.Observability`; None otherwise.
+    metrics: Optional[Dict[str, Any]] = None
 
     def delay_at_coverage(self, coverage: float) -> float:
         """Delay by which the given fraction of (msg, node) pairs was served.
@@ -70,16 +76,38 @@ def run_delay_experiment(
     scenario: ScenarioConfig,
     latency: Optional[LatencyModel] = None,
     network_hook=None,
+    obs: Optional[Observability] = None,
 ) -> DelayResult:
     """Run one scenario to completion and collect delivery statistics.
 
     ``network_hook(network, sim, workload_start)``, if given, is invoked
     just before the workload is scheduled — e.g. to attach a
     link-stress accumulator to :attr:`Network.on_send` at workload time.
+
+    ``obs``, if given and enabled, instruments the run: protocol
+    counters, trace events and (optionally) the callback profiler all
+    accumulate into it, and the returned result carries a metrics
+    snapshot.  The default keeps the uninstrumented fast path.
     """
     if scenario.uses_overlay:
-        return _run_overlay_protocol(scenario, latency, network_hook)
-    return _run_random_gossip_protocol(scenario, latency, network_hook)
+        return _run_overlay_protocol(scenario, latency, network_hook, obs)
+    return _run_random_gossip_protocol(scenario, latency, network_hook, obs)
+
+
+def _finalize_obs(
+    obs: Optional[Observability], sim: Simulator, network: Network
+) -> Optional[Dict[str, Any]]:
+    """Fold end-of-run state into the metrics and snapshot them."""
+    if obs is None:
+        return None
+    if obs.profiler is not None:
+        obs.profiler.uninstall(sim)
+    if not obs.enabled:
+        return None
+    record_link_stress(obs.metrics, network.link_counts)
+    obs.metrics.set_gauge("sim.events_executed", sim.events_executed)
+    obs.metrics.set_gauge("sim.end_time", sim.now)
+    return obs.metrics.snapshot()
 
 
 def _result_from_tracer(
@@ -110,9 +138,12 @@ def _result_from_tracer(
 
 
 def _run_overlay_protocol(
-    scenario: ScenarioConfig, latency: Optional[LatencyModel], network_hook=None
+    scenario: ScenarioConfig,
+    latency: Optional[LatencyModel],
+    network_hook=None,
+    obs: Optional[Observability] = None,
 ) -> DelayResult:
-    system = GoCastSystem(scenario, latency=latency)
+    system = GoCastSystem(scenario, latency=latency, obs=obs)
     system.run_adaptation()
 
     fail_time = scenario.adapt_time
@@ -127,19 +158,28 @@ def _run_overlay_protocol(
     system.run_until(end + scenario.drain_time)
 
     receivers = system.live_node_ids()
-    return _result_from_tracer(scenario, system.tracer, receivers, system.network)
+    result = _result_from_tracer(scenario, system.tracer, receivers, system.network)
+    result.metrics = _finalize_obs(obs, system.sim, system.network)
+    return result
 
 
 def _run_random_gossip_protocol(
-    scenario: ScenarioConfig, latency: Optional[LatencyModel], network_hook=None
+    scenario: ScenarioConfig,
+    latency: Optional[LatencyModel],
+    network_hook=None,
+    obs: Optional[Observability] = None,
 ) -> DelayResult:
     rngs = RngRegistry(scenario.seed)
     sim = Simulator()
+    if obs is not None and obs.profiler is not None:
+        obs.profiler.install(sim)
     if latency is None:
         latency = SyntheticKingModel(
             scenario.n_nodes, n_sites=scenario.n_sites, seed=scenario.seed
         )
-    network = Network(sim, latency, loss_rate=scenario.loss_rate, rng=rngs.stream("net"))
+    network = Network(
+        sim, latency, loss_rate=scenario.loss_rate, rng=rngs.stream("net"), obs=obs
+    )
     tracer = DeliveryTracer()
     membership = list(range(scenario.n_nodes))
 
@@ -191,4 +231,6 @@ def _run_random_gossip_protocol(
     sim.run_until(end + scenario.drain_time)
 
     receivers = network.alive_nodes()
-    return _result_from_tracer(scenario, tracer, receivers, network)
+    result = _result_from_tracer(scenario, tracer, receivers, network)
+    result.metrics = _finalize_obs(obs, sim, network)
+    return result

@@ -22,10 +22,11 @@ from repro.experiments.scenarios import ScenarioConfig
 from repro.net.estimation import TriangularEstimator, default_landmarks
 from repro.net.king import SyntheticKingModel
 from repro.net.latency import LatencyModel
+from repro.obs import DISABLED, MetricsRegistry, Observability
 from repro.sim.engine import Simulator
 from repro.sim.failures import FailureInjector
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import DeliveryTracer, TraceRecorder
+from repro.sim.trace import DeliveryTracer
 from repro.sim.transport import Network
 
 
@@ -38,6 +39,7 @@ class GoCastSystem:
         latency: Optional[LatencyModel] = None,
         config: Optional[GoCastConfig] = None,
         config_overrides: Optional[Dict[int, GoCastConfig]] = None,
+        obs: Optional[Observability] = None,
     ):
         """``config_overrides`` assigns specific nodes their own config —
         the paper's capacity-aware degrees ("Tuning node degree
@@ -51,6 +53,9 @@ class GoCastSystem:
         self.scenario = scenario
         self.rngs = RngRegistry(scenario.seed)
         self.sim = Simulator()
+        self.obs = obs if obs is not None else DISABLED
+        if self.obs.profiler is not None:
+            self.obs.profiler.install(self.sim)
         self.latency = (
             latency
             if latency is not None
@@ -63,9 +68,10 @@ class GoCastSystem:
             self.latency,
             loss_rate=scenario.loss_rate,
             rng=self.rngs.stream("net"),
+            obs=self.obs,
         )
         self.tracer = DeliveryTracer()
-        self.events = TraceRecorder()
+        self.events = MetricsRegistry()
         self.config = config if config is not None else scenario.effective_gocast_config()
         self.config_overrides = config_overrides or {}
         landmarks = default_landmarks(
@@ -83,6 +89,7 @@ class GoCastSystem:
                 estimator=self.estimator,
                 tracer=self.tracer,
                 events=self.events,
+                obs=self.obs,
             )
         self.injector = FailureInjector(self.sim, self.network, self.rngs.stream("fail"))
         self.injector.on_node_failed = self._on_node_failed

@@ -1,0 +1,69 @@
+"""Observability layer: metrics, structured tracing, and profiling.
+
+The package provides three composable tools plus a facade:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — labeled counters,
+  gauges, streaming histograms, and timestamped series (the single
+  counters/series API of the repository; ``repro.sim.trace.TraceRecorder``
+  is an alias of it).
+* :class:`~repro.obs.tracer.SimTracer` — categorized structured events
+  in a bounded ring buffer, exportable as JSONL.
+* :class:`~repro.obs.profiler.Profiler` — wall-clock attribution of
+  engine callback dispatch per protocol category.
+* :class:`Observability` — one object carrying all three, threaded
+  through :class:`~repro.experiments.system.GoCastSystem`,
+  :class:`~repro.sim.transport.Network` and
+  :class:`~repro.core.node.GoCastNode`.
+
+Instrumented code guards every hook with the single ``obs.enabled``
+flag, so a disabled layer costs one attribute check per instrumentation
+point and the simulation stays bit-identical to the uninstrumented
+path.  ``DISABLED`` is the shared always-off instance protocol objects
+default to; never enable it in place — create your own
+``Observability(enabled=True)``.
+
+See ``docs/OBSERVABILITY.md`` for usage.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, StreamingHistogram
+from repro.obs.profiler import CATEGORY_RULES, Profiler, ProfileReport, categorize
+from repro.obs.summary import format_metrics_summary, record_link_stress
+from repro.obs.tracer import SimTracer, TraceEvent
+
+
+class Observability:
+    """Facade bundling a metrics registry, a tracer and (optionally) a
+    profiler behind one enabled flag."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        trace_capacity: int = 65536,
+        profile: bool = False,
+        max_label_sets: int = 256,
+    ):
+        self.enabled = enabled
+        self.metrics = MetricsRegistry(enabled=enabled, max_label_sets=max_label_sets)
+        self.tracer = SimTracer(capacity=trace_capacity, enabled=enabled)
+        self.profiler = Profiler() if profile else None
+
+
+#: Shared always-disabled instance; the default for every protocol object.
+DISABLED = Observability(enabled=False)
+
+__all__ = [
+    "CATEGORY_RULES",
+    "DISABLED",
+    "MetricsRegistry",
+    "Observability",
+    "ProfileReport",
+    "Profiler",
+    "SimTracer",
+    "StreamingHistogram",
+    "TraceEvent",
+    "categorize",
+    "format_metrics_summary",
+    "record_link_stress",
+]

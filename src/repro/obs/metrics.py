@@ -1,0 +1,244 @@
+"""Labeled metrics: counters, gauges, and streaming histograms.
+
+:class:`MetricsRegistry` is the single counters/series API of the
+repository.  Protocol code updates it through cheap hooks that are
+no-ops when the registry is disabled, so the deterministic simulations
+are bit-identical (and within noise as fast) with observability off.
+
+Design notes:
+
+* **Labels** are keyword arguments (``registry.inc("net.sent",
+  type="Gossip")``).  Each (name, label-set) pair is an independent
+  time-less cell.  Per-name label cardinality is capped; once
+  ``max_label_sets`` distinct label sets exist for a name, further new
+  label sets collapse into a single ``overflow="true"`` cell so a
+  mis-labeled hot path cannot exhaust memory.
+* **Histograms** are streaming: fixed exponential bucket bounds, O(1)
+  per observation, percentiles reconstructed by linear interpolation
+  within the winning bucket (exact min/max are tracked separately and
+  clamp the estimate).
+* **Series** (``record``/``series_arrays``) retain the old
+  ``TraceRecorder`` API — timestamped (time, value) points used by the
+  adaptation experiments; ``TraceRecorder`` is now an alias of this
+  class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+#: Label-set key used when a metric name exceeds its cardinality budget.
+OVERFLOW_LABELS: Tuple[Tuple[str, str], ...] = (("overflow", "true"),)
+
+LabelsKey = Tuple[Tuple[str, Any], ...]
+
+
+class StreamingHistogram:
+    """Fixed-memory histogram with exponentially growing buckets.
+
+    Bucket ``i`` covers ``(first_bound * growth**(i-1), first_bound *
+    growth**i]``; bucket 0 covers ``(-inf, first_bound]``.  Everything
+    above the last bound lands in a final overflow bucket.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_bounds", "_buckets")
+
+    def __init__(
+        self,
+        first_bound: float = 1e-4,
+        growth: float = 2.0,
+        n_buckets: int = 48,
+    ):
+        if first_bound <= 0 or growth <= 1.0 or n_buckets < 2:
+            raise ValueError("need first_bound > 0, growth > 1, n_buckets >= 2")
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._bounds = [first_bound * growth**i for i in range(n_buckets)]
+        self._buckets = [0] * (n_buckets + 1)  # +1 overflow bucket
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        # Exponential bounds: binary search is the O(log n) constant-time
+        # path (n_buckets is fixed).
+        lo, hi = 0, len(self._bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self._bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self._buckets[lo] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (q in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return float("nan")
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        for i, n in enumerate(self._buckets):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lower = 0.0 if i == 0 else self._bounds[i - 1]
+                upper = self._bounds[i] if i < len(self._bounds) else self.max
+                frac = (rank - cumulative) / n
+                est = lower + frac * (upper - lower)
+                return float(min(max(est, self.min), self.max))
+            cumulative += n
+        return self.max
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else float("nan"),
+            "max": self.max if self.count else float("nan"),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+def format_labels(name: str, key: LabelsKey) -> str:
+    """``name{k=v,...}`` rendering of a (name, label-set) cell."""
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Counters, gauges, histograms, and timestamped series.
+
+    All mutators are no-ops while :attr:`enabled` is False — the single
+    flag that makes the instrumentation layer zero-overhead when off.
+    """
+
+    def __init__(self, enabled: bool = True, max_label_sets: int = 256):
+        self.enabled = enabled
+        self.max_label_sets = max_label_sets
+        self._counters: Dict[str, Dict[LabelsKey, float]] = {}
+        self._gauges: Dict[str, Dict[LabelsKey, float]] = {}
+        self._histograms: Dict[str, Dict[LabelsKey, StreamingHistogram]] = {}
+        self.series: Dict[str, List[Tuple[float, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Label handling
+    # ------------------------------------------------------------------
+    def _key(self, cells: Dict[LabelsKey, Any], labels: Dict[str, Any]) -> LabelsKey:
+        if not labels:
+            return ()
+        key = tuple(sorted(labels.items()))
+        if key in cells or len(cells) < self.max_label_sets:
+            return key
+        return OVERFLOW_LABELS
+
+    # ------------------------------------------------------------------
+    # Mutators (cheap no-ops when disabled)
+    # ------------------------------------------------------------------
+    # The metric name (and value) are positional-only so that labels may
+    # reuse those words: registry.inc("timer.fire", name="gossip").
+    def inc(self, name: str, /, amount: float = 1, **labels: Any) -> None:
+        if not self.enabled:
+            return
+        cells = self._counters.setdefault(name, {})
+        key = self._key(cells, labels)
+        cells[key] = cells.get(key, 0) + amount
+
+    def set_gauge(self, name: str, value: float, /, **labels: Any) -> None:
+        if not self.enabled:
+            return
+        cells = self._gauges.setdefault(name, {})
+        cells[self._key(cells, labels)] = value
+
+    def observe(self, name: str, value: float, /, **labels: Any) -> None:
+        if not self.enabled:
+            return
+        cells = self._histograms.setdefault(name, {})
+        key = self._key(cells, labels)
+        hist = cells.get(key)
+        if hist is None:
+            hist = cells[key] = StreamingHistogram()
+        hist.observe(value)
+
+    # ------------------------------------------------------------------
+    # TraceRecorder-compatible API (counters + timestamped series)
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: int = 1) -> None:
+        self.inc(name, amount)
+
+    def record(self, name: str, time: float, value: float) -> None:
+        if not self.enabled:
+            return
+        self.series.setdefault(name, []).append((time, value))
+
+    def series_arrays(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
+        points = self.series.get(name, [])
+        if not points:
+            return np.array([]), np.array([])
+        times, values = zip(*points)
+        return np.asarray(times), np.asarray(values)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> Dict[str, float]:
+        """Flattened ``{name or name{labels}: value}`` view of all counters."""
+        flat: Dict[str, float] = {}
+        for name, cells in self._counters.items():
+            for key, value in cells.items():
+                flat[format_labels(name, key)] = value
+        return flat
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        flat: Dict[str, float] = {}
+        for name, cells in self._gauges.items():
+            for key, value in cells.items():
+                flat[format_labels(name, key)] = value
+        return flat
+
+    def counter_value(self, name: str, /, **labels: Any) -> float:
+        cells = self._counters.get(name, {})
+        return cells.get(tuple(sorted(labels.items())) if labels else (), 0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter over all its label sets."""
+        return sum(self._counters.get(name, {}).values())
+
+    def histogram(self, name: str, /, **labels: Any) -> Optional[StreamingHistogram]:
+        cells = self._histograms.get(name, {})
+        return cells.get(tuple(sorted(labels.items())) if labels else ())
+
+    def label_sets(self, name: str) -> Iterable[LabelsKey]:
+        return self._counters.get(name, {}).keys()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data dump of every metric (attached to DelayResult)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                format_labels(name, key): hist.to_dict()
+                for name, cells in self._histograms.items()
+                for key, hist in cells.items()
+            },
+            "series": {name: len(points) for name, points in self.series.items()},
+        }

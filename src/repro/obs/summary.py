@@ -1,0 +1,102 @@
+"""Human-readable rendering of a metrics snapshot.
+
+Turns :meth:`MetricsRegistry.snapshot` output into the table the
+``repro obs summary`` CLI prints: per-category message counts (tree
+push vs. gossip pull), derived ratios (gossip effectiveness, pull
+share), and streaming-histogram summaries such as the per-link stress
+distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def record_link_stress(metrics: MetricsRegistry, link_counts: Mapping) -> None:
+    """Feed per-link message counts into the ``net.link.stress`` histogram."""
+    for count in link_counts.values():
+        metrics.observe("net.link.stress", count)
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4f}"
+    return f"{int(value)}"
+
+
+def derived_ratios(snapshot: Dict[str, Any]) -> Dict[str, float]:
+    """Protocol-level ratios computed from raw counters."""
+    counters = snapshot.get("counters", {})
+
+    def total(prefix: str) -> float:
+        return sum(v for k, v in counters.items() if k == prefix or k.startswith(prefix + "{"))
+
+    out: Dict[str, float] = {}
+    heard = total("gossip.summaries_heard")
+    new = total("gossip.summaries_new")
+    if heard > 0:
+        out["gossip.effectiveness"] = new / heard
+    tree = total("dissem.delivered{via=tree}") or counters.get("dissem.delivered{via=tree}", 0)
+    pull = counters.get("dissem.delivered{via=pull}", 0)
+    if tree + pull > 0:
+        out["dissem.pull_share"] = pull / (tree + pull)
+    sent = total("gossip.sent")
+    saved = total("gossip.saved")
+    if sent + saved > 0:
+        out["gossip.saved_share"] = saved / (sent + saved)
+    return out
+
+
+def format_metrics_summary(snapshot: Dict[str, Any]) -> str:
+    """Render one snapshot as the ``repro obs summary`` table."""
+    lines = ["== counters =="]
+    counters = snapshot.get("counters", {})
+    if counters:
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {_fmt_value(counters[name])}")
+    else:
+        lines.append("  (none)")
+
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("== gauges ==")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {_fmt_value(gauges[name])}")
+
+    ratios = derived_ratios(snapshot)
+    if ratios:
+        lines.append("")
+        lines.append("== derived ==")
+        width = max(len(name) for name in ratios)
+        for name in sorted(ratios):
+            lines.append(f"  {name:<{width}}  {ratios[name]:.4f}")
+
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("== histograms ==")
+        header = (
+            f"  {'name':<24} {'count':>8} {'mean':>10} {'p50':>10} "
+            f"{'p90':>10} {'p99':>10} {'max':>10}"
+        )
+        lines.append(header)
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name:<24} {int(h['count']):>8d} {h['mean']:>10.4f} "
+                f"{h['p50']:>10.4f} {h['p90']:>10.4f} {h['p99']:>10.4f} "
+                f"{h['max']:>10.4f}"
+            )
+
+    series = snapshot.get("series", {})
+    if series:
+        lines.append("")
+        lines.append("== series (points) ==")
+        for name in sorted(series):
+            lines.append(f"  {name}: {series[name]}")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Structured simulation event tracing.
+
+:class:`SimTracer` collects categorized, timestamped events
+(``tree.push``, ``gossip.summary``, ``gossip.pull``, ``overlay.adapt``,
+``node.crash``, ``timer.fire``, ...) into a bounded in-memory ring
+buffer.  Long runs simply retain the most recent ``capacity`` events —
+:attr:`SimTracer.dropped` says how many older ones were discarded.
+Traces export to / reload from JSONL for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, List, NamedTuple, Optional
+
+
+class TraceEvent(NamedTuple):
+    """One structured simulation event."""
+
+    time: float
+    category: str
+    fields: Dict[str, Any]
+
+
+class SimTracer:
+    """Bounded buffer of structured events; no-op while disabled."""
+
+    def __init__(self, capacity: int = 65536, enabled: bool = True):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.enabled = enabled
+        self.capacity = capacity
+        self.emitted = 0
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def emit(self, time: float, category: str, **fields: Any) -> None:
+        """Record one event; the caller supplies the simulated time."""
+        if not self.enabled:
+            return
+        self.emitted += 1
+        self._events.append(TraceEvent(time, category, fields))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded because the ring buffer wrapped."""
+        return self.emitted - len(self._events)
+
+    def events(self, category: Optional[str] = None) -> List[TraceEvent]:
+        if category is None:
+            return list(self._events)
+        return [e for e in self._events if e.category == category]
+
+    def counts_by_category(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    # JSONL export / import
+    # ------------------------------------------------------------------
+    def export_jsonl(self, path: str) -> int:
+        """Write the buffered events to ``path``; returns the count."""
+        with open(path, "w", encoding="utf-8") as fp:
+            return self.write_jsonl(fp)
+
+    def write_jsonl(self, fp) -> int:
+        n = 0
+        for event in self._events:
+            fp.write(
+                json.dumps(
+                    {"t": event.time, "cat": event.category, "fields": event.fields},
+                    default=str,
+                    sort_keys=True,
+                )
+            )
+            fp.write("\n")
+            n += 1
+        return n
+
+    @staticmethod
+    def load_jsonl(path: str) -> List[TraceEvent]:
+        """Parse a file written by :meth:`export_jsonl`."""
+        out: List[TraceEvent] = []
+        with open(path, "r", encoding="utf-8") as fp:
+            for line in fp:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                out.append(TraceEvent(data["t"], data["cat"], data.get("fields", {})))
+        return out

@@ -69,6 +69,19 @@ class Simulator:
         self._queue: List[EventHandle] = []
         self._executed = 0
         self._running = False
+        self._dispatch_hook: Optional[Callable[[Callable[..., Any], tuple], None]] = None
+
+    def set_dispatch_hook(
+        self, hook: Optional[Callable[[Callable[..., Any], tuple], None]]
+    ) -> None:
+        """Install ``hook(callback, args)`` in place of direct dispatch.
+
+        The hook must invoke ``callback(*args)`` itself (the profiler
+        wraps the call with timing).  Pass None to restore direct
+        dispatch.  ``run``/``run_until`` read the hook once on entry, so
+        installing mid-run takes effect at the next run call.
+        """
+        self._dispatch_hook = hook
 
     @property
     def now(self) -> float:
@@ -131,7 +144,10 @@ class Simulator:
             handle.callback, handle.args = None, ()
             self._executed += 1
             assert callback is not None
-            callback(*args)
+            if self._dispatch_hook is None:
+                callback(*args)
+            else:
+                self._dispatch_hook(callback, args)
             return True
         return False
 
@@ -141,6 +157,9 @@ class Simulator:
         self._running = True
         try:
             queue = self._queue
+            # Read once: zero overhead on the hot path when no hook is
+            # installed (the overwhelmingly common case).
+            hook = self._dispatch_hook
             while queue:
                 handle = queue[0]
                 if handle.cancelled:
@@ -154,6 +173,9 @@ class Simulator:
                 handle.callback, handle.args = None, ()
                 self._executed += 1
                 assert callback is not None
-                callback(*args)
+                if hook is None:
+                    callback(*args)
+                else:
+                    hook(callback, args)
         finally:
             self._running = False

@@ -19,9 +19,16 @@ from repro.sim.transport import Network
 class FailureInjector:
     """Schedules crash-stop node failures and link failures."""
 
-    def __init__(self, sim: Simulator, network: Network, rng: Optional[random.Random] = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        rng: Optional[random.Random] = None,
+        obs=None,
+    ):
         self.sim = sim
         self.network = network
+        self.obs = obs if obs is not None else network.obs
         self._rng = rng if rng is not None else random.Random(0)
         self.failed_nodes: List[int] = []
         #: Called with each node id at the moment it is killed, so the
@@ -56,9 +63,13 @@ class FailureInjector:
         self.sim.schedule_at(time, self.network.restore_link, a, b)
 
     def _fail_now(self, nodes: List[int]) -> None:
+        record = self.obs.enabled
         for node in nodes:
             self.network.kill(node)
             self.failed_nodes.append(node)
+            if record:
+                self.obs.metrics.inc("node.crash")
+                self.obs.tracer.emit(self.sim.now, "node.crash", node=node)
             if self.on_node_failed is not None:
                 self.on_node_failed(node)
 

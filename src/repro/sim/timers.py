@@ -23,12 +23,24 @@ class PeriodicTimer:
     same instant.
     """
 
-    def __init__(self, sim: Simulator, period: float, callback: Callable[[], Any]):
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], Any],
+        obs=None,
+        name: str = "timer",
+    ):
+        """``obs``/``name`` opt the timer into ``timer.fire`` tracing —
+        an :class:`~repro.obs.Observability` whose tracer records each
+        fire under the given timer name."""
         if period <= 0:
             raise ValueError(f"timer period must be positive, got {period}")
         self._sim = sim
         self._period = period
         self._callback = callback
+        self._obs = obs
+        self._name = name
         self._handle: Optional[EventHandle] = None
         self._running = False
 
@@ -69,4 +81,8 @@ class PeriodicTimer:
         if not self._running:
             return
         self._handle = self._sim.schedule(self._period, self._fire)
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            obs.metrics.inc("timer.fire", name=self._name)
+            obs.tracer.emit(self._sim.now, "timer.fire", name=self._name)
         self._callback()

@@ -16,26 +16,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
 
-class TraceRecorder:
-    """Generic named counters and time series."""
-
-    def __init__(self) -> None:
-        self.counters: Dict[str, int] = {}
-        self.series: Dict[str, List[Tuple[float, float]]] = {}
-
-    def count(self, name: str, amount: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
-
-    def record(self, name: str, time: float, value: float) -> None:
-        self.series.setdefault(name, []).append((time, value))
-
-    def series_arrays(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
-        points = self.series.get(name, [])
-        if not points:
-            return np.array([]), np.array([])
-        times, values = zip(*points)
-        return np.asarray(times), np.asarray(values)
+#: The old generic counters/series recorder is now the metrics registry
+#: itself — one counters/series API for the whole repository.  The alias
+#: keeps existing imports (and the ``count``/``record``/``series_arrays``
+#: call sites) working unchanged.
+TraceRecorder = MetricsRegistry
 
 
 class DeliveryTracer:
@@ -173,5 +160,9 @@ class DeliveryTracer:
             len(per_msg) - 1 for per_msg in self._delivered.values()
         )
         if total_first <= 0:
-            return 1.0
+            # No non-source deliveries: with zero redundant receptions
+            # the ideal 1.0 is the honest answer, but redundancy without
+            # any delivery has no meaningful per-delivery ratio — don't
+            # silently report the ideal.
+            return float("nan") if self.redundant_receptions > 0 else 1.0
         return 1.0 + self.redundant_receptions / total_first

@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Dict, Optional, Protocol, Set, Tuple
 
+from repro import obs as obs_pkg
 from repro.net.latency import LatencyModel
 from repro.sim.engine import Simulator
 
@@ -47,12 +48,18 @@ class Network:
         latency: LatencyModel,
         loss_rate: float = 0.0,
         rng: Optional[random.Random] = None,
+        obs: Optional["obs_pkg.Observability"] = None,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
         self.sim = sim
         self.latency = latency
         self.loss_rate = loss_rate
+        self.obs = obs if obs is not None else obs_pkg.DISABLED
+        #: Per (undirected) link message counts, populated only when
+        #: observability is enabled; the source of the link-stress
+        #: histogram in ``repro obs summary``.
+        self.link_counts: Dict[Tuple[int, int], int] = {}
         self._rng = rng if rng is not None else random.Random(0)
         self._endpoints: Dict[int, Endpoint] = {}
         self._dead: Set[int] = set()
@@ -126,10 +133,18 @@ class Network:
         type_name = type(msg).__name__
         self.sent_by_type[type_name] = self.sent_by_type.get(type_name, 0) + 1
         wire_size = getattr(msg, "wire_size", None)
-        if callable(wire_size):
+        size = wire_size() if callable(wire_size) else 0
+        if size:
             self.bytes_by_type[type_name] = (
-                self.bytes_by_type.get(type_name, 0) + wire_size()
+                self.bytes_by_type.get(type_name, 0) + size
             )
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.inc("net.sent", type=type_name)
+            if size:
+                metrics.inc("net.bytes", amount=size, type=type_name)
+            key = self._link_key(src, dst)
+            self.link_counts[key] = self.link_counts.get(key, 0) + 1
         if self.on_send is not None:
             self.on_send(src, dst, msg)
 
@@ -140,6 +155,8 @@ class Network:
             if broken:
                 # TCP-style: the sender learns after ~1 RTT.
                 self.messages_lost += 1
+                if self.obs.enabled:
+                    self.obs.metrics.inc("net.lost", reason="broken")
                 self.sim.schedule(2.0 * delay, self._notify_failure, src, dst, msg)
                 return
             self.sim.schedule(delay, self._deliver, src, dst, msg)
@@ -148,6 +165,10 @@ class Network:
         # UDP-style datagram.
         if broken or (self.loss_rate > 0.0 and self._rng.random() < self.loss_rate):
             self.messages_lost += 1
+            if self.obs.enabled:
+                self.obs.metrics.inc(
+                    "net.lost", reason="broken" if broken else "datagram"
+                )
             return
         self.sim.schedule(delay, self._deliver, src, dst, msg)
 
@@ -155,8 +176,12 @@ class Network:
         if not self.is_alive(dst):
             # Destination died while the message was in flight.
             self.messages_lost += 1
+            if self.obs.enabled:
+                self.obs.metrics.inc("net.lost", reason="dead-destination")
             return
         self.messages_delivered += 1
+        if self.obs.enabled:
+            self.obs.metrics.inc("net.delivered", type=type(msg).__name__)
         self._endpoints[dst].handle_message(src, msg)
 
     def _notify_failure(self, src: int, dst: int, msg: Any) -> None:

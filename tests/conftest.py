@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.core.config import GoCastConfig
-from repro.core.messages import NEARBY, RANDOM
+from repro.core.messages import NEARBY
 from repro.core.node import GoCastNode
 from repro.net.latency import ConstantLatencyModel
 from repro.sim.engine import Simulator

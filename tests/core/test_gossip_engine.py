@@ -1,7 +1,5 @@
 """Direct tests for the round-robin gossip engine."""
 
-import pytest
-
 from repro.core.config import GoCastConfig
 from repro.core.messages import Gossip
 from tests.conftest import TinyCluster

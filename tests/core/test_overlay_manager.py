@@ -5,7 +5,6 @@ maintenance (Section 2.2.2), and nearby maintenance conditions C1-C4
 import random
 
 import numpy as np
-import pytest
 
 from repro.core.config import GoCastConfig
 from repro.core.messages import NEARBY, RANDOM

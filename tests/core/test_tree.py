@@ -1,6 +1,5 @@
 """Protocol tests for the shared-tree manager (Section 2.3)."""
 
-import math
 import random
 
 import numpy as np
@@ -183,8 +182,6 @@ def test_attach_from_current_parent_breaks_two_cycle():
     sim.run_until(1.0)
     assert nodes[1].tree.parent == 0
     # Force the pathological state: the parent adopts its child.
-    from repro.core.messages import TreeAttach
-
     nodes[1].tree.parent = 0
     nodes[0].tree.on_attach(1)  # 0 accepts 1 as child (normal)
     nodes[1].tree.on_attach(0)  # 0 claims 1 as its parent

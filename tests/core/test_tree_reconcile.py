@@ -2,7 +2,6 @@
 
 import math
 
-from repro.core.messages import NEARBY
 from tests.conftest import TinyCluster
 
 

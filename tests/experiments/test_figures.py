@@ -6,8 +6,6 @@ here we verify each module's API contract (runs, formats, fields) fast.
 
 import math
 
-import pytest
-
 from repro.experiments import (
     ablations,
     adaptation,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import GoCastConfig
 from repro.experiments.scenarios import ScenarioConfig
 from repro.experiments.system import GoCastSystem
 

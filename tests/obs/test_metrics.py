@@ -1,0 +1,182 @@
+"""Unit tests for the metrics registry and streaming histograms."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    OVERFLOW_LABELS,
+    MetricsRegistry,
+    StreamingHistogram,
+    format_labels,
+)
+
+# ----------------------------------------------------------------------
+# StreamingHistogram
+# ----------------------------------------------------------------------
+
+
+def test_histogram_empty_stats_are_nan():
+    h = StreamingHistogram()
+    assert h.count == 0
+    assert math.isnan(h.mean)
+    assert math.isnan(h.percentile(50))
+
+
+def test_histogram_counts_and_mean():
+    h = StreamingHistogram()
+    for v in (0.1, 0.2, 0.3, 0.4):
+        h.observe(v)
+    assert h.count == 4
+    assert h.mean == pytest.approx(0.25)
+    assert h.min == pytest.approx(0.1)
+    assert h.max == pytest.approx(0.4)
+
+
+def test_histogram_percentiles_bounded_by_buckets():
+    """Percentile estimates land inside the bucket holding the rank.
+
+    With growth 2.0 from 1e-4, a value v falls into the bucket whose
+    upper bound is the first power-of-two multiple >= v, so the estimate
+    can be off by at most one bucket width.
+    """
+    h = StreamingHistogram()
+    values = [0.01 * i for i in range(1, 101)]  # 0.01 .. 1.0
+    for v in values:
+        h.observe(v)
+    # p50 of the uniform grid is ~0.5; its bucket is (0.4096, 0.8192].
+    assert 0.4 <= h.percentile(50) <= 0.82
+    assert h.percentile(0) == pytest.approx(h.min)
+    assert h.percentile(100) == pytest.approx(h.max)
+    # Monotone in q.
+    qs = [h.percentile(q) for q in (10, 30, 50, 70, 90, 99)]
+    assert qs == sorted(qs)
+
+
+def test_histogram_percentile_clamped_to_observed_range():
+    h = StreamingHistogram()
+    h.observe(0.5)
+    # A single observation: every percentile is that observation.
+    for q in (0, 50, 99, 100):
+        assert h.percentile(q) == pytest.approx(0.5)
+
+
+def test_histogram_single_bucket_interpolation():
+    """Within one bucket, ranks interpolate linearly between bounds."""
+    h = StreamingHistogram(first_bound=1.0, growth=2.0, n_buckets=4)
+    # Bucket (1, 2] gets 4 observations spanning the bucket.
+    for v in (1.2, 1.4, 1.6, 2.0):
+        h.observe(v)
+    p25 = h.percentile(25)
+    p75 = h.percentile(75)
+    assert h.min <= p25 <= p75 <= h.max
+    assert p25 == pytest.approx(1.25, abs=0.06)
+    assert p75 == pytest.approx(1.75, abs=0.06)
+
+
+def test_histogram_overflow_bucket():
+    h = StreamingHistogram(first_bound=1.0, growth=2.0, n_buckets=2)
+    h.observe(100.0)  # way past the last bound (2.0)
+    assert h.count == 1
+    assert h.percentile(99) == pytest.approx(100.0)
+
+
+def test_histogram_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        StreamingHistogram(first_bound=0.0)
+    with pytest.raises(ValueError):
+        StreamingHistogram(growth=1.0)
+    with pytest.raises(ValueError):
+        StreamingHistogram(n_buckets=1)
+    with pytest.raises(ValueError):
+        StreamingHistogram().percentile(101)
+
+
+def test_histogram_to_dict_keys():
+    h = StreamingHistogram()
+    h.observe(0.2)
+    d = h.to_dict()
+    assert set(d) == {"count", "sum", "mean", "min", "max", "p50", "p90", "p99"}
+    assert d["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry counters / gauges / labels
+# ----------------------------------------------------------------------
+
+
+def test_counters_with_labels_are_independent_cells():
+    m = MetricsRegistry()
+    m.inc("net.sent", type="Gossip")
+    m.inc("net.sent", type="Gossip")
+    m.inc("net.sent", type="Ping")
+    m.inc("net.sent")
+    assert m.counter_value("net.sent", type="Gossip") == 2
+    assert m.counter_value("net.sent", type="Ping") == 1
+    assert m.counter_value("net.sent") == 1
+    assert m.counter_total("net.sent") == 4
+
+
+def test_counter_labels_may_shadow_parameter_names():
+    # The positional-only signature lets labels be called "name"/"amount".
+    m = MetricsRegistry()
+    m.inc("timer.fire", name="gossip")
+    m.inc("timer.fire", 2, name="gossip")
+    assert m.counter_value("timer.fire", name="gossip") == 3
+
+
+def test_label_cardinality_cap_collapses_to_overflow():
+    m = MetricsRegistry(max_label_sets=2)
+    m.inc("x", peer=1)
+    m.inc("x", peer=2)
+    m.inc("x", peer=3)  # third distinct label set: over budget
+    m.inc("x", peer=4)
+    m.inc("x", peer=1)  # existing set still tracked exactly
+    assert m.counter_value("x", peer=1) == 2
+    assert m.counter_value("x", peer=2) == 1
+    assert dict(m._counters["x"])[OVERFLOW_LABELS] == 2
+    assert len(list(m.label_sets("x"))) == 3  # 2 exact + 1 overflow
+
+
+def test_flattened_counters_view():
+    m = MetricsRegistry()
+    m.inc("a")
+    m.inc("b", 2, kind="x")
+    assert m.counters == {"a": 1, "b{kind=x}": 2}
+
+
+def test_format_labels():
+    assert format_labels("n", ()) == "n"
+    assert format_labels("n", (("a", 1), ("b", "z"))) == "n{a=1,b=z}"
+
+
+def test_gauges_overwrite():
+    m = MetricsRegistry()
+    m.set_gauge("depth", 3.0)
+    m.set_gauge("depth", 5.0)
+    assert m.gauges == {"depth": 5.0}
+
+
+def test_disabled_registry_is_noop():
+    m = MetricsRegistry(enabled=False)
+    m.inc("a")
+    m.set_gauge("g", 1.0)
+    m.observe("h", 0.5)
+    m.record("s", 1.0, 2.0)
+    assert m.counters == {}
+    assert m.gauges == {}
+    assert m.histogram("h") is None
+    assert m.series == {}
+
+
+def test_snapshot_shape():
+    m = MetricsRegistry()
+    m.inc("c", type="t")
+    m.set_gauge("g", 1.5)
+    m.observe("h", 0.25)
+    m.record("s", 0.0, 1.0)
+    snap = m.snapshot()
+    assert snap["counters"] == {"c{type=t}": 1}
+    assert snap["gauges"] == {"g": 1.5}
+    assert snap["histograms"]["h"]["count"] == 1
+    assert snap["series"] == {"s": 1}

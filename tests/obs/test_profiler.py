@@ -1,0 +1,77 @@
+"""Profiler tests: category attribution on a toy simulation."""
+
+from repro.obs.profiler import Profiler, categorize
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+
+
+def _unmatched_callback():
+    pass
+
+
+def test_categorize_known_and_fallback():
+    assert categorize("PeriodicTimer._fire") == "timer.fire"
+    assert categorize("Network._deliver") == "transport.deliver"
+    assert categorize("Disseminator._send_pull") == "gossip.pull"
+    assert categorize("mystery_callback") == "other:mystery_callback"
+
+
+def test_profiler_attributes_toy_simulation():
+    sim = Simulator()
+    profiler = Profiler()
+    profiler.install(sim)
+
+    fires = []
+    timer = PeriodicTimer(sim, 0.5, lambda: fires.append(sim.now))
+    timer.start()
+
+    sim.schedule(0.25, _unmatched_callback)
+    sim.run_until(5.0)
+    timer.stop()
+    profiler.uninstall(sim)
+
+    report = profiler.report(top_k=5)
+    assert report.total_events == sim.events_executed == 11  # 10 fires + 1
+    by_category = {row.category: row for row in report.categories}
+    assert by_category["timer.fire"].events == 10
+    assert by_category["other:_unmatched_callback"].events == 1
+    assert report.total_seconds <= report.wall_seconds
+    assert any("PeriodicTimer._fire" in row.category for row in report.hot_callbacks)
+
+
+def test_attributed_fraction_counts_named_categories_only():
+    sim = Simulator()
+    profiler = Profiler()
+    profiler.install(sim)
+    timer = PeriodicTimer(sim, 0.1, lambda: None)
+    timer.start()
+    sim.run_until(10.0)
+    timer.stop()
+    profiler.uninstall(sim)
+    # Only timer fires ran: everything attributes to timer.fire.
+    assert profiler.report().attributed_fraction == 1.0
+
+
+def test_uninstall_restores_direct_dispatch():
+    sim = Simulator()
+    profiler = Profiler()
+    profiler.install(sim)
+    sim.schedule(0.1, lambda: None)
+    sim.run_until(1.0)
+    profiler.uninstall(sim)
+    before = profiler.report().total_events
+    sim.schedule(0.1, lambda: None)
+    sim.run_until(2.0)
+    assert profiler.report().total_events == before  # no longer timing
+
+
+def test_format_table_renders():
+    sim = Simulator()
+    profiler = Profiler()
+    profiler.install(sim)
+    sim.schedule(0.1, lambda: None)
+    sim.run_until(1.0)
+    profiler.uninstall(sim)
+    table = profiler.report().format_table()
+    assert "events/sec" in table
+    assert "hot callbacks" in table

@@ -1,0 +1,58 @@
+"""Tests for metrics-summary rendering and derived ratios."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.summary import (
+    derived_ratios,
+    format_metrics_summary,
+    record_link_stress,
+)
+
+
+def _snapshot():
+    m = MetricsRegistry()
+    m.inc("gossip.summaries_heard", 10)
+    m.inc("gossip.summaries_new", 4)
+    m.inc("dissem.delivered", 30, via="tree")
+    m.inc("dissem.delivered", 10, via="pull")
+    m.inc("gossip.sent", 25)
+    m.inc("gossip.saved", 75)
+    m.set_gauge("sim.events_executed", 123)
+    m.record("link_changes", 1.0, 2.0)
+    record_link_stress(m, {(0, 1): 5, (1, 2): 9})
+    return m.snapshot()
+
+
+def test_derived_ratios():
+    ratios = derived_ratios(_snapshot())
+    assert ratios["gossip.effectiveness"] == pytest.approx(0.4)
+    assert ratios["dissem.pull_share"] == pytest.approx(0.25)
+    assert ratios["gossip.saved_share"] == pytest.approx(0.75)
+
+
+def test_derived_ratios_empty_snapshot():
+    assert derived_ratios({"counters": {}}) == {}
+
+
+def test_record_link_stress_builds_histogram():
+    m = MetricsRegistry()
+    record_link_stress(m, {(0, 1): 3, (2, 3): 7, (4, 5): 7})
+    h = m.histogram("net.link.stress")
+    assert h.count == 3
+    assert h.min == 3 and h.max == 7
+
+
+def test_format_metrics_summary_sections():
+    text = format_metrics_summary(_snapshot())
+    assert "== counters ==" in text
+    assert "== gauges ==" in text
+    assert "== derived ==" in text
+    assert "== histograms ==" in text
+    assert "== series (points) ==" in text
+    assert "net.link.stress" in text
+    assert "dissem.delivered{via=pull}" in text
+
+
+def test_format_metrics_summary_empty():
+    assert "(none)" in format_metrics_summary({"counters": {}})

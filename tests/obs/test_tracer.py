@@ -1,0 +1,77 @@
+"""Unit tests for the structured simulation tracer."""
+
+import pytest
+
+from repro.obs.tracer import SimTracer, TraceEvent
+
+
+def test_emit_and_query_by_category():
+    t = SimTracer()
+    t.emit(1.0, "tree.push", node=1, fanout=2)
+    t.emit(2.0, "gossip.pull", node=3)
+    t.emit(3.0, "tree.push", node=4, fanout=1)
+    assert len(t) == 3
+    pushes = t.events("tree.push")
+    assert [e.time for e in pushes] == [1.0, 3.0]
+    assert pushes[0].fields == {"node": 1, "fanout": 2}
+    assert t.counts_by_category() == {"tree.push": 2, "gossip.pull": 1}
+
+
+def test_ring_buffer_drops_oldest():
+    t = SimTracer(capacity=3)
+    for i in range(5):
+        t.emit(float(i), "c", i=i)
+    assert len(t) == 3
+    assert t.dropped == 2
+    assert [e.fields["i"] for e in t.events()] == [2, 3, 4]
+
+
+def test_disabled_tracer_is_noop():
+    t = SimTracer(enabled=False)
+    t.emit(0.0, "c")
+    assert len(t) == 0
+    assert t.emitted == 0
+    assert t.dropped == 0
+
+
+def test_clear_resets_drop_accounting():
+    t = SimTracer(capacity=2)
+    for i in range(4):
+        t.emit(float(i), "c")
+    t.clear()
+    assert len(t) == 0 and t.dropped == 0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        SimTracer(capacity=0)
+
+
+def test_jsonl_round_trip(tmp_path):
+    t = SimTracer()
+    t.emit(0.5, "tree.push", node=1, msg="3:0", fanout=2)
+    t.emit(1.25, "node.crash", node=9)
+    path = str(tmp_path / "trace.jsonl")
+    assert t.export_jsonl(path) == 2
+
+    loaded = t.load_jsonl(path)
+    assert loaded == [
+        TraceEvent(0.5, "tree.push", {"fanout": 2, "msg": "3:0", "node": 1}),
+        TraceEvent(1.25, "node.crash", {"node": 9}),
+    ]
+
+
+def test_jsonl_non_json_fields_stringified(tmp_path):
+    t = SimTracer()
+    t.emit(0.0, "c", obj=object())
+    path = str(tmp_path / "t.jsonl")
+    t.export_jsonl(path)
+    (event,) = t.load_jsonl(path)
+    assert isinstance(event.fields["obj"], str)
+
+
+def test_jsonl_skips_blank_lines(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"t": 1.0, "cat": "c"}\n\n')
+    (event,) = SimTracer.load_jsonl(str(path))
+    assert event == TraceEvent(1.0, "c", {})

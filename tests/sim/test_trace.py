@@ -103,6 +103,15 @@ def test_empty_tracer_metrics_are_nan():
     assert t.receptions_per_delivery() == 1.0
 
 
+def test_receptions_per_delivery_nan_when_redundancy_without_deliveries():
+    """Regression: redundant receptions with zero non-source deliveries
+    used to report the ideal 1.0; the ratio is undefined, so NaN."""
+    t = DeliveryTracer()
+    t.injected("m1", 0.0, source=0)
+    t.redundant("m1", 0)
+    assert np.isnan(t.receptions_per_delivery())
+
+
 def test_multiple_messages_pool_delays():
     t = DeliveryTracer()
     t.injected("a", 0.0, 0)

@@ -1,10 +1,8 @@
 """Tests for the command-line interface."""
 
-import io
-
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, cmd_list, cmd_run, main
+from repro.cli import EXPERIMENTS, build_parser, main
 
 
 def test_list_covers_every_experiment(capsys):
@@ -44,6 +42,45 @@ def test_scale_flag_sets_env(monkeypatch, capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+OBS_ARGS = ["--nodes", "24", "--adapt", "4", "--messages", "4", "--seed", "3"]
+
+
+def test_obs_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["obs"])
+
+
+def test_obs_summary(capsys):
+    assert main(["obs", "summary", *OBS_ARGS]) == 0
+    out = capsys.readouterr().out
+    assert "== counters ==" in out
+    assert "net.sent{type=Gossip}" in out
+    assert "net.link.stress" in out
+
+
+def test_obs_trace_prints_events(capsys):
+    assert main(["obs", "trace", *OBS_ARGS, "--category", "tree.push",
+                 "--limit", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "tree.push" in out
+    assert "events in category tree.push" in out
+
+
+def test_obs_trace_exports_jsonl(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    assert main(["obs", "trace", *OBS_ARGS, "--out", str(path)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    first = path.read_text().splitlines()[0]
+    assert '"cat"' in first
+
+
+def test_obs_profile(capsys):
+    assert main(["obs", "profile", *OBS_ARGS, "--top-k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "events/sec" in out
+    assert "timer.fire" in out
 
 
 def test_seed_passed_through(monkeypatch, capsys):
