@@ -1,0 +1,76 @@
+"""Batch-runner parallel speedup: 16 fig-3-style trials, 4 workers.
+
+The batch runner exists to make paper-scale multi-trial statistics
+cheap: N independent trials should cost ~N/workers sequential trials
+plus pool overhead.  This benchmark runs a 16-trial GoCast batch (the
+Figure 3 scenario shape) both sequentially and on 4 workers, prints the
+wall-clock ratio, asserts bit-identical outputs, and loosely asserts a
+>= 2.5x speedup — only on machines with at least 4 usable cores, since
+the ratio is meaningless on a starved box.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_batch_speedup.py -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments.batch import run_batch
+from repro.experiments.scenarios import ScenarioConfig
+
+N_TRIALS = 16
+WORKERS = 4
+#: Loose floor for a 4-worker pool (perfect scaling would be ~4x).
+MIN_SPEEDUP = 2.5
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_batch_speedup_16_trials_4_workers():
+    scenario = ScenarioConfig(
+        protocol="gocast", n_nodes=64, adapt_time=30.0, n_messages=20,
+        drain_time=20.0, seed=3,
+    )
+
+    t0 = time.perf_counter()
+    serial = run_batch(scenario, n_trials=N_TRIALS, workers=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pooled = run_batch(scenario, n_trials=N_TRIALS, workers=WORKERS)
+    pooled_s = time.perf_counter() - t0
+
+    speedup = serial_s / pooled_s
+    cores = _usable_cores()
+    print(
+        f"\n{N_TRIALS} trials: sequential {serial_s:.1f}s, "
+        f"{WORKERS} workers {pooled_s:.1f}s -> {speedup:.2f}x "
+        f"({cores} usable cores)"
+    )
+    print(pooled.format_table())
+
+    # Correctness before speed: parallelism must not change the result.
+    assert np.array_equal(serial.delays, pooled.delays)
+    assert serial.mean_delay == pooled.mean_delay
+    assert serial.reliability == pooled.reliability
+
+    if cores < WORKERS:
+        pytest.skip(
+            f"only {cores} usable core(s); the {MIN_SPEEDUP}x assertion "
+            f"needs >= {WORKERS}"
+        )
+    assert speedup >= MIN_SPEEDUP, (
+        f"parallel batch only {speedup:.2f}x faster than sequential "
+        f"(expected >= {MIN_SPEEDUP}x on {cores} cores)"
+    )

@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig3a
     python -m repro run fig6 --scale smoke --seed 3
     python -m repro run all --scale default
+    python -m repro batch --trials 16 --workers 4 --fail 0.2 --json
     python -m repro obs summary --fail 0.1
     python -m repro obs trace --category gossip.pull --out pulls.jsonl
     python -m repro obs profile --nodes 128
@@ -116,6 +117,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=1, help="simulation seed")
 
+    batch = sub.add_parser(
+        "batch",
+        help="run a multi-trial parallel batch of one scenario",
+        description="Fan N independent trials of one scenario across worker "
+        "processes, with per-trial seeds derived from the root seed; prints "
+        "pooled statistics with across-trial stddev/CI (see docs/EXPERIMENTS.md).",
+    )
+    batch.add_argument(
+        "--trials", type=int, default=8, help="number of independent trials (default 8)"
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; 1 runs in-process (default 1)",
+    )
+    batch.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect observability metrics in every trial and merge them",
+    )
+    batch.add_argument(
+        "--json",
+        action="store_true",
+        help="print the batch as JSON instead of a table",
+    )
+    batch.add_argument("--out", help="also write the JSON batch report to this file")
+
     obs = sub.add_parser(
         "obs", help="run one instrumented experiment; report its observability"
     )
@@ -137,7 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--top-k", type=int, default=10, help="hot callbacks to list (default 10)"
     )
-    for cmd in (summary, trace, profile):
+    for cmd in (summary, trace, profile, batch):
         cmd.add_argument(
             "--protocol",
             choices=PROTOCOLS,
@@ -203,6 +232,39 @@ def _obs_scenario(args):
     return paper_scenario(args.protocol, scale=args.scale, **overrides)
 
 
+def cmd_batch(args, out=None) -> int:
+    import json
+
+    out = out if out is not None else sys.stdout
+    from repro.experiments.batch import run_batch
+
+    try:
+        scenario = _obs_scenario(args)
+        result = run_batch(
+            scenario,
+            n_trials=args.trials,
+            workers=args.workers,
+            root_seed=args.seed,
+            collect_metrics=args.metrics,
+        )
+    except ValueError as exc:
+        print(f"invalid batch: {exc}", file=sys.stderr)
+        return 2
+    payload = None
+    if args.json or args.out:
+        payload = json.dumps(result.to_json_dict(), indent=2, allow_nan=False)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+    if args.json:
+        print(payload, file=out)
+    else:
+        print(result.format_table(), file=out)
+        if args.out:
+            print(f"wrote JSON report to {args.out}", file=out)
+    return 0
+
+
 def cmd_obs(args, out=None) -> int:
     out = out if out is not None else sys.stdout
     from repro.experiments.runner import run_delay_experiment
@@ -254,6 +316,8 @@ def main(argv=None) -> int:
         return cmd_list()
     if args.command == "obs":
         return cmd_obs(args)
+    if args.command == "batch":
+        return cmd_batch(args)
     return cmd_run(args.experiment, args.scale, args.seed)
 
 

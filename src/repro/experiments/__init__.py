@@ -5,6 +5,10 @@ Entry points:
 
 * :func:`repro.experiments.runner.run_delay_experiment` — one
   delay-CDF run of any of the five protocols (Figures 3 and 4).
+* :func:`repro.experiments.batch.run_batch` — N independent trials of
+  one scenario fanned across worker processes, aggregated into a
+  :class:`~repro.experiments.batch.BatchResult` with merged CDF and
+  across-trial statistics (see docs/EXPERIMENTS.md).
 * :class:`repro.experiments.system.GoCastSystem` — a fully wired GoCast
   deployment for adaptation/structure experiments (Figures 5, 6, the
   in-text numbers, and the ablations).
@@ -16,11 +20,14 @@ Entry points:
 from repro.experiments.scenarios import ScenarioConfig, scale_preset
 from repro.experiments.system import GoCastSystem
 from repro.experiments.runner import DelayResult, run_delay_experiment
+from repro.experiments.batch import BatchResult, run_batch
 
 __all__ = [
+    "BatchResult",
     "DelayResult",
     "GoCastSystem",
     "ScenarioConfig",
+    "run_batch",
     "run_delay_experiment",
     "scale_preset",
 ]

@@ -1,0 +1,422 @@
+"""Parallel multi-trial experiment batches.
+
+The paper's delay figures (3-6) are averages over many independent
+simulator runs, while :func:`~repro.experiments.runner.run_delay_experiment`
+executes exactly one trial in one process.  This module closes the gap:
+:func:`run_batch` fans ``n_trials`` independent trials of one
+:class:`~repro.experiments.scenarios.ScenarioConfig` across a
+``ProcessPoolExecutor`` and aggregates the per-trial results into a
+:class:`BatchResult` with a merged delay CDF, pooled summary statistics,
+across-trial dispersion (stddev / 95% CI), and merged observability
+metrics.
+
+Determinism contract
+--------------------
+Trial ``i`` always runs with master seed
+``RngRegistry.trial_seed(root_seed, i)`` and trials are aggregated in
+trial-index order, so a batch's output is **bit-identical for any worker
+count** — ``workers=1`` (in-process, the debugging path) and
+``workers=8`` produce the same ``BatchResult``.  Worker payloads and
+results are plain picklable data (dataclasses of scalars, dicts and
+numpy arrays), making the pool safe under both the ``fork`` and
+``spawn`` start methods.
+
+``parallel_map`` is the reusable primitive underneath: an
+order-preserving map over picklable payloads that stays in-process for
+``workers <= 1``.  The figure drivers (fig3-fig6) build on these two
+entry points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    DelayResult,
+    coverage_delay,
+    run_delay_experiment,
+)
+from repro.experiments.scenarios import ScenarioConfig
+from repro.obs import Observability
+from repro.obs.metrics import merge_snapshots
+from repro.sim.rng import RngRegistry
+
+#: Trial statistics that get an across-trial :class:`StatSummary`.
+BATCH_STATS = ("mean_delay", "median_delay", "p90_delay", "p99_delay", "reliability")
+
+#: Normal-approximation 95% confidence multiplier (scipy-free; documented
+#: in docs/EXPERIMENTS.md — with few trials the true t-quantile is wider).
+Z95 = 1.959963984540054
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    workers: int,
+    mp_context=None,
+) -> List[Any]:
+    """Order-preserving map of ``fn`` over ``payloads``.
+
+    ``workers <= 1`` (or a single payload) runs in-process — no pool, no
+    pickling, easy debugging.  Otherwise a ``ProcessPoolExecutor`` with
+    at most ``workers`` processes maps the payloads; ``fn`` must be a
+    module-level function and every payload/result picklable so the map
+    also works under the ``spawn`` start method (pass ``mp_context`` to
+    force one).  Results always come back in payload order.
+    """
+    payloads = list(payloads)
+    if workers <= 1 or len(payloads) <= 1:
+        return [fn(payload) for payload in payloads]
+    n_workers = min(workers, len(payloads))
+    with ProcessPoolExecutor(max_workers=n_workers, mp_context=mp_context) as pool:
+        return list(pool.map(fn, payloads))
+
+
+@dataclasses.dataclass
+class TrialResult:
+    """Spawn-safe summary of one trial — plain arrays, dicts and scalars."""
+
+    trial_index: int
+    seed: int
+    delays: np.ndarray  # sorted pooled first-delivery delays
+    reliability: float
+    mean_delay: float
+    median_delay: float
+    p90_delay: float
+    p99_delay: float
+    max_delay: float
+    receptions_per_delivery: float
+    live_receivers: int
+    messages_sent: int
+    expected_pairs: int
+    sent_by_type: Dict[str, int]
+    metrics: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def from_delay_result(
+        cls, trial_index: int, seed: int, result: DelayResult
+    ) -> "TrialResult":
+        return cls(
+            trial_index=trial_index,
+            seed=seed,
+            delays=np.sort(result.delays),
+            reliability=result.reliability,
+            mean_delay=result.mean_delay,
+            median_delay=result.median_delay,
+            p90_delay=result.p90_delay,
+            p99_delay=result.p99_delay,
+            max_delay=result.max_delay,
+            receptions_per_delivery=result.receptions_per_delivery,
+            live_receivers=result.live_receivers,
+            messages_sent=result.messages_sent,
+            expected_pairs=result.expected_pairs,
+            sent_by_type=dict(result.sent_by_type),
+            metrics=result.metrics,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready per-trial summary (raw delays reduced to a count)."""
+        return {
+            "trial_index": self.trial_index,
+            "seed": self.seed,
+            "n_delays": int(self.delays.size),
+            "reliability": self.reliability,
+            "mean_delay": self.mean_delay,
+            "median_delay": self.median_delay,
+            "p90_delay": self.p90_delay,
+            "p99_delay": self.p99_delay,
+            "max_delay": self.max_delay,
+            "receptions_per_delivery": self.receptions_per_delivery,
+            "live_receivers": self.live_receivers,
+            "messages_sent": self.messages_sent,
+            "expected_pairs": self.expected_pairs,
+            "sent_by_type": dict(self.sent_by_type),
+        }
+
+
+@dataclasses.dataclass
+class StatSummary:
+    """Across-trial dispersion of one scalar statistic."""
+
+    per_trial: List[float]
+    mean: float
+    std: float  # sample stddev (ddof=1); 0.0 with a single trial
+    ci95: float  # normal-approx 95% CI half-width of the mean
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "StatSummary":
+        arr = np.asarray(list(values), dtype=float)
+        n = arr.size
+        mean = float(arr.mean()) if n else float("nan")
+        std = float(arr.std(ddof=1)) if n > 1 else 0.0
+        ci95 = Z95 * std / math.sqrt(n) if n > 1 else 0.0
+        return cls(per_trial=[float(v) for v in arr], mean=mean, std=std, ci95=ci95)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "ci95": self.ci95,
+            "per_trial": self.per_trial,
+        }
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """Aggregate of N independent trials of one scenario.
+
+    The pooled fields (``cdf_x``/``cdf_y``, ``mean_delay`` ...,
+    ``reliability``, ``sent_by_type``) mirror
+    :class:`~repro.experiments.runner.DelayResult`, so a ``BatchResult``
+    drops into any code that formats or compares delay results; the
+    extra ``stats`` dict adds across-trial mean/stddev/95%-CI for each
+    entry of :data:`BATCH_STATS`.
+    """
+
+    scenario: ScenarioConfig
+    root_seed: int
+    n_trials: int
+    workers: int
+    trials: List[TrialResult]
+    #: Pooled sorted first-delivery delays over all trials.
+    delays: np.ndarray
+    #: Merged CDF: pooled delays against the summed pair denominator.
+    cdf_x: np.ndarray
+    cdf_y: np.ndarray
+    expected_pairs: int
+    reliability: float
+    mean_delay: float
+    median_delay: float
+    p90_delay: float
+    p99_delay: float
+    max_delay: float
+    receptions_per_delivery: float
+    live_receivers: int
+    messages_sent: int
+    sent_by_type: Dict[str, int]
+    stats: Dict[str, StatSummary]
+    #: :func:`~repro.obs.metrics.merge_snapshots` of the trials' metric
+    #: snapshots (None when the batch ran without observability).
+    metrics: Optional[Dict[str, Any]] = None
+
+    def delay_at_coverage(self, coverage: float) -> float:
+        """Delay by which the given fraction of all (msg, node) pairs was served."""
+        return coverage_delay(self.cdf_x, self.cdf_y, coverage)
+
+    def summary_row(self) -> str:
+        mean = self.stats["mean_delay"]
+        return (
+            f"{self.scenario.protocol:>15s}  n={self.scenario.n_nodes:<5d} "
+            f"trials={self.n_trials:<3d} "
+            f"mean={self.mean_delay:6.3f}s±{mean.ci95:.3f}  "
+            f"p50={self.median_delay:6.3f}s  p90={self.p90_delay:6.3f}s  "
+            f"p99={self.p99_delay:6.3f}s  reliability={self.reliability:8.6f}"
+        )
+
+    def format_table(self) -> str:
+        headers = ["stat", "pooled", "trial mean", "stddev", "95% CI"]
+        rows = []
+        for name in BATCH_STATS:
+            summary = self.stats[name]
+            rows.append(
+                [name, getattr(self, name), summary.mean, summary.std, summary.ci95]
+            )
+        title = (
+            f"Batch — {self.scenario.protocol}, n={self.scenario.n_nodes}, "
+            f"fail={self.scenario.fail_fraction:.0%}, {self.n_trials} trials "
+            f"(root seed {self.root_seed}, {self.workers} worker"
+            f"{'s' if self.workers != 1 else ''})"
+        )
+        footer = (
+            f"pooled pairs: {int(self.delays.size)}/{self.expected_pairs} delivered; "
+            f"messages sent: {self.messages_sent}"
+        )
+        return f"{title}\n{format_table(headers, rows)}\n{footer}"
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Strict-JSON payload (NaN mapped to null) for figure scripts."""
+        payload = {
+            "scenario": {
+                "protocol": self.scenario.protocol,
+                "n_nodes": self.scenario.n_nodes,
+                "adapt_time": self.scenario.adapt_time,
+                "n_messages": self.scenario.n_messages,
+                "message_rate": self.scenario.message_rate,
+                "fail_fraction": self.scenario.fail_fraction,
+                "loss_rate": self.scenario.loss_rate,
+                "drain_time": self.scenario.drain_time,
+                "fanout": self.scenario.fanout,
+            },
+            "root_seed": self.root_seed,
+            "n_trials": self.n_trials,
+            "workers": self.workers,
+            "expected_pairs": self.expected_pairs,
+            "reliability": self.reliability,
+            "mean_delay": self.mean_delay,
+            "median_delay": self.median_delay,
+            "p90_delay": self.p90_delay,
+            "p99_delay": self.p99_delay,
+            "max_delay": self.max_delay,
+            "receptions_per_delivery": self.receptions_per_delivery,
+            "live_receivers": self.live_receivers,
+            "messages_sent": self.messages_sent,
+            "sent_by_type": dict(self.sent_by_type),
+            "stats": {name: s.to_dict() for name, s in self.stats.items()},
+            "cdf": {
+                "delay": [float(x) for x in self.cdf_x],
+                "fraction": [float(y) for y in self.cdf_y],
+            },
+            "trials": [t.to_dict() for t in self.trials],
+            "metrics": self.metrics,
+        }
+        return _json_safe(payload)
+
+
+def _json_safe(obj: Any) -> Any:
+    """Recursively replace NaN/inf floats with None (strict JSON)."""
+    if isinstance(obj, dict):
+        return {k: _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(v) for v in obj]
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    return obj
+
+
+#: Worker payload: (scenario-with-trial-seed, trial index, collect obs?).
+TrialPayload = Tuple[ScenarioConfig, int, bool]
+
+
+def _run_trial(payload: TrialPayload) -> TrialResult:
+    """Top-level (hence picklable) worker: one trial, plain-data result."""
+    scenario, trial_index, collect_metrics = payload
+    obs = Observability(enabled=True) if collect_metrics else None
+    result = run_delay_experiment(scenario, obs=obs)
+    return TrialResult.from_delay_result(trial_index, scenario.seed, result)
+
+
+def trial_payloads(
+    scenario: ScenarioConfig,
+    n_trials: int,
+    root_seed: Optional[int] = None,
+    collect_metrics: bool = False,
+) -> List[TrialPayload]:
+    """The deterministic per-trial payloads of a batch.
+
+    Trial ``i`` gets master seed ``RngRegistry.trial_seed(root, i)``
+    where ``root`` defaults to ``scenario.seed`` — independent of worker
+    count and execution order.
+    """
+    root = scenario.seed if root_seed is None else int(root_seed)
+    return [
+        (
+            dataclasses.replace(scenario, seed=RngRegistry.trial_seed(root, i)),
+            i,
+            collect_metrics,
+        )
+        for i in range(n_trials)
+    ]
+
+
+def aggregate_trials(
+    scenario: ScenarioConfig,
+    trials: Sequence[TrialResult],
+    root_seed: int,
+    workers: int = 1,
+) -> BatchResult:
+    """Fold per-trial results into a :class:`BatchResult`.
+
+    Aggregation is order-independent by construction: trials are sorted
+    by trial index first, so any scheduling of the workers yields a
+    bit-identical result.
+    """
+    if not trials:
+        raise ValueError("need at least one trial to aggregate")
+    trials = sorted(trials, key=lambda t: t.trial_index)
+
+    pooled = np.sort(np.concatenate([t.delays for t in trials]))
+    expected_pairs = int(sum(t.expected_pairs for t in trials))
+    if expected_pairs > 0:
+        cdf_y = np.arange(1, pooled.size + 1, dtype=float) / expected_pairs
+        reliability = pooled.size / expected_pairs
+    else:
+        pooled = np.array([])
+        cdf_y = np.array([])
+        reliability = 1.0
+    have = pooled.size > 0
+
+    # Pooled receptions_per_delivery: delivery-weighted mean of the
+    # per-trial ratios (trials with no deliveries carry no weight).
+    weights = np.array([t.delays.size for t in trials], dtype=float)
+    ratios = np.array([t.receptions_per_delivery for t in trials], dtype=float)
+    if weights.sum() > 0:
+        mask = weights > 0
+        pooled_rpd = float((ratios[mask] * weights[mask]).sum() / weights[mask].sum())
+    else:
+        pooled_rpd = float("nan") if np.isnan(ratios).any() else 1.0
+
+    sent_by_type: Dict[str, int] = {}
+    for trial in trials:
+        for kind, count in trial.sent_by_type.items():
+            sent_by_type[kind] = sent_by_type.get(kind, 0) + count
+
+    return BatchResult(
+        scenario=scenario,
+        root_seed=int(root_seed),
+        n_trials=len(trials),
+        workers=workers,
+        trials=list(trials),
+        delays=pooled,
+        cdf_x=pooled,
+        cdf_y=cdf_y,
+        expected_pairs=expected_pairs,
+        reliability=reliability,
+        mean_delay=float(pooled.mean()) if have else float("nan"),
+        median_delay=float(np.percentile(pooled, 50)) if have else float("nan"),
+        p90_delay=float(np.percentile(pooled, 90)) if have else float("nan"),
+        p99_delay=float(np.percentile(pooled, 99)) if have else float("nan"),
+        max_delay=float(pooled.max()) if have else float("nan"),
+        receptions_per_delivery=pooled_rpd,
+        live_receivers=trials[0].live_receivers,
+        messages_sent=int(sum(t.messages_sent for t in trials)),
+        sent_by_type=sent_by_type,
+        stats={
+            name: StatSummary.of([getattr(t, name) for t in trials])
+            for name in BATCH_STATS
+        },
+        metrics=merge_snapshots(t.metrics for t in trials),
+    )
+
+
+def run_batch(
+    scenario: ScenarioConfig,
+    n_trials: int,
+    workers: int = 1,
+    root_seed: Optional[int] = None,
+    collect_metrics: bool = False,
+    mp_context=None,
+) -> BatchResult:
+    """Run ``n_trials`` independent trials of ``scenario`` and aggregate.
+
+    ``workers=1`` executes in-process (the debugging path); more workers
+    fan trials across a ``ProcessPoolExecutor``.  The output is
+    bit-identical for any worker count given the same ``root_seed``
+    (which defaults to ``scenario.seed``).  ``collect_metrics`` runs
+    every trial under an enabled
+    :class:`~repro.obs.Observability` and merges the snapshots into
+    ``BatchResult.metrics`` in the parent.
+    """
+    if n_trials < 1:
+        raise ValueError("need at least 1 trial")
+    if workers < 1:
+        raise ValueError("need at least 1 worker")
+    root = scenario.seed if root_seed is None else int(root_seed)
+    payloads = trial_payloads(scenario, n_trials, root, collect_metrics)
+    trials = parallel_map(_run_trial, payloads, workers, mp_context=mp_context)
+    return aggregate_trials(scenario, trials, root, workers)

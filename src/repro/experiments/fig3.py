@@ -16,8 +16,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Optional, Sequence
 
+from repro.experiments.batch import BatchResult, run_batch
 from repro.experiments.report import ascii_cdf, cdf_points, format_table
-from repro.experiments.runner import DelayResult, run_delay_experiment
 from repro.experiments.scenarios import PROTOCOLS, ScenarioConfig, scale_preset
 
 #: Coverage levels reported for each CDF curve.
@@ -27,7 +27,8 @@ COVERAGES = (0.25, 0.50, 0.75, 0.90, 0.99, 0.999)
 @dataclasses.dataclass
 class Fig3Result:
     fail_fraction: float
-    results: Dict[str, DelayResult]
+    #: protocol -> batch aggregate (single-trial batches for trials=1).
+    results: Dict[str, BatchResult]
 
     def speedup_vs_gossip(self, stat: str = "mean_delay") -> float:
         """GoCast's delay advantage over push gossip (paper: 8.9x / 2.3x)."""
@@ -52,9 +53,12 @@ class Fig3Result:
                 ]
                 + cdf_points(res.cdf_x, res.cdf_y, COVERAGES)
             )
+        trials = max(res.n_trials for res in self.results.values())
         title = (
             f"Figure 3{'b' if self.fail_fraction > 0 else 'a'} — delay CDFs, "
-            f"fail={self.fail_fraction:.0%} (delays in seconds)"
+            f"fail={self.fail_fraction:.0%} (delays in seconds"
+            + (f"; pooled over {trials} trials" if trials > 1 else "")
+            + ")"
         )
         table = format_table(headers, rows)
         curves = {name: (res.cdf_x, res.cdf_y) for name, res in self.results.items()}
@@ -74,13 +78,21 @@ def run(
     n_messages: Optional[int] = None,
     seed: int = 1,
     drain_time: float = 30.0,
+    trials: int = 1,
+    workers: int = 1,
 ) -> Fig3Result:
+    """Figure 3 via the batch API: ``trials`` runs per protocol, pooled.
+
+    ``seed`` is the batch root seed — trial ``i`` of every protocol runs
+    with a seed derived from (seed, i), so results are reproducible for
+    any ``workers`` count.
+    """
     default_n, default_adapt, default_msgs = scale_preset()
     n_nodes = default_n if n_nodes is None else n_nodes
     adapt_time = default_adapt if adapt_time is None else adapt_time
     n_messages = default_msgs if n_messages is None else n_messages
 
-    results: Dict[str, DelayResult] = {}
+    results: Dict[str, BatchResult] = {}
     for protocol in protocols:
         scenario = ScenarioConfig(
             protocol=protocol,
@@ -91,5 +103,7 @@ def run(
             drain_time=drain_time,
             seed=seed,
         )
-        results[protocol] = run_delay_experiment(scenario)
+        results[protocol] = run_batch(
+            scenario, n_trials=trials, workers=workers, root_seed=seed
+        )
     return Fig3Result(fail_fraction=fail_fraction, results=results)

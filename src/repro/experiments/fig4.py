@@ -14,8 +14,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Optional, Tuple
 
+from repro.experiments.batch import BatchResult, run_batch
 from repro.experiments.report import ascii_cdf, cdf_points, format_table
-from repro.experiments.runner import DelayResult, run_delay_experiment
 from repro.experiments.scenarios import ScenarioConfig, scale_preset
 
 COVERAGES = (0.50, 0.90, 0.99, 0.999)
@@ -24,8 +24,8 @@ COVERAGES = (0.50, 0.90, 0.99, 0.999)
 @dataclasses.dataclass
 class Fig4Result:
     sizes: Tuple[int, int]
-    #: results[(n_nodes, fail_fraction)] -> DelayResult
-    results: Dict[Tuple[int, float], DelayResult]
+    #: results[(n_nodes, fail_fraction)] -> pooled batch aggregate
+    results: Dict[Tuple[int, float], BatchResult]
 
     def tail_stretch(self, fail_fraction: float) -> float:
         """Large-system p99 delay relative to the small system's."""
@@ -65,14 +65,17 @@ def run(
     adapt_time: Optional[float] = None,
     n_messages: Optional[int] = None,
     seed: int = 1,
+    trials: int = 1,
+    workers: int = 1,
 ) -> Fig4Result:
+    """Figure 4 via the batch API: each (size, fail) cell pools ``trials`` runs."""
     default_n, default_adapt, default_msgs = scale_preset()
     small_n = default_n if small_n is None else small_n
     large_n = 4 * small_n if large_n is None else large_n
     adapt_time = default_adapt if adapt_time is None else adapt_time
     n_messages = default_msgs if n_messages is None else n_messages
 
-    results: Dict[Tuple[int, float], DelayResult] = {}
+    results: Dict[Tuple[int, float], BatchResult] = {}
     for n in (small_n, large_n):
         for fail in (0.0, 0.2):
             scenario = ScenarioConfig(
@@ -83,5 +86,7 @@ def run(
                 fail_fraction=fail,
                 seed=seed,
             )
-            results[(n, fail)] = run_delay_experiment(scenario)
+            results[(n, fail)] = run_batch(
+                scenario, n_trials=trials, workers=workers, root_seed=seed
+            )
     return Fig4Result(sizes=(small_n, large_n), results=results)

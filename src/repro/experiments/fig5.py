@@ -14,12 +14,16 @@ random links") and lets the maintenance protocols adapt it.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.messages import NEARBY, RANDOM
+from repro.experiments.batch import parallel_map
 from repro.experiments.report import format_table
 from repro.experiments.scenarios import ScenarioConfig, scale_preset
 from repro.experiments.system import GoCastSystem
+from repro.sim.rng import RngRegistry
 
 
 @dataclasses.dataclass
@@ -76,17 +80,13 @@ class Fig5Result:
         )
 
 
-def run(
-    n_nodes: Optional[int] = None,
-    duration: Optional[float] = None,
-    histogram_times: Sequence[float] = (0.0, 5.0, 60.0),
-    sample_period: float = 10.0,
-    seed: int = 1,
-) -> Fig5Result:
-    default_n, default_adapt, _ = scale_preset()
-    n_nodes = default_n if n_nodes is None else n_nodes
-    duration = default_adapt if duration is None else duration
+#: Worker payload: (n_nodes, duration, histogram_times, sample_period, seed).
+_TrialPayload = Tuple[int, float, Tuple[float, ...], float, int]
 
+
+def _run_fig5_trial(payload: _TrialPayload) -> Fig5Result:
+    """Top-level (picklable) worker: one adaptation run, sampled over time."""
+    n_nodes, duration, histogram_times, sample_period, seed = payload
     scenario = ScenarioConfig(
         protocol="gocast", n_nodes=n_nodes, adapt_time=duration, seed=seed
     )
@@ -132,3 +132,69 @@ def run(
         final_mean_degree=final.mean_degree(),
         random_pair_latency=system.latency.mean_one_way(),
     )
+
+
+def _merge_trials(trials: List[Fig5Result]) -> Fig5Result:
+    """Average latency series and sum degree histograms across trials.
+
+    Sample times are identical across trials (they depend only on the
+    run parameters), so series merge element-wise; histogram node counts
+    sum, which leaves the degree *fractions* the across-trial average.
+    """
+    first = trials[0]
+    if len(trials) == 1:
+        return first
+    histograms: Dict[float, Dict[int, int]] = {}
+    for trial in trials:
+        for time, hist in trial.degree_histograms.items():
+            merged = histograms.setdefault(time, {})
+            for degree, count in hist.items():
+                merged[degree] = merged.get(degree, 0) + count
+
+    def avg(series_name: str) -> List[float]:
+        stacked = np.array([getattr(t, series_name) for t in trials], dtype=float)
+        return [float(v) for v in stacked.mean(axis=0)]
+
+    return Fig5Result(
+        n_nodes=first.n_nodes,
+        target_degree=first.target_degree,
+        degree_histograms=histograms,
+        times=list(first.times),
+        overlay_latency=avg("overlay_latency"),
+        tree_latency=avg("tree_latency"),
+        random_latency=avg("random_latency"),
+        nearby_latency=avg("nearby_latency"),
+        final_mean_degree=float(np.mean([t.final_mean_degree for t in trials])),
+        random_pair_latency=float(np.mean([t.random_pair_latency for t in trials])),
+    )
+
+
+def run(
+    n_nodes: Optional[int] = None,
+    duration: Optional[float] = None,
+    histogram_times: Sequence[float] = (0.0, 5.0, 60.0),
+    sample_period: float = 10.0,
+    seed: int = 1,
+    trials: int = 1,
+    workers: int = 1,
+) -> Fig5Result:
+    """Figure 5, optionally averaged over parallel independent trials.
+
+    ``seed`` is the batch root seed; each trial's adaptation run uses a
+    seed derived from (seed, trial index), and merging is trial-order
+    deterministic, so the result is identical for any ``workers`` count.
+    """
+    default_n, default_adapt, _ = scale_preset()
+    n_nodes = default_n if n_nodes is None else n_nodes
+    duration = default_adapt if duration is None else duration
+    payloads: List[_TrialPayload] = [
+        (
+            n_nodes,
+            duration,
+            tuple(histogram_times),
+            sample_period,
+            RngRegistry.trial_seed(seed, i),
+        )
+        for i in range(trials)
+    ]
+    return _merge_trials(parallel_map(_run_fig5_trial, payloads, workers))

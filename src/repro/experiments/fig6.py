@@ -14,13 +14,14 @@ failures; one random link is nearly as good as four.
 from __future__ import annotations
 
 import dataclasses
-import random
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import GoCastConfig
+from repro.experiments.batch import parallel_map
 from repro.experiments.report import format_table
 from repro.experiments.scenarios import ScenarioConfig, scale_preset
 from repro.experiments.system import GoCastSystem
+from repro.sim.rng import RngRegistry
 
 FAIL_FRACTIONS = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50)
 
@@ -50,6 +51,35 @@ class Fig6Result:
         )
 
 
+#: Worker payload: (scenario, c_rand, fail_fractions, trials).
+_CellPayload = Tuple[ScenarioConfig, int, Tuple[float, ...], int]
+
+
+def _run_fig6_cell(payload: _CellPayload) -> Tuple[int, List[float]]:
+    """Top-level (picklable) worker: adapt one overlay, sweep failures.
+
+    Per-trial failure selections draw from RngRegistry streams named by
+    (c_rand, fraction, trial), so every cell of the sweep has its own
+    independent deterministic stream — no collisions across workers and
+    no dependence on sweep order.
+    """
+    scenario, c_rand, fail_fractions, trials = payload
+    system = GoCastSystem(scenario)
+    system.run_adaptation()
+    snapshot = system.snapshot()
+    rngs = RngRegistry(scenario.seed)
+    series = []
+    for frac in fail_fractions:
+        qs = [
+            snapshot.largest_component_after_failures(
+                frac, rng=rngs.stream(f"fig6/c{c_rand}/f{frac:g}/t{trial}")
+            )
+            for trial in range(trials)
+        ]
+        series.append(sum(qs) / len(qs))
+    return c_rand, series
+
+
 def run(
     n_nodes: Optional[int] = None,
     adapt_time: Optional[float] = None,
@@ -58,12 +88,14 @@ def run(
     trials: int = 3,
     total_degree: int = 6,
     seed: int = 1,
+    workers: int = 1,
 ) -> Fig6Result:
+    """Figure 6, with the per-``c_rand`` adaptations fanned over workers."""
     default_n, default_adapt, _ = scale_preset()
     n_nodes = default_n if n_nodes is None else n_nodes
     adapt_time = default_adapt if adapt_time is None else adapt_time
 
-    largest: Dict[int, List[float]] = {}
+    payloads: List[_CellPayload] = []
     for c_rand in c_rand_values:
         config = GoCastConfig(c_rand=c_rand, c_near=total_degree - c_rand)
         scenario = ScenarioConfig(
@@ -73,19 +105,8 @@ def run(
             gocast=config,
             seed=seed,
         )
-        system = GoCastSystem(scenario)
-        system.run_adaptation()
-        snapshot = system.snapshot()
-        series = []
-        for frac in fail_fractions:
-            qs = [
-                snapshot.largest_component_after_failures(
-                    frac, rng=random.Random(seed * 1000 + trial)
-                )
-                for trial in range(trials)
-            ]
-            series.append(sum(qs) / len(qs))
-        largest[c_rand] = series
+        payloads.append((scenario, c_rand, tuple(fail_fractions), trials))
+    largest = dict(parallel_map(_run_fig6_cell, payloads, workers))
     return Fig6Result(
         n_nodes=n_nodes,
         fail_fractions=list(fail_fractions),

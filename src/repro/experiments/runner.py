@@ -29,6 +29,25 @@ from repro.sim.trace import DeliveryTracer
 from repro.sim.transport import Network
 
 
+def coverage_delay(cdf_x: np.ndarray, cdf_y: np.ndarray, coverage: float) -> float:
+    """Smallest delay at which the CDF reaches ``coverage``.
+
+    Shared by :class:`DelayResult` and the batch runner's merged curves.
+    ``side="left"`` makes exact-boundary queries map to the *first*
+    delay achieving the coverage rather than the next sample: with
+    ``cdf_y = [0.25, 0.5, 0.75, 1.0]``, ``coverage=0.5`` answers the
+    second delay, not the third.  Coverage <= 0 is trivially satisfied
+    at delay 0; coverage the run never reached (lost messages, coverage
+    above the curve's top, an empty CDF) is NaN.
+    """
+    if coverage <= 0.0:
+        return 0.0
+    idx = int(np.searchsorted(cdf_y, coverage, side="left"))
+    if idx >= len(cdf_x):
+        return float("nan")
+    return float(cdf_x[idx])
+
+
 @dataclasses.dataclass
 class DelayResult:
     """Outcome of one delay experiment."""
@@ -51,16 +70,17 @@ class DelayResult:
     #: observability metrics, when the experiment ran with an enabled
     #: :class:`~repro.obs.Observability`; None otherwise.
     metrics: Optional[Dict[str, Any]] = None
+    #: Total (message, live receiver) pairs the run was accountable for —
+    #: the delay-CDF denominator.  ``delays.size / expected_pairs`` is the
+    #: reliability; batch aggregation needs it to merge CDFs exactly.
+    expected_pairs: int = 0
 
     def delay_at_coverage(self, coverage: float) -> float:
         """Delay by which the given fraction of (msg, node) pairs was served.
 
         NaN if the protocol never reached that coverage (lost messages).
         """
-        idx = np.searchsorted(self.cdf_y, coverage)
-        if idx >= len(self.cdf_x):
-            return float("nan")
-        return float(self.cdf_x[idx])
+        return coverage_delay(self.cdf_x, self.cdf_y, coverage)
 
     def summary_row(self) -> str:
         return (
@@ -134,6 +154,7 @@ def _result_from_tracer(
         live_receivers=len(receivers),
         messages_sent=network.messages_sent,
         sent_by_type=dict(network.sent_by_type),
+        expected_pairs=int(delays.size) + tracer.undelivered_pairs(sorted(receivers)),
     )
 
 

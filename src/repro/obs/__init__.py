@@ -27,7 +27,7 @@ See ``docs/OBSERVABILITY.md`` for usage.
 
 from __future__ import annotations
 
-from repro.obs.metrics import MetricsRegistry, StreamingHistogram
+from repro.obs.metrics import MetricsRegistry, StreamingHistogram, merge_snapshots
 from repro.obs.profiler import CATEGORY_RULES, Profiler, ProfileReport, categorize
 from repro.obs.summary import format_metrics_summary, record_link_stress
 from repro.obs.tracer import SimTracer, TraceEvent
@@ -65,5 +65,6 @@ __all__ = [
     "TraceEvent",
     "categorize",
     "format_metrics_summary",
+    "merge_snapshots",
     "record_link_stress",
 ]

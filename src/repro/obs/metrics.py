@@ -242,3 +242,64 @@ class MetricsRegistry:
             },
             "series": {name: len(points) for name, points in self.series.items()},
         }
+
+
+def merge_snapshots(snapshots: Iterable[Optional[Dict[str, Any]]]) -> Optional[Dict[str, Any]]:
+    """Combine per-trial :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    Used by the batch runner to fold worker-process metrics back into the
+    parent.  Merge semantics per section:
+
+    * ``counters`` — summed (totals over all trials).
+    * ``gauges`` — arithmetic mean over the snapshots that carry the key
+      (gauges are point-in-time values; summing ``sim.end_time`` across
+      trials would be meaningless).
+    * ``histograms`` — ``count``/``sum`` summed, ``min``/``max``
+      combined, ``mean`` recomputed; per-trial percentile estimates are
+      dropped because percentiles of merged distributions cannot be
+      recovered from per-trial percentiles.
+    * ``series`` — point counts summed.
+
+    ``None`` entries (trials run without observability) are skipped;
+    returns ``None`` when no snapshot survives.  The result carries an
+    ``n_snapshots`` count.
+    """
+    snaps = [s for s in snapshots if s]
+    if not snaps:
+        return None
+    counters: Dict[str, float] = {}
+    gauge_values: Dict[str, List[float]] = {}
+    histograms: Dict[str, Dict[str, float]] = {}
+    series: Dict[str, int] = {}
+    for snap in snaps:
+        for key, value in snap.get("counters", {}).items():
+            counters[key] = counters.get(key, 0) + value
+        for key, value in snap.get("gauges", {}).items():
+            gauge_values.setdefault(key, []).append(value)
+        for key, hist in snap.get("histograms", {}).items():
+            if not hist.get("count"):
+                continue
+            cell = histograms.get(key)
+            if cell is None:
+                histograms[key] = {
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                    "min": hist["min"],
+                    "max": hist["max"],
+                }
+            else:
+                cell["count"] += hist["count"]
+                cell["sum"] += hist["sum"]
+                cell["min"] = min(cell["min"], hist["min"])
+                cell["max"] = max(cell["max"], hist["max"])
+        for key, n_points in snap.get("series", {}).items():
+            series[key] = series.get(key, 0) + n_points
+    for cell in histograms.values():
+        cell["mean"] = cell["sum"] / cell["count"]
+    return {
+        "n_snapshots": len(snaps),
+        "counters": counters,
+        "gauges": {key: sum(vals) / len(vals) for key, vals in gauge_values.items()},
+        "histograms": histograms,
+        "series": series,
+    }

@@ -15,6 +15,18 @@ import random
 from typing import Dict
 
 
+def derive_seed(master_seed: int, name: str) -> int:
+    """Deterministic 64-bit seed for ``name`` under ``master_seed``.
+
+    SHA-256 based, so nearby (seed, name) pairs yield statistically
+    unrelated streams — the derivation behind both the per-component
+    streams of :class:`RngRegistry` and the per-trial root seeds of
+    :mod:`repro.experiments.batch`.
+    """
+    digest = hashlib.sha256(f"{int(master_seed)}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class RngRegistry:
     """Factory of independent, reproducible ``random.Random`` streams."""
 
@@ -38,6 +50,17 @@ class RngRegistry:
         """Convenience stream for per-node protocol randomness."""
         return self.stream(f"node/{node_id}")
 
+    @staticmethod
+    def trial_seed(root_seed: int, trial_index: int) -> int:
+        """Master seed for trial ``trial_index`` of a multi-trial batch.
+
+        Distinct trial indices map to statistically independent seeds
+        (no arithmetic relation a protocol RNG could resonate with), and
+        the mapping depends only on (root_seed, trial_index) — never on
+        worker count or execution order — so batch runs are reproducible
+        under any parallelization.
+        """
+        return derive_seed(root_seed, f"trial/{int(trial_index)}")
+
     def _derive(self, name: str) -> int:
-        digest = hashlib.sha256(f"{self.master_seed}:{name}".encode()).digest()
-        return int.from_bytes(digest[:8], "big")
+        return derive_seed(self.master_seed, name)

@@ -15,6 +15,22 @@ from repro.sim.trace import DeliveryTracer
 from repro.sim.transport import Network
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate the golden-master fixtures under tests/goldens/ "
+        "instead of comparing against them (see docs/EXPERIMENTS.md)",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """True when the run should rewrite golden files rather than assert."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

@@ -1,0 +1,216 @@
+"""Tests for the multi-trial parallel batch runner.
+
+The load-bearing guarantee is the determinism contract: a batch's output
+depends only on (scenario, root seed, trial count) — never on worker
+count, pool scheduling, or start method.
+"""
+
+import dataclasses
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.experiments.batch import (
+    StatSummary,
+    TrialResult,
+    aggregate_trials,
+    parallel_map,
+    run_batch,
+    trial_payloads,
+)
+from repro.experiments.runner import run_delay_experiment
+from repro.experiments.scenarios import ScenarioConfig
+from repro.sim.rng import RngRegistry, derive_seed
+
+#: Gossip-only scenario: no adaptation phase, so trials are milliseconds.
+FAST = dict(
+    protocol="push_gossip", n_nodes=20, adapt_time=5.0, n_messages=5,
+    drain_time=8.0, seed=11,
+)
+
+
+def _batch_key(batch):
+    """Everything observable about a batch except the worker count."""
+    payload = batch.to_json_dict()
+    payload.pop("workers")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Seed derivation
+# ----------------------------------------------------------------------
+def test_trial_seeds_distinct_across_indices():
+    seeds = [RngRegistry.trial_seed(1, i) for i in range(256)]
+    assert len(set(seeds)) == 256
+
+
+def test_trial_seeds_distinct_across_roots():
+    assert RngRegistry.trial_seed(1, 0) != RngRegistry.trial_seed(2, 0)
+    assert RngRegistry.trial_seed(1, 0) == derive_seed(1, "trial/0")
+
+
+def test_trial_payloads_use_derived_seeds():
+    scenario = ScenarioConfig(**FAST)
+    payloads = trial_payloads(scenario, 3, root_seed=99)
+    assert [p[1] for p in payloads] == [0, 1, 2]
+    for i, (trial_scenario, _idx, collect) in enumerate(payloads):
+        assert trial_scenario.seed == RngRegistry.trial_seed(99, i)
+        assert collect is False
+    # Everything but the seed matches the source scenario.
+    assert dataclasses.replace(payloads[0][0], seed=scenario.seed) == scenario
+
+
+# ----------------------------------------------------------------------
+# Determinism: worker count must not change the result
+# ----------------------------------------------------------------------
+def test_workers_1_vs_2_bit_identical():
+    scenario = ScenarioConfig(**FAST)
+    serial = run_batch(scenario, n_trials=4, workers=1, collect_metrics=True)
+    pooled = run_batch(scenario, n_trials=4, workers=2, collect_metrics=True)
+    assert np.array_equal(serial.delays, pooled.delays)
+    assert np.array_equal(serial.cdf_y, pooled.cdf_y)
+    assert serial.metrics == pooled.metrics
+    assert _batch_key(serial) == _batch_key(pooled)
+
+
+@pytest.mark.slow
+def test_workers_1_vs_4_bit_identical_under_spawn():
+    """The CI slow-lane smoke test: the real pool under the spawn start
+    method (the strictest pickling regime) still reproduces the
+    in-process result bit for bit."""
+    scenario = ScenarioConfig(**FAST)
+    serial = run_batch(scenario, n_trials=4, workers=1)
+    spawned = run_batch(
+        scenario,
+        n_trials=4,
+        workers=4,
+        mp_context=multiprocessing.get_context("spawn"),
+    )
+    assert np.array_equal(serial.delays, spawned.delays)
+    assert _batch_key(serial) == _batch_key(spawned)
+
+
+def test_distinct_trials_have_distinct_outcomes():
+    """Different trial indices get independent RNG streams, so their
+    delay samples must differ (a collision would silently halve the
+    statistical power of every batch)."""
+    batch = run_batch(ScenarioConfig(**FAST), n_trials=3, workers=1)
+    delay_sets = [tuple(t.delays) for t in batch.trials]
+    assert len(set(delay_sets)) == 3
+    assert len({t.seed for t in batch.trials}) == 3
+
+
+def test_root_seed_changes_batch():
+    scenario = ScenarioConfig(**FAST)
+    a = run_batch(scenario, n_trials=2, workers=1, root_seed=1)
+    b = run_batch(scenario, n_trials=2, workers=1, root_seed=2)
+    assert not np.array_equal(a.delays, b.delays)
+
+
+# ----------------------------------------------------------------------
+# Aggregation semantics
+# ----------------------------------------------------------------------
+def test_single_trial_matches_run_delay_experiment():
+    scenario = ScenarioConfig(**FAST)
+    batch = run_batch(scenario, n_trials=1, workers=1)
+    single = run_delay_experiment(
+        dataclasses.replace(scenario, seed=RngRegistry.trial_seed(scenario.seed, 0))
+    )
+    assert np.array_equal(batch.delays, np.sort(single.delays))
+    assert batch.mean_delay == single.mean_delay
+    assert batch.reliability == single.reliability
+    assert batch.expected_pairs == single.expected_pairs
+    assert batch.stats["mean_delay"].std == 0.0
+    assert batch.stats["mean_delay"].ci95 == 0.0
+
+
+def test_merged_cdf_and_counts():
+    batch = run_batch(ScenarioConfig(**FAST), n_trials=3, workers=1)
+    assert batch.delays.size == sum(t.delays.size for t in batch.trials)
+    assert batch.expected_pairs == sum(t.expected_pairs for t in batch.trials)
+    assert batch.messages_sent == sum(t.messages_sent for t in batch.trials)
+    # Merged CDF: sorted x, strictly increasing y, topped by pooled reliability.
+    assert np.all(np.diff(batch.cdf_x) >= 0)
+    assert np.all(np.diff(batch.cdf_y) > 0)
+    assert batch.cdf_y[-1] == pytest.approx(batch.reliability)
+    # Per-type counts sum across trials.
+    for kind in batch.sent_by_type:
+        assert batch.sent_by_type[kind] == sum(
+            t.sent_by_type.get(kind, 0) for t in batch.trials
+        )
+
+
+def test_aggregate_is_trial_order_invariant():
+    scenario = ScenarioConfig(**FAST)
+    batch = run_batch(scenario, n_trials=3, workers=1)
+    shuffled = [batch.trials[2], batch.trials[0], batch.trials[1]]
+    again = aggregate_trials(scenario, shuffled, batch.root_seed)
+    assert np.array_equal(batch.delays, again.delays)
+    assert [t.trial_index for t in again.trials] == [0, 1, 2]
+
+
+def test_metrics_snapshots_merged_in_parent():
+    batch = run_batch(ScenarioConfig(**FAST), n_trials=2, workers=1,
+                      collect_metrics=True)
+    assert batch.metrics is not None
+    assert batch.metrics["n_snapshots"] == 2
+    # Counters sum across the per-trial snapshots.
+    name = "net.sent{type=RandomGossip}"
+    per_trial = [t.metrics["counters"][name] for t in batch.trials]
+    assert batch.metrics["counters"][name] == sum(per_trial)
+
+
+def test_no_metrics_without_observability():
+    batch = run_batch(ScenarioConfig(**FAST), n_trials=2, workers=1)
+    assert batch.metrics is None
+    assert all(t.metrics is None for t in batch.trials)
+
+
+def test_batch_validates_arguments():
+    scenario = ScenarioConfig(**FAST)
+    with pytest.raises(ValueError):
+        run_batch(scenario, n_trials=0)
+    with pytest.raises(ValueError):
+        run_batch(scenario, n_trials=1, workers=0)
+    with pytest.raises(ValueError):
+        aggregate_trials(scenario, [], root_seed=1)
+
+
+def test_format_and_json_render():
+    batch = run_batch(ScenarioConfig(**FAST), n_trials=2, workers=1)
+    assert "2 trials" in batch.format_table()
+    assert "push_gossip" in batch.summary_row()
+    import json
+
+    payload = json.dumps(batch.to_json_dict(), allow_nan=False)
+    assert '"n_trials": 2' in payload
+
+
+# ----------------------------------------------------------------------
+# StatSummary / parallel_map primitives
+# ----------------------------------------------------------------------
+def test_stat_summary_math():
+    s = StatSummary.of([1.0, 2.0, 3.0])
+    assert s.mean == pytest.approx(2.0)
+    assert s.std == pytest.approx(1.0)
+    assert s.ci95 == pytest.approx(1.959963984540054 / np.sqrt(3))
+    assert StatSummary.of([5.0]).std == 0.0
+
+
+def test_parallel_map_preserves_order():
+    assert parallel_map(_square, [3, 1, 2], workers=1) == [9, 1, 4]
+    assert parallel_map(_square, [3, 1, 2], workers=2) == [9, 1, 4]
+
+
+def _square(x):
+    return x * x
+
+
+def test_trial_result_roundtrips_plain_data():
+    batch = run_batch(ScenarioConfig(**FAST), n_trials=1, workers=1)
+    trial = batch.trials[0]
+    assert isinstance(trial, TrialResult)
+    d = trial.to_dict()
+    assert d["n_delays"] == trial.delays.size
+    assert d["seed"] == RngRegistry.trial_seed(11, 0)

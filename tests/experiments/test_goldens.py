@@ -1,0 +1,127 @@
+"""Golden-master regression harness for the experiment pipeline.
+
+Each case runs a small fixed-seed batch and compares a rounded summary
+(delay statistics, reliability, message counts, per-trial means, a delay
+checksum) against a committed JSON fixture under ``tests/goldens/``.
+Any unintended change to the simulator, the protocols, the seeding
+scheme, or the batch aggregation shows up as a diff here.
+
+When a change is *intended*, regenerate the fixtures and review the diff
+like any other code change::
+
+    PYTHONPATH=src python -m pytest tests/experiments/test_goldens.py \
+        --update-goldens
+    git diff tests/goldens/
+
+Summaries are rounded to 9 decimal places so the comparison is exact on
+any IEEE-754 platform while still catching real behavioural drift.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.batch import BatchResult, run_batch
+from repro.experiments.scenarios import ScenarioConfig
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "goldens"
+
+#: Golden cases: tiny, fast, and covering all three protocol families
+#: (tree+gossip overlay, pure overlay, random gossip) plus the failure
+#: path and a multi-trial aggregation.
+GOLDEN_CASES = {
+    "gocast_n24_2trials": dict(
+        scenario=dict(
+            protocol="gocast", n_nodes=24, adapt_time=10.0, n_messages=5,
+            drain_time=10.0, seed=7,
+        ),
+        trials=2,
+    ),
+    "gocast_n24_fail25": dict(
+        scenario=dict(
+            protocol="gocast", n_nodes=24, adapt_time=10.0, n_messages=5,
+            drain_time=12.0, fail_fraction=0.25, seed=7,
+        ),
+        trials=1,
+    ),
+    "proximity_n24": dict(
+        scenario=dict(
+            protocol="proximity", n_nodes=24, adapt_time=10.0, n_messages=5,
+            drain_time=10.0, seed=7,
+        ),
+        trials=1,
+    ),
+    "push_gossip_n24_3trials": dict(
+        scenario=dict(
+            protocol="push_gossip", n_nodes=24, adapt_time=5.0, n_messages=6,
+            drain_time=10.0, seed=7,
+        ),
+        trials=3,
+    ),
+    "nowait_gossip_n24": dict(
+        scenario=dict(
+            protocol="nowait_gossip", n_nodes=24, adapt_time=5.0, n_messages=6,
+            drain_time=10.0, seed=7,
+        ),
+        trials=1,
+    ),
+}
+
+#: Rounding that makes float comparisons exact yet drift-sensitive.
+ROUND = 9
+
+
+def _round(value: float):
+    if value != value:  # NaN is not JSON-comparable; encode as a string
+        return "nan"
+    return round(float(value), ROUND)
+
+
+def golden_summary(batch: BatchResult) -> dict:
+    """The committed fingerprint of a batch: stats, counts, checksums."""
+    return {
+        "n_trials": batch.n_trials,
+        "root_seed": batch.root_seed,
+        "trial_seeds": [t.seed for t in batch.trials],
+        "expected_pairs": batch.expected_pairs,
+        "n_delays": int(batch.delays.size),
+        "delays_checksum": _round(float(batch.delays.sum())),
+        "reliability": _round(batch.reliability),
+        "mean_delay": _round(batch.mean_delay),
+        "median_delay": _round(batch.median_delay),
+        "p90_delay": _round(batch.p90_delay),
+        "p99_delay": _round(batch.p99_delay),
+        "max_delay": _round(batch.max_delay),
+        "receptions_per_delivery": _round(batch.receptions_per_delivery),
+        "live_receivers": batch.live_receivers,
+        "messages_sent": batch.messages_sent,
+        "sent_by_type": dict(sorted(batch.sent_by_type.items())),
+        "per_trial_mean_delay": [_round(v) for v in batch.stats["mean_delay"].per_trial],
+        "per_trial_reliability": [_round(v) for v in batch.stats["reliability"].per_trial],
+    }
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_golden(name, update_goldens):
+    case = GOLDEN_CASES[name]
+    batch = run_batch(
+        ScenarioConfig(**case["scenario"]), n_trials=case["trials"], workers=1
+    )
+    summary = golden_summary(batch)
+    path = GOLDEN_DIR / f"{name}.json"
+
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"updated golden {path.name}")
+
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        "pytest tests/experiments/test_goldens.py --update-goldens"
+    )
+    expected = json.loads(path.read_text())
+    assert summary == expected, (
+        f"golden mismatch for {name}; if this change is intended, rerun with "
+        "--update-goldens and review the tests/goldens/ diff"
+    )

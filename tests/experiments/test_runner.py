@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.experiments.runner import run_delay_experiment
+from repro.experiments.runner import DelayResult, coverage_delay, run_delay_experiment
 from repro.experiments.scenarios import ScenarioConfig
 
 SMOKE = dict(n_nodes=32, adapt_time=15.0, n_messages=10, drain_time=10.0, seed=4)
@@ -40,6 +40,67 @@ def test_delay_at_coverage(gocast_result):
     d99 = res.delay_at_coverage(0.99)
     assert 0 < d50 <= d99
     assert np.isnan(res.delay_at_coverage(1.1))
+
+
+def _synthetic_result(cdf_x, cdf_y) -> DelayResult:
+    """A DelayResult with a hand-built CDF for exact coverage semantics."""
+    cdf_x = np.asarray(cdf_x, dtype=float)
+    cdf_y = np.asarray(cdf_y, dtype=float)
+    return DelayResult(
+        scenario=ScenarioConfig(protocol="gocast", n_nodes=4),
+        delays=cdf_x,
+        cdf_x=cdf_x,
+        cdf_y=cdf_y,
+        reliability=float(cdf_y[-1]) if cdf_y.size else 1.0,
+        mean_delay=0.0, median_delay=0.0, p90_delay=0.0, p99_delay=0.0,
+        max_delay=0.0, receptions_per_delivery=1.0, live_receivers=4,
+        messages_sent=0, sent_by_type={},
+    )
+
+
+def test_delay_at_coverage_exact_boundary_takes_first_delay():
+    res = _synthetic_result([1.0, 2.0, 3.0, 4.0], [0.25, 0.5, 0.75, 1.0])
+    # An exact boundary maps to the first delay achieving it, not the next.
+    assert res.delay_at_coverage(0.25) == 1.0
+    assert res.delay_at_coverage(0.5) == 2.0
+    # Just past a boundary needs the next sample.
+    assert res.delay_at_coverage(0.5 + 1e-12) == 3.0
+
+
+def test_delay_at_coverage_zero_is_trivially_served():
+    res = _synthetic_result([1.0, 2.0], [0.5, 1.0])
+    assert res.delay_at_coverage(0.0) == 0.0
+    empty = _synthetic_result([], [])
+    assert empty.delay_at_coverage(0.0) == 0.0
+
+
+def test_delay_at_coverage_full_coverage():
+    res = _synthetic_result([1.0, 2.0, 3.0, 4.0], [0.25, 0.5, 0.75, 1.0])
+    assert res.delay_at_coverage(1.0) == 4.0
+
+
+def test_delay_at_coverage_unreached_is_nan():
+    # The curve tops out below 1.0 (lost messages): 1.0 is never reached.
+    lossy = _synthetic_result([1.0, 2.0], [0.4, 0.8])
+    assert np.isnan(lossy.delay_at_coverage(0.9))
+    assert np.isnan(lossy.delay_at_coverage(1.0))
+    assert lossy.delay_at_coverage(0.8) == 2.0
+    empty = _synthetic_result([], [])
+    assert np.isnan(empty.delay_at_coverage(0.5))
+    assert np.isnan(coverage_delay(np.array([]), np.array([]), 1.0))
+
+
+def test_expected_pairs_accounts_for_every_pair(gocast_result):
+    # Full reliability: every expected pair was delivered.
+    assert gocast_result.expected_pairs == len(gocast_result.delays) == 310
+
+
+def test_expected_pairs_with_losses():
+    res = run_delay_experiment(
+        ScenarioConfig(protocol="push_gossip", **SMOKE)
+    )
+    assert res.expected_pairs == 310  # 10 messages x 31 non-source receivers
+    assert res.reliability == pytest.approx(len(res.delays) / res.expected_pairs)
 
 
 def test_summary_row_renders(gocast_result):

@@ -1,0 +1,134 @@
+"""Property-based tests for the batch aggregation math.
+
+Built on synthetic trials (no simulation), so hypothesis can sweep the
+space hard: the merged CDF must be a valid sub-CDF, pooled means must
+equal delivery-weighted trial means, and confidence intervals must
+tighten with more trials.
+"""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.experiments.batch import StatSummary, TrialResult, aggregate_trials
+from repro.experiments.scenarios import ScenarioConfig
+
+SCENARIO = ScenarioConfig(protocol="push_gossip", n_nodes=8)
+
+
+def make_trial(index: int, delays, undelivered: int) -> TrialResult:
+    """A synthetic trial with the derived statistics the runner computes."""
+    arr = np.sort(np.asarray(delays, dtype=float))
+    expected = arr.size + undelivered
+    have = arr.size > 0
+    return TrialResult(
+        trial_index=index,
+        seed=1000 + index,
+        delays=arr,
+        reliability=arr.size / expected if expected else 1.0,
+        mean_delay=float(arr.mean()) if have else float("nan"),
+        median_delay=float(np.percentile(arr, 50)) if have else float("nan"),
+        p90_delay=float(np.percentile(arr, 90)) if have else float("nan"),
+        p99_delay=float(np.percentile(arr, 99)) if have else float("nan"),
+        max_delay=float(arr.max()) if have else float("nan"),
+        receptions_per_delivery=1.0,
+        live_receivers=8,
+        messages_sent=10 * (index + 1),
+        expected_pairs=expected,
+        sent_by_type={"RandomGossip": 10},
+    )
+
+
+delays_strategy = st.lists(
+    st.floats(min_value=1e-4, max_value=100.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=40,
+)
+
+trials_strategy = st.lists(
+    st.tuples(delays_strategy, st.integers(min_value=0, max_value=20)),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(trials_strategy)
+def test_merged_cdf_is_monotone_in_unit_interval(raw):
+    trials = [make_trial(i, d, u) for i, (d, u) in enumerate(raw)]
+    batch = aggregate_trials(SCENARIO, trials, root_seed=1)
+    assert np.all(np.diff(batch.cdf_x) >= 0)
+    assert np.all(np.diff(batch.cdf_y) > 0)
+    assert np.all(batch.cdf_y > 0)
+    assert batch.cdf_y[-1] <= 1.0 + 1e-12
+    assert batch.cdf_y[-1] == batch.reliability
+
+
+@given(trials_strategy)
+def test_batch_mean_is_delivery_weighted_trial_mean(raw):
+    trials = [make_trial(i, d, u) for i, (d, u) in enumerate(raw)]
+    batch = aggregate_trials(SCENARIO, trials, root_seed=1)
+    weights = np.array([t.delays.size for t in trials], dtype=float)
+    means = np.array([t.mean_delay for t in trials])
+    weighted = float((weights * means).sum() / weights.sum())
+    assert np.isclose(batch.mean_delay, weighted, rtol=1e-9, atol=0.0)
+
+
+@given(trials_strategy)
+def test_pooled_reliability_is_pair_weighted(raw):
+    trials = [make_trial(i, d, u) for i, (d, u) in enumerate(raw)]
+    batch = aggregate_trials(SCENARIO, trials, root_seed=1)
+    delivered = sum(t.delays.size for t in trials)
+    expected = sum(t.expected_pairs for t in trials)
+    assert batch.reliability == delivered / expected
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False),
+        min_size=2,
+        max_size=20,
+    )
+)
+def test_ci_width_shrinks_as_trials_increase(values):
+    """Replicating a sample (same spread, more trials) must never widen
+    the CI, and strictly tightens it whenever there is any spread."""
+    one = StatSummary.of(values)
+    two = StatSummary.of(values * 2)
+    assert two.ci95 <= one.ci95 + 1e-12
+    if one.std > 1e-9:
+        assert two.ci95 < one.ci95
+
+
+@given(trials_strategy, st.permutations(range(8)))
+def test_aggregation_is_order_invariant(raw, order):
+    """Worker completion order must never leak into the aggregate."""
+    trials = [make_trial(i, d, u) for i, (d, u) in enumerate(raw)]
+    shuffled = [trials[i] for i in order if i < len(trials)]
+    if len(shuffled) != len(trials):
+        shuffled = trials
+    a = aggregate_trials(SCENARIO, trials, root_seed=1)
+    b = aggregate_trials(SCENARIO, shuffled, root_seed=1)
+    assert np.array_equal(a.delays, b.delays)
+    assert a.mean_delay == b.mean_delay
+    assert a.stats["mean_delay"].per_trial == b.stats["mean_delay"].per_trial
+
+
+@given(delays_strategy, st.integers(min_value=0, max_value=20))
+def test_single_trial_aggregate_preserves_trial_stats(delays, undelivered):
+    trial = make_trial(0, delays, undelivered)
+    batch = aggregate_trials(SCENARIO, [trial], root_seed=1)
+    assert batch.mean_delay == trial.mean_delay
+    assert batch.reliability == trial.reliability
+    assert batch.stats["mean_delay"].std == 0.0
+    assert batch.stats["mean_delay"].ci95 == 0.0
+
+
+def test_trials_are_immutable_inputs():
+    """aggregate_trials must not mutate its inputs (workers may share)."""
+    trial = make_trial(0, [1.0, 2.0], 1)
+    before = dataclasses.replace(trial, delays=trial.delays.copy())
+    aggregate_trials(SCENARIO, [trial], root_seed=1)
+    assert np.array_equal(trial.delays, before.delays)
+    assert trial.sent_by_type == before.sent_by_type

@@ -83,6 +83,53 @@ def test_obs_profile(capsys):
     assert "timer.fire" in out
 
 
+BATCH_ARGS = ["batch", "--protocol", "push_gossip", "--nodes", "16",
+              "--messages", "4", "--adapt", "4", "--seed", "5"]
+
+
+def test_batch_table_output(capsys):
+    assert main([*BATCH_ARGS, "--trials", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "2 trials" in out
+    assert "mean_delay" in out
+    assert "95% CI" in out
+
+
+def test_batch_json_output(capsys):
+    import json
+
+    assert main([*BATCH_ARGS, "--trials", "2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["n_trials"] == 2
+    assert payload["root_seed"] == 5
+    assert len(payload["trials"]) == 2
+    assert payload["scenario"]["protocol"] == "push_gossip"
+    assert len(payload["cdf"]["delay"]) == len(payload["cdf"]["fraction"])
+
+
+def test_batch_json_file_output(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "batch.json"
+    assert main([*BATCH_ARGS, "--trials", "2", "--out", str(path)]) == 0
+    assert "wrote JSON report" in capsys.readouterr().out
+    payload = json.loads(path.read_text())
+    assert payload["n_trials"] == 2
+
+
+def test_batch_metrics_flag(capsys):
+    import json
+
+    assert main([*BATCH_ARGS, "--trials", "2", "--metrics", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["metrics"]["n_snapshots"] == 2
+
+
+def test_batch_rejects_bad_arguments(capsys):
+    assert main([*BATCH_ARGS, "--trials", "0"]) == 2
+    assert "invalid batch" in capsys.readouterr().err
+
+
 def test_seed_passed_through(monkeypatch, capsys):
     monkeypatch.setenv("REPRO_SCALE", "smoke")
     seen = {}
