@@ -10,12 +10,16 @@ Usage::
     python -m repro obs summary --fail 0.1
     python -m repro obs trace --category gossip.pull --out pulls.jsonl
     python -m repro obs profile --nodes 128
+    python -m repro obs paths --nodes 24 --fail 0.25 --message 3:0
+    python -m repro obs health --fail 0.25 --no-freeze
+    python -m repro obs anomalies --fail 0.25 --retry-threshold 2
 
 Each experiment prints the same table the corresponding paper artifact
 reports (see EXPERIMENTS.md).  ``--scale`` overrides the ``REPRO_SCALE``
 environment variable for the invocation.  The ``obs`` subcommands run a
 single instrumented delay experiment (see docs/OBSERVABILITY.md) and
-report its metrics, trace events, or callback profile.
+report its metrics, trace events, callback profile, reconstructed
+delivery paths, health trajectory, or detected anomalies.
 """
 
 from __future__ import annotations
@@ -166,7 +170,47 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--top-k", type=int, default=10, help="hot callbacks to list (default 10)"
     )
-    for cmd in (summary, trace, profile, batch):
+    paths = obs_sub.add_parser(
+        "paths",
+        help="reconstruct per-message delivery paths (tree vs pull-repair)",
+        description="Rebuild the hop-by-hop path every delivered (message, "
+        "node) pair took through the overlay, attributed to the embedded "
+        "tree or to gossip pull-repair, with a per-hop latency breakdown.",
+    )
+    paths.add_argument("--message", help="show full paths for this message id "
+                       "(e.g. 3:0); omit for the summary")
+    paths.add_argument(
+        "--limit", type=int, default=10, help="max paths to print (default 10)"
+    )
+    health = obs_sub.add_parser(
+        "health",
+        help="overlay/tree health trajectory (fragments, orphans, degrees)",
+        description="Print the periodic health samples: tree fragment count, "
+        "orphaned/stale-route nodes, degree distribution vs the C_rand/C_near "
+        "targets, and pending-pull queue depths.",
+    )
+    anomalies = obs_sub.add_parser(
+        "anomalies",
+        help="flag slow deliveries, stuck orphans, and multi-retry pulls",
+        description="Cross-check the run against configurable bounds: "
+        "deliveries slower than a multiple of tree-depth x median-RTT, nodes "
+        "orphaned for too many health intervals, pulls needing repeated "
+        "retries.",
+    )
+    anomalies.add_argument(
+        "--delay-factor", type=float, default=3.0,
+        help="delay bound = FACTOR x tree depth x median hop RTT (default 3)",
+    )
+    anomalies.add_argument(
+        "--orphan-intervals", type=int, default=5,
+        help="flag nodes orphaned for at least this many health samples "
+        "(default 5)",
+    )
+    anomalies.add_argument(
+        "--retry-threshold", type=int, default=2,
+        help="flag pulls with at least this many retries (default 2)",
+    )
+    for cmd in (summary, trace, profile, paths, health, anomalies, batch):
         cmd.add_argument(
             "--protocol",
             choices=PROTOCOLS,
@@ -182,6 +226,20 @@ def build_parser() -> argparse.ArgumentParser:
             "--fail", type=float, default=0.0, help="crash fraction (default 0)"
         )
         cmd.add_argument("--seed", type=int, default=1, help="simulation seed")
+        cmd.add_argument(
+            "--drain", type=float, help="override drain time (seconds)"
+        )
+        cmd.add_argument(
+            "--no-freeze",
+            action="store_true",
+            help="let survivors keep running maintenance/repair after the "
+            "crash wave (the paper freezes them; repair needs this off)",
+        )
+        cmd.add_argument(
+            "--health-period", type=float, default=1.0,
+            help="health-sampling period in sim seconds; 0 disables "
+            "(default 1)",
+        )
         cmd.add_argument(
             "--scale",
             choices=("smoke", "default", "full"),
@@ -229,6 +287,10 @@ def _obs_scenario(args):
         overrides["adapt_time"] = args.adapt
     if args.messages is not None:
         overrides["n_messages"] = args.messages
+    if args.drain is not None:
+        overrides["drain_time"] = args.drain
+    if getattr(args, "no_freeze", False):
+        overrides["freeze_on_failure"] = False
     return paper_scenario(args.protocol, scale=args.scale, **overrides)
 
 
@@ -246,6 +308,7 @@ def cmd_batch(args, out=None) -> int:
             workers=args.workers,
             root_seed=args.seed,
             collect_metrics=args.metrics,
+            health_period=args.health_period,
         )
     except ValueError as exc:
         print(f"invalid batch: {exc}", file=sys.stderr)
@@ -276,7 +339,14 @@ def cmd_obs(args, out=None) -> int:
     except ValueError as exc:
         print(f"invalid scenario: {exc}", file=sys.stderr)
         return 2
-    obs = Observability(profile=args.obs_command == "profile")
+    # Path reconstruction needs every provenance event; give the
+    # diagnostics commands a ring buffer large enough not to wrap.
+    capacity = 1 << 20 if args.obs_command in ("paths", "anomalies") else 65536
+    obs = Observability(
+        profile=args.obs_command == "profile",
+        trace_capacity=capacity,
+        health_period=args.health_period,
+    )
     print(
         f"== obs {args.obs_command}: {scenario.protocol} "
         f"n={scenario.n_nodes} fail={scenario.fail_fraction:.0%} "
@@ -289,6 +359,12 @@ def cmd_obs(args, out=None) -> int:
 
     if args.obs_command == "summary":
         print(format_metrics_summary(result.metrics), file=out)
+    elif args.obs_command == "paths":
+        return _print_paths(args, obs, result, out)
+    elif args.obs_command == "health":
+        return _print_health(args, result, out)
+    elif args.obs_command == "anomalies":
+        return _print_anomalies(args, obs, result, out)
     elif args.obs_command == "trace":
         if args.out:
             n = obs.tracer.export_jsonl(args.out)
@@ -307,6 +383,110 @@ def cmd_obs(args, out=None) -> int:
             )
     else:
         print(obs.profiler.report(top_k=args.top_k).format_table(), file=out)
+    return 0
+
+
+def _warn_dropped(obs, out) -> None:
+    if obs.tracer.dropped:
+        print(
+            f"warning: ring buffer dropped {obs.tracer.dropped} events; "
+            "reconstruction may be incomplete (raise trace capacity)",
+            file=out,
+        )
+
+
+def _print_paths(args, obs, result, out) -> int:
+    from repro.obs.provenance import PathReconstructor, format_provenance_summary
+
+    recon = PathReconstructor(obs.tracer.events())
+    _warn_dropped(obs, out)
+    counters = (result.metrics or {}).get("counters", {})
+    if not recon.n_deliveries:
+        print("no delivery records in the trace (did the run deliver "
+              "anything via the GoCast stack?)", file=out)
+        return 0
+    if args.message:
+        paths = recon.paths_for_message(args.message)
+        if not paths:
+            known = ", ".join(recon.message_ids())
+            print(f"no deliveries recorded for message {args.message!r}; "
+                  f"known messages: {known}", file=out)
+            return 2
+        complete = sum(1 for p in paths if p.complete)
+        for path in paths[: args.limit]:
+            print(path.format(), file=out)
+            print(file=out)
+        if len(paths) > args.limit:
+            print(f"... {len(paths) - args.limit} more paths "
+                  f"(raise --limit)", file=out)
+        print(f"-- {len(paths)} paths for {args.message}: "
+              f"{complete} complete, {len(paths) - complete} incomplete",
+              file=out)
+    else:
+        print(format_provenance_summary(recon.summary(), counters), file=out)
+        print(file=out)
+        for msg in recon.message_ids():
+            paths = recon.paths_for_message(msg)
+            by_via = {"tree": 0, "pull-repair": 0}
+            for p in paths:
+                by_via[p.attribution] += 1
+            print(f"  {msg}: {len(paths)} receivers "
+                  f"(tree={by_via['tree']} pull-repair={by_via['pull-repair']}); "
+                  f"use --message {msg} for hop detail", file=out)
+    return 0
+
+
+def _print_health(args, result, out) -> int:
+    from repro.obs.health import format_health
+
+    health = (result.metrics or {}).get("health")
+    if not health:
+        print("no health samples (health monitoring runs on the overlay "
+              "protocols with --health-period > 0)", file=out)
+        return 2
+    print(format_health(health), file=out)
+    return 0
+
+
+def _print_anomalies(args, obs, result, out) -> int:
+    from repro.obs.health import orphan_anomalies
+    from repro.obs.provenance import PathReconstructor
+
+    recon = PathReconstructor(obs.tracer.events())
+    _warn_dropped(obs, out)
+    total = 0
+
+    slow = recon.delay_anomalies(factor=args.delay_factor)
+    print(f"== slow deliveries (> {args.delay_factor:g} x tree depth x "
+          f"median hop RTT) ==", file=out)
+    for a in slow:
+        print(f"  {a['msg']} -> node {a['node']}: delay {a['delay']:.4f}s "
+              f"(bound {a['bound']:.4f}s, via {a['attribution']}, "
+              f"{a['hops']} hops)", file=out)
+    print(f"  {len(slow)} flagged", file=out)
+    total += len(slow)
+
+    health = (result.metrics or {}).get("health") or {}
+    stuck = orphan_anomalies(health, min_intervals=args.orphan_intervals)
+    print(f"== stuck orphans (>= {args.orphan_intervals} health intervals) ==",
+          file=out)
+    for a in stuck:
+        print(f"  node {a['node']}: orphaned/stale for {a['intervals']} "
+              f"intervals ({a['seconds']:g}s)", file=out)
+    print(f"  {len(stuck)} flagged", file=out)
+    total += len(stuck)
+
+    retried = recon.retry_anomalies(min_retries=args.retry_threshold)
+    print(f"== multi-retry pulls (>= {args.retry_threshold} retries) ==",
+          file=out)
+    for a in retried:
+        status = "delivered" if a["delivered"] else "NOT delivered"
+        print(f"  {a['msg']} -> node {a['node']}: {a['attempts']} attempts "
+              f"({a['retries']} retries), {status}", file=out)
+    print(f"  {len(retried)} flagged", file=out)
+    total += len(retried)
+
+    print(f"-- {total} anomalies total", file=out)
     return 0
 
 

@@ -63,6 +63,11 @@ class Disseminator:
         node = self.node
         msg_id = node.allocate_message_id()
         node.tracer.injected(msg_id, node.sim.now, node.node_id)
+        if node.obs.enabled:
+            node.obs.metrics.inc("dissem.injected")
+            node.obs.tracer.emit(
+                node.sim.now, "dissem.inject", node=node.node_id, msg=str(msg_id)
+            )
         node.record_dissemination_activity()
         self.buffer.insert(msg_id, payload_size, node.sim.now, age=0.0, payload=payload)
         self._forward_tree(msg_id, exclude=None)
@@ -84,7 +89,7 @@ class Disseminator:
         owl = self._one_way_to(src)
         self._deliver(
             msg.msg_id, msg.payload_size, msg.age + owl, src,
-            via_pull=False, payload=msg.payload,
+            via_pull=False, payload=msg.payload, owl=owl,
         )
 
     def _forward_tree(self, msg_id: MessageId, exclude: Optional[int]) -> None:
@@ -183,6 +188,12 @@ class Disseminator:
                 continue
             pending.requested_from = source
             pending.attempts += 1
+            if node.obs.enabled:
+                node.obs.tracer.emit(
+                    node.sim.now, "pull.request",
+                    node=node.node_id, source=source, msg=str(msg_id),
+                    attempt=pending.attempts,
+                )
             if pending.handle is not None:
                 pending.handle.cancel()
             pending.handle = node.sim.schedule(
@@ -190,6 +201,7 @@ class Disseminator:
             )
 
     def _pull_timed_out(self, msg_id: MessageId) -> None:
+        node = self.node
         pending = self._pending.get(msg_id)
         if pending is None:
             return
@@ -197,7 +209,17 @@ class Disseminator:
         if self.buffer.has_seen(msg_id):
             self._pending.pop(msg_id, None)
             return
-        if pending.attempts >= MAX_PULL_ATTEMPTS:
+        give_up = pending.attempts >= MAX_PULL_ATTEMPTS
+        if node.obs.enabled:
+            node.obs.metrics.inc(
+                "dissem.pull_timeout", action="gave-up" if give_up else "retry"
+            )
+            node.obs.tracer.emit(
+                node.sim.now, "pull.timeout",
+                node=node.node_id, msg=str(msg_id), attempts=pending.attempts,
+                action="gave-up" if give_up else "retry",
+            )
+        if give_up:
             # Give up for now; a future gossip re-advertises the ID.
             self._pending.pop(msg_id, None)
             return
@@ -216,6 +238,11 @@ class Disseminator:
                 # The requester evidently knows the ID already.
                 entry.heard_from.add(src)
         if available:
+            if node.obs.enabled:
+                node.obs.tracer.emit(
+                    node.sim.now, "pull.reply",
+                    node=node.node_id, peer=src, served=len(available),
+                )
             node.send(src, PullData(messages=tuple(available)))
 
     def on_pull_data(self, src: int, msg: PullData) -> None:
@@ -225,7 +252,9 @@ class Disseminator:
             if self.buffer.has_seen(msg_id):
                 node.tracer.redundant(msg_id, node.node_id)
                 continue
-            self._deliver(msg_id, size, age + owl, src, via_pull=True, payload=payload)
+            self._deliver(
+                msg_id, size, age + owl, src, via_pull=True, payload=payload, owl=owl
+            )
 
     # ------------------------------------------------------------------
     # Common delivery path
@@ -238,6 +267,7 @@ class Disseminator:
         from_peer: int,
         via_pull: bool,
         payload: object = None,
+        owl: float = 0.0,
     ) -> None:
         node = self.node
         pending = self._pending.pop(msg_id, None)
@@ -254,11 +284,16 @@ class Disseminator:
             node.obs.metrics.inc(
                 "dissem.delivered", via="pull" if via_pull else "tree"
             )
+            # Pull-repair wait: first advertisement to delivery.
+            waited = 0.0
             if via_pull and pending is not None:
-                # Pull-repair latency: first advertisement to delivery.
-                node.obs.metrics.observe(
-                    "dissem.pull_latency", node.sim.now - pending.heard_at
-                )
+                waited = node.sim.now - pending.heard_at
+                node.obs.metrics.observe("dissem.pull_latency", waited)
+            node.obs.tracer.emit(
+                node.sim.now, "dissem.deliver",
+                node=node.node_id, msg=str(msg_id), src=from_peer,
+                via="pull" if via_pull else "tree", owl=owl, waited=waited,
+            )
         node.on_deliver(msg_id, size)
         # Pulled messages restart the tree flood inside our fragment.
         self._forward_tree(msg_id, exclude=from_peer)
@@ -266,6 +301,11 @@ class Disseminator:
     # ------------------------------------------------------------------
     # Housekeeping
     # ------------------------------------------------------------------
+    @property
+    def pending_pulls(self) -> int:
+        """Messages currently known only by ID (awaiting a pull)."""
+        return len(self._pending)
+
     def maybe_schedule_reclaim(self, entry: BufferEntry) -> None:
         """Arm the reclaim timer once the ID reached every neighbor."""
         node = self.node

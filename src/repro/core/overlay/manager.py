@@ -138,13 +138,13 @@ class OverlayManager:
         cfg = self._cfg
         if msg.kind == RANDOM:
             if self.d_rand >= cfg.c_rand + cfg.degree_slack:
-                node.send(src, LinkReject(msg.kind, "random-degree-full"))
+                self._reject(src, msg.kind, "random-degree-full")
                 return
             rtt = node.measure_rtt(src)
         else:
             # C2: our nearby degree must not be excessive.
             if self.d_near >= cfg.c_near + cfg.degree_slack:
-                node.send(src, LinkReject(msg.kind, "C2"))
+                self._reject(src, msg.kind, "C2")
                 return
             rtt = node.measure_rtt(src)
             # C3: if we already have enough nearby neighbors, the new
@@ -152,7 +152,7 @@ class OverlayManager:
             # currently have (non-strict, per the Adding text in
             # Section 2.2.3 — strict rejection would deadlock on ties).
             if self.d_near >= cfg.c_near and rtt > self.table.max_nearby_rtt():
-                node.send(src, LinkReject(msg.kind, "C3"))
+                self._reject(src, msg.kind, "C3")
                 return
 
         self._add_link(src, msg.kind, rtt)
@@ -160,6 +160,16 @@ class OverlayManager:
         state.nearby_degree = msg.nearby_degree
         state.random_degree = msg.random_degree
         node.send(src, LinkAccept(msg.kind, self.d_near, self.d_rand))
+
+    def _reject(self, src: int, kind: str, reason: str) -> None:
+        node = self.node
+        if node.obs.enabled:
+            node.obs.metrics.inc("overlay.link_reject", reason=reason)
+            node.obs.tracer.emit(
+                node.sim.now, "overlay.reject",
+                node=node.node_id, peer=src, kind=kind, reason=reason,
+            )
+        node.send(src, LinkReject(kind, reason))
 
     def on_link_accept(self, src: int, msg: LinkAccept) -> None:
         pending = self._pending.pop(src, None)

@@ -249,11 +249,24 @@ class TreeManager:
             self.parent_switches += 1
             if self.node.obs.enabled:
                 self.node.obs.metrics.inc("tree.parent_switch")
+                self.node.obs.tracer.emit(
+                    self.node.sim.now, "tree.parent_switch",
+                    node=self.node.node_id, old=old, new=new_parent,
+                )
             self.node.send(new_parent, TreeAttach())
 
     def _send_detach(self, peer: int) -> None:
         if peer in self.node.overlay.table:
             self.node.send(peer, TreeDetach())
+
+    def _record_orphaned(self, cause: str) -> None:
+        """Instrumentation only: the node just lost its parent pointer."""
+        node = self.node
+        if node.obs.enabled:
+            node.obs.metrics.inc("tree.orphaned", cause=cause)
+            node.obs.tracer.emit(
+                node.sim.now, "tree.orphaned", node=node.node_id, cause=cause
+            )
 
     # ------------------------------------------------------------------
     # Attach / detach bookkeeping
@@ -269,6 +282,7 @@ class TreeManager:
             # the two-cycle, then re-attach elsewhere.
             self.parent = None
             self._wave_parent_cand = None
+            self._record_orphaned("parent-yield")
         self.children.add(src)
         state.is_tree_child = True
         if self.parent is None and not self.is_root:
@@ -282,6 +296,7 @@ class TreeManager:
         if src == self.parent:
             # A parent refusing us (attach raced with a link drop).
             self.parent = None
+            self._record_orphaned("parent-refused")
             self._repair_parent()
 
     # ------------------------------------------------------------------
@@ -294,6 +309,7 @@ class TreeManager:
         if peer == self.parent:
             self.parent = None
             self._wave_parent_cand = None
+            self._record_orphaned("link-lost")
             self._repair_parent()
 
     def on_neighbor_info(self, peer: int) -> None:
@@ -337,6 +353,12 @@ class TreeManager:
         if best_peer is not None:
             self.dist = best_dist
             self._wave_parent_cand = best_dist
+            if self.node.obs.enabled:
+                self.node.obs.metrics.inc("tree.reattach")
+                self.node.obs.tracer.emit(
+                    self.node.sim.now, "tree.reattach",
+                    node=self.node.node_id, parent=best_peer, dist=best_dist,
+                )
             self._set_parent(best_peer)
         # Otherwise stay detached; the next heartbeat wave re-attaches us.
 

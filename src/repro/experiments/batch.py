@@ -289,14 +289,19 @@ def _json_safe(obj: Any) -> Any:
     return obj
 
 
-#: Worker payload: (scenario-with-trial-seed, trial index, collect obs?).
-TrialPayload = Tuple[ScenarioConfig, int, bool]
+#: Worker payload: (scenario-with-trial-seed, trial index, collect obs?,
+#: health sampling period for the obs health monitor).
+TrialPayload = Tuple[ScenarioConfig, int, bool, float]
 
 
 def _run_trial(payload: TrialPayload) -> TrialResult:
     """Top-level (hence picklable) worker: one trial, plain-data result."""
-    scenario, trial_index, collect_metrics = payload
-    obs = Observability(enabled=True) if collect_metrics else None
+    scenario, trial_index, collect_metrics, health_period = payload
+    obs = (
+        Observability(enabled=True, health_period=health_period)
+        if collect_metrics
+        else None
+    )
     result = run_delay_experiment(scenario, obs=obs)
     return TrialResult.from_delay_result(trial_index, scenario.seed, result)
 
@@ -306,6 +311,7 @@ def trial_payloads(
     n_trials: int,
     root_seed: Optional[int] = None,
     collect_metrics: bool = False,
+    health_period: float = 1.0,
 ) -> List[TrialPayload]:
     """The deterministic per-trial payloads of a batch.
 
@@ -319,6 +325,7 @@ def trial_payloads(
             dataclasses.replace(scenario, seed=RngRegistry.trial_seed(root, i)),
             i,
             collect_metrics,
+            health_period,
         )
         for i in range(n_trials)
     ]
@@ -401,6 +408,7 @@ def run_batch(
     root_seed: Optional[int] = None,
     collect_metrics: bool = False,
     mp_context=None,
+    health_period: float = 1.0,
 ) -> BatchResult:
     """Run ``n_trials`` independent trials of ``scenario`` and aggregate.
 
@@ -409,14 +417,16 @@ def run_batch(
     bit-identical for any worker count given the same ``root_seed``
     (which defaults to ``scenario.seed``).  ``collect_metrics`` runs
     every trial under an enabled
-    :class:`~repro.obs.Observability` and merges the snapshots into
-    ``BatchResult.metrics`` in the parent.
+    :class:`~repro.obs.Observability` and merges the snapshots —
+    including their health and provenance sections, when the scenario
+    produces them — into ``BatchResult.metrics`` in the parent;
+    ``health_period`` tunes the health monitor's sampling cadence.
     """
     if n_trials < 1:
         raise ValueError("need at least 1 trial")
     if workers < 1:
         raise ValueError("need at least 1 worker")
     root = scenario.seed if root_seed is None else int(root_seed)
-    payloads = trial_payloads(scenario, n_trials, root, collect_metrics)
+    payloads = trial_payloads(scenario, n_trials, root, collect_metrics, health_period)
     trials = parallel_map(_run_trial, payloads, workers, mp_context=mp_context)
     return aggregate_trials(scenario, trials, root, workers)

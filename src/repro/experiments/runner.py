@@ -19,6 +19,8 @@ from repro.experiments.system import GoCastSystem
 from repro.net.king import SyntheticKingModel
 from repro.net.latency import LatencyModel
 from repro.obs import Observability
+from repro.obs.health import HealthMonitor
+from repro.obs.provenance import PathReconstructor
 from repro.obs.summary import record_link_stress
 from repro.protocols.nowait_gossip import NoWaitGossipNode
 from repro.protocols.push_gossip import PushGossipNode
@@ -115,9 +117,17 @@ def run_delay_experiment(
 
 
 def _finalize_obs(
-    obs: Optional[Observability], sim: Simulator, network: Network
+    obs: Optional[Observability],
+    sim: Simulator,
+    network: Network,
+    health: Optional[HealthMonitor] = None,
 ) -> Optional[Dict[str, Any]]:
-    """Fold end-of-run state into the metrics and snapshot them."""
+    """Fold end-of-run state into the metrics and snapshot them.
+
+    The snapshot is extended with a ``health`` section (when a health
+    monitor sampled the run) and a ``provenance`` section (when the
+    trace carries delivery records — i.e. the GoCast dissemination
+    stack ran with tracing enabled)."""
     if obs is None:
         return None
     if obs.profiler is not None:
@@ -127,7 +137,13 @@ def _finalize_obs(
     record_link_stress(obs.metrics, network.link_counts)
     obs.metrics.set_gauge("sim.events_executed", sim.events_executed)
     obs.metrics.set_gauge("sim.end_time", sim.now)
-    return obs.metrics.snapshot()
+    snapshot = obs.metrics.snapshot()
+    if health is not None and health.samples:
+        snapshot["health"] = health.to_dict()
+    reconstructor = PathReconstructor(obs.tracer.events())
+    if reconstructor.n_deliveries:
+        snapshot["provenance"] = reconstructor.summary()
+    return snapshot
 
 
 def _result_from_tracer(
@@ -165,6 +181,17 @@ def _run_overlay_protocol(
     obs: Optional[Observability] = None,
 ) -> DelayResult:
     system = GoCastSystem(scenario, latency=latency, obs=obs)
+
+    # Health sampling rides on a read-only periodic timer: it inspects
+    # node state but never mutates it nor draws simulation randomness,
+    # so the protocol schedule stays bit-identical with or without it.
+    health: Optional[HealthMonitor] = None
+    if obs is not None and obs.enabled and obs.health_period > 0:
+        health = HealthMonitor(
+            system.nodes, system.network, obs, period=obs.health_period
+        )
+        health.start(system.sim)
+
     system.run_adaptation()
 
     fail_time = scenario.adapt_time
@@ -179,8 +206,10 @@ def _run_overlay_protocol(
     system.run_until(end + scenario.drain_time)
 
     receivers = system.live_node_ids()
+    if health is not None:
+        health.stop()
     result = _result_from_tracer(scenario, system.tracer, receivers, system.network)
-    result.metrics = _finalize_obs(obs, system.sim, system.network)
+    result.metrics = _finalize_obs(obs, system.sim, system.network, health=health)
     return result
 
 

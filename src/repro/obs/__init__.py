@@ -27,15 +27,22 @@ See ``docs/OBSERVABILITY.md`` for usage.
 
 from __future__ import annotations
 
+from repro.obs.health import HealthMonitor, HealthSample
 from repro.obs.metrics import MetricsRegistry, StreamingHistogram, merge_snapshots
 from repro.obs.profiler import CATEGORY_RULES, Profiler, ProfileReport, categorize
+from repro.obs.provenance import DeliveryPath, Hop, PathReconstructor
 from repro.obs.summary import format_metrics_summary, record_link_stress
-from repro.obs.tracer import SimTracer, TraceEvent
+from repro.obs.tracer import TRACE_SCHEMA, SimTracer, TraceEvent, validate_events
 
 
 class Observability:
     """Facade bundling a metrics registry, a tracer and (optionally) a
-    profiler behind one enabled flag."""
+    profiler behind one enabled flag.
+
+    ``health_period`` sets the sampling cadence of the
+    :class:`~repro.obs.health.HealthMonitor` the experiment runner
+    attaches to overlay runs (``0`` disables health sampling).
+    """
 
     def __init__(
         self,
@@ -43,11 +50,13 @@ class Observability:
         trace_capacity: int = 65536,
         profile: bool = False,
         max_label_sets: int = 256,
+        health_period: float = 1.0,
     ):
         self.enabled = enabled
         self.metrics = MetricsRegistry(enabled=enabled, max_label_sets=max_label_sets)
         self.tracer = SimTracer(capacity=trace_capacity, enabled=enabled)
         self.profiler = Profiler() if profile else None
+        self.health_period = health_period
 
 
 #: Shared always-disabled instance; the default for every protocol object.
@@ -56,15 +65,22 @@ DISABLED = Observability(enabled=False)
 __all__ = [
     "CATEGORY_RULES",
     "DISABLED",
+    "DeliveryPath",
+    "HealthMonitor",
+    "HealthSample",
+    "Hop",
     "MetricsRegistry",
     "Observability",
+    "PathReconstructor",
     "ProfileReport",
     "Profiler",
     "SimTracer",
     "StreamingHistogram",
+    "TRACE_SCHEMA",
     "TraceEvent",
     "categorize",
     "format_metrics_summary",
     "merge_snapshots",
     "record_link_stress",
+    "validate_events",
 ]

@@ -1,0 +1,364 @@
+"""Periodic overlay/tree health sampling.
+
+Failure and churn experiments previously produced endpoint numbers only
+(final reliability, final delay CDF).  :class:`HealthMonitor` turns them
+into a *health trajectory*: a sim timer samples, every ``period``
+seconds, the structural state of the whole system —
+
+* tree fragment count (connected components of the live parent/child
+  graph — 1 means the dissemination tree is whole),
+* orphaned nodes (live, non-root, no parent pointer) and stale-route
+  nodes (parent pointer at a dead or vanished peer),
+* overlay degree distribution against the configured C_rand/C_near
+  targets (mean degrees + fraction of nodes at target, where target is
+  the paper's stable band ``C`` or ``C + 1``),
+* pending-pull queue depths (sum and worst node).
+
+Samples land in three places at once: a :class:`HealthSample` row kept
+by the monitor, ``health.*`` time series in the metrics registry, and a
+``health.sample`` trace event.  The monitor is strictly read-only with
+respect to the protocol: its timer callback inspects node state, never
+mutates it, and draws from no simulation RNG, so enabling it cannot
+change a seeded run's protocol behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, NamedTuple, Optional
+
+from repro.sim.timers import PeriodicTimer
+
+
+class HealthSample(NamedTuple):
+    """One snapshot of system health at simulated ``time``."""
+
+    time: float
+    live: int
+    tree_fragments: float  # NaN when the scenario runs no tree
+    orphaned: float
+    stale_root: float
+    pending_pulls: int
+    pending_pulls_max: int
+    mean_d_rand: float
+    mean_d_near: float
+    d_rand_on_target: float
+    d_near_on_target: float
+
+
+#: The sampled quantities (everything but the timestamp).
+HEALTH_FIELDS = HealthSample._fields[1:]
+
+
+class HealthMonitor:
+    """Samples overlay/tree health on a periodic sim timer."""
+
+    def __init__(self, nodes: Dict[int, Any], network, obs, period: float = 1.0):
+        if period <= 0:
+            raise ValueError(f"health period must be positive, got {period}")
+        self.nodes = nodes
+        self.network = network
+        self.obs = obs
+        self.period = period
+        self.samples: List[HealthSample] = []
+        #: Per-node consecutive bad (orphaned or stale-route) intervals.
+        self._streak: Dict[int, int] = {}
+        self._streak_max: Dict[int, int] = {}
+        self._timer: Optional[PeriodicTimer] = None
+        self._sim = None
+        any_node = next(iter(nodes.values()), None)
+        self._use_tree = bool(any_node is not None and any_node.config.use_tree)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, sim, phase: Optional[float] = None) -> None:
+        """Arm the sampling timer (first sample after one period)."""
+        self._sim = sim
+        if self._timer is None:
+            # obs=None: the sampler should not flood timer.fire events.
+            self._timer = PeriodicTimer(sim, self.period, self._sample, name="health")
+        self._timer.start(phase=phase)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _sample(self) -> None:
+        now = self._sim.now if self._sim is not None else 0.0
+        alive = self.network.alive_nodes()
+        live = [(nid, n) for nid, n in self.nodes.items() if nid in alive]
+
+        orphaned_nodes: List[int] = []
+        stale_nodes: List[int] = []
+        pending_sum = 0
+        pending_max = 0
+        d_rands: List[int] = []
+        d_nears: List[int] = []
+        for nid, node in live:
+            pending = node.disseminator.pending_pulls
+            pending_sum += pending
+            pending_max = max(pending_max, pending)
+            d_rands.append(node.overlay.d_rand)
+            d_nears.append(node.overlay.d_near)
+            if self._use_tree:
+                tree = node.tree
+                if tree.parent is None:
+                    if not tree.is_root:
+                        orphaned_nodes.append(nid)
+                elif tree.parent not in alive or tree.parent not in node.overlay.table:
+                    stale_nodes.append(nid)
+
+        if self._use_tree:
+            fragments = float(self._tree_fragments(live, alive))
+            orphaned = float(len(orphaned_nodes))
+            stale = float(len(stale_nodes))
+        else:
+            fragments = orphaned = stale = math.nan
+
+        n = len(live)
+        cfg = live[0][1].config if live else None
+        sample = HealthSample(
+            time=now,
+            live=n,
+            tree_fragments=fragments,
+            orphaned=orphaned,
+            stale_root=stale,
+            pending_pulls=pending_sum,
+            pending_pulls_max=pending_max,
+            mean_d_rand=(sum(d_rands) / n) if n else math.nan,
+            mean_d_near=(sum(d_nears) / n) if n else math.nan,
+            d_rand_on_target=_on_target(d_rands, cfg.c_rand) if n else math.nan,
+            d_near_on_target=_on_target(d_nears, cfg.c_near) if n else math.nan,
+        )
+        self.samples.append(sample)
+        self._update_streaks(live, set(orphaned_nodes) | set(stale_nodes))
+
+        metrics = self.obs.metrics
+        for field in HEALTH_FIELDS:
+            metrics.record(f"health.{field}", now, float(getattr(sample, field)))
+        self.obs.tracer.emit(
+            now, "health.sample",
+            **{field: getattr(sample, field) for field in HEALTH_FIELDS},
+        )
+
+    def _update_streaks(self, live, bad_nodes) -> None:
+        for nid, _ in live:
+            if nid in bad_nodes:
+                streak = self._streak.get(nid, 0) + 1
+                self._streak[nid] = streak
+                if streak > self._streak_max.get(nid, 0):
+                    self._streak_max[nid] = streak
+            else:
+                self._streak[nid] = 0
+
+    def _tree_fragments(self, live, alive) -> int:
+        """Connected components of the live tree-link graph (union-find)."""
+        parent = {nid: nid for nid, _ in live}
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:  # path compression
+                parent[x], x = root, parent[x]
+            return root
+
+        for nid, node in live:
+            for peer in node.tree.tree_neighbors():
+                if peer in parent:
+                    ra, rb = find(nid), find(peer)
+                    if ra != rb:
+                        parent[ra] = rb
+        return sum(1 for nid, _ in live if find(nid) == nid)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def orphan_streaks(self) -> Dict[int, int]:
+        """Per node: longest run of consecutive bad sampling intervals."""
+        return dict(self._streak_max)
+
+    def recovery(self) -> Dict[str, Optional[float]]:
+        """When the tree fragmented, and when it became whole again."""
+        fragmented_at = recovered_at = None
+        for s in self.samples:
+            if math.isnan(s.tree_fragments):
+                continue
+            if fragmented_at is None and s.tree_fragments > 1:
+                fragmented_at = s.time
+            elif fragmented_at is not None and recovered_at is None and s.tree_fragments == 1:
+                recovered_at = s.time
+        return {"fragmented_at": fragmented_at, "recovered_at": recovered_at}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form carried inside obs snapshots (JSON-safe
+        apart from NaN, which the batch layer's serializer handles)."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for field in HEALTH_FIELDS:
+            values = [
+                float(getattr(s, field))
+                for s in self.samples
+                if not math.isnan(float(getattr(s, field)))
+            ]
+            if values:
+                summary[field] = {
+                    "min": min(values), "max": max(values), "final": values[-1],
+                }
+        return {
+            "period": self.period,
+            "n_samples": len(self.samples),
+            "fields": list(HealthSample._fields),
+            "samples": [[float(v) for v in s] for s in self.samples],
+            "summary": summary,
+            "recovery": self.recovery(),
+            "orphan_streaks": {
+                int(nid): streak
+                for nid, streak in sorted(self._streak_max.items())
+                if streak > 0
+            },
+        }
+
+
+def _on_target(degrees: List[int], target: int) -> float:
+    """Fraction of nodes inside the paper's stable band [C, C+1]."""
+    if not degrees:
+        return math.nan
+    hits = sum(1 for d in degrees if target <= d <= target + 1)
+    return hits / len(degrees)
+
+
+# ----------------------------------------------------------------------
+# Anomaly detection and merging over plain health dicts (work equally on
+# a live monitor's to_dict() and a reloaded/merged snapshot section).
+# ----------------------------------------------------------------------
+def orphan_anomalies(
+    health: Dict[str, Any], min_intervals: int = 5
+) -> List[Dict[str, Any]]:
+    """Nodes that stayed orphaned/stale ``min_intervals`` samples or more."""
+    period = health.get("period", 0.0)
+    out = [
+        {"node": int(nid), "intervals": streak, "seconds": streak * period}
+        for nid, streak in health.get("orphan_streaks", {}).items()
+        if streak >= min_intervals
+    ]
+    out.sort(key=lambda a: (-a["intervals"], a["node"]))
+    return out
+
+
+def merge_health_sections(sections: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate per-trial health rollups (order-invariant).
+
+    Raw sample rows are not carried across the merge — trials have
+    unrelated timelines — only the per-field envelope and recovery
+    statistics.  Float means use sorted ``fsum`` so the result is
+    bit-identical for any trial ordering.
+    """
+    merged: Dict[str, Any] = {
+        "n_trials": len(sections),
+        "n_samples": sum(s.get("n_samples", 0) for s in sections),
+    }
+    periods = sorted(s.get("period", 0.0) for s in sections)
+    merged["period"] = math.fsum(periods) / len(periods) if periods else 0.0
+
+    summary: Dict[str, Dict[str, float]] = {}
+    for field in HEALTH_FIELDS:
+        mins = sorted(
+            s["summary"][field]["min"] for s in sections if field in s.get("summary", {})
+        )
+        maxs = sorted(
+            s["summary"][field]["max"] for s in sections if field in s.get("summary", {})
+        )
+        finals = sorted(
+            s["summary"][field]["final"] for s in sections if field in s.get("summary", {})
+        )
+        if finals:
+            summary[field] = {
+                "min": mins[0],
+                "max": maxs[-1],
+                "final_mean": math.fsum(finals) / len(finals),
+            }
+    merged["summary"] = summary
+
+    recovered = sorted(
+        s["recovery"]["recovered_at"]
+        for s in sections
+        if s.get("recovery", {}).get("recovered_at") is not None
+    )
+    fragmented = sum(
+        1 for s in sections if s.get("recovery", {}).get("fragmented_at") is not None
+    )
+    merged["recovery"] = {
+        "fragmented_trials": fragmented,
+        "recovered_trials": len(recovered),
+        "mean_recovered_at": math.fsum(recovered) / len(recovered) if recovered else None,
+    }
+    return merged
+
+
+def format_health(health: Dict[str, Any], limit: int = 24) -> str:
+    """Render a health trajectory (single-trial dict) for the CLI."""
+    fields = health.get("fields", ["time", *HEALTH_FIELDS])
+    rows = health.get("samples", [])
+    lines = ["== health trajectory =="]
+    lines.append(
+        f"{len(rows)} samples every {health.get('period', 0.0):g}s "
+        f"({len(rows) * health.get('period', 0.0):g}s covered)"
+    )
+    headers = ["time", "live", "frags", "orph", "stale", "pulls", "max",
+               "d_rand", "d_near", "rand@C", "near@C"]
+    if rows:
+        lines.append(
+            "  ".join(f"{h:>7}" for h in headers)
+        )
+        step = max(1, math.ceil(len(rows) / limit))
+        shown = rows[::step]
+        if rows and shown[-1] is not rows[-1]:
+            shown.append(rows[-1])
+        for row in shown:
+            s = dict(zip(fields, row))
+            lines.append(
+                "  ".join(
+                    [
+                        f"{s['time']:>7.2f}",
+                        f"{int(s['live']):>7d}",
+                        _cell(s["tree_fragments"], "d"),
+                        _cell(s["orphaned"], "d"),
+                        _cell(s["stale_root"], "d"),
+                        f"{int(s['pending_pulls']):>7d}",
+                        f"{int(s['pending_pulls_max']):>7d}",
+                        _cell(s["mean_d_rand"], ".2f"),
+                        _cell(s["mean_d_near"], ".2f"),
+                        _cell(s["d_rand_on_target"], ".2f"),
+                        _cell(s["d_near_on_target"], ".2f"),
+                    ]
+                )
+            )
+    recovery = health.get("recovery", {})
+    if recovery.get("fragmented_at") is not None:
+        recovered = recovery.get("recovered_at")
+        tail = (
+            f"recovered (1 fragment) at t={recovered:g}s"
+            if recovered is not None
+            else "NOT recovered by end of run"
+        )
+        lines.append(
+            f"tree fragmented at t={recovery['fragmented_at']:g}s; {tail}"
+        )
+    streaks = health.get("orphan_streaks", {})
+    if streaks:
+        worst = sorted(streaks.items(), key=lambda kv: -kv[1])[:5]
+        rendered = ", ".join(f"node {nid}: {n}" for nid, n in worst)
+        lines.append(f"longest orphan streaks (intervals): {rendered}")
+    return "\n".join(lines)
+
+
+def _cell(value: float, spec: str) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return f"{'-':>7}"
+    if spec == "d":
+        return f"{int(value):>7d}"
+    return f"{value:>7{spec}}"

@@ -263,6 +263,11 @@ def merge_snapshots(snapshots: Iterable[Optional[Dict[str, Any]]]) -> Optional[D
     ``None`` entries (trials run without observability) are skipped;
     returns ``None`` when no snapshot survives.  The result carries an
     ``n_snapshots`` count.
+
+    Snapshots may additionally carry ``health`` (health-monitor rollup,
+    see :mod:`repro.obs.health`) and ``provenance`` (path-reconstruction
+    rollup, see :mod:`repro.obs.provenance`) sections; when present they
+    are merged with their modules' order-invariant reducers.
     """
     snaps = [s for s in snapshots if s]
     if not snaps:
@@ -296,10 +301,23 @@ def merge_snapshots(snapshots: Iterable[Optional[Dict[str, Any]]]) -> Optional[D
             series[key] = series.get(key, 0) + n_points
     for cell in histograms.values():
         cell["mean"] = cell["sum"] / cell["count"]
-    return {
+    merged = {
         "n_snapshots": len(snaps),
         "counters": counters,
         "gauges": {key: sum(vals) / len(vals) for key, vals in gauge_values.items()},
         "histograms": histograms,
         "series": series,
     }
+    # Optional sections added by the experiment runner.  Imported lazily:
+    # these modules are higher up the obs stack than the registry.
+    health_sections = [s["health"] for s in snaps if s.get("health")]
+    if health_sections:
+        from repro.obs.health import merge_health_sections
+
+        merged["health"] = merge_health_sections(health_sections)
+    provenance_sections = [s["provenance"] for s in snaps if s.get("provenance")]
+    if provenance_sections:
+        from repro.obs.provenance import merge_provenance_summaries
+
+        merged["provenance"] = merge_provenance_summaries(provenance_sections)
+    return merged

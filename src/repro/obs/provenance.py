@@ -1,0 +1,370 @@
+"""Causal delivery provenance: per-message, per-hop path reconstruction.
+
+The dissemination layer emits distributed-tracing-style records when
+observability is enabled:
+
+* ``dissem.inject``  — a message enters the system at its source,
+* ``dissem.deliver`` — a node delivers a message, carrying the peer it
+  came from (``src``), the mechanism (``via`` = ``tree`` | ``pull``),
+  the one-way latency of that hop (``owl``), and — for pulls — how long
+  the node waited between first hearing the id advertised and receiving
+  the payload (``waited``),
+* ``pull.request``   — each pull attempt for a specific message id.
+
+Because every delivery record points at the peer that supplied the
+payload, the records form a reverse forest rooted at each message's
+source.  :class:`PathReconstructor` walks that forest to rebuild the
+complete hop-by-hop path every (message, node) pair took through the
+overlay, attributes each path to the embedded ``tree`` or to gossip
+``pull-repair``, and breaks the end-to-end delay down per hop into wire
+latency vs queueing/gossip wait.
+
+Attribution is defined as the mechanism of the *final* hop (how the node
+itself got the payload), so summing attributions over all delivery
+records reproduces the ``dissem.delivered{via=...}`` counters exactly —
+the diagnostics CLI checks that identity on every run.
+
+The module is pure analysis: it only reads trace events and never
+touches protocol state, so it works equally on a live
+:class:`~repro.obs.tracer.SimTracer` buffer or a reloaded JSONL trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.tracer import TraceEvent
+
+#: Attribution labels (mechanism of the final hop).
+TREE = "tree"
+PULL_REPAIR = "pull-repair"
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One edge of a delivery path: ``src`` handed the payload to ``node``."""
+
+    node: int
+    src: int
+    via: str  # "tree" | "pull" | "inject" (source's own zero-length hop)
+    time: float  # simulated delivery time at ``node``
+    owl: float  # one-way wire latency of this hop
+    waited: float  # pull only: first-advertisement -> payload wait
+
+    @property
+    def mechanism(self) -> str:
+        return PULL_REPAIR if self.via == "pull" else TREE
+
+
+@dataclass
+class DeliveryPath:
+    """The reconstructed end-to-end path of one (message, node) pair."""
+
+    msg: str
+    node: int
+    source: Optional[int]
+    inject_time: Optional[float]
+    hops: List[Hop] = field(default_factory=list)  # source side first
+    complete: bool = True  # walked all the way back to the source
+
+    @property
+    def attribution(self) -> str:
+        """``tree`` or ``pull-repair`` — mechanism of the final hop."""
+        return self.hops[-1].mechanism
+
+    @property
+    def delivered_at(self) -> float:
+        return self.hops[-1].time
+
+    @property
+    def delay(self) -> float:
+        """End-to-end delay; NaN when the inject record is unknown."""
+        if self.inject_time is None:
+            return math.nan
+        return self.delivered_at - self.inject_time
+
+    @property
+    def n_hops(self) -> int:
+        return len(self.hops)
+
+    def segments(self) -> List[Tuple[float, float, float]]:
+        """Per-hop latency breakdown: ``(duration, wire, queued)``.
+
+        ``duration`` is the simulated time the payload spent reaching
+        this hop's node since the previous hop (or injection); ``wire``
+        is the hop's one-way latency and ``queued = duration - wire`` is
+        everything else (forwarding f-delays, gossip intervals, pull
+        round trips).  Durations are NaN for the first hop of an
+        incomplete path, where the predecessor's delivery time is
+        outside the trace.
+        """
+        out: List[Tuple[float, float, float]] = []
+        prev = self.inject_time if self.complete else None
+        for hop in self.hops:
+            if prev is None:
+                out.append((math.nan, hop.owl, math.nan))
+            else:
+                duration = hop.time - prev
+                out.append((duration, hop.owl, duration - hop.owl))
+            prev = hop.time
+        return out
+
+    def format(self) -> str:
+        """Human-readable rendering for the diagnostics CLI."""
+        status = "" if self.complete else "  [INCOMPLETE: head hop missing]"
+        head = (
+            f"message {self.msg} -> node {self.node}: "
+            f"{self.n_hops} hop(s), via {self.attribution}, "
+            f"delay {_fmt(self.delay)}s{status}"
+        )
+        lines = [head]
+        for hop, (duration, wire, queued) in zip(self.hops, self.segments()):
+            extra = f" waited={hop.waited:.4f}s" if hop.via == "pull" else ""
+            lines.append(
+                f"  {hop.src} -> {hop.node}  via={hop.mechanism:<11}"
+                f" t={hop.time:.4f}  seg={_fmt(duration)}s"
+                f" (wire={wire:.4f}s queued={_fmt(queued)}s){extra}"
+            )
+        return "\n".join(lines)
+
+
+def _fmt(x: float) -> str:
+    return "?" if math.isnan(x) else f"{x:.4f}"
+
+
+class PathReconstructor:
+    """Rebuild delivery paths from a trace's provenance records."""
+
+    def __init__(self, events: Iterable[TraceEvent]):
+        #: msg -> (source node, inject time)
+        self._inject: Dict[str, Tuple[int, float]] = {}
+        #: msg -> node -> final-hop record
+        self._deliver: Dict[str, Dict[int, Hop]] = {}
+        #: (msg, node) -> highest pull attempt number seen
+        self._attempts: Dict[Tuple[str, int], int] = {}
+        for ev in events:
+            f = ev.fields
+            if ev.category == "dissem.inject":
+                self._inject[f["msg"]] = (f["node"], ev.time)
+            elif ev.category == "dissem.deliver":
+                self._deliver.setdefault(f["msg"], {})[f["node"]] = Hop(
+                    node=f["node"], src=f["src"], via=f["via"],
+                    time=ev.time, owl=f["owl"], waited=f["waited"],
+                )
+            elif ev.category == "pull.request":
+                key = (f["msg"], f["node"])
+                if f["attempt"] > self._attempts.get(key, 0):
+                    self._attempts[key] = f["attempt"]
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+    @property
+    def n_deliveries(self) -> int:
+        return sum(len(nodes) for nodes in self._deliver.values())
+
+    def message_ids(self) -> List[str]:
+        """All message ids seen, ordered by injection time."""
+        ids = set(self._inject) | set(self._deliver)
+        return sorted(ids, key=lambda m: (self._inject.get(m, (0, math.inf))[1], m))
+
+    def nodes_for(self, msg: str) -> List[int]:
+        return sorted(self._deliver.get(msg, {}))
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    def path(self, msg: str, node: int) -> Optional[DeliveryPath]:
+        """Walk backward from (msg, node) to the source via src pointers."""
+        by_node = self._deliver.get(msg, {})
+        if node not in by_node:
+            return None
+        source, inject_time = self._inject.get(msg, (None, None))
+        hops: List[Hop] = []
+        seen = {node}
+        cursor: Optional[int] = node
+        complete = False
+        while cursor is not None:
+            hop = by_node.get(cursor)
+            if hop is None:
+                break  # predecessor's record missing (e.g. ring-buffer drop)
+            hops.append(hop)
+            if hop.src == source or hop.via == "inject":
+                complete = True
+                break
+            if hop.src in seen:
+                break  # defensive: malformed trace would otherwise loop
+            seen.add(hop.src)
+            cursor = hop.src
+        hops.reverse()
+        return DeliveryPath(
+            msg=msg, node=node, source=source, inject_time=inject_time,
+            hops=hops, complete=complete,
+        )
+
+    def paths_for_message(self, msg: str) -> List[DeliveryPath]:
+        return [p for n in self.nodes_for(msg) if (p := self.path(msg, n))]
+
+    def all_paths(self) -> List[DeliveryPath]:
+        out: List[DeliveryPath] = []
+        for msg in self.message_ids():
+            out.extend(self.paths_for_message(msg))
+        return out
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def attribution_counts(self) -> Dict[str, int]:
+        """Final-hop attribution totals over every delivery record.
+
+        Computed directly from the records (not from reconstruction), so
+        it equals the ``dissem.delivered{via=...}`` counters whenever
+        the ring buffer kept every delivery event.
+        """
+        counts = {TREE: 0, PULL_REPAIR: 0}
+        for nodes in self._deliver.values():
+            for hop in nodes.values():
+                counts[hop.mechanism] += 1
+        return counts
+
+    def matches_counters(self, counters: Dict[str, int]) -> bool:
+        """Do attribution totals equal ``dissem.delivered{via=...}``?"""
+        counts = self.attribution_counts()
+        return (
+            counts[TREE] == counters.get("dissem.delivered{via=tree}", 0)
+            and counts[PULL_REPAIR] == counters.get("dissem.delivered{via=pull}", 0)
+        )
+
+    def tree_depth(self) -> int:
+        """Deepest reconstructed path, a proxy for effective tree depth."""
+        return max((p.n_hops for p in self.all_paths()), default=0)
+
+    def median_hop_owl(self) -> float:
+        """Median one-way wire latency over all hops (NaN if no hops)."""
+        owls = sorted(
+            hop.owl for nodes in self._deliver.values() for hop in nodes.values()
+        )
+        if not owls:
+            return math.nan
+        mid = len(owls) // 2
+        if len(owls) % 2:
+            return owls[mid]
+        return (owls[mid - 1] + owls[mid]) / 2.0
+
+    def summary(self) -> Dict[str, Any]:
+        """Plain-data rollup, merged across trials by the batch runner."""
+        paths = self.all_paths()
+        hops_hist: Dict[str, int] = {}
+        for p in paths:
+            key = str(p.n_hops)
+            hops_hist[key] = hops_hist.get(key, 0) + 1
+        return {
+            "messages": len(self.message_ids()),
+            "paths": len(paths),
+            "complete": sum(1 for p in paths if p.complete),
+            "incomplete": sum(1 for p in paths if not p.complete),
+            "attribution": self.attribution_counts(),
+            "hops": hops_hist,
+            "max_hops": self.tree_depth(),
+        }
+
+    # ------------------------------------------------------------------
+    # Anomaly detection
+    # ------------------------------------------------------------------
+    def delay_anomalies(self, factor: float = 3.0) -> List[Dict[str, Any]]:
+        """Deliveries slower than ``factor * tree_depth * median_RTT``.
+
+        The bound models the worst sane case — traversing the full tree
+        depth with one request/response exchange per hop (median RTT =
+        2x median one-way latency).  Anything beyond ``factor`` times
+        that had to sit in retry/timeout limbo.
+        """
+        depth = self.tree_depth()
+        median_rtt = 2.0 * self.median_hop_owl()
+        bound = factor * depth * median_rtt
+        if not depth or math.isnan(bound):
+            return []
+        out = []
+        for p in self.all_paths():
+            if not math.isnan(p.delay) and p.delay > bound:
+                out.append(
+                    {
+                        "msg": p.msg, "node": p.node, "delay": p.delay,
+                        "bound": bound, "attribution": p.attribution,
+                        "hops": p.n_hops,
+                    }
+                )
+        out.sort(key=lambda a: -a["delay"])
+        return out
+
+    def retry_anomalies(self, min_retries: int = 2) -> List[Dict[str, Any]]:
+        """Pulls that needed ``min_retries`` or more re-requests."""
+        out = []
+        for (msg, node), attempts in sorted(self._attempts.items()):
+            retries = attempts - 1
+            if retries >= min_retries:
+                delivered = node in self._deliver.get(msg, {})
+                out.append(
+                    {
+                        "msg": msg, "node": node, "attempts": attempts,
+                        "retries": retries, "delivered": delivered,
+                    }
+                )
+        out.sort(key=lambda a: (-a["retries"], a["msg"], a["node"]))
+        return out
+
+
+def merge_provenance_summaries(summaries: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Sum provenance rollups across trials (order-invariant)."""
+    merged: Dict[str, Any] = {
+        "messages": 0, "paths": 0, "complete": 0, "incomplete": 0,
+        "attribution": {TREE: 0, PULL_REPAIR: 0}, "hops": {}, "max_hops": 0,
+        "n_trials": len(summaries),
+    }
+    for s in summaries:
+        for key in ("messages", "paths", "complete", "incomplete"):
+            merged[key] += s.get(key, 0)
+        for label, n in s.get("attribution", {}).items():
+            merged["attribution"][label] = merged["attribution"].get(label, 0) + n
+        for bucket, n in s.get("hops", {}).items():
+            merged["hops"][bucket] = merged["hops"].get(bucket, 0) + n
+        merged["max_hops"] = max(merged["max_hops"], s.get("max_hops", 0))
+    return merged
+
+
+def format_provenance_summary(
+    summary: Dict[str, Any], counters: Optional[Dict[str, int]] = None
+) -> str:
+    """Render a provenance rollup (and counter cross-check) for the CLI."""
+    att = summary.get("attribution", {})
+    lines = [
+        "== provenance ==",
+        f"messages            {summary.get('messages', 0)}",
+        f"delivery paths      {summary.get('paths', 0)} "
+        f"({summary.get('complete', 0)} complete, "
+        f"{summary.get('incomplete', 0)} incomplete)",
+        f"attribution         tree={att.get(TREE, 0)} "
+        f"pull-repair={att.get(PULL_REPAIR, 0)}",
+        f"max path length     {summary.get('max_hops', 0)} hops",
+    ]
+    hops = summary.get("hops", {})
+    if hops:
+        dist = "  ".join(
+            f"{k}:{hops[k]}" for k in sorted(hops, key=lambda x: int(x))
+        )
+        lines.append(f"path length dist    {dist}")
+    if counters is not None:
+        expect_tree = counters.get("dissem.delivered{via=tree}", 0)
+        expect_pull = counters.get("dissem.delivered{via=pull}", 0)
+        ok = (
+            att.get(TREE, 0) == expect_tree
+            and att.get(PULL_REPAIR, 0) == expect_pull
+        )
+        verdict = "MATCH" if ok else "MISMATCH"
+        lines.append(
+            f"counter cross-check {verdict} "
+            f"(counters: tree={expect_tree} pull={expect_pull})"
+        )
+    return "\n".join(lines)

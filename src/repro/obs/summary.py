@@ -99,4 +99,44 @@ def format_metrics_summary(snapshot: Dict[str, Any]) -> str:
         lines.append("== series (points) ==")
         for name in sorted(series):
             lines.append(f"  {name}: {series[name]}")
+
+    health = snapshot.get("health")
+    if health:
+        lines.append("")
+        lines.append("== health ==")
+        lines.append(
+            f"  {health.get('n_samples', 0)} samples every "
+            f"{health.get('period', 0.0):g}s"
+        )
+        summary = health.get("summary", {})
+        for field in sorted(summary):
+            cell = summary[field]
+            final = cell.get("final", cell.get("final_mean"))
+            lines.append(
+                f"  {field:<20} min={cell['min']:g} max={cell['max']:g} "
+                f"final={final:g}"
+            )
+        recovery = health.get("recovery", {})
+        if recovery.get("fragmented_at") is not None:
+            lines.append(
+                f"  tree fragmented at t={recovery['fragmented_at']:g}s, "
+                + (
+                    f"recovered at t={recovery['recovered_at']:g}s"
+                    if recovery.get("recovered_at") is not None
+                    else "not recovered"
+                )
+            )
+
+    provenance = snapshot.get("provenance")
+    if provenance:
+        att = provenance.get("attribution", {})
+        lines.append("")
+        lines.append("== provenance ==")
+        lines.append(
+            f"  {provenance.get('paths', 0)} delivery paths "
+            f"({provenance.get('complete', 0)} complete) over "
+            f"{provenance.get('messages', 0)} messages; "
+            f"tree={att.get('tree', 0)} pull-repair={att.get('pull-repair', 0)}; "
+            f"max {provenance.get('max_hops', 0)} hops"
+        )
     return "\n".join(lines)

@@ -5,14 +5,22 @@
 ``node.crash``, ``timer.fire``, ...) into a bounded in-memory ring
 buffer.  Long runs simply retain the most recent ``capacity`` events —
 :attr:`SimTracer.dropped` says how many older ones were discarded.
-Traces export to / reload from JSONL for offline analysis.
+Traces export to / reload from JSONL for offline analysis; the export
+carries a header record with the run's ``emitted``/``dropped``/
+``capacity`` accounting so a reloaded trace stays honest about what the
+ring buffer discarded.
+
+:data:`TRACE_SCHEMA` declares the field set of every event category the
+stack emits, and :func:`validate_events` checks a trace against it — the
+CI fast lane runs it over a fixed-seed smoke trace so an instrumentation
+point cannot silently drift away from the documented data model.
 """
 
 from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Any, Deque, Dict, List, NamedTuple, Optional
+from typing import Any, Deque, Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Tuple
 
 
 class TraceEvent(NamedTuple):
@@ -21,6 +29,86 @@ class TraceEvent(NamedTuple):
     time: float
     category: str
     fields: Dict[str, Any]
+
+
+#: Declared data model of every event category the stack emits:
+#: ``category -> (required fields, optional fields)``.  Extend this when
+#: adding instrumentation; ``validate_events`` (run by the CI fast lane
+#: over a fixed-seed smoke trace) fails on undeclared categories, missing
+#: required fields, and undeclared extras.
+TRACE_SCHEMA: Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]] = {
+    # Dissemination provenance (consumed by repro.obs.provenance).
+    "dissem.inject": (frozenset({"node", "msg"}), frozenset()),
+    "dissem.deliver": (
+        frozenset({"node", "msg", "src", "via", "owl", "waited"}),
+        frozenset(),
+    ),
+    "tree.push": (frozenset({"node", "msg", "fanout"}), frozenset()),
+    "gossip.summary": (frozenset({"node", "peer", "summaries"}), frozenset({"msgs"})),
+    "gossip.pull": (frozenset({"node", "source", "ids"}), frozenset()),
+    "pull.request": (frozenset({"node", "source", "msg", "attempt"}), frozenset()),
+    "pull.reply": (frozenset({"node", "peer", "served"}), frozenset()),
+    "pull.timeout": (frozenset({"node", "msg", "attempts", "action"}), frozenset()),
+    # Overlay adaptation.
+    "overlay.adapt": (frozenset({"node", "kind", "action"}), frozenset()),
+    "overlay.reject": (frozenset({"node", "peer", "kind", "reason"}), frozenset()),
+    # Tree maintenance and repair.
+    "tree.root_claim": (frozenset({"node", "epoch"}), frozenset()),
+    "tree.parent_switch": (frozenset({"node", "old", "new"}), frozenset()),
+    "tree.orphaned": (frozenset({"node", "cause"}), frozenset()),
+    "tree.reattach": (frozenset({"node", "parent", "dist"}), frozenset()),
+    # Failure injection.
+    "node.crash": (frozenset({"node"}), frozenset()),
+    "link.fail": (frozenset({"a", "b"}), frozenset()),
+    "link.restore": (frozenset({"a", "b"}), frozenset()),
+    # Timers and health sampling.
+    "timer.fire": (frozenset({"name"}), frozenset()),
+    "health.sample": (
+        frozenset({"live"}),
+        frozenset(
+            {
+                "tree_fragments",
+                "orphaned",
+                "stale_root",
+                "pending_pulls",
+                "pending_pulls_max",
+                "mean_d_rand",
+                "mean_d_near",
+                "d_rand_on_target",
+                "d_near_on_target",
+            }
+        ),
+    ),
+}
+
+
+def validate_events(events: Iterable[TraceEvent]) -> List[str]:
+    """Check a trace against :data:`TRACE_SCHEMA`; returns violations.
+
+    Each violation is a human-readable string (empty list: trace is
+    schema-clean).  Checks three properties per event: the category is
+    declared, every required field is present, and no undeclared field
+    appears.
+    """
+    problems: List[str] = []
+    for event in events:
+        spec = TRACE_SCHEMA.get(event.category)
+        if spec is None:
+            problems.append(f"undeclared category {event.category!r} at t={event.time}")
+            continue
+        required, optional = spec
+        fields = set(event.fields)
+        missing = required - fields
+        extra = fields - required - optional
+        if missing:
+            problems.append(
+                f"{event.category} at t={event.time}: missing fields {sorted(missing)}"
+            )
+        if extra:
+            problems.append(
+                f"{event.category} at t={event.time}: undeclared fields {sorted(extra)}"
+            )
+    return problems
 
 
 class SimTracer:
@@ -79,6 +167,19 @@ class SimTracer:
             return self.write_jsonl(fp)
 
     def write_jsonl(self, fp) -> int:
+        """Header record (run accounting) followed by one event per line."""
+        fp.write(
+            json.dumps(
+                {
+                    "header": 1,
+                    "emitted": self.emitted,
+                    "dropped": self.dropped,
+                    "capacity": self.capacity,
+                },
+                sort_keys=True,
+            )
+        )
+        fp.write("\n")
         n = 0
         for event in self._events:
             fp.write(
@@ -94,7 +195,34 @@ class SimTracer:
 
     @staticmethod
     def load_jsonl(path: str) -> List[TraceEvent]:
-        """Parse a file written by :meth:`export_jsonl`."""
+        """Parse the events of a file written by :meth:`export_jsonl`.
+
+        Skips the header record (and tolerates header-less files written
+        by older versions); use :meth:`from_jsonl` to also restore the
+        run's emitted/dropped accounting.
+        """
+        return SimTracer._parse(path)[1]
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "SimTracer":
+        """Reload a full tracer, including honest drop accounting.
+
+        The returned tracer reports the original run's ``emitted`` and
+        ``dropped`` counts (from the export header), not the zeros a
+        naive event reload would imply.  Header-less legacy files load
+        with ``emitted == len(events)`` (i.e. assumed drop-free).
+        """
+        header, events = cls._parse(path)
+        capacity = int(header.get("capacity", 0)) or max(len(events), 1)
+        tracer = cls(capacity=capacity)
+        for event in events:
+            tracer._events.append(event)
+        tracer.emitted = int(header.get("emitted", len(events)))
+        return tracer
+
+    @staticmethod
+    def _parse(path: str) -> Tuple[Dict[str, Any], List[TraceEvent]]:
+        header: Dict[str, Any] = {}
         out: List[TraceEvent] = []
         with open(path, "r", encoding="utf-8") as fp:
             for line in fp:
@@ -102,5 +230,8 @@ class SimTracer:
                 if not line:
                     continue
                 data = json.loads(line)
+                if "header" in data:
+                    header = data
+                    continue
                 out.append(TraceEvent(data["t"], data["cat"], data.get("fields", {})))
-        return out
+        return header, out

@@ -57,10 +57,22 @@ class FailureInjector:
         return victims
 
     def fail_link_at(self, time: float, a: int, b: int) -> None:
-        self.sim.schedule_at(time, self.network.fail_link, a, b)
+        self.sim.schedule_at(time, self._fail_link_now, a, b)
 
     def restore_link_at(self, time: float, a: int, b: int) -> None:
-        self.sim.schedule_at(time, self.network.restore_link, a, b)
+        self.sim.schedule_at(time, self._restore_link_now, a, b)
+
+    def _fail_link_now(self, a: int, b: int) -> None:
+        self.network.fail_link(a, b)
+        if self.obs.enabled:
+            self.obs.metrics.inc("link.fail")
+            self.obs.tracer.emit(self.sim.now, "link.fail", a=a, b=b)
+
+    def _restore_link_now(self, a: int, b: int) -> None:
+        self.network.restore_link(a, b)
+        if self.obs.enabled:
+            self.obs.metrics.inc("link.restore")
+            self.obs.tracer.emit(self.sim.now, "link.restore", a=a, b=b)
 
     def _fail_now(self, nodes: List[int]) -> None:
         record = self.obs.enabled

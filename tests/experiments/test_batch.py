@@ -54,9 +54,10 @@ def test_trial_payloads_use_derived_seeds():
     scenario = ScenarioConfig(**FAST)
     payloads = trial_payloads(scenario, 3, root_seed=99)
     assert [p[1] for p in payloads] == [0, 1, 2]
-    for i, (trial_scenario, _idx, collect) in enumerate(payloads):
+    for i, (trial_scenario, _idx, collect, health_period) in enumerate(payloads):
         assert trial_scenario.seed == RngRegistry.trial_seed(99, i)
         assert collect is False
+        assert health_period == 1.0
     # Everything but the seed matches the source scenario.
     assert dataclasses.replace(payloads[0][0], seed=scenario.seed) == scenario
 
@@ -214,3 +215,45 @@ def test_trial_result_roundtrips_plain_data():
     d = trial.to_dict()
     assert d["n_delays"] == trial.delays.size
     assert d["seed"] == RngRegistry.trial_seed(11, 0)
+
+
+def test_gocast_batch_merges_health_and_provenance_sections():
+    """GoCast trials carry health/provenance rollups in their snapshots;
+    the batch merge must fold them in and stay trial-order invariant."""
+    scenario = ScenarioConfig(
+        protocol="gocast", n_nodes=12, adapt_time=4.0, n_messages=3,
+        drain_time=6.0, seed=13,
+    )
+    batch = run_batch(scenario, n_trials=2, workers=1, collect_metrics=True)
+
+    health = batch.metrics["health"]
+    assert health["n_trials"] == 2
+    assert health["n_samples"] == sum(
+        t.metrics["health"]["n_samples"] for t in batch.trials
+    )
+    assert health["summary"]["live"]["final_mean"] == 12.0
+
+    prov = batch.metrics["provenance"]
+    assert prov["n_trials"] == 2
+    assert prov["paths"] == sum(
+        t.metrics["provenance"]["paths"] for t in batch.trials
+    )
+    # Attribution totals match the merged dissemination counters.
+    counters = batch.metrics["counters"]
+    assert prov["attribution"]["tree"] == counters.get(
+        "dissem.delivered{via=tree}", 0
+    )
+    assert prov["attribution"]["pull-repair"] == counters.get(
+        "dissem.delivered{via=pull}", 0
+    )
+
+    shuffled = [batch.trials[1], batch.trials[0]]
+    again = aggregate_trials(scenario, shuffled, batch.root_seed)
+    assert again.metrics == batch.metrics
+
+
+def test_gossip_only_batch_has_no_health_or_provenance():
+    batch = run_batch(ScenarioConfig(**FAST), n_trials=2, workers=1,
+                      collect_metrics=True)
+    assert "health" not in batch.metrics
+    assert "provenance" not in batch.metrics

@@ -1,0 +1,232 @@
+"""Unit tests for the periodic overlay/tree health monitor.
+
+The sampling math is tested against hand-built stub nodes where every
+structural fact (fragments, orphans, stale routes, degrees, queues) is
+known by construction; one end-to-end test checks the monitor rides a
+real instrumented run and lands its rollup in the result snapshot.
+"""
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.health import (
+    HEALTH_FIELDS,
+    HealthMonitor,
+    HealthSample,
+    _on_target,
+    format_health,
+    merge_health_sections,
+    orphan_anomalies,
+)
+
+
+def _node(parent=None, is_root=False, neighbors=(), d_rand=3, d_near=2,
+          pending=0, use_tree=True, table=()):
+    tree = SimpleNamespace(
+        parent=parent, is_root=is_root,
+        tree_neighbors=lambda n=tuple(neighbors): list(n),
+    )
+    return SimpleNamespace(
+        config=SimpleNamespace(use_tree=use_tree, c_rand=3, c_near=2),
+        tree=tree,
+        overlay=SimpleNamespace(d_rand=d_rand, d_near=d_near, table=set(table)),
+        disseminator=SimpleNamespace(pending_pulls=pending),
+    )
+
+
+def _monitor(nodes, alive=None, period=1.0):
+    alive = set(nodes) if alive is None else alive
+    network = SimpleNamespace(alive_nodes=lambda: alive)
+    obs = Observability(enabled=True)
+    return HealthMonitor(nodes, network, obs, period=period), obs
+
+
+#: Three tree fragments among five live nodes: {0, 1} rooted at 0,
+#: {2} cut off behind a dead parent, and the orphan pair {3, 4}.
+def _fragmented_nodes():
+    return {
+        0: _node(parent=None, is_root=True, neighbors=[1], d_rand=3, d_near=2,
+                 table=[1]),
+        1: _node(parent=0, neighbors=[0], d_rand=3, d_near=2, pending=2,
+                 table=[0]),
+        2: _node(parent=9, neighbors=[], d_rand=4, d_near=3, table=[]),
+        3: _node(parent=None, neighbors=[4], d_rand=2, d_near=2, pending=1,
+                 table=[4]),
+        4: _node(parent=3, neighbors=[3], d_rand=5, d_near=1, table=[3]),
+    }
+
+
+def test_sample_measures_fragments_orphans_and_queues():
+    monitor, _obs = _monitor(_fragmented_nodes())
+    monitor._sample()
+    (s,) = monitor.samples
+    assert s.live == 5
+    assert s.tree_fragments == 3
+    assert s.orphaned == 1  # node 3: live, non-root, no parent
+    assert s.stale_root == 1  # node 2: parent 9 is not alive
+    assert s.pending_pulls == 3 and s.pending_pulls_max == 2
+    assert s.mean_d_rand == pytest.approx((3 + 3 + 4 + 2 + 5) / 5)
+    assert s.mean_d_near == pytest.approx((2 + 2 + 3 + 2 + 1) / 5)
+    # Stable band [C, C+1]: d_rand hits 3/5 of nodes, d_near 4/5.
+    assert s.d_rand_on_target == pytest.approx(0.6)
+    assert s.d_near_on_target == pytest.approx(0.8)
+
+
+def test_sample_lands_in_metrics_series_and_trace():
+    monitor, obs = _monitor(_fragmented_nodes())
+    monitor._sample()
+    snapshot = obs.metrics.snapshot()
+    for field in HEALTH_FIELDS:
+        assert f"health.{field}" in snapshot["series"]
+    (event,) = obs.tracer.events("health.sample")
+    assert event.fields["live"] == 5
+    assert event.fields["tree_fragments"] == 3
+
+
+def test_stale_parent_present_but_unrouted_counts_stale():
+    # Parent 0 is alive but missing from node 1's overlay table.
+    nodes = {
+        0: _node(parent=None, is_root=True, neighbors=[1], table=[1]),
+        1: _node(parent=0, neighbors=[0], table=[]),
+    }
+    monitor, _obs = _monitor(nodes)
+    monitor._sample()
+    assert monitor.samples[0].stale_root == 1
+
+
+def test_dead_nodes_are_excluded():
+    monitor, _obs = _monitor(_fragmented_nodes(), alive={0, 1})
+    monitor._sample()
+    (s,) = monitor.samples
+    assert s.live == 2
+    assert s.tree_fragments == 1
+    assert s.orphaned == 0 and s.stale_root == 0
+
+
+def test_treeless_protocol_reports_nan_tree_fields():
+    nodes = {0: _node(use_tree=False), 1: _node(use_tree=False)}
+    monitor, _obs = _monitor(nodes)
+    monitor._sample()
+    (s,) = monitor.samples
+    assert math.isnan(s.tree_fragments)
+    assert math.isnan(s.orphaned) and math.isnan(s.stale_root)
+    assert "tree_fragments" not in monitor.to_dict()["summary"]
+
+
+def test_orphan_streaks_accumulate_and_reset():
+    nodes = _fragmented_nodes()
+    monitor, _obs = _monitor(nodes)
+    monitor._sample()
+    monitor._sample()
+    assert monitor.orphan_streaks() == {2: 2, 3: 2}
+    # Node 3 reattaches: its streak resets, its maximum is retained.
+    nodes[3].tree.parent = 0
+    nodes[3].overlay.table.add(0)
+    monitor._sample()
+    assert monitor._streak[3] == 0
+    assert monitor.orphan_streaks()[3] == 2
+    assert monitor.orphan_streaks()[2] == 3
+
+
+def test_orphan_anomalies_threshold():
+    monitor, _obs = _monitor(_fragmented_nodes(), period=2.0)
+    for _ in range(3):
+        monitor._sample()
+    flagged = orphan_anomalies(monitor.to_dict(), min_intervals=3)
+    assert [(a["node"], a["intervals"], a["seconds"]) for a in flagged] == [
+        (2, 3, 6.0), (3, 3, 6.0),
+    ]
+    assert orphan_anomalies(monitor.to_dict(), min_intervals=4) == []
+
+
+def test_recovery_detects_fragmentation_and_healing():
+    monitor, _obs = _monitor({0: _node(is_root=True)})
+
+    def row(t, frags):
+        return HealthSample(t, 1, frags, 0.0, 0.0, 0, 0, 3.0, 2.0, 1.0, 1.0)
+    monitor.samples = [row(1.0, 1), row(2.0, 3), row(3.0, 2), row(4.0, 1)]
+    assert monitor.recovery() == {"fragmented_at": 2.0, "recovered_at": 4.0}
+    monitor.samples = monitor.samples[:3]
+    assert monitor.recovery() == {"fragmented_at": 2.0, "recovered_at": None}
+    monitor.samples = [row(1.0, 1)]
+    assert monitor.recovery() == {"fragmented_at": None, "recovered_at": None}
+
+
+def test_on_target_band():
+    assert _on_target([3, 4, 2, 5], 3) == pytest.approx(0.5)
+    assert math.isnan(_on_target([], 3))
+
+
+def test_to_dict_is_plain_data():
+    monitor, _obs = _monitor(_fragmented_nodes(), period=0.5)
+    monitor._sample()
+    d = monitor.to_dict()
+    assert d["period"] == 0.5 and d["n_samples"] == 1
+    assert d["fields"] == list(HealthSample._fields)
+    assert len(d["samples"][0]) == len(d["fields"])
+    assert d["summary"]["tree_fragments"] == {"min": 3.0, "max": 3.0, "final": 3.0}
+    assert d["orphan_streaks"] == {2: 1, 3: 1}
+
+
+def test_merge_health_sections_is_order_invariant():
+    m1, _ = _monitor(_fragmented_nodes(), period=1.0)
+    m1._sample()
+    m1._sample()
+    m2, _ = _monitor({0: _node(is_root=True, table=[])}, period=2.0)
+    m2._sample()
+    a, b = m1.to_dict(), m2.to_dict()
+    # Give one trial a recovery so that branch merges too.
+    a["recovery"] = {"fragmented_at": 3.0, "recovered_at": 7.0}
+    ab, ba = merge_health_sections([a, b]), merge_health_sections([b, a])
+    assert ab == ba
+    assert ab["n_trials"] == 2 and ab["n_samples"] == 3
+    assert ab["period"] == pytest.approx(1.5)
+    frag = ab["summary"]["tree_fragments"]
+    assert frag["min"] == 1.0 and frag["max"] == 3.0
+    assert frag["final_mean"] == pytest.approx((3.0 + 1.0) / 2)
+    assert ab["recovery"] == {
+        "fragmented_trials": 1, "recovered_trials": 1, "mean_recovered_at": 7.0,
+    }
+
+
+def test_format_health_renders_table_and_streaks():
+    monitor, _obs = _monitor(_fragmented_nodes())
+    monitor._sample()
+    d = monitor.to_dict()
+    d["recovery"] = {"fragmented_at": 1.0, "recovered_at": None}
+    text = format_health(d)
+    assert "frags" in text and "rand@C" in text
+    assert "NOT recovered" in text
+    assert "longest orphan streaks" in text
+
+
+def test_monitor_rejects_nonpositive_period():
+    with pytest.raises(ValueError):
+        _monitor({0: _node(is_root=True)}, period=0.0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the monitor rides a real instrumented run
+# ----------------------------------------------------------------------
+def test_health_section_lands_in_run_snapshot():
+    from repro.experiments.runner import run_delay_experiment
+    from repro.experiments.scenarios import ScenarioConfig
+
+    obs = Observability(enabled=True, health_period=1.0)
+    result = run_delay_experiment(
+        ScenarioConfig(
+            protocol="gocast", n_nodes=16, adapt_time=5.0, n_messages=3,
+            drain_time=8.0, fail_fraction=0.25, seed=7,
+        ),
+        obs=obs,
+    )
+    health = result.metrics["health"]
+    assert health["n_samples"] > 0
+    # After the crash, exactly 12 of 16 nodes remain and the final
+    # sample sees them all.
+    assert health["summary"]["live"]["final"] == 12
+    assert health["summary"]["tree_fragments"]["min"] >= 1
+    assert set(health["fields"]) == set(HealthSample._fields)

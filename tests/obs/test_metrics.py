@@ -9,6 +9,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     StreamingHistogram,
     format_labels,
+    merge_snapshots,
 )
 
 # ----------------------------------------------------------------------
@@ -180,3 +181,91 @@ def test_snapshot_shape():
     assert snap["gauges"] == {"g": 1.5}
     assert snap["histograms"]["h"]["count"] == 1
     assert snap["series"] == {"s": 1}
+
+
+# ----------------------------------------------------------------------
+# merge_snapshots
+# ----------------------------------------------------------------------
+def _snap(counter=1, gauge=1.0, obs=(0.5,), extra=None):
+    m = MetricsRegistry()
+    m.inc("c", counter)
+    m.set_gauge("g", gauge)
+    for value in obs:
+        m.observe("h", value)
+        m.record("s", 0.0, value)
+    snap = m.snapshot()
+    snap.update(extra or {})
+    return snap
+
+
+def test_merge_snapshots_sections():
+    merged = merge_snapshots([_snap(1, 1.0, (0.5,)), _snap(2, 3.0, (1.5, 2.5))])
+    assert merged["n_snapshots"] == 2
+    assert merged["counters"] == {"c": 3}
+    assert merged["gauges"] == {"g": 2.0}  # mean, not sum
+    assert merged["series"] == {"s": 3}
+    h = merged["histograms"]["h"]
+    assert h["count"] == 3
+    assert h["min"] == 0.5 and h["max"] == 2.5
+    assert h["mean"] == pytest.approx((0.5 + 1.5 + 2.5) / 3)
+    # Per-trial percentiles are unrecoverable post-merge and dropped.
+    assert "p50" not in h
+
+
+def test_merge_snapshots_skips_none_and_empty_histograms():
+    empty = MetricsRegistry()
+    empty.histogram("h")  # registered but never observed
+    merged = merge_snapshots([None, _snap(), empty.snapshot(), None])
+    assert merged["n_snapshots"] == 2
+    assert merged["histograms"]["h"]["count"] == 1
+    assert merge_snapshots([None, None]) is None
+
+
+def test_merge_snapshots_carries_health_and_provenance():
+    health = {
+        "period": 1.0, "n_samples": 2,
+        "summary": {"live": {"min": 12.0, "max": 16.0, "final": 12.0}},
+        "recovery": {"fragmented_at": 1.0, "recovered_at": 4.0},
+    }
+    prov = {
+        "messages": 3, "paths": 30, "complete": 30, "incomplete": 0,
+        "attribution": {"tree": 25, "pull-repair": 5},
+        "hops": {"1": 10, "2": 20}, "max_hops": 2,
+    }
+    with_sections = _snap(extra={"health": health, "provenance": prov})
+    merged = merge_snapshots([with_sections, _snap()])
+    assert merged["health"]["n_trials"] == 1
+    assert merged["health"]["summary"]["live"]["final_mean"] == 12.0
+    assert merged["health"]["recovery"]["recovered_trials"] == 1
+    assert merged["provenance"]["attribution"] == {"tree": 25, "pull-repair": 5}
+    # Without the sections, the merged snapshot omits them entirely.
+    plain = merge_snapshots([_snap(), _snap()])
+    assert "health" not in plain and "provenance" not in plain
+
+
+def test_merge_snapshots_is_order_invariant():
+    a = _snap(1, 1.0, (0.5,), extra={
+        "health": {
+            "period": 1.0, "n_samples": 1,
+            "summary": {"live": {"min": 16.0, "max": 16.0, "final": 16.0}},
+            "recovery": {"fragmented_at": None, "recovered_at": None},
+        },
+        "provenance": {
+            "messages": 1, "paths": 5, "complete": 5, "incomplete": 0,
+            "attribution": {"tree": 5, "pull-repair": 0},
+            "hops": {"1": 5}, "max_hops": 1,
+        },
+    })
+    b = _snap(2, 3.0, (1.5,), extra={
+        "health": {
+            "period": 1.0, "n_samples": 2,
+            "summary": {"live": {"min": 12.0, "max": 16.0, "final": 12.0}},
+            "recovery": {"fragmented_at": 1.0, "recovered_at": 4.0},
+        },
+        "provenance": {
+            "messages": 2, "paths": 8, "complete": 7, "incomplete": 1,
+            "attribution": {"tree": 6, "pull-repair": 2},
+            "hops": {"1": 4, "2": 4}, "max_hops": 2,
+        },
+    })
+    assert merge_snapshots([a, b]) == merge_snapshots([b, a])

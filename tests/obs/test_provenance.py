@@ -1,0 +1,228 @@
+"""Unit tests for causal delivery-path reconstruction.
+
+Most tests drive :class:`PathReconstructor` with hand-built trace
+events, where every expected hop is known exactly; the final test runs
+a real instrumented failure scenario and checks the global invariants
+the diagnostics CLI relies on (complete paths, counter identity).
+"""
+
+import math
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.provenance import (
+    PULL_REPAIR,
+    TREE,
+    DeliveryPath,
+    Hop,
+    PathReconstructor,
+    format_provenance_summary,
+    merge_provenance_summaries,
+)
+from repro.obs.tracer import TraceEvent
+
+
+def _inject(t, node, msg):
+    return TraceEvent(t, "dissem.inject", {"node": node, "msg": msg})
+
+
+def _deliver(t, node, msg, src, via, owl, waited=0.0):
+    return TraceEvent(
+        t, "dissem.deliver",
+        {"node": node, "msg": msg, "src": src, "via": via, "owl": owl,
+         "waited": waited},
+    )
+
+
+def _request(t, node, msg, attempt, source=0):
+    return TraceEvent(
+        t, "pull.request",
+        {"node": node, "source": source, "msg": msg, "attempt": attempt},
+    )
+
+
+#: A message from node 0: tree chain 0 -> 1 -> 2, and node 3 pulls the
+#: payload from node 1 after hearing it advertised.
+CHAIN = [
+    _inject(0.0, 0, "0:0"),
+    _deliver(0.010, 1, "0:0", src=0, via="tree", owl=0.010),
+    _deliver(0.025, 2, "0:0", src=1, via="tree", owl=0.012),
+    _request(0.100, 3, "0:0", attempt=1, source=0),
+    _deliver(0.150, 3, "0:0", src=1, via="pull", owl=0.011, waited=0.120),
+]
+
+
+def test_path_walks_back_to_source():
+    r = PathReconstructor(CHAIN)
+    p = r.path("0:0", 2)
+    assert p.complete
+    assert p.source == 0 and p.inject_time == 0.0
+    assert [(h.src, h.node) for h in p.hops] == [(0, 1), (1, 2)]
+    assert p.attribution == TREE
+    assert p.delay == pytest.approx(0.025)
+    assert p.n_hops == 2
+
+
+def test_pull_path_shares_tree_prefix():
+    r = PathReconstructor(CHAIN)
+    p = r.path("0:0", 3)
+    assert p.complete
+    assert [(h.src, h.node) for h in p.hops] == [(0, 1), (1, 3)]
+    assert p.attribution == PULL_REPAIR  # final hop decides
+    assert p.hops[-1].waited == pytest.approx(0.120)
+
+
+def test_segments_split_wire_and_queueing():
+    r = PathReconstructor(CHAIN)
+    segments = r.path("0:0", 2).segments()
+    assert segments[0] == pytest.approx((0.010, 0.010, 0.0))
+    # 1 -> 2 took 0.015 s total, 0.012 s on the wire, 0.003 s queued.
+    assert segments[1] == pytest.approx((0.015, 0.012, 0.003))
+
+
+def test_unknown_pair_returns_none():
+    r = PathReconstructor(CHAIN)
+    assert r.path("0:0", 99) is None
+    assert r.path("no-such-msg", 1) is None
+
+
+def test_incomplete_path_when_predecessor_record_missing():
+    events = [
+        _inject(0.0, 0, "m"),
+        # Node 5 got it from node 4, but node 4's own record was lost
+        # (e.g. evicted from the ring buffer).
+        _deliver(0.5, 5, "m", src=4, via="tree", owl=0.01),
+    ]
+    p = PathReconstructor(events).path("m", 5)
+    assert not p.complete
+    assert [(h.src, h.node) for h in p.hops] == [(4, 5)]
+    # The head segment duration is unknowable without the predecessor.
+    (duration, wire, queued) = p.segments()[0]
+    assert math.isnan(duration) and math.isnan(queued)
+    assert wire == pytest.approx(0.01)
+    assert "INCOMPLETE" in p.format()
+
+
+def test_malformed_cycle_terminates():
+    events = [
+        _deliver(1.0, 6, "m", src=7, via="tree", owl=0.01),
+        _deliver(2.0, 7, "m", src=6, via="tree", owl=0.01),
+    ]
+    p = PathReconstructor(events).path("m", 6)
+    assert p is not None and not p.complete
+    assert p.n_hops == 2
+
+
+def test_attribution_counts_and_counter_identity():
+    r = PathReconstructor(CHAIN)
+    assert r.attribution_counts() == {TREE: 2, PULL_REPAIR: 1}
+    assert r.matches_counters(
+        {"dissem.delivered{via=tree}": 2, "dissem.delivered{via=pull}": 1}
+    )
+    assert not r.matches_counters(
+        {"dissem.delivered{via=tree}": 3, "dissem.delivered{via=pull}": 0}
+    )
+
+
+def test_summary_rollup():
+    s = PathReconstructor(CHAIN).summary()
+    assert s["messages"] == 1
+    assert s["paths"] == 3 and s["complete"] == 3 and s["incomplete"] == 0
+    assert s["hops"] == {"1": 1, "2": 2}
+    assert s["max_hops"] == 2
+
+
+def test_delay_anomalies_flag_slow_deliveries():
+    events = [
+        _inject(0.0, 0, "m"),
+        _deliver(0.010, 1, "m", src=0, via="tree", owl=0.010),
+        _deliver(0.020, 2, "m", src=1, via="tree", owl=0.010),
+        # 1.0 s for a direct pull: way beyond 3 * depth(2) * rtt(0.02).
+        _deliver(1.000, 3, "m", src=0, via="pull", owl=0.010, waited=0.9),
+    ]
+    r = PathReconstructor(events)
+    anomalies = r.delay_anomalies(factor=3.0)
+    assert [a["node"] for a in anomalies] == [3]
+    assert anomalies[0]["delay"] == pytest.approx(1.0)
+    assert anomalies[0]["bound"] == pytest.approx(3.0 * 2 * 0.020)
+    # A permissive factor clears it.
+    assert r.delay_anomalies(factor=100.0) == []
+
+
+def test_retry_anomalies_flag_multi_retry_pulls():
+    events = [
+        _request(0.1, 3, "m", attempt=1),
+        _request(0.4, 3, "m", attempt=2),
+        _request(0.7, 3, "m", attempt=3),
+        _request(0.2, 9, "m", attempt=1),
+        _request(0.5, 9, "m", attempt=2),
+        _deliver(0.8, 3, "m", src=1, via="pull", owl=0.01, waited=0.7),
+    ]
+    anomalies = PathReconstructor(events).retry_anomalies(min_retries=2)
+    assert [a["node"] for a in anomalies] == [3]
+    assert anomalies[0]["retries"] == 2 and anomalies[0]["delivered"]
+    # Threshold 1 also catches node 9, which never got the payload.
+    both = PathReconstructor(events).retry_anomalies(min_retries=1)
+    assert [(a["node"], a["delivered"]) for a in both] == [(3, True), (9, False)]
+
+
+def test_merge_summaries_is_order_invariant():
+    a = PathReconstructor(CHAIN).summary()
+    b = PathReconstructor(
+        [
+            _inject(0.0, 4, "4:0"),
+            _deliver(0.3, 5, "4:0", src=4, via="pull", owl=0.02, waited=0.1),
+        ]
+    ).summary()
+    ab, ba = merge_provenance_summaries([a, b]), merge_provenance_summaries([b, a])
+    assert ab == ba
+    assert ab["paths"] == 4 and ab["n_trials"] == 2
+    assert ab["attribution"] == {TREE: 2, PULL_REPAIR: 2}
+    assert ab["hops"] == {"1": 2, "2": 2}
+
+
+def test_format_summary_reports_counter_verdict():
+    summary = PathReconstructor(CHAIN).summary()
+    ok = format_provenance_summary(
+        summary,
+        {"dissem.delivered{via=tree}": 2, "dissem.delivered{via=pull}": 1},
+    )
+    assert "MATCH" in ok and "MISMATCH" not in ok
+    bad = format_provenance_summary(summary, {"dissem.delivered{via=tree}": 9})
+    assert "MISMATCH" in bad
+
+
+def test_delivery_path_properties_on_hand_built_path():
+    path = DeliveryPath(
+        msg="m", node=2, source=0, inject_time=None,
+        hops=[Hop(node=2, src=0, via="tree", time=1.0, owl=0.01, waited=0.0)],
+    )
+    assert math.isnan(path.delay)  # inject record unknown
+    assert path.delivered_at == 1.0
+
+
+# ----------------------------------------------------------------------
+# End-to-end: a real instrumented failure run
+# ----------------------------------------------------------------------
+def test_reconstruction_covers_every_delivery_in_a_real_run():
+    from repro.experiments.runner import run_delay_experiment
+    from repro.experiments.scenarios import ScenarioConfig
+
+    obs = Observability(enabled=True)
+    result = run_delay_experiment(
+        ScenarioConfig(
+            protocol="gocast", n_nodes=16, adapt_time=5.0, n_messages=3,
+            drain_time=8.0, fail_fraction=0.25, seed=7,
+        ),
+        obs=obs,
+    )
+    assert obs.tracer.dropped == 0
+    r = PathReconstructor(obs.tracer.events())
+    # Every delivered (message, node) pair has a record and a complete path.
+    assert r.n_deliveries == result.delays.size > 0
+    paths = r.all_paths()
+    assert len(paths) == r.n_deliveries
+    assert all(p.complete for p in paths)
+    # Attribution totals reproduce the dissemination counters exactly.
+    assert r.matches_counters(obs.metrics.snapshot()["counters"])

@@ -1,0 +1,60 @@
+"""Trace-schema conformance over a real instrumented run.
+
+Runs the fixed-seed smoke scenario (small enough for the fast CI lane)
+with full observability and checks every emitted event against
+``TRACE_SCHEMA``.  This is the guard that keeps instrumentation honest:
+adding an emit site with a typo'd field name, or forgetting to declare a
+new category, fails here rather than silently producing a trace the
+provenance/health tooling cannot parse.
+"""
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.tracer import TRACE_SCHEMA, validate_events
+from repro.experiments.runner import run_delay_experiment
+from repro.experiments.scenarios import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def smoke_trace():
+    """One instrumented 16-node failure run, shared across tests."""
+    obs = Observability(enabled=True, health_period=1.0)
+    run_delay_experiment(
+        ScenarioConfig(
+            protocol="gocast", n_nodes=16, adapt_time=5.0, n_messages=3,
+            drain_time=8.0, fail_fraction=0.25, seed=7,
+        ),
+        obs=obs,
+    )
+    return obs.tracer
+
+
+def test_no_events_dropped(smoke_trace):
+    # A wrapped ring would make conformance (and provenance) vacuous.
+    assert smoke_trace.dropped == 0
+
+
+def test_every_event_conforms_to_schema(smoke_trace):
+    problems = validate_events(smoke_trace.events())
+    assert problems == [], "\n".join(problems[:20])
+
+
+def test_run_exercises_the_load_bearing_categories(smoke_trace):
+    """The categories the diagnostics CLI depends on must actually occur
+    in a failure run — an instrumentation regression that stops emitting
+    them would otherwise pass schema validation trivially."""
+    present = set(smoke_trace.counts_by_category())
+    assert {
+        "dissem.inject", "dissem.deliver", "tree.push", "gossip.summary",
+        "node.crash", "health.sample", "tree.parent_switch",
+    } <= present
+    assert present <= set(TRACE_SCHEMA)
+
+
+def test_jsonl_round_trip_preserves_conformance(smoke_trace, tmp_path):
+    path = str(tmp_path / "smoke.jsonl")
+    smoke_trace.export_jsonl(path)
+    reloaded = smoke_trace.from_jsonl(path)
+    assert validate_events(reloaded.events()) == []
+    assert reloaded.emitted == smoke_trace.emitted

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs.tracer import SimTracer, TraceEvent
+from repro.obs.tracer import TRACE_SCHEMA, SimTracer, TraceEvent, validate_events
 
 
 def test_emit_and_query_by_category():
@@ -75,3 +75,95 @@ def test_jsonl_skips_blank_lines(tmp_path):
     path.write_text('{"t": 1.0, "cat": "c"}\n\n')
     (event,) = SimTracer.load_jsonl(str(path))
     assert event == TraceEvent(1.0, "c", {})
+
+
+# ----------------------------------------------------------------------
+# Ring-buffer wraparound
+# ----------------------------------------------------------------------
+def test_category_filtering_after_wraparound():
+    """Wrap must evict oldest-first regardless of category, and category
+    queries must reflect only what survived."""
+    t = SimTracer(capacity=4)
+    for i in range(6):
+        t.emit(float(i), "even" if i % 2 == 0 else "odd", i=i)
+    # Events 0 and 1 fell off; 2..5 remain.
+    assert t.emitted == 6
+    assert t.dropped == 2
+    assert [e.fields["i"] for e in t.events("even")] == [2, 4]
+    assert [e.fields["i"] for e in t.events("odd")] == [3, 5]
+    assert t.counts_by_category() == {"even": 2, "odd": 2}
+
+
+def test_wraparound_drop_counter_keeps_growing():
+    t = SimTracer(capacity=2)
+    for i in range(10):
+        t.emit(float(i), "c")
+        assert t.dropped == max(0, i - 1)
+    assert len(t) == 2
+
+
+# ----------------------------------------------------------------------
+# Export header: honest drop accounting across the round trip
+# ----------------------------------------------------------------------
+def test_export_header_carries_run_accounting(tmp_path):
+    t = SimTracer(capacity=3)
+    for i in range(5):
+        t.emit(float(i), "c", i=i)
+    path = str(tmp_path / "trace.jsonl")
+    assert t.export_jsonl(path) == 3  # events written (header excluded)
+
+    reloaded = SimTracer.from_jsonl(path)
+    assert reloaded.emitted == 5
+    assert reloaded.dropped == 2
+    assert reloaded.capacity == 3
+    assert [e.fields["i"] for e in reloaded.events()] == [2, 3, 4]
+
+
+def test_load_jsonl_still_returns_events_only(tmp_path):
+    t = SimTracer(capacity=2)
+    for i in range(4):
+        t.emit(float(i), "c", i=i)
+    path = str(tmp_path / "trace.jsonl")
+    t.export_jsonl(path)
+    events = SimTracer.load_jsonl(path)
+    assert [e.fields["i"] for e in events] == [2, 3]
+
+
+def test_from_jsonl_tolerates_headerless_legacy_files(tmp_path):
+    path = tmp_path / "legacy.jsonl"
+    path.write_text('{"t": 1.0, "cat": "c", "fields": {"i": 1}}\n')
+    t = SimTracer.from_jsonl(str(path))
+    assert t.emitted == 1
+    assert t.dropped == 0
+    assert len(t) == 1
+
+
+# ----------------------------------------------------------------------
+# Schema validation
+# ----------------------------------------------------------------------
+def test_validate_events_accepts_declared_shape():
+    events = [
+        TraceEvent(1.0, "node.crash", {"node": 3}),
+        TraceEvent(2.0, "gossip.summary", {"node": 1, "peer": 2, "summaries": 4}),
+    ]
+    assert validate_events(events) == []
+
+
+def test_validate_events_flags_unknown_missing_and_extra():
+    events = [
+        TraceEvent(1.0, "no.such.category", {}),
+        TraceEvent(2.0, "node.crash", {}),  # missing "node"
+        TraceEvent(3.0, "node.crash", {"node": 1, "bogus": 2}),
+    ]
+    problems = validate_events(events)
+    assert len(problems) == 3
+    assert "undeclared category" in problems[0]
+    assert "missing fields" in problems[1]
+    assert "undeclared fields" in problems[2]
+
+
+def test_schema_field_sets_are_frozen():
+    for category, (required, optional) in TRACE_SCHEMA.items():
+        assert isinstance(required, frozenset), category
+        assert isinstance(optional, frozenset), category
+        assert not (required & optional), category

@@ -72,8 +72,9 @@ def test_obs_trace_exports_jsonl(tmp_path, capsys):
     path = tmp_path / "trace.jsonl"
     assert main(["obs", "trace", *OBS_ARGS, "--out", str(path)]) == 0
     assert "wrote" in capsys.readouterr().out
-    first = path.read_text().splitlines()[0]
-    assert '"cat"' in first
+    header, first_event = path.read_text().splitlines()[:2]
+    assert '"header"' in header and '"emitted"' in header
+    assert '"cat"' in first_event
 
 
 def test_obs_profile(capsys):
