@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Core-engine benchmark entry point (see repro.experiments.bench).
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python benchmarks/bench_core.py            # full matrix
+    PYTHONPATH=src python benchmarks/bench_core.py --smoke    # CI fast lane
+
+Writes/merges ``BENCH_core.json``; ``repro bench`` is the same harness
+behind the CLI.  ``docs/PERFORMANCE.md`` explains how to read and
+update the report.
+"""
+
+import sys
+
+from repro.experiments.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

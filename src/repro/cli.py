@@ -149,6 +149,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--out", help="also write the JSON batch report to this file")
 
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the simulation core (events/sec); see docs/PERFORMANCE.md",
+        description="Run the fixed-seed GoCast delay scenario at the bench "
+        "sizes and report wall time, peak RSS and events/sec, merging the "
+        "numbers into BENCH_core.json next to the recorded baseline.",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="single tiny run (CI fast lane); does not write the report",
+    )
+    bench.add_argument(
+        "--sizes", help="comma-separated node counts (default 128,512)"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="runs per size, best kept (default 3)",
+    )
+    bench.add_argument(
+        "--label", default="current",
+        help="report section to write (default 'current')",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_core.json",
+        help="report path (default BENCH_core.json)",
+    )
+
     obs = sub.add_parser(
         "obs", help="run one instrumented experiment; report its observability"
     )
@@ -490,6 +517,25 @@ def _print_anomalies(args, obs, result, out) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.experiments import bench
+
+    if args.smoke:
+        sizes, repeats, out_path = bench.SMOKE_SIZES, 1, None
+    else:
+        sizes = (
+            tuple(int(s) for s in args.sizes.split(","))
+            if args.sizes
+            else bench.FULL_SIZES
+        )
+        repeats, out_path = args.repeats, args.out
+    report = bench.run_bench(sizes, repeats, label=args.label, out_path=out_path)
+    print(bench.format_report(report))
+    if out_path is not None:
+        print(f"\nwrote {out_path} (section: {args.label})")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -498,6 +544,8 @@ def main(argv=None) -> int:
         return cmd_obs(args)
     if args.command == "batch":
         return cmd_batch(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     return cmd_run(args.experiment, args.scale, args.seed)
 
 

@@ -97,6 +97,10 @@ class MessageBuffer:
 
     def unarmed_entries(self) -> List[BufferEntry]:
         """Entries whose reclaim timer has not been armed yet."""
+        if not self._unarmed:
+            # Fast path for the per-tick coverage sweep: most ticks on
+            # most nodes have nothing pending.
+            return []
         return list(self._unarmed.values())
 
     def mark_armed(self, msg_id: MessageId) -> None:
@@ -110,6 +114,10 @@ class MessageBuffer:
 
     def ids_to_gossip(self, peer: int, now: float) -> List[BufferEntry]:
         """Entries whose ID should appear in the next gossip to ``peer``."""
+        if not self._entries:
+            # Fast path: idle keepalive ticks dominate, and an idle
+            # buffer has nothing to summarize.
+            return []
         return [
             entry
             for entry in self._entries.values()

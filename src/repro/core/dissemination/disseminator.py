@@ -20,11 +20,11 @@ Delivery paths:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.core.dissemination.buffer import BufferEntry, MessageBuffer
 from repro.core.ids import MessageId
-from repro.core.messages import Gossip, MulticastData, PullData, PullRequest
+from repro.core.messages import Gossip, MulticastData, PullData, PullEntry, PullRequest
 
 #: Give up re-requesting a message after this many unanswered pulls; the
 #: next gossip advertising the ID starts the process afresh.
@@ -228,7 +228,7 @@ class Disseminator:
     def on_pull_request(self, src: int, msg: PullRequest) -> None:
         node = self.node
         now = node.sim.now
-        available: List[Tuple[MessageId, float, int]] = []
+        available: List[PullEntry] = []
         for msg_id in msg.ids:
             entry = self.buffer.entry(msg_id)
             if entry is not None:
@@ -311,7 +311,8 @@ class Disseminator:
         node = self.node
         if entry.reclaim_handle is not None:
             return
-        if not self.buffer.fully_gossiped(entry, node.overlay.table.ids()):
+        # Iterate the live neighbor dict directly (no list copy).
+        if not self.buffer.fully_gossiped(entry, node._neighbor_states):
             return
         entry.reclaim_handle = node.sim.schedule(
             node.config.reclaim_wait_b, self.buffer.reclaim, entry.msg_id
@@ -322,6 +323,10 @@ class Disseminator:
         """Arm reclaim timers for entries that became fully covered via
         pushes/pulls rather than our own gossips (called per gossip tick;
         only entries without an armed timer are examined)."""
+        if not self.buffer._unarmed:
+            # Same-package fast path: most ticks on most nodes have
+            # nothing pending, and this runs every gossip period.
+            return
         for entry in self.buffer.unarmed_entries():
             self.maybe_schedule_reclaim(entry)
 

@@ -18,8 +18,6 @@ state.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.core.messages import Gossip
 
 
@@ -28,6 +26,9 @@ class GossipEngine:
 
     def __init__(self, node) -> None:
         self.node = node
+        # The node's config is bound once and never replaced; skip the
+        # node.config attribute chain in the per-tick paths below.
+        self._cfg = node.config
         self._cursor = 0
         self.gossips_sent = 0
         self.gossips_saved = 0
@@ -36,11 +37,17 @@ class GossipEngine:
         """One gossip period elapsed: gossip to the next neighbor."""
         node = self.node
         node.disseminator.sweep_reclaims()
-        if node.config.adaptive_gossip:
+        if self._cfg.adaptive_gossip:
             self._tune_period()
-        peer = self._next_neighbor()
-        if peer is None:
+        # _next_neighbor, inlined: this is every gossip tick on every
+        # node.  sorted_ids() is cached by the table and invalidated on
+        # membership change.
+        neighbors = node.overlay.table.sorted_ids()
+        if not neighbors:
             return
+        cursor = self._cursor % len(neighbors)
+        peer = neighbors[cursor]
+        self._cursor = cursor + 1
         self._gossip_to(peer)
 
     def _tune_period(self) -> None:
@@ -51,24 +58,20 @@ class GossipEngine:
         ``gossip_period_max`` (keepalives still flow at that pace); the
         first delivery snaps back to the base period (see
         :meth:`GoCastNode.record_dissemination_activity`).
+
+        Writes the timer period directly (``set_period`` minus its
+        positivity check — both candidate values are validated config
+        fields): this runs every gossip tick on every node.
         """
         node = self.node
-        cfg = node.config
+        cfg = self._cfg
         idle = node.sim.now - node.last_dissemination
         if idle <= 1.0:
-            node._gossip_timer.set_period(cfg.gossip_period)
+            node._gossip_timer._period = cfg.gossip_period
             return
-        period = min(cfg.gossip_period_max, cfg.gossip_period * idle)
-        node._gossip_timer.set_period(period)
-
-    def _next_neighbor(self) -> Optional[int]:
-        neighbors = sorted(self.node.overlay.table.ids())
-        if not neighbors:
-            return None
-        self._cursor %= len(neighbors)
-        peer = neighbors[self._cursor]
-        self._cursor += 1
-        return peer
+        period = cfg.gossip_period * idle
+        period_max = cfg.gossip_period_max
+        node._gossip_timer._period = period_max if period > period_max else period
 
     def _gossip_to(self, peer: int) -> None:
         node = self.node
@@ -76,21 +79,24 @@ class GossipEngine:
         buffer = node.disseminator.buffer
         entries = buffer.ids_to_gossip(peer, now)
 
-        state = node.overlay.table.get(peer)
+        state = node._neighbor_states.get(peer)
         if not entries:
             # Nothing to advertise: save the gossip unless the link has
             # been silent long enough to need a keepalive.
             if (
                 state is not None
-                and now - state.last_sent < node.config.keepalive_interval
+                and now - state.last_sent < self._cfg.keepalive_interval
             ):
                 self.gossips_saved += 1
                 if node.obs.enabled:
                     node.obs.metrics.inc("gossip.saved")
                 return
 
-        summaries = tuple((entry.msg_id, entry.age(now)) for entry in entries)
-        sample = node.view.sample(node.config.piggyback_members, exclude={peer})
+        if entries:
+            summaries = tuple((entry.msg_id, entry.age(now)) for entry in entries)
+        else:
+            summaries = ()
+        sample = node.view.sample_excluding(self._cfg.piggyback_members, peer)
         gossip = Gossip(
             summaries=summaries,
             member_sample=tuple(sample),

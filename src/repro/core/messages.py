@@ -10,7 +10,7 @@ for traffic volume without serializing anything.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import ClassVar, Optional, Tuple
 
 from repro.core.ids import MessageId
 
@@ -26,8 +26,10 @@ _HEADER = 20
 class JoinRequest:
     """New node asks a bootstrap contact for its member list."""
 
+    FIXED_WIRE_SIZE: ClassVar[int] = _HEADER
+
     def wire_size(self) -> int:
-        return _HEADER
+        return self.FIXED_WIRE_SIZE
 
 
 @dataclasses.dataclass(frozen=True)
@@ -54,8 +56,10 @@ class LinkRequest:
     nearby_degree: int = 0
     random_degree: int = 0
 
+    FIXED_WIRE_SIZE: ClassVar[int] = _HEADER + 4
+
     def wire_size(self) -> int:
-        return _HEADER + 4
+        return self.FIXED_WIRE_SIZE
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,8 +68,10 @@ class LinkAccept:
     nearby_degree: int
     random_degree: int
 
+    FIXED_WIRE_SIZE: ClassVar[int] = _HEADER + 4
+
     def wire_size(self) -> int:
-        return _HEADER + 4
+        return self.FIXED_WIRE_SIZE
 
 
 @dataclasses.dataclass(frozen=True)
@@ -73,8 +79,10 @@ class LinkReject:
     kind: str
     reason: str
 
+    FIXED_WIRE_SIZE: ClassVar[int] = _HEADER + 4
+
     def wire_size(self) -> int:
-        return _HEADER + 4
+        return self.FIXED_WIRE_SIZE
 
 
 @dataclasses.dataclass(frozen=True)
@@ -83,8 +91,10 @@ class LinkDrop:
 
     kind: str
 
+    FIXED_WIRE_SIZE: ClassVar[int] = _HEADER
+
     def wire_size(self) -> int:
-        return _HEADER
+        return self.FIXED_WIRE_SIZE
 
 
 @dataclasses.dataclass(frozen=True)
@@ -98,8 +108,10 @@ class RewireRequest:
 
     target: int
 
+    FIXED_WIRE_SIZE: ClassVar[int] = _HEADER + 6
+
     def wire_size(self) -> int:
-        return _HEADER + 6
+        return self.FIXED_WIRE_SIZE
 
 
 @dataclasses.dataclass(frozen=True)
@@ -109,8 +121,10 @@ class Ping:
     nonce: int
     sent_at: float
 
+    FIXED_WIRE_SIZE: ClassVar[int] = _HEADER + 12
+
     def wire_size(self) -> int:
-        return _HEADER + 12
+        return self.FIXED_WIRE_SIZE
 
 
 @dataclasses.dataclass(frozen=True)
@@ -118,8 +132,10 @@ class Pong:
     nonce: int
     sent_at: float
 
+    FIXED_WIRE_SIZE: ClassVar[int] = _HEADER + 12
+
     def wire_size(self) -> int:
-        return _HEADER + 12
+        return self.FIXED_WIRE_SIZE
 
 
 @dataclasses.dataclass(frozen=True)
@@ -139,8 +155,10 @@ class DegreeUpdate:
     root_epoch: int
     tree_parent: Optional[int] = None
 
+    FIXED_WIRE_SIZE: ClassVar[int] = _HEADER + 18
+
     def wire_size(self) -> int:
-        return _HEADER + 18
+        return self.FIXED_WIRE_SIZE
 
 
 @dataclasses.dataclass(frozen=True)
@@ -172,16 +190,23 @@ class PullRequest:
         return _HEADER + 8 * len(self.ids)
 
 
+#: One served message in a :class:`PullData`:
+#: ``(id, age_at_send, payload_size, payload)``.  Shared with the
+#: serving side (``Disseminator.on_pull_request``) so the reply's shape
+#: is stated in exactly one place.
+PullEntry = Tuple[MessageId, float, int, object]
+
+
 @dataclasses.dataclass(frozen=True)
 class PullData:
     """Full messages served in response to a :class:`PullRequest`.
 
-    Each element is ``(id, age_at_send, payload_size, payload)`` —
-    ``payload`` is the application's opaque object (None when the
-    simulation models sizes only).
+    Each element is a :data:`PullEntry` — ``payload`` is the
+    application's opaque object (None when the simulation models sizes
+    only).
     """
 
-    messages: Tuple[Tuple[MessageId, float, int, object], ...]
+    messages: Tuple[PullEntry, ...]
 
     def wire_size(self) -> int:
         return _HEADER + sum(12 + size for _, _, size, _ in self.messages)
@@ -219,21 +244,27 @@ class TreeHeartbeat:
     seq: int
     dist: float
 
+    FIXED_WIRE_SIZE: ClassVar[int] = _HEADER + 16
+
     def wire_size(self) -> int:
-        return _HEADER + 16
+        return self.FIXED_WIRE_SIZE
 
 
 @dataclasses.dataclass(frozen=True)
 class TreeAttach:
     """Sender adopts the receiver as its tree parent."""
 
+    FIXED_WIRE_SIZE: ClassVar[int] = _HEADER
+
     def wire_size(self) -> int:
-        return _HEADER
+        return self.FIXED_WIRE_SIZE
 
 
 @dataclasses.dataclass(frozen=True)
 class TreeDetach:
     """Sender is no longer the receiver's tree child (or vice versa)."""
 
+    FIXED_WIRE_SIZE: ClassVar[int] = _HEADER
+
     def wire_size(self) -> int:
-        return _HEADER
+        return self.FIXED_WIRE_SIZE

@@ -92,7 +92,7 @@ class GoCastNode:
             wire.RewireRequest: self.overlay.on_rewire_request,
             wire.Ping: self.overlay.on_ping,
             wire.Pong: self.overlay.on_pong,
-            wire.DegreeUpdate: self._on_degree_update,
+            wire.DegreeUpdate: self._apply_degree_update,
             wire.Gossip: self._on_gossip,
             wire.PullRequest: self.disseminator.on_pull_request,
             wire.PullData: self.disseminator.on_pull_data,
@@ -101,6 +101,17 @@ class GoCastNode:
             wire.TreeAttach: self._on_tree_attach,
             wire.TreeDetach: self._on_tree_detach,
         }
+
+        # Hot-path binding: every send and receive stamps last_sent /
+        # last_heard, so skip the table.get() indirection (the table
+        # mutates this dict in place, never rebinds it).
+        self._neighbor_states = self.overlay.table.state_map()
+        # use_tree is fixed at construction everywhere in the repo;
+        # hoisted out of the per-message config chain.
+        self._use_tree = self.config.use_tree
+        # make_degree_update reuse cache (see there).
+        self._degree_update_key: Optional[tuple] = None
+        self._degree_update_cache: Optional[wire.DegreeUpdate] = None
 
         network.register(self)
 
@@ -184,7 +195,7 @@ class GoCastNode:
     # Transport interface
     # ------------------------------------------------------------------
     def send(self, dst: int, msg: object, reliable: bool = True) -> None:
-        state = self.overlay.table.get(dst)
+        state = self._neighbor_states.get(dst)
         if state is not None:
             state.last_sent = self.sim.now
         self.network.send(self.node_id, dst, msg, reliable=reliable)
@@ -192,7 +203,7 @@ class GoCastNode:
     def handle_message(self, src: int, msg: object) -> None:
         if not self.alive:
             return
-        state = self.overlay.table.get(src)
+        state = self._neighbor_states.get(src)
         if state is not None:
             state.last_heard = self.sim.now
         handler = self._dispatch.get(type(msg))
@@ -225,18 +236,39 @@ class GoCastNode:
         self.tree.on_neighbor_removed(peer)
 
     def degrees_changed(self) -> None:
+        # The degree flood is the most common message in a converged
+        # overlay, so the per-peer send() wrapper is inlined (stamp
+        # last_sent, hand to the network).  Iterating the live state map
+        # is safe: Network.send only schedules — reliable-send failures
+        # arrive via a later event, never synchronously — so the table
+        # cannot change mid-loop.
         update = self.make_degree_update()
-        for peer in self.overlay.table.ids():
-            self.send(peer, update)
+        network_send = self.network.send
+        node_id = self.node_id
+        now = self.sim.now
+        for peer, state in self._neighbor_states.items():
+            state.last_sent = now
+            network_send(node_id, peer, update)
 
     def make_degree_update(self) -> wire.DegreeUpdate:
-        return wire.DegreeUpdate(
-            nearby_degree=self.overlay.d_near,
-            random_degree=self.overlay.d_rand,
-            dist_to_root=self.tree.dist,
-            root_epoch=self.tree.epoch,
-            tree_parent=self.tree.parent,
+        # DegreeUpdates are immutable once built (receivers only read
+        # fields), so the previous one is reused until any field drifts
+        # — most gossips piggyback an unchanged state.
+        table = self.overlay.table
+        tree = self.tree
+        key = (table.n_near, table.n_rand, tree.dist, tree.epoch, tree.parent)
+        if key == self._degree_update_key:
+            return self._degree_update_cache
+        update = wire.DegreeUpdate(
+            nearby_degree=key[0],
+            random_degree=key[1],
+            dist_to_root=key[2],
+            root_epoch=key[3],
+            tree_parent=key[4],
         )
+        self._degree_update_key = key
+        self._degree_update_cache = update
+        return update
 
     def record_link_change(self, kind: str, action: str) -> None:
         self.last_link_change = self.sim.now
@@ -268,23 +300,27 @@ class GoCastNode:
     def _on_join_reply(self, src: int, msg: wire.JoinReply) -> None:
         join_protocol.handle_join_reply(self, src, msg)
 
-    def _on_degree_update(self, src: int, msg: wire.DegreeUpdate) -> None:
-        self._apply_degree_update(src, msg)
-
     def _apply_degree_update(self, src: int, update: wire.DegreeUpdate) -> None:
-        state = self.overlay.table.get(src)
+        # Registered directly in the dispatch table (also called with
+        # gossip piggybacks) — DegreeUpdate is the most frequent message.
+        state = self._neighbor_states.get(src)
         if state is None:
             return
         state.nearby_degree = update.nearby_degree
         state.random_degree = update.random_degree
         state.dist_to_root = update.dist_to_root
         state.root_epoch = update.root_epoch
-        if self.config.use_tree and not self.frozen:
+        if self._use_tree and not self.frozen:
             self.tree.reconcile_child(src, update.tree_parent)
             self.tree.on_neighbor_info(src)
 
     def _on_gossip(self, src: int, msg: wire.Gossip) -> None:
-        self.view.add_many(m for m in msg.member_sample if m != self.node_id)
+        # Plain loop rather than add_many over a genexpr: this absorbs
+        # every piggybacked member sample in the system.  (add() itself
+        # rejects the owner, so the id check is just a cheap pre-filter.)
+        add = self.view.add
+        for m in msg.member_sample:
+            add(m)
         self._apply_degree_update(src, msg.degrees)
         self.disseminator.on_gossip(src, msg)
 
@@ -304,10 +340,11 @@ class GoCastNode:
     # Periodic maintenance (period r)
     # ------------------------------------------------------------------
     def _on_maintenance(self) -> None:
-        self.overlay.evict_silent_neighbors()
-        self.overlay.maintain_random()
-        self.overlay.maintain_nearby()
-        if self.config.use_tree:
+        overlay = self.overlay
+        overlay.evict_silent_neighbors()
+        overlay.maintain_random()
+        overlay.maintain_nearby()
+        if self._use_tree:
             self.tree.check_root_liveness()
         if self.config.adaptive_maintenance:
             self._tune_maintenance_period()

@@ -23,6 +23,7 @@ maintenance protocols:
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.messages import (
@@ -66,21 +67,24 @@ class OverlayManager:
         #: join; afterwards the scan falls back to round-robin over the
         #: member view ("the estimated latencies are no longer used").
         self._estimate_queue: Optional[List[int]] = None
+        #: Earliest instant at which any neighbor could time out; lets
+        #: :meth:`evict_silent_neighbors` skip its per-tick scan.
+        self._no_evict_until = 0.0
+        #: The node's config, bound once (it is assigned before any
+        #: subsystem is constructed and never replaced) — the accessor
+        #: runs several times per maintenance tick.
+        self._cfg = node.config
 
     # ------------------------------------------------------------------
     # Convenience accessors
     # ------------------------------------------------------------------
     @property
-    def _cfg(self):
-        return self.node.config
-
-    @property
     def d_rand(self) -> int:
-        return self.table.d_rand
+        return self.table.n_rand
 
     @property
     def d_near(self) -> int:
-        return self.table.d_near
+        return self.table.n_near
 
     def neighbor_ids(self) -> List[int]:
         return self.table.ids()
@@ -252,14 +256,35 @@ class OverlayManager:
         if timeout <= 0:
             return
         now = self.node.sim.now
-        for peer in self.table.ids():
-            state = self.table.get(peer)
-            if state is not None and now - state.last_heard > timeout:
+        # Skip the scan while no eviction is possible: last_heard only
+        # moves forward and a new link starts at last_heard=now, so the
+        # bound recorded by the previous scan (oldest last_heard seen +
+        # timeout) is conservative — before that instant `now -
+        # last_heard > timeout` cannot hold for any neighbor.
+        if now <= self._no_evict_until:
+            return
+        # Two-phase so the common all-healthy tick allocates nothing:
+        # scan first, then evict from a snapshot (on_peer_failed removes
+        # only that peer, so the collected ids stay valid).
+        victims = None
+        oldest = now
+        for peer, state in self.table.items():
+            heard = state.last_heard
+            if now - heard > timeout:
+                if victims is None:
+                    victims = []
+                victims.append(peer)
+            elif heard < oldest:
+                oldest = heard
+        if victims:
+            for peer in victims:
                 self.on_peer_failed(peer)
+        else:
+            self._no_evict_until = oldest + timeout
 
     def maintain_random(self) -> None:
         cfg = self._cfg
-        d = self.d_rand
+        d = self.table.n_rand
         if d < cfg.c_rand:
             self._repair_random_deficit()
         elif d >= cfg.c_rand + 2:
@@ -303,7 +328,7 @@ class OverlayManager:
     # ------------------------------------------------------------------
     def maintain_nearby(self) -> None:
         cfg = self._cfg
-        d = self.d_near
+        d = self.table.n_near
         if d >= cfg.c_near + cfg.drop_threshold_slack:
             self._drop_excess_nearby()
         elif d < cfg.c_near:
@@ -322,13 +347,32 @@ class OverlayManager:
         """
         bound = self._c1_bound()
         out = []
-        for peer in self.table.nearby_neighbors():
+        for peer, state in self.table.of_kind_states(NEARBY):
             if peer == exclude:
                 continue
-            state = self.table.get(peer)
             if state.nearby_degree >= bound:
                 out.append((state.rtt, peer))
         return out
+
+    def _has_replaceable(self) -> bool:
+        """Whether any nearby neighbor satisfies C1 (short-circuit form
+        of :meth:`_replaceable` for the per-tick probe decision)."""
+        bound = self._c1_bound()
+        for _, state in self.table.of_kind_states(NEARBY):
+            if state.nearby_degree >= bound:
+                return True
+        return False
+
+    def _worst_replaceable_rtt(self) -> float:
+        """Longest RTT among C1-eligible nearby neighbors, -inf if none
+        (allocation-free form of ``max(self._replaceable())`` for the
+        per-pong C4 check)."""
+        bound = self._c1_bound()
+        worst = -math.inf
+        for _, state in self.table.of_kind_states(NEARBY):
+            if state.nearby_degree >= bound and state.rtt > worst:
+                worst = state.rtt
+        return worst
 
     def _drop_excess_nearby(self) -> None:
         cfg = self._cfg
@@ -349,7 +393,7 @@ class OverlayManager:
     def _try_replace_nearby(self) -> None:
         if self._probe_target is not None:
             return
-        if not self._replaceable():
+        if not self._has_replaceable():
             return
         candidate = self._next_candidate()
         if candidate is None:
@@ -386,11 +430,10 @@ class OverlayManager:
         if candidate in self.table or candidate in self._pending:
             return
         cfg = self._cfg
-        eligible = self._replaceable()
-        if not eligible:
-            return
         # C1 picks the longest-latency eligible neighbor as the victim.
-        worst_rtt, _ = max(eligible)
+        worst_rtt = self._worst_replaceable_rtt()
+        if worst_rtt == -math.inf:
+            return
         # C4: the candidate must be significantly (2x) better.
         if rtt > cfg.replace_rtt_factor * worst_rtt:
             return
@@ -424,18 +467,23 @@ class OverlayManager:
         heuristic).  Afterwards: plain round-robin over the view.
         """
         node = self.node
-        skip = set(self.table.ids()) | set(self._pending) | {node.node_id}
+        # Exclusion is tested against the live neighbor map and pending
+        # dict directly; the view never contains the owner, so no merged
+        # skip set is needed (this runs every maintenance tick).
+        neighbors = self.table.state_map()
+        pending = self._pending
         if self._estimate_queue is None and node.estimator is not None:
             members = node.view.members()
             ranked = node.estimator.rank_candidates(node.node_id, members)
             ranked.reverse()  # pop() then yields the lowest-estimate first
             self._estimate_queue = ranked
-        if self._estimate_queue:
-            while self._estimate_queue:
-                candidate = self._estimate_queue.pop()
-                if candidate not in skip:
+        queue = self._estimate_queue
+        if queue:
+            while queue:
+                candidate = queue.pop()
+                if candidate not in neighbors and candidate not in pending:
                     return candidate
-        return node.view.round_robin_next(exclude=skip)
+        return node.view.round_robin_next_filtered(neighbors, pending)
 
     # ------------------------------------------------------------------
     # Shutdown

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.messages import LINK_KINDS, NEARBY, RANDOM
 
@@ -47,10 +47,27 @@ class NeighborState:
 
 
 class NeighborTable:
-    """A node's current overlay neighbors, indexed by node id."""
+    """A node's current overlay neighbors, indexed by node id.
+
+    Degrees are maintained incrementally and the derived views consulted
+    every protocol tick (per-kind id lists, sorted ids) are cached and
+    invalidated on membership change — a link's ``kind`` is fixed at
+    establishment, so only :meth:`add`/:meth:`remove` can change them.
+    All views preserve the same ordering the uncached list
+    comprehensions produced (dict insertion order), so callers see
+    identical results.
+    """
 
     def __init__(self) -> None:
         self._neighbors: Dict[int, NeighborState] = {}
+        #: Incremental per-kind degree counters.  Public plain attributes
+        #: (read every maintenance tick and in every DegreeUpdate build);
+        #: only add/remove may write them.
+        self.n_rand = 0
+        self.n_near = 0
+        self._kind_cache: Dict[str, List[int]] = {}
+        self._kind_state_cache: Dict[str, List[Tuple[int, NeighborState]]] = {}
+        self._sorted_ids: Optional[List[int]] = None
 
     def __len__(self) -> int:
         return len(self._neighbors)
@@ -61,39 +78,88 @@ class NeighborTable:
     def get(self, node: int) -> Optional[NeighborState]:
         return self._neighbors.get(node)
 
+    def state_map(self) -> Dict[int, NeighborState]:
+        """The live id -> state mapping, for read-only hot paths.
+
+        The table mutates this dict in place and never rebinds it, so a
+        caller may hold it across membership changes (the node's
+        send/receive path does, saving an attribute chain + method call
+        per message).  Callers must not modify it.
+        """
+        return self._neighbors
+
     def items(self):
         return self._neighbors.items()
 
     def ids(self) -> List[int]:
         return list(self._neighbors)
 
+    def sorted_ids(self) -> List[int]:
+        """Ids sorted ascending; cached (callers must not mutate)."""
+        cached = self._sorted_ids
+        if cached is None:
+            cached = self._sorted_ids = sorted(self._neighbors)
+        return cached
+
     def add(self, node: int, kind: str, rtt: float, now: float) -> NeighborState:
         if node in self._neighbors:
             raise ValueError(f"node {node} is already a neighbor")
         state = NeighborState(kind=kind, rtt=rtt, last_sent=now, last_heard=now)
         self._neighbors[node] = state
+        if kind == RANDOM:
+            self.n_rand += 1
+        else:
+            self.n_near += 1
+        self._kind_cache.pop(kind, None)
+        self._kind_state_cache.pop(kind, None)
+        self._sorted_ids = None
         return state
 
     def remove(self, node: int) -> Optional[NeighborState]:
-        return self._neighbors.pop(node, None)
+        state = self._neighbors.pop(node, None)
+        if state is not None:
+            if state.kind == RANDOM:
+                self.n_rand -= 1
+            else:
+                self.n_near -= 1
+            self._kind_cache.pop(state.kind, None)
+            self._kind_state_cache.pop(state.kind, None)
+            self._sorted_ids = None
+        return state
 
     # ------------------------------------------------------------------
     # Degree accessors (the D_rand / D_near of the paper)
     # ------------------------------------------------------------------
     @property
     def d_rand(self) -> int:
-        return sum(1 for s in self._neighbors.values() if s.kind == RANDOM)
+        return self.n_rand
 
     @property
     def d_near(self) -> int:
-        return sum(1 for s in self._neighbors.values() if s.kind == NEARBY)
+        return self.n_near
 
     @property
     def degree(self) -> int:
         return len(self._neighbors)
 
     def of_kind(self, kind: str) -> List[int]:
-        return [n for n, s in self._neighbors.items() if s.kind == kind]
+        """Neighbor ids of ``kind`` in insertion order; cached (callers
+        must not mutate the returned list)."""
+        cached = self._kind_cache.get(kind)
+        if cached is None:
+            cached = [n for n, s in self._neighbors.items() if s.kind == kind]
+            self._kind_cache[kind] = cached
+        return cached
+
+    def of_kind_states(self, kind: str) -> List[Tuple[int, NeighborState]]:
+        """``(id, state)`` pairs of ``kind`` in insertion order; cached
+        (callers must not mutate the returned list).  Saves the per-peer
+        ``get`` lookup in scans that run every maintenance tick."""
+        cached = self._kind_state_cache.get(kind)
+        if cached is None:
+            cached = [(n, s) for n, s in self._neighbors.items() if s.kind == kind]
+            self._kind_state_cache[kind] = cached
+        return cached
 
     def random_neighbors(self) -> List[int]:
         return self.of_kind(RANDOM)

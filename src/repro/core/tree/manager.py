@@ -325,14 +325,18 @@ class TreeManager:
         entry on either side; the parent pointer the peer piggybacks on
         its degree updates is the ground truth.
         """
-        state = self.node.overlay.table.get(peer)
+        # The neighbor state is only looked up on the (rare) mutating
+        # branches; the common case — peer parented elsewhere and not a
+        # recorded child — costs two comparisons.
         if peer_parent == self.node.node_id:
             if peer not in self.children and peer != self.parent:
                 self.children.add(peer)
+                state = self.node.overlay.table.get(peer)
                 if state is not None:
                     state.is_tree_child = True
         elif peer in self.children:
             self.children.discard(peer)
+            state = self.node.overlay.table.get(peer)
             if state is not None:
                 state.is_tree_child = False
 

@@ -1,0 +1,246 @@
+"""Core-engine benchmark: events/sec on the standard GoCast scenario.
+
+This is the harness behind ``repro bench`` and
+``benchmarks/bench_core.py``.  It runs the fixed-seed delay experiment
+(the same scenario family every figure uses) at a couple of sizes and
+reports wall time, CPU time, peak RSS and the engine's events/sec —
+the single number the PR-4 optimization work targets.
+
+Results are written to / merged into ``BENCH_core.json`` under a
+*label* (``current`` by default).  The ``baseline`` label is a
+recorded measurement of the pre-optimization tree (see
+``docs/PERFORMANCE.md``); re-running the bench only rewrites the label
+you ask for, so the baseline survives regeneration and the report can
+always print an honest speedup column.
+
+Both labels execute the exact same simulation (the optimizations are
+bit-identical — pinned by the golden-master equivalence test), so
+``events_executed`` is the same number in both sections and the
+events/sec ratio equals the wall-time ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import run_delay_experiment
+from repro.experiments.scenarios import ScenarioConfig
+
+#: Scenario knobs shared by every bench size (seed fixed for
+#: reproducibility; the same config the paired A/B harness used while
+#: the optimizations were developed).
+SCENARIO_KWARGS = dict(
+    protocol="gocast",
+    adapt_time=20.0,
+    n_messages=20,
+    drain_time=5.0,
+    seed=11,
+)
+
+#: Full matrix (the acceptance numbers) and the CI fast-lane smoke size.
+FULL_SIZES = (128, 512)
+SMOKE_SIZES = (24,)
+
+DEFAULT_OUT = "BENCH_core.json"
+
+
+@dataclass
+class BenchResult:
+    """One size's measurement (best of ``repeats`` runs)."""
+
+    n_nodes: int
+    repeats: int
+    wall_s_best: float
+    wall_s_all: List[float]
+    cpu_s_best: float
+    events_executed: int
+    events_per_sec: float
+    peak_rss_kb: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_nodes": self.n_nodes,
+            "repeats": self.repeats,
+            "wall_s_best": round(self.wall_s_best, 4),
+            "wall_s_all": [round(w, 4) for w in self.wall_s_all],
+            "cpu_s_best": round(self.cpu_s_best, 4),
+            "events_executed": self.events_executed,
+            "events_per_sec": round(self.events_per_sec, 1),
+            "peak_rss_kb": self.peak_rss_kb,
+        }
+
+
+def bench_size(n_nodes: int, repeats: int = 3) -> BenchResult:
+    """Run the scenario ``repeats`` times at ``n_nodes``; keep the best.
+
+    Best-of is the standard defence against scheduler noise for a
+    deterministic workload: every repeat does identical work, so the
+    fastest observation is the closest to the machine's true cost.
+    """
+    cfg = ScenarioConfig(n_nodes=n_nodes, **SCENARIO_KWARGS)
+    walls: List[float] = []
+    cpus: List[float] = []
+    events = 0
+    for _ in range(repeats):
+        w0 = time.perf_counter()
+        c0 = time.process_time()
+        result = run_delay_experiment(cfg)
+        cpus.append(time.process_time() - c0)
+        walls.append(time.perf_counter() - w0)
+        # Older trees (the recorded baseline) predate the field; the
+        # count is identical across labels anyway (bit-identical runs).
+        events = getattr(result, "events_executed", 0)
+    wall_best = min(walls)
+    return BenchResult(
+        n_nodes=n_nodes,
+        repeats=repeats,
+        wall_s_best=wall_best,
+        wall_s_all=walls,
+        cpu_s_best=min(cpus),
+        events_executed=events,
+        events_per_sec=(events / wall_best) if events and wall_best > 0 else 0.0,
+        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    )
+
+
+def _git_head() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except OSError:
+        return None
+    head = out.stdout.strip()
+    return head or None
+
+
+def run_bench(
+    sizes: Sequence[int],
+    repeats: int,
+    label: str = "current",
+    out_path: Optional[str] = DEFAULT_OUT,
+) -> Dict[str, object]:
+    """Measure ``sizes``, merge under ``label`` in ``out_path``, report.
+
+    Returns the full (merged) report dict.  ``out_path=None`` skips the
+    write (smoke mode).
+    """
+    results = {str(n): bench_size(n, repeats).to_dict() for n in sizes}
+    section = {
+        "commit": _git_head(),
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+
+    report: Dict[str, object] = {"scenario": dict(SCENARIO_KWARGS)}
+    if out_path is not None and Path(out_path).exists():
+        try:
+            report = json.loads(Path(out_path).read_text())
+        except (OSError, ValueError):
+            pass
+    report["scenario"] = dict(SCENARIO_KWARGS)
+    report[label] = section
+
+    # Fill events_executed into sections recorded by trees that predate
+    # the counter (identical runs -> identical counts).
+    for name, other in report.items():
+        if not isinstance(other, dict) or "results" not in other:
+            continue
+        for size, entry in other["results"].items():
+            if not entry.get("events_executed") and size in results:
+                entry["events_executed"] = results[size]["events_executed"]
+                wall = entry.get("wall_s_best") or 0
+                if wall:
+                    entry["events_per_sec"] = round(
+                        entry["events_executed"] / wall, 1
+                    )
+
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable table, with a speedup column when both the
+    ``baseline`` and ``current`` sections are present."""
+    baseline = report.get("baseline", {})
+    current = report.get("current", {})
+    base_results = baseline.get("results", {}) if isinstance(baseline, dict) else {}
+    cur_results = current.get("results", {}) if isinstance(current, dict) else {}
+    sizes = sorted({*base_results, *cur_results}, key=int)
+    lines = [
+        f"{'N':>6} {'events':>10} {'wall(s)':>9} {'ev/sec':>10} "
+        f"{'base(s)':>9} {'speedup':>8}"
+    ]
+    for size in sizes:
+        cur = cur_results.get(size)
+        base = base_results.get(size)
+        if cur:
+            wall, eps = cur["wall_s_best"], cur["events_per_sec"]
+            events = cur["events_executed"]
+        else:
+            wall = eps = events = float("nan")
+        base_wall = base["wall_s_best"] if base else None
+        speedup = (
+            f"{base_wall / wall:7.2f}x" if base_wall and cur and wall else "      --"
+        )
+        base_str = f"{base_wall:9.3f}" if base_wall else "       --"
+        lines.append(
+            f"{size:>6} {events:>10} {wall:9.3f} {eps:10.1f} {base_str} {speedup}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Benchmark the simulation core (events/sec).",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="single tiny run (CI fast lane); does not write the report",
+    )
+    parser.add_argument(
+        "--sizes", type=str, default=None,
+        help=f"comma-separated node counts (default {','.join(map(str, FULL_SIZES))})",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="runs per size, best kept (default 3)"
+    )
+    parser.add_argument(
+        "--label", type=str, default="current",
+        help="report section to write (default 'current'; use 'baseline' "
+        "to re-baseline)",
+    )
+    parser.add_argument(
+        "--out", type=str, default=DEFAULT_OUT,
+        help=f"report path (default {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes: Sequence[int] = SMOKE_SIZES
+        repeats = 1
+        out_path = None
+    else:
+        sizes = (
+            tuple(int(s) for s in args.sizes.split(",")) if args.sizes else FULL_SIZES
+        )
+        repeats = args.repeats
+        out_path = args.out
+
+    report = run_bench(sizes, repeats, label=args.label, out_path=out_path)
+    print(format_report(report))
+    if out_path is not None:
+        print(f"\nwrote {out_path} (section: {args.label})")
+    return 0

@@ -76,6 +76,9 @@ class DelayResult:
     #: the delay-CDF denominator.  ``delays.size / expected_pairs`` is the
     #: reliability; batch aggregation needs it to merge CDFs exactly.
     expected_pairs: int = 0
+    #: Total simulation events dispatched by the run's engine — the
+    #: numerator of the ``repro bench`` events/sec figure.
+    events_executed: int = 0
 
     def delay_at_coverage(self, coverage: float) -> float:
         """Delay by which the given fraction of (msg, node) pairs was served.
@@ -209,6 +212,7 @@ def _run_overlay_protocol(
     if health is not None:
         health.stop()
     result = _result_from_tracer(scenario, system.tracer, receivers, system.network)
+    result.events_executed = system.sim.events_executed
     result.metrics = _finalize_obs(obs, system.sim, system.network, health=health)
     return result
 
@@ -282,5 +286,6 @@ def _run_random_gossip_protocol(
 
     receivers = network.alive_nodes()
     result = _result_from_tracer(scenario, tracer, receivers, network)
+    result.events_executed = sim.events_executed
     result.metrics = _finalize_obs(obs, sim, network)
     return result

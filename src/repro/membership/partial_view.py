@@ -101,6 +101,16 @@ class PartialView:
             return list(pool)
         return self._rng.sample(pool, k)
 
+    def sample_excluding(self, k: int, peer: int) -> List[int]:
+        """:meth:`sample` with a single excluded id — the per-gossip
+        piggyback case — trading the set build and per-member hash for
+        one int comparison.  Draws the same RNG sequence as
+        ``sample(k, {peer})`` (identical pool, same order)."""
+        pool = [m for m in self._members if m != peer]
+        if len(pool) <= k:
+            return pool
+        return self._rng.sample(pool, k)
+
     def round_robin_next(self, exclude: Optional[Set[int]] = None) -> Optional[int]:
         """Next candidate in a stable circular scan of the view.
 
@@ -116,5 +126,23 @@ class PartialView:
             candidate = self._members[self._rr_cursor]
             self._rr_cursor += 1
             if exclude is None or candidate not in exclude:
+                return candidate
+        return None
+
+    def round_robin_next_filtered(self, excl_a, excl_b) -> Optional[int]:
+        """:meth:`round_robin_next` testing exclusion against two
+        containers directly (dict/set membership), so the per-tick
+        candidate scan never builds a merged exclude set.  Cursor
+        advancement is identical to passing ``excl_a | excl_b``.
+        """
+        members = self._members
+        n = len(members)
+        if n == 0:
+            return None
+        for _ in range(n):
+            self._rr_cursor %= n
+            candidate = members[self._rr_cursor]
+            self._rr_cursor += 1
+            if candidate not in excl_a and candidate not in excl_b:
                 return candidate
         return None

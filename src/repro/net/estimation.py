@@ -20,7 +20,8 @@ rank any member it hears about without sending a single probe.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+import math
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +61,14 @@ class TriangularEstimator:
         self._noise = measurement_noise
         self._rng = np.random.default_rng(seed)
         self._vectors: Dict[int, np.ndarray] = {}
+        # estimate_rtt is a pure function of the (immutable, cached)
+        # landmark vectors, so results are memoized per unordered pair,
+        # and the miss path runs a plain loop over list copies of the
+        # vectors: IEEE-double arithmetic is identical to numpy's
+        # element-wise float64 ops, and a dozen landmarks is far below
+        # the break-even point of the ufunc machinery.
+        self._estimates: Dict[Tuple[int, int], float] = {}
+        self._vector_lists: Dict[int, List[float]] = {}
 
     @property
     def landmarks(self) -> Sequence[int]:
@@ -81,14 +90,34 @@ class TriangularEstimator:
         """Triangular-heuristic RTT estimate between ``a`` and ``b``."""
         if a == b:
             return 0.0
-        da, db = self.vector(a), self.vector(b)
-        lower = float(np.max(np.abs(da - db)))
-        upper = float(np.min(da + db))
-        if upper < lower:
-            # Noise or triangle-inequality violations crossed the bounds;
-            # fall back to their average, which remains a sane ranking key.
-            return (upper + lower) / 2.0
-        return (lower + upper) / 2.0
+        key = (a, b) if a < b else (b, a)
+        cached = self._estimates.get(key)
+        if cached is not None:
+            return cached
+        lists = self._vector_lists
+        da = lists.get(a)
+        if da is None:
+            da = lists[a] = self.vector(a).tolist()
+        db = lists.get(b)
+        if db is None:
+            db = lists[b] = self.vector(b).tolist()
+        lower = 0.0
+        upper = math.inf
+        for x, y in zip(da, db):
+            d = x - y
+            if d < 0.0:
+                d = -d
+            if d > lower:
+                lower = d
+            s = x + y
+            if s < upper:
+                upper = s
+        # When noise or triangle-inequality violations cross the bounds
+        # the average of the two remains a sane ranking key, so the
+        # midpoint formula covers both cases.
+        est = (lower + upper) / 2.0
+        self._estimates[key] = est
+        return est
 
     def rank_candidates(self, node: int, candidates: Sequence[int]) -> list:
         """Candidates sorted by increasing estimated RTT from ``node``."""

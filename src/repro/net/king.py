@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.net.latency import LatencyModel
+from repro.sim.optim import optimizations_enabled
 
 #: One-way latency statistics of the King dataset reported in the paper.
 KING_MEAN_ONE_WAY = 0.091
@@ -161,6 +162,34 @@ class SyntheticKingModel(LatencyModel):
         self._site_of_node = np.array(
             [perm[i % n_sites] for i in range(n_nodes)], dtype=np.int64
         )
+        # one_way fast path: plain Python ints and row lists.  tolist()
+        # preserves every float bit-for-bit, so results are unchanged;
+        # the numpy arrays remain the validation source of truth.
+        if optimizations_enabled():
+            self._site_list: Optional[List[int]] = [int(s) for s in self._site_of_node]
+            self._site_rows: Optional[List[List[float]]] = self._site_matrix.tolist()
+        else:
+            self._site_list = None
+            self._site_rows = None
+        # Dense per-node rows for the transport's send loop (see
+        # Network.send): one C-level double index replaces a Python call
+        # per message.  Values are exactly one_way's — same site rows,
+        # same colocated constant, 0.0 diagonal — and the quadratic
+        # table is only built at sizes where its footprint is trivial.
+        self.dense_rows: Optional[List[List[float]]] = None
+        if self._site_list is not None and n_nodes <= 2048:
+            sites = self._site_list
+            srows = self._site_rows
+            dense = []
+            for a in range(n_nodes):
+                sa = sites[a]
+                row_a = srows[sa]
+                row = [
+                    COLOCATED_LATENCY if sa == sb else row_a[sb] for sb in sites
+                ]
+                row[a] = 0.0
+                dense.append(row)
+            self.dense_rows = dense
 
     @property
     def size(self) -> int:
@@ -190,6 +219,13 @@ class SyntheticKingModel(LatencyModel):
     def one_way(self, a: int, b: int) -> float:
         if a == b:
             return 0.0
+        sites = self._site_list
+        if sites is not None:
+            sa = sites[a]
+            sb = sites[b]
+            if sa == sb:
+                return COLOCATED_LATENCY
+            return self._site_rows[sa][sb]
         sa, sb = self._site_of_node[a], self._site_of_node[b]
         if sa == sb:
             return COLOCATED_LATENCY

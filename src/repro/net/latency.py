@@ -10,9 +10,11 @@ summaries these protocols exchange.
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.sim.optim import optimizations_enabled
 
 
 class LatencyModel(abc.ABC):
@@ -32,7 +34,12 @@ class LatencyModel(abc.ABC):
         return 2.0 * self.one_way(a, b)
 
     def mean_one_way(self, sample: int = 20000, seed: int = 0) -> float:
-        """Mean one-way latency over distinct pairs (sampled for large n)."""
+        """Mean one-way latency over distinct pairs (sampled for large n).
+
+        Redraws until ``sample`` valid (``a != b``) pairs are collected —
+        simply masking out the self-pairs would silently shrink the
+        sample below the requested size.
+        """
         n = self.size
         rng = np.random.default_rng(seed)
         total_pairs = n * (n - 1) // 2
@@ -41,11 +48,14 @@ class LatencyModel(abc.ABC):
                 self.one_way(i, j) for i in range(n) for j in range(i + 1, n)
             ]
             return float(np.mean(values)) if values else 0.0
-        a = rng.integers(0, n, size=sample)
-        b = rng.integers(0, n, size=sample)
-        mask = a != b
-        values = [self.one_way(int(i), int(j)) for i, j in zip(a[mask], b[mask])]
-        return float(np.mean(values))
+        values: List[float] = []
+        while len(values) < sample:
+            need = sample - len(values)
+            a = rng.integers(0, n, size=need)
+            b = rng.integers(0, n, size=need)
+            mask = a != b
+            values.extend(self.one_way(int(i), int(j)) for i, j in zip(a[mask], b[mask]))
+        return float(np.mean(values[:sample]))
 
 
 class ConstantLatencyModel(LatencyModel):
@@ -87,6 +97,17 @@ class MatrixLatencyModel(LatencyModel):
         if np.any(np.diag(matrix) != 0):
             raise ValueError("self-latency must be zero")
         self._matrix = matrix
+        # Fast path: nested Python lists read several times faster than
+        # numpy scalar indexing + float().  matrix.tolist() yields the
+        # exact same float for every cell, so this cannot change results;
+        # the numpy matrix stays the validation source of truth.
+        self._rows: Optional[List[List[float]]] = (
+            matrix.tolist() if optimizations_enabled() else None
+        )
+        #: Same rows under the transport's optional fast-path protocol:
+        #: a model exposing ``dense_rows`` promises ``dense_rows[a][b]``
+        #: equals ``one_way(a, b)`` for all pairs.
+        self.dense_rows = self._rows
 
     @property
     def size(self) -> int:
@@ -98,6 +119,9 @@ class MatrixLatencyModel(LatencyModel):
         return self._matrix
 
     def one_way(self, a: int, b: int) -> float:
+        rows = self._rows
+        if rows is not None:
+            return rows[a][b]
         return float(self._matrix[a, b])
 
 
@@ -116,6 +140,11 @@ class EuclideanLatencyModel(LatencyModel):
             raise ValueError("seconds_per_unit must be positive")
         self._coords = coords
         self._scale = seconds_per_unit
+        # Pairwise memo keyed on the unordered pair; the model is
+        # symmetric, so (a, b) and (b, a) share one cached float.
+        self._cache: Optional[Dict[Tuple[int, int], float]] = (
+            {} if optimizations_enabled() else None
+        )
 
     @property
     def size(self) -> int:
@@ -128,5 +157,14 @@ class EuclideanLatencyModel(LatencyModel):
     def one_way(self, a: int, b: int) -> float:
         if a == b:
             return 0.0
-        diff = self._coords[a] - self._coords[b]
-        return float(np.sqrt(np.dot(diff, diff)) * self._scale)
+        cache = self._cache
+        if cache is None:
+            diff = self._coords[a] - self._coords[b]
+            return float(np.sqrt(np.dot(diff, diff)) * self._scale)
+        key = (a, b) if a < b else (b, a)
+        value = cache.get(key)
+        if value is None:
+            diff = self._coords[a] - self._coords[b]
+            value = float(np.sqrt(np.dot(diff, diff)) * self._scale)
+            cache[key] = value
+        return value

@@ -1,20 +1,44 @@
 """Deterministic discrete-event simulation engine.
 
-The engine is a classic calendar queue built on :mod:`heapq`.  Events are
-``(time, sequence, callback)`` triples; the monotonically increasing
+The engine is a classic calendar queue built on :mod:`heapq`.  Events
+are ``(time, sequence, handle)`` triples; the monotonically increasing
 sequence number makes the execution order of same-time events
 deterministic (FIFO in scheduling order), which in turn makes every
-simulation in this repository reproducible from its seed.
+simulation in this repository reproducible from its seed.  Storing the
+key as a plain tuple lets :mod:`heapq` compare in C — seq is unique, so
+the handle in slot 3 is never compared.
 
-Cancellation is lazy: :meth:`EventHandle.cancel` marks the handle and the
-main loop skips cancelled entries when they surface, so cancel is O(1)
-and the queue never needs re-heapification.
+Cancellation is lazy: :meth:`EventHandle.cancel` marks the handle and
+the main loop skips cancelled entries when they surface, so cancel is
+O(1).  When corpses pile up (>50% of a non-trivial queue, e.g. after
+mass pull cancellations under churn) the queue is compacted in place
+and re-heapified; heap pop order depends only on the (time, seq) keys,
+so compaction never changes execution order.
+
+Two optimized side-structures ride along, gated by
+:mod:`repro.sim.optim` (``REPRO_SIM_OPTS``):
+
+- a :class:`~repro.sim.wheel.TimerWheel` for periodic timers
+  (:meth:`Simulator.schedule_periodic`), which reschedules a single
+  entry in place instead of churning heap handles, and
+- an :class:`~repro.sim.eventpool.EventPool` backing
+  :meth:`Simulator.schedule_anon` for fire-and-forget events whose
+  handle no caller ever sees (network deliveries).
+
+Both share the global sequence counter and merge by exact
+``(time, seq)``, so enabling them is observably identical to the plain
+heap — a claim pinned by the golden-master equivalence test.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sim.eventpool import EventPool
+from repro.sim.optim import optimizations_enabled
+from repro.sim.wheel import TimerWheel, WheelEntry
 
 
 class SimulationError(RuntimeError):
@@ -24,7 +48,7 @@ class SimulationError(RuntimeError):
 class EventHandle:
     """A scheduled event; the only mutation callers may perform is cancel."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "pooled", "_sim")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
         self.time = time
@@ -32,14 +56,22 @@ class EventHandle:
         self.callback: Optional[Callable[..., Any]] = callback
         self.args = args
         self.cancelled = False
+        self.pooled = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Mark this event so it will be skipped when it surfaces."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references early; a long-lived cancelled timer should not
         # pin its callback's closure (and transitively a dead node) alive.
         self.callback = None
         self.args = ()
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._note_cancel()
 
     def __lt__(self, other: "EventHandle") -> bool:
         if self.time != other.time:
@@ -49,6 +81,16 @@ class EventHandle:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+#: Queue entries: (time, seq, handle).  seq is globally unique, so tuple
+#: comparison never reaches the handle.
+_QueueItem = Tuple[float, int, EventHandle]
+
+#: Compaction fires when at least this many corpses exist AND they
+#: outnumber live entries.  The floor keeps tiny queues from compacting
+#: on every other cancel.
+_COMPACT_MIN_CORPSES = 64
 
 
 class Simulator:
@@ -61,15 +103,32 @@ class Simulator:
         sim.run_until(100.0)
 
     The clock unit is seconds throughout the repository.
+
+    ``optimize`` selects the fast paths (timer wheel, handle pooling,
+    corpse compaction); None defers to the ``REPRO_SIM_OPTS``
+    environment gate.  Either way the observable behaviour — event
+    order, timestamps, ``events_executed`` — is identical.
     """
 
-    def __init__(self) -> None:
-        self._now = 0.0
+    def __init__(self, optimize: Optional[bool] = None) -> None:
+        #: Current simulated time in seconds.  A plain attribute (not a
+        #: property): protocol hot paths read it per message, and the
+        #: descriptor call was measurable at scale.  Only the engine
+        #: writes it.
+        self.now = 0.0
         self._seq = 0
-        self._queue: List[EventHandle] = []
+        self._queue: List[_QueueItem] = []
         self._executed = 0
         self._running = False
         self._dispatch_hook: Optional[Callable[[Callable[..., Any], tuple], None]] = None
+        if optimize is None:
+            optimize = optimizations_enabled()
+        self._optimize = optimize
+        self._wheel: Optional[TimerWheel] = TimerWheel() if optimize else None
+        self._pool: Optional[EventPool] = EventPool(EventHandle) if optimize else None
+        self._cancelled = 0
+        #: Number of corpse-compaction passes run (diagnostics/benchmarks).
+        self.compactions = 0
 
     def set_dispatch_hook(
         self, hook: Optional[Callable[[Callable[..., Any], tuple], None]]
@@ -84,36 +143,104 @@ class Simulator:
         self._dispatch_hook = hook
 
     @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
-
-    @property
     def events_executed(self) -> int:
         """Number of events executed so far (cancelled events excluded)."""
         return self._executed
 
     @property
     def pending_events(self) -> int:
-        """Number of queue entries, including not-yet-collected cancellations."""
-        return len(self._queue)
+        """Queue entries (including not-yet-collected cancellations) plus
+        live wheel timers."""
+        wheel = self._wheel
+        return len(self._queue) + (wheel.count if wheel is not None else 0)
+
+    @property
+    def wheel_enabled(self) -> bool:
+        """Whether periodic timers should route through the timer wheel."""
+        return self._wheel is not None
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args)
+        handle._sim = self
+        heapq.heappush(self._queue, (time, seq, handle))
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at t={time} before current time t={self._now}"
+                f"cannot schedule at t={time} before current time t={self.now}"
             )
-        handle = EventHandle(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._queue, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args)
+        handle._sim = self
+        heapq.heappush(self._queue, (time, seq, handle))
         return handle
+
+    def schedule_anon(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle is returned, so the
+        event can never be cancelled externally — which is exactly what
+        makes it safe to back with a recycled pooled handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool is not None:
+            # EventPool.acquire, inlined: this runs once per network
+            # message and the call frame was measurable.
+            free = pool._free
+            if free:
+                handle = free.pop()
+                handle.time = time
+                handle.seq = seq
+                handle.callback = callback
+                handle.args = args
+                handle.cancelled = False
+                pool.reused += 1
+            else:
+                handle = EventHandle(time, seq, callback, args)
+                handle.pooled = True
+                pool.created += 1
+        else:
+            handle = EventHandle(time, seq, callback, args)
+        heapq.heappush(self._queue, (time, seq, handle))
+
+    def schedule_periodic(
+        self, delay: float, callback: Callable[..., Any], entry: Optional[WheelEntry] = None
+    ) -> WheelEntry:
+        """Schedule a periodic-timer fire through the wheel.
+
+        Pass the entry returned by the previous call to reschedule the
+        same object in place (zero allocation per fire).  Consumes one
+        sequence number from the same counter as :meth:`schedule`, so
+        wheel and heap events interleave deterministically.  Requires
+        :attr:`wheel_enabled` (callers fall back to :meth:`schedule`).
+        """
+        wheel = self._wheel
+        if wheel is None:
+            raise SimulationError("schedule_periodic requires the timer wheel (see wheel_enabled)")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        seq = self._seq
+        self._seq = seq + 1
+        return wheel.schedule(self.now + delay, seq, callback, entry)
+
+    def cancel_periodic(self, entry: WheelEntry) -> None:
+        """Cancel a wheel entry (lazy, O(1), idempotent)."""
+        wheel = self._wheel
+        if wheel is not None:
+            wheel.cancel(entry)
+        else:
+            entry.cancelled = True
 
     def run_until(self, end_time: float) -> None:
         """Execute events up to and including ``end_time``.
@@ -122,12 +249,12 @@ class Simulator:
         even if the queue drained earlier, so that back-to-back
         ``run_until`` calls compose naturally.
         """
-        if end_time < self._now:
+        if end_time < self.now:
             raise SimulationError(
-                f"run_until({end_time}) would move time backwards from {self._now}"
+                f"run_until({end_time}) would move time backwards from {self.now}"
             )
         self._run(end_time)
-        self._now = end_time
+        self.now = end_time
 
     def run(self) -> None:
         """Execute events until the queue is empty."""
@@ -135,47 +262,156 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute the single next pending event.  Returns False if none."""
-        while self._queue:
-            handle = heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
-            self._now = handle.time
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+            self._cancelled -= 1
+        wheel = self._wheel
+        wheel_key = wheel.peek() if wheel is not None else None
+        if queue:
+            time, seq, handle = queue[0]
+            from_wheel = wheel_key is not None and wheel_key < (time, seq)
+        elif wheel_key is not None:
+            from_wheel = True
+        else:
+            return False
+        if from_wheel:
+            entry = wheel.pop()
+            self.now = entry.time
+            callback, args = entry.callback, entry.args
+        else:
+            heapq.heappop(queue)
+            self.now = handle.time
             callback, args = handle.callback, handle.args
-            handle.callback, handle.args = None, ()
-            self._executed += 1
-            assert callback is not None
-            if self._dispatch_hook is None:
-                callback(*args)
+            if handle.pooled:
+                self._pool.release(handle)
             else:
-                self._dispatch_hook(callback, args)
-            return True
-        return False
+                handle.callback, handle.args = None, ()
+                handle._sim = None
+        self._executed += 1
+        assert callback is not None
+        if self._dispatch_hook is None:
+            callback(*args)
+        else:
+            self._dispatch_hook(callback, args)
+        return True
+
+    def _note_cancel(self) -> None:
+        """A handle in the heap was cancelled; compact if corpses dominate."""
+        self._cancelled += 1
+        if (
+            self._optimize
+            and self._cancelled >= _COMPACT_MIN_CORPSES
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled corpses and re-heapify, preserving pop order.
+
+        In-place slice assignment keeps the ``queue`` local in a running
+        :meth:`_run` valid.
+        """
+        queue = self._queue
+        live = [item for item in queue if not item[2].cancelled]
+        queue[:] = live
+        heapq.heapify(queue)
+        self._cancelled = 0
+        self.compactions += 1
 
     def _run(self, end_time: Optional[float]) -> None:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        # The executed counter lives in a local for the duration of the
+        # run (written back in the finally); events_executed is only
+        # consumed after run()/run_until() returns.
+        executed = self._executed
+        # With optimizations on, suspend cyclic GC for the duration of
+        # the run: the loop's garbage is overwhelmingly acyclic (tuples,
+        # wire messages) and freed by refcounting, so the allocation-
+        # count-triggered gen0 scans are pure overhead.  Cycle
+        # collection resumes when the run returns.  GC timing has no
+        # observable effect on simulation results.
+        gc_was_enabled = self._pool is not None and gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             queue = self._queue
+            wheel = self._wheel
+            pool = self._pool
+            pool_free = pool._free if pool is not None else None
+            pool_max = pool.max_size if pool is not None else 0
+            heappop = heapq.heappop
             # Read once: zero overhead on the hot path when no hook is
             # installed (the overwhelmingly common case).
             hook = self._dispatch_hook
-            while queue:
-                handle = queue[0]
-                if handle.cancelled:
-                    heapq.heappop(queue)
-                    continue
-                if end_time is not None and handle.time > end_time:
+            while True:
+                # Heap head, skipping cancelled corpses.
+                head = None
+                while queue:
+                    head = queue[0]
+                    if head[2].cancelled:
+                        heappop(queue)
+                        self._cancelled -= 1
+                        head = None
+                    else:
+                        break
+                # Wheel head: the cached (time, seq) is maintained across
+                # mutations, so the common case is one attribute read.
+                if wheel is not None:
+                    wheel_key = wheel.next_key
+                    if wheel_key is None and wheel.count:
+                        wheel_key = wheel.peek()
+                else:
+                    wheel_key = None
+                if head is not None:
+                    time = head[0]
+                    if wheel_key is not None:
+                        wtime = wheel_key[0]
+                        if wtime < time or (wtime == time and wheel_key[1] < head[1]):
+                            from_wheel = True
+                            time = wtime
+                        else:
+                            from_wheel = False
+                    else:
+                        from_wheel = False
+                elif wheel_key is not None:
+                    from_wheel = True
+                    time = wheel_key[0]
+                else:
                     break
-                heapq.heappop(queue)
-                self._now = handle.time
-                callback, args = handle.callback, handle.args
-                handle.callback, handle.args = None, ()
-                self._executed += 1
-                assert callback is not None
+                if end_time is not None and time > end_time:
+                    break
+                self.now = time
+                if from_wheel:
+                    entry = wheel.pop()
+                    callback = entry.callback
+                    args = entry.args
+                else:
+                    handle = heappop(queue)[2]
+                    callback = handle.callback
+                    args = handle.args
+                    # Release/strip before dispatch: the callback's own
+                    # sends may then reuse the pooled handle immediately.
+                    # (EventPool.release, inlined; the handle was just
+                    # popped live and nobody else holds it, so it cannot
+                    # be cancelled between here and the dispatch below.)
+                    if handle.pooled:
+                        handle.callback = None
+                        handle.args = ()
+                        if len(pool_free) < pool_max:
+                            pool_free.append(handle)
+                    else:
+                        handle.callback, handle.args = None, ()
+                        handle._sim = None
+                executed += 1
                 if hook is None:
                     callback(*args)
                 else:
                     hook(callback, args)
         finally:
+            if gc_was_enabled:
+                gc.enable()
+            self._executed = executed
             self._running = False

@@ -1,0 +1,66 @@
+"""Freelist pooling for fire-and-forget event handles.
+
+Every network send schedules a delivery callback, so a busy simulation
+allocates (and garbage-collects) hundreds of thousands of
+:class:`~repro.sim.engine.EventHandle` objects whose handles nobody ever
+looks at — the transport discards the return value of ``schedule``.
+:class:`EventPool` recycles those handles through a bounded freelist.
+
+Safety rule: a pooled handle may only back an *anonymous* event — one
+whose handle is never returned to a caller (see
+:meth:`~repro.sim.engine.Simulator.schedule_anon`).  Because no caller
+holds a reference, no caller can cancel a recycled handle and
+accidentally kill the unrelated event that reused it.  The engine
+releases a handle back to the pool only after stripping its callback
+and arguments, so reuse can never resurrect a previous occupant's
+callback either (tested in ``tests/sim/test_eventpool.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+
+class EventPool:
+    """Bounded freelist of engine-owned event handles."""
+
+    __slots__ = ("_factory", "_free", "max_size", "created", "reused")
+
+    def __init__(self, factory: Callable[..., Any], max_size: int = 4096):
+        """``factory(time, seq, callback, args)`` builds a fresh handle
+        (the engine passes its ``EventHandle`` class; taking it as a
+        parameter avoids a circular import)."""
+        self._factory = factory
+        self._free: List[Any] = []
+        self.max_size = max_size
+        self.created = 0
+        self.reused = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(self, time: float, seq: int, callback, args: tuple):
+        """A handle ready to schedule: recycled if possible, else fresh."""
+        free = self._free
+        if free:
+            handle = free.pop()
+            handle.time = time
+            handle.seq = seq
+            handle.callback = callback
+            handle.args = args
+            handle.cancelled = False
+            self.reused += 1
+            return handle
+        handle = self._factory(time, seq, callback, args)
+        handle.pooled = True
+        self.created += 1
+        return handle
+
+    def release(self, handle) -> None:
+        """Return a consumed handle; its payload is dropped immediately
+        so a recycled handle starts from a blank slate."""
+        handle.callback = None
+        handle.args = ()
+        handle.cancelled = False
+        if len(self._free) < self.max_size:
+            self._free.append(handle)

@@ -1,0 +1,36 @@
+"""Runtime gate for the simulation fast paths.
+
+The hot-path optimizations (timer wheel, event-handle pooling,
+array-backed latency lookups) are required to be *bit-identical* to the
+straightforward implementations they replace: same event order, same
+RNG draws, same results.  To make that claim testable forever, every
+optimized component keeps its plain fallback and consults this gate at
+construction time, and the golden-master equivalence test runs the same
+scenario with the gate forced both ways.
+
+Set ``REPRO_SIM_OPTS=0`` to force the plain paths (diagnosis, A/B
+benchmarking, the equivalence gate); anything else — including leaving
+the variable unset — enables the fast paths.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable controlling the gate.
+ENV_VAR = "REPRO_SIM_OPTS"
+
+_FALSE_VALUES = ("0", "false", "off", "no")
+
+
+def optimizations_enabled(default: bool = True) -> bool:
+    """Whether the simulation fast paths are enabled (read per call).
+
+    Components read this once at construction, so flipping the
+    environment variable affects simulators/networks/models built
+    afterwards, never ones already running.
+    """
+    value = os.environ.get(ENV_VAR)
+    if value is None:
+        return default
+    return value.strip().lower() not in _FALSE_VALUES

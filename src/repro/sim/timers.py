@@ -9,9 +9,13 @@ supports the paper's "dynamically tunable" periods via :meth:`set_period`.
 
 from __future__ import annotations
 
+from bisect import insort
+from heapq import heappush
 from typing import Any, Callable, Optional
 
 from repro.sim.engine import EventHandle, Simulator
+from repro.sim.wheel import _SCALE as _WHEEL_SCALE
+from repro.sim.wheel import WheelEntry
 
 
 class PeriodicTimer:
@@ -37,11 +41,18 @@ class PeriodicTimer:
         if period <= 0:
             raise ValueError(f"timer period must be positive, got {period}")
         self._sim = sim
+        self._use_wheel = sim.wheel_enabled
+        # Same-package fast path: _fire reschedules straight on the
+        # wheel, skipping the schedule_periodic wrapper per fire.
+        self._wheel = sim._wheel
         self._period = period
         self._callback = callback
         self._obs = obs
         self._name = name
         self._handle: Optional[EventHandle] = None
+        # Wheel mode (sim.wheel_enabled): one entry rescheduled in place
+        # for the timer's whole lifetime, instead of a heap handle per fire.
+        self._entry: Optional[WheelEntry] = None
         self._running = False
 
     @property
@@ -57,8 +68,7 @@ class PeriodicTimer:
         if self._running:
             return
         self._running = True
-        delay = self._period if phase is None else phase
-        self._handle = self._sim.schedule(delay, self._fire)
+        self._schedule(self._period if phase is None else phase)
 
     def stop(self) -> None:
         """Disarm the timer; a stopped timer can be started again."""
@@ -66,6 +76,15 @@ class PeriodicTimer:
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
+        if self._entry is not None:
+            # Keep the entry object for reuse if the timer restarts.
+            self._sim.cancel_periodic(self._entry)
+
+    def _schedule(self, delay: float) -> None:
+        if self._use_wheel:
+            self._entry = self._sim.schedule_periodic(delay, self._fire, self._entry)
+        else:
+            self._handle = self._sim.schedule(delay, self._fire)
 
     def set_period(self, period: float) -> None:
         """Change the period.
@@ -80,7 +99,40 @@ class PeriodicTimer:
     def _fire(self) -> None:
         if not self._running:
             return
-        self._handle = self._sim.schedule(self._period, self._fire)
+        # _schedule inlined: this runs once per period per node forever.
+        # The wheel path re-arms the entry with TimerWheel.schedule's
+        # body inlined, specialized to the refire invariants: the entry
+        # exists, was just popped (queued is False), and already carries
+        # this _fire as its callback.  The period was validated positive,
+        # so the new time can never precede `now`.
+        sim = self._sim
+        if self._use_wheel:
+            seq = sim._seq
+            sim._seq = seq + 1
+            time = sim.now + self._period
+            wheel = self._wheel
+            entry = self._entry
+            entry.time = time
+            entry.seq = seq
+            entry.cancelled = False
+            entry.queued = True
+            wheel.count += 1
+            nk = wheel.next_key
+            if nk is not None and time < nk[0]:
+                wheel.next_key = None
+            idx = int(time * _WHEEL_SCALE)
+            if idx == wheel._current_idx:
+                insort(wheel._current, (-time, -seq, entry))
+            else:
+                buckets = wheel._buckets
+                bucket = buckets.get(idx)
+                if bucket is None:
+                    buckets[idx] = [(time, seq, entry)]
+                    heappush(wheel._bucket_heap, idx)
+                else:
+                    bucket.append((time, seq, entry))
+        else:
+            self._handle = sim.schedule(self._period, self._fire)
         obs = self._obs
         if obs is not None and obs.enabled:
             obs.metrics.inc("timer.fire", name=self._name)

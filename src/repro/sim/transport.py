@@ -20,11 +20,12 @@ application-level hop over the physical topology.
 from __future__ import annotations
 
 import random
+from heapq import heappush
 from typing import Any, Callable, Dict, Optional, Protocol, Set, Tuple
 
 from repro import obs as obs_pkg
 from repro.net.latency import LatencyModel
-from repro.sim.engine import Simulator
+from repro.sim.engine import EventHandle, Simulator
 
 
 class Endpoint(Protocol):
@@ -71,6 +72,30 @@ class Network:
         self.bytes_by_type: Dict[str, int] = {}
         #: Optional hook called as ``on_send(src, dst, msg)`` for every send.
         self.on_send: Optional[Callable[[int, int, Any], None]] = None
+        # --- send() fast path (see repro.sim.optim) -------------------
+        # Per-message-class memo of (type name, unbound wire_size,
+        # fixed size) so the hot loop skips type(msg).__name__ string
+        # churn and the per-send bound-method allocation of
+        # getattr(msg, "wire_size").  Classes whose size is instance-
+        # independent advertise it via a FIXED_WIRE_SIZE class attribute
+        # (see repro.core.messages), which skips the wire_size call
+        # entirely for the hottest traffic (pings, degree updates).
+        self._msg_meta: Dict[
+            type, Tuple[str, Optional[Callable[[Any], int]], Optional[int]]
+        ] = {}
+        # Delivery handles are fire-and-forget, so the optimized path
+        # routes them through the engine's pooled event freelist
+        # (keyed off the simulator's own state, so a sim constructed
+        # with optimize=False never hits the pooled path).
+        self._optimized = sim._pool is not None
+        self._schedule: Callable[..., Any] = (
+            sim.schedule_anon if self._optimized else sim.schedule
+        )
+        self._one_way = latency.one_way
+        # Models may expose a dense per-node table whose cells equal
+        # one_way() exactly (matrix/King do); the send loop then indexes
+        # it directly instead of calling into the model.
+        self._dense_rows = getattr(latency, "dense_rows", None)
 
     # ------------------------------------------------------------------
     # Registration and liveness
@@ -130,14 +155,37 @@ class Network:
         if src == dst:
             raise ValueError("a node cannot send a network message to itself")
         self.messages_sent += 1
-        type_name = type(msg).__name__
-        self.sent_by_type[type_name] = self.sent_by_type.get(type_name, 0) + 1
-        wire_size = getattr(msg, "wire_size", None)
-        size = wire_size() if callable(wire_size) else 0
-        if size:
-            self.bytes_by_type[type_name] = (
-                self.bytes_by_type.get(type_name, 0) + size
+        cls = type(msg)
+        meta = self._msg_meta.get(cls)
+        if meta is None:
+            # One-time per message class: resolve the name, the unbound
+            # wire_size function (None if the class has none) and the
+            # constant size (None if instance-dependent).
+            wire_size = getattr(cls, "wire_size", None)
+            meta = (
+                cls.__name__,
+                wire_size if callable(wire_size) else None,
+                getattr(cls, "FIXED_WIRE_SIZE", None),
             )
+            self._msg_meta[cls] = meta
+        type_name, wire_size_fn, fixed_size = meta
+        by_type = self.sent_by_type
+        try:
+            by_type[type_name] += 1
+        except KeyError:
+            by_type[type_name] = 1
+        if fixed_size is not None:
+            size = fixed_size
+        elif wire_size_fn is not None:
+            size = wire_size_fn(msg)
+        else:
+            size = 0
+        if size:
+            bytes_by_type = self.bytes_by_type
+            try:
+                bytes_by_type[type_name] += size
+            except KeyError:
+                bytes_by_type[type_name] = size
         if self.obs.enabled:
             metrics = self.obs.metrics
             metrics.inc("net.sent", type=type_name)
@@ -148,8 +196,17 @@ class Network:
         if self.on_send is not None:
             self.on_send(src, dst, msg)
 
-        delay = self.latency.one_way(src, dst)
-        broken = not self.is_alive(dst) or not self.link_ok(src, dst)
+        rows = self._dense_rows
+        delay = rows[src][dst] if rows is not None else self._one_way(src, dst)
+        # Inlined is_alive + link_ok: this runs for every message.
+        broken = (
+            dst in self._dead
+            or dst not in self._endpoints
+            or (
+                bool(self._failed_links)
+                and ((src, dst) if src <= dst else (dst, src)) in self._failed_links
+            )
+        )
 
         if reliable:
             if broken:
@@ -157,23 +214,46 @@ class Network:
                 self.messages_lost += 1
                 if self.obs.enabled:
                     self.obs.metrics.inc("net.lost", reason="broken")
-                self.sim.schedule(2.0 * delay, self._notify_failure, src, dst, msg)
+                self._schedule(2.0 * delay, self._notify_failure, src, dst, msg)
                 return
-            self.sim.schedule(delay, self._deliver, src, dst, msg)
-            return
-
-        # UDP-style datagram.
-        if broken or (self.loss_rate > 0.0 and self._rng.random() < self.loss_rate):
-            self.messages_lost += 1
-            if self.obs.enabled:
-                self.obs.metrics.inc(
-                    "net.lost", reason="broken" if broken else "datagram"
-                )
-            return
-        self.sim.schedule(delay, self._deliver, src, dst, msg)
+        else:
+            # UDP-style datagram.
+            if broken or (self.loss_rate > 0.0 and self._rng.random() < self.loss_rate):
+                self.messages_lost += 1
+                if self.obs.enabled:
+                    self.obs.metrics.inc(
+                        "net.lost", reason="broken" if broken else "datagram"
+                    )
+                return
+        sim = self.sim
+        if self._optimized:
+            # Simulator.schedule_anon, inlined (same-package fast path):
+            # one call frame per message was the engine API's entire
+            # remaining overhead.
+            time = sim.now + delay
+            seq = sim._seq
+            sim._seq = seq + 1
+            pool = sim._pool
+            free = pool._free
+            if free:
+                handle = free.pop()
+                handle.time = time
+                handle.seq = seq
+                handle.callback = self._deliver
+                handle.args = (src, dst, msg)
+                handle.cancelled = False
+                pool.reused += 1
+            else:
+                handle = EventHandle(time, seq, self._deliver, (src, dst, msg))
+                handle.pooled = True
+                pool.created += 1
+            heappush(sim._queue, (time, seq, handle))
+        else:
+            self._schedule(delay, self._deliver, src, dst, msg)
 
     def _deliver(self, src: int, dst: int, msg: Any) -> None:
-        if not self.is_alive(dst):
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None or dst in self._dead:
             # Destination died while the message was in flight.
             self.messages_lost += 1
             if self.obs.enabled:
@@ -182,7 +262,7 @@ class Network:
         self.messages_delivered += 1
         if self.obs.enabled:
             self.obs.metrics.inc("net.delivered", type=type(msg).__name__)
-        self._endpoints[dst].handle_message(src, msg)
+        endpoint.handle_message(src, msg)
 
     def _notify_failure(self, src: int, dst: int, msg: Any) -> None:
         if not self.is_alive(src):

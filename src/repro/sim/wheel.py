@@ -1,0 +1,243 @@
+"""Bucketed timer wheel for periodic events.
+
+GoCast runs two fine-grained periodic timers per node (gossip and
+neighbor maintenance, both ~0.1 s), so at N=512 the calendar heap would
+churn O(N·rate) short-lived handles purely for timer reschedules.  The
+wheel takes those events out of the heap: each timer owns one
+:class:`WheelEntry` that is rescheduled *in place* every period — zero
+allocation per fire — and entries are hashed into fixed-width time
+buckets (1/64 s) so insertion is O(1) amortized instead of O(log n).
+
+Ordering contract (what makes this safe to run beside the heap): the
+engine assigns every event — heap or wheel — a sequence number from the
+same counter, and the wheel serves entries in exact ``(time, seq)``
+order.  Bucket indices are monotone in time (``int(t1*64) <=
+int(t2*64)`` whenever ``t1 <= t2``), buckets are drained in index order,
+and entries within a bucket are sorted by exact ``(time, seq)``, so the
+merge in :meth:`Simulator._run` sees the same global order a pure heap
+would produce.  The golden-master equivalence test holds the wheel to
+that claim.
+
+Cancellation and reschedule are lazy: a cancelled or rescheduled entry
+leaves a stale tuple behind in its old bucket, detected later by a
+sequence-number mismatch (every reschedule gets a fresh seq) and
+dropped.  ``WheelEntry.queued`` tracks whether the entry's *live*
+position is still in some bucket, so ``count`` never drifts when a
+timer is cancelled between being popped and fired.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Bucket width is 1/_SCALE seconds.  64 buckets/second comfortably
+#: separates 0.1 s timer periods while keeping bucket population small.
+_SCALE = 64
+
+
+class WheelEntry:
+    """One periodic timer's reusable slot in the wheel."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "queued")
+
+    def __init__(self) -> None:
+        self.time = 0.0
+        self.seq = -1
+        self.callback: Optional[Callable[..., Any]] = None
+        self.args: tuple = ()
+        self.cancelled = False
+        self.queued = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("queued" if self.queued else "idle")
+        return f"WheelEntry(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class TimerWheel:
+    """Time-bucketed priority structure serving exact (time, seq) order.
+
+    Internals: ``_buckets`` maps bucket index -> unordered list of
+    ``(time, seq, entry)`` tuples; ``_bucket_heap`` is a min-heap of the
+    indices present in ``_buckets``.  The earliest bucket is promoted to
+    ``_current``, a list sorted ascending by ``(-time, -seq)`` so the
+    earliest event sits at the *end* and pops are O(1).  (Negated keys
+    because :func:`bisect.insort` on Python 3.9 has no ``key=`` — late
+    inserts landing in the current bucket stay sorted this way.)
+    """
+
+    __slots__ = (
+        "count",
+        "next_key",
+        "_buckets",
+        "_bucket_heap",
+        "_current",
+        "_current_idx",
+    )
+
+    def __init__(self) -> None:
+        #: Number of live (queued, not cancelled) entries.
+        self.count = 0
+        #: Cached ``(time, seq)`` of the head entry, or None when it must
+        #: be recomputed (via :meth:`peek`).  The engine's merge loop
+        #: reads this attribute directly — one dict-free load per event
+        #: instead of a Python call — so it is maintained on every
+        #: mutation: pop always invalidates, cancel invalidates when it
+        #: hits the head, schedule updates in place when the new entry
+        #: becomes the head.
+        self.next_key: Optional[Tuple[float, int]] = None
+        self._buckets: Dict[int, List[Tuple[float, int, WheelEntry]]] = {}
+        self._bucket_heap: List[int] = []
+        self._current: List[Tuple[float, int, WheelEntry]] = []
+        self._current_idx = -1
+
+    def schedule(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        entry: Optional[WheelEntry] = None,
+        args: tuple = (),
+    ) -> WheelEntry:
+        """(Re)arm ``entry`` at ``(time, seq)``; allocates one only if needed.
+
+        Rescheduling an entry whose old position is still buffered simply
+        strands that position — the seq bump marks it stale.
+        """
+        if entry is None:
+            entry = WheelEntry()
+        elif entry.queued:
+            # Old live position becomes a stale corpse; if it was the
+            # cached head, the cache must be recomputed.
+            self.count -= 1
+            nk = self.next_key
+            if nk is not None and nk[1] == entry.seq:
+                self.next_key = None
+        entry.time = time
+        entry.seq = seq
+        entry.callback = callback
+        entry.args = args
+        entry.cancelled = False
+        entry.queued = True
+        self.count += 1
+        nk = self.next_key
+        if nk is not None and time < nk[0]:
+            # Strictly earlier than the cached head: force a recompute.
+            # (Not a direct update — the new entry may belong to a bucket
+            # earlier than the promoted one, and only peek()'s rotation
+            # logic lines the buckets back up.  A time tie can never win:
+            # seq grows globally, so a new entry loses the FIFO tiebreak.)
+            self.next_key = None
+        idx = int(time * _SCALE)
+        if idx == self._current_idx:
+            insort(self._current, (-time, -seq, entry))
+            return entry
+        bucket = self._buckets.get(idx)
+        if bucket is None:
+            self._buckets[idx] = [(time, seq, entry)]
+            heapq.heappush(self._bucket_heap, idx)
+        else:
+            bucket.append((time, seq, entry))
+        return entry
+
+    def cancel(self, entry: WheelEntry) -> None:
+        """Lazily cancel; idempotent, O(1)."""
+        if entry.cancelled:
+            return
+        entry.cancelled = True
+        if entry.queued:
+            entry.queued = False
+            self.count -= 1
+            nk = self.next_key
+            if nk is not None and nk[1] == entry.seq:
+                self.next_key = None  # cancelled the cached head
+
+    def peek(self) -> Optional[Tuple[float, int]]:
+        """``(time, seq)`` of the earliest live entry, or None if empty.
+
+        May compact stale positions and rotate buckets as a side effect,
+        but never changes which live entry is next.  The result is cached
+        in :attr:`next_key` until the head changes.
+        """
+        nk = self.next_key
+        if nk is not None:
+            return nk
+        while True:
+            cur = self._current
+            if cur:
+                bh = self._bucket_heap
+                if bh and bh[0] < self._current_idx:
+                    # A late insert opened a bucket *earlier* than the one
+                    # currently promoted (possible when earlier buckets
+                    # were empty at promotion time): demote and reload.
+                    self._demote_current()
+                    continue
+                nt, ns, entry = cur[-1]
+                if entry.cancelled or entry.seq != -ns:
+                    cur.pop()  # stale position
+                    continue
+                self.next_key = key = (-nt, -ns)
+                return key
+            if not self._promote_next_bucket():
+                return None
+
+    def pop(self) -> WheelEntry:
+        """Remove and return the entry :meth:`peek` just reported.
+
+        Callback/args stay on the entry so the timer can fire and then
+        reschedule the same object in place.  The next head is resolved
+        from the (already sorted) current bucket on the way out, so the
+        per-event path usually never needs a :meth:`peek` call; if a
+        subsequent ``schedule`` lands something earlier — including in an
+        earlier bucket — it invalidates :attr:`next_key` and the full
+        peek rotation takes over.
+        """
+        cur = self._current
+        _, _, entry = cur.pop()
+        entry.queued = False
+        self.count -= 1
+        nk = None
+        while cur:
+            nt, ns, e = cur[-1]
+            if e.cancelled or e.seq != -ns:
+                cur.pop()  # stale position
+                continue
+            nk = (-nt, -ns)
+            break
+        self.next_key = nk
+        return entry
+
+    def _promote_next_bucket(self) -> bool:
+        buckets = self._buckets
+        bh = self._bucket_heap
+        while bh:
+            idx = heapq.heappop(bh)
+            bucket = buckets.pop(idx, None)
+            if bucket is None:
+                continue
+            live = [
+                (-t, -s, e)
+                for (t, s, e) in bucket
+                if not e.cancelled and e.seq == s
+            ]
+            if not live:
+                continue  # bucket was all stale corpses
+            live.sort()
+            self._current = live
+            self._current_idx = idx
+            return True
+        self._current_idx = -1
+        return False
+
+    def _demote_current(self) -> None:
+        idx = self._current_idx
+        raw = [(-nt, -ns, e) for (nt, ns, e) in self._current]
+        existing = self._buckets.get(idx)
+        if existing is None:
+            self._buckets[idx] = raw
+            heapq.heappush(self._bucket_heap, idx)
+        else:  # pragma: no cover - defensive; inserts target _current while promoted
+            existing.extend(raw)
+        self._current = []
+        self._current_idx = -1

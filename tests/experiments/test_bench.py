@@ -1,0 +1,53 @@
+"""Smoke tests for the core-engine benchmark harness (repro bench)."""
+
+import json
+
+from repro.experiments import bench
+
+
+def test_bench_size_smoke():
+    result = bench.bench_size(16, repeats=1)
+    assert result.events_executed > 0
+    assert result.events_per_sec > 0
+    assert result.wall_s_best > 0
+    assert result.peak_rss_kb > 0
+    d = result.to_dict()
+    assert d["n_nodes"] == 16 and d["repeats"] == 1
+    assert len(d["wall_s_all"]) == 1
+
+
+def test_run_bench_merges_and_preserves_baseline(tmp_path):
+    out = tmp_path / "BENCH_core.json"
+    # A recorded baseline from an older tree without the events counter.
+    out.write_text(json.dumps({
+        "baseline": {
+            "commit": "deadbee",
+            "results": {
+                "16": {"n_nodes": 16, "wall_s_best": 1.0, "events_executed": 0},
+            },
+        },
+    }))
+    report = bench.run_bench([16], repeats=1, label="current", out_path=str(out))
+    written = json.loads(out.read_text())
+    assert written == report
+    # Baseline section survived and its missing events count was
+    # backfilled from the (bit-identical) current run.
+    base_entry = written["baseline"]["results"]["16"]
+    cur_entry = written["current"]["results"]["16"]
+    assert written["baseline"]["commit"] == "deadbee"
+    assert base_entry["events_executed"] == cur_entry["events_executed"] > 0
+    assert base_entry["events_per_sec"] > 0
+    assert written["scenario"]["seed"] == bench.SCENARIO_KWARGS["seed"]
+
+    table = bench.format_report(written)
+    assert "speedup" in table and "16" in table
+
+
+def test_format_report_without_baseline():
+    table = bench.format_report({
+        "current": {"results": {"16": {
+            "n_nodes": 16, "wall_s_best": 0.5, "events_per_sec": 1000.0,
+            "events_executed": 500,
+        }}},
+    })
+    assert "--" in table  # no baseline -> no speedup figure

@@ -1,0 +1,50 @@
+"""Golden-master equivalence gate for the simulation fast paths.
+
+The PR-4 optimizations (timer wheel, event pooling, dense latency rows,
+the inlined transport send) all claim *bit-identical* behaviour to the
+plain implementations they replace.  This test enforces the claim where
+it matters most: the golden 25%-failure scenario is run twice — once
+with ``REPRO_SIM_OPTS`` forced off, once forced on — and the trial
+results must match byte-for-byte (raw delay arrays, exact message
+counts), not merely to golden rounding.  Both runs must also still
+match the committed golden fixture.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments.batch import run_batch
+from repro.experiments.scenarios import ScenarioConfig
+
+from tests.experiments.test_goldens import GOLDEN_CASES, GOLDEN_DIR, golden_summary
+
+CASE = "gocast_n24_fail25"
+
+
+def _run_with_opts(monkeypatch, enabled: bool):
+    monkeypatch.setenv("REPRO_SIM_OPTS", "1" if enabled else "0")
+    case = GOLDEN_CASES[CASE]
+    return run_batch(
+        ScenarioConfig(**case["scenario"]), n_trials=case["trials"], workers=1
+    )
+
+
+def test_optimizations_are_bit_identical(monkeypatch):
+    plain = _run_with_opts(monkeypatch, enabled=False)
+    fast = _run_with_opts(monkeypatch, enabled=True)
+
+    # Byte-identical trial outcomes, unrounded.
+    assert plain.delays.tobytes() == fast.delays.tobytes()
+    assert plain.messages_sent == fast.messages_sent
+    assert plain.sent_by_type == fast.sent_by_type
+    assert plain.expected_pairs == fast.expected_pairs
+    assert [t.seed for t in plain.trials] == [t.seed for t in fast.trials]
+    for a, b in zip(plain.trials, fast.trials):
+        assert a.delays.tobytes() == b.delays.tobytes()
+        assert a.sent_by_type == b.sent_by_type
+        assert a.messages_sent == b.messages_sent
+
+    # And both still match the committed golden fixture.
+    expected = json.loads((GOLDEN_DIR / f"{CASE}.json").read_text())
+    assert golden_summary(plain) == expected
+    assert golden_summary(fast) == expected

@@ -78,3 +78,22 @@ def test_mean_one_way_sampled_close_to_exact():
     model = MatrixLatencyModel(m)
     exact = m[np.triu_indices(n, k=1)].mean()
     assert model.mean_one_way(sample=20000) == pytest.approx(exact, rel=0.05)
+
+
+def test_mean_one_way_sampling_honors_requested_size():
+    """The sampled path must average exactly ``sample`` valid (a != b)
+    pairs: self-pair collisions are redrawn, not silently dropped (the
+    old masking bug shrank the effective sample)."""
+
+    class CountingModel(ConstantLatencyModel):
+        def __init__(self, size):
+            super().__init__(size, latency=0.05)
+            self.calls = 0
+
+        def one_way(self, a, b):
+            self.calls += 1
+            return super().one_way(a, b)
+
+    model = CountingModel(30)  # 435 pairs > sample -> sampling path
+    assert model.mean_one_way(sample=50) == pytest.approx(0.05)
+    assert model.calls == 50

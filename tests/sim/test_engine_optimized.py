@@ -1,0 +1,206 @@
+"""Edge cases of the optimized engine paths (wheel + pool + compaction).
+
+The optimizations are gated (``REPRO_SIM_OPTS`` / ``Simulator(optimize=)``)
+and required to be observably identical to the plain heap.  These tests
+pin the tricky interleavings: cancellation from inside a running
+callback, same-timestamp FIFO across the wheel/heap merge, corpse
+compaction in the middle of a run, and GC state restoration.
+"""
+
+import gc
+
+import pytest
+
+from repro.sim.engine import _COMPACT_MIN_CORPSES, SimulationError, Simulator
+
+
+@pytest.fixture(params=[False, True], ids=["plain", "optimized"])
+def any_sim(request):
+    return Simulator(optimize=request.param)
+
+
+# ----------------------------------------------------------------------
+# Cancel during dispatch
+# ----------------------------------------------------------------------
+def test_cancel_during_dispatch_same_time(any_sim):
+    """An event cancelled by an earlier same-timestamp event never fires."""
+    sim = any_sim
+    fired = []
+    victim = None
+
+    def killer():
+        fired.append("killer")
+        victim.cancel()
+
+    sim.schedule(1.0, killer)
+    victim = sim.schedule(1.0, fired.append, "victim")
+    sim.run()
+    assert fired == ["killer"]
+    assert sim.events_executed == 1
+
+
+def test_cancel_periodic_from_callback(any_sim):
+    """A periodic timer cancelled mid-dispatch stops immediately, in both
+    the wheel-backed and heap-backed implementations."""
+    from repro.sim.timers import PeriodicTimer
+
+    sim = any_sim
+    ticks = []
+    timer = PeriodicTimer(sim, period=1.0, callback=lambda: ticks.append(sim.now))
+
+    def stop_it():
+        timer.stop()
+
+    timer.start(phase=1.0)
+    sim.schedule(2.5, stop_it)
+    sim.run_until(10.0)
+    assert ticks == [1.0, 2.0]
+
+
+# ----------------------------------------------------------------------
+# Wheel/heap merge ordering
+# ----------------------------------------------------------------------
+def test_same_time_fifo_across_wheel_and_heap():
+    """Events at one timestamp run in scheduling order regardless of
+    whether they live in the wheel or the heap."""
+    sim = Simulator(optimize=True)
+    order = []
+    # Interleave: heap, wheel, heap, wheel — all at t=1.0.
+    sim.schedule(1.0, order.append, "heap-0")
+    sim.schedule_periodic(1.0, lambda: order.append("wheel-1"))
+    sim.schedule(1.0, order.append, "heap-2")
+    sim.schedule_periodic(1.0, lambda: order.append("wheel-3"))
+    sim.run_until(1.0)
+    assert order == ["heap-0", "wheel-1", "heap-2", "wheel-3"]
+
+
+def test_merge_order_matches_plain_engine():
+    """The same scramble of one-shot and periodic work executes in the
+    same order on both engine configurations."""
+    def drive(optimize):
+        sim = Simulator(optimize=optimize)
+        log = []
+
+        def tick(tag):
+            log.append((round(sim.now, 6), tag))
+
+        from repro.sim.timers import PeriodicTimer
+
+        timers = [
+            PeriodicTimer(sim, period=0.3, callback=lambda: tick("a")),
+            PeriodicTimer(sim, period=0.45, callback=lambda: tick("b")),
+        ]
+        for timer in timers:
+            timer.start()
+        for i in range(10):
+            sim.schedule(0.1 + 0.17 * i, tick, f"one-{i}")
+        sim.run_until(2.0)
+        return log
+
+    assert drive(True) == drive(False)
+
+
+def test_step_serves_wheel_and_heap_in_order():
+    sim = Simulator(optimize=True)
+    order = []
+    sim.schedule_periodic(0.5, lambda: order.append("wheel"))
+    sim.schedule(0.4, order.append, "early-heap")
+    sim.schedule(0.6, order.append, "late-heap")
+    while sim.step():
+        pass
+    assert order == ["early-heap", "wheel", "late-heap"]
+
+
+# ----------------------------------------------------------------------
+# Corpse compaction
+# ----------------------------------------------------------------------
+def test_compaction_mid_run_preserves_survivors():
+    """Mass-cancelling from inside a callback compacts the queue while
+    ``_run`` is iterating; survivors still fire, in order."""
+    sim = Simulator(optimize=True)
+    fired = []
+    n = 3 * _COMPACT_MIN_CORPSES
+    handles = [
+        sim.schedule(2.0 + i * 1e-4, fired.append, i) for i in range(n)
+    ]
+    survivors = list(range(0, n, 7))
+
+    def mass_cancel():
+        keep = set(survivors)
+        for i, handle in enumerate(handles):
+            if i not in keep:
+                handle.cancel()
+
+    sim.schedule(1.0, mass_cancel)
+    sim.run()
+    assert fired == survivors
+    assert sim.compactions >= 1
+    assert sim.events_executed == 1 + len(survivors)
+
+
+def test_plain_engine_never_compacts():
+    sim = Simulator(optimize=False)
+    handles = [sim.schedule(1.0 + i * 1e-4, lambda: None) for i in range(200)]
+    for handle in handles[:-1]:
+        handle.cancel()
+    sim.run()
+    assert sim.compactions == 0
+    assert sim.events_executed == 1
+
+
+# ----------------------------------------------------------------------
+# GC suspension
+# ----------------------------------------------------------------------
+def test_gc_restored_after_run(any_sim):
+    sim = any_sim
+    assert gc.isenabled()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert gc.isenabled()
+
+
+def test_gc_restored_after_callback_raises():
+    sim = Simulator(optimize=True)
+
+    def boom():
+        raise RuntimeError("boom")
+
+    sim.schedule(1.0, boom)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    assert gc.isenabled()
+
+
+def test_gc_left_disabled_if_caller_disabled_it():
+    sim = Simulator(optimize=True)
+    sim.schedule(1.0, lambda: None)
+    gc.disable()
+    try:
+        sim.run()
+        assert not gc.isenabled()
+    finally:
+        gc.enable()
+
+
+# ----------------------------------------------------------------------
+# Guard rails
+# ----------------------------------------------------------------------
+def test_schedule_periodic_requires_wheel():
+    sim = Simulator(optimize=False)
+    with pytest.raises(SimulationError):
+        sim.schedule_periodic(1.0, lambda: None)
+
+
+def test_events_executed_identical_across_modes():
+    def drive(optimize):
+        sim = Simulator(optimize=optimize)
+        from repro.sim.timers import PeriodicTimer
+
+        timer = PeriodicTimer(sim, period=0.25, callback=lambda: None)
+        timer.start()
+        for i in range(20):
+            sim.schedule(0.05 * i, lambda: None)
+        sim.run_until(5.0)
+        return sim.events_executed
+
+    assert drive(True) == drive(False)

@@ -1,0 +1,56 @@
+"""Unit tests for the event-handle freelist (see repro.sim.eventpool)."""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.eventpool import EventPool
+
+
+def test_acquire_allocates_then_recycles():
+    pool = EventPool(EventHandle)
+    h1 = pool.acquire(1.0, 0, print, ())
+    assert pool.created == 1 and pool.reused == 0
+    pool.release(h1)
+    h2 = pool.acquire(2.0, 1, print, ("x",))
+    assert h2 is h1
+    assert pool.reused == 1
+    assert (h2.time, h2.seq, h2.args) == (2.0, 1, ("x",))
+
+
+def test_release_strips_payload():
+    pool = EventPool(EventHandle)
+    handle = pool.acquire(1.0, 0, print, ("payload",))
+    pool.release(handle)
+    assert handle.callback is None and handle.args == ()
+    assert not handle.cancelled
+
+
+def test_freelist_is_bounded():
+    pool = EventPool(EventHandle, max_size=2)
+    handles = [pool.acquire(float(i), i, print, ()) for i in range(4)]
+    for handle in handles:
+        pool.release(handle)
+    assert len(pool) == 2
+
+
+def test_reuse_never_resurrects_previous_callback():
+    """A recycled handle must only ever fire its *new* payload."""
+    sim = Simulator(optimize=True)
+    calls = []
+    sim.schedule_anon(1.0, calls.append, "first")
+    sim.run()
+    # The fired handle is back on the freelist; reuse it.
+    assert len(sim._pool) == 1
+    sim.schedule_anon(1.0, calls.append, "second")
+    sim.run()
+    assert calls == ["first", "second"]
+
+
+def test_cancelled_external_handle_never_enters_pool():
+    """Only anonymous (engine-owned) handles are pooled: a handle the
+    caller holds — and could still cancel — must not be recycled."""
+    sim = Simulator(optimize=True)
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule_anon(2.0, lambda: None)
+    handle.cancel()
+    sim.run()
+    assert handle not in sim._pool._free
+    assert all(h.pooled for h in sim._pool._free)

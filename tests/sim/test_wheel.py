@@ -1,0 +1,108 @@
+"""Unit tests for the timer wheel (see repro.sim.wheel).
+
+The wheel's contract is exact ``(time, seq)`` service order — identical
+to a heap holding the same events — with in-place reschedule and lazy
+cancellation.  These tests drive the structure directly; the engine
+merge and the end-to-end bit-identity claims are covered by
+``test_engine_optimized.py`` and the golden equivalence gate.
+"""
+
+import pytest
+
+from repro.sim.wheel import TimerWheel, WheelEntry, _SCALE
+
+
+def _drain(wheel):
+    """Pop everything in service order, returning (time, seq) pairs."""
+    out = []
+    while wheel.peek() is not None:
+        entry = wheel.pop()
+        out.append((entry.time, entry.seq))
+    return out
+
+
+def test_serves_in_time_seq_order_across_buckets():
+    wheel = TimerWheel()
+    # Deliberately out of order, spanning several 1/64 s buckets.
+    events = [(0.5, 3), (0.01, 0), (2.0, 7), (0.5, 2), (0.02, 1), (1.99, 6)]
+    for time, seq in events:
+        wheel.schedule(time, seq, callback=lambda: None)
+    assert _drain(wheel) == sorted(events)
+    assert wheel.count == 0
+
+
+def test_same_time_fifo_by_sequence():
+    wheel = TimerWheel()
+    for seq in (5, 1, 3):
+        wheel.schedule(1.0, seq, callback=lambda: None)
+    assert [seq for _, seq in _drain(wheel)] == [1, 3, 5]
+
+
+def test_in_place_reschedule_strands_stale_position():
+    wheel = TimerWheel()
+    entry = wheel.schedule(1.0, 0, callback=lambda: None)
+    # Rearm the same object before the first position is served: the old
+    # (1.0, 0) tuple becomes a corpse that must never be served.
+    wheel.schedule(2.0, 1, callback=lambda: None, entry=entry)
+    assert wheel.count == 1
+    assert _drain(wheel) == [(2.0, 1)]
+
+
+def test_cancel_is_lazy_idempotent_and_updates_count():
+    wheel = TimerWheel()
+    keep = wheel.schedule(1.0, 0, callback=lambda: None)
+    drop = wheel.schedule(1.5, 1, callback=lambda: None)
+    wheel.cancel(drop)
+    wheel.cancel(drop)
+    assert wheel.count == 1
+    assert _drain(wheel) == [(1.0, 0)]
+    assert not keep.queued
+
+
+def test_cancel_of_cached_head_invalidates_next_key():
+    wheel = TimerWheel()
+    first = wheel.schedule(1.0, 0, callback=lambda: None)
+    wheel.schedule(2.0, 1, callback=lambda: None)
+    assert wheel.peek() == (1.0, 0)  # caches next_key
+    wheel.cancel(first)
+    assert wheel.peek() == (2.0, 1)
+
+
+def test_later_schedule_into_earlier_bucket_becomes_head():
+    wheel = TimerWheel()
+    wheel.schedule(5.0, 0, callback=lambda: None)
+    assert wheel.peek() == (5.0, 0)  # promotes the 5.0 bucket
+    # New event in a *strictly earlier* bucket than the promoted one —
+    # the demote/reload path must line the buckets back up.
+    wheel.schedule(1.0, 1, callback=lambda: None)
+    assert wheel.peek() == (1.0, 1)
+    assert _drain(wheel) == [(1.0, 1), (5.0, 0)]
+
+
+def test_pop_resolves_next_head_without_peek():
+    wheel = TimerWheel()
+    for seq, time in enumerate((1.0, 1.0 + 1.0 / (2 * _SCALE), 3.0)):
+        wheel.schedule(time, seq, callback=lambda: None)
+    wheel.peek()
+    wheel.pop()
+    # Same bucket: pop pre-computed the next head.
+    assert wheel.next_key is not None
+    assert wheel.peek() == wheel.next_key
+
+
+def test_entry_payload_survives_pop_for_refire():
+    wheel = TimerWheel()
+    marker = object()
+    entry = wheel.schedule(1.0, 0, callback=marker, args=(1, 2))
+    popped = wheel.pop() if wheel.peek() else None
+    assert popped is entry
+    assert popped.callback is marker and popped.args == (1, 2)
+    assert not popped.queued
+
+
+def test_fresh_entry_allocated_only_when_needed():
+    wheel = TimerWheel()
+    entry = wheel.schedule(1.0, 0, callback=lambda: None)
+    assert isinstance(entry, WheelEntry)
+    again = wheel.schedule(2.0, 1, callback=lambda: None, entry=entry)
+    assert again is entry
