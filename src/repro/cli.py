@@ -13,13 +13,20 @@ Usage::
     python -m repro obs paths --nodes 24 --fail 0.25 --message 3:0
     python -m repro obs health --fail 0.25 --no-freeze
     python -m repro obs anomalies --fail 0.25 --retry-threshold 2
+    python -m repro chaos list
+    python -m repro chaos run steady-churn --n 128 --seed 1
+    python -m repro obs trace --scenario flapping-partition --category invariant.violation
 
 Each experiment prints the same table the corresponding paper artifact
 reports (see EXPERIMENTS.md).  ``--scale`` overrides the ``REPRO_SCALE``
 environment variable for the invocation.  The ``obs`` subcommands run a
 single instrumented delay experiment (see docs/OBSERVABILITY.md) and
 report its metrics, trace events, callback profile, reconstructed
-delivery paths, health trajectory, or detected anomalies.
+delivery paths, health trajectory, or detected anomalies.  ``chaos``
+runs a named churn/partition/loss scenario under runtime invariant
+checking and prints the violation report (see docs/CHAOS.md); the
+``--scenario`` option injects the same scenarios into any ``obs`` or
+``batch`` run.
 """
 
 from __future__ import annotations
@@ -237,6 +244,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry-threshold", type=int, default=2,
         help="flag pulls with at least this many retries (default 2)",
     )
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a chaos scenario under runtime invariant checking",
+        description="Drive a named (or JSON-defined) churn/partition/loss "
+        "scenario against a live GoCast system while the runtime invariant "
+        "checker audits overlay, tree, and delivery correctness; prints the "
+        "fault summary and violation report (see docs/CHAOS.md).",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_sub.add_parser("list", help="list the canned scenarios")
+    chaos_run = chaos_sub.add_parser(
+        "run", help="run one scenario and print the invariant report"
+    )
+    chaos_run.add_argument(
+        "scenario",
+        help="canned scenario name (see 'chaos list') or a JSON scenario file",
+    )
+    chaos_run.add_argument(
+        "--n", type=int, default=64, help="initial node count (default 64)"
+    )
+    chaos_run.add_argument("--seed", type=int, default=1, help="simulation seed")
+    chaos_run.add_argument(
+        "--adapt", type=float, default=20.0,
+        help="undisturbed adaptation time before the chaos starts (default 20)",
+    )
+    chaos_run.add_argument(
+        "--messages", type=int, default=20,
+        help="messages injected across the chaos window (default 20)",
+    )
+    chaos_run.add_argument(
+        "--drain", type=float, default=20.0,
+        help="quiescent repair/drain time after the chaos ends (default 20)",
+    )
+    chaos_run.add_argument(
+        "--period", type=float, default=0.5,
+        help="invariant sampling period in sim seconds (default 0.5)",
+    )
+    chaos_run.add_argument(
+        "--hard-fail",
+        action="store_true",
+        help="raise on the first invariant violation instead of recording it",
+    )
+    chaos_run.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    chaos_run.add_argument("--out", help="also write the JSON report to this file")
+
     for cmd in (summary, trace, profile, paths, health, anomalies, batch):
         cmd.add_argument(
             "--protocol",
@@ -273,6 +327,11 @@ def build_parser() -> argparse.ArgumentParser:
             default="smoke",
             help="scale preset (default smoke)",
         )
+        cmd.add_argument(
+            "--scenario",
+            help="inject this chaos scenario (canned name or JSON file) "
+            "during the workload; see 'repro chaos list'",
+        )
     return parser
 
 
@@ -304,6 +363,16 @@ def cmd_run(experiment: str, scale, seed: int, out=None) -> int:
     return 0
 
 
+def _scenario_arg(value):
+    """A ``--scenario``/``chaos run`` operand: JSON file path or canned name."""
+    import json
+
+    if os.path.isfile(value):
+        with open(value, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    return value
+
+
 def _obs_scenario(args):
     from repro.experiments.scenarios import paper_scenario
 
@@ -318,6 +387,8 @@ def _obs_scenario(args):
         overrides["drain_time"] = args.drain
     if getattr(args, "no_freeze", False):
         overrides["freeze_on_failure"] = False
+    if getattr(args, "scenario", None):
+        overrides["chaos"] = _scenario_arg(args.scenario)
     return paper_scenario(args.protocol, scale=args.scale, **overrides)
 
 
@@ -517,6 +588,49 @@ def _print_anomalies(args, obs, result, out) -> int:
     return 0
 
 
+def cmd_chaos(args, out=None) -> int:
+    import json
+
+    out = out if out is not None else sys.stdout
+    from repro.experiments.chaos import run_chaos
+    from repro.sim.scenarios import CANNED
+
+    if args.chaos_command == "list":
+        width = max(len(name) for name in CANNED)
+        for name, scenario in CANNED.items():
+            phases = ", ".join(p.kind for p in scenario.phases)
+            print(f"  {name:<{width}}  {scenario.description} [{phases}]",
+                  file=out)
+        return 0
+    try:
+        report = run_chaos(
+            _scenario_arg(args.scenario),
+            n_nodes=args.n,
+            seed=args.seed,
+            adapt_time=args.adapt,
+            n_messages=args.messages,
+            drain_time=args.drain,
+            invariant_period=args.period,
+            hard_fail=args.hard_fail,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"invalid scenario: {exc}", file=sys.stderr)
+        return 2
+    payload = None
+    if args.json or args.out:
+        payload = json.dumps(report.to_json_dict(), indent=2, allow_nan=False)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+    if args.json:
+        print(payload, file=out)
+    else:
+        print(report.format_report(), file=out)
+        if args.out:
+            print(f"wrote JSON report to {args.out}", file=out)
+    return 1 if report.total_violations else 0
+
+
 def cmd_bench(args) -> int:
     from repro.experiments import bench
 
@@ -546,6 +660,8 @@ def main(argv=None) -> int:
         return cmd_batch(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     return cmd_run(args.experiment, args.scale, args.seed)
 
 

@@ -101,6 +101,25 @@ class GoCastNode:
             wire.TreeAttach: self._on_tree_attach,
             wire.TreeDetach: self._on_tree_detach,
         }
+        # Message types that only ever travel over an established
+        # overlay link (the modeled TCP connection).  Receiving one from
+        # a peer we hold no link to means the sender's link state is
+        # stale — see _on_stale_link.  Handshake traffic, rewire
+        # forwarding, UDP probes, and gossip-pull repair legitimately
+        # cross non-link pairs and are exempt.  DegreeUpdate is also
+        # exempt: it is the highest-frequency message, so it routinely
+        # loses the race against a deliberate (and already notified)
+        # link drop — answering those would only duplicate the dropper's
+        # own LinkDrop — and a one-sided link whose only outbound
+        # traffic is degree floods hears nothing back, so the silent-
+        # neighbor timeout already evicts it.
+        self._link_level_types = (
+            wire.Gossip,
+            wire.MulticastData,
+            wire.TreeHeartbeat,
+            wire.TreeAttach,
+            wire.TreeDetach,
+        )
 
         # Hot-path binding: every send and receive stamps last_sent /
         # last_heard, so skip the table.get() indirection (the table
@@ -206,6 +225,8 @@ class GoCastNode:
         state = self._neighbor_states.get(src)
         if state is not None:
             state.last_heard = self.sim.now
+        elif isinstance(msg, self._link_level_types):
+            self._on_stale_link(src)
         handler = self._dispatch.get(type(msg))
         if handler is None:
             raise TypeError(f"node {self.node_id}: unhandled message {type(msg).__name__}")
@@ -323,6 +344,30 @@ class GoCastNode:
             add(m)
         self._apply_degree_update(src, msg.degrees)
         self.disseminator.on_gossip(src, msg)
+
+    def _on_stale_link(self, src: int) -> None:
+        """Link-level traffic from a peer we hold no link to.
+
+        In the real stack both link directions share one TCP connection,
+        so the side that dropped or evicted the link closed it for both
+        ends and the sender's next write would fail outright.  The
+        simulated transport has no connection state, which lets a
+        one-sided link survive indefinitely — e.g. after a partition
+        during which only one end saw a send failure, the other end
+        keeps its half of the dead link warm off the victim's replies
+        forever (and, with a tree edge on it, livelocks in a
+        TreeAttach/TreeDetach storm).  Answer with a LinkDrop (the RST
+        analog) so the stale holder evicts.  The message itself is still
+        dispatched normally: its content is valid, and in the transient
+        drop/rewire races (our LinkDrop to the sender still in flight)
+        this keeps the established trajectory unchanged — the reply is
+        a no-op at a peer that already removed the link.
+        """
+        if self.frozen or src in self.overlay._pending:
+            # Frozen nodes run no repair (the paper's stress-test rule);
+            # a pending handshake means the link is about to exist.
+            return
+        self.send(src, wire.LinkDrop("stale"))
 
     def _on_tree_heartbeat(self, src: int, msg: wire.TreeHeartbeat) -> None:
         if self.config.use_tree:

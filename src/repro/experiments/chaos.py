@@ -1,0 +1,277 @@
+"""Chaos experiment harness: scenarios + invariants over a GoCast system.
+
+Binds the protocol-agnostic :class:`~repro.sim.scenarios.ScenarioEngine`
+to a :class:`~repro.experiments.system.GoCastSystem` (joins, graceful
+leaves, restart-with-state-loss all use the real protocol paths) and
+the :class:`~repro.sim.invariants.InvariantChecker`, and packages the
+whole thing as :func:`run_chaos` — the engine behind ``repro chaos run``
+and the scenario regression suite (``tests/scenarios``).
+
+Delivery accounting under churn follows the churn extension experiment:
+reliability is measured over *veterans* — nodes present from the start
+whose membership was never disturbed (no crash, leave, or restart) —
+because only they are accountable for every message.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Set
+
+from repro.core.node import GoCastNode
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.system import GoCastSystem
+from repro.net.king import SyntheticKingModel
+from repro.obs import Observability
+from repro.sim.invariants import InvariantChecker, format_invariant_report
+from repro.sim.scenarios import Scenario, ScenarioEngine, resolve_scenario
+
+
+class GoCastChaosHarness:
+    """The node-lifecycle callbacks a :class:`ScenarioEngine` needs,
+    implemented against a :class:`GoCastSystem`.
+
+    New node ids are allocated past the initial population, so the
+    system's latency model must have been built with headroom
+    (``SyntheticKingModel(2 * n_nodes)``) when the scenario creates
+    nodes — :func:`chaos_latency_model` does this.
+    """
+
+    def __init__(self, system: GoCastSystem, checker: Optional[InvariantChecker] = None):
+        self.system = system
+        self.checker = checker
+        self._next_id = system.scenario.n_nodes
+        self._id_capacity = getattr(system.latency, "size", system.scenario.n_nodes)
+
+    # -- ScenarioEngine callbacks --------------------------------------
+    def spawn_node(self) -> Optional[int]:
+        """Create, start and join one brand-new node (full Section 2.2.1
+        join protocol); returns its id, or None when id headroom or the
+        bootstrap population is exhausted."""
+        system = self.system
+        if self._next_id >= self._id_capacity:
+            return None
+        node_id = self._next_id
+        live = sorted(system.live_node_ids())
+        if not live:
+            return None
+        self._next_id += 1
+        node = GoCastNode(
+            node_id,
+            system.sim,
+            system.network,
+            config=system.config,
+            rng=system.rngs.node_stream(node_id),
+            estimator=system.estimator,
+            tracer=system.tracer,
+            events=system.events,
+            obs=system.obs,
+        )
+        system.nodes[node_id] = node
+        node.start()
+        bootstrap = live[system.rngs.stream("chaos-bootstrap").randrange(len(live))]
+        node.join(bootstrap)
+        if system.obs.enabled:
+            system.obs.tracer.emit(system.sim.now, "node.join", node=node_id, bootstrap=bootstrap)
+        if self.checker is not None:
+            self.checker.watch_deliveries(node_id)
+        return node_id
+
+    def leave_node(self, node_id: int) -> None:
+        self.system.nodes[node_id].leave()
+
+    def restart_node(self, node_id: int) -> None:
+        """Rebuild an already-crashed node with empty state and rejoin.
+
+        Models a machine reboot: the network endpoint is replaced, all
+        protocol state (view, buffer, overlay, tree) is lost, and the
+        node re-enters through the normal join protocol.
+        """
+        system = self.system
+        live = sorted(system.live_node_ids() - {node_id})
+        if not live:
+            return
+        system.network.remove(node_id)
+        system.injector.forget_failed(node_id)
+        node = GoCastNode(
+            node_id,
+            system.sim,
+            system.network,
+            config=system.config,
+            rng=system.rngs.node_stream(node_id),
+            estimator=system.estimator,
+            tracer=system.tracer,
+            events=system.events,
+            obs=system.obs,
+        )
+        system.nodes[node_id] = node
+        node.start()
+        bootstrap = live[system.rngs.stream("chaos-bootstrap").randrange(len(live))]
+        node.join(bootstrap)
+        if self.checker is not None:
+            # The fresh buffer may legitimately re-receive old messages,
+            # and stale ex-neighbors need a silence timeout to notice
+            # the amnesia: reset the audit and exempt the node briefly.
+            self.checker.forget_node(node_id)
+            self.checker.exempt(
+                node_id,
+                system.sim.now + system.config.neighbor_timeout + 5.0,
+            )
+            self.checker.watch_deliveries(node_id)
+
+
+def chaos_latency_model(scenario: ScenarioConfig, chaos: Scenario):
+    """A latency model with id headroom for scenario-created nodes."""
+    n = scenario.n_nodes
+    size = 2 * n if chaos.needs_joins else n
+    return SyntheticKingModel(size, n_sites=scenario.n_sites, seed=scenario.seed)
+
+
+def build_chaos_engine(
+    system: GoCastSystem,
+    chaos: Scenario,
+    checker: Optional[InvariantChecker] = None,
+) -> ScenarioEngine:
+    """Wire a :class:`ScenarioEngine` to a system (does not arm it).
+
+    Victim selection and Poisson gaps draw from the dedicated ``chaos``
+    RNG stream, so an armed engine never perturbs protocol draws.
+    """
+    harness = GoCastChaosHarness(system, checker=checker)
+    return ScenarioEngine(
+        system.sim,
+        system.network,
+        system.injector,
+        chaos,
+        rng=system.rngs.stream("chaos"),
+        obs=system.obs,
+        spawn_node=harness.spawn_node,
+        leave_node=harness.leave_node,
+        restart_node=harness.restart_node,
+        protected_ids=() if system.root_id is None else (system.root_id,),
+    )
+
+
+@dataclasses.dataclass
+class ChaosReport:
+    """Outcome of one chaos run: delivery over veterans + invariants."""
+
+    scenario_name: str
+    chaos: Dict[str, Any]
+    n_nodes: int
+    seed: int
+    end_time: float
+    live: int
+    veterans: int
+    n_messages: int
+    reliability: float
+    mean_delay: float
+    max_delay: float
+    undelivered_pairs: int
+    faults: Dict[str, int]
+    invariants: Dict[str, Any]
+
+    @property
+    def total_violations(self) -> int:
+        return self.invariants["total_violations"]
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        # NaN is not JSON; an empty delay set reports null.
+        for field in ("reliability", "mean_delay", "max_delay"):
+            value = out[field]
+            if value != value:  # NaN
+                out[field] = None
+        return out
+
+    def format_report(self) -> str:
+        lines = [
+            f"== chaos {self.scenario_name}: n={self.n_nodes} seed={self.seed} ==",
+            f"live={self.live} veterans={self.veterans} "
+            f"messages={self.n_messages} end_t={self.end_time:g}s",
+            f"veteran reliability={self.reliability:.6f} "
+            f"mean_delay={self.mean_delay:.4f}s max={self.max_delay:.4f}s "
+            f"undelivered={self.undelivered_pairs}",
+            "faults: "
+            + " ".join(f"{k}={v}" for k, v in self.faults.items() if v),
+        ]
+        lines.append(format_invariant_report(self.invariants))
+        return "\n".join(lines)
+
+
+def run_chaos(
+    chaos,
+    n_nodes: int = 64,
+    seed: int = 1,
+    adapt_time: float = 20.0,
+    n_messages: int = 20,
+    drain_time: float = 20.0,
+    invariant_period: float = 0.5,
+    hard_fail: bool = False,
+    obs: Optional[Observability] = None,
+    checker_overrides: Optional[Dict[str, Any]] = None,
+) -> ChaosReport:
+    """Run one chaos scenario end to end with invariant checking.
+
+    ``chaos`` is a :class:`Scenario`, a canned name, or a scenario dict.
+    The timeline: ``adapt_time`` of undisturbed overlay adaptation, then
+    the scenario and the message workload start together (messages are
+    spread over the scenario's injection window), then ``drain_time`` of
+    quiescence for repair and stragglers before the final
+    eventual-delivery check over the surviving veterans.
+    """
+    chaos = resolve_scenario(chaos)
+    workload_window = max(chaos.duration, 1.0)
+    scenario = ScenarioConfig(
+        protocol="gocast",
+        n_nodes=n_nodes,
+        seed=seed,
+        adapt_time=adapt_time,
+        n_messages=n_messages,
+        message_rate=n_messages / workload_window,
+        drain_time=drain_time,
+    )
+    system = GoCastSystem(
+        scenario, latency=chaos_latency_model(scenario, chaos), obs=obs
+    )
+    checker = InvariantChecker(
+        system.nodes,
+        system.network,
+        obs=system.obs,
+        period=invariant_period,
+        hard_fail=hard_fail,
+        config=system.config,
+        **(checker_overrides or {}),
+    )
+    checker.start(system.sim)
+    checker.watch_deliveries()
+    engine = build_chaos_engine(system, chaos, checker=checker)
+
+    system.run_adaptation()
+    engine.protected.update(() if system.root_id is None else (system.root_id,))
+    chaos_end = engine.arm(start=scenario.adapt_time)
+    workload_start = scenario.adapt_time + 0.1
+    workload_end = system.schedule_workload(workload_start)
+    system.run_until(max(workload_end, chaos_end) + drain_time)
+    checker.stop()
+
+    initial = range(scenario.n_nodes)
+    veterans: Set[int] = engine.veteran_ids(initial) & system.live_node_ids()
+    checker.final_delivery_check(system.tracer, veterans)
+    receivers = sorted(veterans)
+    return ChaosReport(
+        scenario_name=chaos.name,
+        chaos=chaos.to_dict(),
+        n_nodes=n_nodes,
+        seed=seed,
+        end_time=system.sim.now,
+        live=len(system.live_node_ids()),
+        veterans=len(receivers),
+        n_messages=system.tracer.n_messages,
+        reliability=system.tracer.reliability(receivers),
+        mean_delay=system.tracer.mean_delay(receivers),
+        max_delay=system.tracer.max_delay(receivers),
+        undelivered_pairs=system.tracer.undelivered_pairs(receivers),
+        faults=engine.summary(),
+        invariants=checker.report(),
+    )

@@ -183,6 +183,13 @@ def _run_overlay_protocol(
     network_hook=None,
     obs: Optional[Observability] = None,
 ) -> DelayResult:
+    chaos = scenario.chaos_scenario()
+    if chaos is not None and latency is None:
+        # Scenario-created nodes (churn joins, restarts) allocate ids
+        # past the initial population; reserve latency-model headroom.
+        from repro.experiments.chaos import chaos_latency_model
+
+        latency = chaos_latency_model(scenario, chaos)
     system = GoCastSystem(scenario, latency=latency, obs=obs)
 
     # Health sampling rides on a read-only periodic timer: it inspects
@@ -201,14 +208,27 @@ def _run_overlay_protocol(
     if scenario.fail_fraction > 0:
         system.fail_random_fraction(fail_time, scenario.fail_fraction)
 
+    chaos_end = fail_time
+    engine = None
+    if chaos is not None:
+        from repro.experiments.chaos import build_chaos_engine
+
+        engine = build_chaos_engine(system, chaos)
+        chaos_end = engine.arm(start=fail_time)
+
     # The paper injects the workload right after the crash wave.
     workload_start = fail_time + 0.1
     if network_hook is not None:
         network_hook(system.network, system.sim, workload_start)
     end = system.schedule_workload(workload_start)
-    system.run_until(end + scenario.drain_time)
+    system.run_until(max(end, chaos_end) + scenario.drain_time)
 
     receivers = system.live_node_ids()
+    if engine is not None:
+        # Delivery accounting over veterans only: nodes that joined,
+        # left, restarted or crashed mid-run are not accountable for
+        # every message (same rule as the churn extension experiment).
+        receivers &= engine.veteran_ids(range(scenario.n_nodes))
     if health is not None:
         health.stop()
     result = _result_from_tracer(scenario, system.tracer, receivers, system.network)

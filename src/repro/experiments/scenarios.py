@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.config import GoCastConfig
 
@@ -73,6 +73,11 @@ class ScenarioConfig:
     n_landmarks: int = 12
     #: Initial random links initiated per node (None: C_degree / 2).
     initial_links: Optional[int] = None
+    #: Chaos scenario injected during the workload: a canned scenario
+    #: name or a scenario dict (see :mod:`repro.sim.scenarios`).  Kept
+    #: as the plain name/dict — not a resolved Scenario — so the config
+    #: stays picklable for the batch runner's worker payloads.
+    chaos: Optional[Union[str, dict]] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -87,10 +92,32 @@ class ScenarioConfig:
             raise ValueError("need at least 1 message")
         if self.message_rate <= 0:
             raise ValueError("message_rate must be positive")
+        if self.chaos is not None:
+            if not self.uses_overlay:
+                raise ValueError(
+                    "chaos scenarios need the overlay node lifecycle; "
+                    f"protocol {self.protocol!r} does not run one"
+                )
+            if self.fail_fraction > 0:
+                raise ValueError(
+                    "chaos and fail_fraction are mutually exclusive; express "
+                    "the crash wave as a 'crash' phase in the scenario"
+                )
+            # Fail fast on unknown names / malformed dicts, at config
+            # construction rather than deep inside a worker process.
+            self.chaos_scenario()
 
     @property
     def uses_overlay(self) -> bool:
         return self.protocol in ("gocast", "proximity", "random_overlay")
+
+    def chaos_scenario(self):
+        """The resolved :class:`~repro.sim.scenarios.Scenario`, or None."""
+        if self.chaos is None:
+            return None
+        from repro.sim.scenarios import resolve_scenario
+
+        return resolve_scenario(self.chaos)
 
     def effective_gocast_config(self) -> GoCastConfig:
         """The GoCastConfig this scenario's protocol variant runs with."""

@@ -61,6 +61,20 @@ TRACE_SCHEMA: Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]] = {
     "node.crash": (frozenset({"node"}), frozenset()),
     "link.fail": (frozenset({"a", "b"}), frozenset()),
     "link.restore": (frozenset({"a", "b"}), frozenset()),
+    # Chaos scenarios (repro.sim.scenarios) and node lifecycle faults.
+    "chaos.phase": (frozenset({"phase", "action"}), frozenset({"detail"})),
+    "node.join": (frozenset({"node", "bootstrap"}), frozenset()),
+    "node.leave": (frozenset({"node"}), frozenset()),
+    "node.restart": (frozenset({"node"}), frozenset()),
+    "net.partition": (frozenset({"groups", "links"}), frozenset()),
+    "net.heal": (frozenset({"links"}), frozenset()),
+    "net.loss": (frozenset({"rate"}), frozenset()),
+    "net.latency": (frozenset({"factor"}), frozenset()),
+    # Runtime invariant checking (repro.sim.invariants).
+    "invariant.violation": (
+        frozenset({"invariant", "detail"}),
+        frozenset({"node"}),
+    ),
     # Timers and health sampling.
     "timer.fire": (frozenset({"name"}), frozenset()),
     "health.sample": (

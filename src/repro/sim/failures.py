@@ -10,7 +10,7 @@ that, plus link failures and gradual churn for the extension scenarios.
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.transport import Network
@@ -31,13 +31,24 @@ class FailureInjector:
         self.obs = obs if obs is not None else network.obs
         self._rng = rng if rng is not None else random.Random(0)
         self.failed_nodes: List[int] = []
+        self._failed_set: Set[int] = set()
+        #: Nodes already chosen by a pending ``fail_*_at`` wave, so
+        #: composed scenarios cannot double-schedule a victim.
+        self._scheduled: Set[int] = set()
+        #: Kill accounting: scenarios compose, so a victim may already be
+        #: dead when its wave fires; ``kills_executed`` counts real kills.
+        self.kills_requested = 0
+        self.kills_executed = 0
+        self.kills_skipped = 0
         #: Called with each node id at the moment it is killed, so the
-        #: experiment harness can stop the node's timers.
+        #: experiment harness can stop the node's timers.  Fires exactly
+        #: once per node, however many waves claimed it.
         self.on_node_failed: Optional[Callable[[int], None]] = None
 
     def fail_nodes_at(self, time: float, nodes: Iterable[int]) -> None:
         """Crash the given nodes at absolute simulated ``time``."""
         nodes = list(nodes)
+        self._scheduled.update(nodes)
         self.sim.schedule_at(time, self._fail_now, nodes)
 
     def fail_fraction_at(
@@ -47,14 +58,26 @@ class FailureInjector:
 
         Returns the chosen victims (selected immediately, deterministically
         from this injector's RNG) so callers can exclude them from
-        delivery accounting.
+        delivery accounting.  Nodes already claimed by an earlier wave
+        (scheduled or killed) are excluded from the draw, so composed
+        scenarios never double-kill; the requested count is still taken
+        as a fraction of the full population, capped by what remains.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
-        count = int(round(fraction * len(population)))
-        victims = self._rng.sample(list(population), count)
+        candidates = [
+            n for n in population if n not in self._scheduled and n not in self._failed_set
+        ]
+        count = min(int(round(fraction * len(population))), len(candidates))
+        victims = self._rng.sample(candidates, count)
         self.fail_nodes_at(time, victims)
         return victims
+
+    def fail_now(self, nodes: Iterable[int]) -> List[int]:
+        """Kill nodes immediately; returns those actually killed (alive
+        and not previously failed)."""
+        self._scheduled.update(nodes)
+        return self._fail_now(list(nodes))
 
     def fail_link_at(self, time: float, a: int, b: int) -> None:
         self.sim.schedule_at(time, self._fail_link_now, a, b)
@@ -74,16 +97,69 @@ class FailureInjector:
             self.obs.metrics.inc("link.restore")
             self.obs.tracer.emit(self.sim.now, "link.restore", a=a, b=b)
 
-    def _fail_now(self, nodes: List[int]) -> None:
+    def _fail_now(self, nodes: List[int]) -> List[int]:
         record = self.obs.enabled
+        killed: List[int] = []
+        self.kills_requested += len(nodes)
+        if record:
+            self.obs.metrics.inc("failures.requested", amount=len(nodes))
         for node in nodes:
+            if node in self._failed_set or not self.network.is_alive(node):
+                # Already dead (an earlier wave, a graceful leave, or a
+                # direct kill): skip so on_node_failed fires exactly
+                # once per node and the obs counters stay honest.
+                self.kills_skipped += 1
+                if record:
+                    self.obs.metrics.inc("failures.skipped")
+                continue
             self.network.kill(node)
             self.failed_nodes.append(node)
+            self._failed_set.add(node)
+            self.kills_executed += 1
+            killed.append(node)
             if record:
                 self.obs.metrics.inc("node.crash")
+                self.obs.metrics.inc("failures.killed")
                 self.obs.tracer.emit(self.sim.now, "node.crash", node=node)
             if self.on_node_failed is not None:
                 self.on_node_failed(node)
+        return killed
+
+    def forget_failed(self, node: int) -> None:
+        """Allow a restarted node to be scheduled for failure again."""
+        self._failed_set.discard(node)
+        self._scheduled.discard(node)
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition_now(
+        self, groups: Sequence[Sequence[int]]
+    ) -> List[Tuple[int, int]]:
+        """Fail every link that crosses the given groups; returns the
+        failed link keys so :meth:`heal_partition_now` can restore
+        exactly this cut (and nothing more)."""
+        cut: List[Tuple[int, int]] = []
+        for i, group_a in enumerate(groups):
+            for group_b in groups[i + 1:]:
+                for a in group_a:
+                    for b in group_b:
+                        self.network.fail_link(a, b)
+                        cut.append(Network._link_key(a, b))
+        if self.obs.enabled:
+            self.obs.metrics.inc("partition.cut", amount=len(cut))
+            self.obs.tracer.emit(
+                self.sim.now, "net.partition", groups=len(groups), links=len(cut)
+            )
+        return cut
+
+    def heal_partition_now(self, cut: Sequence[Tuple[int, int]]) -> None:
+        """Restore a cut previously produced by :meth:`partition_now`."""
+        for a, b in cut:
+            self.network.restore_link(a, b)
+        if self.obs.enabled:
+            self.obs.metrics.inc("partition.heal", amount=len(cut))
+            self.obs.tracer.emit(self.sim.now, "net.heal", links=len(cut))
 
 
 class ChurnProcess:
@@ -130,3 +206,55 @@ class ChurnProcess:
         if self._join is not None:
             self._join()
         self.sim.schedule(self.interval, self._tick)
+
+
+class PoissonChurn:
+    """Memoryless churn: leave(+join) events with exponential gaps.
+
+    Fixed-interval churn (:class:`ChurnProcess`) beats a metronome
+    against the maintenance period; real deployments see Poisson
+    arrivals, whose bursts are the actual stress (two leaves inside one
+    maintenance period, then a quiet stretch).  Inter-event gaps are
+    drawn from the caller's ``rng`` — hand it a dedicated named stream
+    so arming churn never perturbs other seeded draws.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate: float,
+        rng: random.Random,
+        leave_callback: Callable[[], None],
+        join_callback: Optional[Callable[[], None]] = None,
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive (events/sec)")
+        self.sim = sim
+        self.rate = rate
+        self._rng = rng
+        self._leave = leave_callback
+        self._join = join_callback
+        self._active = False
+        self.events = 0
+
+    def start(self, at: Optional[float] = None) -> None:
+        """Begin the process (first event one exponential gap after
+        ``at``, which defaults to now)."""
+        if self._active:
+            return
+        self._active = True
+        base = self.sim.now if at is None else at
+        delay = max(0.0, base - self.sim.now) + self._rng.expovariate(self.rate)
+        self.sim.schedule(delay, self._tick)
+
+    def stop(self) -> None:
+        self._active = False
+
+    def _tick(self) -> None:
+        if not self._active:
+            return
+        self.events += 1
+        self._leave()
+        if self._join is not None:
+            self._join()
+        self.sim.schedule(self._rng.expovariate(self.rate), self._tick)

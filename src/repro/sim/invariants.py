@@ -1,0 +1,525 @@
+"""Runtime protocol-invariant checking.
+
+The chaos engine (:mod:`repro.sim.scenarios`) makes it easy to torture
+a run; this module states what the protocol must *preserve* while being
+tortured.  :class:`InvariantChecker` is a read-only observer in the
+mold of :class:`repro.obs.health.HealthMonitor`: a periodic sim timer
+samples live protocol state, never mutates it, and draws from no
+simulation RNG — so attaching a checker cannot change a seeded run's
+protocol trajectory.
+
+Invariant catalogue (see docs/CHAOS.md for the paper/protocol
+justification of each):
+
+* ``degree-bound`` — no live node's per-kind overlay degree exceeds its
+  target plus the acceptance slack (``C + degree_slack``) by more than
+  a small concurrency allowance.
+* ``symmetry`` — overlay links are symmetric among live nodes: if A
+  lists live B as a neighbor, B lists A.  Transient asymmetry is
+  protocol-inherent (handshakes, one-sided evictions after a partition)
+  and tolerated up to a grace window; *persistent* asymmetry is a bug.
+* ``tree-parent-link`` — a node's tree parent edge lies on an overlay
+  edge (the tree is embedded in the overlay, Section 2.3).
+* ``tree-cycle`` — the live parent graph is a forest: no parent cycle
+  persists past the heartbeat-wave horizon that is guaranteed to break
+  it.
+* ``duplicate-delivery`` — no (message, node) pair is delivered twice
+  (the seen-filter in the dissemination buffer must hold under any
+  interleaving of tree pushes and pull repair).
+* ``gossip-starvation`` — round-robin gossip fairness: every neighbor
+  of a live node is sent *something* within one round-robin cycle plus
+  the keepalive interval.
+* ``eventual-delivery`` — after the run quiesces, every stabilized live
+  node (a "veteran" whose membership was never disturbed) has received
+  every message (checked once at end of run via
+  :meth:`InvariantChecker.final_delivery_check`).
+
+Violations become structured :class:`InvariantViolation` records,
+``invariant.violation`` trace events, and — in hard-fail mode —
+:class:`InvariantError` exceptions that abort the run at the sample
+that detected them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.sim.timers import PeriodicTimer
+
+#: Every invariant the checker can report, in report order.
+INVARIANTS = (
+    "degree-bound",
+    "symmetry",
+    "tree-parent-link",
+    "tree-cycle",
+    "duplicate-delivery",
+    "gossip-starvation",
+    "eventual-delivery",
+)
+
+
+class InvariantError(AssertionError):
+    """A protocol invariant was violated (hard-fail mode)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class InvariantViolation:
+    """One detected violation."""
+
+    time: float
+    invariant: str
+    node: Optional[int]
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time": round(self.time, 6),
+            "invariant": self.invariant,
+            "node": self.node,
+            "detail": self.detail,
+        }
+
+
+class InvariantChecker:
+    """Samples protocol state on a sim timer and asserts the catalogue.
+
+    ``nodes`` is the experiment's live node dict (shared, not copied —
+    churn harnesses mutate it and the checker follows).  ``config``
+    supplies the protocol constants the bounds derive from; it defaults
+    to the config of the first node.
+
+    Grace windows (all in sim seconds, defaulting from the config):
+
+    * ``degree_grace`` — degree bounds are not checked for this long
+      after :meth:`start`, because experiment bootstrap installs initial
+      links via ``force_link`` with unbounded in-degree; maintenance
+      sheds the surplus within a few periods.
+    * ``asymmetry_grace`` — an asymmetric pair is only a violation once
+      it has persisted this long.  Must exceed ``neighbor_timeout``:
+      after a partition heals, the side that evicted first legitimately
+      waits out the silence timeout before the pair converges.
+    * ``tree_grace`` — stale parent edges and parent cycles are only
+      violations once they persist past the next heartbeat wave, which
+      is the mechanism guaranteed to repair them.
+
+    The checker is strictly read-only with respect to protocol state
+    and draws no simulation randomness; enabling it cannot change a
+    seeded run's behaviour (property-tested in
+    ``tests/property/test_scenario_properties.py``).
+    """
+
+    def __init__(
+        self,
+        nodes: Dict[int, Any],
+        network,
+        obs=None,
+        period: float = 0.5,
+        hard_fail: bool = False,
+        config=None,
+        degree_grace: Optional[float] = None,
+        asymmetry_grace: Optional[float] = None,
+        tree_grace: Optional[float] = None,
+        degree_allowance: int = 2,
+        max_violations: int = 200,
+    ):
+        if period <= 0:
+            raise ValueError(f"invariant period must be positive, got {period}")
+        self.nodes = nodes
+        self.network = network
+        from repro import obs as obs_pkg
+
+        self.obs = obs if obs is not None else obs_pkg.DISABLED
+        self.period = period
+        self.hard_fail = hard_fail
+        any_node = next(iter(nodes.values()), None)
+        self.config = config if config is not None else getattr(any_node, "config", None)
+        if self.config is None:
+            raise ValueError("InvariantChecker needs a config (or at least one node)")
+        cfg = self.config
+        self.degree_grace = (
+            degree_grace if degree_grace is not None else 40.0 * cfg.maintenance_period
+        )
+        self.asymmetry_grace = (
+            asymmetry_grace
+            if asymmetry_grace is not None
+            else cfg.neighbor_timeout + 2.0 * cfg.keepalive_interval
+        )
+        self.tree_grace = (
+            tree_grace if tree_grace is not None else cfg.heartbeat_period + 5.0
+        )
+        self.degree_allowance = degree_allowance
+        self.max_violations = max_violations
+        self._use_tree = bool(cfg.use_tree)
+
+        self.violations: List[InvariantViolation] = []
+        self.samples = 0
+        self.stranded_messages = 0
+        self._started_at: Optional[float] = None
+        self._timer: Optional[PeriodicTimer] = None
+        self._sim = None
+        # Persistence bookkeeping: key -> first time the condition was seen.
+        self._asym_since: Dict[Tuple[int, int], float] = {}
+        self._stale_parent_since: Dict[Tuple[int, int], float] = {}
+        self._cycle_since: Dict[frozenset, float] = {}
+        # Keys already reported, so a persistent condition is one violation.
+        self._reported: Set[Tuple[str, Any]] = set()
+        # Per-node exemption horizon (restarted nodes get neighbor_timeout
+        # to converge; see ScenarioEngine restart handling).
+        self._exempt_until: Dict[int, float] = {}
+        # First time each node id was observed alive (joiners ramp up).
+        self._first_seen: Dict[int, float] = {}
+        # duplicate-delivery audit: (node, msg) pairs seen.
+        self._delivered_pairs: Set[Tuple[int, Any]] = set()
+        self._audited: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, sim, phase: Optional[float] = None) -> None:
+        """Arm the sampling timer (first sample after one period)."""
+        self._sim = sim
+        if self._started_at is None:
+            self._started_at = sim.now
+        if self._timer is None:
+            self._timer = PeriodicTimer(sim, self.period, self._sample, name="invariants")
+        self._timer.start(phase=phase)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    def exempt(self, node_id: int, until: float) -> None:
+        """Suspend symmetry/fairness checks involving ``node_id`` until
+        ``until`` (used for restarted nodes, whose stale ex-neighbors
+        legitimately need a silence timeout to notice the amnesia)."""
+        self._exempt_until[node_id] = max(self._exempt_until.get(node_id, 0.0), until)
+
+    # ------------------------------------------------------------------
+    # Delivery audit (duplicate-delivery invariant)
+    # ------------------------------------------------------------------
+    def watch_deliveries(self, *node_ids: int) -> None:
+        """Register the duplicate-delivery listener on the given nodes
+        (all current nodes when called with no arguments).  Harnesses
+        must also call this for nodes added later (joins, restarts)."""
+        ids = node_ids if node_ids else tuple(self.nodes)
+        for node_id in ids:
+            if node_id in self._audited:
+                continue
+            node = self.nodes.get(node_id)
+            if node is None or not hasattr(node, "delivery_listeners"):
+                continue
+            self._audited.add(node_id)
+            node.delivery_listeners.append(
+                lambda msg_id, size, _nid=node_id: self._on_delivery(_nid, msg_id)
+            )
+
+    def _on_delivery(self, node_id: int, msg_id) -> None:
+        key = (node_id, msg_id)
+        if key in self._delivered_pairs:
+            self._violate(
+                "duplicate-delivery",
+                node_id,
+                f"message {msg_id} delivered twice to node {node_id}",
+                key=key,
+            )
+        else:
+            self._delivered_pairs.add(key)
+
+    def forget_node(self, node_id: int) -> None:
+        """Drop audit state for a node that was rebuilt with state loss
+        (its fresh buffer may legitimately re-deliver old messages)."""
+        self._audited.discard(node_id)
+        self._delivered_pairs = {
+            pair for pair in self._delivered_pairs if pair[0] != node_id
+        }
+        self._first_seen.pop(node_id, None)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return self._sim.now if self._sim is not None else 0.0
+
+    def _sample(self) -> None:
+        now = self._now()
+        self.samples += 1
+        alive = self.network.alive_nodes()
+        live = {nid: node for nid, node in self.nodes.items() if nid in alive}
+        for nid in live:
+            self._first_seen.setdefault(nid, now)
+
+        self._check_degree_bounds(now, live)
+        self._check_symmetry(now, live)
+        if self._use_tree:
+            self._check_tree(now, live)
+        self._check_gossip_fairness(now, live)
+
+    # -- degree-bound --------------------------------------------------
+    def _check_degree_bounds(self, now: float, live: Dict[int, Any]) -> None:
+        if self._started_at is None or now - self._started_at < self.degree_grace:
+            return
+        allowance = self.degree_allowance
+        for nid in sorted(live):
+            node = live[nid]
+            if now - self._first_seen.get(nid, now) < self.degree_grace:
+                continue
+            cfg = node.config
+            bound_rand = cfg.c_rand + cfg.degree_slack + allowance
+            bound_near = cfg.c_near + cfg.degree_slack + allowance
+            d_rand = node.overlay.d_rand
+            d_near = node.overlay.d_near
+            if d_rand > bound_rand:
+                self._violate(
+                    "degree-bound",
+                    nid,
+                    f"d_rand={d_rand} exceeds C_rand+slack bound {bound_rand}",
+                    key=("rand", nid),
+                )
+            if d_near > bound_near:
+                self._violate(
+                    "degree-bound",
+                    nid,
+                    f"d_near={d_near} exceeds C_near+slack bound {bound_near}",
+                    key=("near", nid),
+                )
+
+    # -- symmetry ------------------------------------------------------
+    def _check_symmetry(self, now: float, live: Dict[int, Any]) -> None:
+        current: Set[Tuple[int, int]] = set()
+        for nid in sorted(live):
+            if self._exempt_until.get(nid, 0.0) > now:
+                continue
+            node = live[nid]
+            for peer in node.overlay.table.ids():
+                other = live.get(peer)
+                if other is None:
+                    continue  # dead or departed peer: eviction in progress
+                if self._exempt_until.get(peer, 0.0) > now:
+                    continue
+                if nid not in other.overlay.table:
+                    current.add((nid, peer))
+        for pair in current:
+            since = self._asym_since.setdefault(pair, now)
+            if now - since >= self.asymmetry_grace:
+                a, b = pair
+                self._violate(
+                    "symmetry",
+                    a,
+                    f"node {a} lists live node {b} as neighbor but not vice "
+                    f"versa for {now - since:.1f}s",
+                    key=pair,
+                )
+        for pair in list(self._asym_since):
+            if pair not in current:
+                del self._asym_since[pair]
+                self._reported.discard(("symmetry", pair))
+
+    # -- tree ----------------------------------------------------------
+    def _check_tree(self, now: float, live: Dict[int, Any]) -> None:
+        # Parent edges must lie on overlay edges.
+        parents: Dict[int, int] = {}
+        stale: Set[Tuple[int, int]] = set()
+        for nid in sorted(live):
+            node = live[nid]
+            parent = node.tree.parent
+            if parent is None:
+                continue
+            if parent in live:
+                parents[nid] = parent
+            if parent not in node.overlay.table:
+                stale.add((nid, parent))
+        for key in stale:
+            since = self._stale_parent_since.setdefault(key, now)
+            if now - since >= self.tree_grace:
+                nid, parent = key
+                self._violate(
+                    "tree-parent-link",
+                    nid,
+                    f"parent edge {nid}->{parent} off the overlay for "
+                    f"{now - since:.1f}s",
+                    key=key,
+                )
+        for key in list(self._stale_parent_since):
+            if key not in stale:
+                del self._stale_parent_since[key]
+                self._reported.discard(("tree-parent-link", key))
+
+        # The live parent graph must be a forest (no cycles).
+        cycles: Set[frozenset] = set()
+        color: Dict[int, int] = {}  # 1 = on current path, 2 = done
+        for start in sorted(parents):
+            if color.get(start):
+                continue
+            path: List[int] = []
+            nid = start
+            while nid in parents and not color.get(nid):
+                color[nid] = 1
+                path.append(nid)
+                nid = parents[nid]
+            if color.get(nid) == 1:  # walked back into the current path
+                cycles.add(frozenset(path[path.index(nid):]))
+            for visited in path:
+                color[visited] = 2
+        for cycle in cycles:
+            since = self._cycle_since.setdefault(cycle, now)
+            if now - since >= self.tree_grace:
+                members = sorted(cycle)
+                self._violate(
+                    "tree-cycle",
+                    members[0],
+                    f"parent cycle {members} persisted {now - since:.1f}s",
+                    key=cycle,
+                )
+        for cycle in list(self._cycle_since):
+            if cycle not in cycles:
+                del self._cycle_since[cycle]
+                self._reported.discard(("tree-cycle", cycle))
+
+    # -- gossip fairness -----------------------------------------------
+    def _check_gossip_fairness(self, now: float, live: Dict[int, Any]) -> None:
+        for nid in sorted(live):
+            if self._exempt_until.get(nid, 0.0) > now:
+                continue
+            node = live[nid]
+            if getattr(node, "frozen", False) or not getattr(node, "alive", True):
+                continue
+            table = node.overlay.table
+            degree = len(table)
+            if degree == 0:
+                continue
+            # One full round-robin cycle at the *current* (possibly
+            # adaptively stretched) gossip period, plus the keepalive
+            # interval a silent link may legitimately wait, plus two
+            # sampling periods of slack.
+            gossip_period = getattr(
+                getattr(node, "_gossip_timer", None), "_period", None
+            )
+            if gossip_period is None:
+                continue
+            bound = (
+                degree * gossip_period
+                + node.config.keepalive_interval
+                + 2.0 * self.period
+            )
+            if now - self._first_seen.get(nid, now) < bound:
+                continue
+            for peer, state in table.items():
+                if self._exempt_until.get(peer, 0.0) > now:
+                    continue
+                stale = now - state.last_sent
+                if stale > bound:
+                    self._violate(
+                        "gossip-starvation",
+                        nid,
+                        f"node {nid} sent nothing to neighbor {peer} for "
+                        f"{stale:.1f}s (bound {bound:.1f}s)",
+                        key=(nid, peer),
+                    )
+
+    # ------------------------------------------------------------------
+    # End-of-run liveness
+    # ------------------------------------------------------------------
+    def final_delivery_check(self, tracer, receivers) -> int:
+        """Assert eventual delivery to every stabilized receiver.
+
+        ``receivers`` are the run's veterans still alive at the end
+        (nodes present the whole run whose membership was never
+        disturbed).  A message whose *source* died before handing it to
+        anyone (zero non-source deliveries and a dead source) is counted
+        as ``stranded`` rather than a violation: no protocol can deliver
+        a message that never left its crashed sender.  Returns the
+        number of violations added.
+        """
+        receivers = sorted(set(receivers))
+        added = 0
+        for msg_id in sorted(tracer.message_ids(), key=str):
+            per_msg = tracer.delivered_nodes(msg_id)
+            source = tracer.source_of(msg_id)
+            missing = [n for n in receivers if n != source and n not in per_msg]
+            if not missing:
+                continue
+            delivered_elsewhere = sum(1 for n in per_msg if n != source)
+            if delivered_elsewhere == 0 and not self.network.is_alive(source):
+                self.stranded_messages += 1
+                continue
+            self._violate(
+                "eventual-delivery",
+                None,
+                f"message {msg_id} missed {len(missing)} of "
+                f"{len(receivers)} stabilized receivers "
+                f"(e.g. nodes {missing[:5]})",
+                key=("delivery", str(msg_id)),
+            )
+            added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _violate(self, invariant: str, node: Optional[int], detail: str, key=None) -> None:
+        report_key = (invariant, key if key is not None else detail)
+        if report_key in self._reported:
+            return
+        self._reported.add(report_key)
+        if len(self.violations) >= self.max_violations:
+            return
+        violation = InvariantViolation(self._now(), invariant, node, detail)
+        self.violations.append(violation)
+        if self.obs.enabled:
+            self.obs.metrics.inc("invariant.violation", invariant=invariant)
+            fields: Dict[str, Any] = {"invariant": invariant, "detail": detail}
+            if node is not None:
+                fields["node"] = node
+            self.obs.tracer.emit(violation.time, "invariant.violation", **fields)
+        if self.hard_fail:
+            raise InvariantError(
+                f"[t={violation.time:.3f}] {invariant}: {detail}"
+            )
+
+    def counts(self) -> Dict[str, int]:
+        out = {name: 0 for name in INVARIANTS}
+        for violation in self.violations:
+            out[violation.invariant] += 1
+        return out
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-safe, deterministically ordered violation report."""
+        return {
+            "period": self.period,
+            "samples": self.samples,
+            "hard_fail": self.hard_fail,
+            "checked": list(INVARIANTS),
+            "total_violations": len(self.violations),
+            "stranded_messages": self.stranded_messages,
+            "counts": self.counts(),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def format_invariant_report(report: Dict[str, Any]) -> str:
+    """Render a checker report for the ``repro chaos`` CLI."""
+    lines = ["== invariant report =="]
+    lines.append(
+        f"{report['samples']} samples every {report['period']:g}s; "
+        f"{report['total_violations']} violation(s)"
+    )
+    for name in report["checked"]:
+        count = report["counts"].get(name, 0)
+        marker = "FAIL" if count else "ok"
+        lines.append(f"  {name:<20} {marker:>4}  ({count})")
+    if report.get("stranded_messages"):
+        lines.append(
+            f"  note: {report['stranded_messages']} message(s) stranded at a "
+            "crashed source before any handoff (not a violation)"
+        )
+    for violation in report["violations"][:20]:
+        lines.append(
+            f"  [t={violation['time']:g}] {violation['invariant']}: "
+            f"{violation['detail']}"
+        )
+    remaining = len(report["violations"]) - 20
+    if remaining > 0:
+        lines.append(f"  ... {remaining} more")
+    return "\n".join(lines)

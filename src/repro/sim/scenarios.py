@@ -1,0 +1,596 @@
+"""Declarative chaos scenarios and the engine that executes them.
+
+The paper stresses GoCast with exactly one failure shape — a one-shot
+concurrent crash of a random node fraction with no repair.  A
+production overlay instead survives *days*: sustained Poisson churn,
+network partitions that heal, lossy links, latency spikes, and machines
+that reboot with empty state.  This module provides the vocabulary for
+those days:
+
+* :class:`Phase` — one timed fault activity (``crash``, ``churn``,
+  ``partition``, ``loss``, ``latency``, ``restart``), with times
+  relative to the scenario start so the same scenario composes onto any
+  experiment timeline.
+* :class:`Scenario` — a named, ordered collection of phases;
+  JSON/dict-loadable, seedable (all randomness flows through the RNG the
+  engine is constructed with) and composable (:meth:`Scenario.compose`,
+  :meth:`Scenario.shifted`).
+* :data:`CANNED` — the six named scenarios the regression suite pins
+  (see ``tests/scenarios`` and docs/CHAOS.md).
+* :class:`ScenarioEngine` — schedules the phases on a simulator,
+  delegating node-level operations (join / graceful leave / restart) to
+  harness callbacks so the engine stays protocol-agnostic, and crash /
+  partition / loss / latency operations to the
+  :class:`~repro.sim.failures.FailureInjector` and
+  :class:`~repro.sim.transport.Network` chaos hooks.
+
+Every injected fault is emitted as a structured trace event (see
+``TRACE_SCHEMA`` in :mod:`repro.obs.tracer`), so a chaos run's timeline
+is reconstructable from its trace alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.failures import FailureInjector, PoissonChurn
+from repro.sim.transport import Network
+
+#: The fault vocabulary.  Each kind documents which Phase fields it reads.
+PHASE_KINDS = ("crash", "churn", "partition", "loss", "latency", "restart")
+
+
+@dataclasses.dataclass(frozen=True)
+class Phase:
+    """One timed fault activity inside a scenario.
+
+    ``at`` is relative to the scenario start (the engine's ``arm``
+    time); ``duration`` is the window length for windowed kinds
+    (``churn``, ``partition``, ``loss``, ``latency``) and must be 0 for
+    the instantaneous kinds (``crash``, ``restart``).
+
+    Field use by kind:
+
+    * ``crash``: ``fraction`` of the live population (or explicit
+      ``count``) crash-stops at ``at``.
+    * ``churn``: Poisson leave(+join) events at ``rate``/s over the
+      window; ``joins=False`` makes it a pure shrink.
+    * ``partition``: the live population splits into ``parts`` random
+      groups (all cross-group links fail) and heals after ``duration``.
+    * ``loss``: datagram loss probability ``rate`` on every link for the
+      window (reliable/TCP sends are unaffected, as in the real stack).
+    * ``latency``: every link delay is multiplied by ``factor`` for the
+      window.
+    * ``restart``: ``count`` (or ``fraction``) random live nodes crash
+      at ``at`` and rejoin with empty state after ``downtime``.
+    """
+
+    kind: str
+    at: float = 0.0
+    duration: float = 0.0
+    fraction: float = 0.0
+    count: int = 0
+    rate: float = 0.0
+    joins: bool = True
+    parts: int = 2
+    factor: float = 1.0
+    downtime: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in PHASE_KINDS:
+            raise ValueError(f"unknown phase kind {self.kind!r}; choose from {PHASE_KINDS}")
+        if self.at < 0:
+            raise ValueError("phase start must be >= 0")
+        if self.duration < 0:
+            raise ValueError("phase duration must be >= 0")
+        windowed = self.kind in ("churn", "partition", "loss", "latency")
+        if windowed and self.duration <= 0:
+            raise ValueError(f"{self.kind} phase needs a positive duration")
+        if not windowed and self.duration != 0:
+            raise ValueError(f"{self.kind} phase is instantaneous; duration must be 0")
+        if self.kind in ("crash", "restart"):
+            if self.count < 0:
+                raise ValueError("count must be >= 0")
+            if not 0.0 <= self.fraction < 1.0:
+                raise ValueError("fraction must be in [0, 1)")
+            if self.count == 0 and self.fraction == 0.0:
+                raise ValueError(f"{self.kind} phase needs a count or a fraction")
+        if self.kind == "churn" and self.rate <= 0:
+            raise ValueError("churn rate must be positive (events/sec)")
+        if self.kind == "loss" and not 0.0 < self.rate < 1.0:
+            raise ValueError("loss rate must be in (0, 1)")
+        if self.kind == "latency" and self.factor <= 0:
+            raise ValueError("latency factor must be positive")
+        if self.kind == "partition" and self.parts < 2:
+            raise ValueError("partition needs at least 2 parts")
+        if self.kind == "restart" and self.downtime <= 0:
+            raise ValueError("restart downtime must be positive")
+
+    @property
+    def end(self) -> float:
+        """When the phase's effects stop being *injected* (relative)."""
+        if self.kind == "restart":
+            return self.at + self.downtime
+        return self.at + self.duration
+
+    def to_dict(self) -> Dict[str, object]:
+        """Minimal dict form: kind plus only the non-default fields."""
+        out: Dict[str, object] = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            if field.name == "kind":
+                continue
+            value = getattr(self, field.name)
+            if value != field.default:
+                out[field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Phase":
+        known = {f.name for f in dataclasses.fields(cls)}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown phase fields {sorted(extra)}")
+        if "kind" not in data:
+            raise ValueError("phase dict needs a 'kind'")
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A named, composable sequence of fault phases."""
+
+    name: str
+    phases: Tuple[Phase, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        object.__setattr__(self, "phases", tuple(self.phases))
+        for phase in self.phases:
+            if not isinstance(phase, Phase):
+                raise TypeError(f"phases must be Phase instances, got {type(phase)!r}")
+
+    @property
+    def duration(self) -> float:
+        """Relative time at which the last phase stops injecting."""
+        return max((p.end for p in self.phases), default=0.0)
+
+    @property
+    def needs_joins(self) -> bool:
+        """Whether executing this scenario creates new node ids (the
+        harness must reserve latency-model id headroom)."""
+        return any(
+            (p.kind == "churn" and p.joins) or p.kind == "restart" for p in self.phases
+        )
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def shifted(self, dt: float) -> "Scenario":
+        """The same scenario with every phase start delayed by ``dt``."""
+        return Scenario(
+            name=self.name,
+            phases=tuple(dataclasses.replace(p, at=p.at + dt) for p in self.phases),
+            description=self.description,
+        )
+
+    @staticmethod
+    def compose(name: str, *scenarios: "Scenario", gap: float = 0.0) -> "Scenario":
+        """Concatenate scenarios back to back (``gap`` seconds apart).
+
+        Each scenario's phases start after the previous one's
+        ``duration``; phase times stay internally relative, so canned
+        scenarios compose without rewriting them.
+        """
+        phases: List[Phase] = []
+        offset = 0.0
+        for scenario in scenarios:
+            phases.extend(scenario.shifted(offset).phases)
+            offset += scenario.duration + gap
+        return Scenario(name=name, phases=tuple(phases))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "phases": [p.to_dict() for p in self.phases],
+        }
+        if self.description:
+            out["description"] = self.description
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Scenario":
+        known = {"name", "phases", "description"}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown scenario fields {sorted(extra)}")
+        phases = data.get("phases")
+        if not isinstance(phases, (list, tuple)):
+            raise ValueError("scenario needs a 'phases' list")
+        return cls(
+            name=str(data.get("name", "")),
+            phases=tuple(Phase.from_dict(dict(p)) for p in phases),
+            description=str(data.get("description", "")),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+
+#: The canned scenario library — the regression suite (tests/scenarios)
+#: pins each one's delivery/violation summary to a golden fixture.
+#: Phase parameters are sized for the small-N suite runs and scale with
+#: the population (fractions/rates, not absolute counts).
+CANNED: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="paper-shock-25",
+            description="The paper's stress shape at its harshest published "
+            "level: 25% of nodes crash concurrently (repair stays on).",
+            phases=(Phase("crash", at=0.0, fraction=0.25),),
+        ),
+        Scenario(
+            name="steady-churn",
+            description="Sustained Poisson join/leave churn — the failure "
+            "shape long-running deployments actually see.",
+            phases=(Phase("churn", at=0.5, duration=12.0, rate=0.6),),
+        ),
+        Scenario(
+            name="flapping-partition",
+            description="Three brief random bisections with heal — sends "
+            "fail, links are evicted and repaired, pulls recover the gap.",
+            phases=(
+                Phase("partition", at=1.0, duration=0.4, parts=2),
+                Phase("partition", at=5.0, duration=0.4, parts=2),
+                Phase("partition", at=9.0, duration=0.4, parts=2),
+            ),
+        ),
+        Scenario(
+            name="loss-10",
+            description="10% datagram loss on every link for the whole "
+            "workload (probes degrade; TCP-modelled sends are unaffected).",
+            phases=(Phase("loss", at=0.5, duration=12.0, rate=0.10),),
+        ),
+        Scenario(
+            name="latency-spike",
+            description="A 5x latency inflation on every link — pull "
+            "timeouts misfire, handshakes slow down, FIFO must survive "
+            "the spike edges.",
+            phases=(Phase("latency", at=1.0, duration=5.0, factor=5.0),),
+        ),
+        Scenario(
+            name="worst-day",
+            description="Everything at once: churn under datagram loss, a "
+            "latency spike, a partition flap, and a closing crash wave.",
+            phases=(
+                Phase("churn", at=0.5, duration=12.0, rate=0.3),
+                Phase("loss", at=2.0, duration=8.0, rate=0.05),
+                Phase("latency", at=4.0, duration=3.0, factor=3.0),
+                Phase("partition", at=9.0, duration=0.4, parts=2),
+                Phase("crash", at=12.0, fraction=0.10),
+            ),
+        ),
+    )
+}
+
+
+def resolve_scenario(spec) -> Scenario:
+    """Accept a Scenario, a canned name, or a dict; return a Scenario."""
+    if isinstance(spec, Scenario):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return CANNED[spec]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {spec!r}; choose from {sorted(CANNED)}"
+            ) from None
+    if isinstance(spec, dict):
+        return Scenario.from_dict(spec)
+    raise TypeError(f"cannot resolve a scenario from {type(spec).__name__}")
+
+
+class ScenarioEngine:
+    """Executes a :class:`Scenario` against a running simulation.
+
+    The engine owns fault *timing and victim selection* (all randomness
+    from the single ``rng`` it is given — a dedicated named stream, so
+    arming an engine never perturbs protocol RNG draws) and delegates:
+
+    * node crash / partition / heal to the :class:`FailureInjector`,
+    * loss and latency windows to the :class:`Network` chaos setters,
+    * join / graceful leave / restart-with-state-loss to the harness
+      callbacks, since only the experiment harness knows how to build a
+      protocol node.
+
+    Harness callbacks (any may be None, disabling the fault kinds that
+    need it):
+
+    * ``spawn_node() -> Optional[int]`` — create, start and join one new
+      node; returns its id (None when id headroom is exhausted).
+    * ``leave_node(node_id)`` — graceful departure.
+    * ``restart_node(node_id)`` — rebuild the (already crashed) node
+      with empty state and rejoin it.
+
+    ``protected_ids`` (e.g. the tree root) are never chosen for
+    graceful leaves or restarts; crash waves may still hit them, exactly
+    like the paper's uniform crash wave can hit the root.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        injector: FailureInjector,
+        scenario: Scenario,
+        rng: random.Random,
+        obs=None,
+        spawn_node: Optional[Callable[[], Optional[int]]] = None,
+        leave_node: Optional[Callable[[int], None]] = None,
+        restart_node: Optional[Callable[[int], None]] = None,
+        protected_ids: Optional[Iterable[int]] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.injector = injector
+        self.scenario = scenario
+        self.rng = rng
+        self.obs = obs if obs is not None else network.obs
+        self._spawn = spawn_node
+        self._leave = leave_node
+        self._restart = restart_node
+        self.protected: Set[int] = set(protected_ids or ())
+        #: Node ids whose membership was disturbed (crashed, left, or
+        #: restarted) — excluded from veteran delivery accounting.
+        self.disturbed: Set[int] = set()
+        #: Node ids created by churn joins or restarts.
+        self.joined: Set[int] = set()
+        self.counts: Dict[str, int] = {
+            "crashes": 0,
+            "leaves": 0,
+            "joins": 0,
+            "join_skipped": 0,
+            "restarts": 0,
+            "partitions": 0,
+            "heals": 0,
+            "loss_windows": 0,
+            "latency_windows": 0,
+        }
+        self.start_time: Optional[float] = None
+        self._armed = False
+        self._churns: List[PoissonChurn] = []
+        # Active loss/latency windows.  Overlapping windows of the same
+        # kind compose as "the harshest active window applies"; tracking
+        # the active set (rather than saving/restoring snapshots, which
+        # unwinds wrongly when windows overlap) guarantees the network
+        # returns to its exact base setting when the last window closes.
+        self._active_loss: List[float] = []
+        self._base_loss: Optional[float] = None
+        self._active_latency: List[float] = []
+        self._base_latency: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def arm(self, start: Optional[float] = None) -> float:
+        """Schedule every phase; returns the absolute end of injection."""
+        if self._armed:
+            raise RuntimeError("engine already armed")
+        self._armed = True
+        self.start_time = self.sim.now if start is None else start
+        need_harness = {
+            "churn": self._leave,
+            "restart": self._restart,
+        }
+        for phase in self.scenario.phases:
+            hook = need_harness.get(phase.kind, True)
+            if hook is None:
+                raise ValueError(
+                    f"scenario {self.scenario.name!r} has a {phase.kind!r} phase "
+                    "but the harness does not support it"
+                )
+            at = self.start_time + phase.at
+            self.sim.schedule_at(at, self._begin_phase, phase)
+        return self.start_time + self.scenario.duration
+
+    @property
+    def end_time(self) -> float:
+        if self.start_time is None:
+            raise RuntimeError("engine not armed")
+        return self.start_time + self.scenario.duration
+
+    # ------------------------------------------------------------------
+    # Phase execution
+    # ------------------------------------------------------------------
+    def _trace(self, category: str, **fields) -> None:
+        if self.obs.enabled:
+            self.obs.tracer.emit(self.sim.now, category, **fields)
+
+    def _phase_event(self, phase: Phase, action: str, detail: str = "") -> None:
+        if self.obs.enabled:
+            self.obs.metrics.inc("chaos.phase", kind=phase.kind)
+            fields = {"phase": phase.kind, "action": action}
+            if detail:
+                fields["detail"] = detail
+            self.obs.tracer.emit(self.sim.now, "chaos.phase", **fields)
+
+    def _begin_phase(self, phase: Phase) -> None:
+        handler = getattr(self, f"_begin_{phase.kind}")
+        handler(phase)
+
+    def _victim_count(self, phase: Phase, population: int) -> int:
+        if phase.count > 0:
+            return min(phase.count, population)
+        return min(int(round(phase.fraction * population)), population)
+
+    def _live_candidates(self, exclude_protected: bool) -> List[int]:
+        live = sorted(self.network.alive_nodes())
+        if exclude_protected:
+            live = [n for n in live if n not in self.protected]
+        return live
+
+    # -- crash ---------------------------------------------------------
+    def _begin_crash(self, phase: Phase) -> None:
+        live = self._live_candidates(exclude_protected=False)
+        count = self._victim_count(phase, len(live))
+        victims = self.rng.sample(live, count) if count else []
+        killed = self.injector.fail_now(victims)
+        self.disturbed.update(killed)
+        self.counts["crashes"] += len(killed)
+        self._phase_event(phase, "crash", detail=f"killed={len(killed)}")
+
+    # -- churn ---------------------------------------------------------
+    def _begin_churn(self, phase: Phase) -> None:
+        churn = PoissonChurn(
+            self.sim,
+            rate=phase.rate,
+            rng=self.rng,
+            leave_callback=self._churn_leave,
+            join_callback=self._churn_join if phase.joins else None,
+        )
+        self._churns.append(churn)
+        churn.start()
+        self.sim.schedule_at(self.start_time + phase.end, churn.stop)
+        self._phase_event(phase, "start", detail=f"rate={phase.rate:g}/s")
+        self.sim.schedule_at(self.start_time + phase.end, self._phase_event, phase, "end")
+
+    def _churn_leave(self) -> None:
+        candidates = self._live_candidates(exclude_protected=True)
+        if not candidates:
+            return
+        victim = candidates[self.rng.randrange(len(candidates))]
+        self.disturbed.add(victim)
+        self.counts["leaves"] += 1
+        self._trace("node.leave", node=victim)
+        if self.obs.enabled:
+            self.obs.metrics.inc("chaos.leave")
+        self._leave(victim)
+
+    def _churn_join(self) -> None:
+        node_id = self._spawn() if self._spawn is not None else None
+        if node_id is None:
+            self.counts["join_skipped"] += 1
+            return
+        self.joined.add(node_id)
+        self.counts["joins"] += 1
+        if self.obs.enabled:
+            self.obs.metrics.inc("chaos.join")
+
+    # -- partition -----------------------------------------------------
+    def _begin_partition(self, phase: Phase) -> None:
+        live = self._live_candidates(exclude_protected=False)
+        if len(live) < phase.parts:
+            return
+        shuffled = list(live)
+        self.rng.shuffle(shuffled)
+        size = len(shuffled) // phase.parts
+        groups = [
+            shuffled[i * size: (i + 1) * size if i < phase.parts - 1 else len(shuffled)]
+            for i in range(phase.parts)
+        ]
+        cut = self.injector.partition_now(groups)
+        self.counts["partitions"] += 1
+        self._phase_event(phase, "start", detail=f"links={len(cut)}")
+        self.sim.schedule_at(self.start_time + phase.end, self._heal, phase, cut)
+
+    def _heal(self, phase: Phase, cut: List[Tuple[int, int]]) -> None:
+        self.injector.heal_partition_now(cut)
+        self.counts["heals"] += 1
+        self._phase_event(phase, "end", detail=f"links={len(cut)}")
+
+    # -- loss ----------------------------------------------------------
+    def _begin_loss(self, phase: Phase) -> None:
+        if self._base_loss is None:
+            self._base_loss = self.network.loss_rate
+        self._active_loss.append(phase.rate)
+        self._apply_loss()
+        self.counts["loss_windows"] += 1
+        self._trace("net.loss", rate=self.network.loss_rate)
+        self._phase_event(phase, "start", detail=f"rate={phase.rate:g}")
+        self.sim.schedule_at(self.start_time + phase.end, self._end_loss, phase)
+
+    def _end_loss(self, phase: Phase) -> None:
+        self._active_loss.remove(phase.rate)
+        self._apply_loss()
+        self._trace("net.loss", rate=self.network.loss_rate)
+        self._phase_event(phase, "end")
+
+    def _apply_loss(self) -> None:
+        """The harshest active loss window applies; with none active the
+        network returns to exactly its pre-chaos rate."""
+        if self._active_loss:
+            self.network.set_loss_rate(max(self._base_loss, *self._active_loss))
+        else:
+            self.network.set_loss_rate(self._base_loss)
+
+    # -- latency -------------------------------------------------------
+    def _begin_latency(self, phase: Phase) -> None:
+        if self._base_latency is None:
+            self._base_latency = self.network.latency_factor
+        self._active_latency.append(phase.factor)
+        self._apply_latency()
+        self.counts["latency_windows"] += 1
+        self._trace("net.latency", factor=self.network.latency_factor)
+        self._phase_event(phase, "start", detail=f"factor={phase.factor:g}")
+        self.sim.schedule_at(self.start_time + phase.end, self._end_latency, phase)
+
+    def _end_latency(self, phase: Phase) -> None:
+        self._active_latency.remove(phase.factor)
+        self._apply_latency()
+        self._trace("net.latency", factor=self.network.latency_factor)
+        self._phase_event(phase, "end")
+
+    def _apply_latency(self) -> None:
+        """The largest active slowdown factor applies, scaled onto the
+        pre-chaos base; with none active the base is restored exactly."""
+        if self._active_latency:
+            self.network.set_latency_factor(
+                self._base_latency * max(self._active_latency)
+            )
+        else:
+            self.network.set_latency_factor(self._base_latency)
+
+    # -- restart -------------------------------------------------------
+    def _begin_restart(self, phase: Phase) -> None:
+        candidates = self._live_candidates(exclude_protected=True)
+        count = self._victim_count(phase, len(candidates))
+        victims = self.rng.sample(candidates, count) if count else []
+        killed = self.injector.fail_now(victims)
+        self.disturbed.update(killed)
+        self._phase_event(phase, "crash", detail=f"killed={len(killed)}")
+        for victim in killed:
+            self.sim.schedule_at(
+                self.start_time + phase.at + phase.downtime, self._do_restart, victim
+            )
+
+    def _do_restart(self, node_id: int) -> None:
+        self._restart(node_id)
+        self.joined.add(node_id)
+        self.counts["restarts"] += 1
+        self._trace("node.restart", node=node_id)
+        if self.obs.enabled:
+            self.obs.metrics.inc("chaos.restart")
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def veteran_ids(self, initial: Sequence[int]) -> Set[int]:
+        """Members of ``initial`` whose membership was never disturbed."""
+        return set(initial) - self.disturbed - self.joined
+
+    def summary(self) -> Dict[str, int]:
+        """Deterministically ordered fault counts for reports."""
+        return {key: self.counts[key] for key in sorted(self.counts)}

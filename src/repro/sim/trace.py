@@ -78,6 +78,14 @@ class DeliveryTracer:
     def message_ids(self) -> List[object]:
         return list(self._inject_time)
 
+    def source_of(self, msg_id: object) -> Optional[int]:
+        """The injecting node of a message (None if never injected)."""
+        return self._inject_source.get(msg_id)
+
+    def delivered_nodes(self, msg_id: object) -> Dict[int, float]:
+        """Node -> first-delivery time for one message (source included)."""
+        return dict(self._delivered.get(msg_id, {}))
+
     def delays(self, receivers: Optional[Sequence[int]] = None) -> np.ndarray:
         """Pooled first-delivery delays, excluding each message's source.
 

@@ -96,6 +96,53 @@ class Network:
         # one_way() exactly (matrix/King do); the send loop then indexes
         # it directly instead of calling into the model.
         self._dense_rows = getattr(latency, "dense_rows", None)
+        # --- chaos injection (see repro.sim.scenarios) ----------------
+        # All default-off with a single cheap guard each in send(), so
+        # runs that never touch them stay bit-identical to the seed
+        # behaviour (pinned by tests/experiments/test_equivalence.py).
+        self.latency_factor = 1.0
+        #: Extra per-link datagram loss probability, keyed by link key.
+        self._link_loss: Dict[Tuple[int, int], float] = {}
+        # Reliable sends model established TCP connections, which are
+        # FIFO per ordered pair.  With a constant per-pair delay that
+        # holds by construction, but a latency window ending mid-flight
+        # would let later (faster) sends overtake earlier (slowed) ones.
+        # Once latency chaos is first enabled, every reliable delivery
+        # is clamped to arrive no earlier than the pair's previous one.
+        self._fifo_floor: Optional[Dict[Tuple[int, int], float]] = None
+
+    # ------------------------------------------------------------------
+    # Chaos injection hooks
+    # ------------------------------------------------------------------
+    def set_loss_rate(self, rate: float) -> None:
+        """Change the global datagram loss probability mid-run."""
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.loss_rate = rate
+
+    def set_link_loss(self, a: int, b: int, rate: float) -> None:
+        """Add per-link datagram loss (0 removes the entry).  Composes
+        with the global rate as independent drop events."""
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        key = self._link_key(a, b)
+        if rate == 0.0:
+            self._link_loss.pop(key, None)
+        else:
+            self._link_loss[key] = rate
+
+    def set_latency_factor(self, factor: float) -> None:
+        """Scale every link delay by ``factor`` (latency-spike windows).
+
+        The first call (even back to 1.0) permanently arms the per-pair
+        FIFO floor for reliable sends, preserving the modelled-TCP
+        ordering across spike edges.
+        """
+        if factor <= 0:
+            raise ValueError("latency factor must be positive")
+        self.latency_factor = factor
+        if self._fifo_floor is None:
+            self._fifo_floor = {}
 
     # ------------------------------------------------------------------
     # Registration and liveness
@@ -198,6 +245,8 @@ class Network:
 
         rows = self._dense_rows
         delay = rows[src][dst] if rows is not None else self._one_way(src, dst)
+        if self.latency_factor != 1.0:
+            delay *= self.latency_factor
         # Inlined is_alive + link_ok: this runs for every message.
         broken = (
             dst in self._dead
@@ -216,9 +265,26 @@ class Network:
                     self.obs.metrics.inc("net.lost", reason="broken")
                 self._schedule(2.0 * delay, self._notify_failure, src, dst, msg)
                 return
+            floor = self._fifo_floor
+            if floor is not None:
+                # Latency chaos has been armed at least once: keep
+                # reliable delivery FIFO per ordered pair by clamping
+                # each arrival to no earlier than the previous one.
+                pair = (src, dst)
+                arrival = self.sim.now + delay
+                previous = floor.get(pair, 0.0)
+                if arrival < previous:
+                    arrival = previous
+                    delay = previous - self.sim.now
+                floor[pair] = arrival
         else:
             # UDP-style datagram.
-            if broken or (self.loss_rate > 0.0 and self._rng.random() < self.loss_rate):
+            loss = self.loss_rate
+            if self._link_loss:
+                extra = self._link_loss.get((src, dst) if src <= dst else (dst, src))
+                if extra:
+                    loss += extra - loss * extra  # independent drop events
+            if broken or (loss > 0.0 and self._rng.random() < loss):
                 self.messages_lost += 1
                 if self.obs.enabled:
                     self.obs.metrics.inc(

@@ -1,0 +1,209 @@
+"""Property-based tests for the chaos subsystem.
+
+Three guarantees that must hold for *any* scenario, not just the canned
+library:
+
+* the scenario engine survives arbitrary valid phase lists without
+  crashing, and its accounting stays consistent;
+* the invariant checker is strictly read-only — sampling it does not
+  move a single bit of protocol state (RNG states included), which is
+  what makes "attach a checker to any run" a safe operation;
+* a chaos run is a pure function of (scenario, seed): the batch runner
+  produces identical trial results whether trials run in-process or in
+  a worker pool.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.batch import run_batch
+from repro.experiments.scenarios import ScenarioConfig
+from repro.net.latency import ConstantLatencyModel
+from repro.sim.engine import Simulator
+from repro.sim.failures import FailureInjector
+from repro.sim.invariants import InvariantChecker
+from repro.sim.scenarios import Phase, Scenario, ScenarioEngine
+from repro.sim.transport import Network
+
+from tests.conftest import TinyCluster
+from tests.sim.test_scenarios import StubHarness, StubEndpoint
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+at = st.floats(min_value=0.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+window = st.floats(min_value=0.2, max_value=4.0, allow_nan=False, allow_infinity=False)
+
+phases = st.one_of(
+    st.builds(
+        Phase,
+        kind=st.just("crash"),
+        at=at,
+        fraction=st.floats(min_value=0.05, max_value=0.6),
+    ),
+    st.builds(
+        Phase,
+        kind=st.just("churn"),
+        at=at,
+        duration=window,
+        rate=st.floats(min_value=0.2, max_value=3.0),
+        joins=st.booleans(),
+    ),
+    st.builds(
+        Phase,
+        kind=st.just("partition"),
+        at=at,
+        duration=window,
+        parts=st.integers(min_value=2, max_value=4),
+    ),
+    st.builds(
+        Phase,
+        kind=st.just("loss"),
+        at=at,
+        duration=window,
+        rate=st.floats(min_value=0.05, max_value=0.9),
+    ),
+    st.builds(
+        Phase,
+        kind=st.just("latency"),
+        at=at,
+        duration=window,
+        factor=st.floats(min_value=0.5, max_value=8.0),
+    ),
+    st.builds(
+        Phase,
+        kind=st.just("restart"),
+        at=at,
+        count=st.integers(min_value=1, max_value=3),
+        downtime=st.floats(min_value=0.5, max_value=3.0),
+    ),
+)
+
+phase_lists = st.lists(phases, min_size=1, max_size=6)
+
+
+# ----------------------------------------------------------------------
+# 1. Arbitrary phase lists never crash the engine
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(phase_lists=phase_lists, seed=st.integers(min_value=0, max_value=2**16))
+def test_engine_survives_arbitrary_phase_lists(phase_lists, seed):
+    scenario = Scenario(name="fuzz", phases=tuple(phase_lists))
+    n = 12
+    sim = Simulator()
+    network = Network(sim, ConstantLatencyModel(64), rng=random.Random(1))
+    for i in range(n):
+        network.register(StubEndpoint(i))
+    injector = FailureInjector(sim, network, random.Random(seed))
+    harness = StubHarness(network, first_id=n)
+    engine = ScenarioEngine(
+        sim,
+        network,
+        injector,
+        scenario,
+        rng=random.Random(seed),
+        spawn_node=harness.spawn_node,
+        leave_node=harness.leave_node,
+        restart_node=harness.restart_node,
+    )
+    end = engine.arm(start=0.0)
+    sim.run_until(end + 10.0)
+
+    # Accounting consistency, whatever happened.
+    assert engine.counts["partitions"] == engine.counts["heals"]
+    assert engine.counts["leaves"] == len(harness.left)
+    assert engine.counts["joins"] == len(harness.spawned)
+    assert engine.counts["restarts"] == len(harness.restarted)
+    veterans = engine.veteran_ids(range(n))
+    assert veterans <= set(range(n))
+    assert not veterans & engine.disturbed
+    assert not veterans & engine.joined
+    # Fault windows always unwind: loss off, latency back to 1.
+    assert network.loss_rate == 0.0
+    assert network.latency_factor == 1.0
+
+
+# ----------------------------------------------------------------------
+# 2. The checker is read-only
+# ----------------------------------------------------------------------
+def protocol_state_fingerprint(cluster):
+    """Every bit of protocol state a sample could conceivably disturb:
+    per-node RNG state, neighbor tables with their timestamps, tree
+    state, buffers, and the event queue length."""
+    parts = []
+    for nid in sorted(cluster.nodes):
+        node = cluster.nodes[nid]
+        parts.append(
+            (
+                nid,
+                node.rng.getstate(),
+                node.alive,
+                node.frozen,
+                tuple(
+                    sorted(
+                        (peer, s.kind, s.rtt, s.last_sent, s.last_heard)
+                        for peer, s in node.overlay.table.items()
+                    )
+                ),
+                node.tree.parent,
+                tuple(sorted(node.tree.children)),
+                len(node.disseminator.buffer),
+                node.disseminator.pending_pulls,
+            )
+        )
+    parts.append(len(cluster.sim._queue))
+    parts.append(cluster.sim.events_executed)
+    parts.append(cluster.network.messages_sent)
+    return tuple(parts)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n=st.integers(min_value=2, max_value=8),
+    warmup=st.floats(min_value=0.0, max_value=3.0),
+)
+def test_checker_sampling_is_read_only(seed, n, warmup):
+    cluster = TinyCluster(n, seed=seed)
+    cluster.seed_views()
+    cluster.start_all()
+    cluster.connect_chain(range(n))
+    cluster.run(warmup)
+
+    checker = InvariantChecker(
+        cluster.nodes, cluster.network, period=0.5, config=cluster.config
+    )
+    checker._sim = cluster.sim
+    before = protocol_state_fingerprint(cluster)
+    checker._sample()
+    checker._sample()
+    assert protocol_state_fingerprint(cluster) == before
+
+
+# ----------------------------------------------------------------------
+# 3. Chaos trials are identical across worker counts
+# ----------------------------------------------------------------------
+@settings(max_examples=2, deadline=None)
+@given(seed=st.integers(min_value=1, max_value=50))
+def test_chaos_batch_identical_across_worker_counts(seed):
+    scenario = ScenarioConfig(
+        protocol="gocast",
+        n_nodes=16,
+        adapt_time=5.0,
+        n_messages=3,
+        message_rate=1.0,
+        drain_time=8.0,
+        chaos="flapping-partition",
+        seed=seed,
+    )
+    serial = run_batch(scenario, n_trials=2, workers=1, root_seed=seed)
+    pooled = run_batch(scenario, n_trials=2, workers=2, root_seed=seed)
+    assert serial.delays.tobytes() == pooled.delays.tobytes()
+    assert serial.messages_sent == pooled.messages_sent
+    assert serial.sent_by_type == pooled.sent_by_type
+    assert [t.seed for t in serial.trials] == [t.seed for t in pooled.trials]
+    for a, b in zip(serial.trials, pooled.trials):
+        assert a.delays.tobytes() == b.delays.tobytes()
+        assert a.reliability == b.reliability

@@ -1,0 +1,118 @@
+"""Scenario regression suite: the canned chaos library under invariants.
+
+Every canned scenario runs small-N with the invariant checker in
+**hard-fail** mode — any violation of the protocol invariant catalogue
+aborts the run and fails the test immediately.  On top of that, each
+run's summary (delivery statistics, fault counts, invariant report) is
+pinned to a golden fixture under ``tests/goldens/chaos_<name>.json``,
+so an intended behaviour change shows up as a reviewable diff::
+
+    PYTHONPATH=src python -m pytest tests/scenarios --update-goldens
+    git diff tests/goldens/
+
+The determinism tests re-run scenarios with ``REPRO_SIM_OPTS`` forced
+off and on: the chaos engine sits on the same deterministic event loop
+as the protocols, so the fast-path toggles must not change a single
+fault decision or delivery.  The fast lane covers the two scenarios
+that exercise the most machinery; the slow lane sweeps the full matrix.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.chaos import ChaosReport, run_chaos
+from repro.sim.scenarios import CANNED
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "goldens"
+
+#: Small-N parameters shared by every suite run: big enough for a real
+#: overlay+tree (24 nodes, several sites), small enough for the fast
+#: lane.  ``hard_fail`` makes every invariant violation a test error.
+CHAOS_PARAMS = dict(
+    n_nodes=24,
+    seed=3,
+    adapt_time=10.0,
+    n_messages=8,
+    drain_time=15.0,
+    invariant_period=0.5,
+    hard_fail=True,
+)
+
+ROUND = 9
+
+
+def _round(value):
+    if value is None or value != value:  # None or NaN
+        return "nan"
+    return round(float(value), ROUND)
+
+
+def chaos_summary(report: ChaosReport) -> dict:
+    """The committed fingerprint of a chaos run."""
+    data = report.to_json_dict()
+    for field in ("reliability", "mean_delay", "max_delay", "end_time"):
+        data[field] = _round(data[field])
+    return data
+
+
+def run_canned(name: str) -> ChaosReport:
+    return run_chaos(CANNED[name], **CHAOS_PARAMS)
+
+
+@pytest.mark.parametrize("name", sorted(CANNED))
+def test_canned_scenario_golden(name, update_goldens):
+    report = run_canned(name)
+    # hard_fail would have raised already; make the verdict explicit.
+    assert report.total_violations == 0
+    summary = chaos_summary(report)
+    path = GOLDEN_DIR / f"chaos_{name}.json"
+
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"updated golden {path.name}")
+
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        "pytest tests/scenarios --update-goldens"
+    )
+    expected = json.loads(path.read_text())
+    assert summary == expected, (
+        f"chaos golden mismatch for {name}; if this change is intended, "
+        "rerun with --update-goldens and review the tests/goldens/ diff"
+    )
+
+
+def _identical_on_and_off(monkeypatch, name: str) -> None:
+    monkeypatch.setenv("REPRO_SIM_OPTS", "0")
+    plain = chaos_summary(run_canned(name))
+    monkeypatch.setenv("REPRO_SIM_OPTS", "1")
+    fast = chaos_summary(run_canned(name))
+    assert plain == fast
+
+
+@pytest.mark.parametrize("name", ["steady-churn", "worst-day"])
+def test_chaos_identical_with_and_without_sim_opts(monkeypatch, name):
+    """Fast lane: the chaos trajectory is independent of the simulator
+    fast-path toggles for the churn and kitchen-sink scenarios."""
+    _identical_on_and_off(monkeypatch, name)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "name", sorted(set(CANNED) - {"steady-churn", "worst-day"})
+)
+def test_chaos_identical_with_and_without_sim_opts_full_matrix(monkeypatch, name):
+    _identical_on_and_off(monkeypatch, name)
+
+
+def test_reports_are_deterministic_for_seed():
+    a = chaos_summary(run_canned("flapping-partition"))
+    b = chaos_summary(run_canned("flapping-partition"))
+    assert a == b
+    different = run_chaos(
+        CANNED["flapping-partition"], **{**CHAOS_PARAMS, "seed": 4}
+    )
+    assert chaos_summary(different) != a

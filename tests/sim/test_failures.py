@@ -6,7 +6,7 @@ import pytest
 
 from repro.net.latency import ConstantLatencyModel
 from repro.sim.engine import Simulator
-from repro.sim.failures import ChurnProcess, FailureInjector
+from repro.sim.failures import ChurnProcess, FailureInjector, PoissonChurn
 from repro.sim.transport import Network
 
 
@@ -115,3 +115,242 @@ def test_churn_stop(setup):
 def test_churn_invalid_interval():
     with pytest.raises(ValueError):
         ChurnProcess(Simulator(), 0.0, lambda: None)
+
+
+# ----------------------------------------------------------------------
+# Wave composition: dedup, counters, exactly-once callbacks
+# ----------------------------------------------------------------------
+def test_fail_fraction_excludes_already_scheduled_victims(setup):
+    sim, network, injector = setup
+    first = injector.fail_fraction_at(1.0, 0.25, list(range(20)))
+    second = injector.fail_fraction_at(2.0, 0.25, list(range(20)))
+    assert not set(first) & set(second)
+    sim.run_until(3.0)
+    assert len(network.alive_nodes()) == 10
+    assert injector.kills_requested == 10
+    assert injector.kills_executed == 10
+    assert injector.kills_skipped == 0
+
+
+def test_fail_fraction_excludes_already_failed_nodes(setup):
+    sim, network, injector = setup
+    injector.fail_now([0, 1, 2])
+    victims = injector.fail_fraction_at(1.0, 0.5, list(range(20)))
+    assert not {0, 1, 2} & set(victims)
+    # The count is a fraction of the full population, served from what
+    # remains.
+    assert len(victims) == 10
+
+
+def test_fail_fraction_caps_at_remaining_candidates(setup):
+    sim, network, injector = setup
+    injector.fail_now(list(range(15)))
+    victims = injector.fail_fraction_at(1.0, 0.5, list(range(20)))
+    # Half of 20 is 10, but only 5 candidates remain.
+    assert len(victims) == 5
+    sim.run_until(1.0)
+    assert network.alive_nodes() == set()
+
+
+def test_on_node_failed_fires_exactly_once_under_overlapping_waves(setup):
+    sim, network, injector = setup
+    killed = []
+    injector.on_node_failed = killed.append
+    injector.fail_nodes_at(1.0, [1, 2, 3])
+    injector.fail_nodes_at(2.0, [3, 4])  # 3 claimed twice
+    sim.run_until(3.0)
+    assert sorted(killed) == [1, 2, 3, 4]
+    assert injector.kills_requested == 5
+    assert injector.kills_executed == 4
+    assert injector.kills_skipped == 1
+    assert injector.failed_nodes == [1, 2, 3, 4]
+
+
+def test_fail_now_returns_only_actual_kills(setup):
+    _, network, injector = setup
+    assert injector.fail_now([5, 6]) == [5, 6]
+    assert injector.fail_now([6, 7]) == [7]
+    network.kill(8)  # died outside the injector (e.g. graceful leave)
+    assert injector.fail_now([8]) == []
+    assert injector.kills_skipped == 2
+
+
+def test_forget_failed_allows_rescheduling(setup):
+    sim, network, injector = setup
+    injector.fail_now([4])
+    network.remove(4)
+    network.register(StubEndpoint(4))  # restarted with a fresh endpoint
+    injector.forget_failed(4)
+    assert injector.fail_now([4]) == [4]
+    assert injector.kills_executed == 2
+
+
+def test_same_time_fail_and_restore_execute_in_schedule_order(setup):
+    sim, network, injector = setup
+    # Same-instant events run in scheduling order (the engine's (time,
+    # seq) heap): fail-then-restore nets out restored, and vice versa.
+    injector.fail_link_at(1.0, 0, 1)
+    injector.restore_link_at(1.0, 0, 1)
+    sim.run_until(1.0)
+    assert network.link_ok(0, 1)
+
+    injector.restore_link_at(2.0, 2, 3)
+    injector.fail_link_at(2.0, 2, 3)
+    sim.run_until(2.0)
+    assert not network.link_ok(2, 3)
+
+
+def test_kill_drops_in_flight_messages(setup):
+    sim, network, injector = setup
+    network.send(1, 0, object())
+    injector.fail_now([0])  # victim dies while the message is in flight
+    before = network.messages_lost
+    sim.run_until(1.0)
+    assert network.messages_lost == before + 1
+
+
+# ----------------------------------------------------------------------
+# Partitions
+# ----------------------------------------------------------------------
+def test_partition_now_cuts_only_cross_group_links(setup):
+    sim, network, injector = setup
+    groups = [[0, 1, 2], [3, 4], [5]]
+    cut = injector.partition_now(groups)
+    # 3*2 + 3*1 + 2*1 = 11 cross-group pairs.
+    assert len(cut) == 11
+    assert not network.link_ok(0, 3)
+    assert not network.link_ok(4, 5)
+    assert network.link_ok(0, 1)  # intra-group survives
+    assert network.link_ok(3, 4)
+
+
+def test_heal_partition_restores_exactly_the_cut(setup):
+    sim, network, injector = setup
+    network.fail_link(0, 1)  # an unrelated pre-existing failure
+    cut = injector.partition_now([[0, 1, 2], [3, 4, 5]])
+    injector.heal_partition_now(cut)
+    assert all(network.link_ok(a, b) for a, b in cut)
+    assert not network.link_ok(0, 1)  # the unrelated failure persists
+
+
+# ----------------------------------------------------------------------
+# Poisson churn
+# ----------------------------------------------------------------------
+def test_poisson_churn_fires_leave_and_join(setup):
+    sim = Simulator()
+    leaves, joins = [], []
+    churn = PoissonChurn(
+        sim,
+        rate=2.0,
+        rng=random.Random(11),
+        leave_callback=lambda: leaves.append(sim.now),
+        join_callback=lambda: joins.append(sim.now),
+    )
+    churn.start()
+    sim.run_until(10.0)
+    assert churn.events == len(leaves) == len(joins) > 0
+    assert leaves == joins
+    # Exponential gaps: event times are irregular, not a metronome.
+    gaps = [b - a for a, b in zip(leaves, leaves[1:])]
+    assert len(set(round(g, 9) for g in gaps)) > 1
+
+
+def test_poisson_churn_is_deterministic_for_seed():
+    def run(seed):
+        sim = Simulator()
+        times = []
+        churn = PoissonChurn(
+            sim, rate=1.5, rng=random.Random(seed),
+            leave_callback=lambda: times.append(sim.now),
+        )
+        churn.start()
+        sim.run_until(20.0)
+        return times
+
+    assert run(3) == run(3)
+    assert run(3) != run(4)
+
+
+def test_poisson_churn_stop_halts_the_process():
+    sim = Simulator()
+    times = []
+    churn = PoissonChurn(
+        sim, rate=5.0, rng=random.Random(2),
+        leave_callback=lambda: times.append(sim.now),
+    )
+    churn.start()
+    sim.run_until(2.0)
+    seen = len(times)
+    assert seen > 0
+    churn.stop()
+    sim.run_until(20.0)
+    assert len(times) == seen
+
+
+def test_poisson_churn_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        PoissonChurn(Simulator(), 0.0, random.Random(1), lambda: None)
+
+
+# ----------------------------------------------------------------------
+# Churn vs in-flight pull repair
+# ----------------------------------------------------------------------
+def pull_repair_cluster():
+    """Node 0 has heard message M advertised by neighbors 1 and 2 (both
+    hold it) and has an in-flight PullRequest to node 1.  Gossip timers
+    are stopped so the test controls every message."""
+    from repro.core.messages import DegreeUpdate, Gossip
+    from tests.conftest import TinyCluster
+
+    cluster = TinyCluster(3)
+    cluster.start_all()
+    for node in cluster.nodes.values():
+        node._gossip_timer.stop()
+    cluster.connect(0, 1)
+    cluster.connect(0, 2)
+    msg_id = cluster.nodes[1].multicast(100)
+    cluster.nodes[2].disseminator.buffer.insert(
+        msg_id, 100, cluster.sim.now, age=0.0
+    )
+    summary = ((msg_id, 0.0),)
+    degrees = DegreeUpdate(0, 0, 0.0, 0)
+    # request_delay_f defaults to 0: the first advertisement triggers an
+    # immediate PullRequest to node 1; node 2 joins the source set.
+    cluster.nodes[0].disseminator.on_gossip(1, Gossip(summary, (), degrees))
+    cluster.nodes[0].disseminator.on_gossip(2, Gossip(summary, (), degrees))
+    assert cluster.nodes[0].disseminator.pending_pulls == 1
+    return cluster, msg_id
+
+
+def test_pull_retries_other_holder_when_target_dies_midflight():
+    cluster, msg_id = pull_repair_cluster()
+    # Kill the pull target while the request is in flight; node 0 only
+    # discovers the death through its pull timeout, then must retry
+    # against the other advertiser rather than the corpse.
+    cluster.network.kill(1)
+    cluster.run(cluster.config.pull_timeout + 1.0)
+    assert 0 in cluster.tracer.delivered_nodes(msg_id)
+    assert cluster.nodes[0].disseminator.pending_pulls == 0
+
+
+def test_on_peer_failed_retries_pull_without_waiting_for_timeout():
+    cluster, msg_id = pull_repair_cluster()
+    cluster.network.kill(1)
+    # Eviction noticed the death (e.g. a failed reliable send): the
+    # disseminator must re-aim the pending pull at node 2 immediately.
+    cluster.nodes[0].disseminator.on_peer_failed(1)
+    cluster.run(cluster.config.pull_timeout / 2)
+    assert 0 in cluster.tracer.delivered_nodes(msg_id)
+
+
+def test_pull_abandoned_when_every_holder_dies():
+    cluster, msg_id = pull_repair_cluster()
+    cluster.network.kill(1)
+    cluster.network.kill(2)
+    cluster.nodes[0].disseminator.on_peer_failed(1)
+    cluster.nodes[0].disseminator.on_peer_failed(2)
+    # No sources remain: the pending pull is dropped (a future gossip
+    # would restart it), not retried forever.
+    assert cluster.nodes[0].disseminator.pending_pulls == 0
+    cluster.run(5.0)
+    assert 0 not in cluster.tracer.delivered_nodes(msg_id)

@@ -1,0 +1,365 @@
+"""Unit tests for the declarative chaos scenario engine."""
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatencyModel
+from repro.sim.engine import Simulator
+from repro.sim.failures import FailureInjector
+from repro.sim.scenarios import (
+    CANNED,
+    Phase,
+    Scenario,
+    ScenarioEngine,
+    resolve_scenario,
+)
+from repro.sim.transport import Network
+
+
+class StubEndpoint:
+    def __init__(self, node_id):
+        self.node_id = node_id
+
+    def handle_message(self, src, msg):
+        pass
+
+    def handle_send_failure(self, dst, msg):
+        pass
+
+
+class StubHarness:
+    """Records lifecycle callbacks; spawns plain stub endpoints."""
+
+    def __init__(self, network, first_id):
+        self.network = network
+        self.next_id = first_id
+        self.spawned = []
+        self.left = []
+        self.restarted = []
+
+    def spawn_node(self):
+        node_id = self.next_id
+        self.next_id += 1
+        self.network.register(StubEndpoint(node_id))
+        self.spawned.append(node_id)
+        return node_id
+
+    def leave_node(self, node_id):
+        self.left.append(node_id)
+        self.network.kill(node_id)
+
+    def restart_node(self, node_id):
+        self.restarted.append(node_id)
+        self.network.remove(node_id)
+        self.network.register(StubEndpoint(node_id))
+
+
+def make_world(n=12, seed=5):
+    sim = Simulator()
+    network = Network(sim, ConstantLatencyModel(64), rng=random.Random(1))
+    for i in range(n):
+        network.register(StubEndpoint(i))
+    injector = FailureInjector(sim, network, random.Random(seed))
+    harness = StubHarness(network, first_id=n)
+    return sim, network, injector, harness
+
+
+def make_engine(scenario, n=12, seed=5, protected=()):
+    sim, network, injector, harness = make_world(n=n, seed=seed)
+    engine = ScenarioEngine(
+        sim,
+        network,
+        injector,
+        scenario,
+        rng=random.Random(seed),
+        spawn_node=harness.spawn_node,
+        leave_node=harness.leave_node,
+        restart_node=harness.restart_node,
+        protected_ids=protected,
+    )
+    return sim, network, engine, harness
+
+
+# ----------------------------------------------------------------------
+# Phase validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(kind="meteor"),
+        dict(kind="crash", at=-1.0, fraction=0.1),
+        dict(kind="crash", duration=1.0, fraction=0.1),
+        dict(kind="crash"),  # neither count nor fraction
+        dict(kind="crash", fraction=1.0),
+        dict(kind="churn", duration=5.0),  # rate missing
+        dict(kind="churn", rate=0.5),  # duration missing
+        dict(kind="loss", duration=5.0, rate=0.0),
+        dict(kind="loss", duration=5.0, rate=1.0),
+        dict(kind="latency", duration=5.0, factor=0.0),
+        dict(kind="partition", duration=1.0, parts=1),
+        dict(kind="restart", count=2, downtime=0.0),
+    ],
+)
+def test_phase_rejects_invalid(kwargs):
+    with pytest.raises(ValueError):
+        Phase(**kwargs)
+
+
+def test_phase_end_accounts_for_downtime():
+    assert Phase("crash", at=3.0, fraction=0.1).end == 3.0
+    assert Phase("loss", at=1.0, duration=4.0, rate=0.1).end == 5.0
+    assert Phase("restart", at=2.0, count=1, downtime=3.0).end == 5.0
+
+
+def test_phase_dict_roundtrip_is_minimal():
+    phase = Phase("churn", at=1.5, duration=6.0, rate=0.4, joins=False)
+    data = phase.to_dict()
+    # Only non-default fields are serialized.
+    assert data == {
+        "kind": "churn", "at": 1.5, "duration": 6.0, "rate": 0.4, "joins": False
+    }
+    assert Phase.from_dict(data) == phase
+
+
+def test_phase_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown phase fields"):
+        Phase.from_dict({"kind": "crash", "fraction": 0.1, "severity": 11})
+    with pytest.raises(ValueError, match="needs a 'kind'"):
+        Phase.from_dict({"fraction": 0.1})
+
+
+# ----------------------------------------------------------------------
+# Scenario validation, composition, serialization
+# ----------------------------------------------------------------------
+def test_scenario_duration_and_needs_joins():
+    scenario = Scenario(
+        name="x",
+        phases=(
+            Phase("crash", at=2.0, fraction=0.1),
+            Phase("loss", at=1.0, duration=8.0, rate=0.1),
+        ),
+    )
+    assert scenario.duration == 9.0
+    assert not scenario.needs_joins
+    churny = Scenario(
+        name="y", phases=(Phase("churn", at=0.0, duration=2.0, rate=1.0),)
+    )
+    assert churny.needs_joins
+    shrink = Scenario(
+        name="z",
+        phases=(Phase("churn", at=0.0, duration=2.0, rate=1.0, joins=False),),
+    )
+    assert not shrink.needs_joins
+    assert Scenario(
+        name="r", phases=(Phase("restart", at=0.0, count=1),)
+    ).needs_joins
+
+
+def test_scenario_requires_name_and_phase_instances():
+    with pytest.raises(ValueError):
+        Scenario(name="", phases=())
+    with pytest.raises(TypeError):
+        Scenario(name="x", phases=({"kind": "crash"},))
+
+
+def test_scenario_shifted_and_compose():
+    a = Scenario(name="a", phases=(Phase("crash", at=1.0, fraction=0.1),))
+    b = Scenario(name="b", phases=(Phase("loss", at=0.5, duration=2.0, rate=0.1),))
+    shifted = a.shifted(4.0)
+    assert shifted.phases[0].at == 5.0
+    assert shifted.name == "a"
+
+    combo = Scenario.compose("combo", a, b, gap=1.0)
+    # b starts after a.duration (1.0) + gap (1.0).
+    assert [p.at for p in combo.phases] == [1.0, 2.5]
+    assert combo.duration == 4.5
+
+
+def test_scenario_json_roundtrip():
+    scenario = CANNED["worst-day"]
+    assert Scenario.from_json(scenario.to_json()) == scenario
+
+
+def test_scenario_from_dict_rejects_garbage():
+    with pytest.raises(ValueError, match="unknown scenario fields"):
+        Scenario.from_dict({"name": "x", "phases": [], "color": "red"})
+    with pytest.raises(ValueError, match="'phases' list"):
+        Scenario.from_dict({"name": "x", "phases": "crash"})
+
+
+def test_canned_library_integrity():
+    assert set(CANNED) == {
+        "paper-shock-25",
+        "steady-churn",
+        "flapping-partition",
+        "loss-10",
+        "latency-spike",
+        "worst-day",
+    }
+    for name, scenario in CANNED.items():
+        assert scenario.name == name
+        assert scenario.description
+        assert scenario.phases
+        assert scenario.duration >= 0
+        # Every canned scenario survives a serialization roundtrip.
+        assert resolve_scenario(scenario.to_dict()) == scenario
+
+
+def test_resolve_scenario_forms():
+    assert resolve_scenario("loss-10") is CANNED["loss-10"]
+    scenario = CANNED["latency-spike"]
+    assert resolve_scenario(scenario) is scenario
+    assert resolve_scenario(scenario.to_dict()) == scenario
+    with pytest.raises(KeyError, match="unknown scenario"):
+        resolve_scenario("tuesday")
+    with pytest.raises(TypeError):
+        resolve_scenario(42)
+
+
+# ----------------------------------------------------------------------
+# Engine execution
+# ----------------------------------------------------------------------
+def test_engine_crash_phase_kills_fraction():
+    scenario = Scenario(name="c", phases=(Phase("crash", at=1.0, fraction=0.25),))
+    sim, network, engine, _ = make_engine(scenario, n=12)
+    end = engine.arm(start=0.0)
+    assert end == 1.0
+    sim.run_until(2.0)
+    assert engine.counts["crashes"] == 3
+    assert len(network.alive_nodes()) == 9
+    assert engine.disturbed == set(range(12)) - network.alive_nodes()
+    assert engine.veteran_ids(range(12)) == network.alive_nodes()
+
+
+def test_engine_churn_runs_only_inside_window():
+    scenario = Scenario(
+        name="c", phases=(Phase("churn", at=1.0, duration=5.0, rate=2.0),)
+    )
+    sim, network, engine, harness = make_engine(scenario, n=12)
+    engine.arm(start=0.0)
+    sim.run_until(50.0)
+    assert engine.counts["leaves"] == engine.counts["joins"]
+    assert engine.counts["leaves"] > 0
+    # Every leave victim is disturbed; every join is tracked.
+    assert set(harness.left) <= engine.disturbed
+    assert set(harness.spawned) == engine.joined
+    # Veterans: original population minus the churned-out nodes.
+    veterans = engine.veteran_ids(range(12))
+    assert veterans == set(range(12)) - engine.disturbed
+
+
+def test_engine_protected_ids_survive_churn_and_restart():
+    scenario = Scenario(
+        name="c",
+        phases=(
+            Phase("churn", at=0.0, duration=10.0, rate=2.0, joins=False),
+            Phase("restart", at=11.0, count=3, downtime=1.0),
+        ),
+    )
+    sim, network, engine, harness = make_engine(scenario, n=8, protected=(0,))
+    engine.arm(start=0.0)
+    sim.run_until(60.0)
+    assert 0 not in harness.left
+    assert 0 not in harness.restarted
+    assert network.is_alive(0)
+
+
+def test_engine_partition_heals_exactly_the_cut():
+    scenario = Scenario(
+        name="p", phases=(Phase("partition", at=1.0, duration=2.0, parts=2),)
+    )
+    sim, network, engine, _ = make_engine(scenario, n=10)
+    engine.arm(start=0.0)
+    sim.run_until(1.5)
+    down = sum(
+        1
+        for a in range(10)
+        for b in range(a + 1, 10)
+        if not network.link_ok(a, b)
+    )
+    assert down == 25  # a 5/5 bisection cuts 25 links
+    sim.run_until(4.0)
+    assert all(
+        network.link_ok(a, b) for a in range(10) for b in range(a + 1, 10)
+    )
+    assert engine.counts == {**engine.counts, "partitions": 1, "heals": 1}
+
+
+def test_engine_loss_and_latency_windows_restore_previous_values():
+    scenario = Scenario(
+        name="w",
+        phases=(
+            Phase("loss", at=1.0, duration=2.0, rate=0.25),
+            Phase("latency", at=2.0, duration=2.0, factor=4.0),
+        ),
+    )
+    sim, network, engine, _ = make_engine(scenario, n=4)
+    engine.arm(start=0.0)
+    sim.run_until(1.5)
+    assert network.loss_rate == 0.25
+    sim.run_until(2.5)
+    assert network.latency_factor == 4.0
+    sim.run_until(3.5)
+    assert network.loss_rate == 0.0
+    assert network.latency_factor == 4.0
+    sim.run_until(5.0)
+    assert network.latency_factor == 1.0
+    assert engine.counts["loss_windows"] == 1
+    assert engine.counts["latency_windows"] == 1
+
+
+def test_engine_restart_cycles_victims_through_downtime():
+    scenario = Scenario(
+        name="r", phases=(Phase("restart", at=1.0, count=2, downtime=3.0),)
+    )
+    sim, network, engine, harness = make_engine(scenario, n=8)
+    engine.arm(start=0.0)
+    sim.run_until(2.0)
+    assert len(network.alive_nodes()) == 6
+    assert not harness.restarted
+    sim.run_until(4.0)
+    assert sorted(harness.restarted) == sorted(engine.disturbed)
+    assert len(network.alive_nodes()) == 8
+    assert engine.counts["restarts"] == 2
+    # Restarted nodes are joined *and* disturbed: never veterans.
+    assert engine.veteran_ids(range(8)) == set(range(8)) - engine.disturbed
+
+
+def test_engine_requires_harness_for_lifecycle_phases():
+    sim, network, injector, _ = make_world(n=4)
+    engine = ScenarioEngine(
+        sim,
+        network,
+        injector,
+        CANNED["steady-churn"],
+        rng=random.Random(1),
+    )
+    with pytest.raises(ValueError, match="does not support"):
+        engine.arm(start=0.0)
+
+
+def test_engine_arm_is_single_shot():
+    scenario = Scenario(name="c", phases=(Phase("crash", at=1.0, fraction=0.1),))
+    sim, _, engine, _ = make_engine(scenario, n=4)
+    engine.arm(start=0.0)
+    with pytest.raises(RuntimeError, match="already armed"):
+        engine.arm(start=5.0)
+
+
+def test_engine_is_deterministic_for_seed():
+    def run(seed):
+        sim, network, engine, harness = make_engine(
+            CANNED["worst-day"], n=16, seed=seed
+        )
+        engine.arm(start=0.0)
+        sim.run_until(engine.end_time + 5.0)
+        return (
+            dict(engine.counts),
+            sorted(engine.disturbed),
+            sorted(engine.joined),
+            sorted(network.alive_nodes()),
+        )
+
+    assert run(3) == run(3)
+    assert run(3) != run(4)

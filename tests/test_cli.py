@@ -131,6 +131,83 @@ def test_batch_rejects_bad_arguments(capsys):
     assert "invalid batch" in capsys.readouterr().err
 
 
+CHAOS_ARGS = ["chaos", "run", "paper-shock-25", "--n", "16", "--seed", "3",
+              "--adapt", "5", "--messages", "3", "--drain", "8"]
+
+
+def test_chaos_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["chaos"])
+
+
+def test_chaos_list_covers_every_canned_scenario(capsys):
+    from repro.sim.scenarios import CANNED
+
+    assert main(["chaos", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in CANNED:
+        assert name in out
+
+
+def test_chaos_run_text_report(capsys):
+    assert main(CHAOS_ARGS) == 0
+    out = capsys.readouterr().out
+    assert "== chaos paper-shock-25" in out
+    assert "veteran reliability" in out
+    assert "crashes=" in out
+
+
+def test_chaos_run_json_report(capsys):
+    import json
+
+    assert main([*CHAOS_ARGS, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["chaos"]["name"] == "paper-shock-25"
+    assert payload["invariants"]["total_violations"] == 0
+    assert payload["faults"]["crashes"] > 0
+    assert set(payload["invariants"]["counts"]) == set(
+        payload["invariants"]["checked"]
+    )
+
+
+def test_chaos_run_json_file_output(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "chaos.json"
+    assert main([*CHAOS_ARGS, "--out", str(path)]) == 0
+    assert "wrote JSON report" in capsys.readouterr().out
+    assert json.loads(path.read_text())["n_nodes"] == 16
+
+
+def test_chaos_run_scenario_from_json_file(tmp_path, capsys):
+    import json
+
+    from repro.sim.scenarios import CANNED
+
+    path = tmp_path / "custom.json"
+    path.write_text(json.dumps(CANNED["paper-shock-25"].to_dict()))
+    args = [*CHAOS_ARGS, "--json"]
+    args[2] = str(path)
+    assert main(args) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["chaos"]["name"] == "paper-shock-25"
+
+
+def test_chaos_run_unknown_scenario_fails(capsys):
+    assert main(["chaos", "run", "no-such-scenario"]) == 2
+    assert "invalid scenario" in capsys.readouterr().err
+
+
+def test_obs_trace_scenario_flag_emits_fault_events(capsys):
+    assert main(["obs", "trace", "--nodes", "16", "--adapt", "4",
+                 "--messages", "3", "--seed", "3", "--drain", "6",
+                 "--scenario", "paper-shock-25",
+                 "--category", "chaos.phase"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos.phase" in out
+    assert "phase=crash" in out and "killed=" in out
+
+
 def test_seed_passed_through(monkeypatch, capsys):
     monkeypatch.setenv("REPRO_SCALE", "smoke")
     seen = {}
