@@ -16,6 +16,11 @@ Usage::
     python -m repro chaos list
     python -m repro chaos run steady-churn --n 128 --seed 1
     python -m repro obs trace --scenario flapping-partition --category invariant.violation
+    python -m repro obs ledger --limit 10
+    python -m repro obs ledger --import-bench BENCH_core.json
+    python -m repro obs compare latest~1 latest
+    python -m repro obs regress --against HEAD~0
+    python -m repro obs export --scenario flapping-partition --out trace.json
 
 Each experiment prints the same table the corresponding paper artifact
 reports (see EXPERIMENTS.md).  ``--scale`` overrides the ``REPRO_SCALE``
@@ -27,6 +32,13 @@ runs a named churn/partition/loss scenario under runtime invariant
 checking and prints the violation report (see docs/CHAOS.md); the
 ``--scenario`` option injects the same scenarios into any ``obs`` or
 ``batch`` run.
+
+``obs ledger``, ``obs compare`` and ``obs regress`` operate on the
+append-only run ledger every bench/batch/chaos/figure run records
+(``.repro/ledger/``; see docs/OBSERVABILITY.md): listing/importing
+records, diffing two runs under per-metric tolerance rules, and gating
+the latest run against a reference — exiting nonzero on regression.
+``obs export`` writes a Chrome-trace/Perfetto JSON view of a run.
 """
 
 from __future__ import annotations
@@ -244,6 +256,96 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry-threshold", type=int, default=2,
         help="flag pulls with at least this many retries (default 2)",
     )
+    export = obs_sub.add_parser(
+        "export",
+        help="export a deep trace as Chrome-trace/Perfetto JSON",
+        description="Run one instrumented experiment (profiler on) and "
+        "write its trace in the Trace Event Format that chrome://tracing "
+        "and ui.perfetto.dev open directly — protocol categories, chaos "
+        "phases, invariant violations, and profiler categories each get "
+        "their own track group.  --trace converts a previously exported "
+        "JSONL trace instead of running anything.",
+    )
+    export.add_argument(
+        "--format", choices=("chrome-trace",), default="chrome-trace",
+        help="output format (default chrome-trace)",
+    )
+    export.add_argument(
+        "--out", default="trace-export.json",
+        help="output path (default trace-export.json)",
+    )
+    export.add_argument(
+        "--trace",
+        help="convert this JSONL trace file (from 'repro obs trace --out') "
+        "instead of running an experiment",
+    )
+
+    ledger = obs_sub.add_parser(
+        "ledger",
+        help="list, show, or import run-ledger records",
+        description="The append-only run ledger (.repro/ledger/runs.jsonl "
+        "or $REPRO_LEDGER_DIR) records one line per bench/batch/chaos/"
+        "figure run: commit, environment, scenario, seeds, and outcome.",
+    )
+    ledger.add_argument(
+        "--show", metavar="REF",
+        help="print one record in full (run id/prefix, commit, name, "
+        "latest[~K], or HEAD[~K])",
+    )
+    ledger.add_argument(
+        "--import-bench", metavar="PATH",
+        help="migrate the label sections of a BENCH_core.json report "
+        "into ledger records",
+    )
+    compare = obs_sub.add_parser(
+        "compare",
+        help="diff two ledger runs under per-metric tolerance rules",
+    )
+    compare.add_argument("base", help="baseline run reference")
+    compare.add_argument("current", help="candidate run reference")
+    regress = obs_sub.add_parser(
+        "regress",
+        help="gate the latest run against a reference; nonzero on regression",
+        description="Compare the newest ledger run against --against REF "
+        "(the reference excludes the candidate itself, so 'regress "
+        "--against HEAD~0' right after a rerun diffs it against the "
+        "previous run at this commit; with only one matching run the "
+        "candidate is compared against itself, which trivially passes).",
+    )
+    regress.add_argument(
+        "--against", required=True, metavar="REF",
+        help="baseline reference (latest[~K], HEAD[~K], run id/prefix, "
+        "commit, or run name)",
+    )
+    regress.add_argument(
+        "--run", metavar="REF",
+        help="candidate run (default: the newest matching record)",
+    )
+    for cmd in (ledger, compare, regress):
+        cmd.add_argument(
+            "--kind", choices=("bench", "experiment", "batch", "chaos"),
+            help="only consider runs of this kind",
+        )
+        cmd.add_argument(
+            "--dir",
+            help="ledger directory (default $REPRO_LEDGER_DIR or .repro/ledger)",
+        )
+    ledger.add_argument(
+        "--limit", type=int, default=20,
+        help="max records to list (default 20; 0 = all)",
+    )
+    for cmd in (compare, regress):
+        cmd.add_argument(
+            "--warn-only", action="store_true",
+            help="report regressions but exit 0 anyway (CI advisory lane)",
+        )
+    for cmd in (summary, trace, profile, paths, health, anomalies,
+                export, ledger, compare, regress):
+        cmd.add_argument(
+            "--json", action="store_true",
+            help="machine-readable JSON output",
+        )
+
     chaos = sub.add_parser(
         "chaos",
         help="run a chaos scenario under runtime invariant checking",
@@ -291,7 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_run.add_argument("--out", help="also write the JSON report to this file")
 
-    for cmd in (summary, trace, profile, paths, health, anomalies, batch):
+    for cmd in (summary, trace, profile, paths, health, anomalies, export, batch):
         cmd.add_argument(
             "--protocol",
             choices=PROTOCOLS,
@@ -353,13 +455,33 @@ def cmd_run(experiment: str, scale, seed: int, out=None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}; "
               f"see 'python -m repro list'", file=sys.stderr)
         return 2
+    from repro.obs.ledger import record_run
+
     for name in names:
         description, runner = EXPERIMENTS[name]
         print(f"== {name}: {description} (seed {seed}) ==", file=out)
         started = time.time()
         result = runner(seed)
         print(result.format_table(), file=out)
-        print(f"-- {time.time() - started:.1f}s\n", file=out)
+        elapsed = time.time() - started
+        print(f"-- {elapsed:.1f}s\n", file=out)
+        # Results that expose ledger_metrics() get a run-ledger record
+        # (fig3-fig6 do; see repro.obs.ledger).
+        sections = getattr(result, "ledger_metrics", None)
+        if callable(sections):
+            metrics, exact = sections()
+            metrics = {**metrics, "wall_s": elapsed}
+            record_run(
+                "experiment",
+                f"experiment:{name}",
+                metrics=metrics,
+                exact=exact,
+                scenario={
+                    "experiment": name,
+                    "scale": os.environ.get("REPRO_SCALE", "default"),
+                },
+                seeds=[seed],
+            )
     return 0
 
 
@@ -396,10 +518,11 @@ def cmd_batch(args, out=None) -> int:
     import json
 
     out = out if out is not None else sys.stdout
-    from repro.experiments.batch import run_batch
+    from repro.experiments.batch import record_batch_run, run_batch
 
     try:
         scenario = _obs_scenario(args)
+        started = time.perf_counter()
         result = run_batch(
             scenario,
             n_trials=args.trials,
@@ -411,6 +534,7 @@ def cmd_batch(args, out=None) -> int:
     except ValueError as exc:
         print(f"invalid batch: {exc}", file=sys.stderr)
         return 2
+    record_batch_run(result, wall_s=time.perf_counter() - started)
     payload = None
     if args.json or args.out:
         payload = json.dumps(result.to_json_dict(), indent=2, allow_nan=False)
@@ -427,9 +551,16 @@ def cmd_batch(args, out=None) -> int:
 
 
 def cmd_obs(args, out=None) -> int:
+    import json
+
     out = out if out is not None else sys.stdout
+    if args.obs_command in ("ledger", "compare", "regress"):
+        return cmd_obs_ledger(args, out)
+    if args.obs_command == "export":
+        return cmd_obs_export(args, out)
     from repro.experiments.runner import run_delay_experiment
     from repro.obs import Observability
+    from repro.obs.ledger import json_safe
     from repro.obs.summary import format_metrics_summary
 
     try:
@@ -445,18 +576,24 @@ def cmd_obs(args, out=None) -> int:
         trace_capacity=capacity,
         health_period=args.health_period,
     )
-    print(
-        f"== obs {args.obs_command}: {scenario.protocol} "
-        f"n={scenario.n_nodes} fail={scenario.fail_fraction:.0%} "
-        f"seed={scenario.seed} ==",
-        file=out,
-    )
+    if not args.json:
+        print(
+            f"== obs {args.obs_command}: {scenario.protocol} "
+            f"n={scenario.n_nodes} fail={scenario.fail_fraction:.0%} "
+            f"seed={scenario.seed} ==",
+            file=out,
+        )
     result = run_delay_experiment(scenario, obs=obs)
-    print(result.summary_row(), file=out)
-    print(file=out)
+    if not args.json:
+        print(result.summary_row(), file=out)
+        print(file=out)
 
     if args.obs_command == "summary":
-        print(format_metrics_summary(result.metrics), file=out)
+        if args.json:
+            print(json.dumps(json_safe(result.metrics or {}), indent=2,
+                             default=str), file=out)
+        else:
+            print(format_metrics_summary(result.metrics), file=out)
     elif args.obs_command == "paths":
         return _print_paths(args, obs, result, out)
     elif args.obs_command == "health":
@@ -468,6 +605,18 @@ def cmd_obs(args, out=None) -> int:
             n = obs.tracer.export_jsonl(args.out)
             print(f"wrote {n} events to {args.out} "
                   f"({obs.tracer.dropped} dropped by the ring buffer)", file=out)
+        elif args.json:
+            events = obs.tracer.events(category=args.category)
+            payload = {
+                "emitted": obs.tracer.emitted,
+                "dropped": obs.tracer.dropped,
+                "events": [
+                    {"t": e.time, "cat": e.category,
+                     "fields": json_safe(dict(e.fields))}
+                    for e in events[-args.limit:]
+                ],
+            }
+            print(json.dumps(payload, indent=2, default=str), file=out)
         else:
             events = obs.tracer.events(category=args.category)
             for event in events[-args.limit:]:
@@ -480,7 +629,177 @@ def cmd_obs(args, out=None) -> int:
                 file=out,
             )
     else:
-        print(obs.profiler.report(top_k=args.top_k).format_table(), file=out)
+        report = obs.profiler.report(top_k=args.top_k)
+        if args.json:
+            print(json.dumps(json_safe(report.to_dict()), indent=2,
+                             default=str), file=out)
+        else:
+            print(report.format_table(), file=out)
+    return 0
+
+
+def cmd_obs_ledger(args, out=None) -> int:
+    """The ledger-backed subcommands: ledger / compare / regress."""
+    import json
+
+    out = out if out is not None else sys.stdout
+    from repro.obs.ledger import (
+        Ledger,
+        LedgerError,
+        format_ledger_table,
+        import_bench_json,
+    )
+    from repro.obs.regress import compare_records
+
+    store = Ledger(args.dir)
+    try:
+        if args.obs_command == "ledger":
+            if args.import_bench:
+                records = import_bench_json(args.import_bench, store)
+                print(
+                    f"imported {len(records)} record(s) from "
+                    f"{args.import_bench} into {store.path}",
+                    file=out,
+                )
+                return 0
+            records = store.records()
+            if args.kind:
+                records = [r for r in records if r.kind == args.kind]
+            if args.show:
+                record = store.resolve(args.show, records=records)
+                print(json.dumps(record.to_dict(), indent=2, sort_keys=True,
+                                 default=str), file=out)
+                return 0
+            if args.json:
+                shown = records[-args.limit:] if args.limit else records
+                print(json.dumps([r.to_dict() for r in shown], indent=2,
+                                 default=str), file=out)
+            else:
+                print(format_ledger_table(records, limit=args.limit), file=out)
+            return 0
+
+        if args.obs_command == "compare":
+            base = store.resolve(args.base, kind=args.kind)
+            current = store.resolve(args.current, kind=args.kind)
+            comparison = compare_records(base, current)
+        else:  # regress
+            records = store.records()
+            if args.run:
+                current = store.resolve(args.run, kind=args.kind, records=records)
+            else:
+                current = store.latest(kind=args.kind, records=records)
+            if current is None:
+                raise LedgerError(
+                    f"no candidate run in ledger {store.path}; run a bench/"
+                    "batch/chaos first (or check --kind)"
+                )
+            try:
+                base = store.resolve(
+                    args.against, kind=args.kind, exclude=current, records=records
+                )
+            except LedgerError:
+                # The ref may match only the candidate itself (fresh
+                # ledger with a single run at this commit): self-compare,
+                # which trivially passes.  A ref that matches nothing at
+                # all is still an error.
+                base = store.resolve(args.against, kind=args.kind, records=records)
+            comparison = compare_records(base, current)
+            if base.run_id == current.run_id:
+                comparison.notes.append(
+                    f"reference {args.against!r} only matches the candidate "
+                    "itself; compared the run against itself"
+                )
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2, default=str), file=out)
+    else:
+        print(comparison.format_table(), file=out)
+    if comparison.regressions and not args.warn_only:
+        return 1
+    return 0
+
+
+def cmd_obs_export(args, out=None) -> int:
+    """``repro obs export``: run (or load) a trace, write Chrome-trace JSON."""
+    import json
+
+    out = out if out is not None else sys.stdout
+    from repro.obs.export import export_chrome_trace, trace_tracks, validate_chrome_trace
+    from repro.obs.ledger import environment_provenance
+    from repro.obs.tracer import SimTracer
+
+    profile = None
+    meta = {"env": environment_provenance()}
+    if args.trace:
+        try:
+            events = SimTracer.load_jsonl(args.trace)
+        except OSError as exc:
+            print(f"error: cannot read trace file {args.trace}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 2
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"error: {args.trace} is not a JSONL trace written by "
+                  f"'repro obs trace --out' ({exc})", file=sys.stderr)
+            return 2
+        if not events:
+            print(f"error: no trace events in {args.trace}", file=sys.stderr)
+            return 2
+        meta["source"] = args.trace
+    else:
+        from repro.experiments.runner import run_delay_experiment
+        from repro.obs import Observability
+
+        try:
+            scenario = _obs_scenario(args)
+        except ValueError as exc:
+            print(f"invalid scenario: {exc}", file=sys.stderr)
+            return 2
+        obs = Observability(
+            profile=True, trace_capacity=1 << 20,
+            health_period=args.health_period,
+        )
+        result = run_delay_experiment(scenario, obs=obs)
+        if not args.json:
+            print(result.summary_row(), file=out)
+        events = obs.tracer.events()
+        profile = obs.profiler.report().to_dict()
+        meta["scenario"] = {
+            "protocol": scenario.protocol,
+            "n_nodes": scenario.n_nodes,
+            "fail_fraction": scenario.fail_fraction,
+            "seed": scenario.seed,
+            "chaos": getattr(args, "scenario", None),
+        }
+        if obs.tracer.dropped:
+            print(
+                f"warning: ring buffer dropped {obs.tracer.dropped} events; "
+                "the exported timeline is incomplete",
+                file=sys.stderr,
+            )
+
+    doc = export_chrome_trace(args.out, events, profile=profile, meta=meta)
+    problems = validate_chrome_trace(doc)
+    tracks = trace_tracks(doc)
+    if args.json:
+        print(json.dumps(
+            {"out": args.out, "n_events": len(doc["traceEvents"]),
+             "tracks": tracks, "problems": problems},
+            indent=2,
+        ), file=out)
+    else:
+        summary = ", ".join(
+            f"{name}: {len(names)} track(s)" for name, names in sorted(tracks.items())
+        )
+        print(f"wrote {args.out} ({len(doc['traceEvents'])} trace events; "
+              f"{summary})", file=out)
+        print("open it at https://ui.perfetto.dev or chrome://tracing", file=out)
+    if problems:
+        for problem in problems[:10]:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -494,14 +813,38 @@ def _warn_dropped(obs, out) -> None:
 
 
 def _print_paths(args, obs, result, out) -> int:
+    import dataclasses
+    import json
+
+    from repro.obs.ledger import json_safe
     from repro.obs.provenance import PathReconstructor, format_provenance_summary
 
     recon = PathReconstructor(obs.tracer.events())
-    _warn_dropped(obs, out)
+    if not args.json:
+        _warn_dropped(obs, out)
     counters = (result.metrics or {}).get("counters", {})
     if not recon.n_deliveries:
         print("no delivery records in the trace (did the run deliver "
-              "anything via the GoCast stack?)", file=out)
+              "anything via the GoCast stack?)",
+              file=sys.stderr if args.json else out)
+        return 2 if args.json else 0
+    if args.json:
+        if args.message:
+            paths = recon.paths_for_message(args.message)
+            if not paths:
+                print(f"error: no deliveries recorded for message "
+                      f"{args.message!r}", file=sys.stderr)
+                return 2
+            payload = [dataclasses.asdict(p) for p in paths[: args.limit]]
+        else:
+            payload = {
+                "summary": recon.summary(),
+                "messages": {
+                    msg: len(recon.paths_for_message(msg))
+                    for msg in recon.message_ids()
+                },
+            }
+        print(json.dumps(json_safe(payload), indent=2, default=str), file=out)
         return 0
     if args.message:
         paths = recon.paths_for_message(args.message)
@@ -535,14 +878,21 @@ def _print_paths(args, obs, result, out) -> int:
 
 
 def _print_health(args, result, out) -> int:
+    import json
+
     from repro.obs.health import format_health
+    from repro.obs.ledger import json_safe
 
     health = (result.metrics or {}).get("health")
     if not health:
         print("no health samples (health monitoring runs on the overlay "
-              "protocols with --health-period > 0)", file=out)
+              "protocols with --health-period > 0)",
+              file=sys.stderr if args.json else out)
         return 2
-    print(format_health(health), file=out)
+    if args.json:
+        print(json.dumps(json_safe(health), indent=2, default=str), file=out)
+    else:
+        print(format_health(health), file=out)
     return 0
 
 
@@ -551,6 +901,23 @@ def _print_anomalies(args, obs, result, out) -> int:
     from repro.obs.provenance import PathReconstructor
 
     recon = PathReconstructor(obs.tracer.events())
+    if args.json:
+        import json
+
+        from repro.obs.ledger import json_safe
+
+        health = (result.metrics or {}).get("health") or {}
+        payload = {
+            "slow_deliveries": recon.delay_anomalies(factor=args.delay_factor),
+            "stuck_orphans": orphan_anomalies(
+                health, min_intervals=args.orphan_intervals
+            ),
+            "multi_retry_pulls": recon.retry_anomalies(
+                min_retries=args.retry_threshold
+            ),
+        }
+        print(json.dumps(json_safe(payload), indent=2, default=str), file=out)
+        return 0
     _warn_dropped(obs, out)
     total = 0
 

@@ -97,6 +97,9 @@ class TrialResult:
     expected_pairs: int
     sent_by_type: Dict[str, int]
     metrics: Optional[Dict[str, Any]] = None
+    #: Engine events dispatched by the trial (deterministic for a fixed
+    #: seed; the ledger's exact-comparison counter).
+    events_executed: int = 0
 
     @classmethod
     def from_delay_result(
@@ -118,6 +121,7 @@ class TrialResult:
             expected_pairs=result.expected_pairs,
             sent_by_type=dict(result.sent_by_type),
             metrics=result.metrics,
+            events_executed=result.events_executed,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -137,6 +141,7 @@ class TrialResult:
             "messages_sent": self.messages_sent,
             "expected_pairs": self.expected_pairs,
             "sent_by_type": dict(self.sent_by_type),
+            "events_executed": self.events_executed,
         }
 
 
@@ -204,6 +209,9 @@ class BatchResult:
     #: :func:`~repro.obs.metrics.merge_snapshots` of the trials' metric
     #: snapshots (None when the batch ran without observability).
     metrics: Optional[Dict[str, Any]] = None
+    #: Total engine events across all trials (deterministic for a fixed
+    #: root seed; the ledger's exact-comparison counter).
+    events_executed: int = 0
 
     def delay_at_coverage(self, coverage: float) -> float:
         """Delay by which the given fraction of all (msg, node) pairs was served."""
@@ -274,6 +282,7 @@ class BatchResult:
             },
             "trials": [t.to_dict() for t in self.trials],
             "metrics": self.metrics,
+            "events_executed": self.events_executed,
         }
         return _json_safe(payload)
 
@@ -398,6 +407,7 @@ def aggregate_trials(
             for name in BATCH_STATS
         },
         metrics=merge_snapshots(t.metrics for t in trials),
+        events_executed=int(sum(t.events_executed for t in trials)),
     )
 
 
@@ -430,3 +440,64 @@ def run_batch(
     payloads = trial_payloads(scenario, n_trials, root, collect_metrics, health_period)
     trials = parallel_map(_run_trial, payloads, workers, mp_context=mp_context)
     return aggregate_trials(scenario, trials, root, workers)
+
+
+def batch_ledger_sections(
+    result: BatchResult, wall_s: Optional[float] = None
+) -> Tuple[Dict[str, float], Dict[str, Any]]:
+    """Split a batch into the ledger's (perf metrics, exact counters).
+
+    Delay statistics count as perf-like metrics (relative tolerance):
+    they are deterministic per seed but drift whenever the protocol is
+    intentionally tuned, and a small tolerance keeps the regress
+    sentinel's signal on real regressions.  Pair/message counts and
+    ``events_executed`` are exact — any change there means the
+    simulation itself diverged.
+    """
+    metrics: Dict[str, float] = {
+        "mean_delay": result.mean_delay,
+        "median_delay": result.median_delay,
+        "p90_delay": result.p90_delay,
+        "p99_delay": result.p99_delay,
+        "max_delay": result.max_delay,
+    }
+    if wall_s is not None:
+        metrics["wall_s"] = float(wall_s)
+        if wall_s > 0 and result.events_executed:
+            metrics["events_per_sec"] = result.events_executed / wall_s
+    exact: Dict[str, Any] = {
+        "reliability": result.reliability,
+        "expected_pairs": result.expected_pairs,
+        "delivered_pairs": int(result.delays.size),
+        "messages_sent": result.messages_sent,
+        "events_executed": result.events_executed,
+    }
+    return metrics, exact
+
+
+def record_batch_run(
+    result: BatchResult, wall_s: Optional[float] = None
+) -> Optional["RunRecord"]:
+    """Append one run-ledger record for a finished batch (see
+    :mod:`repro.obs.ledger`; returns None when the ledger is disabled)."""
+    from repro.obs.ledger import record_run
+
+    metrics, exact = batch_ledger_sections(result, wall_s)
+    scenario = result.scenario
+    return record_run(
+        "batch",
+        f"batch:{scenario.protocol}",
+        metrics=metrics,
+        exact=exact,
+        scenario={
+            "protocol": scenario.protocol,
+            "n_nodes": scenario.n_nodes,
+            "adapt_time": scenario.adapt_time,
+            "n_messages": scenario.n_messages,
+            "fail_fraction": scenario.fail_fraction,
+            "loss_rate": scenario.loss_rate,
+            "n_trials": result.n_trials,
+            "workers": result.workers,
+        },
+        seeds=[t.seed for t in result.trials],
+    )

@@ -23,8 +23,6 @@ from __future__ import annotations
 
 import json
 import resource
-import subprocess
-import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -32,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.runner import run_delay_experiment
 from repro.experiments.scenarios import ScenarioConfig
+from repro.obs.ledger import bench_result_sections, environment_provenance, record_run
 
 #: Scenario knobs shared by every bench size (seed fixed for
 #: reproducibility; the same config the paired A/B harness used while
@@ -110,18 +109,6 @@ def bench_size(n_nodes: int, repeats: int = 3) -> BenchResult:
     )
 
 
-def _git_head() -> Optional[str]:
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True, text=True, timeout=10, check=False,
-        )
-    except OSError:
-        return None
-    head = out.stdout.strip()
-    return head or None
-
-
 def run_bench(
     sizes: Sequence[int],
     repeats: int,
@@ -131,12 +118,19 @@ def run_bench(
     """Measure ``sizes``, merge under ``label`` in ``out_path``, report.
 
     Returns the full (merged) report dict.  ``out_path=None`` skips the
-    write (smoke mode).
+    write (smoke mode).  Every invocation — smoke included — also
+    appends one record to the run ledger (disable with
+    ``REPRO_LEDGER=0``; see :mod:`repro.obs.ledger`), and the report
+    section carries full environment provenance (CPU model and count,
+    ``REPRO_SIM_OPTS`` state, dirty-worktree flag) so baseline/current
+    comparisons can never silently mix optimized and unoptimized runs.
     """
+    env = environment_provenance()
     results = {str(n): bench_size(n, repeats).to_dict() for n in sizes}
     section = {
-        "commit": _git_head(),
-        "python": sys.version.split()[0],
+        "commit": env.get("commit"),
+        "python": env.get("python"),
+        "env": env,
         "results": results,
     }
 
@@ -165,6 +159,17 @@ def run_bench(
 
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    metrics, exact = bench_result_sections(results)
+    record_run(
+        "bench",
+        "bench",
+        metrics=metrics,
+        exact=exact,
+        scenario={**SCENARIO_KWARGS, "sizes": list(sizes), "repeats": repeats,
+                  "label": label},
+        seeds=[SCENARIO_KWARGS["seed"]],
+    )
     return report
 
 

@@ -16,6 +16,7 @@ because only they are accountable for every message.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Any, Dict, Optional, Set
 
 from repro.core.node import GoCastNode
@@ -23,6 +24,7 @@ from repro.experiments.scenarios import ScenarioConfig
 from repro.experiments.system import GoCastSystem
 from repro.net.king import SyntheticKingModel
 from repro.obs import Observability
+from repro.obs.ledger import record_run
 from repro.sim.invariants import InvariantChecker, format_invariant_report
 from repro.sim.scenarios import Scenario, ScenarioEngine, resolve_scenario
 
@@ -220,6 +222,8 @@ def run_chaos(
     quiescence for repair and stragglers before the final
     eventual-delivery check over the surviving veterans.
     """
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
     chaos = resolve_scenario(chaos)
     workload_window = max(chaos.duration, 1.0)
     scenario = ScenarioConfig(
@@ -259,7 +263,7 @@ def run_chaos(
     veterans: Set[int] = engine.veteran_ids(initial) & system.live_node_ids()
     checker.final_delivery_check(system.tracer, veterans)
     receivers = sorted(veterans)
-    return ChaosReport(
+    report = ChaosReport(
         scenario_name=chaos.name,
         chaos=chaos.to_dict(),
         n_nodes=n_nodes,
@@ -274,4 +278,56 @@ def run_chaos(
         undelivered_pairs=system.tracer.undelivered_pairs(receivers),
         faults=engine.summary(),
         invariants=checker.report(),
+    )
+    _record_chaos_run(
+        report,
+        wall_s=time.perf_counter() - wall0,
+        cpu_s=time.process_time() - cpu0,
+        events_executed=system.sim.events_executed,
+    )
+    return report
+
+
+def _record_chaos_run(
+    report: ChaosReport, wall_s: float, cpu_s: float, events_executed: int
+) -> None:
+    """Append one run-ledger record for a finished chaos run.
+
+    Wall/CPU time are measured here rather than stored on the report:
+    :meth:`ChaosReport.to_json_dict` is pinned wholesale by the canned
+    scenario goldens, so the report must stay purely deterministic.
+    """
+    metrics = {
+        "wall_s": wall_s,
+        "cpu_s": cpu_s,
+        "mean_delay": report.mean_delay,
+        "max_delay": report.max_delay,
+    }
+    if wall_s > 0 and events_executed:
+        metrics["events_per_sec"] = events_executed / wall_s
+    exact: Dict[str, Any] = {
+        "events_executed": events_executed,
+        "n_messages": report.n_messages,
+        "live": report.live,
+        "veterans": report.veterans,
+        "reliability": report.reliability,
+        "undelivered_pairs": report.undelivered_pairs,
+        "violations_total": report.total_violations,
+    }
+    for kind, count in report.faults.items():
+        exact[f"faults.{kind}"] = count
+    for name, count in report.invariants.get("counts", {}).items():
+        exact[f"violations.{name}"] = count
+    record_run(
+        "chaos",
+        f"chaos:{report.scenario_name}",
+        metrics=metrics,
+        exact=exact,
+        scenario={
+            "scenario": report.scenario_name,
+            "n_nodes": report.n_nodes,
+            "end_time": report.end_time,
+            **{k: v for k, v in report.chaos.items() if not isinstance(v, (list, dict))},
+        },
+        seeds=[report.seed],
     )

@@ -36,6 +36,19 @@ class Fig3Result:
         gossip = getattr(self.results["push_gossip"], stat)
         return gossip / gocast
 
+    def ledger_metrics(self):
+        """(perf metrics, exact counters) for the run ledger."""
+        metrics, exact = {}, {}
+        for name, res in self.results.items():
+            metrics[f"{name}.mean_delay"] = res.mean_delay
+            metrics[f"{name}.p99_delay"] = res.p99_delay
+            exact[f"{name}.reliability"] = res.reliability
+            exact[f"{name}.delivered_pairs"] = int(res.delays.size)
+            exact[f"{name}.events_executed"] = res.events_executed
+        if "gocast" in self.results and "push_gossip" in self.results:
+            metrics["speedup_vs_gossip"] = self.speedup_vs_gossip()
+        return metrics, exact
+
     def format_table(self) -> str:
         headers = ["protocol", "mean", "p50", "p90", "p99", "reliability"] + [
             f"cdf@{c:g}" for c in COVERAGES

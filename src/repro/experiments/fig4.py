@@ -33,6 +33,18 @@ class Fig4Result:
         large = self.results[(self.sizes[1], fail_fraction)].p99_delay
         return large / small
 
+    def ledger_metrics(self):
+        """(perf metrics, exact counters) for the run ledger."""
+        metrics, exact = {}, {}
+        for (n, fail), res in sorted(self.results.items()):
+            cell = f"n{n}.fail{int(fail * 100)}"
+            metrics[f"{cell}.mean_delay"] = res.mean_delay
+            metrics[f"{cell}.p99_delay"] = res.p99_delay
+            exact[f"{cell}.reliability"] = res.reliability
+            exact[f"{cell}.delivered_pairs"] = int(res.delays.size)
+            exact[f"{cell}.events_executed"] = res.events_executed
+        return metrics, exact
+
     def format_table(self) -> str:
         headers = ["nodes", "fail", "mean", "p90", "p99", "max", "reliability"] + [
             f"cdf@{c:g}" for c in COVERAGES

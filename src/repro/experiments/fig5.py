@@ -46,6 +46,20 @@ class Fig5Result:
         total = sum(hist.values())
         return hist.get(degree, 0) / total if total else 0.0
 
+    def ledger_metrics(self):
+        """(perf metrics, exact counters) for the run ledger.
+
+        Everything here is deterministic simulation output (adaptation is
+        fixed-seed), so the whole section goes in ``exact``.
+        """
+        exact = {
+            "final_mean_degree": self.final_mean_degree,
+            "random_pair_latency": self.random_pair_latency,
+            "final_overlay_latency": self.overlay_latency[-1],
+            "final_tree_latency": self.tree_latency[-1],
+        }
+        return {}, exact
+
     def format_table(self) -> str:
         times = sorted(self.degree_histograms)
         degrees = sorted({d for h in self.degree_histograms.values() for d in h})

@@ -37,6 +37,16 @@ class Fig6Result:
         idx = self.fail_fractions.index(fail_fraction)
         return self.largest_component[c_rand][idx]
 
+    def ledger_metrics(self):
+        """(perf metrics, exact counters) for the run ledger: every
+        (C_rand, fail%) cell's deterministic q value."""
+        exact = {
+            f"c{c}.q{int(frac * 100)}": series[i]
+            for c, series in sorted(self.largest_component.items())
+            for i, frac in enumerate(self.fail_fractions)
+        }
+        return {}, exact
+
     def format_table(self) -> str:
         headers = ["fail %"] + [f"C_rand={c}" for c in sorted(self.largest_component)]
         rows = []

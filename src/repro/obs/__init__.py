@@ -27,10 +27,21 @@ See ``docs/OBSERVABILITY.md`` for usage.
 
 from __future__ import annotations
 
+from repro.obs.export import chrome_trace, export_chrome_trace, validate_chrome_trace
 from repro.obs.health import HealthMonitor, HealthSample
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    LedgerError,
+    RunRecord,
+    environment_provenance,
+    ledger_enabled,
+    record_run,
+)
 from repro.obs.metrics import MetricsRegistry, StreamingHistogram, merge_snapshots
 from repro.obs.profiler import CATEGORY_RULES, Profiler, ProfileReport, categorize
 from repro.obs.provenance import DeliveryPath, Hop, PathReconstructor
+from repro.obs.regress import DEFAULT_RULES, Comparison, Rule, compare_records
 from repro.obs.summary import format_metrics_summary, record_link_stress
 from repro.obs.tracer import TRACE_SCHEMA, SimTracer, TraceEvent, validate_events
 
@@ -64,8 +75,22 @@ DISABLED = Observability(enabled=False)
 
 __all__ = [
     "CATEGORY_RULES",
+    "Comparison",
+    "DEFAULT_RULES",
     "DISABLED",
     "DeliveryPath",
+    "LEDGER_SCHEMA_VERSION",
+    "Ledger",
+    "LedgerError",
+    "RunRecord",
+    "Rule",
+    "chrome_trace",
+    "compare_records",
+    "environment_provenance",
+    "export_chrome_trace",
+    "ledger_enabled",
+    "record_run",
+    "validate_chrome_trace",
     "HealthMonitor",
     "HealthSample",
     "Hop",

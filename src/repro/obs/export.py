@@ -1,0 +1,259 @@
+"""Deep trace export: SimTracer + Profiler → Chrome-trace/Perfetto JSON.
+
+Converts a simulation trace into the Trace Event Format that
+``chrome://tracing`` and https://ui.perfetto.dev load directly, giving
+flame-level visibility into a run:
+
+* **protocol track group** (pid 1) — every trace category
+  (``tree.push``, ``gossip.summary``, ``dissem.deliver``, ...) on its
+  own named thread track as instant events carrying the event's fields;
+* **chaos track** (pid 2) — ``chaos.phase`` start/end pairs rendered as
+  duration (``"X"``) slices per fault kind, one-shot phases (crash
+  waves) as instants, so the fault timeline reads as colored bands the
+  protocol reaction can be lined up against;
+* **invariants track** (pid 3) — each ``invariant.violation`` as an
+  instant event on the violated invariant's own track;
+* **profiler track group** (pid 4) — one track per profiler category
+  with a single slice whose duration is the category's cumulative
+  wall-clock, i.e. a one-glance flame view of where the real time went.
+
+Simulated seconds map to trace microseconds.  The profiler has no
+per-event timeline (it aggregates), so its slices start at t=0 by
+design; their relative widths are the signal.
+
+:func:`validate_chrome_trace` structurally checks a document against
+the format (used by the schema test and ``repro obs export`` itself).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.ledger import json_safe
+from repro.obs.tracer import TraceEvent
+
+#: Track-group process ids.
+PID_PROTOCOL = 1
+PID_CHAOS = 2
+PID_INVARIANTS = 3
+PID_PROFILE = 4
+
+PROCESS_NAMES = {
+    PID_PROTOCOL: "protocol",
+    PID_CHAOS: "chaos",
+    PID_INVARIANTS: "invariants",
+    PID_PROFILE: "profiler",
+}
+
+#: Categories that get their own dedicated track group.
+_CHAOS_CATEGORY = "chaos.phase"
+_INVARIANT_CATEGORY = "invariant.violation"
+
+
+def _us(t: float) -> float:
+    """Simulated seconds → trace microseconds."""
+    return round(float(t) * 1e6, 3)
+
+
+class _Tracks:
+    """Assigns stable thread ids per (pid, track name) and emits the
+    process/thread metadata events Perfetto uses for naming."""
+
+    def __init__(self):
+        self._tids: Dict[tuple, int] = {}
+        self.metadata: List[Dict[str, Any]] = []
+        self._named_pids: set = set()
+
+    def tid(self, pid: int, name: str) -> int:
+        key = (pid, name)
+        if key in self._tids:
+            return self._tids[key]
+        if pid not in self._named_pids:
+            self._named_pids.add(pid)
+            self.metadata.append(
+                {
+                    "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+                    "args": {"name": PROCESS_NAMES.get(pid, f"pid{pid}")},
+                }
+            )
+        tid = len([k for k in self._tids if k[0] == pid]) + 1
+        self._tids[key] = tid
+        self.metadata.append(
+            {
+                "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+        return tid
+
+
+def chrome_trace(
+    events: Iterable[TraceEvent],
+    profile: Optional[Dict[str, Any]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a Trace Event Format document from trace events.
+
+    ``profile`` is a :meth:`~repro.obs.profiler.ProfileReport.to_dict`
+    dump (or None to skip the profiler tracks); ``meta`` lands in the
+    document's ``otherData`` section.
+    """
+    tracks = _Tracks()
+    out: List[Dict[str, Any]] = []
+    open_chaos: Dict[str, List[Dict[str, Any]]] = {}
+    end_ts = 0.0
+
+    for event in events:
+        ts = _us(event.time)
+        end_ts = max(end_ts, ts)
+        fields = json_safe(dict(event.fields))
+        if event.category == _CHAOS_CATEGORY:
+            phase = str(fields.get("phase", "phase"))
+            action = fields.get("action")
+            tid = tracks.tid(PID_CHAOS, phase)
+            if action == "start":
+                open_chaos.setdefault(phase, []).append(
+                    {
+                        "ph": "X", "pid": PID_CHAOS, "tid": tid, "name": phase,
+                        "cat": "chaos", "ts": ts, "dur": 0.0, "args": fields,
+                    }
+                )
+                out.append(open_chaos[phase][-1])
+            elif action == "end" and open_chaos.get(phase):
+                slice_ = open_chaos[phase].pop()
+                slice_["dur"] = max(ts - slice_["ts"], 0.0)
+                slice_["args"] = {**slice_["args"], **fields}
+            else:  # one-shot phases (crash waves) and unmatched ends
+                out.append(
+                    {
+                        "ph": "i", "s": "p", "pid": PID_CHAOS, "tid": tid,
+                        "name": f"{phase}:{action}", "cat": "chaos",
+                        "ts": ts, "args": fields,
+                    }
+                )
+        elif event.category == _INVARIANT_CATEGORY:
+            invariant = str(fields.get("invariant", "violation"))
+            out.append(
+                {
+                    "ph": "i", "s": "p",
+                    "pid": PID_INVARIANTS,
+                    "tid": tracks.tid(PID_INVARIANTS, invariant),
+                    "name": invariant, "cat": "invariant",
+                    "ts": ts, "args": fields,
+                }
+            )
+        else:
+            out.append(
+                {
+                    "ph": "i", "s": "t",
+                    "pid": PID_PROTOCOL,
+                    "tid": tracks.tid(PID_PROTOCOL, event.category),
+                    "name": event.category,
+                    "cat": event.category.split(".", 1)[0],
+                    "ts": ts, "args": fields,
+                }
+            )
+
+    # Chaos windows still open when the trace ended: close at trace end.
+    for slices in open_chaos.values():
+        for slice_ in slices:
+            slice_["dur"] = max(end_ts - slice_["ts"], 0.0)
+            slice_["args"] = {**slice_["args"], "truncated": True}
+
+    if profile:
+        total = float(profile.get("total_seconds") or 0.0)
+        for row in profile.get("categories", []):
+            name = row["category"]
+            out.append(
+                {
+                    "ph": "X",
+                    "pid": PID_PROFILE,
+                    "tid": tracks.tid(PID_PROFILE, name),
+                    "name": name, "cat": "profile",
+                    "ts": 0.0, "dur": _us(row["seconds"]),
+                    "args": {
+                        "events": row["events"],
+                        "seconds": row["seconds"],
+                        "share": (row["seconds"] / total) if total else 0.0,
+                    },
+                }
+            )
+
+    return {
+        "traceEvents": tracks.metadata + out,
+        "displayTimeUnit": "ms",
+        "otherData": json_safe(dict(meta or {})),
+    }
+
+
+def export_chrome_trace(
+    path: str,
+    events: Sequence[TraceEvent],
+    profile: Optional[Dict[str, Any]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write the Chrome-trace document for ``events`` to ``path``."""
+    doc = chrome_trace(events, profile=profile, meta=meta)
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(doc, fp, default=str)
+        fp.write("\n")
+    return doc
+
+
+def trace_tracks(doc: Dict[str, Any]) -> Dict[str, List[str]]:
+    """``{process name: [thread/track names]}`` of a trace document."""
+    processes: Dict[int, str] = {}
+    threads: Dict[int, List[str]] = {}
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") != "M":
+            continue
+        if event.get("name") == "process_name":
+            processes[event["pid"]] = event["args"]["name"]
+        elif event.get("name") == "thread_name":
+            threads.setdefault(event["pid"], []).append(event["args"]["name"])
+    return {name: threads.get(pid, []) for pid, name in processes.items()}
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Structural checks against the Trace Event Format; [] when clean.
+
+    Covers what Perfetto's importer actually requires: a
+    ``traceEvents`` list, known phase types, ``ts`` on every
+    non-metadata event, non-negative ``dur`` on complete events, valid
+    instant scopes, and named pid/tid tracks for every event.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["document must be an object with a 'traceEvents' list"]
+    named_tracks = set()
+    for event in doc["traceEvents"]:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            named_tracks.add((event.get("pid"), event.get("tid")))
+    for i, event in enumerate(doc["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("M", "i", "I", "X", "B", "E", "C"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if "pid" not in event or "tid" not in event or "name" not in event:
+            problems.append(f"{where}: missing pid/tid/name")
+            continue
+        if ph == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"{where}: {ph!r} event without numeric ts")
+        if ph == "X" and not (
+            isinstance(event.get("dur"), (int, float)) and event["dur"] >= 0
+        ):
+            problems.append(f"{where}: complete event without non-negative dur")
+        if ph in ("i", "I") and event.get("s") not in (None, "g", "p", "t"):
+            problems.append(f"{where}: instant event with invalid scope {event.get('s')!r}")
+        if (event["pid"], event["tid"]) not in named_tracks:
+            problems.append(
+                f"{where}: event on unnamed track (pid={event['pid']}, tid={event['tid']})"
+            )
+    return problems

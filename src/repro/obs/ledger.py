@@ -1,0 +1,491 @@
+"""Append-only, schema-versioned run ledger.
+
+Every bench / experiment / batch / chaos run can append one JSON record
+to ``.repro/ledger/runs.jsonl`` describing *what ran where*: the commit
+(and whether the worktree was dirty), python and CPU, the
+``REPRO_SIM_OPTS`` state, the scenario parameters and seeds, and the
+run's outcome split into two sections the regression sentinel
+(:mod:`repro.obs.regress`) treats differently:
+
+* ``metrics`` — performance figures (events/sec, wall seconds, peak
+  RSS, delay statistics) that vary run to run and are compared under
+  relative tolerances;
+* ``exact`` — deterministic outcomes (``events_executed``, delivery
+  counts, invariant-violation totals) that must match bit-for-bit
+  between two runs of the same scenario and seeds.
+
+The ledger is plain JSONL so it diffs, greps, and uploads as a CI
+artifact; records are never rewritten, only appended.  The directory is
+``$REPRO_LEDGER_DIR`` (default ``.repro/ledger``) and recording is
+disabled entirely with ``REPRO_LEDGER=0`` — the hooks in the bench /
+batch / chaos / figure runners all funnel through :func:`record_run`,
+which never raises, so telemetry can never break an experiment.
+
+``records_from_bench_json`` is the back-compat reader that migrates the
+flat ``BENCH_core.json`` baseline/current sections into ledger records
+(``repro obs ledger --import-bench``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import os
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+#: Bump when the record layout changes incompatibly; the reader rejects
+#: records from the future, tolerates (and upgrades in memory) the past.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the ledger directory.
+ENV_DIR = "REPRO_LEDGER_DIR"
+#: Set to 0/false/off/no to disable all automatic recording.
+ENV_ENABLED = "REPRO_LEDGER"
+
+DEFAULT_DIR = os.path.join(".repro", "ledger")
+LEDGER_FILENAME = "runs.jsonl"
+
+#: The run kinds the recording hooks emit.
+RUN_KINDS = ("bench", "experiment", "batch", "chaos")
+
+_FALSE_VALUES = ("0", "false", "off", "no")
+
+
+class LedgerError(RuntimeError):
+    """A ledger file is missing, unparsable, or schema-incompatible.
+
+    Always carries a one-line, human-readable message — the CLI prints
+    it verbatim (no traceback) and exits nonzero.
+    """
+
+
+def ledger_enabled(default: bool = True) -> bool:
+    """Whether automatic run recording is on (``REPRO_LEDGER`` gate)."""
+    value = os.environ.get(ENV_ENABLED)
+    if value is None:
+        return default
+    return value.strip().lower() not in _FALSE_VALUES
+
+
+def json_safe(obj: Any) -> Any:
+    """Recursively replace NaN/inf floats with None (strict JSON)."""
+    if isinstance(obj, dict):
+        return {str(k): json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [json_safe(v) for v in obj]
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Environment provenance
+# ----------------------------------------------------------------------
+def _git(*argv: str) -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", *argv], capture_output=True, text=True, timeout=10, check=False
+        )
+    except OSError:
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
+def _cpu_model() -> str:
+    """Best-effort CPU model name (``/proc/cpuinfo`` on Linux)."""
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as fp:
+            for line in fp:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def environment_provenance() -> Dict[str, Any]:
+    """Everything needed to judge whether two runs are comparable.
+
+    Captures the satellite fields ``BENCH_core.json`` historically
+    omitted: CPU model and core count, the ``REPRO_SIM_OPTS`` state
+    (so optimized and unoptimized runs can never silently mix), and a
+    dirty-worktree flag next to the commit.
+    """
+    from repro.sim.optim import ENV_VAR, optimizations_enabled
+
+    head = _git("rev-parse", "--short", "HEAD")
+    status = _git("status", "--porcelain")
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_model": _cpu_model(),
+        "cpu_count": os.cpu_count() or 1,
+        "sim_opts": optimizations_enabled(),
+        "sim_opts_raw": os.environ.get(ENV_VAR),
+        "commit": head,
+        "dirty": bool(status) if status is not None else None,
+    }
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class RunRecord:
+    """One ledger line: a run's identity, environment, and outcome."""
+
+    kind: str
+    name: str
+    #: Performance figures, compared under relative tolerances.
+    metrics: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Deterministic outcomes, compared exactly.
+    exact: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    scenario: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    seeds: List[int] = dataclasses.field(default_factory=list)
+    env: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Optional merged metrics snapshot (counters/health/invariants).
+    snapshot: Optional[Dict[str, Any]] = None
+    recorded_at: str = ""
+    run_id: str = ""
+    schema: int = LEDGER_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.recorded_at:
+            self.recorded_at = datetime.now(timezone.utc).strftime(
+                "%Y-%m-%dT%H:%M:%S.%fZ"
+            )
+        if not self.run_id:
+            digest = hashlib.sha256(
+                json.dumps(
+                    [self.kind, self.name, self.recorded_at, self.seeds,
+                     sorted(self.metrics), sorted(self.exact)],
+                    default=str, sort_keys=True,
+                ).encode()
+            ).hexdigest()[:8]
+            stamp = self.recorded_at.replace("-", "").replace(":", "")[:15]
+            self.run_id = f"{self.kind}-{stamp}-{digest}"
+
+    @property
+    def commit(self) -> Optional[str]:
+        return self.env.get("commit")
+
+    def all_values(self) -> Dict[str, Any]:
+        """Union of the perf and exact sections (exact wins collisions)."""
+        merged: Dict[str, Any] = dict(self.metrics)
+        merged.update(self.exact)
+        return merged
+
+    def to_dict(self) -> Dict[str, Any]:
+        return json_safe(
+            {
+                "schema": self.schema,
+                "run_id": self.run_id,
+                "kind": self.kind,
+                "name": self.name,
+                "recorded_at": self.recorded_at,
+                "env": self.env,
+                "scenario": self.scenario,
+                "seeds": list(self.seeds),
+                "metrics": self.metrics,
+                "exact": self.exact,
+                "snapshot": self.snapshot,
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], where: str = "record") -> "RunRecord":
+        if not isinstance(data, dict):
+            raise LedgerError(f"{where}: not a JSON object")
+        schema = data.get("schema")
+        if not isinstance(schema, int):
+            raise LedgerError(f"{where}: missing integer 'schema' field")
+        if schema > LEDGER_SCHEMA_VERSION:
+            raise LedgerError(
+                f"{where}: schema version {schema} is newer than supported "
+                f"version {LEDGER_SCHEMA_VERSION} (upgrade the tooling)"
+            )
+        missing = [k for k in ("run_id", "kind", "name") if not data.get(k)]
+        if missing:
+            raise LedgerError(f"{where}: missing required fields {missing}")
+        return cls(
+            kind=data["kind"],
+            name=data["name"],
+            metrics=dict(data.get("metrics") or {}),
+            exact=dict(data.get("exact") or {}),
+            scenario=dict(data.get("scenario") or {}),
+            seeds=list(data.get("seeds") or []),
+            env=dict(data.get("env") or {}),
+            snapshot=data.get("snapshot"),
+            recorded_at=data.get("recorded_at", ""),
+            run_id=data["run_id"],
+            schema=schema,
+        )
+
+
+# ----------------------------------------------------------------------
+# The ledger itself
+# ----------------------------------------------------------------------
+class Ledger:
+    """Append-only JSONL store of :class:`RunRecord` lines."""
+
+    def __init__(self, directory: Union[str, Path, None] = None):
+        directory = directory or os.environ.get(ENV_DIR) or DEFAULT_DIR
+        self.directory = Path(directory)
+        self.path = self.directory / LEDGER_FILENAME
+
+    def append(self, record: RunRecord) -> RunRecord:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fp:
+            fp.write(json.dumps(record.to_dict(), sort_keys=True, default=str))
+            fp.write("\n")
+        return record
+
+    def records(self) -> List[RunRecord]:
+        """All records, oldest first; [] when the ledger does not exist."""
+        if not self.path.exists():
+            return []
+        out: List[RunRecord] = []
+        with open(self.path, "r", encoding="utf-8") as fp:
+            for lineno, line in enumerate(fp, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                where = f"{self.path}:{lineno}"
+                try:
+                    data = json.loads(line)
+                except ValueError as exc:
+                    raise LedgerError(f"{where}: invalid JSON ({exc})") from None
+                out.append(RunRecord.from_dict(data, where=where))
+        return out
+
+    def latest(
+        self, kind: Optional[str] = None, records: Optional[List[RunRecord]] = None
+    ) -> Optional[RunRecord]:
+        records = self.records() if records is None else records
+        for record in reversed(records):
+            if kind is None or record.kind == kind:
+                return record
+        return None
+
+    # ------------------------------------------------------------------
+    # Reference resolution (``repro obs regress --against <ref>``)
+    # ------------------------------------------------------------------
+    def resolve(
+        self,
+        ref: str,
+        kind: Optional[str] = None,
+        exclude: Optional[RunRecord] = None,
+        records: Optional[List[RunRecord]] = None,
+    ) -> RunRecord:
+        """Resolve a run reference to one record (newest match wins).
+
+        Grammar:
+
+        * ``latest`` / ``latest~K`` — the newest / K-th-newest record;
+        * ``HEAD`` / ``HEAD~K`` — the newest / K-th-newest record whose
+          recorded commit equals the *current* git HEAD;
+        * a run id (or unambiguous prefix of one);
+        * a commit short-hash recorded in any record's provenance;
+        * a run name (``bench``, ``chaos:worst-day``, ...).
+
+        ``exclude`` removes one record (typically the comparison
+        candidate itself) from consideration; ``kind`` filters first.
+        Raises :class:`LedgerError` when nothing matches.
+        """
+        pool = self.records() if records is None else list(records)
+        if kind is not None:
+            pool = [r for r in pool if r.kind == kind]
+        if exclude is not None:
+            pool = [r for r in pool if r.run_id != exclude.run_id]
+        if not pool:
+            raise LedgerError(
+                f"no candidate runs in ledger {self.path} to resolve {ref!r}"
+            )
+
+        base, back = ref, 0
+        if "~" in ref:
+            base, _, suffix = ref.partition("~")
+            try:
+                back = int(suffix)
+            except ValueError:
+                raise LedgerError(
+                    f"bad run reference {ref!r}: {suffix!r} is not an integer"
+                ) from None
+
+        def kth_newest(matches: List[RunRecord], what: str) -> RunRecord:
+            if back >= len(matches):
+                raise LedgerError(
+                    f"run reference {ref!r}: only {len(matches)} matching "
+                    f"{what} run(s) in {self.path}"
+                )
+            return matches[len(matches) - 1 - back]
+
+        if base in ("latest", ""):
+            return kth_newest(pool, "ledger")
+        if base == "HEAD":
+            head = _git("rev-parse", "--short", "HEAD")
+            if head is None:
+                raise LedgerError("run reference 'HEAD': not inside a git repository")
+            matches = [r for r in pool if r.commit and head.startswith(r.commit[:7])
+                       or (r.commit and r.commit.startswith(head[:7]))]
+            if not matches:
+                raise LedgerError(
+                    f"run reference {ref!r}: no ledger runs recorded at commit {head}"
+                )
+            return kth_newest(matches, f"commit-{head}")
+
+        by_id = [r for r in pool if r.run_id == base or r.run_id.startswith(base)]
+        if by_id:
+            return kth_newest(by_id, f"id-{base}")
+        by_commit = [r for r in pool if r.commit and r.commit.startswith(base)]
+        if by_commit:
+            return kth_newest(by_commit, f"commit-{base}")
+        by_name = [r for r in pool if r.name == base]
+        if by_name:
+            return kth_newest(by_name, f"name-{base}")
+        raise LedgerError(
+            f"run reference {ref!r} matches no run id, commit, or name in {self.path}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Recording hook (shared by bench / batch / chaos / figure runners)
+# ----------------------------------------------------------------------
+def record_run(
+    kind: str,
+    name: str,
+    *,
+    metrics: Optional[Dict[str, float]] = None,
+    exact: Optional[Dict[str, Any]] = None,
+    scenario: Optional[Dict[str, Any]] = None,
+    seeds: Sequence[int] = (),
+    snapshot: Optional[Dict[str, Any]] = None,
+    ledger: Optional[Ledger] = None,
+) -> Optional[RunRecord]:
+    """Append one run record; the universal, never-raising hook.
+
+    Returns the appended record, or None when recording is disabled
+    (``REPRO_LEDGER=0``) or the ledger directory is unwritable —
+    telemetry must never break the run it describes.
+    """
+    if not ledger_enabled():
+        return None
+    record = RunRecord(
+        kind=kind,
+        name=name,
+        metrics=dict(metrics or {}),
+        exact=dict(exact or {}),
+        scenario=json_safe(dict(scenario or {})),
+        seeds=[int(s) for s in seeds],
+        env=environment_provenance(),
+        snapshot=json_safe(snapshot) if snapshot else None,
+    )
+    try:
+        return (ledger or Ledger()).append(record)
+    except OSError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# BENCH_core.json migration (back-compat reader)
+# ----------------------------------------------------------------------
+def bench_result_sections(results: Dict[str, Any]):
+    """Split a bench ``results`` dict into (perf metrics, exact counters).
+
+    Keys are flattened as ``n<size>.<field>`` so one record carries the
+    whole size matrix and the sentinel compares sizes independently.
+    """
+    metrics: Dict[str, float] = {}
+    exact: Dict[str, Any] = {}
+    for size, entry in sorted(results.items(), key=lambda kv: int(kv[0])):
+        prefix = f"n{size}"
+        for field in ("events_per_sec", "wall_s_best", "cpu_s_best", "peak_rss_kb"):
+            if entry.get(field) is not None:
+                metrics[f"{prefix}.{field}"] = float(entry[field])
+        if entry.get("events_executed") is not None:
+            exact[f"{prefix}.events_executed"] = int(entry["events_executed"])
+    return metrics, exact
+
+
+def records_from_bench_json(path: Union[str, Path]) -> List[RunRecord]:
+    """Read a legacy ``BENCH_core.json`` report as ledger records.
+
+    One record per label section (``baseline``, ``current``, ...); the
+    section's recorded commit/python/env carry over, and fields the old
+    format lacked (CPU model, sim-opts state) stay absent rather than
+    being fabricated.  Raises :class:`LedgerError` on missing files or
+    reports without a single recognizable section.
+    """
+    path = Path(path)
+    try:
+        report = json.loads(path.read_text())
+    except OSError as exc:
+        raise LedgerError(f"cannot read bench report {path}: {exc.strerror or exc}") from None
+    except ValueError as exc:
+        raise LedgerError(f"{path} is not valid JSON ({exc})") from None
+    if not isinstance(report, dict):
+        raise LedgerError(f"{path}: expected a JSON object at top level")
+
+    out: List[RunRecord] = []
+    scenario = report.get("scenario") if isinstance(report.get("scenario"), dict) else {}
+    for label, section in report.items():
+        if not isinstance(section, dict) or "results" not in section:
+            continue
+        metrics, exact = bench_result_sections(section["results"])
+        env = dict(section.get("env") or {})
+        env.setdefault("commit", section.get("commit"))
+        env.setdefault("python", section.get("python"))
+        seed = scenario.get("seed")
+        out.append(
+            RunRecord(
+                kind="bench",
+                name=f"bench:{label}",
+                metrics=metrics,
+                exact=exact,
+                scenario=dict(scenario),
+                seeds=[int(seed)] if seed is not None else [],
+                env=env,
+            )
+        )
+    if not out:
+        raise LedgerError(
+            f"{path}: no bench sections found (expected label sections with "
+            "a 'results' dict, as written by `repro bench`)"
+        )
+    return out
+
+
+def import_bench_json(path: Union[str, Path], ledger: Optional[Ledger] = None) -> List[RunRecord]:
+    """Migrate every section of a ``BENCH_core.json`` into the ledger."""
+    ledger = ledger or Ledger()
+    records = records_from_bench_json(path)
+    for record in records:
+        ledger.append(record)
+    return records
+
+
+def format_ledger_table(records: Iterable[RunRecord], limit: int = 20) -> str:
+    """Newest-last listing for ``repro obs ledger``."""
+    records = list(records)[-limit:] if limit else list(records)
+    if not records:
+        return "(ledger is empty)"
+    lines = [f"{'run id':<34} {'kind':<10} {'name':<22} {'commit':<9} "
+             f"{'opts':<5} {'recorded at (UTC)'}"]
+    for r in records:
+        opts = r.env.get("sim_opts")
+        lines.append(
+            f"{r.run_id:<34} {r.kind:<10} {r.name:<22} "
+            f"{(r.commit or '-'):<9} "
+            f"{('on' if opts else '-' if opts is None else 'off'):<5} "
+            f"{r.recorded_at}"
+        )
+    return "\n".join(lines)

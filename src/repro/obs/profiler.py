@@ -86,6 +86,18 @@ class ProfileReport:
         )
         return named / self.total_seconds
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data dump for the run ledger and chrome-trace export."""
+        return {
+            "total_events": self.total_events,
+            "total_seconds": self.total_seconds,
+            "wall_seconds": self.wall_seconds,
+            "events_per_second": self.events_per_second,
+            "attributed_fraction": self.attributed_fraction,
+            "categories": [dataclasses.asdict(row) for row in self.categories],
+            "hot_callbacks": [dataclasses.asdict(row) for row in self.hot_callbacks],
+        }
+
     def format_table(self) -> str:
         lines = [
             f"profile: {self.total_events} events in {self.wall_seconds:.3f}s wall "

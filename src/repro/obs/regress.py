@@ -1,0 +1,254 @@
+"""Perf-regression sentinel over ledger run records.
+
+:func:`compare_records` diffs two :class:`~repro.obs.ledger.RunRecord`
+outcomes under per-metric tolerance rules:
+
+* **exact** metrics (deterministic counters — ``events_executed``,
+  delivery/violation counts, ``reliability`` of a fixed-seed run) must
+  match bit-for-bit; any difference is a regression.  When the two runs
+  used different scenarios or seeds the exact section is demoted to
+  informational (the counters *should* differ) and a note says so.
+* **relative** metrics (events/sec, wall/CPU seconds, peak RSS, delay
+  percentiles) regress only when they move past a per-rule threshold in
+  the bad direction; moves past the threshold in the good direction are
+  reported as improvements.
+
+The comparison also cross-checks environment provenance: differing
+``REPRO_SIM_OPTS`` state, python version, or CPU model does not change
+any verdict but is surfaced as a note, because a perf delta measured
+across such a boundary is not evidence of a code regression.
+
+``repro obs compare A B`` and ``repro obs regress --against REF`` both
+exit nonzero when the comparison carries regressions (unless
+``--warn-only``), which is how CI gates perf the same way the golden
+masters gate semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fnmatch import fnmatchcase
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.ledger import RunRecord, json_safe
+
+#: Comparison verdicts, ordered worst-first for report sorting.
+STATUS_ORDER = ("regression", "improvement", "ok", "added", "removed", "info")
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """Tolerance rule for metric keys matching ``pattern``.
+
+    ``pattern`` is an ``fnmatch`` glob tried against the final dotted
+    segment of the metric key first, then against the whole key —
+    ``events_per_sec`` matches both ``events_per_sec`` and
+    ``n512.events_per_sec``.  ``mode`` is ``"exact"`` or ``"relative"``;
+    relative rules carry a fractional ``threshold`` and the ``better``
+    direction (``"higher"`` or ``"lower"``).
+    """
+
+    pattern: str
+    mode: str
+    threshold: float = 0.0
+    better: str = "lower"
+
+
+#: Default rule table; first match wins.
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    # Deterministic counters: a fixed-seed rerun must reproduce these.
+    Rule("events_executed", "exact"),
+    Rule("expected_pairs", "exact"),
+    Rule("delivered_pairs", "exact"),
+    Rule("undelivered_pairs", "exact"),
+    Rule("messages_sent", "exact"),
+    Rule("n_messages", "exact"),
+    Rule("reliability", "exact"),
+    Rule("violations*", "exact"),
+    Rule("faults.*", "exact"),
+    Rule("live", "exact"),
+    Rule("veterans", "exact"),
+    # Performance: relative thresholds, direction-aware.
+    Rule("events_per_sec", "relative", 0.10, "higher"),
+    Rule("wall_s*", "relative", 0.10, "lower"),
+    Rule("cpu_s*", "relative", 0.15, "lower"),
+    Rule("peak_rss_kb", "relative", 0.25, "lower"),
+    Rule("*_delay", "relative", 0.05, "lower"),
+)
+
+
+def rule_for(key: str, rules: Sequence[Rule] = DEFAULT_RULES) -> Optional[Rule]:
+    """First rule whose pattern matches ``key`` (leaf segment, then full)."""
+    leaf = key.rsplit(".", 1)[-1]
+    for rule in rules:
+        if fnmatchcase(leaf, rule.pattern) or fnmatchcase(key, rule.pattern):
+            return rule
+    return None
+
+
+@dataclasses.dataclass
+class Delta:
+    """One metric's comparison outcome."""
+
+    key: str
+    mode: str  # "exact" | "relative" | "info"
+    status: str  # see STATUS_ORDER
+    base: Optional[Any]
+    current: Optional[Any]
+    #: Fractional change (current-base)/base for numeric pairs.
+    change: Optional[float] = None
+    threshold: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return json_safe(dataclasses.asdict(self))
+
+
+@dataclasses.dataclass
+class Comparison:
+    """Full diff of two run records."""
+
+    base_id: str
+    current_id: str
+    deltas: List[Delta]
+    notes: List[str]
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.status == "regression"]
+
+    @property
+    def improvements(self) -> List[Delta]:
+        return [d for d in self.deltas if d.status == "improvement"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "base": self.base_id,
+            "current": self.current_id,
+            "ok": self.ok,
+            "n_regressions": len(self.regressions),
+            "n_improvements": len(self.improvements),
+            "notes": list(self.notes),
+            "deltas": [d.to_dict() for d in self.deltas],
+        }
+
+    def format_table(self) -> str:
+        lines = [f"base:    {self.base_id}", f"current: {self.current_id}"]
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        lines.append("")
+        lines.append(
+            f"{'metric':<32} {'base':>14} {'current':>14} {'change':>9} "
+            f"{'rule':>16} {'verdict':>12}"
+        )
+        order = {status: i for i, status in enumerate(STATUS_ORDER)}
+        for d in sorted(self.deltas, key=lambda d: (order.get(d.status, 99), d.key)):
+            change = f"{d.change:+8.1%}" if d.change is not None else "       --"
+            if d.mode == "relative" and d.threshold is not None:
+                rule = f"rel ±{d.threshold:.0%}"
+            elif d.mode == "exact":
+                rule = "exact"
+            else:
+                rule = "info"
+            lines.append(
+                f"{d.key:<32} {_fmt(d.base):>14} {_fmt(d.current):>14} "
+                f"{change:>9} {rule:>16} "
+                f"{d.status.upper() if d.status == 'regression' else d.status:>12}"
+            )
+        verdict = (
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s)"
+        )
+        lines.append("")
+        lines.append(("FAIL: " if self.regressions else "ok: ") + verdict)
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "--"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _comparable_numbers(a: Any, b: Any) -> bool:
+    return (
+        isinstance(a, (int, float)) and isinstance(b, (int, float))
+        and a == a and b == b  # NaN guard
+    )
+
+
+def compare_records(
+    base: RunRecord,
+    current: RunRecord,
+    rules: Sequence[Rule] = DEFAULT_RULES,
+) -> Comparison:
+    """Diff ``current`` against ``base`` under the tolerance rules."""
+    notes: List[str] = []
+    same_shape = base.scenario == current.scenario and base.seeds == current.seeds
+    if base.kind != current.kind or base.name != current.name:
+        notes.append(
+            f"comparing different runs: {base.kind}/{base.name} vs "
+            f"{current.kind}/{current.name}"
+        )
+        same_shape = False
+    elif not same_shape:
+        notes.append(
+            "scenario/seeds differ: deterministic counters are reported as "
+            "info, not gated"
+        )
+    for field, label in (
+        ("sim_opts", "REPRO_SIM_OPTS state"),
+        ("python", "python version"),
+        ("cpu_model", "CPU model"),
+    ):
+        a, b = base.env.get(field), current.env.get(field)
+        if a is not None and b is not None and a != b:
+            notes.append(
+                f"{label} differs ({a!r} vs {b!r}): performance deltas are "
+                "not attributable to code"
+            )
+    if current.env.get("dirty"):
+        notes.append("current run was recorded from a dirty worktree")
+
+    base_values = base.all_values()
+    cur_values = current.all_values()
+    exact_keys = set(base.exact) | set(current.exact)
+    deltas: List[Delta] = []
+    for key in sorted(set(base_values) | set(cur_values)):
+        b, c = base_values.get(key), cur_values.get(key)
+        if b is None or c is None:
+            deltas.append(
+                Delta(key, "info", "removed" if c is None else "added", b, c)
+            )
+            continue
+        rule = rule_for(key, rules)
+        mode = rule.mode if rule else ("exact" if key in exact_keys else "info")
+        change = (
+            (c - b) / b if _comparable_numbers(b, c) and b not in (0, 0.0) else None
+        )
+        if mode == "exact":
+            if not same_shape:
+                deltas.append(Delta(key, "info", "info", b, c, change))
+            else:
+                status = "ok" if b == c else "regression"
+                deltas.append(Delta(key, "exact", status, b, c, change))
+            continue
+        if mode == "relative" and rule is not None and change is not None:
+            signed = change if rule.better == "higher" else -change
+            if signed < -rule.threshold:
+                status = "regression"
+            elif signed > rule.threshold:
+                status = "improvement"
+            else:
+                status = "ok"
+            deltas.append(Delta(key, "relative", status, b, c, change, rule.threshold))
+            continue
+        deltas.append(Delta(key, "info", "info", b, c, change))
+    return Comparison(
+        base_id=base.run_id, current_id=current.run_id, deltas=deltas, notes=notes
+    )

@@ -87,10 +87,16 @@ def format_metrics_summary(snapshot: Dict[str, Any]) -> str:
         lines.append(header)
         for name in sorted(histograms):
             h = histograms[name]
+
+            # Merged snapshots drop per-trial percentile estimates
+            # (see metrics.merge_snapshots); render those cells as "--".
+            def cell(key: str, h=h) -> str:
+                value = h.get(key)
+                return f"{value:>10.4f}" if value is not None else f"{'--':>10}"
+
             lines.append(
-                f"  {name:<24} {int(h['count']):>8d} {h['mean']:>10.4f} "
-                f"{h['p50']:>10.4f} {h['p90']:>10.4f} {h['p99']:>10.4f} "
-                f"{h['max']:>10.4f}"
+                f"  {name:<24} {int(h['count']):>8d} {cell('mean')} "
+                f"{cell('p50')} {cell('p90')} {cell('p99')} {cell('max')}"
             )
 
     series = snapshot.get("series", {})

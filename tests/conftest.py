@@ -31,6 +31,17 @@ def update_goldens(request) -> bool:
     return request.config.getoption("--update-goldens")
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test directory.
+
+    Bench/batch/chaos runs append ledger records by default
+    (repro.obs.ledger); without this every test that exercises them
+    would write `.repro/ledger/` into the working tree.
+    """
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

@@ -51,3 +51,21 @@ def test_format_report_without_baseline():
         }}},
     })
     assert "--" in table  # no baseline -> no speedup figure
+
+
+def test_run_bench_records_environment_provenance(tmp_path):
+    """Every bench section carries the machine/env provenance needed to
+    judge whether two results are comparable (satellite: CPU model, core
+    count, REPRO_SIM_OPTS, dirty-worktree flag)."""
+    out = tmp_path / "BENCH_core.json"
+    report = bench.run_bench([16], repeats=1, label="current", out_path=str(out))
+    section = report["current"]
+    env = section["env"]
+    assert env["cpu_model"]
+    assert env["cpu_count"] >= 1
+    assert isinstance(env["sim_opts"], bool)
+    assert isinstance(env["dirty"], (bool, type(None)))
+    assert section["python"]
+    # The report on disk carries the same provenance.
+    written = json.loads(out.read_text())
+    assert written["current"]["env"] == env

@@ -1,0 +1,179 @@
+"""Tests for the Chrome-trace/Perfetto export (repro.obs.export)."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    PID_CHAOS,
+    PID_INVARIANTS,
+    PID_PROFILE,
+    chrome_trace,
+    export_chrome_trace,
+    trace_tracks,
+    validate_chrome_trace,
+)
+from repro.obs.tracer import TraceEvent
+
+
+def _ev(t, cat, **fields):
+    return TraceEvent(t, cat, fields)
+
+
+# ----------------------------------------------------------------------
+# Track layout
+# ----------------------------------------------------------------------
+def test_protocol_categories_get_own_tracks():
+    doc = chrome_trace(
+        [_ev(0.5, "tree.push", node=1, msg="0:0", fanout=3),
+         _ev(0.6, "gossip.pull", node=2, source=1, ids=["0:0"])]
+    )
+    tracks = trace_tracks(doc)
+    assert tracks["protocol"] == ["tree.push", "gossip.pull"]
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == 2
+    assert instants[0]["ts"] == pytest.approx(0.5e6)
+    assert instants[0]["args"]["msg"] == "0:0"
+    assert instants[0]["cat"] == "tree"
+
+
+def test_chaos_window_becomes_duration_slice():
+    doc = chrome_trace(
+        [_ev(10.0, "chaos.phase", phase="partition", action="start"),
+         _ev(25.0, "chaos.phase", phase="partition", action="end")]
+    )
+    (slice_,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert slice_["pid"] == PID_CHAOS
+    assert slice_["name"] == "partition"
+    assert slice_["ts"] == pytest.approx(10e6)
+    assert slice_["dur"] == pytest.approx(15e6)
+
+
+def test_chaos_one_shot_phase_becomes_instant():
+    doc = chrome_trace([_ev(20.0, "chaos.phase", phase="crash", action="crash")])
+    (instant,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert instant["name"] == "crash:crash"
+    assert instant["pid"] == PID_CHAOS
+
+
+def test_unclosed_chaos_window_truncated_at_trace_end():
+    doc = chrome_trace(
+        [_ev(10.0, "chaos.phase", phase="loss", action="start"),
+         _ev(40.0, "tree.push", node=1, msg="0:0", fanout=3)]
+    )
+    (slice_,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert slice_["dur"] == pytest.approx(30e6)
+    assert slice_["args"]["truncated"] is True
+
+
+def test_invariant_violations_get_per_invariant_tracks():
+    doc = chrome_trace(
+        [_ev(5.0, "invariant.violation", invariant="no_dup_delivery", detail="x"),
+         _ev(6.0, "invariant.violation", invariant="tree_acyclic", detail="y")]
+    )
+    tracks = trace_tracks(doc)
+    assert tracks["invariants"] == ["no_dup_delivery", "tree_acyclic"]
+    assert all(
+        e["pid"] == PID_INVARIANTS
+        for e in doc["traceEvents"] if e["ph"] == "i"
+    )
+
+
+def test_profiler_categories_become_slices():
+    profile = {
+        "total_seconds": 2.0,
+        "categories": [
+            {"category": "transport.deliver", "events": 100, "seconds": 1.5},
+            {"category": "timer.fire", "events": 50, "seconds": 0.5},
+        ],
+    }
+    doc = chrome_trace([], profile=profile)
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert [s["name"] for s in slices] == ["transport.deliver", "timer.fire"]
+    assert all(s["pid"] == PID_PROFILE for s in slices)
+    assert slices[0]["dur"] == pytest.approx(1.5e6)
+    assert slices[0]["args"]["share"] == pytest.approx(0.75)
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def test_validate_accepts_generated_documents():
+    doc = chrome_trace(
+        [_ev(1.0, "tree.push", node=1, msg="0:0", fanout=3),
+         _ev(2.0, "chaos.phase", phase="churn", action="start"),
+         _ev(3.0, "chaos.phase", phase="churn", action="end")],
+        profile={"total_seconds": 1.0,
+                 "categories": [{"category": "x", "events": 1, "seconds": 1.0}]},
+        meta={"seed": 1},
+    )
+    assert validate_chrome_trace(doc) == []
+    assert doc["otherData"] == {"seed": 1}
+
+
+def test_validate_rejects_structural_problems():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"traceEvents": "nope"}) != []
+    problems = validate_chrome_trace(
+        {"traceEvents": [{"ph": "Z", "pid": 1, "tid": 1, "name": "x"}]}
+    )
+    assert any("unknown phase" in p for p in problems)
+    problems = validate_chrome_trace(
+        {"traceEvents": [{"ph": "i", "pid": 1, "tid": 1, "name": "x", "ts": 0.0}]}
+    )
+    assert any("unnamed track" in p for p in problems)
+
+
+def test_validate_rejects_negative_duration():
+    doc = chrome_trace([_ev(1.0, "tree.push", node=1, msg="0:0", fanout=3)])
+    doc["traceEvents"].append(
+        {"ph": "X", "pid": 1, "tid": 1, "name": "bad", "ts": 0.0, "dur": -5.0}
+    )
+    assert any("non-negative dur" in p for p in validate_chrome_trace(doc))
+
+
+def test_export_writes_valid_json(tmp_path):
+    path = tmp_path / "trace.json"
+    doc = export_chrome_trace(
+        str(path), [_ev(1.0, "tree.push", node=1, msg="0:0", fanout=3)]
+    )
+    loaded = json.loads(path.read_text())
+    assert loaded["displayTimeUnit"] == "ms"
+    assert len(loaded["traceEvents"]) == len(doc["traceEvents"])
+    assert validate_chrome_trace(loaded) == []
+
+
+def test_nan_fields_are_json_safe():
+    doc = chrome_trace([_ev(1.0, "tree.push", node=1, msg="0:0",
+                            fanout=float("nan"))])
+    (instant,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert instant["args"]["fanout"] is None
+    json.dumps(doc, allow_nan=False)  # must not raise
+
+
+# ----------------------------------------------------------------------
+# End-to-end: a real chaos run exports with chaos phases and >= 5
+# profiler categories on their own tracks (acceptance criterion).
+# ----------------------------------------------------------------------
+def test_chaos_run_exports_structurally_valid_trace(tmp_path):
+    from repro.experiments.chaos import run_chaos
+    from repro.obs import Observability
+
+    obs = Observability(profile=True, trace_capacity=1 << 20)
+    run_chaos(
+        "flapping-partition", n_nodes=24, seed=3,
+        adapt_time=5.0, n_messages=4, drain_time=5.0, obs=obs,
+    )
+    path = tmp_path / "chaos.json"
+    doc = export_chrome_trace(
+        str(path), obs.tracer.events(), profile=obs.profiler.report().to_dict()
+    )
+    assert validate_chrome_trace(doc) == []
+    tracks = trace_tracks(doc)
+    assert len(tracks["profiler"]) >= 5
+    assert tracks["chaos"]  # partition windows present
+    chaos_slices = [
+        e for e in doc["traceEvents"]
+        if e["ph"] == "X" and e["pid"] == PID_CHAOS
+    ]
+    assert chaos_slices and all(s["dur"] > 0 for s in chaos_slices)

@@ -1,0 +1,247 @@
+"""Tests for the append-only run ledger (repro.obs.ledger)."""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    LedgerError,
+    RunRecord,
+    bench_result_sections,
+    environment_provenance,
+    import_bench_json,
+    json_safe,
+    ledger_enabled,
+    record_run,
+    records_from_bench_json,
+)
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return Ledger(tmp_path / "ledger")
+
+
+def _record(name="bench", kind="bench", **kwargs):
+    defaults = dict(
+        metrics={"events_per_sec": 1000.0},
+        exact={"events_executed": 42},
+        scenario={"n_nodes": 24},
+        seeds=[11],
+    )
+    defaults.update(kwargs)
+    return RunRecord(kind=kind, name=name, **defaults)
+
+
+# ----------------------------------------------------------------------
+# Round-trip, schema, and identity
+# ----------------------------------------------------------------------
+def test_append_and_read_round_trip(ledger):
+    record = ledger.append(_record())
+    (loaded,) = ledger.records()
+    assert loaded.run_id == record.run_id
+    assert loaded.kind == "bench"
+    assert loaded.metrics == {"events_per_sec": 1000.0}
+    assert loaded.exact == {"events_executed": 42}
+    assert loaded.seeds == [11]
+    assert loaded.schema == LEDGER_SCHEMA_VERSION
+
+
+def test_records_empty_when_missing(ledger):
+    assert ledger.records() == []
+
+
+def test_run_id_is_stable_and_prefixed():
+    record = _record()
+    assert record.run_id.startswith("bench-")
+    assert record.run_id == RunRecord.from_dict(record.to_dict()).run_id
+
+
+def test_reader_rejects_future_schema(ledger):
+    data = _record().to_dict()
+    data["schema"] = LEDGER_SCHEMA_VERSION + 1
+    ledger.directory.mkdir(parents=True)
+    ledger.path.write_text(json.dumps(data) + "\n")
+    with pytest.raises(LedgerError, match="newer than supported"):
+        ledger.records()
+
+
+def test_reader_rejects_invalid_json_with_location(ledger):
+    ledger.directory.mkdir(parents=True)
+    ledger.path.write_text(json.dumps(_record().to_dict()) + "\nnot json\n")
+    with pytest.raises(LedgerError, match=r"runs\.jsonl:2"):
+        ledger.records()
+
+
+def test_reader_rejects_incomplete_record(ledger):
+    ledger.directory.mkdir(parents=True)
+    ledger.path.write_text(json.dumps({"schema": 1, "kind": "bench"}) + "\n")
+    with pytest.raises(LedgerError, match="missing required fields"):
+        ledger.records()
+
+
+def test_json_safe_replaces_nan_and_inf():
+    nan = float("nan")
+    assert json_safe({"a": nan, "b": [1.0, float("inf")]}) == {
+        "a": None,
+        "b": [1.0, None],
+    }
+
+
+# ----------------------------------------------------------------------
+# record_run hook and the REPRO_LEDGER gate
+# ----------------------------------------------------------------------
+def test_record_run_appends(ledger):
+    record = record_run("chaos", "chaos:x", exact={"live": 3}, ledger=ledger)
+    assert record is not None
+    (loaded,) = ledger.records()
+    assert loaded.name == "chaos:x"
+    assert loaded.exact == {"live": 3}
+    assert loaded.env["python"]  # provenance attached automatically
+
+
+def test_record_run_disabled_by_env(ledger, monkeypatch):
+    monkeypatch.setenv("REPRO_LEDGER", "0")
+    assert not ledger_enabled()
+    assert record_run("bench", "bench", ledger=ledger) is None
+    assert ledger.records() == []
+
+
+def test_ledger_dir_from_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "custom"))
+    record_run("bench", "bench")
+    assert Ledger().records()[0].name == "bench"
+    assert (tmp_path / "custom" / "runs.jsonl").exists()
+
+
+# ----------------------------------------------------------------------
+# Environment provenance (satellite: CPU model, core count, sim opts,
+# dirty flag)
+# ----------------------------------------------------------------------
+def test_environment_provenance_fields():
+    env = environment_provenance()
+    assert env["python"]
+    assert env["cpu_model"]
+    assert env["cpu_count"] >= 1
+    assert isinstance(env["sim_opts"], bool)
+    assert "commit" in env and "dirty" in env
+
+
+# ----------------------------------------------------------------------
+# Reference resolution
+# ----------------------------------------------------------------------
+def test_resolve_latest_and_latest_k(ledger):
+    first = ledger.append(_record())
+    second = ledger.append(_record())
+    assert ledger.resolve("latest").run_id == second.run_id
+    assert ledger.resolve("latest~1").run_id == first.run_id
+    with pytest.raises(LedgerError, match="only 2 matching"):
+        ledger.resolve("latest~2")
+
+
+def test_resolve_by_id_prefix_name_and_kind(ledger):
+    bench = ledger.append(_record())
+    chaos = ledger.append(_record(name="chaos:worst", kind="chaos"))
+    assert ledger.resolve(bench.run_id).run_id == bench.run_id
+    assert ledger.resolve(bench.run_id[:14]).run_id == bench.run_id
+    assert ledger.resolve("chaos:worst").run_id == chaos.run_id
+    assert ledger.resolve("latest", kind="bench").run_id == bench.run_id
+
+
+def test_resolve_head_matches_current_commit(ledger):
+    head = environment_provenance()["commit"]
+    if head is None:
+        pytest.skip("not in a git repository")
+    old = ledger.append(_record(env={"commit": "0000000"}))
+    new = ledger.append(_record(env={"commit": head}))
+    assert ledger.resolve("HEAD").run_id == new.run_id
+    assert old.run_id != new.run_id
+
+
+def test_resolve_exclude_and_unknown(ledger):
+    first = ledger.append(_record())
+    second = ledger.append(_record())
+    assert ledger.resolve("latest", exclude=second).run_id == first.run_id
+    with pytest.raises(LedgerError, match="matches no run"):
+        ledger.resolve("nonesuch")
+
+
+def test_resolve_empty_ledger_raises(ledger):
+    with pytest.raises(LedgerError, match="no candidate runs"):
+        ledger.resolve("latest")
+
+
+# ----------------------------------------------------------------------
+# BENCH_core.json migration
+# ----------------------------------------------------------------------
+BENCH_REPORT = {
+    "scenario": {"protocol": "gocast", "seed": 11},
+    "baseline": {
+        "commit": "abc1234",
+        "python": "3.11.0",
+        "results": {
+            "128": {
+                "events_per_sec": 50000.0,
+                "wall_s_best": 2.0,
+                "cpu_s_best": 1.9,
+                "peak_rss_kb": 90000,
+                "events_executed": 100000,
+            }
+        },
+    },
+    "current": {
+        "commit": "def5678",
+        "results": {
+            "128": {
+                "events_per_sec": 100000.0,
+                "wall_s_best": 1.0,
+                "cpu_s_best": 0.9,
+                "peak_rss_kb": 90000,
+                "events_executed": 100000,
+            }
+        },
+    },
+}
+
+
+def test_records_from_bench_json(tmp_path):
+    path = tmp_path / "BENCH_core.json"
+    path.write_text(json.dumps(BENCH_REPORT))
+    records = records_from_bench_json(path)
+    by_name = {r.name: r for r in records}
+    assert set(by_name) == {"bench:baseline", "bench:current"}
+    baseline = by_name["bench:baseline"]
+    assert baseline.kind == "bench"
+    assert baseline.metrics["n128.events_per_sec"] == 50000.0
+    assert baseline.exact["n128.events_executed"] == 100000
+    assert baseline.commit == "abc1234"
+    assert baseline.seeds == [11]
+
+
+def test_import_bench_json_appends(tmp_path, ledger):
+    path = tmp_path / "BENCH_core.json"
+    path.write_text(json.dumps(BENCH_REPORT))
+    imported = import_bench_json(path, ledger)
+    assert len(imported) == 2
+    assert len(ledger.records()) == 2
+
+
+def test_records_from_bench_json_errors(tmp_path):
+    with pytest.raises(LedgerError, match="cannot read"):
+        records_from_bench_json(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(LedgerError, match="not valid JSON"):
+        records_from_bench_json(bad)
+    empty = tmp_path / "empty.json"
+    empty.write_text(json.dumps({"scenario": {}}))
+    with pytest.raises(LedgerError, match="no bench sections"):
+        records_from_bench_json(empty)
+
+
+def test_bench_result_sections_flattening():
+    metrics, exact = bench_result_sections(BENCH_REPORT["current"]["results"])
+    assert metrics["n128.wall_s_best"] == 1.0
+    assert exact == {"n128.events_executed": 100000}

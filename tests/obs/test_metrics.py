@@ -269,3 +269,43 @@ def test_merge_snapshots_is_order_invariant():
         },
     })
     assert merge_snapshots([a, b]) == merge_snapshots([b, a])
+
+
+def test_merge_snapshots_empty_snapshot_dicts_are_skipped():
+    """A snapshot with no recorded data contributes nothing (but an
+    empty-dict entry is skipped entirely, like None)."""
+    empty_registry = MetricsRegistry().snapshot()
+    merged = merge_snapshots([{}, empty_registry, _snap(5)])
+    # {} is skipped; the empty registry snapshot still counts as a trial.
+    assert merged["n_snapshots"] == 2
+    assert merged["counters"] == {"c": 5}
+    assert merged["histograms"]["h"]["count"] == 1
+
+
+def test_merge_snapshots_single_trial_is_identity_like():
+    snap = _snap(3, 2.0, (0.5, 1.5))
+    merged = merge_snapshots([snap])
+    assert merged["n_snapshots"] == 1
+    assert merged["counters"] == snap["counters"]
+    assert merged["gauges"] == snap["gauges"]
+    assert merged["series"] == snap["series"]
+    h = merged["histograms"]["h"]
+    assert h["count"] == snap["histograms"]["h"]["count"]
+    assert h["mean"] == pytest.approx(snap["histograms"]["h"]["mean"])
+
+
+def test_merge_snapshots_label_collisions_sum_per_cell():
+    """Identical label sets collide (sum); distinct label sets stay
+    independent cells across trials."""
+    a = MetricsRegistry()
+    a.inc("sent", 3, type="Gossip")
+    a.inc("sent", 1, type="Pull")
+    b = MetricsRegistry()
+    b.inc("sent", 4, type="Gossip")
+    b.inc("sent", 2, type="Heartbeat")
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    assert merged["counters"] == {
+        "sent{type=Gossip}": 7,
+        "sent{type=Pull}": 1,
+        "sent{type=Heartbeat}": 2,
+    }

@@ -1,0 +1,188 @@
+"""Tests for the perf-regression sentinel (repro.obs.regress)."""
+
+import pytest
+
+from repro.obs.ledger import Ledger, RunRecord
+from repro.obs.regress import DEFAULT_RULES, compare_records, rule_for
+
+
+def _bench(metrics=None, exact=None, **kwargs):
+    defaults = dict(
+        scenario={"n_nodes": 24, "seed": 11},
+        seeds=[11],
+        env={"sim_opts": True, "python": "3.11.0", "cpu_model": "cpu-x"},
+    )
+    defaults.update(kwargs)
+    return RunRecord(
+        kind="bench",
+        name="bench",
+        metrics=metrics or {"n24.events_per_sec": 100000.0, "n24.wall_s_best": 1.0},
+        exact=exact or {"n24.events_executed": 50000},
+        **defaults,
+    )
+
+
+# ----------------------------------------------------------------------
+# Rule table
+# ----------------------------------------------------------------------
+def test_rule_matching_on_leaf_segment():
+    assert rule_for("events_per_sec").mode == "relative"
+    assert rule_for("n512.events_per_sec").better == "higher"
+    assert rule_for("n512.events_executed").mode == "exact"
+    assert rule_for("gocast.mean_delay").pattern == "*_delay"
+    assert rule_for("violations.no_dup_delivery").mode == "exact"
+    assert rule_for("faults.crashes").mode == "exact"
+    assert rule_for("something_unknown") is None
+
+
+def test_default_rules_thresholds():
+    assert rule_for("wall_s_best", DEFAULT_RULES).threshold == pytest.approx(0.10)
+    assert rule_for("peak_rss_kb", DEFAULT_RULES).threshold == pytest.approx(0.25)
+
+
+# ----------------------------------------------------------------------
+# Identical runs: zero regressions (the round-trip acceptance case)
+# ----------------------------------------------------------------------
+def test_identical_runs_are_clean():
+    comparison = compare_records(_bench(), _bench())
+    assert comparison.ok
+    assert comparison.regressions == []
+    assert comparison.improvements == []
+    assert {d.status for d in comparison.deltas} == {"ok"}
+    assert "ok:" in comparison.format_table()
+
+
+# ----------------------------------------------------------------------
+# Relative rules: direction and threshold
+# ----------------------------------------------------------------------
+def test_events_per_sec_drop_past_threshold_regresses():
+    base = _bench(metrics={"n24.events_per_sec": 100000.0})
+    slow = _bench(metrics={"n24.events_per_sec": 80000.0})  # -20% > 10% tol
+    comparison = compare_records(base, slow)
+    assert not comparison.ok
+    (delta,) = comparison.regressions
+    assert delta.key == "n24.events_per_sec"
+    assert delta.change == pytest.approx(-0.2)
+    assert "FAIL" in comparison.format_table()
+
+
+def test_events_per_sec_gain_is_improvement_not_regression():
+    base = _bench(metrics={"n24.events_per_sec": 100000.0})
+    fast = _bench(metrics={"n24.events_per_sec": 130000.0})
+    comparison = compare_records(base, fast)
+    assert comparison.ok
+    assert [d.key for d in comparison.improvements] == ["n24.events_per_sec"]
+
+
+def test_small_drift_within_tolerance_is_ok():
+    base = _bench(metrics={"n24.wall_s_best": 1.0})
+    close = _bench(metrics={"n24.wall_s_best": 1.05})  # +5% < 10% tol
+    comparison = compare_records(base, close)
+    assert comparison.ok
+
+
+def test_wall_time_growth_regresses():
+    base = _bench(metrics={"n24.wall_s_best": 1.0})
+    slow = _bench(metrics={"n24.wall_s_best": 1.2})
+    comparison = compare_records(base, slow)
+    assert [d.key for d in comparison.regressions] == ["n24.wall_s_best"]
+
+
+# ----------------------------------------------------------------------
+# Exact rules
+# ----------------------------------------------------------------------
+def test_exact_counter_mismatch_regresses():
+    base = _bench(exact={"n24.events_executed": 50000})
+    drifted = _bench(exact={"n24.events_executed": 50001})
+    comparison = compare_records(base, drifted)
+    (delta,) = comparison.regressions
+    assert delta.key == "n24.events_executed"
+    assert delta.mode == "exact"
+
+
+def test_exact_demoted_to_info_when_scenario_differs():
+    base = _bench(exact={"n24.events_executed": 50000})
+    other = _bench(
+        exact={"n24.events_executed": 99},
+        scenario={"n_nodes": 48, "seed": 11},
+    )
+    comparison = compare_records(base, other)
+    assert comparison.ok
+    (delta,) = [d for d in comparison.deltas if d.key == "n24.events_executed"]
+    assert delta.status == "info"
+    assert any("scenario/seeds differ" in note for note in comparison.notes)
+
+
+def test_unruled_exact_key_still_compared_exactly():
+    base = _bench(exact={"custom_total": 7})
+    drifted = _bench(exact={"custom_total": 8})
+    comparison = compare_records(base, drifted)
+    assert [d.key for d in comparison.regressions] == ["custom_total"]
+
+
+# ----------------------------------------------------------------------
+# Added/removed keys and environment notes
+# ----------------------------------------------------------------------
+def test_added_and_removed_keys_are_informational():
+    base = _bench(metrics={"n24.wall_s_best": 1.0, "old_metric": 2.0})
+    current = _bench(metrics={"n24.wall_s_best": 1.0, "new_metric": 3.0})
+    comparison = compare_records(base, current)
+    assert comparison.ok
+    statuses = {d.key: d.status for d in comparison.deltas}
+    assert statuses["old_metric"] == "removed"
+    assert statuses["new_metric"] == "added"
+
+
+def test_env_differences_are_noted_not_gated():
+    base = _bench(env={"sim_opts": True, "python": "3.11.0", "cpu_model": "a"})
+    current = _bench(
+        env={"sim_opts": False, "python": "3.12.0", "cpu_model": "b", "dirty": True}
+    )
+    comparison = compare_records(base, current)
+    assert comparison.ok
+    joined = "\n".join(comparison.notes)
+    assert "REPRO_SIM_OPTS" in joined
+    assert "python version" in joined
+    assert "CPU model" in joined
+    assert "dirty worktree" in joined
+
+
+def test_to_dict_is_json_ready():
+    comparison = compare_records(_bench(), _bench())
+    data = comparison.to_dict()
+    assert data["ok"] is True
+    assert data["n_regressions"] == 0
+    assert all("key" in d and "status" in d for d in data["deltas"])
+
+
+# ----------------------------------------------------------------------
+# End-to-end through the CLI: a 20% events/sec slowdown must gate
+# (acceptance criterion, via a sleep shim in the bench inner loop).
+# ----------------------------------------------------------------------
+def test_injected_slowdown_fails_regress_cli(tmp_path, monkeypatch, capsys):
+    import time as _time
+
+    import repro.experiments.runner as runner_mod
+    from repro.cli import main
+    from repro.experiments.bench import run_bench
+
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+    run_bench((16,), 1, out_path=None)
+
+    real_run = runner_mod.run_delay_experiment
+    baseline = Ledger().latest()
+    wall = baseline.metrics["n16.wall_s_best"]
+
+    def slowed(cfg, **kwargs):
+        _time.sleep(wall * 0.30)  # >20% wall growth -> >10% tolerance
+        return real_run(cfg, **kwargs)
+
+    monkeypatch.setattr("repro.experiments.bench.run_delay_experiment", slowed)
+    run_bench((16,), 1, out_path=None)
+
+    assert main(["obs", "regress", "--against", "latest~1"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    assert "events_per_sec" in out or "wall_s_best" in out
+    # Same comparison, advisory mode: reported but not gating.
+    assert main(["obs", "regress", "--against", "latest~1", "--warn-only"]) == 0

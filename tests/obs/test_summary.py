@@ -56,3 +56,37 @@ def test_format_metrics_summary_sections():
 
 def test_format_metrics_summary_empty():
     assert "(none)" in format_metrics_summary({"counters": {}})
+
+
+def test_derived_ratios_single_trial_snapshot():
+    m = MetricsRegistry()
+    m.inc("gossip.summaries_heard", 8)
+    m.inc("gossip.summaries_new", 2)
+    ratios = derived_ratios(m.snapshot())
+    assert ratios["gossip.effectiveness"] == pytest.approx(0.25)
+    assert "dissem.pull_share" not in ratios  # no deliveries recorded
+
+
+def test_derived_ratios_counts_exact_label_cells():
+    """pull_share reads exactly the ``via=tree``/``via=pull`` cells.
+
+    Other label cells (e.g. a hypothetical ``via=pull-repair``) do not
+    contribute — the ratio is tree-vs-gossip-pull as in the paper.
+    """
+    m = MetricsRegistry()
+    m.inc("dissem.delivered", 6, via="tree")
+    m.inc("dissem.delivered", 2, via="pull")
+    m.inc("dissem.delivered", 2, via="pull-repair")
+    ratios = derived_ratios(m.snapshot())
+    assert ratios["dissem.pull_share"] == pytest.approx(0.25)
+
+
+def test_format_metrics_summary_merged_snapshot():
+    from repro.obs.metrics import merge_snapshots
+
+    merged = merge_snapshots([_snapshot(), _snapshot()])
+    text = format_metrics_summary(merged)
+    assert "== counters ==" in text
+    assert "dissem.delivered{via=tree}" in text
+    # Merged histograms drop per-trial percentiles but keep count/mean.
+    assert "net.link.stress" in text

@@ -225,3 +225,150 @@ def test_seed_passed_through(monkeypatch, capsys):
     assert main(["run", "fake", "--seed", "42"]) == 0
     assert seen["seed"] == 42
     assert "table" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# repro obs ledger / compare / regress / export
+# ----------------------------------------------------------------------
+def test_obs_ledger_empty_list(capsys):
+    assert main(["obs", "ledger"]) == 0
+    assert "ledger is empty" in capsys.readouterr().out
+
+
+def test_obs_ledger_lists_batch_run(capsys):
+    assert main([*BATCH_ARGS, "--trials", "1"]) == 0
+    capsys.readouterr()
+    assert main(["obs", "ledger"]) == 0
+    out = capsys.readouterr().out
+    assert "batch:push_gossip" in out
+
+
+def test_obs_ledger_json_and_show(capsys):
+    import json
+
+    assert main([*BATCH_ARGS, "--trials", "1"]) == 0
+    capsys.readouterr()
+    assert main(["obs", "ledger", "--json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    assert len(records) == 1
+    assert records[0]["kind"] == "batch"
+    assert records[0]["env"]["cpu_count"] >= 1
+
+    assert main(["obs", "ledger", "--show", "latest"]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["run_id"] == records[0]["run_id"]
+
+
+def test_obs_ledger_import_bench_missing_file(capsys):
+    assert main(["obs", "ledger", "--import-bench", "/no/such/file.json"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "Traceback" not in err
+
+
+def test_obs_compare_self_is_clean(capsys):
+    assert main([*BATCH_ARGS, "--trials", "1"]) == 0
+    capsys.readouterr()
+    assert main(["obs", "compare", "latest", "latest"]) == 0
+    assert "ok:" in capsys.readouterr().out
+
+
+def test_obs_compare_unknown_ref_fails_cleanly(capsys):
+    assert main([*BATCH_ARGS, "--trials", "1"]) == 0
+    capsys.readouterr()
+    assert main(["obs", "compare", "nonesuch", "latest"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "Traceback" not in err
+
+
+def test_obs_regress_empty_ledger_fails_cleanly(capsys):
+    assert main(["obs", "regress", "--against", "latest"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "Traceback" not in err
+
+
+def test_obs_regress_single_run_self_compares(capsys):
+    import json
+
+    assert main([*BATCH_ARGS, "--trials", "1"]) == 0
+    capsys.readouterr()
+    # Only one run in the ledger: HEAD~0 resolves to the candidate
+    # itself, which trivially passes (the round-trip acceptance case).
+    assert main(["obs", "regress", "--against", "latest"]) == 0
+    assert "ok:" in capsys.readouterr().out
+    assert main(["obs", "regress", "--against", "latest", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["ok"] is True and data["n_regressions"] == 0
+
+
+def test_obs_export_missing_trace_file(tmp_path, capsys):
+    assert main(["obs", "export", "--trace", "/no/such/trace.jsonl",
+                 "--out", str(tmp_path / "trace.json")]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "Traceback" not in err
+
+
+def test_obs_export_runs_scenario_and_validates(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "trace.json"
+    assert main(["obs", "export", *OBS_ARGS, "--out", str(out_path),
+                 "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["problems"] == []
+    assert data["n_events"] > 0
+    assert data["tracks"]["protocol"]
+    loaded = json.loads(out_path.read_text())
+    assert loaded["traceEvents"]
+
+
+def test_obs_export_round_trips_saved_trace(tmp_path, capsys):
+    jsonl = tmp_path / "trace.jsonl"
+    assert main(["obs", "trace", *OBS_ARGS, "--out", str(jsonl)]) == 0
+    capsys.readouterr()
+    out_path = tmp_path / "trace.json"
+    assert main(["obs", "export", "--trace", str(jsonl),
+                 "--out", str(out_path), "--json"]) == 0
+    import json
+
+    data = json.loads(capsys.readouterr().out)
+    assert data["problems"] == [] and data["n_events"] > 0
+
+
+# ----------------------------------------------------------------------
+# --json on the pre-existing obs subcommands (satellite: every
+# subcommand is scriptable)
+# ----------------------------------------------------------------------
+def test_obs_summary_json(capsys):
+    import json
+
+    assert main(["obs", "summary", *OBS_ARGS, "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert any(k.startswith("dissem.delivered") for k in data["counters"])
+
+
+def test_obs_profile_json(capsys):
+    import json
+
+    assert main(["obs", "profile", *OBS_ARGS, "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["total_events"] > 0
+    assert data["categories"]
+
+
+def test_obs_trace_json(capsys):
+    import json
+
+    assert main(["obs", "trace", *OBS_ARGS, "--json", "--limit", "5"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["emitted"] > 0
+    assert len(data["events"]) <= 5
+    assert all("t" in e and "cat" in e for e in data["events"])
+
+
+def test_obs_health_json(capsys):
+    import json
+
+    assert main(["obs", "health", *OBS_ARGS, "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["n_samples"] >= 1
