@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Scheduler microbenchmark: binary heap vs calendar queue.
+
+Drives the *engine alone* — no protocol logic, no transport — with the
+recorded timer workload mix the GoCast simulations generate: a standing
+population of staggered 0.1 s periodic timers, each fire scheduling a
+couple of fire-and-forget deliveries 20–140 ms out, with a slice of the
+population periodically cancelled and rescheduled (churn corpses).
+That isolates the scheduler's contribution to the end-to-end numbers
+in ``BENCH_core.json``: every mode executes the exact same event
+stream (same seed, same counts — asserted), so the wall-time ratio is
+purely the scheduler.
+
+Modes:
+
+- ``heap``          — plain binary heap (``REPRO_SIM_OPTS=0`` engine)
+- ``wheel,pool``    — the PR-4 configuration (heap + timer wheel + pool)
+- ``calqueue,wheel``— calendar queue without batched dispatch
+- ``all``           — calendar queue + batched same-timestamp dispatch
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler.py            # full
+    PYTHONPATH=src python benchmarks/bench_scheduler.py --smoke    # CI
+
+The full run merges a ``scheduler`` section into ``BENCH_core.json``
+and appends one record to the run ledger (the PR-6 hooks), so
+``repro obs regress`` can gate scheduler regressions like any other
+perf number.
+"""
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.bench import DEFAULT_OUT
+from repro.obs.ledger import environment_provenance, record_run
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+
+#: (label, Simulator opts) — labels are the BENCH section/ledger keys.
+MODES = (
+    ("heap", frozenset()),
+    ("wheel_pool", frozenset({"wheel", "pool"})),
+    ("calqueue", frozenset({"calqueue", "wheel"})),
+    ("all", frozenset({"calqueue", "wheel", "batch"})),
+)
+
+
+def run_workload(opts, n_timers=1024, duration=40.0, fanout=3, seed=7):
+    """One deterministic timer-mix run; returns (wall_s, events).
+
+    The knobs are matched to the recorded N=512 GoCast run: ~1k wheel
+    timers and a standing population of ~13k in-flight deliveries
+    (fanout x mean-latency / period), with delivery latencies spanning
+    the King range plus multi-hop gossip chains (50–800 ms).
+    """
+    rng = random.Random(seed)
+    sim = Simulator(opts=opts)
+    # Pre-draw everything random so each mode replays the identical
+    # schedule (the engine is deterministic; the draws must be too).
+    phases = [0.1 * rng.random() for _ in range(n_timers)]
+    latencies = [0.05 + 0.75 * rng.random() for _ in range(4096)]
+    churn_at = [2.0 + 36.0 * rng.random() for _ in range(n_timers // 8)]
+
+    sink = 0
+    lat_i = 0
+
+    def deliver():
+        nonlocal sink
+        sink += 1
+
+    timers = []
+
+    def make_tick():
+        def tick():
+            # A timer fire fans out `fanout` deliveries, like a gossip
+            # round fanning out messages.
+            nonlocal lat_i
+            for _ in range(fanout):
+                sim.schedule_anon(latencies[lat_i & 4095], deliver)
+                lat_i += 1
+
+        return tick
+
+    for i in range(n_timers):
+        t = PeriodicTimer(sim, 0.1, make_tick())
+        t.start(phase=phases[i])
+        timers.append(t)
+
+    # Churn: stop-and-restart a slice of the population mid-run,
+    # leaving lazy-cancel corpses for the scheduler to skip/compact.
+    def churn(idx):
+        timers[idx].stop()
+        timers[idx].start(phase=0.05)
+
+    for j, at in enumerate(churn_at):
+        sim.schedule_at(at, churn, j)
+
+    t0 = time.perf_counter()
+    sim.run_until(duration)
+    wall = time.perf_counter() - t0
+    return wall, sim.events_executed
+
+
+def bench_modes(n_timers, duration, repeats):
+    # Round-robin the repeats across modes rather than finishing one
+    # mode before starting the next: if machine load drifts during the
+    # benchmark (thermal throttling, noisy neighbours), sequential
+    # ordering systematically penalises whichever mode runs last.
+    walls = {label: [] for label, _ in MODES}
+    events_by_mode = {}
+    for _ in range(repeats):
+        for label, opts in MODES:
+            wall, events = run_workload(opts, n_timers=n_timers, duration=duration)
+            walls[label].append(wall)
+            events_by_mode[label] = events
+    reference_events = events_by_mode[MODES[0][0]]
+    results = {}
+    for label, _ in MODES:
+        # Identical event streams are the whole point; a drift here
+        # means a scheduler bug, not noise.
+        assert events_by_mode[label] == reference_events, (
+            f"{label} executed {events_by_mode[label]} events, "
+            f"reference {reference_events}"
+        )
+        best = min(walls[label])
+        results[label] = {
+            "wall_s_best": round(best, 4),
+            "wall_s_all": [round(w, 4) for w in walls[label]],
+            "events_executed": reference_events,
+            "events_per_sec": round(reference_events / best, 1) if best else 0.0,
+        }
+    return results
+
+
+def format_table(results):
+    base = results.get("heap", {}).get("wall_s_best")
+    lines = [f"{'mode':<14} {'events':>9} {'wall(s)':>9} {'ev/sec':>11} {'vs heap':>8}"]
+    for label, entry in results.items():
+        speed = (
+            f"{base / entry['wall_s_best']:7.2f}x"
+            if base and entry["wall_s_best"]
+            else "     --"
+        )
+        lines.append(
+            f"{label:<14} {entry['events_executed']:>9} "
+            f"{entry['wall_s_best']:9.3f} {entry['events_per_sec']:11.1f} {speed}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="bench_scheduler",
+        description="Microbenchmark the event scheduler (heap vs calendar queue).",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny run, no report write (CI fast lane)",
+    )
+    parser.add_argument("--timers", type=int, default=1024)
+    parser.add_argument("--duration", type=float, default=40.0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out", type=str, default=DEFAULT_OUT,
+        help=f"report to merge the 'scheduler' section into (default {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_timers, duration, repeats, out_path = 64, 5.0, 1, None
+    else:
+        n_timers, duration, repeats = args.timers, args.duration, args.repeats
+        out_path = args.out
+
+    results = bench_modes(n_timers, duration, repeats)
+    print(format_table(results))
+
+    env = environment_provenance()
+    section = {
+        "commit": env.get("commit"),
+        "python": env.get("python"),
+        "env": env,
+        "workload": {"n_timers": n_timers, "duration": duration,
+                     "repeats": repeats, "seed": 7},
+        "modes": results,
+    }
+    if out_path is not None:
+        report = {}
+        path = Path(out_path)
+        if path.exists():
+            try:
+                report = json.loads(path.read_text())
+            except (OSError, ValueError):
+                report = {}
+        report["scheduler"] = section
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"\nmerged 'scheduler' section into {out_path}")
+
+    # PR-6 ledger hooks: perf numbers as metrics (tolerance-checked by
+    # `repro obs regress`), the deterministic count as an exact field.
+    metrics = {
+        f"{label}.events_per_sec": entry["events_per_sec"]
+        for label, entry in results.items()
+    }
+    metrics.update(
+        {f"{label}.wall_s_best": entry["wall_s_best"] for label, entry in results.items()}
+    )
+    record_run(
+        "bench",
+        "scheduler",
+        metrics=metrics,
+        exact={"events_executed": results["heap"]["events_executed"]},
+        scenario={"n_timers": n_timers, "duration": duration,
+                  "repeats": repeats, "seed": 7},
+        seeds=[7],
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

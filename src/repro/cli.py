@@ -1000,6 +1000,13 @@ def cmd_chaos(args, out=None) -> int:
 
 def cmd_bench(args) -> int:
     from repro.experiments import bench
+    from repro.sim.optim import SimOptsError
+
+    try:
+        bench.validate_sim_opts()
+    except SimOptsError as exc:
+        print(f"repro bench: {exc}", file=sys.stderr)
+        return 2
 
     if args.smoke:
         sizes, repeats, out_path = bench.SMOKE_SIZES, 1, None

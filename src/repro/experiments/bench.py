@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.experiments.runner import run_delay_experiment
 from repro.experiments.scenarios import ScenarioConfig
 from repro.obs.ledger import bench_result_sections, environment_provenance, record_run
+from repro.sim.optim import SimOptsError, sim_opts
 
 #: Scenario knobs shared by every bench size (seed fixed for
 #: reproducibility; the same config the paired A/B harness used while
@@ -204,8 +205,20 @@ def format_report(report: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def validate_sim_opts() -> None:
+    """Fail fast on a malformed ``REPRO_SIM_OPTS`` value.
+
+    Raises :class:`~repro.sim.optim.SimOptsError` *before* any
+    measurement work, so a typo'd token (``calender``) aborts with a
+    clean one-line error instead of either a mid-run traceback or —
+    worse — a silently mis-configured A/B comparison.
+    """
+    sim_opts()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     import argparse
+    import sys
 
     parser = argparse.ArgumentParser(
         prog="repro bench",
@@ -232,6 +245,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help=f"report path (default {DEFAULT_OUT})",
     )
     args = parser.parse_args(argv)
+
+    try:
+        validate_sim_opts()
+    except SimOptsError as exc:
+        print(f"repro bench: {exc}", file=sys.stderr)
+        return 2
 
     if args.smoke:
         sizes: Sequence[int] = SMOKE_SIZES

@@ -1,0 +1,262 @@
+"""Calendar-queue scheduler for the discrete-event engine.
+
+This is the ``calqueue`` fast path of :mod:`repro.sim.optim`: a
+bucketed priority structure that replaces the binary heap in
+:class:`~repro.sim.engine.Simulator` while serving events in exactly
+the same ``(time, seq)`` order.  The workload it is tuned for is the
+one the GoCast simulations actually generate — a dense stream of
+near-future network deliveries plus the timer-wheel traffic — where
+events land at most a few dozen buckets ahead of the clock, so
+insertion is an O(1) dict lookup + list append instead of an
+O(log n) heap sift, and service is an O(1) pop from the end of the
+sorted current bucket.
+
+Entry forms (one list can hold both; tuple comparison never reaches
+slot 2 because sequence numbers are globally unique):
+
+- ``(-time, -seq, handle)`` — a cancellable event backed by an
+  :class:`~repro.sim.engine.EventHandle` (``schedule``/``schedule_at``).
+- ``(-time, -seq, callback, args)`` — an *anonymous* fire-and-forget
+  event (``schedule_anon``, network deliveries).  No handle object
+  exists at all, which supersedes the PR-4 handle pool on this path:
+  nothing to acquire, strip, or release — the tuple itself is the
+  event.
+
+Keys are negated (as in :mod:`repro.sim.wheel`) so the *earliest*
+event sits at the **end** of the ascending-sorted current bucket:
+pops are ``list.pop()`` and late arrivals into the current bucket go
+through C ``bisect.insort``.
+
+Ordering contract: bucket indices are monotone in time
+(``int(t1*scale) <= int(t2*scale)`` whenever ``0 <= t1 <= t2``),
+buckets are drained in index order, and each bucket is sorted by exact
+``(time, seq)`` at promotion, so the global service order equals a
+heap's.  An insert that lands at or before the currently promoted
+bucket index must be *earlier* than any bucket still waiting, so it is
+insorted straight into the current bucket — which keeps the order
+exact without the wheel's demote/reload dance.
+
+Adaptive width: when the current bucket grows past ``grow_threshold``
+entries the whole queue is rebuilt with buckets half as wide
+(``scale`` doubles), bounding the memmove cost of in-bucket insorts.
+If a rebuild fails to split the dense bucket (events piled on one
+timestamp), the threshold doubles instead, so pathological inputs cost
+amortized O(log n) rebuilds rather than a rebuild per push.
+
+Cancellation is lazy and owned by the engine: a cancelled handle's
+entry stays where it is and the engine's run loop discards it when it
+surfaces (the engine also counts corpses and calls :meth:`compact`
+when they dominate, mirroring the heap path).
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Default bucket width is 1/64 s — matched to the timer wheel, and a
+#: few one-way King latencies wide, so deliveries land a handful of
+#: buckets ahead (plain append) while bucket population stays small.
+_DEFAULT_SCALE = 64
+
+#: Current-bucket population that triggers a rebuild at double scale.
+_DEFAULT_GROW_THRESHOLD = 4096
+
+
+class CalendarQueue:
+    """Bucketed event queue serving exact ``(time, seq)`` order.
+
+    The engine's hot loops reach straight into ``_current`` /
+    ``_buckets`` (the same convention :class:`~repro.sim.wheel.TimerWheel`
+    uses); the methods here are the reference implementation of those
+    inlined paths plus the structural maintenance (promotion, growth,
+    compaction) that only ever runs between events.
+    """
+
+    __slots__ = (
+        "scale",
+        "grow_threshold",
+        "grows",
+        "_buckets",
+        "_bucket_heap",
+        "_current",
+        "_current_idx",
+        "_size",
+    )
+
+    def __init__(
+        self,
+        scale: int = _DEFAULT_SCALE,
+        grow_threshold: int = _DEFAULT_GROW_THRESHOLD,
+    ) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        if grow_threshold < 8:
+            raise ValueError(f"grow_threshold too small: {grow_threshold}")
+        #: Buckets per simulated second (doubles on growth).
+        self.scale = scale
+        #: Current-bucket population that triggers a width rebuild.
+        self.grow_threshold = grow_threshold
+        #: Number of width rebuilds performed (diagnostics/benchmarks).
+        self.grows = 0
+        self._buckets: dict = {}
+        self._bucket_heap: List[int] = []
+        self._current: List[tuple] = []
+        self._current_idx = -1
+        self._size = 0
+
+    def __len__(self) -> int:
+        """Total stored entries, lazily-cancelled corpses included."""
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def push(self, time: float, seq: int, handle: Any) -> None:
+        """Insert a cancellable event backed by ``handle``."""
+        self._place((-time, -seq, handle), time)
+
+    def push_anon(
+        self, time: float, seq: int, callback: Callable[..., Any], args: tuple
+    ) -> None:
+        """Insert an anonymous fire-and-forget event (no handle object)."""
+        self._place((-time, -seq, callback, args), time)
+
+    def _place(self, item: tuple, time: float) -> None:
+        idx = int(time * self.scale)
+        if idx <= self._current_idx:
+            # At or before the promoted bucket: every bucket still in
+            # the heap is strictly later, so exact order is preserved
+            # by insorting straight into the current (sorted) bucket.
+            cur = self._current
+            insort(cur, item)
+            self._size += 1
+            if len(cur) > self.grow_threshold:
+                self._grow()
+            return
+        buckets = self._buckets
+        bucket = buckets.get(idx)
+        if bucket is None:
+            buckets[idx] = [item]
+            heapq.heappush(self._bucket_heap, idx)
+        else:
+            bucket.append(item)
+        self._size += 1
+
+    # ------------------------------------------------------------------
+    # Service
+    # ------------------------------------------------------------------
+    def peek(self) -> Optional[tuple]:
+        """The earliest stored entry (corpses included), or None.
+
+        Returns the raw negated item; promotes buckets as a side
+        effect but removes nothing.  Corpse handling belongs to the
+        caller (the engine counts discarded cancellations).
+        """
+        while True:
+            cur = self._current
+            if cur:
+                return cur[-1]
+            if not self._promote():
+                return None
+
+    def pop(self) -> Optional[tuple]:
+        """Remove and return the earliest stored entry, or None."""
+        item = self.peek()
+        if item is not None:
+            self._current.pop()
+            self._size -= 1
+        return item
+
+    def next_key(self) -> Optional[Tuple[float, int]]:
+        """``(time, seq)`` of the earliest entry, or None (test aid)."""
+        item = self.peek()
+        if item is None:
+            return None
+        return (-item[0], -item[1])
+
+    def _promote(self) -> bool:
+        """Advance to the earliest non-empty bucket; False when drained.
+
+        ``_current_idx`` is *kept* when the queue empties so that new
+        events landing inside the already-promoted time range keep
+        taking the insort path (times before the promoted range cannot
+        be scheduled: the clock never runs backwards).
+        """
+        buckets = self._buckets
+        bheap = self._bucket_heap
+        while bheap:
+            idx = heapq.heappop(bheap)
+            bucket = buckets.pop(idx, None)
+            if bucket is None:  # pragma: no cover - defensive; 1:1 invariant
+                continue
+            bucket.sort()
+            self._current = bucket
+            self._current_idx = idx
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Structural maintenance
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        """Rebuild with buckets half as wide (``scale`` doubles).
+
+        Service order is untouched — it is fully determined by the
+        ``(time, seq)`` keys.  If the rebuild failed to split the dense
+        bucket (a same-timestamp pile-up that no width can separate),
+        the threshold doubles so the next rebuild needs twice the
+        density — keeping adversarial inputs to amortized O(log n)
+        rebuilds instead of one per push.
+        """
+        self.scale *= 2
+        biggest = self._rebuild(self._all_items())
+        self.grows += 1
+        if biggest > self.grow_threshold:
+            self.grow_threshold *= 2
+
+    def compact(self) -> int:
+        """Drop lazily-cancelled corpses; returns how many were dropped.
+
+        Mirrors the heap path's corpse compaction: pop order depends
+        only on the ``(time, seq)`` keys, so rebuilding never changes
+        execution order.
+        """
+        live = [
+            item
+            for item in self._all_items()
+            if len(item) == 4 or not item[2].cancelled
+        ]
+        dropped = self._size - len(live)
+        self._rebuild(live)
+        self._size = len(live)
+        return dropped
+
+    def _all_items(self) -> List[tuple]:
+        items = list(self._current)
+        for bucket in self._buckets.values():
+            items.extend(bucket)
+        return items
+
+    def _rebuild(self, items: List[tuple]) -> int:
+        """Re-bucket ``items`` under the current scale; returns the
+        largest resulting bucket's population."""
+        scale = self.scale
+        buckets: dict = {}
+        biggest = 0
+        for item in items:
+            idx = int(-item[0] * scale)
+            bucket = buckets.get(idx)
+            if bucket is None:
+                buckets[idx] = [item]
+            else:
+                bucket.append(item)
+                if len(bucket) > biggest:
+                    biggest = len(bucket)
+        self._buckets = buckets
+        self._bucket_heap = list(buckets)
+        heapq.heapify(self._bucket_heap)
+        self._current = []
+        self._current_idx = -1
+        return biggest

@@ -15,29 +15,37 @@ mass pull cancellations under churn) the queue is compacted in place
 and re-heapified; heap pop order depends only on the (time, seq) keys,
 so compaction never changes execution order.
 
-Two optimized side-structures ride along, gated by
+Optimized structures ride along, selected per token by
 :mod:`repro.sim.optim` (``REPRO_SIM_OPTS``):
 
-- a :class:`~repro.sim.wheel.TimerWheel` for periodic timers
-  (:meth:`Simulator.schedule_periodic`), which reschedules a single
-  entry in place instead of churning heap handles, and
-- an :class:`~repro.sim.eventpool.EventPool` backing
-  :meth:`Simulator.schedule_anon` for fire-and-forget events whose
-  handle no caller ever sees (network deliveries).
+- ``calqueue`` — a :class:`~repro.sim.calqueue.CalendarQueue` replaces
+  the binary heap outright; anonymous events become plain tuples (no
+  handle object at all), which supersedes ``pool`` on that path.
+- ``batch`` — the calendar-queue run loop drains runs of equal-time
+  events without re-resolving the scheduler head per event.
+- ``wheel`` — a :class:`~repro.sim.wheel.TimerWheel` for periodic
+  timers (:meth:`Simulator.schedule_periodic`), which reschedules a
+  single entry in place instead of churning scheduler entries.
+- ``pool`` — an :class:`~repro.sim.eventpool.EventPool` backing
+  :meth:`Simulator.schedule_anon` on the *heap* path (the PR-4
+  configuration, kept as a reference point; inert under ``calqueue``).
 
-Both share the global sequence counter and merge by exact
-``(time, seq)``, so enabling them is observably identical to the plain
-heap — a claim pinned by the golden-master equivalence test.
+All of them share the global sequence counter and merge by exact
+``(time, seq)``, so any combination is observably identical to the
+plain heap — a claim pinned by the golden-master equivalence test and
+the differential scheduler suite
+(``tests/property/test_calqueue_properties.py``).
 """
 
 from __future__ import annotations
 
 import gc
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, FrozenSet, Iterable, List, Optional, Tuple
 
+from repro.sim.calqueue import CalendarQueue
 from repro.sim.eventpool import EventPool
-from repro.sim.optim import optimizations_enabled
+from repro.sim.optim import ALL_OPTS, KNOWN_OPTS, SimOptsError, sim_opts
 from repro.sim.wheel import TimerWheel, WheelEntry
 
 
@@ -104,13 +112,21 @@ class Simulator:
 
     The clock unit is seconds throughout the repository.
 
-    ``optimize`` selects the fast paths (timer wheel, handle pooling,
-    corpse compaction); None defers to the ``REPRO_SIM_OPTS``
-    environment gate.  Either way the observable behaviour — event
-    order, timestamps, ``events_executed`` — is identical.
+    ``optimize`` selects the fast paths wholesale (calendar queue,
+    batched dispatch, timer wheel, corpse compaction); None defers to
+    the ``REPRO_SIM_OPTS`` environment gate.  ``opts`` instead names an
+    exact token subset (see :data:`repro.sim.optim.KNOWN_OPTS`) for A/B
+    diagnosis — e.g. ``opts={"wheel", "pool"}`` is the PR-4
+    configuration — and overrides ``optimize``.  Whatever the
+    configuration, the observable behaviour — event order, timestamps,
+    ``events_executed`` — is identical.
     """
 
-    def __init__(self, optimize: Optional[bool] = None) -> None:
+    def __init__(
+        self,
+        optimize: Optional[bool] = None,
+        opts: Optional[Iterable[str]] = None,
+    ) -> None:
         #: Current simulated time in seconds.  A plain attribute (not a
         #: property): protocol hot paths read it per message, and the
         #: descriptor call was measurable at scale.  Only the engine
@@ -121,11 +137,34 @@ class Simulator:
         self._executed = 0
         self._running = False
         self._dispatch_hook: Optional[Callable[[Callable[..., Any], tuple], None]] = None
-        if optimize is None:
-            optimize = optimizations_enabled()
-        self._optimize = optimize
-        self._wheel: Optional[TimerWheel] = TimerWheel() if optimize else None
-        self._pool: Optional[EventPool] = EventPool(EventHandle) if optimize else None
+        if opts is not None:
+            enabled: FrozenSet[str] = frozenset(opts)
+            unknown = enabled - KNOWN_OPTS
+            if unknown:
+                raise SimOptsError(
+                    f"unknown opts token(s): {', '.join(sorted(unknown))} "
+                    f"(known: {', '.join(sorted(KNOWN_OPTS))})"
+                )
+        elif optimize is None:
+            enabled = sim_opts()
+        elif optimize:
+            enabled = ALL_OPTS
+        else:
+            enabled = frozenset()
+        self._opts = enabled
+        self._optimize = bool(enabled)
+        self._wheel: Optional[TimerWheel] = TimerWheel() if "wheel" in enabled else None
+        self._calq: Optional[CalendarQueue] = (
+            CalendarQueue() if "calqueue" in enabled else None
+        )
+        # The pool only serves the heap path; under the calendar queue
+        # anonymous events are plain tuples and there is nothing to pool.
+        self._pool: Optional[EventPool] = (
+            EventPool(EventHandle)
+            if ("pool" in enabled and self._calq is None)
+            else None
+        )
+        self._batch = "batch" in enabled and self._calq is not None
         self._cancelled = 0
         #: Number of corpse-compaction passes run (diagnostics/benchmarks).
         self.compactions = 0
@@ -152,7 +191,12 @@ class Simulator:
         """Queue entries (including not-yet-collected cancellations) plus
         live wheel timers."""
         wheel = self._wheel
-        return len(self._queue) + (wheel.count if wheel is not None else 0)
+        calq = self._calq
+        return (
+            len(self._queue)
+            + (len(calq) if calq is not None else 0)
+            + (wheel.count if wheel is not None else 0)
+        )
 
     @property
     def wheel_enabled(self) -> bool:
@@ -168,7 +212,11 @@ class Simulator:
         self._seq = seq + 1
         handle = EventHandle(time, seq, callback, args)
         handle._sim = self
-        heapq.heappush(self._queue, (time, seq, handle))
+        calq = self._calq
+        if calq is not None:
+            calq.push(time, seq, handle)
+        else:
+            heapq.heappush(self._queue, (time, seq, handle))
         return handle
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
@@ -181,18 +229,27 @@ class Simulator:
         self._seq = seq + 1
         handle = EventHandle(time, seq, callback, args)
         handle._sim = self
-        heapq.heappush(self._queue, (time, seq, handle))
+        calq = self._calq
+        if calq is not None:
+            calq.push(time, seq, handle)
+        else:
+            heapq.heappush(self._queue, (time, seq, handle))
         return handle
 
     def schedule_anon(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
         """Fire-and-forget :meth:`schedule`: no handle is returned, so the
-        event can never be cancelled externally — which is exactly what
-        makes it safe to back with a recycled pooled handle."""
+        event can never be cancelled externally — which is what makes it
+        safe to store as a bare tuple (calendar queue) or back with a
+        recycled pooled handle (heap path)."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         time = self.now + delay
         seq = self._seq
         self._seq = seq + 1
+        calq = self._calq
+        if calq is not None:
+            calq.push_anon(time, seq, callback, args)
+            return
         pool = self._pool
         if pool is not None:
             # EventPool.acquire, inlined: this runs once per network
@@ -253,15 +310,23 @@ class Simulator:
             raise SimulationError(
                 f"run_until({end_time}) would move time backwards from {self.now}"
             )
-        self._run(end_time)
+        if self._calq is not None:
+            self._run_calq(end_time)
+        else:
+            self._run(end_time)
         self.now = end_time
 
     def run(self) -> None:
         """Execute events until the queue is empty."""
-        self._run(None)
+        if self._calq is not None:
+            self._run_calq(None)
+        else:
+            self._run(None)
 
     def step(self) -> bool:
         """Execute the single next pending event.  Returns False if none."""
+        if self._calq is not None:
+            return self._step_calq()
         queue = self._queue
         while queue and queue[0][2].cancelled:
             heapq.heappop(queue)
@@ -296,26 +361,71 @@ class Simulator:
             self._dispatch_hook(callback, args)
         return True
 
+    def _step_calq(self) -> bool:
+        """:meth:`step` for the calendar-queue configuration."""
+        calq = self._calq
+        while True:
+            item = calq.peek()
+            if item is None or len(item) == 4 or not item[2].cancelled:
+                break
+            calq.pop()
+            self._cancelled -= 1
+        wheel = self._wheel
+        wheel_key = wheel.peek() if wheel is not None else None
+        if item is not None:
+            from_wheel = wheel_key is not None and wheel_key < (-item[0], -item[1])
+        elif wheel_key is not None:
+            from_wheel = True
+        else:
+            return False
+        if from_wheel:
+            entry = wheel.pop()
+            self.now = entry.time
+            callback, args = entry.callback, entry.args
+        else:
+            calq.pop()
+            self.now = -item[0]
+            if len(item) == 4:
+                callback, args = item[2], item[3]
+            else:
+                handle = item[2]
+                callback, args = handle.callback, handle.args
+                handle.callback, handle.args = None, ()
+                handle._sim = None
+        self._executed += 1
+        assert callback is not None
+        if self._dispatch_hook is None:
+            callback(*args)
+        else:
+            self._dispatch_hook(callback, args)
+        return True
+
     def _note_cancel(self) -> None:
-        """A handle in the heap was cancelled; compact if corpses dominate."""
+        """A queued handle was cancelled; compact if corpses dominate."""
         self._cancelled += 1
-        if (
-            self._optimize
-            and self._cancelled >= _COMPACT_MIN_CORPSES
-            and self._cancelled * 2 > len(self._queue)
-        ):
-            self._compact()
+        if self._optimize and self._cancelled >= _COMPACT_MIN_CORPSES:
+            calq = self._calq
+            size = len(calq) if calq is not None else len(self._queue)
+            if self._cancelled * 2 > size:
+                self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled corpses and re-heapify, preserving pop order.
+        """Drop cancelled corpses, preserving pop order.
 
-        In-place slice assignment keeps the ``queue`` local in a running
-        :meth:`_run` valid.
+        Heap path: in-place slice assignment + re-heapify keeps the
+        ``queue`` local in a running :meth:`_run` valid.  Calendar-queue
+        path: the queue rebuilds its buckets (the run loop re-reads the
+        current bucket after every dispatch, so a mid-run rebuild is
+        safe).
         """
-        queue = self._queue
-        live = [item for item in queue if not item[2].cancelled]
-        queue[:] = live
-        heapq.heapify(queue)
+        calq = self._calq
+        if calq is not None:
+            calq.compact()
+        else:
+            queue = self._queue
+            live = [item for item in queue if not item[2].cancelled]
+            queue[:] = live
+            heapq.heapify(queue)
         self._cancelled = 0
         self.compactions += 1
 
@@ -410,6 +520,163 @@ class Simulator:
                     callback(*args)
                 else:
                     hook(callback, args)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            self._executed = executed
+            self._running = False
+
+    def _run_calq(self, end_time: Optional[float]) -> None:
+        """:meth:`_run` for the calendar-queue configuration.
+
+        Same merge contract as the heap loop — wheel and queue serve
+        exact ``(time, seq)`` order from the shared counter — plus the
+        ``batch`` refinement: once an event at time ``t`` dispatches,
+        everything still queued at exactly ``t`` was scheduled *before*
+        anything the callback can add now (new events draw larger
+        seqs), so the run drains without re-resolving the scheduler
+        head, pausing only if a wheel entry interleaves.
+
+        The current-bucket local is re-read after every dispatch:
+        callbacks can trigger bucket growth or corpse compaction, both
+        of which replace the list object.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = self._executed
+        # Same GC rationale as the optimized heap loop.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            calq = self._calq
+            wheel = self._wheel
+            promote = calq._promote
+            hook = self._dispatch_hook
+            # Batched dispatch preserves order exactly, but the hook
+            # protocol promises one hook call per event with the head
+            # re-resolved in between (the profiler relies on it), so
+            # batching only engages for direct dispatch.
+            batch = self._batch and hook is None
+            while True:
+                # Queue head, skipping cancelled corpses.
+                cur = calq._current
+                while True:
+                    if cur:
+                        item = cur[-1]
+                        if len(item) == 3 and item[2].cancelled:
+                            cur.pop()
+                            calq._size -= 1
+                            self._cancelled -= 1
+                            continue
+                        break
+                    if not promote():
+                        item = None
+                        break
+                    cur = calq._current
+                # Wheel head: cached key, recomputed only when a
+                # mutation invalidated it.
+                if wheel is not None:
+                    wheel_key = wheel.next_key
+                    if wheel_key is None and wheel.count:
+                        wheel_key = wheel.peek()
+                else:
+                    wheel_key = None
+                if item is not None:
+                    time = -item[0]
+                    if wheel_key is not None:
+                        wtime = wheel_key[0]
+                        from_wheel = wtime < time or (
+                            wtime == time and wheel_key[1] < -item[1]
+                        )
+                        if from_wheel:
+                            time = wtime
+                    else:
+                        from_wheel = False
+                elif wheel_key is not None:
+                    from_wheel = True
+                    time = wheel_key[0]
+                else:
+                    break
+                if end_time is not None and time > end_time:
+                    break
+                self.now = time
+                if from_wheel:
+                    entry = wheel.pop()
+                    executed += 1
+                    if hook is None:
+                        entry.callback(*entry.args)
+                    else:
+                        hook(entry.callback, entry.args)
+                    continue
+                cur.pop()
+                calq._size -= 1
+                executed += 1
+                if len(item) == 4:
+                    if hook is None:
+                        item[2](*item[3])
+                    else:
+                        hook(item[2], item[3])
+                else:
+                    handle = item[2]
+                    callback = handle.callback
+                    args = handle.args
+                    # Strip before dispatch, as in the heap loop.
+                    handle.callback = None
+                    handle.args = ()
+                    handle._sim = None
+                    if hook is None:
+                        callback(*args)
+                    else:
+                        hook(callback, args)
+                if not batch:
+                    continue
+                # Drain the same-timestamp run.  The only competitor
+                # that can legally interleave is a wheel entry at this
+                # exact time with a *smaller* seq than the next queued
+                # item — one scheduled before the run started.  A wheel
+                # entry scheduled by these very callbacks carries a
+                # larger seq than everything already queued at ``time``
+                # and therefore never preempts the drain.
+                while True:
+                    cur = calq._current
+                    if not cur:
+                        break
+                    item = cur[-1]
+                    if item[0] != -time:
+                        break
+                    if wheel is not None:
+                        wheel_key = wheel.next_key
+                        if wheel_key is None and wheel.count:
+                            wheel_key = wheel.peek()
+                        if (
+                            wheel_key is not None
+                            and wheel_key[0] == time
+                            and wheel_key[1] < -item[1]
+                        ):
+                            break
+                    if len(item) == 3:
+                        handle = item[2]
+                        if handle.cancelled:
+                            cur.pop()
+                            calq._size -= 1
+                            self._cancelled -= 1
+                            continue
+                        cur.pop()
+                        calq._size -= 1
+                        executed += 1
+                        callback = handle.callback
+                        args = handle.args
+                        handle.callback = None
+                        handle.args = ()
+                        handle._sim = None
+                        callback(*args)
+                    else:
+                        cur.pop()
+                        calq._size -= 1
+                        executed += 1
+                        item[2](*item[3])
         finally:
             if gc_was_enabled:
                 gc.enable()

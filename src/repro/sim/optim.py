@@ -1,30 +1,83 @@
 """Runtime gate for the simulation fast paths.
 
-The hot-path optimizations (timer wheel, event-handle pooling,
-array-backed latency lookups) are required to be *bit-identical* to the
-straightforward implementations they replace: same event order, same
-RNG draws, same results.  To make that claim testable forever, every
-optimized component keeps its plain fallback and consults this gate at
+The hot-path optimizations (calendar-queue scheduler, timer wheel,
+event-handle pooling, batched dispatch, array-backed latency lookups)
+are required to be *bit-identical* to the straightforward
+implementations they replace: same event order, same RNG draws, same
+results.  To make that claim testable forever, every optimized
+component keeps its plain fallback and consults this gate at
 construction time, and the golden-master equivalence test runs the same
 scenario with the gate forced both ways.
 
-Set ``REPRO_SIM_OPTS=0`` to force the plain paths (diagnosis, A/B
-benchmarking, the equivalence gate); anything else — including leaving
-the variable unset — enables the fast paths.
+``REPRO_SIM_OPTS`` accepts either a boolean ("0"/"false"/"off"/"no"
+forces the plain paths; "1"/"true"/"on"/"yes"/"all" — or leaving the
+variable unset — enables everything) or a comma-separated subset of the
+named engine optimizations for A/B diagnosis::
+
+    REPRO_SIM_OPTS=0                  # plain reference paths
+    REPRO_SIM_OPTS=wheel,pool         # the PR-4 configuration
+    REPRO_SIM_OPTS=calqueue,wheel     # calendar queue without batching
+    REPRO_SIM_OPTS=all                # everything (same as unset)
+
+Unknown tokens are a hard error (:class:`SimOptsError`), never silently
+ignored: a typo like ``calender`` would otherwise run the wrong
+configuration and poison an A/B comparison.  ``repro bench`` turns the
+error into a clean one-line message and a nonzero exit.
 """
 
 from __future__ import annotations
 
 import os
+from typing import FrozenSet
 
 #: Environment variable controlling the gate.
 ENV_VAR = "REPRO_SIM_OPTS"
 
-_FALSE_VALUES = ("0", "false", "off", "no")
+#: The individually selectable engine optimizations:
+#:
+#: - ``wheel``    — timer wheel for periodic timers (:mod:`repro.sim.wheel`)
+#: - ``pool``     — pooled fire-and-forget event handles on the heap
+#:                  (:mod:`repro.sim.eventpool`; superseded by ``calqueue``,
+#:                  which stores anonymous events as plain tuples)
+#: - ``calqueue`` — calendar-queue scheduler replacing the binary heap
+#:                  (:mod:`repro.sim.calqueue`)
+#: - ``batch``    — batched same-timestamp dispatch in the calendar-queue
+#:                  run loop (no effect without ``calqueue``)
+KNOWN_OPTS: FrozenSet[str] = frozenset({"wheel", "pool", "calqueue", "batch"})
+
+#: Every optimization on — what "1"/"all"/unset mean.
+ALL_OPTS: FrozenSet[str] = KNOWN_OPTS
+
+_FALSE_VALUES = ("0", "false", "off", "no", "none")
+_TRUE_VALUES = ("1", "true", "on", "yes", "all", "")
 
 
-def optimizations_enabled(default: bool = True) -> bool:
-    """Whether the simulation fast paths are enabled (read per call).
+class SimOptsError(ValueError):
+    """``REPRO_SIM_OPTS`` contains a token that names no optimization."""
+
+
+def parse_opts(value: str) -> FrozenSet[str]:
+    """Parse one ``REPRO_SIM_OPTS`` value into a set of enabled tokens.
+
+    Raises :class:`SimOptsError` on unknown tokens.
+    """
+    lowered = value.strip().lower()
+    if lowered in _TRUE_VALUES:
+        return ALL_OPTS
+    if lowered in _FALSE_VALUES:
+        return frozenset()
+    tokens = frozenset(t.strip() for t in lowered.split(",") if t.strip())
+    unknown = tokens - KNOWN_OPTS
+    if unknown:
+        raise SimOptsError(
+            f"unknown {ENV_VAR} token(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(KNOWN_OPTS))}, or 0/1/all)"
+        )
+    return tokens
+
+
+def sim_opts(default: bool = True) -> FrozenSet[str]:
+    """The enabled optimization tokens (read from the environment per call).
 
     Components read this once at construction, so flipping the
     environment variable affects simulators/networks/models built
@@ -32,5 +85,15 @@ def optimizations_enabled(default: bool = True) -> bool:
     """
     value = os.environ.get(ENV_VAR)
     if value is None:
-        return default
-    return value.strip().lower() not in _FALSE_VALUES
+        return ALL_OPTS if default else frozenset()
+    return parse_opts(value)
+
+
+def optimizations_enabled(default: bool = True) -> bool:
+    """Whether *any* simulation fast path is enabled.
+
+    The all-or-nothing consumers (dense latency rows, the RTT memo)
+    gate on this; the engine consults the token set via
+    :func:`sim_opts` for per-structure selection.
+    """
+    return bool(sim_opts(default))

@@ -20,8 +20,9 @@ application-level hop over the physical topology.
 from __future__ import annotations
 
 import random
+from bisect import insort
 from heapq import heappush
-from typing import Any, Callable, Dict, Optional, Protocol, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Protocol, Set, Tuple
 
 from repro import obs as obs_pkg
 from repro.net.latency import LatencyModel
@@ -64,32 +65,42 @@ class Network:
         self._rng = rng if rng is not None else random.Random(0)
         self._endpoints: Dict[int, Endpoint] = {}
         self._dead: Set[int] = set()
+        #: Registered-and-not-dead node ids: one membership test in the
+        #: send loop instead of two (kept in sync by register/kill/
+        #: revive/remove; ``_dead`` stays authoritative for revive).
+        self._reachable: Set[int] = set()
         self._failed_links: Set[Tuple[int, int]] = set()
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_lost = 0
-        self.sent_by_type: Dict[str, int] = {}
-        self.bytes_by_type: Dict[str, int] = {}
         #: Optional hook called as ``on_send(src, dst, msg)`` for every send.
         self.on_send: Optional[Callable[[int, int, Any], None]] = None
         # --- send() fast path (see repro.sim.optim) -------------------
         # Per-message-class memo of (type name, unbound wire_size,
-        # fixed size) so the hot loop skips type(msg).__name__ string
-        # churn and the per-send bound-method allocation of
-        # getattr(msg, "wire_size").  Classes whose size is instance-
-        # independent advertise it via a FIXED_WIRE_SIZE class attribute
-        # (see repro.core.messages), which skips the wire_size call
-        # entirely for the hottest traffic (pings, degree updates).
+        # fixed size, [count, bytes] cell) so the hot loop skips
+        # type(msg).__name__ string churn, the per-send bound-method
+        # allocation of getattr(msg, "wire_size"), and the by-name
+        # counter dict lookups (the cell is mutated in place;
+        # ``sent_by_type``/``bytes_by_type`` are derived views).
+        # Classes whose size is instance-independent advertise it via a
+        # FIXED_WIRE_SIZE class attribute (see repro.core.messages),
+        # which skips the wire_size call entirely for the hottest
+        # traffic (pings, degree updates).
         self._msg_meta: Dict[
-            type, Tuple[str, Optional[Callable[[Any], int]], Optional[int]]
+            type,
+            Tuple[str, Optional[Callable[[Any], int]], Optional[int], List[int]],
         ] = {}
-        # Delivery handles are fire-and-forget, so the optimized path
-        # routes them through the engine's pooled event freelist
-        # (keyed off the simulator's own state, so a sim constructed
-        # with optimize=False never hits the pooled path).
+        # Delivery events are fire-and-forget.  Under the calendar
+        # queue they are pushed as bare tuples; under the PR-4 heap
+        # configuration they route through the engine's pooled event
+        # freelist.  Both keyed off the simulator's own state, so a sim
+        # constructed with optimize=False never hits a fast path.
+        self._calq = sim._calq
         self._optimized = sim._pool is not None
         self._schedule: Callable[..., Any] = (
-            sim.schedule_anon if self._optimized else sim.schedule
+            sim.schedule_anon
+            if (self._optimized or self._calq is not None)
+            else sim.schedule
         )
         self._one_way = latency.one_way
         # Models may expose a dense per-node table whose cells equal
@@ -145,6 +156,29 @@ class Network:
             self._fifo_floor = {}
 
     # ------------------------------------------------------------------
+    # Per-type counters (derived from the per-class memo cells)
+    # ------------------------------------------------------------------
+    @property
+    def sent_by_type(self) -> Dict[str, int]:
+        """Messages sent per message-type name (insertion order = first
+        send of each type, matching the pre-memo behaviour)."""
+        out: Dict[str, int] = {}
+        for name, _fn, _fixed, cell in self._msg_meta.values():
+            if cell[0]:
+                out[name] = out.get(name, 0) + cell[0]
+        return out
+
+    @property
+    def bytes_by_type(self) -> Dict[str, int]:
+        """Wire bytes sent per message-type name (types with no
+        ``wire_size`` contribute nothing, as before)."""
+        out: Dict[str, int] = {}
+        for name, _fn, _fixed, cell in self._msg_meta.values():
+            if cell[1]:
+                out[name] = out.get(name, 0) + cell[1]
+        return out
+
+    # ------------------------------------------------------------------
     # Registration and liveness
     # ------------------------------------------------------------------
     def register(self, endpoint: Endpoint) -> None:
@@ -153,26 +187,31 @@ class Network:
             raise ValueError(f"node {node_id} already registered")
         self._endpoints[node_id] = endpoint
         self._dead.discard(node_id)
+        self._reachable.add(node_id)
 
     def kill(self, node_id: int) -> None:
         """Crash-stop ``node_id``; in-flight messages to it are dropped."""
         if node_id in self._endpoints:
             self._dead.add(node_id)
+            self._reachable.discard(node_id)
 
     def revive(self, node_id: int) -> None:
         """Bring a previously killed node back (used by churn scenarios)."""
         self._dead.discard(node_id)
+        if node_id in self._endpoints:
+            self._reachable.add(node_id)
 
     def remove(self, node_id: int) -> None:
         """Fully deregister a node (after a graceful leave)."""
         self._endpoints.pop(node_id, None)
         self._dead.discard(node_id)
+        self._reachable.discard(node_id)
 
     def is_alive(self, node_id: int) -> bool:
-        return node_id in self._endpoints and node_id not in self._dead
+        return node_id in self._reachable
 
     def alive_nodes(self) -> Set[int]:
-        return {n for n in self._endpoints if n not in self._dead}
+        return set(self._reachable)
 
     # ------------------------------------------------------------------
     # Link failures
@@ -206,21 +245,19 @@ class Network:
         meta = self._msg_meta.get(cls)
         if meta is None:
             # One-time per message class: resolve the name, the unbound
-            # wire_size function (None if the class has none) and the
-            # constant size (None if instance-dependent).
+            # wire_size function (None if the class has none), the
+            # constant size (None if instance-dependent) and the mutable
+            # [count, bytes] counter cell.
             wire_size = getattr(cls, "wire_size", None)
             meta = (
                 cls.__name__,
                 wire_size if callable(wire_size) else None,
                 getattr(cls, "FIXED_WIRE_SIZE", None),
+                [0, 0],
             )
             self._msg_meta[cls] = meta
-        type_name, wire_size_fn, fixed_size = meta
-        by_type = self.sent_by_type
-        try:
-            by_type[type_name] += 1
-        except KeyError:
-            by_type[type_name] = 1
+        type_name, wire_size_fn, fixed_size, cell = meta
+        cell[0] += 1
         if fixed_size is not None:
             size = fixed_size
         elif wire_size_fn is not None:
@@ -228,11 +265,7 @@ class Network:
         else:
             size = 0
         if size:
-            bytes_by_type = self.bytes_by_type
-            try:
-                bytes_by_type[type_name] += size
-            except KeyError:
-                bytes_by_type[type_name] = size
+            cell[1] += size
         if self.obs.enabled:
             metrics = self.obs.metrics
             metrics.inc("net.sent", type=type_name)
@@ -248,13 +281,9 @@ class Network:
         if self.latency_factor != 1.0:
             delay *= self.latency_factor
         # Inlined is_alive + link_ok: this runs for every message.
-        broken = (
-            dst in self._dead
-            or dst not in self._endpoints
-            or (
-                bool(self._failed_links)
-                and ((src, dst) if src <= dst else (dst, src)) in self._failed_links
-            )
+        broken = dst not in self._reachable or (
+            bool(self._failed_links)
+            and ((src, dst) if src <= dst else (dst, src)) in self._failed_links
         )
 
         if reliable:
@@ -292,10 +321,35 @@ class Network:
                     )
                 return
         sim = self.sim
-        if self._optimized:
-            # Simulator.schedule_anon, inlined (same-package fast path):
-            # one call frame per message was the engine API's entire
+        calq = self._calq
+        if calq is not None:
+            # CalendarQueue.push_anon, inlined (same-package fast path):
+            # one bare tuple per message, no handle object at all.  One
+            # call frame per message was the engine API's entire
             # remaining overhead.
+            time = sim.now + delay
+            seq = sim._seq
+            sim._seq = seq + 1
+            item = (-time, -seq, self._deliver, (src, dst, msg))
+            idx = int(time * calq.scale)
+            if idx <= calq._current_idx:
+                cur = calq._current
+                insort(cur, item)
+                calq._size += 1
+                if len(cur) > calq.grow_threshold:
+                    calq._grow()
+            else:
+                buckets = calq._buckets
+                bucket = buckets.get(idx)
+                if bucket is None:
+                    buckets[idx] = [item]
+                    heappush(calq._bucket_heap, idx)
+                else:
+                    bucket.append(item)
+                calq._size += 1
+        elif self._optimized:
+            # Simulator.schedule_anon, inlined: the PR-4 pooled-handle
+            # heap path, kept for the wheel,pool A/B configuration.
             time = sim.now + delay
             seq = sim._seq
             sim._seq = seq + 1
@@ -318,8 +372,7 @@ class Network:
             self._schedule(delay, self._deliver, src, dst, msg)
 
     def _deliver(self, src: int, dst: int, msg: Any) -> None:
-        endpoint = self._endpoints.get(dst)
-        if endpoint is None or dst in self._dead:
+        if dst not in self._reachable:
             # Destination died while the message was in flight.
             self.messages_lost += 1
             if self.obs.enabled:
@@ -328,7 +381,7 @@ class Network:
         self.messages_delivered += 1
         if self.obs.enabled:
             self.obs.metrics.inc("net.delivered", type=type(msg).__name__)
-        endpoint.handle_message(src, msg)
+        self._endpoints[dst].handle_message(src, msg)
 
     def _notify_failure(self, src: int, dst: int, msg: Any) -> None:
         if not self.is_alive(src):

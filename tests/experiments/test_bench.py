@@ -2,7 +2,10 @@
 
 import json
 
+import pytest
+
 from repro.experiments import bench
+from repro.sim.optim import SimOptsError
 
 
 def test_bench_size_smoke():
@@ -69,3 +72,34 @@ def test_run_bench_records_environment_provenance(tmp_path):
     # The report on disk carries the same provenance.
     written = json.loads(out.read_text())
     assert written["current"]["env"] == env
+
+
+def test_validate_sim_opts_raises_on_unknown_token(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_OPTS", "calender")
+    with pytest.raises(SimOptsError, match="calender"):
+        bench.validate_sim_opts()
+    monkeypatch.setenv("REPRO_SIM_OPTS", "wheel,pool")
+    bench.validate_sim_opts()  # valid subsets pass
+
+
+def test_bench_main_rejects_unknown_token_cleanly(monkeypatch, capsys):
+    """`repro bench` with a typo'd gate: one-line stderr error, exit 2,
+    no measurement work (pinned by --smoke never printing a table)."""
+    monkeypatch.setenv("REPRO_SIM_OPTS", "calender")
+    rc = bench.main(["--smoke"])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert captured.out == ""
+    err_lines = [ln for ln in captured.err.splitlines() if ln.strip()]
+    assert len(err_lines) == 1
+    assert "calender" in err_lines[0] and "repro bench" in err_lines[0]
+
+
+def test_cli_bench_rejects_unknown_token_cleanly(monkeypatch, capsys):
+    from repro import cli
+
+    monkeypatch.setenv("REPRO_SIM_OPTS", "calender,wheel")
+    rc = cli.main(["bench", "--smoke"])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "calender" in captured.err

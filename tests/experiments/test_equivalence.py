@@ -1,17 +1,19 @@
 """Golden-master equivalence gate for the simulation fast paths.
 
-The PR-4 optimizations (timer wheel, event pooling, dense latency rows,
-the inlined transport send) all claim *bit-identical* behaviour to the
-plain implementations they replace.  This test enforces the claim where
-it matters most: the golden 25%-failure scenario is run twice — once
-with ``REPRO_SIM_OPTS`` forced off, once forced on — and the trial
-results must match byte-for-byte (raw delay arrays, exact message
-counts), not merely to golden rounding.  Both runs must also still
-match the committed golden fixture.
+The engine optimizations (calendar-queue scheduler, batched dispatch,
+timer wheel, event pooling, dense latency rows, the inlined transport
+send) all claim *bit-identical* behaviour to the plain implementations
+they replace.  This test enforces the claim where it matters most: the
+golden 25%-failure scenario is run under every ``REPRO_SIM_OPTS``
+configuration of interest and the trial results must match
+byte-for-byte (raw delay arrays, exact message counts), not merely to
+golden rounding.  Every run must also still match the committed golden
+fixture.
 """
 
 import json
-from pathlib import Path
+
+import pytest
 
 from repro.experiments.batch import run_batch
 from repro.experiments.scenarios import ScenarioConfig
@@ -20,9 +22,14 @@ from tests.experiments.test_goldens import GOLDEN_CASES, GOLDEN_DIR, golden_summ
 
 CASE = "gocast_n24_fail25"
 
+#: The configurations the differential suite distinguishes: plain
+#: reference, the PR-4 heap fast path, the calendar queue without and
+#: with batched dispatch (= everything).
+MODES = ["0", "wheel,pool", "calqueue,wheel", "1"]
 
-def _run_with_opts(monkeypatch, enabled: bool):
-    monkeypatch.setenv("REPRO_SIM_OPTS", "1" if enabled else "0")
+
+def _run_with_opts(monkeypatch, value: str):
+    monkeypatch.setenv("REPRO_SIM_OPTS", value)
     case = GOLDEN_CASES[CASE]
     return run_batch(
         ScenarioConfig(**case["scenario"]), n_trials=case["trials"], workers=1
@@ -30,21 +37,33 @@ def _run_with_opts(monkeypatch, enabled: bool):
 
 
 def test_optimizations_are_bit_identical(monkeypatch):
-    plain = _run_with_opts(monkeypatch, enabled=False)
-    fast = _run_with_opts(monkeypatch, enabled=True)
-
-    # Byte-identical trial outcomes, unrounded.
-    assert plain.delays.tobytes() == fast.delays.tobytes()
-    assert plain.messages_sent == fast.messages_sent
-    assert plain.sent_by_type == fast.sent_by_type
-    assert plain.expected_pairs == fast.expected_pairs
-    assert [t.seed for t in plain.trials] == [t.seed for t in fast.trials]
-    for a, b in zip(plain.trials, fast.trials):
-        assert a.delays.tobytes() == b.delays.tobytes()
-        assert a.sent_by_type == b.sent_by_type
-        assert a.messages_sent == b.messages_sent
-
-    # And both still match the committed golden fixture.
+    plain = _run_with_opts(monkeypatch, "0")
     expected = json.loads((GOLDEN_DIR / f"{CASE}.json").read_text())
     assert golden_summary(plain) == expected
-    assert golden_summary(fast) == expected
+
+    for mode in MODES[1:]:
+        fast = _run_with_opts(monkeypatch, mode)
+
+        # Byte-identical trial outcomes, unrounded.
+        assert plain.delays.tobytes() == fast.delays.tobytes(), mode
+        assert plain.messages_sent == fast.messages_sent, mode
+        assert plain.sent_by_type == fast.sent_by_type, mode
+        assert plain.expected_pairs == fast.expected_pairs, mode
+        assert [t.seed for t in plain.trials] == [t.seed for t in fast.trials]
+        for a, b in zip(plain.trials, fast.trials):
+            assert a.delays.tobytes() == b.delays.tobytes(), mode
+            assert a.sent_by_type == b.sent_by_type, mode
+            assert a.messages_sent == b.messages_sent, mode
+
+        # And every mode still matches the committed golden fixture.
+        assert golden_summary(fast) == expected, mode
+
+
+@pytest.mark.parametrize("value", ["calender", "wheel+pool"])
+def test_unknown_opts_token_fails_loudly(monkeypatch, value):
+    """A typo'd gate must abort the run, never silently fall back."""
+    from repro.sim.optim import SimOptsError
+
+    monkeypatch.setenv("REPRO_SIM_OPTS", value)
+    with pytest.raises(SimOptsError):
+        _run_with_opts(monkeypatch, value)

@@ -1,0 +1,286 @@
+"""Differential scheduler-equivalence suite: calendar queue vs heap.
+
+Two layers, both hypothesis-driven:
+
+* **Structure level** — arbitrary push/pop/cancel/compact interleavings
+  run through a :class:`~repro.sim.calqueue.CalendarQueue` and a plain
+  ``heapq`` reference side by side, asserting identical ``(time, seq)``
+  pop order.  This covers the scheduler data structure in isolation,
+  including bucket growth and the far-future/past time extremes the
+  engine itself never generates.
+* **Engine level** — random schedule/cancel/reschedule programs
+  executed under every ``REPRO_SIM_OPTS`` configuration (plain heap,
+  the PR-4 ``wheel,pool`` set, calendar queue with and without batched
+  dispatch), asserting the dispatch traces — ``(now, event id)`` per
+  fired event — are identical, along with ``events_executed``.
+
+The golden-master test (``tests/experiments/test_equivalence.py``)
+pins whole-simulation byte-identity; this suite is the fast adversarial
+layer that explains *which* component broke when it does.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.calqueue import CalendarQueue
+from repro.sim.engine import Simulator
+
+
+class FakeHandle:
+    """Minimal stand-in for EventHandle: the queue only reads .cancelled."""
+
+    __slots__ = ("ident", "cancelled")
+
+    def __init__(self, ident):
+        self.ident = ident
+        self.cancelled = False
+
+
+def drain_keys(calq):
+    """Pop everything; return [(time, seq, payload-id)] with corpses skipped."""
+    out = []
+    while True:
+        item = calq.pop()
+        if item is None:
+            return out
+        if len(item) == 3 and item[2].cancelled:
+            continue
+        ident = item[2].ident if len(item) == 3 else item[2]
+        out.append((-item[0], -item[1], ident))
+
+
+# Times deliberately mix the engine's real range with extremes the
+# engine never produces (sub-nanosecond, 1e9 seconds) plus a small
+# discrete set to force same-time collisions.
+times = st.one_of(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.sampled_from([0.0, 0.5, 0.5, 1.0, 1e-9, 1e-6, 1e6, 1e9]),
+)
+
+
+@given(st.lists(st.tuples(times, st.booleans()), max_size=300))
+@settings(max_examples=100)
+def test_pop_order_matches_heap(entries):
+    """Pure pushes (handle and anon mixed) pop in exact heap order."""
+    calq = CalendarQueue()
+    heap = []
+    for seq, (t, anon) in enumerate(entries):
+        if anon:
+            calq.push_anon(t, seq, seq, ())
+        else:
+            calq.push(t, seq, FakeHandle(seq))
+        heapq.heappush(heap, (t, seq))
+    assert len(calq) == len(entries)
+    popped = drain_keys(calq)
+    expected = [heapq.heappop(heap) for _ in range(len(heap))]
+    assert [(t, s) for t, s, _ in popped] == expected
+    assert [ident for _, _, ident in popped] == [s for _, s in expected]
+    assert len(calq) == 0
+
+
+@given(
+    st.lists(st.tuples(times, st.booleans()), max_size=200),
+    st.data(),
+)
+@settings(max_examples=100)
+def test_interleaved_push_pop_matches_heap(entries, data):
+    """Pops interleaved with pushes see the same head as the heap."""
+    calq = CalendarQueue()
+    heap = []
+    for seq, (t, do_pop) in enumerate(entries):
+        # The engine never schedules before `now` (the last pop), so
+        # clamp like the engine does while still exercising the
+        # structure's own past-time tolerance elsewhere.
+        calq.push_anon(t, seq, seq, ())
+        heapq.heappush(heap, (t, seq))
+        if do_pop and heap:
+            item = calq.pop()
+            assert (-item[0], -item[1]) == heapq.heappop(heap)
+    while heap:
+        item = calq.pop()
+        assert (-item[0], -item[1]) == heapq.heappop(heap)
+    assert calq.pop() is None
+
+
+@given(
+    st.lists(times, min_size=1, max_size=200),
+    st.sets(st.integers(min_value=0, max_value=199)),
+    st.booleans(),
+)
+@settings(max_examples=100)
+def test_cancel_and_compact_match_heap(ts, cancel_idx, do_compact):
+    """Lazy cancellation + compaction never disturb survivor order."""
+    calq = CalendarQueue()
+    handles = []
+    for seq, t in enumerate(ts):
+        h = FakeHandle(seq)
+        handles.append((t, seq, h))
+        calq.push(t, seq, h)
+    cancelled = {i for i in cancel_idx if i < len(handles)}
+    for i in cancelled:
+        handles[i][2].cancelled = True
+    if do_compact:
+        dropped = calq.compact()
+        assert dropped == len(cancelled)
+        assert len(calq) == len(handles) - len(cancelled)
+    survivors = sorted(
+        (t, seq) for t, seq, h in handles if not h.cancelled
+    )
+    assert [(t, s) for t, s, _ in drain_keys(calq)] == survivors
+
+
+@given(st.lists(st.tuples(times, st.booleans()), min_size=50, max_size=300))
+@settings(max_examples=50)
+def test_bucket_resize_stress(entries):
+    """A tiny grow threshold forces rebuilds mid-stream; order holds."""
+    calq = CalendarQueue(scale=1, grow_threshold=8)
+    heap = []
+    for seq, (t, do_pop) in enumerate(entries):
+        calq.push_anon(t, seq, seq, ())
+        heapq.heappush(heap, (t, seq))
+        if do_pop and heap:
+            item = calq.pop()
+            assert (-item[0], -item[1]) == heapq.heappop(heap)
+    expected = [heapq.heappop(heap) for _ in range(len(heap))]
+    assert [(t, s) for t, s, _ in drain_keys(calq)] == expected
+
+
+def test_same_timestamp_flood_doubles_threshold_not_scale_forever():
+    """Events piled on one timestamp can never be split by narrower
+    buckets; the queue must escalate the threshold instead of
+    rebuilding on every push."""
+    calq = CalendarQueue(scale=1, grow_threshold=8)
+    calq.pop()  # promote nothing; then force the insort path
+    calq.push_anon(1.0, 0, 0, ())
+    calq.pop()
+    for seq in range(1, 200):
+        calq.push_anon(1.0, seq, seq, ())
+    # Bounded rebuild count: each grow doubles the threshold once the
+    # flood stops splitting, so 200 same-time pushes cost O(log) grows.
+    assert calq.grows <= 8
+    assert calq.grow_threshold > 8
+    popped = drain_keys(calq)
+    assert [s for _, s, _ in popped] == sorted(s for _, s, _ in popped)
+
+
+def test_far_past_push_after_promotion_is_served_first():
+    """The structure itself tolerates pushes earlier than the promoted
+    bucket (they insort into the current bucket and pop first), even
+    though the engine never generates them."""
+    calq = CalendarQueue()
+    calq.push_anon(50.0, 0, "late", ())
+    assert calq.pop()[2] == "late"  # promotes the t=50 bucket
+    calq.push_anon(1e-9, 1, "early", ())
+    calq.push_anon(60.0, 2, "later", ())
+    assert calq.pop()[2] == "early"
+    assert calq.pop()[2] == "later"
+
+
+# ----------------------------------------------------------------------
+# Engine level: trace parity across every REPRO_SIM_OPTS configuration.
+# ----------------------------------------------------------------------
+
+MODES = [
+    frozenset(),
+    frozenset({"wheel", "pool"}),
+    frozenset({"calqueue", "wheel"}),
+    frozenset({"calqueue", "wheel", "batch"}),
+    frozenset({"calqueue", "batch"}),
+]
+
+# Programs: per step (delay-ish float, action) where action selects
+# plain schedule / anon schedule / schedule + immediate cancel /
+# reschedule (cancel an earlier handle, schedule a replacement).
+# Delays are drawn from a small set so same-time ties are common —
+# exactly what batched dispatch must not reorder.
+program = st.lists(
+    st.tuples(
+        st.sampled_from([0.0, 0.0, 0.1, 0.1, 0.25, 1.0, 3.7]),
+        st.integers(min_value=0, max_value=3),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def run_program(steps, opts):
+    """Execute a schedule/cancel/reschedule program; return its trace."""
+    sim = Simulator(opts=opts)
+    trace = []
+    handles = []
+
+    def fire(ident, remaining):
+        trace.append((sim.now, ident))
+        # Nested scheduling from inside callbacks, including same-time
+        # (delay 0) events that a batched drain will pick up.
+        for j, (delay, action) in enumerate(remaining[:2]):
+            ident2 = (ident, j)
+            if action == 1:
+                sim.schedule_anon(delay, fire, ident2, [])
+            else:
+                handles.append(sim.schedule(delay, fire, ident2, []))
+
+    for i, (delay, action) in enumerate(steps):
+        if action == 0:
+            handles.append(sim.schedule(delay, fire, i, steps[i + 1 :]))
+        elif action == 1:
+            sim.schedule_anon(delay, fire, i, steps[i + 1 :])
+        elif action == 2:
+            handles.append(sim.schedule(delay, fire, i, []))
+            handles[-1].cancel()
+        elif handles:
+            # Reschedule: cancel the oldest live handle, replace it.
+            victim = handles.pop(0)
+            victim.cancel()
+            handles.append(sim.schedule(delay, fire, ("re", i), []))
+    sim.run_until(50.0)
+    sim.run()
+    return trace, sim.events_executed
+
+
+@given(program)
+@settings(max_examples=50, deadline=None)
+def test_engine_trace_parity_across_modes(steps):
+    """Every opts configuration dispatches the identical event stream."""
+    reference, ref_executed = run_program(steps, MODES[0])
+    for mode in MODES[1:]:
+        trace, executed = run_program(steps, mode)
+        assert trace == reference, f"trace diverged under opts={sorted(mode)}"
+        assert executed == ref_executed
+
+
+@given(program)
+@settings(max_examples=25, deadline=None)
+def test_engine_step_matches_run(steps):
+    """Single-stepping the calendar queue yields the run-loop's trace."""
+    reference, _ = run_program(steps, frozenset({"calqueue", "wheel"}))
+    sim = Simulator(opts={"calqueue", "wheel"})
+    trace = []
+    handles = []
+
+    def fire(ident, remaining):
+        trace.append((sim.now, ident))
+        for j, (delay, action) in enumerate(remaining[:2]):
+            ident2 = (ident, j)
+            if action == 1:
+                sim.schedule_anon(delay, fire, ident2, [])
+            else:
+                handles.append(sim.schedule(delay, fire, ident2, []))
+
+    for i, (delay, action) in enumerate(steps):
+        if action == 0:
+            handles.append(sim.schedule(delay, fire, i, steps[i + 1 :]))
+        elif action == 1:
+            sim.schedule_anon(delay, fire, i, steps[i + 1 :])
+        elif action == 2:
+            handles.append(sim.schedule(delay, fire, i, []))
+            handles[-1].cancel()
+        elif handles:
+            victim = handles.pop(0)
+            victim.cancel()
+            handles.append(sim.schedule(delay, fire, ("re", i), []))
+    while sim.step():
+        pass
+    assert trace == reference

@@ -1,0 +1,173 @@
+"""Unit tests for the calendar queue (see repro.sim.calqueue).
+
+The structure's contract — exact ``(time, seq)`` service order,
+identical to a heap holding the same events — is hammered by the
+hypothesis differential suite (``tests/property/
+test_calqueue_properties.py``); these are the deterministic unit cases
+for the moving parts: bucket promotion, the insort-into-current path,
+adaptive growth, compaction, and the anonymous-entry format.
+"""
+
+import pytest
+
+from repro.sim.calqueue import CalendarQueue
+from repro.sim.engine import Simulator
+
+
+class Handle:
+    __slots__ = ("cancelled",)
+
+    def __init__(self):
+        self.cancelled = False
+
+
+def keys(calq):
+    out = []
+    while True:
+        item = calq.pop()
+        if item is None:
+            return out
+        out.append((-item[0], -item[1]))
+
+
+def test_serves_time_seq_order_across_buckets():
+    calq = CalendarQueue()
+    events = [(0.5, 3), (0.01, 0), (2.0, 7), (0.5, 2), (0.02, 1), (1.99, 6)]
+    for time, seq in events:
+        calq.push(time, seq, Handle())
+    assert keys(calq) == sorted(events)
+    assert len(calq) == 0
+
+
+def test_anon_and_handle_entries_mix_in_one_bucket():
+    calq = CalendarQueue()
+    calq.push(1.0, 2, Handle())
+    calq.push_anon(1.0, 1, "cb", ("args",))
+    calq.push(1.0, 3, Handle())
+    first = calq.pop()
+    assert len(first) == 4 and (first[2], first[3]) == ("cb", ("args",))
+    assert [( -i[0], -i[1]) for i in (calq.pop(), calq.pop())] == [(1.0, 2), (1.0, 3)]
+
+
+def test_push_into_promoted_bucket_takes_insort_path():
+    calq = CalendarQueue()
+    calq.push_anon(10.0, 0, "a", ())
+    assert calq.peek() is not None  # promotes the t=10 bucket
+    # Same bucket, earlier time than the head: must pop first.
+    calq.push_anon(10.0 - 1e-4, 1, "b", ())
+    assert calq.pop()[2] == "b"
+    assert calq.pop()[2] == "a"
+
+
+def test_peek_is_nondestructive_and_pop_matches():
+    calq = CalendarQueue()
+    calq.push_anon(2.0, 5, "x", ())
+    calq.push_anon(1.0, 6, "y", ())
+    assert calq.next_key() == (1.0, 6)
+    assert calq.next_key() == (1.0, 6)  # unchanged by peeking
+    assert len(calq) == 2
+    assert (-calq.pop()[0]) == 1.0
+
+
+def test_growth_rescales_and_preserves_order():
+    calq = CalendarQueue(scale=1, grow_threshold=8)
+    # Distinct times inside one initial bucket; enough insorts into the
+    # promoted current bucket to trip the threshold.
+    times = [0.9 - i * 0.05 for i in range(9)]
+    calq.push_anon(times[0], 0, 0, ())
+    calq.peek()  # promote bucket 0 so subsequent pushes insort
+    for seq, t in enumerate(times[1:], start=1):
+        calq.push_anon(t, seq, seq, ())
+    assert calq.grows >= 1
+    assert calq.scale > 1
+    assert keys(calq) == sorted((t, s) for s, t in enumerate(times))
+
+
+def test_compact_drops_only_corpses():
+    calq = CalendarQueue()
+    live, dead = Handle(), Handle()
+    calq.push(1.0, 0, live)
+    calq.push(2.0, 1, dead)
+    calq.push_anon(3.0, 2, "anon", ())
+    dead.cancelled = True
+    assert calq.compact() == 1
+    assert len(calq) == 2
+    assert keys(calq) == [(1.0, 0), (3.0, 2)]
+
+
+def test_compact_while_bucket_promoted():
+    calq = CalendarQueue()
+    handles = [Handle() for _ in range(4)]
+    for seq, h in enumerate(handles):
+        calq.push(1.0 + seq, seq, h)
+    calq.peek()  # promote the first bucket
+    handles[0].cancelled = True
+    handles[2].cancelled = True
+    assert calq.compact() == 2
+    assert keys(calq) == [(2.0, 1), (4.0, 3)]
+
+
+def test_constructor_validates_knobs():
+    with pytest.raises(ValueError):
+        CalendarQueue(scale=0)
+    with pytest.raises(ValueError):
+        CalendarQueue(grow_threshold=2)
+
+
+def test_empty_queue_pops_none():
+    calq = CalendarQueue()
+    assert calq.pop() is None
+    assert calq.peek() is None
+    assert calq.next_key() is None
+    assert len(calq) == 0
+
+
+# ----------------------------------------------------------------------
+# Engine integration points specific to the calqueue configuration.
+# ----------------------------------------------------------------------
+
+def test_engine_routes_all_schedule_forms_through_calqueue():
+    sim = Simulator(opts={"calqueue"})
+    fired = []
+    sim.schedule(1.0, fired.append, "handle")
+    sim.schedule_at(0.5, fired.append, "at")
+    sim.schedule_anon(2.0, fired.append, "anon")
+    assert len(sim._calq) == 3 and not sim._queue
+    assert sim.pending_events == 3
+    sim.run()
+    assert fired == ["at", "handle", "anon"]
+    assert sim.events_executed == 3
+
+
+def test_engine_compaction_goes_through_calqueue(monkeypatch):
+    import repro.sim.engine as engine_mod
+
+    monkeypatch.setattr(engine_mod, "_COMPACT_MIN_CORPSES", 4)
+    sim = Simulator(opts={"calqueue"})
+    keep = [sim.schedule(10.0 + i, lambda: None) for i in range(3)]
+    drop = [sim.schedule(20.0 + i, lambda: None) for i in range(8)]
+    for h in drop:
+        h.cancel()
+    # Compaction triggers as soon as corpses dominate, so corpses
+    # cancelled *after* that pass may remain — but the survivors must.
+    assert sim.compactions >= 1
+    assert len(sim._calq) < 3 + len(drop)
+    assert all(not h.cancelled for h in keep)
+    sim.run()
+    assert sim.events_executed == 3
+
+
+def test_engine_pool_is_inert_under_calqueue():
+    """`pool` has nothing to do when anonymous events are bare tuples."""
+    sim = Simulator(opts={"calqueue", "pool"})
+    assert sim._pool is None
+    sim.schedule_anon(1.0, lambda: None)
+    sim.run()
+    assert sim.events_executed == 1
+
+
+def test_engine_rejects_unknown_opts_token():
+    from repro.sim.optim import SimOptsError
+
+    with pytest.raises(SimOptsError, match="calender"):
+        Simulator(opts={"calender"})

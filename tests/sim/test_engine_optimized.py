@@ -1,10 +1,12 @@
-"""Edge cases of the optimized engine paths (wheel + pool + compaction).
+"""Edge cases of the optimized engine paths.
 
-The optimizations are gated (``REPRO_SIM_OPTS`` / ``Simulator(optimize=)``)
+The optimizations (calendar queue, batched dispatch, timer wheel, event
+pool) are gated (``REPRO_SIM_OPTS`` / ``Simulator(optimize=/opts=)``)
 and required to be observably identical to the plain heap.  These tests
 pin the tricky interleavings: cancellation from inside a running
-callback, same-timestamp FIFO across the wheel/heap merge, corpse
-compaction in the middle of a run, and GC state restoration.
+callback, same-timestamp FIFO across the wheel/queue merge (including
+mid-drain under batched dispatch), corpse compaction in the middle of a
+run, and GC state restoration.
 """
 
 import gc
@@ -13,10 +15,25 @@ import pytest
 
 from repro.sim.engine import _COMPACT_MIN_CORPSES, SimulationError, Simulator
 
+#: Every engine configuration of interest; the edge cases below must
+#: behave identically under all of them.
+ALL_MODES = [
+    pytest.param(frozenset(), id="plain"),
+    pytest.param(frozenset({"wheel", "pool"}), id="wheel-pool"),
+    pytest.param(frozenset({"calqueue", "wheel"}), id="calqueue"),
+    pytest.param(frozenset({"calqueue", "wheel", "batch"}), id="batched"),
+]
 
-@pytest.fixture(params=[False, True], ids=["plain", "optimized"])
+#: The calqueue-backed subset (with and without batched dispatch).
+CALQ_MODES = [
+    frozenset({"calqueue", "wheel"}),
+    frozenset({"calqueue", "wheel", "batch"}),
+]
+
+
+@pytest.fixture(params=ALL_MODES)
 def any_sim(request):
-    return Simulator(optimize=request.param)
+    return Simulator(opts=request.param)
 
 
 # ----------------------------------------------------------------------
@@ -60,25 +77,72 @@ def test_cancel_periodic_from_callback(any_sim):
 # ----------------------------------------------------------------------
 # Wheel/heap merge ordering
 # ----------------------------------------------------------------------
-def test_same_time_fifo_across_wheel_and_heap():
+@pytest.mark.parametrize(
+    "opts",
+    [frozenset({"wheel", "pool"})] + CALQ_MODES,
+    ids=["wheel-pool", "calqueue", "batched"],
+)
+def test_same_time_fifo_across_wheel_and_queue(opts):
     """Events at one timestamp run in scheduling order regardless of
-    whether they live in the wheel or the heap."""
-    sim = Simulator(optimize=True)
+    whether they live in the wheel or the main queue.  Under batched
+    dispatch this is exactly the mid-drain wheel interleave: the drain
+    must pause for the wheel entry whose seq falls between two queued
+    events."""
+    sim = Simulator(opts=opts)
     order = []
-    # Interleave: heap, wheel, heap, wheel — all at t=1.0.
-    sim.schedule(1.0, order.append, "heap-0")
+    # Interleave: queue, wheel, queue, wheel — all at t=1.0.
+    sim.schedule(1.0, order.append, "queue-0")
     sim.schedule_periodic(1.0, lambda: order.append("wheel-1"))
-    sim.schedule(1.0, order.append, "heap-2")
+    sim.schedule(1.0, order.append, "queue-2")
     sim.schedule_periodic(1.0, lambda: order.append("wheel-3"))
     sim.run_until(1.0)
-    assert order == ["heap-0", "wheel-1", "heap-2", "wheel-3"]
+    assert order == ["queue-0", "wheel-1", "queue-2", "wheel-3"]
+
+
+@pytest.mark.parametrize("opts", CALQ_MODES, ids=["calqueue", "batched"])
+def test_zero_delay_cascade_runs_after_queued_same_time_events(opts):
+    """A delay-0 event spawned mid-dispatch carries a larger seq than
+    everything already queued at that time, so a batched drain must
+    fire it last — never before the pre-existing same-time events."""
+    sim = Simulator(opts=opts)
+    order = []
+
+    def spawner():
+        order.append("spawner")
+        sim.schedule_anon(0.0, order.append, "spawned")
+        sim.schedule(0.0, order.append, "spawned-handle")
+
+    sim.schedule(1.0, spawner)
+    sim.schedule(1.0, order.append, "pre-1")
+    sim.schedule(1.0, order.append, "pre-2")
+    sim.run()
+    assert order == ["spawner", "pre-1", "pre-2", "spawned", "spawned-handle"]
+
+
+@pytest.mark.parametrize("opts", CALQ_MODES, ids=["calqueue", "batched"])
+def test_cancel_mid_drain_skips_victim(opts):
+    """Cancellation of a later same-time event from inside the drain."""
+    sim = Simulator(opts=opts)
+    order = []
+    victims = []
+
+    def killer():
+        order.append("killer")
+        victims[0].cancel()
+
+    sim.schedule(1.0, killer)
+    victims.append(sim.schedule(1.0, order.append, "victim"))
+    sim.schedule(1.0, order.append, "survivor")
+    sim.run()
+    assert order == ["killer", "survivor"]
+    assert sim.events_executed == 2
 
 
 def test_merge_order_matches_plain_engine():
     """The same scramble of one-shot and periodic work executes in the
-    same order on both engine configurations."""
-    def drive(optimize):
-        sim = Simulator(optimize=optimize)
+    same order on every engine configuration."""
+    def drive(opts):
+        sim = Simulator(opts=opts)
         log = []
 
         def tick(tag):
@@ -97,27 +161,39 @@ def test_merge_order_matches_plain_engine():
         sim.run_until(2.0)
         return log
 
-    assert drive(True) == drive(False)
+    reference = drive(frozenset({"wheel"}))
+    for mode in [frozenset({"wheel", "pool"})] + CALQ_MODES:
+        assert drive(mode) == reference, f"mode {sorted(mode)} diverged"
 
 
-def test_step_serves_wheel_and_heap_in_order():
-    sim = Simulator(optimize=True)
+@pytest.mark.parametrize(
+    "opts",
+    [frozenset({"wheel", "pool"})] + CALQ_MODES,
+    ids=["wheel-pool", "calqueue", "batched"],
+)
+def test_step_serves_wheel_and_queue_in_order(opts):
+    sim = Simulator(opts=opts)
     order = []
     sim.schedule_periodic(0.5, lambda: order.append("wheel"))
-    sim.schedule(0.4, order.append, "early-heap")
-    sim.schedule(0.6, order.append, "late-heap")
+    sim.schedule(0.4, order.append, "early-queue")
+    sim.schedule(0.6, order.append, "late-queue")
     while sim.step():
         pass
-    assert order == ["early-heap", "wheel", "late-heap"]
+    assert order == ["early-queue", "wheel", "late-queue"]
 
 
 # ----------------------------------------------------------------------
 # Corpse compaction
 # ----------------------------------------------------------------------
-def test_compaction_mid_run_preserves_survivors():
+@pytest.mark.parametrize(
+    "opts",
+    [frozenset({"wheel", "pool"})] + CALQ_MODES,
+    ids=["wheel-pool", "calqueue", "batched"],
+)
+def test_compaction_mid_run_preserves_survivors(opts):
     """Mass-cancelling from inside a callback compacts the queue while
-    ``_run`` is iterating; survivors still fire, in order."""
-    sim = Simulator(optimize=True)
+    the run loop is iterating; survivors still fire, in order."""
+    sim = Simulator(opts=opts)
     fired = []
     n = 3 * _COMPACT_MIN_CORPSES
     handles = [
@@ -192,8 +268,8 @@ def test_schedule_periodic_requires_wheel():
 
 
 def test_events_executed_identical_across_modes():
-    def drive(optimize):
-        sim = Simulator(optimize=optimize)
+    def drive(opts):
+        sim = Simulator(opts=opts)
         from repro.sim.timers import PeriodicTimer
 
         timer = PeriodicTimer(sim, period=0.25, callback=lambda: None)
@@ -203,4 +279,8 @@ def test_events_executed_identical_across_modes():
         sim.run_until(5.0)
         return sim.events_executed
 
-    assert drive(True) == drive(False)
+    counts = {
+        ",".join(sorted(mode)) or "plain": drive(mode)
+        for mode in [frozenset({"wheel"}), frozenset({"wheel", "pool"})] + CALQ_MODES
+    }
+    assert len(set(counts.values())) == 1, counts

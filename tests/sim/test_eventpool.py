@@ -32,8 +32,12 @@ def test_freelist_is_bounded():
 
 
 def test_reuse_never_resurrects_previous_callback():
-    """A recycled handle must only ever fire its *new* payload."""
-    sim = Simulator(optimize=True)
+    """A recycled handle must only ever fire its *new* payload.
+
+    The pool serves the heap path only (under ``calqueue`` anonymous
+    events are bare tuples), so these tests pin the PR-4 token set.
+    """
+    sim = Simulator(opts={"wheel", "pool"})
     calls = []
     sim.schedule_anon(1.0, calls.append, "first")
     sim.run()
@@ -47,10 +51,30 @@ def test_reuse_never_resurrects_previous_callback():
 def test_cancelled_external_handle_never_enters_pool():
     """Only anonymous (engine-owned) handles are pooled: a handle the
     caller holds — and could still cancel — must not be recycled."""
-    sim = Simulator(optimize=True)
+    sim = Simulator(opts={"wheel", "pool"})
     handle = sim.schedule(1.0, lambda: None)
     sim.schedule_anon(2.0, lambda: None)
     handle.cancel()
     sim.run()
     assert handle not in sim._pool._free
     assert all(h.pooled for h in sim._pool._free)
+
+
+def test_cancel_then_reschedule_around_pool_reuse():
+    """Cancelling a fired external handle must never poison a recycled
+    pooled handle that fires at the same time later on."""
+    sim = Simulator(opts={"wheel", "pool"})
+    calls = []
+    external = sim.schedule(1.0, calls.append, "external")
+    sim.schedule_anon(1.0, calls.append, "anon-1")
+    sim.run_until(2.0)
+    assert calls == ["external", "anon-1"]
+    # Both fired; the anon handle is back on the freelist.  Cancelling
+    # the fired external handle is a harmless no-op...
+    external.cancel()
+    # ...and the recycled pooled handle starts life uncancelled.
+    sim.schedule_anon(1.0, calls.append, "anon-2")
+    recycled = sim._queue[0][2]
+    assert recycled.pooled and not recycled.cancelled
+    sim.run_until(4.0)
+    assert calls == ["external", "anon-1", "anon-2"]

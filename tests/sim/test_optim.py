@@ -1,0 +1,56 @@
+"""Unit tests for the REPRO_SIM_OPTS token gate (see repro.sim.optim)."""
+
+import pytest
+
+from repro.sim.optim import (
+    ALL_OPTS,
+    ENV_VAR,
+    KNOWN_OPTS,
+    SimOptsError,
+    optimizations_enabled,
+    parse_opts,
+    sim_opts,
+)
+
+
+@pytest.mark.parametrize("value", ["1", "true", "ON", "yes", "all", "", "  All "])
+def test_truthy_values_enable_everything(value):
+    assert parse_opts(value) == ALL_OPTS
+
+
+@pytest.mark.parametrize("value", ["0", "false", "OFF", "no", "none", " 0 "])
+def test_falsy_values_disable_everything(value):
+    assert parse_opts(value) == frozenset()
+
+
+def test_token_subsets_parse_exactly():
+    assert parse_opts("wheel,pool") == {"wheel", "pool"}
+    assert parse_opts(" calqueue , batch ") == {"calqueue", "batch"}
+    assert parse_opts("wheel,,pool,") == {"wheel", "pool"}
+
+
+@pytest.mark.parametrize("value", ["calender", "wheel,calender", "fast", "wheel pool"])
+def test_unknown_tokens_raise(value):
+    with pytest.raises(SimOptsError) as exc:
+        parse_opts(value)
+    # The message must name the offender and the known vocabulary.
+    assert ENV_VAR in str(exc.value)
+    for tok in sorted(KNOWN_OPTS):
+        assert tok in str(exc.value)
+
+
+def test_sim_opts_reads_environment(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert sim_opts() == ALL_OPTS
+    assert sim_opts(default=False) == frozenset()
+    monkeypatch.setenv(ENV_VAR, "wheel")
+    assert sim_opts() == {"wheel"}
+    assert optimizations_enabled()
+    monkeypatch.setenv(ENV_VAR, "0")
+    assert not optimizations_enabled()
+
+
+def test_sim_opts_propagates_unknown_token(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "calender")
+    with pytest.raises(SimOptsError):
+        sim_opts()

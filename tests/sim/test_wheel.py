@@ -106,3 +106,58 @@ def test_fresh_entry_allocated_only_when_needed():
     assert isinstance(entry, WheelEntry)
     again = wheel.schedule(2.0, 1, callback=lambda: None, entry=entry)
     assert again is entry
+
+
+def test_reschedule_of_already_fired_entry_does_not_drift_count():
+    """Rearming an entry that was popped (fired) must not double-count:
+    its old position is gone, so there is no corpse to strand."""
+    wheel = TimerWheel()
+    entry = wheel.schedule(1.0, 0, callback=lambda: None)
+    assert wheel.peek() == (1.0, 0)
+    fired = wheel.pop()
+    assert fired is entry and not entry.queued
+    assert wheel.count == 0
+    wheel.schedule(2.0, 1, callback=lambda: None, entry=entry)
+    assert wheel.count == 1
+    assert _drain(wheel) == [(2.0, 1)]
+    assert wheel.count == 0
+
+
+def test_cancel_then_reschedule_revives_entry_and_strands_corpse():
+    """Cancel followed by rearm of the same entry: the cancelled flag is
+    cleared, the stale old position is never served, and count is 1."""
+    wheel = TimerWheel()
+    entry = wheel.schedule(1.0, 0, callback=lambda: None)
+    wheel.cancel(entry)
+    assert wheel.count == 0 and entry.cancelled
+    wheel.schedule(3.0, 1, callback=lambda: None, entry=entry)
+    assert wheel.count == 1 and not entry.cancelled
+    # The (1.0, 0) corpse sits in an earlier bucket than the live
+    # position — promotion must discard it by the seq-mismatch test.
+    assert _drain(wheel) == [(3.0, 1)]
+
+
+def test_cancel_after_pop_is_harmless_and_reschedulable():
+    """A timer popped-but-not-yet-fired can still be cancelled (queued
+    is already False, so count must not go negative) and later rearmed."""
+    wheel = TimerWheel()
+    entry = wheel.schedule(1.0, 0, callback=lambda: None)
+    wheel.peek()
+    popped = wheel.pop()
+    wheel.cancel(popped)
+    assert wheel.count == 0 and popped.cancelled
+    wheel.schedule(2.0, 1, callback=lambda: None, entry=popped)
+    assert wheel.count == 1
+    assert _drain(wheel) == [(2.0, 1)]
+
+
+def test_reschedule_of_cached_head_into_later_bucket():
+    """Rearming the entry that *is* the cached head must invalidate the
+    cache — the head moves to the other pending entry."""
+    wheel = TimerWheel()
+    head = wheel.schedule(1.0, 0, callback=lambda: None)
+    wheel.schedule(1.5, 1, callback=lambda: None)
+    assert wheel.peek() == (1.0, 0)
+    wheel.schedule(5.0, 2, callback=lambda: None, entry=head)
+    assert wheel.peek() == (1.5, 1)
+    assert _drain(wheel) == [(1.5, 1), (5.0, 2)]
