@@ -72,6 +72,37 @@ def test_disabled_observability_costs_nothing(benchmark):
     assert overhead <= MAX_DISABLED_OVERHEAD
 
 
+def test_disabled_observability_with_series_period_costs_nothing(benchmark):
+    """The capacity sampler is gated on ``obs.enabled`` like everything
+    else: a disabled Observability with ``series_period`` set must never
+    arm the sampling timer, so the run stays bit-identical and within
+    the standard disabled-path budget."""
+
+    def compare():
+        return _interleaved_best(
+            lambda: run_delay_experiment(_scenario()),
+            lambda: run_delay_experiment(
+                _scenario(),
+                obs=Observability(enabled=False, series_period=1.0),
+            ),
+        )
+
+    plain_s, plain, disabled_s, disabled = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+
+    assert np.array_equal(plain.delays, disabled.delays)
+    assert plain.sent_by_type == disabled.sent_by_type
+    assert disabled.metrics is None or "capacity" not in (disabled.metrics or {})
+
+    overhead = disabled_s / plain_s - 1.0
+    print(
+        f"\nplain={plain_s:.3f}s disabled+series={disabled_s:.3f}s "
+        f"overhead={overhead:+.1%} (budget {MAX_DISABLED_OVERHEAD:.0%})"
+    )
+    assert overhead <= MAX_DISABLED_OVERHEAD
+
+
 def test_enabled_observability_overhead_is_bounded(benchmark):
     """Informative companion: the *enabled* layer should stay cheap
     (counters and ring-buffer appends), well under 2x."""

@@ -162,6 +162,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect observability metrics in every trial and merge them",
     )
     batch.add_argument(
+        "--series-period", type=float, default=0.0,
+        help="capacity-sampler period in sim seconds for --metrics trials; "
+        "0 disables (default 0)",
+    )
+    batch.add_argument(
         "--json",
         action="store_true",
         help="print the batch as JSON instead of a table",
@@ -193,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--out", default="BENCH_core.json",
         help="report path (default BENCH_core.json)",
+    )
+    bench.add_argument(
+        "--mem", action="store_true",
+        help="also census memory per size and record bytes_per_node "
+        "(default sizes 128,512,1024)",
     )
 
     obs = sub.add_parser(
@@ -255,6 +265,59 @@ def build_parser() -> argparse.ArgumentParser:
     anomalies.add_argument(
         "--retry-threshold", type=int, default=2,
         help="flag pulls with at least this many retries (default 2)",
+    )
+    series = obs_sub.add_parser(
+        "series",
+        help="capacity trajectory: events/sec, queue depth, per-layer rates",
+        description="Run one instrumented experiment with the capacity "
+        "sampler armed and print the time series of engine throughput, "
+        "scheduler occupancy, live message-buffer depth, and per-layer "
+        "message/byte rates (see docs/OBSERVABILITY.md).",
+    )
+    series.add_argument(
+        "--period", type=float, default=1.0,
+        help="sampling period in sim seconds (default 1)",
+    )
+    series.add_argument(
+        "--limit", type=int, default=24,
+        help="max table rows; the series is thinned to fit (default 24)",
+    )
+    mem = obs_sub.add_parser(
+        "mem",
+        help="per-subsystem memory census and bytes-per-node",
+        description="Run one experiment to completion, then deep-walk the "
+        "live system and report where the bytes live: per-subsystem "
+        "breakdown, bytes/node, and (with --alloc) the top retained-"
+        "allocation sites attributed by tracemalloc.",
+    )
+    mem.add_argument(
+        "--alloc", action="store_true",
+        help="run under tracemalloc and report retained-allocation sites",
+    )
+    mem.add_argument(
+        "--top", type=int, default=15,
+        help="allocation sites to list with --alloc (default 15)",
+    )
+    mem.add_argument("--out", help="also write the JSON census report here")
+    flame = obs_sub.add_parser(
+        "flame",
+        help="stack-sampling profile of one run (speedscope/collapsed)",
+        description="Run one experiment under a wall-clock stack sampler "
+        "and export the profile as speedscope JSON (open at "
+        "https://www.speedscope.app) or collapsed stacks (flamegraph.pl / "
+        "inferno input).",
+    )
+    flame.add_argument(
+        "--out", default="flame.speedscope.json",
+        help="output path (default flame.speedscope.json)",
+    )
+    flame.add_argument(
+        "--format", choices=("speedscope", "collapsed"), default="speedscope",
+        help="output format (default speedscope)",
+    )
+    flame.add_argument(
+        "--interval", type=float, default=0.002,
+        help="sampling interval in wall seconds (default 0.002)",
     )
     export = obs_sub.add_parser(
         "export",
@@ -340,7 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="report regressions but exit 0 anyway (CI advisory lane)",
         )
     for cmd in (summary, trace, profile, paths, health, anomalies,
-                export, ledger, compare, regress):
+                series, mem, export, ledger, compare, regress):
         cmd.add_argument(
             "--json", action="store_true",
             help="machine-readable JSON output",
@@ -393,7 +456,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_run.add_argument("--out", help="also write the JSON report to this file")
 
-    for cmd in (summary, trace, profile, paths, health, anomalies, export, batch):
+    for cmd in (summary, trace, profile, paths, health, anomalies,
+                series, mem, flame, export, batch):
         cmd.add_argument(
             "--protocol",
             choices=PROTOCOLS,
@@ -530,6 +594,7 @@ def cmd_batch(args, out=None) -> int:
             root_seed=args.seed,
             collect_metrics=args.metrics,
             health_period=args.health_period,
+            series_period=args.series_period,
         )
     except ValueError as exc:
         print(f"invalid batch: {exc}", file=sys.stderr)
@@ -558,6 +623,10 @@ def cmd_obs(args, out=None) -> int:
         return cmd_obs_ledger(args, out)
     if args.obs_command == "export":
         return cmd_obs_export(args, out)
+    if args.obs_command == "mem":
+        return cmd_obs_mem(args, out)
+    if args.obs_command == "flame":
+        return cmd_obs_flame(args, out)
     from repro.experiments.runner import run_delay_experiment
     from repro.obs import Observability
     from repro.obs.ledger import json_safe
@@ -575,6 +644,7 @@ def cmd_obs(args, out=None) -> int:
         profile=args.obs_command == "profile",
         trace_capacity=capacity,
         health_period=args.health_period,
+        series_period=args.period if args.obs_command == "series" else 0.0,
     )
     if not args.json:
         print(
@@ -600,6 +670,18 @@ def cmd_obs(args, out=None) -> int:
         return _print_health(args, result, out)
     elif args.obs_command == "anomalies":
         return _print_anomalies(args, obs, result, out)
+    elif args.obs_command == "series":
+        from repro.obs.series import format_series
+
+        section = (result.metrics or {}).get("capacity") or {}
+        if args.json:
+            print(json.dumps(json_safe(section), indent=2, default=str),
+                  file=out)
+        elif not section.get("samples"):
+            print("no capacity samples recorded (run shorter than the "
+                  "sampling period?)", file=out)
+        else:
+            print(format_series(section, limit=args.limit), file=out)
     elif args.obs_command == "trace":
         if args.out:
             n = obs.tracer.export_jsonl(args.out)
@@ -800,6 +882,111 @@ def cmd_obs_export(args, out=None) -> int:
         for problem in problems[:10]:
             print(f"error: {problem}", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_obs_mem(args, out=None) -> int:
+    """``repro obs mem``: per-subsystem census + bytes-per-node."""
+    import json
+
+    out = out if out is not None else sys.stdout
+    from repro.obs.ledger import record_run
+    from repro.obs.memory import format_memory_report, run_memory_experiment
+
+    try:
+        scenario = _obs_scenario(args)
+        report = run_memory_experiment(scenario, alloc=args.alloc, top=args.top)
+    except ValueError as exc:
+        print(f"invalid scenario: {exc}", file=sys.stderr)
+        return 2
+
+    census = report.census
+    # One ledger record per census so `repro obs regress` can gate
+    # bytes_per_node; subsystem bytes ride along as mem.* info metrics.
+    record_run(
+        "experiment",
+        "obs-mem",
+        metrics={
+            "bytes_per_node": census.bytes_per_node,
+            **{f"mem.{name}": float(size)
+               for name, size in sorted(census.by_subsystem.items())},
+        },
+        exact={"events_executed": report.events_executed},
+        scenario={
+            "protocol": scenario.protocol,
+            "n_nodes": scenario.n_nodes,
+            "adapt_time": scenario.adapt_time,
+            "n_messages": scenario.n_messages,
+            "fail_fraction": scenario.fail_fraction,
+        },
+        seeds=[scenario.seed],
+    )
+
+    payload = None
+    if args.json or args.out:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+    if args.json:
+        print(payload, file=out)
+    else:
+        print(
+            f"== obs mem: {scenario.protocol} n={scenario.n_nodes} "
+            f"seed={scenario.seed} ==",
+            file=out,
+        )
+        print(format_memory_report(report), file=out)
+        if args.out:
+            print(f"wrote JSON census to {args.out}", file=out)
+    return 0
+
+
+def cmd_obs_flame(args, out=None) -> int:
+    """``repro obs flame``: stack-sampled profile of one run."""
+    out = out if out is not None else sys.stdout
+    from repro.experiments.runner import run_delay_experiment
+    from repro.obs.flame import FlameSampler, validate_speedscope, write_speedscope
+
+    try:
+        scenario = _obs_scenario(args)
+    except ValueError as exc:
+        print(f"invalid scenario: {exc}", file=sys.stderr)
+        return 2
+
+    sampler = FlameSampler(interval=args.interval)
+    with sampler:
+        result = run_delay_experiment(scenario)
+    print(result.summary_row(), file=out)
+
+    if args.format == "collapsed":
+        text = sampler.collapsed_text()
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        stacks = len(text.splitlines())
+        print(
+            f"wrote {stacks} collapsed stacks ({len(sampler.samples)} samples, "
+            f"{sampler.dropped} dropped) to {args.out}",
+            file=out,
+        )
+        return 0
+
+    name = f"repro {scenario.protocol} n={scenario.n_nodes} seed={scenario.seed}"
+    doc = sampler.speedscope(name=name)
+    problems = validate_speedscope(doc)
+    if problems:
+        for problem in problems:
+            print(f"invalid speedscope document: {problem}", file=sys.stderr)
+        return 1
+    write_speedscope(doc, args.out)
+    profile = doc["profiles"][0]
+    print(
+        f"wrote speedscope profile to {args.out} "
+        f"({len(profile['samples'])} samples over "
+        f"{profile['endValue']:.2f}s wall, {sampler.dropped} dropped); "
+        "open at https://www.speedscope.app",
+        file=out,
+    )
     return 0
 
 
@@ -1011,13 +1198,16 @@ def cmd_bench(args) -> int:
     if args.smoke:
         sizes, repeats, out_path = bench.SMOKE_SIZES, 1, None
     else:
+        default_sizes = bench.MEM_SIZES if args.mem else bench.FULL_SIZES
         sizes = (
             tuple(int(s) for s in args.sizes.split(","))
             if args.sizes
-            else bench.FULL_SIZES
+            else default_sizes
         )
         repeats, out_path = args.repeats, args.out
-    report = bench.run_bench(sizes, repeats, label=args.label, out_path=out_path)
+    report = bench.run_bench(
+        sizes, repeats, label=args.label, out_path=out_path, mem=args.mem
+    )
     print(bench.format_report(report))
     if out_path is not None:
         print(f"\nwrote {out_path} (section: {args.label})")

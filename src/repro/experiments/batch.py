@@ -299,15 +299,19 @@ def _json_safe(obj: Any) -> Any:
 
 
 #: Worker payload: (scenario-with-trial-seed, trial index, collect obs?,
-#: health sampling period for the obs health monitor).
-TrialPayload = Tuple[ScenarioConfig, int, bool, float]
+#: health sampling period, capacity sampling period — 0 disables).
+TrialPayload = Tuple[ScenarioConfig, int, bool, float, float]
 
 
 def _run_trial(payload: TrialPayload) -> TrialResult:
     """Top-level (hence picklable) worker: one trial, plain-data result."""
-    scenario, trial_index, collect_metrics, health_period = payload
+    scenario, trial_index, collect_metrics, health_period, series_period = payload
     obs = (
-        Observability(enabled=True, health_period=health_period)
+        Observability(
+            enabled=True,
+            health_period=health_period,
+            series_period=series_period,
+        )
         if collect_metrics
         else None
     )
@@ -321,6 +325,7 @@ def trial_payloads(
     root_seed: Optional[int] = None,
     collect_metrics: bool = False,
     health_period: float = 1.0,
+    series_period: float = 0.0,
 ) -> List[TrialPayload]:
     """The deterministic per-trial payloads of a batch.
 
@@ -335,6 +340,7 @@ def trial_payloads(
             i,
             collect_metrics,
             health_period,
+            series_period,
         )
         for i in range(n_trials)
     ]
@@ -419,6 +425,7 @@ def run_batch(
     collect_metrics: bool = False,
     mp_context=None,
     health_period: float = 1.0,
+    series_period: float = 0.0,
 ) -> BatchResult:
     """Run ``n_trials`` independent trials of ``scenario`` and aggregate.
 
@@ -428,16 +435,20 @@ def run_batch(
     (which defaults to ``scenario.seed``).  ``collect_metrics`` runs
     every trial under an enabled
     :class:`~repro.obs.Observability` and merges the snapshots —
-    including their health and provenance sections, when the scenario
-    produces them — into ``BatchResult.metrics`` in the parent;
-    ``health_period`` tunes the health monitor's sampling cadence.
+    including their health, capacity, and provenance sections, when the
+    scenario produces them — into ``BatchResult.metrics`` in the parent;
+    ``health_period`` and ``series_period`` tune the health monitor's
+    and capacity sampler's cadences (``series_period=0`` keeps the
+    capacity sampler off, the default).
     """
     if n_trials < 1:
         raise ValueError("need at least 1 trial")
     if workers < 1:
         raise ValueError("need at least 1 worker")
     root = scenario.seed if root_seed is None else int(root_seed)
-    payloads = trial_payloads(scenario, n_trials, root, collect_metrics, health_period)
+    payloads = trial_payloads(
+        scenario, n_trials, root, collect_metrics, health_period, series_period
+    )
     trials = parallel_map(_run_trial, payloads, workers, mp_context=mp_context)
     return aggregate_trials(scenario, trials, root, workers)
 

@@ -33,6 +33,18 @@ from repro.experiments.scenarios import ScenarioConfig
 from repro.obs.ledger import bench_result_sections, environment_provenance, record_run
 from repro.sim.optim import SimOptsError, sim_opts
 
+#: Recorded alongside every report so readers of ``BENCH_core.json``
+#: know which RSS number means what (the semantics changed when
+#: ``peak_rss_delta_kb`` was introduced — see :func:`bench_size`).
+PEAK_RSS_NOTE = (
+    "peak_rss_kb is ru_maxrss at the end of the size's repeats: a "
+    "process-lifetime high-water mark that only ratchets up across "
+    "sizes run in one process. peak_rss_delta_kb is the growth of "
+    "that mark across this size's repeats and is the per-config "
+    "memory signal; it can read 0 when a smaller config fits in "
+    "memory already ratcheted by a larger one."
+)
+
 #: Scenario knobs shared by every bench size (seed fixed for
 #: reproducibility; the same config the paired A/B harness used while
 #: the optimizations were developed).
@@ -47,6 +59,8 @@ SCENARIO_KWARGS = dict(
 #: Full matrix (the acceptance numbers) and the CI fast-lane smoke size.
 FULL_SIZES = (128, 512)
 SMOKE_SIZES = (24,)
+#: Sizes measured by ``repro bench --mem`` (memory-capacity matrix).
+MEM_SIZES = (128, 512, 1024)
 
 DEFAULT_OUT = "BENCH_core.json"
 
@@ -63,9 +77,12 @@ class BenchResult:
     events_executed: int
     events_per_sec: float
     peak_rss_kb: int
+    peak_rss_delta_kb: int
+    bytes_per_node: Optional[float] = None
+    mem_by_subsystem: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "n_nodes": self.n_nodes,
             "repeats": self.repeats,
             "wall_s_best": round(self.wall_s_best, 4),
@@ -74,20 +91,40 @@ class BenchResult:
             "events_executed": self.events_executed,
             "events_per_sec": round(self.events_per_sec, 1),
             "peak_rss_kb": self.peak_rss_kb,
+            "peak_rss_delta_kb": self.peak_rss_delta_kb,
         }
+        if self.bytes_per_node is not None:
+            out["bytes_per_node"] = round(self.bytes_per_node, 1)
+        if self.mem_by_subsystem is not None:
+            out["mem_by_subsystem"] = dict(self.mem_by_subsystem)
+        return out
 
 
-def bench_size(n_nodes: int, repeats: int = 3) -> BenchResult:
+def bench_size(n_nodes: int, repeats: int = 3, mem: bool = False) -> BenchResult:
     """Run the scenario ``repeats`` times at ``n_nodes``; keep the best.
 
     Best-of is the standard defence against scheduler noise for a
     deterministic workload: every repeat does identical work, so the
     fastest observation is the closest to the machine's true cost.
+
+    RSS is measured two ways.  ``ru_maxrss`` is a *process-lifetime*
+    high-water mark — it never goes down, so when one process benches
+    several sizes the smaller sizes inherit the biggest size's peak.
+    ``peak_rss_kb`` keeps the raw mark (continuity with old reports);
+    ``peak_rss_delta_kb`` is the mark's growth across this size's
+    repeats, i.e. the per-config signal the sentinel gates on.
+
+    With ``mem=True`` the size additionally runs one censused
+    simulation (:func:`repro.obs.memory.run_memory_experiment`) and
+    attaches ``bytes_per_node`` plus the per-subsystem byte breakdown.
+    The census run is separate from the timed repeats so tracemalloc /
+    deep-walk work can never pollute the wall-clock numbers.
     """
     cfg = ScenarioConfig(n_nodes=n_nodes, **SCENARIO_KWARGS)
     walls: List[float] = []
     cpus: List[float] = []
     events = 0
+    rss_before = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     for _ in range(repeats):
         w0 = time.perf_counter()
         c0 = time.process_time()
@@ -97,7 +134,18 @@ def bench_size(n_nodes: int, repeats: int = 3) -> BenchResult:
         # Older trees (the recorded baseline) predate the field; the
         # count is identical across labels anyway (bit-identical runs).
         events = getattr(result, "events_executed", 0)
+    rss_after = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     wall_best = min(walls)
+
+    bytes_per_node = None
+    by_subsystem = None
+    if mem:
+        from repro.obs.memory import run_memory_experiment
+
+        census = run_memory_experiment(cfg).census
+        bytes_per_node = census.bytes_per_node
+        by_subsystem = dict(census.by_subsystem)
+
     return BenchResult(
         n_nodes=n_nodes,
         repeats=repeats,
@@ -106,7 +154,10 @@ def bench_size(n_nodes: int, repeats: int = 3) -> BenchResult:
         cpu_s_best=min(cpus),
         events_executed=events,
         events_per_sec=(events / wall_best) if events and wall_best > 0 else 0.0,
-        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        peak_rss_kb=rss_after,
+        peak_rss_delta_kb=max(rss_after - rss_before, 0),
+        bytes_per_node=bytes_per_node,
+        mem_by_subsystem=by_subsystem,
     )
 
 
@@ -115,6 +166,7 @@ def run_bench(
     repeats: int,
     label: str = "current",
     out_path: Optional[str] = DEFAULT_OUT,
+    mem: bool = False,
 ) -> Dict[str, object]:
     """Measure ``sizes``, merge under ``label`` in ``out_path``, report.
 
@@ -125,9 +177,12 @@ def run_bench(
     section carries full environment provenance (CPU model and count,
     ``REPRO_SIM_OPTS`` state, dirty-worktree flag) so baseline/current
     comparisons can never silently mix optimized and unoptimized runs.
+
+    ``mem=True`` adds a censused run per size (``bytes_per_node`` and
+    the subsystem breakdown land in the size entry and the ledger).
     """
     env = environment_provenance()
-    results = {str(n): bench_size(n, repeats).to_dict() for n in sizes}
+    results = {str(n): bench_size(n, repeats, mem=mem).to_dict() for n in sizes}
     section = {
         "commit": env.get("commit"),
         "python": env.get("python"),
@@ -142,6 +197,7 @@ def run_bench(
         except (OSError, ValueError):
             pass
     report["scenario"] = dict(SCENARIO_KWARGS)
+    report["notes"] = {"peak_rss": PEAK_RSS_NOTE}
     report[label] = section
 
     # Fill events_executed into sections recorded by trees that predate
@@ -168,7 +224,7 @@ def run_bench(
         metrics=metrics,
         exact=exact,
         scenario={**SCENARIO_KWARGS, "sizes": list(sizes), "repeats": repeats,
-                  "label": label},
+                  "label": label, "mem": bool(mem)},
         seeds=[SCENARIO_KWARGS["seed"]],
     )
     return report
@@ -176,16 +232,23 @@ def run_bench(
 
 def format_report(report: Dict[str, object]) -> str:
     """Human-readable table, with a speedup column when both the
-    ``baseline`` and ``current`` sections are present."""
+    ``baseline`` and ``current`` sections are present and a memory
+    column when any size carries a census (``--mem``)."""
     baseline = report.get("baseline", {})
     current = report.get("current", {})
     base_results = baseline.get("results", {}) if isinstance(baseline, dict) else {}
     cur_results = current.get("results", {}) if isinstance(current, dict) else {}
     sizes = sorted({*base_results, *cur_results}, key=int)
-    lines = [
+    show_mem = any(
+        cur_results.get(size, {}).get("bytes_per_node") is not None for size in sizes
+    )
+    header = (
         f"{'N':>6} {'events':>10} {'wall(s)':>9} {'ev/sec':>10} "
         f"{'base(s)':>9} {'speedup':>8}"
-    ]
+    )
+    if show_mem:
+        header += f" {'B/node':>9} {'rssΔ(kB)':>9}"
+    lines = [header]
     for size in sizes:
         cur = cur_results.get(size)
         base = base_results.get(size)
@@ -199,9 +262,13 @@ def format_report(report: Dict[str, object]) -> str:
             f"{base_wall / wall:7.2f}x" if base_wall and cur and wall else "      --"
         )
         base_str = f"{base_wall:9.3f}" if base_wall else "       --"
-        lines.append(
-            f"{size:>6} {events:>10} {wall:9.3f} {eps:10.1f} {base_str} {speedup}"
-        )
+        line = f"{size:>6} {events:>10} {wall:9.3f} {eps:10.1f} {base_str} {speedup}"
+        if show_mem:
+            bpn = cur.get("bytes_per_node") if cur else None
+            delta = cur.get("peak_rss_delta_kb") if cur else None
+            line += f" {bpn:9.0f}" if bpn is not None else f" {'--':>9}"
+            line += f" {delta:9d}" if delta is not None else f" {'--':>9}"
+        lines.append(line)
     return "\n".join(lines)
 
 
@@ -233,6 +300,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help=f"comma-separated node counts (default {','.join(map(str, FULL_SIZES))})",
     )
     parser.add_argument(
+        "--mem", action="store_true",
+        help="also run a censused simulation per size and record "
+        f"bytes_per_node (default sizes {','.join(map(str, MEM_SIZES))})",
+    )
+    parser.add_argument(
         "--repeats", type=int, default=3, help="runs per size, best kept (default 3)"
     )
     parser.add_argument(
@@ -257,13 +329,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         repeats = 1
         out_path = None
     else:
+        default_sizes = MEM_SIZES if args.mem else FULL_SIZES
         sizes = (
-            tuple(int(s) for s in args.sizes.split(",")) if args.sizes else FULL_SIZES
+            tuple(int(s) for s in args.sizes.split(","))
+            if args.sizes
+            else default_sizes
         )
         repeats = args.repeats
         out_path = args.out
 
-    report = run_bench(sizes, repeats, label=args.label, out_path=out_path)
+    report = run_bench(
+        sizes, repeats, label=args.label, out_path=out_path, mem=args.mem
+    )
     print(format_report(report))
     if out_path is not None:
         print(f"\nwrote {out_path} (section: {args.label})")

@@ -21,6 +21,7 @@ from repro.net.latency import LatencyModel
 from repro.obs import Observability
 from repro.obs.health import HealthMonitor
 from repro.obs.provenance import PathReconstructor
+from repro.obs.series import CapacitySampler
 from repro.obs.summary import record_link_stress
 from repro.protocols.nowait_gossip import NoWaitGossipNode
 from repro.protocols.push_gossip import PushGossipNode
@@ -124,13 +125,15 @@ def _finalize_obs(
     sim: Simulator,
     network: Network,
     health: Optional[HealthMonitor] = None,
+    capacity: Optional[CapacitySampler] = None,
 ) -> Optional[Dict[str, Any]]:
     """Fold end-of-run state into the metrics and snapshot them.
 
     The snapshot is extended with a ``health`` section (when a health
-    monitor sampled the run) and a ``provenance`` section (when the
-    trace carries delivery records — i.e. the GoCast dissemination
-    stack ran with tracing enabled)."""
+    monitor sampled the run), a ``capacity`` section (when a capacity
+    sampler ran, see :mod:`repro.obs.series`) and a ``provenance``
+    section (when the trace carries delivery records — i.e. the GoCast
+    dissemination stack ran with tracing enabled)."""
     if obs is None:
         return None
     if obs.profiler is not None:
@@ -140,9 +143,15 @@ def _finalize_obs(
     record_link_stress(obs.metrics, network.link_counts)
     obs.metrics.set_gauge("sim.events_executed", sim.events_executed)
     obs.metrics.set_gauge("sim.end_time", sim.now)
+    # Scheduler occupancy/reuse at end of run: visible without the
+    # profiler installed, whatever REPRO_SIM_OPTS selected.
+    for key, value in sim.scheduler_stats().items():
+        obs.metrics.set_gauge(f"sim.sched.{key}", float(value))
     snapshot = obs.metrics.snapshot()
     if health is not None and health.samples:
         snapshot["health"] = health.to_dict()
+    if capacity is not None and capacity.samples:
+        snapshot["capacity"] = capacity.to_dict()
     reconstructor = PathReconstructor(obs.tracer.events())
     if reconstructor.n_deliveries:
         snapshot["provenance"] = reconstructor.summary()
@@ -202,6 +211,15 @@ def _run_overlay_protocol(
         )
         health.start(system.sim)
 
+    # Capacity sampling follows the same read-only contract (see
+    # repro.obs.series); off by default (series_period=0).
+    capacity: Optional[CapacitySampler] = None
+    if obs is not None and obs.enabled and obs.series_period > 0:
+        capacity = CapacitySampler(
+            system.nodes, system.network, obs, period=obs.series_period
+        )
+        capacity.start(system.sim)
+
     system.run_adaptation()
 
     fail_time = scenario.adapt_time
@@ -231,9 +249,13 @@ def _run_overlay_protocol(
         receivers &= engine.veteran_ids(range(scenario.n_nodes))
     if health is not None:
         health.stop()
+    if capacity is not None:
+        capacity.stop()
     result = _result_from_tracer(scenario, system.tracer, receivers, system.network)
     result.events_executed = system.sim.events_executed
-    result.metrics = _finalize_obs(obs, system.sim, system.network, health=health)
+    result.metrics = _finalize_obs(
+        obs, system.sim, system.network, health=health, capacity=capacity
+    )
     return result
 
 
@@ -283,6 +305,11 @@ def _run_random_gossip_protocol(
         nodes[node_id] = node
         node.start()
 
+    capacity: Optional[CapacitySampler] = None
+    if obs is not None and obs.enabled and obs.series_period > 0:
+        capacity = CapacitySampler(nodes, network, obs, period=obs.series_period)
+        capacity.start(sim)
+
     injector = FailureInjector(sim, network, rngs.stream("fail"))
     injector.on_node_failed = lambda node_id: nodes[node_id].stop()
     if scenario.fail_fraction > 0:
@@ -305,7 +332,9 @@ def _run_random_gossip_protocol(
     sim.run_until(end + scenario.drain_time)
 
     receivers = network.alive_nodes()
+    if capacity is not None:
+        capacity.stop()
     result = _result_from_tracer(scenario, tracer, receivers, network)
     result.events_executed = sim.events_executed
-    result.metrics = _finalize_obs(obs, sim, network)
+    result.metrics = _finalize_obs(obs, sim, network, capacity=capacity)
     return result

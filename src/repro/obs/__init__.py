@@ -38,10 +38,13 @@ from repro.obs.ledger import (
     ledger_enabled,
     record_run,
 )
+from repro.obs.flame import FlameSampler, validate_speedscope
+from repro.obs.memory import MemoryCensus, census_system, deep_size
 from repro.obs.metrics import MetricsRegistry, StreamingHistogram, merge_snapshots
 from repro.obs.profiler import CATEGORY_RULES, Profiler, ProfileReport, categorize
 from repro.obs.provenance import DeliveryPath, Hop, PathReconstructor
 from repro.obs.regress import DEFAULT_RULES, Comparison, Rule, compare_records
+from repro.obs.series import CapacitySampler, SeriesSample, merge_series_sections
 from repro.obs.summary import format_metrics_summary, record_link_stress
 from repro.obs.tracer import TRACE_SCHEMA, SimTracer, TraceEvent, validate_events
 
@@ -53,6 +56,11 @@ class Observability:
     ``health_period`` sets the sampling cadence of the
     :class:`~repro.obs.health.HealthMonitor` the experiment runner
     attaches to overlay runs (``0`` disables health sampling).
+    ``series_period`` does the same for the
+    :class:`~repro.obs.series.CapacitySampler` (events/sec, queue
+    occupancy, per-layer byte rates); it defaults to off because the
+    capacity trajectory is a diagnosis tool, not part of the standard
+    result set.
     """
 
     def __init__(
@@ -62,12 +70,14 @@ class Observability:
         profile: bool = False,
         max_label_sets: int = 256,
         health_period: float = 1.0,
+        series_period: float = 0.0,
     ):
         self.enabled = enabled
         self.metrics = MetricsRegistry(enabled=enabled, max_label_sets=max_label_sets)
         self.tracer = SimTracer(capacity=trace_capacity, enabled=enabled)
         self.profiler = Profiler() if profile else None
         self.health_period = health_period
+        self.series_period = series_period
 
 
 #: Shared always-disabled instance; the default for every protocol object.
@@ -91,21 +101,29 @@ __all__ = [
     "ledger_enabled",
     "record_run",
     "validate_chrome_trace",
+    "CapacitySampler",
+    "FlameSampler",
     "HealthMonitor",
     "HealthSample",
     "Hop",
+    "MemoryCensus",
     "MetricsRegistry",
     "Observability",
     "PathReconstructor",
     "ProfileReport",
     "Profiler",
+    "SeriesSample",
     "SimTracer",
     "StreamingHistogram",
     "TRACE_SCHEMA",
     "TraceEvent",
     "categorize",
+    "census_system",
+    "deep_size",
     "format_metrics_summary",
+    "merge_series_sections",
     "merge_snapshots",
     "record_link_stress",
     "validate_events",
+    "validate_speedscope",
 ]

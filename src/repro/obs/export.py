@@ -15,7 +15,11 @@ flame-level visibility into a run:
   instant event on the violated invariant's own track;
 * **profiler track group** (pid 4) — one track per profiler category
   with a single slice whose duration is the category's cumulative
-  wall-clock, i.e. a one-glance flame view of where the real time went.
+  wall-clock, i.e. a one-glance flame view of where the real time went;
+* **capacity track group** (pid 5) — ``capacity.sample`` events (see
+  :mod:`repro.obs.series`) as counter (``"C"``) tracks: event
+  throughput, scheduler occupancy, live messages, and per-layer
+  message/byte rates render as line charts under the protocol timeline.
 
 Simulated seconds map to trace microseconds.  The profiler has no
 per-event timeline (it aggregates), so its slices start at t=0 by
@@ -38,17 +42,54 @@ PID_PROTOCOL = 1
 PID_CHAOS = 2
 PID_INVARIANTS = 3
 PID_PROFILE = 4
+PID_CAPACITY = 5
 
 PROCESS_NAMES = {
     PID_PROTOCOL: "protocol",
     PID_CHAOS: "chaos",
     PID_INVARIANTS: "invariants",
     PID_PROFILE: "profiler",
+    PID_CAPACITY: "capacity",
 }
 
 #: Categories that get their own dedicated track group.
 _CHAOS_CATEGORY = "chaos.phase"
 _INVARIANT_CATEGORY = "invariant.violation"
+_CAPACITY_CATEGORY = "capacity.sample"
+
+#: capacity.sample fields → counter-track name; multi-series counters
+#: plot their fields as stacked lines on one track.
+_CAPACITY_COUNTERS = (
+    ("events_per_sec", (("events_per_sec", "value"),)),
+    ("live_nodes", (("live", "value"),)),
+    (
+        "queue",
+        (
+            ("pending_events", "pending"),
+            ("sched_queue", "queue"),
+            ("sched_wheel", "wheel"),
+        ),
+    ),
+    ("messages", (("live_messages", "live"), ("pending_pulls", "pulls"))),
+    (
+        "msg_rate",
+        (
+            ("msg_rate_overlay", "overlay"),
+            ("msg_rate_tree", "tree"),
+            ("msg_rate_gossip", "gossip"),
+            ("msg_rate_dissem", "dissem"),
+        ),
+    ),
+    (
+        "byte_rate",
+        (
+            ("byte_rate_overlay", "overlay"),
+            ("byte_rate_tree", "tree"),
+            ("byte_rate_gossip", "gossip"),
+            ("byte_rate_dissem", "dissem"),
+        ),
+    ),
+)
 
 
 def _us(t: float) -> float:
@@ -132,6 +173,25 @@ def chrome_trace(
                         "ts": ts, "args": fields,
                     }
                 )
+        elif event.category == _CAPACITY_CATEGORY:
+            for counter, series in _CAPACITY_COUNTERS:
+                args: Dict[str, Any] = {}
+                for field, label in series:
+                    value = event.fields.get(field)
+                    # NaN (e.g. no message buffer in a baseline run) and
+                    # absent fields simply drop out of the counter.
+                    if isinstance(value, (int, float)) and value == value:
+                        args[label] = float(value)
+                if args:
+                    out.append(
+                        {
+                            "ph": "C",
+                            "pid": PID_CAPACITY,
+                            "tid": tracks.tid(PID_CAPACITY, counter),
+                            "name": counter, "cat": "capacity",
+                            "ts": ts, "args": args,
+                        }
+                    )
         elif event.category == _INVARIANT_CATEGORY:
             invariant = str(fields.get("invariant", "violation"))
             out.append(

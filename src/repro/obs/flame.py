@@ -1,0 +1,291 @@
+"""Stack-sampling flamegraph exporter.
+
+The dispatch profiler (:mod:`repro.obs.profiler`) attributes wall time
+per protocol *category*; a flamegraph attributes it per *call stack*,
+which is what the transport/protocol optimization work needs ("which
+exact frames inside Disseminator.on_multicast_data are hot?").
+
+:class:`FlameSampler` runs a daemon thread that snapshots the target
+thread's stack via ``sys._current_frames()`` every ``interval`` wall
+seconds.  Sampling is external to the workload — nothing is imported or
+executed on the simulation's hot path, so the slowdown is the cost of
+~one frame walk per interval (a few percent at the default 2 ms) and
+the simulation results are byte-identical to an unsampled run.
+
+Two output formats, both plain data:
+
+* collapsed stacks (``frame;frame;frame count`` lines) — the input
+  format of Brendan Gregg's ``flamegraph.pl`` and most flame tooling;
+* speedscope JSON (``"sampled"`` profile: shared frame table +
+  chronological samples with per-sample weights) — drop the file on
+  https://www.speedscope.app for an interactive time-ordered /
+  left-heavy / sandwich view.  :func:`validate_speedscope` checks the
+  structural contract and is what the test suite pins the exporter
+  against.
+
+``repro obs flame`` wires this around a scenario run (see
+``docs/OBSERVABILITY.md`` for the walkthrough).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time as _time
+from typing import Any, Dict, List, Optional, Tuple
+
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+#: One captured frame: (function name, file, first line of function).
+_FrameKey = Tuple[str, str, int]
+
+
+class FlameSampler:
+    """Periodic stack sampler for one thread (the caller of start())."""
+
+    def __init__(self, interval: float = 0.002, max_samples: int = 200_000):
+        if interval <= 0:
+            raise ValueError(f"sampling interval must be positive, got {interval}")
+        self.interval = interval
+        self.max_samples = max_samples
+        #: Chronological (stack, weight-seconds) pairs; stacks are
+        #: root-first tuples of frame keys.
+        self.samples: List[Tuple[Tuple[_FrameKey, ...], float]] = []
+        self.dropped = 0
+        self._target_ident: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._started_at = 0.0
+        self._ended_at = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin sampling the *calling* thread from a helper thread."""
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._started_at = _time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._loop, name="flame-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        self._ended_at = _time.perf_counter()
+
+    def __enter__(self) -> "FlameSampler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Sampling loop (runs on the helper thread)
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        ident = self._target_ident
+        last = _time.perf_counter()
+        while not self._stop.wait(self.interval):
+            now = _time.perf_counter()
+            frame = sys._current_frames().get(ident)
+            if frame is None:
+                continue
+            stack: List[_FrameKey] = []
+            depth = 0
+            while frame is not None and depth < 512:
+                code = frame.f_code
+                stack.append((code.co_name, code.co_filename, code.co_firstlineno))
+                frame = frame.f_back
+                depth += 1
+            stack.reverse()
+            if len(self.samples) < self.max_samples:
+                # Weight = wall time since the previous tick, so pauses
+                # (GC, scheduler hiccups) charge the frame they landed in.
+                self.samples.append((tuple(stack), now - last))
+            else:
+                self.dropped += 1
+            last = now
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    @property
+    def total_weight(self) -> float:
+        return sum(w for _, w in self.samples)
+
+    def collapsed(self, trim: Optional[str] = "repro") -> Dict[str, int]:
+        """Sample counts per collapsed stack (``frame;frame;frame``).
+
+        ``trim`` drops the harness frames below the first frame whose
+        file path contains it (pass None to keep full stacks).
+        """
+        counts: Dict[str, int] = {}
+        for stack, _weight in self.samples:
+            frames = [_frame_label(f) for f in self._trimmed(stack, trim)]
+            key = ";".join(frames)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def collapsed_text(self, trim: Optional[str] = "repro") -> str:
+        counts = self.collapsed(trim)
+        return "\n".join(f"{stack} {n}" for stack, n in sorted(counts.items()))
+
+    def speedscope(self, name: str = "repro", trim: Optional[str] = None) -> Dict[str, Any]:
+        """The capture as a speedscope ``sampled`` profile document."""
+        frames: List[Dict[str, Any]] = []
+        index: Dict[_FrameKey, int] = {}
+        profile_samples: List[List[int]] = []
+        weights: List[float] = []
+        elapsed = 0.0
+        for stack, weight in self.samples:
+            row: List[int] = []
+            for key in self._trimmed(stack, trim):
+                idx = index.get(key)
+                if idx is None:
+                    idx = len(frames)
+                    index[key] = idx
+                    frames.append(
+                        {"name": key[0], "file": key[1], "line": key[2]}
+                    )
+                row.append(idx)
+            profile_samples.append(row)
+            weights.append(weight)
+            elapsed += weight
+        return {
+            "$schema": SPEEDSCOPE_SCHEMA,
+            "shared": {"frames": frames},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": name,
+                    "unit": "seconds",
+                    "startValue": 0.0,
+                    "endValue": elapsed,
+                    "samples": profile_samples,
+                    "weights": weights,
+                }
+            ],
+            "name": name,
+            "exporter": "repro obs flame",
+        }
+
+    @staticmethod
+    def _trimmed(
+        stack: Tuple[_FrameKey, ...], trim: Optional[str]
+    ) -> Tuple[_FrameKey, ...]:
+        if trim is None:
+            return stack
+        for i, (_name, filename, _line) in enumerate(stack):
+            if trim in filename:
+                return stack[i:]
+        return stack
+
+
+def _frame_label(key: _FrameKey) -> str:
+    name, filename, line = key
+    marker = "repro/" if "/" in filename else "repro\\"
+    idx = filename.rfind(marker)
+    short = filename[idx:] if idx != -1 else filename.rsplit("/", 1)[-1]
+    return f"{name} ({short}:{line})"
+
+
+def sample_run(fn, interval: float = 0.002) -> FlameSampler:
+    """Run ``fn()`` under a fresh sampler; returns the stopped sampler."""
+    sampler = FlameSampler(interval=interval)
+    with sampler:
+        fn()
+    return sampler
+
+
+# ----------------------------------------------------------------------
+# Structural validation (the contract the tests pin)
+# ----------------------------------------------------------------------
+def validate_speedscope(doc: Any) -> List[str]:
+    """Check ``doc`` against the speedscope file-format contract.
+
+    Returns a list of problems (empty = valid).  Covers the subset of
+    the schema a ``sampled`` profile uses: the shared frame table,
+    frame-index validity, samples/weights agreement, and monotone
+    non-negative weights summing to the profile's value range.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("$schema") != SPEEDSCOPE_SCHEMA:
+        problems.append(f"$schema must be {SPEEDSCOPE_SCHEMA!r}")
+    shared = doc.get("shared")
+    if not isinstance(shared, dict) or not isinstance(shared.get("frames"), list):
+        return problems + ["missing shared.frames list"]
+    frames = shared["frames"]
+    for i, frame in enumerate(frames):
+        if not isinstance(frame, dict) or not isinstance(frame.get("name"), str):
+            problems.append(f"shared.frames[{i}] lacks a string name")
+    profiles = doc.get("profiles")
+    if not isinstance(profiles, list) or not profiles:
+        return problems + ["missing non-empty profiles list"]
+    for p, profile in enumerate(profiles):
+        where = f"profiles[{p}]"
+        if not isinstance(profile, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        if profile.get("type") != "sampled":
+            problems.append(f"{where}.type must be 'sampled'")
+            continue
+        if not isinstance(profile.get("name"), str):
+            problems.append(f"{where}.name missing")
+        if profile.get("unit") not in (
+            "seconds", "milliseconds", "microseconds", "nanoseconds",
+            "bytes", "none",
+        ):
+            problems.append(f"{where}.unit invalid: {profile.get('unit')!r}")
+        samples = profile.get("samples")
+        weights = profile.get("weights")
+        if not isinstance(samples, list) or not isinstance(weights, list):
+            problems.append(f"{where} samples/weights missing")
+            continue
+        if len(samples) != len(weights):
+            problems.append(
+                f"{where}: {len(samples)} samples but {len(weights)} weights"
+            )
+        for s, row in enumerate(samples):
+            if not isinstance(row, list):
+                problems.append(f"{where}.samples[{s}] is not a list")
+                continue
+            for idx in row:
+                if not isinstance(idx, int) or not 0 <= idx < len(frames):
+                    problems.append(
+                        f"{where}.samples[{s}] has invalid frame index {idx!r}"
+                    )
+                    break
+        total = 0.0
+        for w, weight in enumerate(weights):
+            if not isinstance(weight, (int, float)) or weight < 0:
+                problems.append(f"{where}.weights[{w}] invalid: {weight!r}")
+                break
+            total += float(weight)
+        start = profile.get("startValue")
+        end = profile.get("endValue")
+        if not isinstance(start, (int, float)) or not isinstance(end, (int, float)):
+            problems.append(f"{where} startValue/endValue missing")
+        elif end < start:
+            problems.append(f"{where}: endValue {end} < startValue {start}")
+        elif total > (end - start) + 1e-6:
+            problems.append(
+                f"{where}: weights sum {total:.6f} exceeds value range {end - start:.6f}"
+            )
+    return problems
+
+
+def write_speedscope(doc: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh)

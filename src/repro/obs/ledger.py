@@ -408,7 +408,14 @@ def bench_result_sections(results: Dict[str, Any]):
     exact: Dict[str, Any] = {}
     for size, entry in sorted(results.items(), key=lambda kv: int(kv[0])):
         prefix = f"n{size}"
-        for field in ("events_per_sec", "wall_s_best", "cpu_s_best", "peak_rss_kb"):
+        for field in (
+            "events_per_sec",
+            "wall_s_best",
+            "cpu_s_best",
+            "peak_rss_kb",
+            "peak_rss_delta_kb",
+            "bytes_per_node",
+        ):
             if entry.get(field) is not None:
                 metrics[f"{prefix}.{field}"] = float(entry[field])
         if entry.get("events_executed") is not None:

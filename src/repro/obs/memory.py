@@ -1,0 +1,436 @@
+"""Per-subsystem memory census and allocation attribution.
+
+Scaling the simulation toward the paper's N=1,740 population (and the
+ROADMAP's 50k target) requires "memory per node measured and bounded".
+This module supplies the measurement:
+
+* :func:`deep_size` — a transitive ``sys.getsizeof`` walk over plain
+  containers, ``__dict__``/``__slots__`` instances, and numpy arrays
+  (views charge their owning base exactly once), sharing one ``seen``
+  set across calls so shared objects are attributed to whichever
+  subsystem reaches them first and never double counted.  Traversal
+  stops at *boundary* types (nodes, the engine, the transport, shared
+  RNG streams and configs), which is what makes per-subsystem
+  attribution meaningful despite the protocol's pervasive
+  back-references (every manager holds ``self.node``).
+* :func:`census_system` — runs the walk over a built
+  :class:`~repro.experiments.system.GoCastSystem`, producing a
+  per-subsystem bytes breakdown (membership / overlay / tree /
+  dissemination / gossip / timers+dispatch per node; engine queue,
+  transport, latency model, RNG registry, configs system-wide) and the
+  headline ``bytes_per_node`` metric that `repro bench --mem` records
+  and the regression sentinel gates.
+* :func:`allocation_attribution` — a tracemalloc harness filtered to
+  ``repro`` source files: run a workload under it and get back the top
+  allocation *sites* on the hot path, the evidence the
+  message-object-elimination work (ROADMAP, throughput round 2) needs.
+* :func:`run_memory_experiment` — the CLI driver behind
+  ``repro obs mem``: build a scenario's system, drive the standard
+  adaptation → workload → drain phases, then census it (optionally
+  under tracemalloc).
+
+The census runs *after* a simulation completes — it never executes
+inside the event loop, so it cannot perturb protocol behaviour, and it
+costs nothing when unused (nothing here is imported on any hot path).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import sys
+import tracemalloc
+import types
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+#: Types never descended into and never counted: code, not state.
+_SKIP_TYPES = (
+    types.ModuleType,
+    types.FunctionType,
+    types.BuiltinFunctionType,
+    types.MethodType,
+    types.CodeType,
+    type,
+    property,
+    classmethod,
+    staticmethod,
+)
+
+#: Leaf types that are counted but never traversed.
+_ATOMIC_TYPES = (int, float, bool, complex, str, bytes, bytearray, type(None))
+
+_CONTAINER_TYPES = (list, tuple, set, frozenset, deque)
+
+
+def deep_size(
+    obj: Any,
+    seen: Optional[Set[int]] = None,
+    boundary: Tuple[type, ...] = (),
+) -> int:
+    """Transitive size of ``obj`` in bytes.
+
+    ``seen`` is a set of ``id()``s shared across calls: an object
+    already counted (by this call or an earlier one sharing the set)
+    contributes zero.  ``boundary`` types are neither counted nor
+    entered — they cut back-references so a census can attribute a
+    subsystem's state without dragging in the rest of the system.
+    Functions, methods, classes and modules are always skipped.
+    """
+    if seen is None:
+        seen = set()
+    total = 0
+    stack = [obj]
+    getsizeof = sys.getsizeof
+    ndarray = _numpy_ndarray()
+    while stack:
+        o = stack.pop()
+        oid = id(o)
+        if oid in seen:
+            continue
+        if boundary and isinstance(o, boundary):
+            continue
+        if isinstance(o, _SKIP_TYPES):
+            continue
+        seen.add(oid)
+        total += getsizeof(o, 0)
+        if isinstance(o, _ATOMIC_TYPES):
+            continue
+        if isinstance(o, dict):
+            stack.extend(o.keys())
+            stack.extend(o.values())
+            continue
+        if isinstance(o, _CONTAINER_TYPES):
+            stack.extend(o)
+            continue
+        if ndarray is not None and isinstance(o, ndarray):
+            # ndarray.__sizeof__ includes the data buffer only for
+            # owning arrays; a view charges its base (counted once
+            # through the seen set) instead of re-counting the buffer.
+            if o.base is not None:
+                stack.append(o.base)
+            continue
+        d = getattr(o, "__dict__", None)
+        if d is not None:
+            stack.append(d)
+        for cls in type(o).__mro__:
+            for name in cls.__dict__.get("__slots__", ()):
+                if name in ("__dict__", "__weakref__"):
+                    continue
+                try:
+                    stack.append(getattr(o, name))
+                except AttributeError:
+                    pass
+    return total
+
+
+def _numpy_ndarray() -> Optional[type]:
+    np = sys.modules.get("numpy")
+    return np.ndarray if np is not None else None
+
+
+def _boundary_types() -> Tuple[type, ...]:
+    """The default census boundary (resolved lazily: this module is
+    imported from ``repro.obs.__init__``, before the protocol packages
+    can be imported without a cycle)."""
+    from repro.core.config import GoCastConfig
+    from repro.core.node import GoCastNode
+    from repro.net.estimation import TriangularEstimator
+    from repro.net.latency import LatencyModel
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import SimTracer
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import DeliveryTracer
+    from repro.sim.transport import Network
+
+    return (
+        GoCastNode,
+        Simulator,
+        Network,
+        LatencyModel,
+        TriangularEstimator,
+        GoCastConfig,
+        DeliveryTracer,
+        SimTracer,
+        MetricsRegistry,
+        random.Random,
+    )
+
+
+#: Per-node subsystem → attribute(s) walked on each node, in a fixed
+#: order (shared objects land in the first subsystem that reaches them).
+NODE_SUBSYSTEMS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("membership", ("view",)),
+    ("overlay", ("overlay",)),
+    ("tree", ("tree",)),
+    ("dissemination", ("disseminator",)),
+    ("gossip", ("gossip_engine",)),
+    (
+        "node.other",
+        ("_id_alloc", "_dispatch", "_gossip_timer", "_maint_timer",
+         "delivery_listeners", "_link_level_types"),
+    ),
+)
+
+
+@dataclasses.dataclass
+class MemoryCensus:
+    """Deep-size breakdown of one built system."""
+
+    n_nodes: int  #: nodes censused (the full population, dead included)
+    by_subsystem: Dict[str, int]  #: bytes per census category
+    node_bytes: int  #: sum over the per-node categories
+    total_bytes: int  #: everything censused, system-wide state included
+    bytes_per_node: float  #: node_bytes / n_nodes — the headline metric
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_nodes": self.n_nodes,
+            "by_subsystem": dict(self.by_subsystem),
+            "node_bytes": self.node_bytes,
+            "total_bytes": self.total_bytes,
+            "bytes_per_node": self.bytes_per_node,
+        }
+
+
+def census_system(system: Any) -> MemoryCensus:
+    """Deep-size census of a built :class:`GoCastSystem` (duck-typed:
+    anything exposing ``nodes``/``sim``/``network`` works).
+
+    Shared state is attributed once: the walk shares one ``seen`` set,
+    and the category order is fixed (per-node subsystems first, then
+    engine, transport, latency, RNG, config), so results are
+    deterministic for a given system.
+    """
+    boundary = _boundary_types()
+    seen: Set[int] = set()
+    by: Dict[str, int] = {}
+
+    nodes = getattr(system, "nodes", {}) or {}
+    ordered = [nodes[nid] for nid in sorted(nodes)]
+    for name, attrs in NODE_SUBSYSTEMS:
+        total = 0
+        for node in ordered:
+            for attr in attrs:
+                target = getattr(node, attr, None)
+                if target is not None:
+                    total += deep_size(target, seen, boundary)
+        by[name] = total
+    node_bytes = sum(by.values())
+
+    # NOTE: every root below is a *live* attribute of the system, never
+    # a temporary container built here — the seen set records ids, and
+    # the id of a freed temporary can be reused by a later root, which
+    # would silently zero that category.
+    sim = getattr(system, "sim", None)
+    if sim is not None:
+        by["engine"] = _sized(
+            (sim._queue, sim._calq, sim._wheel, sim._pool), seen, boundary
+        )
+    network = getattr(system, "network", None)
+    if network is not None:
+        by["transport"] = _sized(
+            (
+                network.link_counts,
+                network._msg_meta,
+                network._endpoints,
+                network._dead,
+                network._reachable,
+                network._failed_links,
+                network._link_loss,
+                network._fifo_floor,
+            ),
+            seen,
+            boundary,
+        )
+    latency = getattr(system, "latency", None)
+    if latency is not None:
+        # The latency model is a boundary type (nodes reference it via
+        # the estimator); census it explicitly with the boundary lifted.
+        lifted = tuple(t for t in boundary if not isinstance(latency, t))
+        by["latency"] = deep_size(latency, seen, lifted)
+    estimator = getattr(system, "estimator", None)
+    if estimator is not None:
+        lifted = tuple(t for t in boundary if not isinstance(estimator, t))
+        by["estimator"] = deep_size(estimator, seen, lifted)
+    rngs = getattr(system, "rngs", None)
+    if rngs is not None:
+        by["rng"] = _rng_bytes(rngs, seen)
+    configs = _distinct_configs(system, ordered)
+    if configs:
+        lifted = tuple(t for t in boundary if t.__name__ != "GoCastConfig")
+        by["config"] = _sized(configs, seen, lifted)
+
+    n = len(ordered)
+    total = sum(by.values())
+    return MemoryCensus(
+        n_nodes=n,
+        by_subsystem=by,
+        node_bytes=node_bytes,
+        total_bytes=total,
+        bytes_per_node=(node_bytes / n) if n else 0.0,
+    )
+
+
+def _sized(
+    roots: Iterable[Any], seen: Set[int], boundary: Tuple[type, ...]
+) -> int:
+    """Sum of :func:`deep_size` over live roots (skipping None)."""
+    return sum(deep_size(r, seen, boundary) for r in roots if r is not None)
+
+
+def _rng_bytes(rngs: Any, seen: Set[int]) -> int:
+    """Bytes held by the RNG registry: each ``random.Random`` carries a
+    ~2.5kB Mersenne state vector that the boundary walk deliberately
+    skips everywhere else."""
+    total = deep_size(rngs._streams, seen, (random.Random,))
+    for rng in rngs._streams.values():
+        if id(rng) not in seen:
+            seen.add(id(rng))
+            total += sys.getsizeof(rng, 0)
+    return total
+
+
+def _distinct_configs(system: Any, nodes: Iterable[Any]) -> List[Any]:
+    out: List[Any] = []
+    ids: Set[int] = set()
+    candidates = [getattr(system, "config", None)]
+    candidates.extend(getattr(node, "config", None) for node in nodes)
+    for cfg in candidates:
+        if cfg is not None and id(cfg) not in ids:
+            ids.add(id(cfg))
+            out.append(cfg)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Allocation attribution (tracemalloc)
+# ----------------------------------------------------------------------
+def allocation_attribution(
+    fn: Callable[[], Any], top: int = 15, nframes: int = 1
+) -> List[Dict[str, Any]]:
+    """Run ``fn`` under tracemalloc and attribute surviving allocations
+    to ``repro`` source lines.
+
+    Returns the top sites by bytes still allocated when ``fn`` returns
+    (``[{"file", "line", "size_kb", "count"}, ...]``) — i.e. retained
+    state, which for a completed run is the interesting number (the
+    per-message churn shows up in the flamegraph instead).  Tracing
+    slows execution several-fold; never use it inside a benchmark
+    measurement.
+    """
+    tracemalloc.start(nframes)
+    try:
+        fn()
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    filtered = snapshot.filter_traces(
+        [
+            tracemalloc.Filter(True, "*repro*"),
+            tracemalloc.Filter(False, tracemalloc.__file__),
+        ]
+    )
+    sites = []
+    for stat in filtered.statistics("lineno")[:top]:
+        frame = stat.traceback[0]
+        filename = frame.filename
+        marker = f"repro{'/' if '/' in filename else chr(92)}"
+        idx = filename.rfind(marker)
+        if idx != -1:
+            filename = filename[idx:]
+        sites.append(
+            {
+                "file": filename,
+                "line": frame.lineno,
+                "size_kb": round(stat.size / 1024.0, 1),
+                "count": stat.count,
+            }
+        )
+    return sites
+
+
+# ----------------------------------------------------------------------
+# CLI driver
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class MemoryReport:
+    """Outcome of :func:`run_memory_experiment`."""
+
+    census: MemoryCensus
+    events_executed: int
+    alloc_sites: Optional[List[Dict[str, Any]]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "census": self.census.to_dict(),
+            "events_executed": self.events_executed,
+        }
+        if self.alloc_sites is not None:
+            out["alloc_sites"] = self.alloc_sites
+        return out
+
+
+def run_memory_experiment(
+    scenario: Any, alloc: bool = False, top: int = 15
+) -> MemoryReport:
+    """Build the scenario's system, run it to completion, census it.
+
+    Overlay protocols only (the census categories are the GoCast node
+    subsystems).  ``alloc=True`` additionally runs the simulation under
+    tracemalloc and reports the top retained-allocation sites.
+    """
+    from repro.experiments.system import GoCastSystem
+
+    if not scenario.uses_overlay:
+        raise ValueError(
+            f"memory census requires an overlay protocol, not {scenario.protocol!r}"
+        )
+    system = GoCastSystem(scenario)
+
+    def drive() -> None:
+        system.run_adaptation()
+        if scenario.fail_fraction > 0:
+            system.fail_random_fraction(scenario.adapt_time, scenario.fail_fraction)
+        end = system.schedule_workload(scenario.adapt_time + 0.1)
+        system.run_until(end + scenario.drain_time)
+
+    sites: Optional[List[Dict[str, Any]]] = None
+    if alloc:
+        sites = allocation_attribution(drive, top=top)
+    else:
+        drive()
+    return MemoryReport(
+        census=census_system(system),
+        events_executed=system.sim.events_executed,
+        alloc_sites=sites,
+    )
+
+
+def format_memory_report(report: MemoryReport) -> str:
+    """Render a census (and optional allocation sites) for the CLI."""
+    census = report.census
+    lines = ["== memory census =="]
+    lines.append(
+        f"{census.n_nodes} nodes, {census.total_bytes / 1024.0:.1f} kB censused, "
+        f"{census.bytes_per_node:.0f} bytes/node "
+        f"({report.events_executed} events executed)"
+    )
+    width = max((len(k) for k in census.by_subsystem), default=0)
+    for name, size in sorted(census.by_subsystem.items(), key=lambda kv: -kv[1]):
+        share = size / census.total_bytes if census.total_bytes else 0.0
+        per_node = size / census.n_nodes if census.n_nodes else 0.0
+        lines.append(
+            f"  {name:<{width}}  {size / 1024.0:>9.1f} kB  {share:>6.1%}  "
+            f"({per_node:>8.1f} B/node)"
+        )
+    if report.alloc_sites is not None:
+        lines.append("== top retained-allocation sites (tracemalloc) ==")
+        if not report.alloc_sites:
+            lines.append("  (no repro.* allocations retained)")
+        for site in report.alloc_sites:
+            lines.append(
+                f"  {site['size_kb']:>9.1f} kB  {site['count']:>7d} blocks  "
+                f"{site['file']}:{site['line']}"
+            )
+    return "\n".join(lines)

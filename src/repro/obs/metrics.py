@@ -315,6 +315,11 @@ def merge_snapshots(snapshots: Iterable[Optional[Dict[str, Any]]]) -> Optional[D
         from repro.obs.health import merge_health_sections
 
         merged["health"] = merge_health_sections(health_sections)
+    capacity_sections = [s["capacity"] for s in snaps if s.get("capacity")]
+    if capacity_sections:
+        from repro.obs.series import merge_series_sections
+
+        merged["capacity"] = merge_series_sections(capacity_sections)
     provenance_sections = [s["provenance"] for s in snaps if s.get("provenance")]
     if provenance_sections:
         from repro.obs.provenance import merge_provenance_summaries

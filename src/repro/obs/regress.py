@@ -73,6 +73,12 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     Rule("wall_s*", "relative", 0.10, "lower"),
     Rule("cpu_s*", "relative", 0.15, "lower"),
     Rule("peak_rss_kb", "relative", 0.25, "lower"),
+    # Capacity telemetry: per-config RSS growth and censused heap bytes.
+    # peak_rss_delta_kb is noisy (allocator reuse across configs can
+    # legitimately zero it), hence the wide band; bytes_per_node is a
+    # deterministic census walk, so a tight 10% band.
+    Rule("peak_rss_delta_kb", "relative", 0.50, "lower"),
+    Rule("bytes_per_node", "relative", 0.10, "lower"),
     Rule("*_delay", "relative", 0.05, "lower"),
 )
 

@@ -1,0 +1,341 @@
+"""Capacity time-series sampling.
+
+The counters the observability layer already keeps are *endpoint*
+numbers: one total per run.  :class:`CapacitySampler` turns the
+capacity-relevant ones into a *trajectory*: a read-only sim timer
+(:class:`~repro.obs.health.HealthMonitor` is the template) samples,
+every ``period`` simulated seconds,
+
+* the engine's event throughput (``events_executed`` delta per sim
+  second) and scheduler occupancy (heap / calendar-queue / timer-wheel
+  entries, from :meth:`~repro.sim.engine.Simulator.scheduler_stats`),
+* live protocol state — alive nodes, buffered (live) messages, pending
+  pull-repairs,
+* per-layer message and byte rates derived from the transport's
+  per-type counters (``sent_by_type`` / ``bytes_by_type`` deltas,
+  bucketed into overlay / tree / gossip / dissemination layers).
+
+Samples land in three places at once: a :class:`SeriesSample` row kept
+by the sampler, ``capacity.*`` time series in the metrics registry, and
+a ``capacity.sample`` trace event — which the Chrome-trace exporter
+(:mod:`repro.obs.export`) renders as counter tracks, so queue depth and
+byte rates plot as line charts under the protocol timeline.
+
+The sampler is strictly read-only with respect to the protocol: its
+timer callback inspects engine/transport/node state, never mutates it,
+and draws from no simulation RNG, so enabling it cannot change a seeded
+run's protocol behaviour (same contract as the health monitor, pinned
+by ``tests/obs/test_series.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, NamedTuple, Optional
+
+from repro.sim.timers import PeriodicTimer
+
+#: Message-layer buckets for the per-type transport counters.  First
+#: match by exact type name; unknown types fall into ``other``.
+LAYERS = ("overlay", "tree", "gossip", "dissem", "other")
+
+LAYER_BY_TYPE: Dict[str, str] = {
+    # Overlay construction and maintenance (C1-C4).
+    "JoinRequest": "overlay",
+    "JoinReply": "overlay",
+    "LinkRequest": "overlay",
+    "LinkAccept": "overlay",
+    "LinkReject": "overlay",
+    "LinkDrop": "overlay",
+    "RewireRequest": "overlay",
+    "Ping": "overlay",
+    "Pong": "overlay",
+    "DegreeUpdate": "overlay",
+    # Embedded dissemination tree.
+    "TreeHeartbeat": "tree",
+    "TreeAttach": "tree",
+    "TreeDetach": "tree",
+    # Gossip summaries.
+    "Gossip": "gossip",
+    # Payload dissemination and pull repair.
+    "MulticastData": "dissem",
+    "PullRequest": "dissem",
+    "PullData": "dissem",
+}
+
+
+def layer_of(type_name: str) -> str:
+    """Layer bucket for a wire-message type name."""
+    return LAYER_BY_TYPE.get(type_name, "other")
+
+
+class SeriesSample(NamedTuple):
+    """One capacity snapshot at simulated ``time``.
+
+    Rates are per simulated second over the preceding sampling interval
+    (deterministic: derived from sim time and exact counters, never from
+    the wall clock).
+    """
+
+    time: float
+    live: int
+    events_scheduled: int
+    events_per_sec: float
+    pending_events: int
+    sched_queue: int  # heap or calendar-queue entries (corpses included)
+    sched_wheel: int
+    live_messages: float  # NaN when nodes expose no message buffer
+    pending_pulls: float  # NaN likewise
+    msg_rate: float  # all layers combined, messages / sim second
+    byte_rate: float  # all layers combined, wire bytes / sim second
+    msg_rate_overlay: float
+    msg_rate_tree: float
+    msg_rate_gossip: float
+    msg_rate_dissem: float
+    byte_rate_overlay: float
+    byte_rate_tree: float
+    byte_rate_gossip: float
+    byte_rate_dissem: float
+
+
+#: The sampled quantities (everything but the timestamp).
+SERIES_FIELDS = SeriesSample._fields[1:]
+
+
+class CapacitySampler:
+    """Samples engine/transport/protocol capacity on a periodic sim timer."""
+
+    def __init__(self, nodes: Optional[Dict[int, Any]], network, obs, period: float = 1.0):
+        if period <= 0:
+            raise ValueError(f"series period must be positive, got {period}")
+        self.nodes = nodes or {}
+        self.network = network
+        self.obs = obs
+        self.period = period
+        self.samples: List[SeriesSample] = []
+        self._timer: Optional[PeriodicTimer] = None
+        self._sim = None
+        # Baselines for the delta-derived rates.
+        self._last_time = 0.0
+        self._last_retired = 0
+        self._last_counts: Dict[str, int] = {}
+        self._last_bytes: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, sim, phase: Optional[float] = None) -> None:
+        """Arm the sampling timer (first sample after one period)."""
+        self._sim = sim
+        self._last_time = sim.now
+        self._last_retired = sim._seq - sim.pending_events
+        self._last_counts = dict(self.network.sent_by_type)
+        self._last_bytes = dict(self.network.bytes_by_type)
+        if self._timer is None:
+            # obs=None: the sampler should not flood timer.fire events.
+            self._timer = PeriodicTimer(sim, self.period, self._sample, name="capacity")
+        self._timer.start(phase=phase)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _sample(self) -> None:
+        sim = self._sim
+        now = sim.now if sim is not None else 0.0
+        dt = now - self._last_time
+        if dt <= 0:
+            dt = self.period
+
+        # During a run the engine keeps its executed counter in a loop
+        # local (see Simulator._run), so events_executed is stale from
+        # inside a timer callback.  Retired events — allocated sequence
+        # numbers minus still-pending entries — are live, deterministic,
+        # and equal executed + collected cancellations, which is the
+        # right throughput gauge for capacity purposes anyway.
+        scheduled = sim._seq if sim is not None else 0
+        sched = sim.scheduler_stats() if sim is not None else {}
+        retired = scheduled - int(sched.get("pending", 0))
+        events_per_sec = (retired - self._last_retired) / dt
+
+        counts = dict(self.network.sent_by_type)
+        nbytes = dict(self.network.bytes_by_type)
+        msg_deltas = {layer: 0 for layer in LAYERS}
+        byte_deltas = {layer: 0 for layer in LAYERS}
+        for name, total in counts.items():
+            msg_deltas[layer_of(name)] += total - self._last_counts.get(name, 0)
+        for name, total in nbytes.items():
+            byte_deltas[layer_of(name)] += total - self._last_bytes.get(name, 0)
+
+        alive = self.network.alive_nodes()
+        live_messages = 0
+        pending_pulls = 0
+        buffered = False
+        for nid, node in self.nodes.items():
+            if nid not in alive:
+                continue
+            dissem = getattr(node, "disseminator", None)
+            if dissem is not None:
+                buffered = True
+                live_messages += len(dissem.buffer)
+                pending_pulls += dissem.pending_pulls
+
+        sample = SeriesSample(
+            time=now,
+            live=len(alive),
+            events_scheduled=scheduled,
+            events_per_sec=events_per_sec,
+            pending_events=int(sched.get("pending", 0)),
+            sched_queue=int(sched.get("heap_len", 0) + sched.get("calqueue_len", 0)),
+            sched_wheel=int(sched.get("wheel_count", 0)),
+            live_messages=float(live_messages) if buffered else math.nan,
+            pending_pulls=float(pending_pulls) if buffered else math.nan,
+            msg_rate=sum(msg_deltas.values()) / dt,
+            byte_rate=sum(byte_deltas.values()) / dt,
+            msg_rate_overlay=msg_deltas["overlay"] / dt,
+            msg_rate_tree=msg_deltas["tree"] / dt,
+            msg_rate_gossip=msg_deltas["gossip"] / dt,
+            msg_rate_dissem=msg_deltas["dissem"] / dt,
+            byte_rate_overlay=byte_deltas["overlay"] / dt,
+            byte_rate_tree=byte_deltas["tree"] / dt,
+            byte_rate_gossip=byte_deltas["gossip"] / dt,
+            byte_rate_dissem=byte_deltas["dissem"] / dt,
+        )
+        self.samples.append(sample)
+        self._last_time = now
+        self._last_retired = retired
+        self._last_counts = counts
+        self._last_bytes = nbytes
+
+        metrics = self.obs.metrics
+        for field in SERIES_FIELDS:
+            metrics.record(f"capacity.{field}", now, float(getattr(sample, field)))
+        self.obs.tracer.emit(
+            now, "capacity.sample",
+            **{field: getattr(sample, field) for field in SERIES_FIELDS},
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshots and merging
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form carried inside obs snapshots (JSON-safe apart
+        from NaN, which the batch layer's serializer handles)."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for field in SERIES_FIELDS:
+            values = [
+                float(getattr(s, field))
+                for s in self.samples
+                if not math.isnan(float(getattr(s, field)))
+            ]
+            if values:
+                summary[field] = {
+                    "min": min(values), "max": max(values), "final": values[-1],
+                }
+        return {
+            "period": self.period,
+            "n_samples": len(self.samples),
+            "fields": list(SeriesSample._fields),
+            "samples": [[float(v) for v in s] for s in self.samples],
+            "summary": summary,
+        }
+
+
+def merge_series_sections(sections: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate per-trial capacity rollups (order-invariant).
+
+    Raw sample rows are not carried across the merge — trials have
+    unrelated timelines — only the per-field envelope.  Float means use
+    sorted ``fsum`` so the result is bit-identical for any trial
+    ordering (the same discipline as the health merge).
+    """
+    merged: Dict[str, Any] = {
+        "n_trials": len(sections),
+        "n_samples": sum(s.get("n_samples", 0) for s in sections),
+    }
+    periods = sorted(s.get("period", 0.0) for s in sections)
+    merged["period"] = math.fsum(periods) / len(periods) if periods else 0.0
+
+    summary: Dict[str, Dict[str, float]] = {}
+    for field in SERIES_FIELDS:
+        mins = sorted(
+            s["summary"][field]["min"] for s in sections if field in s.get("summary", {})
+        )
+        maxs = sorted(
+            s["summary"][field]["max"] for s in sections if field in s.get("summary", {})
+        )
+        finals = sorted(
+            s["summary"][field]["final"] for s in sections if field in s.get("summary", {})
+        )
+        if finals:
+            summary[field] = {
+                "min": mins[0],
+                "max": maxs[-1],
+                "final_mean": math.fsum(finals) / len(finals),
+            }
+    merged["summary"] = summary
+    return merged
+
+
+def format_series(capacity: Dict[str, Any], limit: int = 24) -> str:
+    """Render a capacity trajectory (single-trial dict) for the CLI."""
+    fields = capacity.get("fields", ["time", *SERIES_FIELDS])
+    rows = capacity.get("samples", [])
+    lines = ["== capacity trajectory =="]
+    lines.append(
+        f"{len(rows)} samples every {capacity.get('period', 0.0):g}s "
+        f"({len(rows) * capacity.get('period', 0.0):g}s covered)"
+    )
+    headers = ["time", "live", "ev/s", "queue", "wheel", "msgs", "pulls",
+               "msg/s", "kB/s", "ovl/s", "tree/s", "gsp/s", "dsm/s"]
+    if rows:
+        lines.append("  ".join(f"{h:>7}" for h in headers))
+        step = max(1, math.ceil(len(rows) / limit))
+        shown = rows[::step]
+        if rows and shown[-1] is not rows[-1]:
+            shown.append(rows[-1])
+        for row in shown:
+            s = dict(zip(fields, row))
+            lines.append(
+                "  ".join(
+                    [
+                        f"{s['time']:>7.2f}",
+                        f"{int(s['live']):>7d}",
+                        f"{s['events_per_sec']:>7.0f}",
+                        f"{int(s['sched_queue']):>7d}",
+                        f"{int(s['sched_wheel']):>7d}",
+                        _cell(s["live_messages"], "d"),
+                        _cell(s["pending_pulls"], "d"),
+                        f"{s['msg_rate']:>7.0f}",
+                        f"{s['byte_rate'] / 1024.0:>7.1f}",
+                        f"{s['msg_rate_overlay']:>7.0f}",
+                        f"{s['msg_rate_tree']:>7.0f}",
+                        f"{s['msg_rate_gossip']:>7.0f}",
+                        f"{s['msg_rate_dissem']:>7.0f}",
+                    ]
+                )
+            )
+    summary = capacity.get("summary", {})
+    peak = summary.get("events_per_sec", {})
+    if peak:
+        lines.append(
+            f"events/sim-second: peak {peak['max']:.0f}, "
+            f"final {peak.get('final', peak.get('final_mean', 0.0)):.0f}"
+        )
+    rate = summary.get("byte_rate", {})
+    if rate:
+        lines.append(
+            f"wire bytes/sim-second: peak {rate['max'] / 1024.0:.1f} kB/s"
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: float, spec: str) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return f"{'-':>7}"
+    if spec == "d":
+        return f"{int(value):>7d}"
+    return f"{value:>7{spec}}"

@@ -133,6 +133,23 @@ def format_metrics_summary(snapshot: Dict[str, Any]) -> str:
                 )
             )
 
+    capacity = snapshot.get("capacity")
+    if capacity:
+        lines.append("")
+        lines.append("== capacity ==")
+        lines.append(
+            f"  {capacity.get('n_samples', 0)} samples every "
+            f"{capacity.get('period', 0.0):g}s"
+        )
+        summary = capacity.get("summary", {})
+        for field in sorted(summary):
+            cell = summary[field]
+            final = cell.get("final", cell.get("final_mean"))
+            lines.append(
+                f"  {field:<20} min={cell['min']:g} max={cell['max']:g} "
+                f"final={final:g}"
+            )
+
     provenance = snapshot.get("provenance")
     if provenance:
         att = provenance.get("attribution", {})

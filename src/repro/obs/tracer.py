@@ -75,8 +75,32 @@ TRACE_SCHEMA: Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]] = {
         frozenset({"invariant", "detail"}),
         frozenset({"node"}),
     ),
-    # Timers and health sampling.
+    # Timers, health and capacity sampling.
     "timer.fire": (frozenset({"name"}), frozenset()),
+    "capacity.sample": (
+        frozenset({"live"}),
+        frozenset(
+            {
+                "events_scheduled",
+                "events_per_sec",
+                "pending_events",
+                "sched_queue",
+                "sched_wheel",
+                "live_messages",
+                "pending_pulls",
+                "msg_rate",
+                "byte_rate",
+                "msg_rate_overlay",
+                "msg_rate_tree",
+                "msg_rate_gossip",
+                "msg_rate_dissem",
+                "byte_rate_overlay",
+                "byte_rate_tree",
+                "byte_rate_gossip",
+                "byte_rate_dissem",
+            }
+        ),
+    ),
     "health.sample": (
         frozenset({"live"}),
         frozenset(

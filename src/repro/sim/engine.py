@@ -203,6 +203,32 @@ class Simulator:
         """Whether periodic timers should route through the timer wheel."""
         return self._wheel is not None
 
+    def scheduler_stats(self) -> dict:
+        """Occupancy/reuse counters for whichever scheduler backs this run.
+
+        Read-only diagnostics (O(1) attribute reads; no queue traversal):
+        consumed by the capacity sampler (:mod:`repro.obs.series`) and
+        surfaced as ``sim.sched.*`` gauges in the standard metrics
+        snapshot.  Counts include not-yet-collected cancelled corpses,
+        exactly like :attr:`pending_events`.
+        """
+        calq = self._calq
+        wheel = self._wheel
+        pool = self._pool
+        return {
+            "pending": self.pending_events,
+            "heap_len": len(self._queue),
+            "calqueue_len": len(calq) if calq is not None else 0,
+            "calqueue_buckets": len(calq._buckets) if calq is not None else 0,
+            "calqueue_grows": calq.grows if calq is not None else 0,
+            "wheel_count": wheel.count if wheel is not None else 0,
+            "pool_free": len(pool._free) if pool is not None else 0,
+            "pool_created": pool.created if pool is not None else 0,
+            "pool_reused": pool.reused if pool is not None else 0,
+            "cancelled_pending": self._cancelled,
+            "compactions": self.compactions,
+        }
+
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:

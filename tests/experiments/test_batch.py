@@ -54,10 +54,12 @@ def test_trial_payloads_use_derived_seeds():
     scenario = ScenarioConfig(**FAST)
     payloads = trial_payloads(scenario, 3, root_seed=99)
     assert [p[1] for p in payloads] == [0, 1, 2]
-    for i, (trial_scenario, _idx, collect, health_period) in enumerate(payloads):
+    for i, payload in enumerate(payloads):
+        trial_scenario, _idx, collect, health_period, series_period = payload
         assert trial_scenario.seed == RngRegistry.trial_seed(99, i)
         assert collect is False
         assert health_period == 1.0
+        assert series_period == 0.0
     # Everything but the seed matches the source scenario.
     assert dataclasses.replace(payloads[0][0], seed=scenario.seed) == scenario
 

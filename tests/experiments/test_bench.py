@@ -74,6 +74,65 @@ def test_run_bench_records_environment_provenance(tmp_path):
     assert written["current"]["env"] == env
 
 
+def test_bench_size_reports_per_config_rss_delta():
+    result = bench.bench_size(16, repeats=1)
+    # ru_maxrss is a lifetime high-water mark; the per-config delta is
+    # its growth across this size's repeats and can be 0 but never
+    # negative or larger than the mark itself.
+    assert 0 <= result.peak_rss_delta_kb <= result.peak_rss_kb
+    d = result.to_dict()
+    assert d["peak_rss_delta_kb"] == result.peak_rss_delta_kb
+    # Without --mem no census fields appear.
+    assert "bytes_per_node" not in d and "mem_by_subsystem" not in d
+
+
+def test_bench_size_mem_attaches_census():
+    result = bench.bench_size(16, repeats=1, mem=True)
+    assert result.bytes_per_node and result.bytes_per_node > 0
+    assert result.mem_by_subsystem
+    assert all(v > 0 for v in result.mem_by_subsystem.values())
+    d = result.to_dict()
+    assert d["bytes_per_node"] == pytest.approx(result.bytes_per_node, abs=0.1)
+    assert set(d["mem_by_subsystem"]) == set(result.mem_by_subsystem)
+
+
+def test_run_bench_mem_records_ledger_and_report(tmp_path):
+    import os
+
+    from repro.obs.ledger import Ledger
+    from repro.obs.regress import rule_for
+
+    out = tmp_path / "BENCH_core.json"
+    report = bench.run_bench([16], repeats=1, label="current",
+                             out_path=str(out), mem=True)
+    entry = report["current"]["results"]["16"]
+    assert entry["bytes_per_node"] > 0
+    assert entry["peak_rss_delta_kb"] >= 0
+    # The RSS semantics note rides in the written report.
+    written = json.loads(out.read_text())
+    assert "ru_maxrss" in written["notes"]["peak_rss"]
+
+    # The ledger record carries the gated metrics under nNN. prefixes
+    # and the sentinel has rules for both new keys.
+    record = Ledger(os.environ["REPRO_LEDGER_DIR"]).records()[-1]
+    assert record.metrics["n16.bytes_per_node"] > 0
+    assert "n16.peak_rss_delta_kb" in record.metrics
+    rule = rule_for("n16.bytes_per_node")
+    assert rule is not None and rule.mode == "relative" and rule.better == "lower"
+    assert rule_for("n16.peak_rss_delta_kb") is not None
+
+
+def test_format_report_shows_memory_columns():
+    table = bench.format_report({
+        "current": {"results": {"16": {
+            "n_nodes": 16, "wall_s_best": 0.5, "events_per_sec": 1000.0,
+            "events_executed": 500, "bytes_per_node": 15000.0,
+            "peak_rss_delta_kb": 420,
+        }}},
+    })
+    assert "B/node" in table and "15000" in table and "420" in table
+
+
 def test_validate_sim_opts_raises_on_unknown_token(monkeypatch):
     monkeypatch.setenv("REPRO_SIM_OPTS", "calender")
     with pytest.raises(SimOptsError, match="calender"):

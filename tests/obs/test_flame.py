@@ -1,0 +1,147 @@
+"""Tests for the stack-sampling flamegraph exporter.
+
+The speedscope validator is the schema checker the acceptance criteria
+call for: ``repro obs flame`` refuses to write a document the checker
+rejects, and these tests pin both directions — real sampler output
+passes, and each class of structural corruption is caught.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.flame import (
+    SPEEDSCOPE_SCHEMA,
+    FlameSampler,
+    sample_run,
+    validate_speedscope,
+    write_speedscope,
+)
+
+
+def _busy(seconds=0.08):
+    """Deterministically-shaped CPU work the sampler can catch."""
+    import time
+
+    end = time.perf_counter() + seconds
+    acc = 0
+    while time.perf_counter() < end:
+        acc += sum(i * i for i in range(200))
+    return acc
+
+
+@pytest.fixture(scope="module")
+def sampler():
+    return sample_run(_busy, interval=0.001)
+
+
+# ----------------------------------------------------------------------
+# Sampler mechanics
+# ----------------------------------------------------------------------
+def test_sampler_collects_stacks_from_the_target_thread(sampler):
+    assert sampler.samples, "a busy 80ms window at 1ms must yield samples"
+    names = {frame[0] for stack, _w in sampler.samples for frame in stack}
+    assert "_busy" in names
+    assert sampler.total_weight > 0
+    assert all(weight > 0 for _stack, weight in sampler.samples)
+
+
+def test_sampler_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        FlameSampler(interval=0.0)
+
+
+def test_sampler_drops_beyond_max_samples():
+    sampler = sample_run(_busy, interval=0.001)
+    sampler.max_samples = len(sampler.samples)  # pretend the cap is hit
+    with sampler:
+        _busy(0.02)
+    assert sampler.dropped > 0
+
+
+def test_collapsed_output_format(sampler):
+    text = sampler.collapsed_text()
+    lines = text.splitlines()
+    assert lines
+    for line in lines:
+        stack, _space, count = line.rpartition(" ")
+        assert stack and int(count) >= 1
+        assert ";" in stack or stack  # frame;frame;frame count
+    assert any("_busy" in line for line in lines)
+
+
+# ----------------------------------------------------------------------
+# Speedscope export + validator
+# ----------------------------------------------------------------------
+def test_speedscope_document_validates_and_round_trips(sampler, tmp_path):
+    doc = sampler.speedscope(name="unit")
+    assert validate_speedscope(doc) == []
+    assert doc["$schema"] == SPEEDSCOPE_SCHEMA
+    profile = doc["profiles"][0]
+    assert profile["type"] == "sampled"
+    assert len(profile["samples"]) == len(profile["weights"])
+    assert profile["name"] == "unit"
+    path = tmp_path / "prof.speedscope.json"
+    write_speedscope(doc, str(path))
+    reloaded = json.loads(path.read_text())
+    assert validate_speedscope(reloaded) == []
+
+
+def test_validator_rejects_structural_corruption(sampler):
+    def corrupt(mutate):
+        doc = sampler.speedscope()
+        mutate(doc)
+        return validate_speedscope(doc)
+
+    assert corrupt(lambda d: d.pop("$schema"))
+    assert corrupt(lambda d: d["profiles"][0]["weights"].append(1.0))
+    assert corrupt(lambda d: d["profiles"][0].update(type="evented"))
+    assert corrupt(lambda d: d["profiles"][0].update(unit="parsecs"))
+    assert corrupt(lambda d: d["profiles"][0]["samples"][0].append(10 ** 9))
+    assert corrupt(
+        lambda d: d["profiles"][0]["weights"].__setitem__(0, -1.0)
+    )
+    assert corrupt(lambda d: d["shared"]["frames"][0].pop("name"))
+    assert corrupt(lambda d: d.update(profiles=[]))
+    assert validate_speedscope("not a dict")
+    assert validate_speedscope({}) != []
+
+
+def test_validator_rejects_weights_exceeding_value_range(sampler):
+    doc = sampler.speedscope()
+    profile = doc["profiles"][0]
+    profile["endValue"] = profile["startValue"]  # zero span, nonzero weights
+    assert any("weight" in p for p in validate_speedscope(doc))
+
+
+# ----------------------------------------------------------------------
+# CLI smoke
+# ----------------------------------------------------------------------
+def test_cli_obs_flame_writes_valid_speedscope(tmp_path, capsys):
+    from repro import cli
+
+    out = tmp_path / "flame.speedscope.json"
+    rc = cli.main([
+        "obs", "flame", "--nodes", "8", "--adapt", "3", "--messages", "2",
+        "--drain", "2", "--interval", "0.001", "--out", str(out),
+    ])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert validate_speedscope(doc) == []
+    assert "speedscope" in capsys.readouterr().out
+
+
+def test_cli_obs_flame_collapsed_format(tmp_path):
+    from repro import cli
+
+    out = tmp_path / "stacks.collapsed"
+    rc = cli.main([
+        "obs", "flame", "--nodes", "8", "--adapt", "3", "--messages", "2",
+        "--drain", "2", "--interval", "0.001", "--format", "collapsed",
+        "--out", str(out),
+    ])
+    assert rc == 0
+    lines = out.read_text().splitlines()
+    assert lines
+    stack, _space, count = lines[0].rpartition(" ")
+    assert int(count) >= 1

@@ -1,0 +1,185 @@
+"""Tests for the deep-size walker, the per-subsystem census, and the
+tracemalloc allocation attribution.
+
+``deep_size`` is exercised on hand-built object graphs where the right
+answer is known by construction (sharing, boundaries, slots); the
+census is exercised end-to-end on a real small system, including the
+id-reuse regression where a category silently censused as zero bytes
+because a freed temporary root's ``id()`` was recycled.
+"""
+
+import sys
+
+import pytest
+
+from repro.experiments.scenarios import ScenarioConfig
+from repro.obs.memory import (
+    NODE_SUBSYSTEMS,
+    MemoryCensus,
+    allocation_attribution,
+    deep_size,
+    format_memory_report,
+    run_memory_experiment,
+)
+
+
+def _scenario(**overrides):
+    base = dict(
+        protocol="gocast", n_nodes=12, adapt_time=5.0, n_messages=3,
+        drain_time=4.0, seed=5,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# deep_size
+# ----------------------------------------------------------------------
+def test_deep_size_counts_container_contents():
+    payload = ["x" * 100, "y" * 100]
+    assert deep_size(payload) >= sys.getsizeof(payload, 0) + 2 * 100
+
+
+def test_deep_size_counts_shared_objects_once():
+    blob = list(range(1000))
+    shared = [blob, blob]
+    distinct = [list(range(1000)), list(range(1000))]
+    assert deep_size(shared) < deep_size(distinct)
+
+
+def test_deep_size_shared_seen_set_spans_calls():
+    blob = list(range(1000))
+    seen = set()
+    first = deep_size(blob, seen)
+    assert first > 0
+    # Second walk over the same object contributes nothing.
+    assert deep_size(blob, seen) == 0
+    assert deep_size([blob], seen) == sys.getsizeof([blob], 0)
+
+
+def test_deep_size_boundary_types_are_not_entered():
+    class Heavy:
+        def __init__(self):
+            self.payload = list(range(10_000))
+
+    class Holder:
+        def __init__(self, heavy):
+            self.tag = "t"
+            self.heavy = heavy
+
+    heavy = Heavy()
+    with_boundary = deep_size(Holder(heavy), boundary=(Heavy,))
+    without = deep_size(Holder(heavy))
+    assert without > with_boundary
+    assert with_boundary < 1000  # holder shell only
+
+
+def test_deep_size_walks_slots():
+    class Slotted:
+        __slots__ = ("a", "b")
+
+        def __init__(self):
+            self.a = "z" * 500
+            self.b = 7
+
+    assert deep_size(Slotted()) >= 500
+
+
+def test_deep_size_skips_functions_and_classes():
+    class WithCallable:
+        def __init__(self):
+            self.fn = deep_size
+            self.cls = MemoryCensus
+
+    size = deep_size(WithCallable())
+    assert size < 2000  # instance shell + dict only, no module graph
+
+
+def test_deep_size_numpy_view_charges_owner_once():
+    np = pytest.importorskip("numpy")
+    base = np.zeros(10_000)
+    view = base[10:]
+    seen = set()
+    owner = deep_size(base, seen)
+    assert owner >= base.nbytes
+    # The view only adds its header; the buffer is already counted.
+    assert deep_size(view, seen) < 1000
+
+
+# ----------------------------------------------------------------------
+# census (end-to-end on a real system)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def census_report():
+    return run_memory_experiment(_scenario())
+
+
+def test_census_covers_every_subsystem_with_positive_bytes(census_report):
+    census = census_report.census
+    assert census.n_nodes == 12
+    per_node = {name for name, _attrs in NODE_SUBSYSTEMS}
+    system_wide = {"engine", "transport", "latency", "estimator", "rng", "config"}
+    assert set(census.by_subsystem) == per_node | system_wide
+    # Regression: the config category censused as exactly 0 bytes when
+    # a freed temporary root list's id() was recycled by a later root.
+    for name, size in census.by_subsystem.items():
+        assert size > 0, name
+
+
+def test_census_totals_are_consistent(census_report):
+    census = census_report.census
+    assert census.total_bytes == sum(census.by_subsystem.values())
+    # The headline metric is per-node state only; system-wide categories
+    # (engine, transport, ...) are excluded by design.
+    per_node_names = {name for name, _attrs in NODE_SUBSYSTEMS}
+    node_bytes = sum(census.by_subsystem[name] for name in per_node_names)
+    assert census.node_bytes == node_bytes
+    assert census.bytes_per_node == pytest.approx(node_bytes / census.n_nodes)
+    assert census.node_bytes <= census.total_bytes
+    d = census.to_dict()
+    assert d["bytes_per_node"] == pytest.approx(census.bytes_per_node)
+    assert d["by_subsystem"] == census.by_subsystem
+
+
+def test_census_dissemination_dominates_after_workload(census_report):
+    """After a delivered workload the message buffers hold the payloads:
+    dissemination should be the largest per-node category."""
+    by = census_report.census.by_subsystem
+    assert by["dissemination"] == max(
+        by[name] for name, _attrs in NODE_SUBSYSTEMS
+    )
+
+
+def test_run_memory_experiment_rejects_non_overlay_protocols():
+    with pytest.raises(ValueError, match="overlay"):
+        run_memory_experiment(_scenario(protocol="push_gossip"))
+
+
+def test_format_memory_report_renders_breakdown(census_report):
+    text = format_memory_report(census_report)
+    assert "memory census" in text
+    assert "bytes/node" in text
+    assert "dissemination" in text and "engine" in text
+
+
+# ----------------------------------------------------------------------
+# allocation attribution
+# ----------------------------------------------------------------------
+def test_allocation_attribution_names_repro_sites():
+    report = run_memory_experiment(
+        _scenario(n_nodes=8, adapt_time=3.0, n_messages=2, drain_time=3.0),
+        alloc=True,
+        top=5,
+    )
+    sites = report.alloc_sites
+    assert sites is not None and len(sites) <= 5
+    assert sites, "a full run must retain at least one repro.* allocation"
+    for site in sites:
+        assert "repro" in site["file"]
+        assert site["line"] >= 1
+        assert site["size_kb"] >= 0 and site["count"] >= 1
+    # Descending retained-size order.
+    kbs = [s["size_kb"] for s in sites]
+    assert kbs == sorted(kbs, reverse=True)
+    text = format_memory_report(report)
+    assert "tracemalloc" in text

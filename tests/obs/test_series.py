@@ -1,0 +1,187 @@
+"""Unit and end-to-end tests for the capacity time-series sampler.
+
+The sampler's contract mirrors the health monitor's: strictly read-only
+with respect to the protocol (enabling it cannot perturb a seeded run),
+deterministic rates derived from sim time and exact counters, and an
+order-invariant cross-trial merge.  The determinism claim is pinned
+under every ``REPRO_SIM_OPTS`` configuration the differential suite
+distinguishes, because the sampler reads scheduler internals that
+differ per configuration.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_delay_experiment
+from repro.experiments.scenarios import ScenarioConfig
+from repro.obs import Observability
+from repro.obs.export import chrome_trace, trace_tracks, validate_chrome_trace
+from repro.obs.series import (
+    LAYERS,
+    SERIES_FIELDS,
+    CapacitySampler,
+    SeriesSample,
+    format_series,
+    layer_of,
+    merge_series_sections,
+)
+from repro.obs.tracer import validate_events
+
+#: Same configurations as tests/experiments/test_equivalence.py: plain
+#: reference, heap fast path, calendar queue, everything.
+MODES = ["0", "wheel,pool", "calqueue,wheel", "1"]
+
+
+def _scenario(**overrides):
+    base = dict(
+        protocol="gocast", n_nodes=16, adapt_time=6.0, n_messages=4,
+        drain_time=6.0, seed=7,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def _instrumented_run(series_period=2.0, **overrides):
+    obs = Observability(enabled=True, series_period=series_period)
+    result = run_delay_experiment(_scenario(**overrides), obs=obs)
+    return obs, result
+
+
+def test_layer_of_buckets_known_and_unknown_types():
+    assert layer_of("LinkRequest") == "overlay"
+    assert layer_of("TreeHeartbeat") == "tree"
+    assert layer_of("Gossip") == "gossip"
+    assert layer_of("MulticastData") == "dissem"
+    assert layer_of("PullData") == "dissem"
+    assert layer_of("SomethingNew") == "other"
+    assert layer_of("Gossip") in LAYERS
+
+
+def test_sampler_rejects_nonpositive_period():
+    with pytest.raises(ValueError):
+        CapacitySampler({}, None, Observability(enabled=True), period=0.0)
+
+
+def test_sampler_records_trajectory_end_to_end():
+    obs, result = _instrumented_run(series_period=2.0)
+    capacity = result.metrics["capacity"]
+    assert capacity["n_samples"] > 0
+    assert capacity["fields"] == list(SeriesSample._fields)
+    # Every sample row is positionally aligned with the field list.
+    assert all(len(row) == len(capacity["fields"]) for row in capacity["samples"])
+    summary = capacity["summary"]
+    # The adaptation phase pushes real event throughput and wire traffic.
+    assert summary["events_per_sec"]["max"] > 0
+    assert summary["msg_rate"]["max"] > 0
+    assert summary["byte_rate"]["max"] > summary["msg_rate"]["max"]
+    assert summary["live"]["final"] == 16
+    # Scheduler occupancy was observed (pending timers at minimum).
+    assert summary["pending_events"]["max"] > 0
+    # GoCast nodes expose a message buffer: the NaN fallback is not hit.
+    assert "live_messages" in summary and "pending_pulls" in summary
+
+
+def test_samples_land_in_metrics_series_and_schema_clean_trace():
+    obs, _result = _instrumented_run(series_period=2.0)
+    snapshot = obs.metrics.snapshot()
+    for field in SERIES_FIELDS:
+        assert f"capacity.{field}" in snapshot["series"]
+    events = obs.tracer.events("capacity.sample")
+    assert events
+    assert validate_events(events) == []
+    # sim.sched.* gauges from Simulator.scheduler_stats ride along.
+    gauges = snapshot["gauges"]
+    for key in ("sim.sched.pending", "sim.sched.heap_len",
+                "sim.sched.pool_created", "sim.sched.cancelled_pending"):
+        assert key in gauges
+
+
+def test_sampler_is_read_only_for_the_protocol():
+    plain = run_delay_experiment(_scenario())
+    obs, sampled = _instrumented_run(series_period=1.0)
+    assert np.array_equal(plain.delays, sampled.delays)
+    assert plain.sent_by_type == sampled.sent_by_type
+    assert plain.messages_sent == sampled.messages_sent
+    assert plain.events_executed != 0
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_enabled_sampler_is_deterministic_under_every_sim_opts(monkeypatch, mode):
+    """Full-stack determinism gate: obs + capacity sampling enabled on
+    every scheduler configuration yields the plain run's protocol
+    outcome, and the sampling cadence itself is configuration-blind."""
+    monkeypatch.setenv("REPRO_SIM_OPTS", "0")
+    plain = run_delay_experiment(_scenario())
+    monkeypatch.setenv("REPRO_SIM_OPTS", mode)
+    obs, sampled = _instrumented_run(series_period=2.0)
+    assert plain.delays.tobytes() == np.asarray(sampled.delays).tobytes()
+    assert plain.sent_by_type == sampled.sent_by_type
+    assert plain.messages_sent == sampled.messages_sent
+    capacity = sampled.metrics["capacity"]
+    assert capacity["n_samples"] > 0
+    # Sample *times* are sim-timer driven, hence identical per mode.
+    times = [row[0] for row in capacity["samples"]]
+    assert times == sorted(times)
+
+
+def test_merge_series_sections_is_order_invariant():
+    _obs_a, a = _instrumented_run(series_period=2.0, seed=7)
+    _obs_b, b = _instrumented_run(series_period=3.0, seed=8)
+    sa, sb = a.metrics["capacity"], b.metrics["capacity"]
+    ab, ba = merge_series_sections([sa, sb]), merge_series_sections([sb, sa])
+    assert ab == ba
+    assert ab["n_trials"] == 2
+    assert ab["n_samples"] == sa["n_samples"] + sb["n_samples"]
+    assert ab["period"] == pytest.approx(2.5)
+    eps = ab["summary"]["events_per_sec"]
+    assert eps["min"] == min(sa["summary"]["events_per_sec"]["min"],
+                             sb["summary"]["events_per_sec"]["min"])
+    assert eps["final_mean"] == pytest.approx(
+        (sa["summary"]["events_per_sec"]["final"]
+         + sb["summary"]["events_per_sec"]["final"]) / 2
+    )
+
+
+def test_chrome_trace_renders_capacity_counter_tracks():
+    obs, _result = _instrumented_run(series_period=2.0)
+    doc = chrome_trace(obs.tracer.events())
+    assert validate_chrome_trace(doc) == []
+    tracks = trace_tracks(doc)
+    assert "capacity" in tracks
+    for counter in ("events_per_sec", "queue", "msg_rate", "byte_rate"):
+        assert counter in tracks["capacity"]
+    counters = [e for e in doc["traceEvents"]
+                if e.get("ph") == "C" and e.get("cat") == "capacity"]
+    assert counters
+    # Multi-series counters carry one arg per plotted line, NaN dropped.
+    queue = next(e for e in counters if e["name"] == "queue")
+    assert set(queue["args"]) == {"pending", "queue", "wheel"}
+    assert all(
+        isinstance(v, float) and v == v
+        for e in counters for v in e["args"].values()
+    )
+
+
+def test_format_series_renders_table_and_peaks():
+    _obs, result = _instrumented_run(series_period=2.0)
+    text = format_series(result.metrics["capacity"], limit=6)
+    assert "capacity trajectory" in text
+    assert "ev/s" in text and "kB/s" in text
+    assert "events/sim-second: peak" in text
+    # Thinned to the row budget (+1 for the forced final row).
+    rows = [ln for ln in text.splitlines() if ln.lstrip()[:1].isdigit()]
+    assert len(rows) <= 7
+
+
+def test_format_series_handles_nan_cells():
+    section = {
+        "period": 1.0, "n_samples": 1,
+        "fields": list(SeriesSample._fields),
+        "samples": [[1.0, 3, 100, 50.0, 10, 5, 0, math.nan, math.nan,
+                     2.0, 64.0, 1.0, 1.0, 0.0, 0.0, 32.0, 32.0, 0.0, 0.0]],
+        "summary": {},
+    }
+    text = format_series(section)
+    assert "-" in text  # NaN message-buffer cells render as dashes

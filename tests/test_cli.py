@@ -372,3 +372,53 @@ def test_obs_health_json(capsys):
     assert main(["obs", "health", *OBS_ARGS, "--json"]) == 0
     data = json.loads(capsys.readouterr().out)
     assert data["n_samples"] >= 1
+
+
+def test_obs_series_prints_trajectory(capsys):
+    assert main(["obs", "series", *OBS_ARGS, "--period", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "capacity trajectory" in out
+    assert "ev/s" in out and "kB/s" in out
+    assert "events/sim-second: peak" in out
+
+
+def test_obs_series_json(capsys):
+    import json
+
+    assert main(["obs", "series", *OBS_ARGS, "--period", "2", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["n_samples"] >= 1
+    assert "events_per_sec" in data["summary"]
+
+
+def test_obs_mem_prints_census(capsys):
+    assert main(["obs", "mem", "--nodes", "12", "--adapt", "4",
+                 "--messages", "2", "--drain", "3", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "memory census" in out
+    assert "bytes/node" in out
+    assert "dissemination" in out
+
+
+def test_obs_mem_json_and_out_and_ledger(tmp_path, capsys):
+    import json
+    import os
+
+    from repro.obs.ledger import Ledger
+
+    out_file = tmp_path / "census.json"
+    assert main(["obs", "mem", "--nodes", "12", "--adapt", "4",
+                 "--messages", "2", "--drain", "3", "--seed", "3",
+                 "--json", "--out", str(out_file)]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["census"]["bytes_per_node"] > 0
+    assert json.loads(out_file.read_text()) == data
+    record = Ledger(os.environ["REPRO_LEDGER_DIR"]).records()[-1]
+    assert record.name == "obs-mem"
+    assert record.metrics["bytes_per_node"] > 0
+
+
+def test_obs_mem_rejects_non_overlay_protocol(capsys):
+    assert main(["obs", "mem", "--protocol", "push_gossip",
+                 "--nodes", "12"]) == 2
+    assert "overlay" in capsys.readouterr().err
