@@ -135,7 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="experiment id from 'list', or 'all'")
     run.add_argument(
         "--scale",
-        choices=("smoke", "default", "full"),
+        choices=("smoke", "default", "full", "paper"),
         help="override REPRO_SCALE for this invocation",
     )
     run.add_argument("--seed", type=int, default=1, help="simulation seed")
@@ -203,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--mem", action="store_true",
         help="also census memory per size and record bytes_per_node "
         "(default sizes 128,512,1024)",
+    )
+    bench.add_argument(
+        "--paper", action="store_true",
+        help="paper-scale size matrix 1024,1740,4096; run under "
+        "REPRO_SIM_OPTS=all,lazylat with a dedicated --label "
+        "(e.g. paper-lazylat) so 'current' keeps its configuration",
     )
 
     obs = sub.add_parser(
@@ -402,6 +408,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--warn-only", action="store_true",
             help="report regressions but exit 0 anyway (CI advisory lane)",
         )
+        cmd.add_argument(
+            "--allow-opts-mismatch", action="store_true",
+            help="compare runs whose REPRO_SIM_OPTS token sets differ "
+            "(refused by default: deltas would measure the configuration, "
+            "not the code)",
+        )
     for cmd in (summary, trace, profile, paths, health, anomalies,
                 series, mem, export, ledger, compare, regress):
         cmd.add_argument(
@@ -489,7 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         cmd.add_argument(
             "--scale",
-            choices=("smoke", "default", "full"),
+            choices=("smoke", "default", "full", "paper"),
             default="smoke",
             help="scale preset (default smoke)",
         )
@@ -731,7 +743,7 @@ def cmd_obs_ledger(args, out=None) -> int:
         format_ledger_table,
         import_bench_json,
     )
-    from repro.obs.regress import compare_records
+    from repro.obs.regress import OptsMismatchError, compare_records
 
     store = Ledger(args.dir)
     try:
@@ -760,10 +772,15 @@ def cmd_obs_ledger(args, out=None) -> int:
                 print(format_ledger_table(records, limit=args.limit), file=out)
             return 0
 
+        # --warn-only is the CI advisory lane: it demotes the opts-set
+        # refusal to a note the same way it demotes the exit code.
+        allow_mismatch = args.allow_opts_mismatch or args.warn_only
         if args.obs_command == "compare":
             base = store.resolve(args.base, kind=args.kind)
             current = store.resolve(args.current, kind=args.kind)
-            comparison = compare_records(base, current)
+            comparison = compare_records(
+                base, current, allow_opts_mismatch=allow_mismatch
+            )
         else:  # regress
             records = store.records()
             if args.run:
@@ -785,12 +802,17 @@ def cmd_obs_ledger(args, out=None) -> int:
                 # which trivially passes.  A ref that matches nothing at
                 # all is still an error.
                 base = store.resolve(args.against, kind=args.kind, records=records)
-            comparison = compare_records(base, current)
+            comparison = compare_records(
+                base, current, allow_opts_mismatch=allow_mismatch
+            )
             if base.run_id == current.run_id:
                 comparison.notes.append(
                     f"reference {args.against!r} only matches the candidate "
                     "itself; compared the run against itself"
                 )
+    except OptsMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except LedgerError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -1198,7 +1220,12 @@ def cmd_bench(args) -> int:
     if args.smoke:
         sizes, repeats, out_path = bench.SMOKE_SIZES, 1, None
     else:
-        default_sizes = bench.MEM_SIZES if args.mem else bench.FULL_SIZES
+        if args.paper:
+            default_sizes = bench.PAPER_SIZES
+        elif args.mem:
+            default_sizes = bench.MEM_SIZES
+        else:
+            default_sizes = bench.FULL_SIZES
         sizes = (
             tuple(int(s) for s in args.sizes.split(","))
             if args.sizes

@@ -61,6 +61,12 @@ FULL_SIZES = (128, 512)
 SMOKE_SIZES = (24,)
 #: Sizes measured by ``repro bench --mem`` (memory-capacity matrix).
 MEM_SIZES = (128, 512, 1024)
+#: Paper-scale matrix (``--paper``): the full King population and one
+#: multi-thousand point past it.  Meant to run under the memory-bounded
+#: backend (``REPRO_SIM_OPTS=all,lazylat``) into a dedicated label so
+#: the default ``current``/``baseline`` sections are never overwritten
+#: by a differently-configured run.
+PAPER_SIZES = (1024, 1740, 4096)
 
 DEFAULT_OUT = "BENCH_core.json"
 
@@ -78,6 +84,11 @@ class BenchResult:
     events_per_sec: float
     peak_rss_kb: int
     peak_rss_delta_kb: int
+    #: Resolved ``REPRO_SIM_OPTS`` token set the entry ran under, as a
+    #: sorted comma string ("0" = plain paths).  Recorded per entry so a
+    #: label section can never silently mix configurations — the regress
+    #: sentinel refuses to compare entries whose token sets differ.
+    sim_opts: str = "0"
     bytes_per_node: Optional[float] = None
     mem_by_subsystem: Optional[Dict[str, int]] = None
 
@@ -92,6 +103,7 @@ class BenchResult:
             "events_per_sec": round(self.events_per_sec, 1),
             "peak_rss_kb": self.peak_rss_kb,
             "peak_rss_delta_kb": self.peak_rss_delta_kb,
+            "sim_opts": self.sim_opts,
         }
         if self.bytes_per_node is not None:
             out["bytes_per_node"] = round(self.bytes_per_node, 1)
@@ -156,6 +168,7 @@ def bench_size(n_nodes: int, repeats: int = 3, mem: bool = False) -> BenchResult
         events_per_sec=(events / wall_best) if events and wall_best > 0 else 0.0,
         peak_rss_kb=rss_after,
         peak_rss_delta_kb=max(rss_after - rss_before, 0),
+        sim_opts=",".join(sorted(sim_opts())) or "0",
         bytes_per_node=bytes_per_node,
         mem_by_subsystem=by_subsystem,
     )
@@ -305,6 +318,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"bytes_per_node (default sizes {','.join(map(str, MEM_SIZES))})",
     )
     parser.add_argument(
+        "--paper", action="store_true",
+        help=f"paper-scale size matrix {','.join(map(str, PAPER_SIZES))}; "
+        "run with REPRO_SIM_OPTS=all,lazylat and a dedicated --label "
+        "(e.g. paper-lazylat) so 'current' keeps its configuration",
+    )
+    parser.add_argument(
         "--repeats", type=int, default=3, help="runs per size, best kept (default 3)"
     )
     parser.add_argument(
@@ -329,7 +348,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         repeats = 1
         out_path = None
     else:
-        default_sizes = MEM_SIZES if args.mem else FULL_SIZES
+        if args.paper:
+            default_sizes: Sequence[int] = PAPER_SIZES
+        elif args.mem:
+            default_sizes = MEM_SIZES
+        else:
+            default_sizes = FULL_SIZES
         sizes = (
             tuple(int(s) for s in args.sizes.split(","))
             if args.sizes

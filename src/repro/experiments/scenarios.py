@@ -7,8 +7,11 @@ sources at 100 messages/s; ``t = r = 0.1 s``, ``C_rand = 1``,
 
 Pure-Python simulation is slower than the paper's C++, so every
 experiment honours a scale preset: ``smoke`` (CI tests), ``default``
-(benchmark runs), ``full`` (the paper's exact scale).  Select with the
-``REPRO_SCALE`` environment variable.
+(benchmark runs), ``full`` (the paper's exact scale), ``paper`` (the
+full 1,740-site King population with the default-scale workload —
+pair it with ``REPRO_SIM_OPTS=all,lazylat`` so the latency model stays
+memory-bounded).  Select with the ``REPRO_SCALE`` environment
+variable.
 """
 
 from __future__ import annotations
@@ -23,10 +26,14 @@ from repro.core.config import GoCastConfig
 PROTOCOLS = ("gocast", "proximity", "random_overlay", "push_gossip", "nowait_gossip")
 
 #: Experiment scale presets: (n_nodes, adapt_time, n_messages).
+#: ``full`` is the paper's canonical 1,024-node setup; ``paper`` runs
+#: the *entire* King population (one node per measured site) with the
+#: default workload, which keeps figure runs at minutes, not hours.
 SCALES = {
     "smoke": (64, 30.0, 20),
     "default": (256, 120.0, 100),
     "full": (1024, 500.0, 1000),
+    "paper": (1740, 120.0, 100),
 }
 
 

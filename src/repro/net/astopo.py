@@ -66,6 +66,10 @@ class RoutedTopology:
         return self._latency_model
 
     def _build_latency_model(self) -> MatrixLatencyModel:
+        # The member-to-member matrix is handed to MatrixLatencyModel,
+        # which picks its own row backend from REPRO_SIM_OPTS — under
+        # ``lazylat`` routed topologies inherit the memory-bounded
+        # on-demand rows with no code here.
         hosts = sorted(set(self._host_of_member))
         dist_from: Dict[int, Dict[int, float]] = {}
         for h in hosts:

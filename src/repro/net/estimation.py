@@ -21,11 +21,18 @@ rank any member it hears about without sending a single probe.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.net.latency import LatencyModel
+from repro.sim.optim import lazylat_enabled
+
+#: Cap on the per-pair estimate memo under the ``lazylat`` (bounded
+#: memory) configuration.  Estimates are a pure function of the cached
+#: landmark vectors, so evicting and recomputing an entry returns the
+#: exact same float — the bound changes memory, never results.
+ESTIMATE_MEMO_LIMIT = 1 << 18
 
 
 class TriangularEstimator:
@@ -69,6 +76,11 @@ class TriangularEstimator:
         # the break-even point of the ufunc machinery.
         self._estimates: Dict[Tuple[int, int], float] = {}
         self._vector_lists: Dict[int, List[float]] = {}
+        # Under lazylat the memo is FIFO-bounded (oldest pair evicted);
+        # None means unbounded, the historical behaviour.
+        self._memo_limit: Optional[int] = (
+            ESTIMATE_MEMO_LIMIT if lazylat_enabled() else None
+        )
 
     @property
     def landmarks(self) -> Sequence[int]:
@@ -116,7 +128,11 @@ class TriangularEstimator:
         # the average of the two remains a sane ranking key, so the
         # midpoint formula covers both cases.
         est = (lower + upper) / 2.0
-        self._estimates[key] = est
+        memo = self._estimates
+        limit = self._memo_limit
+        if limit is not None and len(memo) >= limit:
+            del memo[next(iter(memo))]
+        memo[key] = est
         return est
 
     def rank_candidates(self, node: int, candidates: Sequence[int]) -> list:

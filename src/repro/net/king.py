@@ -30,8 +30,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.net.latency import LatencyModel
-from repro.sim.optim import optimizations_enabled
+from repro.net.latency import LatencyModel, LazyRowCache
+from repro.sim.optim import lazylat_enabled, optimizations_enabled
 
 #: One-way latency statistics of the King dataset reported in the paper.
 KING_MEAN_ONE_WAY = 0.091
@@ -165,9 +165,17 @@ class SyntheticKingModel(LatencyModel):
         # one_way fast path: plain Python ints and row lists.  tolist()
         # preserves every float bit-for-bit, so results are unchanged;
         # the numpy arrays remain the validation source of truth.
+        #
+        # Under ``lazylat`` the O(n_sites^2) float-object copy of the
+        # site matrix is skipped — one_way falls back to numpy scalar
+        # indexing, which reads the exact same IEEE doubles — and the
+        # per-node site list (O(N), small) is kept for the int fast path.
+        lazy = lazylat_enabled()
         if optimizations_enabled():
             self._site_list: Optional[List[int]] = [int(s) for s in self._site_of_node]
-            self._site_rows: Optional[List[List[float]]] = self._site_matrix.tolist()
+            self._site_rows: Optional[List[List[float]]] = (
+                None if lazy else self._site_matrix.tolist()
+            )
         else:
             self._site_list = None
             self._site_rows = None
@@ -177,7 +185,26 @@ class SyntheticKingModel(LatencyModel):
         # same colocated constant, 0.0 diagonal — and the quadratic
         # table is only built at sizes where its footprint is trivial.
         self.dense_rows: Optional[List[List[float]]] = None
-        if self._site_list is not None and n_nodes <= 2048:
+        self.lazy_rows: Optional[LazyRowCache] = None
+        if lazy:
+            # Memory-bounded replacement: rows are materialized per
+            # *site* on demand and shared by every node at that site, so
+            # the cache needs at most n_sites entries.  For b != a the
+            # values match one_way bit-for-bit (fancy indexing copies
+            # the same doubles tolist() would have produced; co-located
+            # pairs read COLOCATED_LATENCY).  row[a] itself holds
+            # COLOCATED_LATENCY instead of one_way's 0.0 — outside the
+            # lazy_rows contract, and the transport rejects self-sends.
+            self.lazy_rows = LazyRowCache(
+                self._lazy_site_row,
+                n_nodes,
+                key_of=(
+                    self._site_list.__getitem__
+                    if self._site_list is not None
+                    else self.site_of
+                ),
+            )
+        elif self._site_list is not None and n_nodes <= 2048:
             sites = self._site_list
             srows = self._site_rows
             dense = []
@@ -190,6 +217,11 @@ class SyntheticKingModel(LatencyModel):
                 row[a] = 0.0
                 dense.append(row)
             self.dense_rows = dense
+
+    def _lazy_site_row(self, site: int) -> np.ndarray:
+        """One-way latencies from ``site`` to every *node* (float64)."""
+        row = self._site_matrix[site][self._site_of_node]
+        return np.where(self._site_of_node == site, COLOCATED_LATENCY, row)
 
     @property
     def size(self) -> int:
@@ -223,12 +255,13 @@ class SyntheticKingModel(LatencyModel):
         if sites is not None:
             sa = sites[a]
             sb = sites[b]
-            if sa == sb:
-                return COLOCATED_LATENCY
-            return self._site_rows[sa][sb]
-        sa, sb = self._site_of_node[a], self._site_of_node[b]
+        else:
+            sa, sb = self._site_of_node[a], self._site_of_node[b]
         if sa == sb:
             return COLOCATED_LATENCY
+        srows = self._site_rows
+        if srows is not None:
+            return srows[sa][sb]
         return float(self._site_matrix[sa, sb])
 
     def node_latency_submatrix(self, nodes: Sequence[int]) -> np.ndarray:

@@ -10,11 +10,152 @@ summaries these protocols exchange.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence, Tuple
+import os
+from array import array
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.sim.optim import optimizations_enabled
+from repro.sim.optim import lazylat_enabled, optimizations_enabled
+
+#: Environment knob for the ``lazylat`` backend: maximum number of
+#: latency rows held by a :class:`LazyRowCache` before LRU eviction.
+ENV_CACHE_ROWS = "REPRO_LAZYLAT_ROWS"
+
+#: Default row-cache capacity.  Sized to hold every *site* row of the
+#: full King population (1,740 sites) with headroom, so paper-scale runs
+#: never thrash while the footprint stays bounded regardless of N.
+DEFAULT_CACHE_ROWS = 2048
+
+
+def lazylat_capacity() -> int:
+    """Row-cache capacity for the ``lazylat`` backend (env-tunable)."""
+    raw = os.environ.get(ENV_CACHE_ROWS)
+    if raw is None:
+        return DEFAULT_CACHE_ROWS
+    try:
+        capacity = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_CACHE_ROWS} must be a positive integer, got {raw!r}"
+        ) from None
+    if capacity < 1:
+        raise ValueError(f"{ENV_CACHE_ROWS} must be >= 1, got {capacity}")
+    return capacity
+
+
+class LazyRowCache:
+    """Memory-bounded on-demand latency rows — the ``lazylat`` backend.
+
+    A drop-in stand-in for the quadratic ``dense_rows`` tables on the
+    transport's inlined send path: ``cache[a]`` returns a row indexable
+    by destination, and the contract is
+
+        ``cache[a][b] == model.one_way(a, b)``  for every pair ``a != b``.
+
+    The diagonal is *not* part of the contract (the transport refuses
+    self-sends, so ``row[a]`` is never read); this is what lets the King
+    model share one cached row between co-located nodes.
+
+    Rows are materialized lazily by ``build_row`` (a callable mapping a
+    row key to a 1-D float64 numpy vector), packed into ``array('d')``
+    buffers — indexing yields plain Python floats with the exact IEEE
+    bits of the source vector, so nothing numpy-typed ever leaks into
+    event timestamps — and evicted in least-recently-used order once
+    ``capacity`` rows are resident.  Memory is therefore O(capacity x N)
+    instead of O(N^2), at the cost of an occasional row rebuild.
+
+    ``key_of`` optionally maps node ids to row keys (the King model maps
+    nodes to sites), letting co-located nodes share one cache entry.
+    """
+
+    __slots__ = (
+        "_build_row",
+        "_key_of",
+        "_rows",
+        "size",
+        "capacity",
+        "packed",
+        "hits",
+        "misses",
+        "evictions",
+    )
+
+    def __init__(
+        self,
+        build_row: Callable[[int], np.ndarray],
+        size: int,
+        capacity: Optional[int] = None,
+        key_of: Optional[Callable[[int], int]] = None,
+        packed: bool = True,
+    ):
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if capacity is None:
+            capacity = lazylat_capacity()
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._build_row = build_row
+        self._key_of = key_of
+        # Insertion-ordered dict as the LRU: hits reinsert, evictions
+        # pop the oldest entry from the front.
+        self._rows: Dict[int, Sequence[float]] = {}
+        self.size = size
+        self.capacity = capacity
+        self.packed = packed
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __getitem__(self, a: int) -> Sequence[float]:
+        key = a if self._key_of is None else self._key_of(a)
+        rows = self._rows
+        row = rows.get(key)
+        if row is not None:
+            self.hits += 1
+            # Refresh recency: move the entry to the back of the dict.
+            del rows[key]
+            rows[key] = row
+            return row
+        self.misses += 1
+        vector = self._build_row(key)
+        if self.packed:
+            # tobytes()/frombytes() copies the raw IEEE-754 buffer, so
+            # every element is bit-identical to the numpy source; the
+            # packed array indexes to plain Python floats.
+            row = array("d")
+            row.frombytes(np.asarray(vector, dtype=np.float64).tobytes())
+        else:
+            row = vector.tolist()
+        if len(rows) >= self.capacity:
+            oldest = next(iter(rows))
+            del rows[oldest]
+            self.evictions += 1
+        rows[key] = row
+        return row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._rows
+
+    def row_bytes(self) -> int:
+        """Total bytes held by the resident row buffers."""
+        import sys
+
+        return sum(sys.getsizeof(row) for row in self._rows.values())
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for diagnostics and the memory census report."""
+        return {
+            "rows": len(self._rows),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "row_bytes": self.row_bytes(),
+        }
 
 
 class LatencyModel(abc.ABC):
@@ -101,13 +242,24 @@ class MatrixLatencyModel(LatencyModel):
         # numpy scalar indexing + float().  matrix.tolist() yields the
         # exact same float for every cell, so this cannot change results;
         # the numpy matrix stays the validation source of truth.
+        #
+        # Under ``lazylat`` the quadratic list-of-lists is replaced by a
+        # LazyRowCache over the numpy matrix: same float bits per cell
+        # (packed from the row's raw buffer), O(cache) resident memory.
+        lazy = lazylat_enabled()
         self._rows: Optional[List[List[float]]] = (
-            matrix.tolist() if optimizations_enabled() else None
+            matrix.tolist() if optimizations_enabled() and not lazy else None
         )
         #: Same rows under the transport's optional fast-path protocol:
         #: a model exposing ``dense_rows`` promises ``dense_rows[a][b]``
         #: equals ``one_way(a, b)`` for all pairs.
         self.dense_rows = self._rows
+        #: Memory-bounded alternative under the same protocol, honoured
+        #: by the transport when ``dense_rows`` is None; rows agree with
+        #: ``one_way`` on every pair (this model's diagonal included).
+        self.lazy_rows: Optional[LazyRowCache] = (
+            LazyRowCache(self._matrix.__getitem__, matrix.shape[0]) if lazy else None
+        )
 
     @property
     def size(self) -> int:

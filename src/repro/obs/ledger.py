@@ -120,7 +120,7 @@ def environment_provenance() -> Dict[str, Any]:
     (so optimized and unoptimized runs can never silently mix), and a
     dirty-worktree flag next to the commit.
     """
-    from repro.sim.optim import ENV_VAR, optimizations_enabled
+    from repro.sim.optim import ENV_VAR, optimizations_enabled, sim_opts
 
     head = _git("rev-parse", "--short", "HEAD")
     status = _git("status", "--porcelain")
@@ -131,6 +131,10 @@ def environment_provenance() -> Dict[str, Any]:
         "cpu_count": os.cpu_count() or 1,
         "sim_opts": optimizations_enabled(),
         "sim_opts_raw": os.environ.get(ENV_VAR),
+        # The resolved token set, the comparison key for `repro obs
+        # regress`: records whose sets differ measure different code
+        # paths and must never be silently compared.
+        "sim_opts_tokens": sorted(sim_opts()),
         "commit": head,
         "dirty": bool(status) if status is not None else None,
     }

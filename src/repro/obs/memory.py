@@ -248,6 +248,13 @@ def census_system(system: Any) -> MemoryCensus:
         # The latency model is a boundary type (nodes reference it via
         # the estimator); census it explicitly with the boundary lifted.
         lifted = tuple(t for t in boundary if not isinstance(latency, t))
+        lazy = getattr(latency, "lazy_rows", None)
+        if lazy is not None:
+            # Under the lazylat backend, break out the bounded row cache
+            # so its O(capacity) footprint is visible next to the
+            # model's own O(N)+O(sites^2) state.  Walked first with the
+            # shared seen set, so the rows are never double counted.
+            by["latency.rows"] = deep_size(lazy, seen, lifted)
         by["latency"] = deep_size(latency, seen, lifted)
     estimator = getattr(system, "estimator", None)
     if estimator is not None:

@@ -36,6 +36,16 @@ from repro.obs.ledger import RunRecord, json_safe
 STATUS_ORDER = ("regression", "improvement", "ok", "added", "removed", "info")
 
 
+class OptsMismatchError(ValueError):
+    """The two records ran under different ``REPRO_SIM_OPTS`` token sets.
+
+    Comparing them would measure the configuration difference, not a
+    code change — e.g. a dense-latency baseline against a ``lazylat``
+    run.  Raised by :func:`compare_records` unless the caller passes
+    ``allow_opts_mismatch=True`` (the CLI's ``--allow-opts-mismatch``),
+    which demotes the refusal to a note."""
+
+
 @dataclasses.dataclass(frozen=True)
 class Rule:
     """Tolerance rule for metric keys matching ``pattern``.
@@ -192,9 +202,37 @@ def compare_records(
     base: RunRecord,
     current: RunRecord,
     rules: Sequence[Rule] = DEFAULT_RULES,
+    allow_opts_mismatch: bool = False,
 ) -> Comparison:
-    """Diff ``current`` against ``base`` under the tolerance rules."""
+    """Diff ``current`` against ``base`` under the tolerance rules.
+
+    Records carrying ``sim_opts_tokens`` provenance (every record since
+    the lazylat PR) are refused outright when the token sets differ —
+    see :class:`OptsMismatchError`.  Older records without token
+    provenance fall back to the advisory ``sim_opts`` boolean note.
+    """
     notes: List[str] = []
+    base_tokens = base.env.get("sim_opts_tokens")
+    cur_tokens = current.env.get("sim_opts_tokens")
+    if (
+        base_tokens is not None
+        and cur_tokens is not None
+        and sorted(base_tokens) != sorted(cur_tokens)
+    ):
+        described = (
+            f"base={','.join(base_tokens) or '0'} vs "
+            f"current={','.join(cur_tokens) or '0'}"
+        )
+        if not allow_opts_mismatch:
+            raise OptsMismatchError(
+                f"refusing to compare runs with different REPRO_SIM_OPTS "
+                f"token sets ({described}); rerun under matching opts or "
+                f"pass --allow-opts-mismatch to compare anyway"
+            )
+        notes.append(
+            f"REPRO_SIM_OPTS token sets differ ({described}): deltas "
+            "measure the configuration, not a code change"
+        )
     same_shape = base.scenario == current.scenario and base.seeds == current.seeds
     if base.kind != current.kind or base.name != current.name:
         notes.append(

@@ -44,9 +44,16 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import random
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.sim.timers import PeriodicTimer
+
+#: Above this many live nodes, each sample scans a bounded random subset
+#: instead of the full population, keeping per-sample work O(cap) at
+#: paper scale (N=1,740+).  The subset is drawn from the checker's own
+#: seeded RNG, never from simulation randomness.
+DEFAULT_SAMPLE_CAP = 1024
 
 #: Every invariant the checker can report, in report order.
 INVARIANTS = (
@@ -108,6 +115,19 @@ class InvariantChecker:
     and draws no simulation randomness; enabling it cannot change a
     seeded run's behaviour (property-tested in
     ``tests/property/test_scenario_properties.py``).
+
+    Above ``sample_cap`` live nodes each periodic sample scans a random
+    subset of that size instead of the whole population, so per-sample
+    cost stays bounded at paper scale (full scans at N=4,096 every
+    half-second dominate the run otherwise).  The subset comes from the
+    checker's *own* ``random.Random(sample_seed)`` — the no-sim-RNG
+    contract above still holds, and two runs with the same seed sample
+    identical subsets.  Persistence bookkeeping (asymmetry, stale
+    parents, cycles) is only cleaned up for keys the current subset
+    could have re-observed, so a condition is never spuriously "healed"
+    by not being looked at.  Subset coverage is probabilistic: above the
+    cap a persistent violation is detected with high probability over a
+    few periods rather than at the first sample.
     """
 
     def __init__(
@@ -123,9 +143,13 @@ class InvariantChecker:
         tree_grace: Optional[float] = None,
         degree_allowance: int = 2,
         max_violations: int = 200,
+        sample_cap: int = DEFAULT_SAMPLE_CAP,
+        sample_seed: int = 0x1740,
     ):
         if period <= 0:
             raise ValueError(f"invariant period must be positive, got {period}")
+        if sample_cap < 1:
+            raise ValueError(f"sample_cap must be positive, got {sample_cap}")
         self.nodes = nodes
         self.network = network
         from repro import obs as obs_pkg
@@ -151,6 +175,9 @@ class InvariantChecker:
         )
         self.degree_allowance = degree_allowance
         self.max_violations = max_violations
+        self.sample_cap = sample_cap
+        # Isolated RNG for subset draws; independent of all sim streams.
+        self._sample_rng = random.Random(sample_seed)
         self._use_tree = bool(cfg.use_tree)
 
         self.violations: List[InvariantViolation] = []
@@ -242,6 +269,15 @@ class InvariantChecker:
     def _now(self) -> float:
         return self._sim.now if self._sim is not None else 0.0
 
+    def _sample_ids(self, live: Dict[int, Any]) -> List[int]:
+        """Node ids to scan this sample: everyone up to ``sample_cap``,
+        a deterministic random subset beyond it.  Sorted either way so
+        scan order (and hence violation report order) is stable."""
+        ids = sorted(live)
+        if len(ids) <= self.sample_cap:
+            return ids
+        return sorted(self._sample_rng.sample(ids, self.sample_cap))
+
     def _sample(self) -> None:
         now = self._now()
         self.samples += 1
@@ -249,19 +285,23 @@ class InvariantChecker:
         live = {nid: node for nid, node in self.nodes.items() if nid in alive}
         for nid in live:
             self._first_seen.setdefault(nid, now)
+        ids = self._sample_ids(live)
+        full = len(ids) == len(live)
 
-        self._check_degree_bounds(now, live)
-        self._check_symmetry(now, live)
+        self._check_degree_bounds(now, live, ids)
+        self._check_symmetry(now, live, ids, full)
         if self._use_tree:
-            self._check_tree(now, live)
-        self._check_gossip_fairness(now, live)
+            self._check_tree(now, live, ids, full)
+        self._check_gossip_fairness(now, live, ids)
 
     # -- degree-bound --------------------------------------------------
-    def _check_degree_bounds(self, now: float, live: Dict[int, Any]) -> None:
+    def _check_degree_bounds(
+        self, now: float, live: Dict[int, Any], ids: List[int]
+    ) -> None:
         if self._started_at is None or now - self._started_at < self.degree_grace:
             return
         allowance = self.degree_allowance
-        for nid in sorted(live):
+        for nid in ids:
             node = live[nid]
             if now - self._first_seen.get(nid, now) < self.degree_grace:
                 continue
@@ -286,9 +326,12 @@ class InvariantChecker:
                 )
 
     # -- symmetry ------------------------------------------------------
-    def _check_symmetry(self, now: float, live: Dict[int, Any]) -> None:
+    def _check_symmetry(
+        self, now: float, live: Dict[int, Any], ids: List[int], full: bool
+    ) -> None:
         current: Set[Tuple[int, int]] = set()
-        for nid in sorted(live):
+        id_set = set(ids)
+        for nid in ids:
             if self._exempt_until.get(nid, 0.0) > now:
                 continue
             node = live[nid]
@@ -312,23 +355,32 @@ class InvariantChecker:
                     key=pair,
                 )
         for pair in list(self._asym_since):
-            if pair not in current:
+            # Only heal pairs this sample could have re-observed: under
+            # subset sampling an unscanned pair is unknown, not resolved.
+            if pair not in current and (full or pair[0] in id_set):
                 del self._asym_since[pair]
                 self._reported.discard(("symmetry", pair))
 
     # -- tree ----------------------------------------------------------
-    def _check_tree(self, now: float, live: Dict[int, Any]) -> None:
-        # Parent edges must lie on overlay edges.
+    def _check_tree(
+        self, now: float, live: Dict[int, Any], ids: List[int], full: bool
+    ) -> None:
+        # The parent map is always built over the full population — it
+        # is O(N) attribute reads, and cycle walks need complete edges
+        # to avoid phantom cycle boundaries.  Only the per-node scans
+        # (stale-edge membership tests, walk starting points) are
+        # restricted to the subset.
+        id_set = set(ids)
         parents: Dict[int, int] = {}
+        for nid, node in live.items():
+            parent = node.tree.parent
+            if parent is not None and parent in live:
+                parents[nid] = parent
         stale: Set[Tuple[int, int]] = set()
-        for nid in sorted(live):
+        for nid in ids:
             node = live[nid]
             parent = node.tree.parent
-            if parent is None:
-                continue
-            if parent in live:
-                parents[nid] = parent
-            if parent not in node.overlay.table:
+            if parent is not None and parent not in node.overlay.table:
                 stale.add((nid, parent))
         for key in stale:
             since = self._stale_parent_since.setdefault(key, now)
@@ -342,14 +394,17 @@ class InvariantChecker:
                     key=key,
                 )
         for key in list(self._stale_parent_since):
-            if key not in stale:
+            if key not in stale and (full or key[0] in id_set):
                 del self._stale_parent_since[key]
                 self._reported.discard(("tree-parent-link", key))
 
-        # The live parent graph must be a forest (no cycles).
+        # The live parent graph must be a forest (no cycles).  Walks
+        # start only from subset nodes, but follow full parent edges.
         cycles: Set[frozenset] = set()
         color: Dict[int, int] = {}  # 1 = on current path, 2 = done
-        for start in sorted(parents):
+        for start in ids:
+            if start not in parents:
+                continue
             if color.get(start):
                 continue
             path: List[int] = []
@@ -373,13 +428,18 @@ class InvariantChecker:
                     key=cycle,
                 )
         for cycle in list(self._cycle_since):
-            if cycle not in cycles:
+            # A cycle is only healed on a full scan or when the subset
+            # touched it — a walk that never entered the cycle says
+            # nothing about whether it broke.
+            if cycle not in cycles and (full or cycle & id_set):
                 del self._cycle_since[cycle]
                 self._reported.discard(("tree-cycle", cycle))
 
     # -- gossip fairness -----------------------------------------------
-    def _check_gossip_fairness(self, now: float, live: Dict[int, Any]) -> None:
-        for nid in sorted(live):
+    def _check_gossip_fairness(
+        self, now: float, live: Dict[int, Any], ids: List[int]
+    ) -> None:
+        for nid in ids:
             if self._exempt_until.get(nid, 0.0) > now:
                 continue
             node = live[nid]
@@ -489,6 +549,7 @@ class InvariantChecker:
         return {
             "period": self.period,
             "samples": self.samples,
+            "sample_cap": self.sample_cap,
             "hard_fail": self.hard_fail,
             "checked": list(INVARIANTS),
             "total_violations": len(self.violations),

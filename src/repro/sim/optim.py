@@ -17,12 +17,21 @@ named engine optimizations for A/B diagnosis::
     REPRO_SIM_OPTS=0                  # plain reference paths
     REPRO_SIM_OPTS=wheel,pool         # the PR-4 configuration
     REPRO_SIM_OPTS=calqueue,wheel     # calendar queue without batching
-    REPRO_SIM_OPTS=all                # everything (same as unset)
+    REPRO_SIM_OPTS=all                # every default opt (same as unset)
+    REPRO_SIM_OPTS=all,lazylat        # defaults + the lazy latency rows
 
 Unknown tokens are a hard error (:class:`SimOptsError`), never silently
 ignored: a typo like ``calender`` would otherwise run the wrong
 configuration and poison an A/B comparison.  ``repro bench`` turns the
 error into a clean one-line message and a nonzero exit.
+
+``lazylat`` is the one *non-default* token: it selects the
+memory-bounded on-demand latency-row backend (see
+:mod:`repro.net.latency`), which trades a bounded amount of hot-path
+work for an O(cache) instead of O(N^2) latency footprint.  It is never
+implied by "1"/"all"/unset — the dense rows stay the equivalence
+baseline — so paper-scale runs opt in with ``all,lazylat`` (inside a
+comma list the ``all`` token expands to the default set).
 """
 
 from __future__ import annotations
@@ -43,10 +52,16 @@ ENV_VAR = "REPRO_SIM_OPTS"
 #:                  (:mod:`repro.sim.calqueue`)
 #: - ``batch``    — batched same-timestamp dispatch in the calendar-queue
 #:                  run loop (no effect without ``calqueue``)
-KNOWN_OPTS: FrozenSet[str] = frozenset({"wheel", "pool", "calqueue", "batch"})
+#: - ``lazylat``  — memory-bounded on-demand latency rows (LRU row cache,
+#:                  :class:`repro.net.latency.LazyRowCache`) replacing the
+#:                  O(N^2) ``dense_rows`` tables.  NOT part of the default
+#:                  set: it bounds memory, it does not speed anything up.
+KNOWN_OPTS: FrozenSet[str] = frozenset({"wheel", "pool", "calqueue", "batch", "lazylat"})
 
-#: Every optimization on — what "1"/"all"/unset mean.
-ALL_OPTS: FrozenSet[str] = KNOWN_OPTS
+#: Every *default* optimization on — what "1"/"all"/unset mean.  The
+#: opt-in tokens (``lazylat``) are deliberately excluded so the default
+#: configuration keeps the dense equivalence-baseline latency backend.
+ALL_OPTS: FrozenSet[str] = frozenset({"wheel", "pool", "calqueue", "batch"})
 
 _FALSE_VALUES = ("0", "false", "off", "no", "none")
 _TRUE_VALUES = ("1", "true", "on", "yes", "all", "")
@@ -66,14 +81,19 @@ def parse_opts(value: str) -> FrozenSet[str]:
         return ALL_OPTS
     if lowered in _FALSE_VALUES:
         return frozenset()
-    tokens = frozenset(t.strip() for t in lowered.split(",") if t.strip())
+    tokens = set(t.strip() for t in lowered.split(",") if t.strip())
+    # Inside a comma list, "all" expands to the default set so opt-in
+    # tokens compose with it: REPRO_SIM_OPTS=all,lazylat.
+    if "all" in tokens:
+        tokens.discard("all")
+        tokens |= ALL_OPTS
     unknown = tokens - KNOWN_OPTS
     if unknown:
         raise SimOptsError(
             f"unknown {ENV_VAR} token(s): {', '.join(sorted(unknown))} "
             f"(known: {', '.join(sorted(KNOWN_OPTS))}, or 0/1/all)"
         )
-    return tokens
+    return frozenset(tokens)
 
 
 def sim_opts(default: bool = True) -> FrozenSet[str]:
@@ -97,3 +117,12 @@ def optimizations_enabled(default: bool = True) -> bool:
     :func:`sim_opts` for per-structure selection.
     """
     return bool(sim_opts(default))
+
+
+def lazylat_enabled(default: bool = True) -> bool:
+    """Whether the memory-bounded on-demand latency backend is selected.
+
+    Opt-in only: True exactly when the ``lazylat`` token is named in
+    ``REPRO_SIM_OPTS`` (alone or via ``all,lazylat``), never by default.
+    """
+    return "lazylat" in sim_opts(default)

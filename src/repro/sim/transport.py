@@ -105,8 +105,15 @@ class Network:
         self._one_way = latency.one_way
         # Models may expose a dense per-node table whose cells equal
         # one_way() exactly (matrix/King do); the send loop then indexes
-        # it directly instead of calling into the model.
+        # it directly instead of calling into the model.  Under the
+        # ``lazylat`` backend the same two-subscript shape is served by
+        # a LazyRowCache (rows[src] materializes/loads the row, [dst]
+        # indexes a packed double) — identical bits, bounded memory.
+        # The diagonal is excluded from the lazy contract, which is fine
+        # here: send() rejects src == dst before the lookup.
         self._dense_rows = getattr(latency, "dense_rows", None)
+        if self._dense_rows is None:
+            self._dense_rows = getattr(latency, "lazy_rows", None)
         # --- chaos injection (see repro.sim.scenarios) ----------------
         # All default-off with a single cheap guard each in send(), so
         # runs that never touch them stay bit-identical to the seed

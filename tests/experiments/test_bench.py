@@ -67,11 +67,40 @@ def test_run_bench_records_environment_provenance(tmp_path):
     assert env["cpu_model"]
     assert env["cpu_count"] >= 1
     assert isinstance(env["sim_opts"], bool)
+    assert isinstance(env["sim_opts_tokens"], list)
     assert isinstance(env["dirty"], (bool, type(None)))
     assert section["python"]
     # The report on disk carries the same provenance.
     written = json.loads(out.read_text())
     assert written["current"]["env"] == env
+
+
+def test_every_bench_entry_records_its_sim_opts(tmp_path, monkeypatch):
+    """Each per-size entry carries the sorted token set that produced
+    it, so entries inside one section can never silently mix
+    configurations (the refusal in repro.obs.regress keys off the
+    section env; the per-entry field is the human-auditable copy)."""
+    monkeypatch.setenv("REPRO_SIM_OPTS", "calqueue,wheel")
+    result = bench.bench_size(16, repeats=1)
+    assert result.sim_opts == "calqueue,wheel"
+    assert result.to_dict()["sim_opts"] == "calqueue,wheel"
+
+    monkeypatch.setenv("REPRO_SIM_OPTS", "0")
+    assert bench.bench_size(16, repeats=1).sim_opts == "0"
+
+    out = tmp_path / "BENCH_core.json"
+    monkeypatch.setenv("REPRO_SIM_OPTS", "all,lazylat")
+    report = bench.run_bench([16], repeats=1, label="paper-lazylat",
+                             out_path=str(out))
+    entry = report["paper-lazylat"]["results"]["16"]
+    assert entry["sim_opts"] == "batch,calqueue,lazylat,pool,wheel"
+    assert report["paper-lazylat"]["env"]["sim_opts_tokens"] == [
+        "batch", "calqueue", "lazylat", "pool", "wheel"
+    ]
+
+
+def test_paper_sizes_matrix():
+    assert bench.PAPER_SIZES == (1024, 1740, 4096)
 
 
 def test_bench_size_reports_per_config_rss_delta():

@@ -24,8 +24,10 @@ CASE = "gocast_n24_fail25"
 
 #: The configurations the differential suite distinguishes: plain
 #: reference, the PR-4 heap fast path, the calendar queue without and
-#: with batched dispatch (= everything).
-MODES = ["0", "wheel,pool", "calqueue,wheel", "1"]
+#: with batched dispatch (= every default opt), then the opt-in lazy
+#: latency backend — alone over the plain engine, and stacked on top of
+#: every default fast path (the paper-scale configuration).
+MODES = ["0", "wheel,pool", "calqueue,wheel", "1", "lazylat", "all,lazylat"]
 
 
 def _run_with_opts(monkeypatch, value: str):

@@ -1,0 +1,78 @@
+"""N=512 golden byte-identity gate for the ``lazylat`` backend.
+
+The small-N equivalence matrix (tests/experiments/test_equivalence.py)
+exercises every REPRO_SIM_OPTS mode set at N=24, but the lazy latency
+backend changes behaviour *only at scale*: at N=512 the dense King path
+builds per-node ``dense_rows`` while the lazy path serves the same
+lookups from the bounded site-row cache with genuine sharing (512 sites,
+co-located none) and the estimator memo bound armed.  This gate runs the
+PR-4/PR-7 golden discipline at that size: the default-opts run and the
+``all,lazylat`` run must agree byte-for-byte on the raw delay arrays,
+and both must match the committed fixture
+(``tests/goldens/gocast_n512_lazylat.json``).
+
+Regenerate after an intended behaviour change::
+
+    PYTHONPATH=src python -m pytest tests/experiments/test_lazylat_golden.py \
+        --update-goldens
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.batch import run_batch
+from repro.experiments.scenarios import ScenarioConfig
+
+from tests.experiments.test_goldens import GOLDEN_DIR, golden_summary
+
+CASE = "gocast_n512_lazylat"
+
+#: Paper protocol at the bench population, with the adaptation and
+#: workload trimmed so the gate stays a seconds-scale test.
+SCENARIO = dict(
+    protocol="gocast",
+    n_nodes=512,
+    adapt_time=5.0,
+    n_messages=3,
+    drain_time=5.0,
+    seed=11,
+)
+
+
+def _run(monkeypatch, opts: str):
+    monkeypatch.setenv("REPRO_SIM_OPTS", opts)
+    return run_batch(ScenarioConfig(**SCENARIO), n_trials=1, workers=1)
+
+
+@pytest.mark.slow
+def test_n512_golden_byte_identity_with_lazylat_on_and_off(
+    monkeypatch, update_goldens
+):
+    dense = _run(monkeypatch, "1")
+    summary = golden_summary(dense)
+    path = GOLDEN_DIR / f"{CASE}.json"
+
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"updated golden {path.name}")
+
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        "pytest tests/experiments/test_lazylat_golden.py --update-goldens"
+    )
+    expected = json.loads(path.read_text())
+    assert summary == expected
+
+    lazy = _run(monkeypatch, "all,lazylat")
+
+    # Byte-identical trial outcomes, unrounded — the tentpole claim.
+    assert dense.delays.tobytes() == lazy.delays.tobytes()
+    assert dense.messages_sent == lazy.messages_sent
+    assert dense.sent_by_type == lazy.sent_by_type
+    assert dense.expected_pairs == lazy.expected_pairs
+    assert [t.seed for t in dense.trials] == [t.seed for t in lazy.trials]
+
+    # And the lazy run matches the committed fixture in its own right.
+    assert golden_summary(lazy) == expected

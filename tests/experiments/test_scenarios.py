@@ -13,6 +13,7 @@ from repro.experiments.scenarios import (
 def test_scale_presets():
     assert scale_preset("smoke") == (64, 30.0, 20)
     assert scale_preset("full") == (1024, 500.0, 1000)
+    assert scale_preset("paper") == (1740, 120.0, 100)
     with pytest.raises(KeyError):
         scale_preset("huge")
 

@@ -1,0 +1,227 @@
+"""Unit tests for the ``lazylat`` on-demand latency-row backend.
+
+The LRU row cache (:class:`repro.net.latency.LazyRowCache`) claims to be
+a bit-identical, memory-bounded stand-in for the quadratic
+``dense_rows`` tables.  These tests pin the mechanics — laziness,
+capacity, eviction order, packing, the env knob, the site-sharing key
+map — and the exact-equality contract against every model that wires it
+(matrix, synthetic King, routed AS topologies).  The end-to-end
+equivalence lives in tests/property/test_lazylat_properties.py and
+tests/experiments/test_equivalence.py.
+"""
+
+from array import array
+
+import numpy as np
+import pytest
+
+from repro.net.king import SyntheticKingModel
+from repro.net.latency import (
+    DEFAULT_CACHE_ROWS,
+    ENV_CACHE_ROWS,
+    LazyRowCache,
+    MatrixLatencyModel,
+    lazylat_capacity,
+)
+from repro.sim.optim import lazylat_enabled, parse_opts
+
+
+def _sym_matrix(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    m = rng.random((n, n))
+    m = (m + m.T) / 2.0
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+# ----------------------------------------------------------------------
+# the gate
+# ----------------------------------------------------------------------
+def test_lazylat_is_not_part_of_the_default_set(monkeypatch):
+    monkeypatch.delenv("REPRO_SIM_OPTS", raising=False)
+    assert not lazylat_enabled()
+    for value in ("1", "all", "true"):
+        assert "lazylat" not in parse_opts(value)
+
+
+def test_all_token_expands_inside_comma_lists():
+    tokens = parse_opts("all,lazylat")
+    assert "lazylat" in tokens
+    assert {"wheel", "pool", "calqueue", "batch"} <= tokens
+
+
+@pytest.mark.parametrize("value", ["lazylat", "all,lazylat", "calqueue,lazylat"])
+def test_lazylat_enabled_when_named(monkeypatch, value):
+    monkeypatch.setenv("REPRO_SIM_OPTS", value)
+    assert lazylat_enabled()
+
+
+# ----------------------------------------------------------------------
+# LazyRowCache mechanics
+# ----------------------------------------------------------------------
+def test_rows_are_materialized_lazily_and_memoized():
+    calls = []
+    matrix = _sym_matrix(8)
+
+    def build(key):
+        calls.append(key)
+        return matrix[key]
+
+    cache = LazyRowCache(build, 8, capacity=8)
+    assert len(cache) == 0
+    row = cache[3]
+    assert calls == [3]
+    assert cache[3] is row  # memoized, not rebuilt
+    assert calls == [3]
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_rows_are_packed_doubles_with_identical_bits():
+    matrix = _sym_matrix(6, seed=4)
+    cache = LazyRowCache(matrix.__getitem__, 6, capacity=6)
+    row = cache[2]
+    assert isinstance(row, array) and row.typecode == "d"
+    assert row.tobytes() == matrix[2].tobytes()
+    value = row[5]
+    assert type(value) is float
+
+
+def test_unpacked_mode_returns_plain_lists():
+    matrix = _sym_matrix(4)
+    cache = LazyRowCache(matrix.__getitem__, 4, capacity=4, packed=False)
+    assert cache[1] == matrix[1].tolist()
+    assert isinstance(cache[1], list)
+
+
+def test_capacity_evicts_least_recently_used_row():
+    matrix = _sym_matrix(6)
+    cache = LazyRowCache(matrix.__getitem__, 6, capacity=2)
+    cache[0]
+    cache[1]
+    cache[0]  # refresh 0: now 1 is the LRU entry
+    cache[2]  # evicts 1
+    assert 0 in cache and 2 in cache and 1 not in cache
+    assert cache.evictions == 1
+    assert len(cache) == 2
+    # Evicted rows rebuild transparently with the same bits.
+    assert cache[1].tobytes() == matrix[1].tobytes()
+    assert cache.evictions == 2
+
+
+def test_key_of_shares_rows_between_colocated_nodes():
+    matrix = _sym_matrix(3)
+    site_of = [0, 0, 1, 1, 2, 2]
+    cache = LazyRowCache(matrix.__getitem__, 6, capacity=3, key_of=site_of.__getitem__)
+    assert cache[0] is cache[1]  # same site, one cache entry
+    assert len(cache) == 1
+    cache[2], cache[4]
+    assert len(cache) == 3
+
+
+def test_row_bytes_and_stats_track_residency():
+    matrix = _sym_matrix(8)
+    cache = LazyRowCache(matrix.__getitem__, 8, capacity=4)
+    for a in range(8):
+        cache[a]
+    stats = cache.stats()
+    assert stats["rows"] == 4 and stats["capacity"] == 4
+    assert stats["misses"] == 8 and stats["evictions"] == 4
+    assert stats["row_bytes"] == cache.row_bytes() > 4 * 8 * 8
+
+
+def test_capacity_validation():
+    matrix = _sym_matrix(4)
+    with pytest.raises(ValueError):
+        LazyRowCache(matrix.__getitem__, 4, capacity=0)
+    with pytest.raises(ValueError):
+        LazyRowCache(matrix.__getitem__, 0, capacity=4)
+
+
+def test_capacity_env_knob(monkeypatch):
+    monkeypatch.delenv(ENV_CACHE_ROWS, raising=False)
+    assert lazylat_capacity() == DEFAULT_CACHE_ROWS
+    monkeypatch.setenv(ENV_CACHE_ROWS, "7")
+    assert lazylat_capacity() == 7
+    matrix = _sym_matrix(4)
+    assert LazyRowCache(matrix.__getitem__, 4).capacity == 7
+    for bad in ("0", "-3", "many"):
+        monkeypatch.setenv(ENV_CACHE_ROWS, bad)
+        with pytest.raises(ValueError):
+            lazylat_capacity()
+
+
+# ----------------------------------------------------------------------
+# model wiring: lazy vs dense bit-identity
+# ----------------------------------------------------------------------
+def test_matrix_model_lazy_rows_match_dense_rows(monkeypatch):
+    matrix = _sym_matrix(24, seed=9)
+    monkeypatch.setenv("REPRO_SIM_OPTS", "1")
+    dense = MatrixLatencyModel(matrix)
+    monkeypatch.setenv("REPRO_SIM_OPTS", "all,lazylat")
+    lazy = MatrixLatencyModel(matrix)
+    assert dense.dense_rows is not None and dense.lazy_rows is None
+    assert lazy.dense_rows is None and lazy.lazy_rows is not None
+    for a in range(24):
+        for b in range(24):
+            assert lazy.one_way(a, b) == dense.one_way(a, b)
+            assert lazy.lazy_rows[a][b] == dense.dense_rows[a][b]
+
+
+def test_king_model_lazy_rows_match_dense_rows(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_OPTS", "1")
+    dense = SyntheticKingModel(96, n_sites=24, seed=5)
+    monkeypatch.setenv("REPRO_SIM_OPTS", "all,lazylat")
+    lazy = SyntheticKingModel(96, n_sites=24, seed=5)
+    assert dense.dense_rows is not None and lazy.dense_rows is None
+    # Rows are shared per site: at most n_sites cache entries ever.
+    for a in range(96):
+        for b in range(96):
+            assert lazy.one_way(a, b) == dense.one_way(a, b)
+            if a != b:  # the diagonal is outside the lazy_rows contract
+                assert lazy.lazy_rows[a][b] == dense.dense_rows[a][b]
+    assert len(lazy.lazy_rows) <= 24
+
+
+def test_king_skips_quadratic_site_copy_under_lazylat(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_OPTS", "all,lazylat")
+    model = SyntheticKingModel(64, n_sites=16, seed=2)
+    assert model._site_rows is None  # the O(sites^2) float copy
+    assert model._site_list is not None  # the O(N) int fast path stays
+    monkeypatch.setenv("REPRO_SIM_OPTS", "0")
+    plain = SyntheticKingModel(64, n_sites=16, seed=2)
+    for a in range(64):
+        for b in range(64):
+            assert model.one_way(a, b) == plain.one_way(a, b)
+
+
+def test_routed_topology_inherits_lazy_backend(monkeypatch):
+    pytest.importorskip("networkx")
+    from repro.net.astopo import ASTopology
+
+    monkeypatch.setenv("REPRO_SIM_OPTS", "1")
+    dense = ASTopology(n_as=12, n_members=20, seed=3)
+    monkeypatch.setenv("REPRO_SIM_OPTS", "all,lazylat")
+    lazy = ASTopology(n_as=12, n_members=20, seed=3)
+    dm, lm = dense.latency_model, lazy.latency_model
+    assert dm.dense_rows is not None and lm.lazy_rows is not None
+    for a in range(20):
+        for b in range(20):
+            assert lm.one_way(a, b) == dm.one_way(a, b)
+            assert lm.lazy_rows[a][b] == dm.dense_rows[a][b]
+
+
+def test_transport_send_path_uses_lazy_rows(monkeypatch):
+    """The inlined send loop indexes lazy rows exactly like dense ones."""
+    import random
+
+    from repro.sim.engine import Simulator
+    from repro.sim.transport import Network
+
+    monkeypatch.setenv("REPRO_SIM_OPTS", "all,lazylat")
+    model = SyntheticKingModel(16, n_sites=8, seed=1)
+    network = Network(Simulator(), model, rng=random.Random(0))
+    assert network._dense_rows is model.lazy_rows
+    monkeypatch.setenv("REPRO_SIM_OPTS", "1")
+    model = SyntheticKingModel(16, n_sites=8, seed=1)
+    network = Network(Simulator(), model, rng=random.Random(0))
+    assert network._dense_rows is model.dense_rows

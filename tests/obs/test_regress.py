@@ -3,7 +3,12 @@
 import pytest
 
 from repro.obs.ledger import Ledger, RunRecord
-from repro.obs.regress import DEFAULT_RULES, compare_records, rule_for
+from repro.obs.regress import (
+    DEFAULT_RULES,
+    OptsMismatchError,
+    compare_records,
+    rule_for,
+)
 
 
 def _bench(metrics=None, exact=None, **kwargs):
@@ -147,6 +152,61 @@ def test_env_differences_are_noted_not_gated():
     assert "dirty worktree" in joined
 
 
+# ----------------------------------------------------------------------
+# REPRO_SIM_OPTS token provenance: refuse cross-configuration compares
+# ----------------------------------------------------------------------
+def _with_tokens(tokens, **kwargs):
+    env = {
+        "sim_opts": bool(tokens),
+        "sim_opts_tokens": tokens,
+        "python": "3.11.0",
+        "cpu_model": "cpu-x",
+    }
+    return _bench(env=env, **kwargs)
+
+
+def test_token_set_mismatch_refuses_comparison():
+    base = _with_tokens(["calqueue", "pool", "wheel"])
+    lazy = _with_tokens(["calqueue", "lazylat", "pool", "wheel"])
+    with pytest.raises(OptsMismatchError, match="refusing to compare"):
+        compare_records(base, lazy)
+
+
+def test_token_mismatch_message_names_both_sets():
+    base = _with_tokens([])
+    lazy = _with_tokens(["lazylat"])
+    with pytest.raises(OptsMismatchError, match=r"base=0 vs current=lazylat"):
+        compare_records(base, lazy)
+
+
+def test_allow_opts_mismatch_demotes_refusal_to_note():
+    base = _with_tokens(["wheel"])
+    lazy = _with_tokens(["lazylat", "wheel"])
+    comparison = compare_records(base, lazy, allow_opts_mismatch=True)
+    assert comparison.ok
+    assert any(
+        "token sets differ" in note and "configuration" in note
+        for note in comparison.notes
+    )
+
+
+def test_matching_token_sets_compare_normally_regardless_of_order():
+    base = _with_tokens(["wheel", "pool"])
+    current = _with_tokens(["pool", "wheel"])
+    comparison = compare_records(base, current)
+    assert comparison.ok
+    assert not any("token sets differ" in note for note in comparison.notes)
+
+
+def test_missing_token_provenance_falls_back_to_advisory_note():
+    """Pre-lazylat records carry only the sim_opts bool: no refusal,
+    just the existing advisory note."""
+    old = _bench(env={"sim_opts": True, "python": "3.11.0", "cpu_model": "cpu-x"})
+    new = _with_tokens(["lazylat"])
+    comparison = compare_records(old, new)  # must not raise
+    assert comparison.ok
+
+
 def test_to_dict_is_json_ready():
     comparison = compare_records(_bench(), _bench())
     data = comparison.to_dict()
@@ -185,4 +245,34 @@ def test_injected_slowdown_fails_regress_cli(tmp_path, monkeypatch, capsys):
     assert "FAIL" in out
     assert "events_per_sec" in out or "wall_s_best" in out
     # Same comparison, advisory mode: reported but not gating.
+    assert main(["obs", "regress", "--against", "latest~1", "--warn-only"]) == 0
+
+
+def test_cross_opts_regress_cli_exits_2_unless_allowed(
+    tmp_path, monkeypatch, capsys
+):
+    """Two ledgered bench runs under different REPRO_SIM_OPTS token sets:
+    the sentinel refuses (exit 2) unless --allow-opts-mismatch or
+    --warn-only demotes the refusal to a note."""
+    from repro.cli import main
+    from repro.experiments.bench import run_bench
+
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+    monkeypatch.setenv("REPRO_SIM_OPTS", "1")
+    run_bench((16,), 1, out_path=None)
+    monkeypatch.setenv("REPRO_SIM_OPTS", "all,lazylat")
+    run_bench((16,), 1, out_path=None)
+
+    assert main(["obs", "regress", "--against", "latest~1"]) == 2
+    err = capsys.readouterr().err
+    assert "refusing to compare" in err
+    assert "--allow-opts-mismatch" in err
+
+    allowed = main(
+        ["obs", "regress", "--against", "latest~1", "--allow-opts-mismatch"]
+    )
+    assert allowed in (0, 1)  # compared; verdict depends on wall noise
+    out = capsys.readouterr().out
+    assert "token sets differ" in out
+
     assert main(["obs", "regress", "--against", "latest~1", "--warn-only"]) == 0

@@ -1,0 +1,191 @@
+"""Differential property tests for the ``lazylat`` latency backend.
+
+The backend's one claim is *bit-identity*: for any access pattern, any
+cache capacity (eviction included), and any simulated scenario —
+loss/latency chaos windows included — the lazy row cache returns exactly
+the floats the dense tables would have.  Hypothesis sweeps the claim:
+
+* random access patterns over the King and matrix models, lazy vs dense,
+  compared with ``==`` on raw floats (no tolerance anywhere);
+* eviction stress: capacities down to a single resident row, where every
+  other access rebuilds a row from the numpy source;
+* engine-level scenario parity: a GoCast run with drawn loss/latency
+  chaos windows produces byte-identical delay arrays and message counts
+  with ``lazylat`` on and off.
+
+The CI fast lane runs this file with ``HYPOTHESIS_PROFILE=ci-smoke``
+(reduced examples); the default profile is used everywhere else.
+"""
+
+import contextlib
+import os
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import run_delay_experiment
+from repro.experiments.scenarios import ScenarioConfig
+from repro.net.king import SyntheticKingModel
+from repro.net.latency import LazyRowCache, MatrixLatencyModel
+
+settings.register_profile("ci-smoke", max_examples=5, deadline=None)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
+
+
+def _sym_matrix(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    m = rng.random((n, n))
+    m = (m + m.T) / 2.0
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+@contextlib.contextmanager
+def sim_opts(value, cache_rows=None):
+    """Set REPRO_SIM_OPTS (and optionally the cache knob) for a block.
+
+    A plain context manager rather than the monkeypatch fixture:
+    function-scoped fixtures do not compose with ``@given`` (hypothesis
+    reuses one fixture instance across all drawn examples).
+    """
+    saved = {
+        k: os.environ.get(k) for k in ("REPRO_SIM_OPTS", "REPRO_LAZYLAT_ROWS")
+    }
+    os.environ["REPRO_SIM_OPTS"] = value
+    if cache_rows is not None:
+        os.environ["REPRO_LAZYLAT_ROWS"] = str(cache_rows)
+    try:
+        yield
+    finally:
+        for key, old in saved.items():
+            if old is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = old
+
+
+accesses = st.lists(
+    st.tuples(st.integers(0, 31), st.integers(0, 31)),
+    min_size=1,
+    max_size=200,
+)
+
+
+# ----------------------------------------------------------------------
+# 1. Random access patterns: lazy vs dense, exact equality
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(pattern=accesses, seed=st.integers(0, 2**16))
+def test_king_lazy_rows_bit_identical_under_random_access(pattern, seed):
+    with sim_opts("1"):
+        dense = SyntheticKingModel(32, n_sites=8, seed=seed)
+    with sim_opts("all,lazylat"):
+        lazy = SyntheticKingModel(32, n_sites=8, seed=seed)
+    for a, b in pattern:
+        assert lazy.one_way(a, b) == dense.one_way(a, b)
+        if a != b:
+            assert lazy.lazy_rows[a][b] == dense.dense_rows[a][b]
+
+
+@settings(max_examples=50, deadline=None)
+@given(pattern=accesses, seed=st.integers(0, 2**16))
+def test_matrix_lazy_rows_bit_identical_under_random_access(pattern, seed):
+    matrix = _sym_matrix(32, seed)
+    with sim_opts("1"):
+        dense = MatrixLatencyModel(matrix)
+    with sim_opts("all,lazylat"):
+        lazy = MatrixLatencyModel(matrix)
+    for a, b in pattern:
+        assert lazy.one_way(a, b) == dense.one_way(a, b)
+        assert lazy.lazy_rows[a][b] == dense.dense_rows[a][b]
+
+
+# ----------------------------------------------------------------------
+# 2. Eviction stress: tiny capacities never change a single bit
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    pattern=accesses,
+    capacity=st.integers(1, 4),
+    seed=st.integers(0, 2**16),
+)
+def test_eviction_churn_preserves_bit_identity(pattern, capacity, seed):
+    matrix = _sym_matrix(32, seed)
+    cache = LazyRowCache(matrix.__getitem__, 32, capacity=capacity)
+    for a, b in pattern:
+        assert cache[a][b] == matrix[a][b]
+        assert len(cache) <= capacity
+    # The resident set is exactly the most recent distinct keys.
+    recent = []
+    for a, _b in reversed(pattern):
+        if a not in recent:
+            recent.append(a)
+        if len(recent) == capacity:
+            break
+    for key in recent:
+        assert key in cache
+
+
+@settings(max_examples=25, deadline=None)
+@given(pattern=accesses, seed=st.integers(0, 2**8))
+def test_site_keyed_eviction_matches_one_way(pattern, seed):
+    """King rows under eviction pressure: capacity below the site count
+    forces rebuilds through the shared-site key map."""
+    with sim_opts("all,lazylat", cache_rows=2):
+        model = SyntheticKingModel(32, n_sites=8, seed=seed)
+        for a, b in pattern:
+            if a != b:
+                assert model.lazy_rows[a][b] == model.one_way(a, b)
+            assert len(model.lazy_rows) <= 2
+
+
+# ----------------------------------------------------------------------
+# 3. Engine-level scenario parity under loss/latency chaos windows
+# ----------------------------------------------------------------------
+chaos_windows = st.lists(
+    st.one_of(
+        st.fixed_dictionaries(
+            {
+                "kind": st.just("loss"),
+                "at": st.floats(0.0, 2.0, allow_nan=False),
+                "duration": st.floats(0.3, 1.5, allow_nan=False),
+                "rate": st.floats(0.05, 0.5, allow_nan=False),
+            }
+        ),
+        st.fixed_dictionaries(
+            {
+                "kind": st.just("latency"),
+                "at": st.floats(0.0, 2.0, allow_nan=False),
+                "duration": st.floats(0.3, 1.5, allow_nan=False),
+                "factor": st.floats(0.5, 4.0, allow_nan=False),
+            }
+        ),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+@settings(max_examples=6, deadline=None)
+@given(windows=chaos_windows, seed=st.integers(0, 2**10))
+def test_scenario_with_chaos_windows_is_bit_identical(windows, seed):
+    scenario = ScenarioConfig(
+        protocol="gocast",
+        n_nodes=16,
+        adapt_time=3.0,
+        n_messages=3,
+        drain_time=3.0,
+        seed=seed,
+        chaos={"name": "drawn", "phases": windows},
+    )
+    with sim_opts("1"):
+        dense = run_delay_experiment(scenario)
+    with sim_opts("all,lazylat"):
+        lazy = run_delay_experiment(scenario)
+    assert dense.delays.tobytes() == lazy.delays.tobytes()
+    assert dense.messages_sent == lazy.messages_sent
+    assert dense.sent_by_type == lazy.sent_by_type
+    assert dense.expected_pairs == lazy.expected_pairs
+    assert dense.reliability == lazy.reliability

@@ -334,6 +334,67 @@ def test_max_violations_caps_the_record():
     assert len(checker.violations) == 3
 
 
+# ----------------------------------------------------------------------
+# Bounded sampling at scale
+# ----------------------------------------------------------------------
+def test_rejects_nonpositive_sample_cap():
+    cluster = TinyCluster(2)
+    with pytest.raises(ValueError, match="sample_cap"):
+        make_checker(cluster, sample_cap=0)
+
+
+def test_sample_ids_is_full_population_below_cap():
+    cluster = TinyCluster(3)
+    checker = make_checker(cluster, sample_cap=1024)
+    live = {nid: None for nid in range(40, 0, -1)}
+    assert checker._sample_ids(live) == sorted(live)
+
+
+def test_sample_ids_is_bounded_sorted_and_deterministic():
+    """Above the cap, equal-seed checkers draw the identical subset
+    sequence — the pinned-determinism contract for paper-scale runs."""
+    cluster = TinyCluster(3)
+    a = make_checker(cluster, sample_cap=8, sample_seed=77)
+    b = make_checker(cluster, sample_cap=8, sample_seed=77)
+    live = {nid: None for nid in range(500)}
+    draws_a = [a._sample_ids(live) for _ in range(5)]
+    draws_b = [b._sample_ids(live) for _ in range(5)]
+    assert draws_a == draws_b
+    for draw in draws_a:
+        assert len(draw) == 8
+        assert draw == sorted(draw)
+        assert set(draw) <= set(live)
+    # Consecutive samples rotate coverage (the RNG advances).
+    assert len({tuple(d) for d in draws_a}) > 1
+
+
+def test_sample_seed_changes_the_subset():
+    cluster = TinyCluster(3)
+    a = make_checker(cluster, sample_cap=8, sample_seed=1)
+    b = make_checker(cluster, sample_cap=8, sample_seed=2)
+    live = {nid: None for nid in range(500)}
+    assert a._sample_ids(live) != b._sample_ids(live)
+
+
+def test_subset_sampling_still_catches_a_covered_violation():
+    """With the cap below the population, a violation at a node the
+    subset covers is still reported; rotation over periods makes
+    coverage an eventually-certain event for persistent conditions."""
+    cluster = over_cap_cluster()
+    checker = make_checker(
+        cluster, period=0.02, degree_grace=0.0, sample_cap=4, sample_seed=0
+    )
+    checker.start(cluster.sim)
+    cluster.run(0.5)  # many periods: rotation reaches node 0
+    assert violated(checker, "degree-bound")
+
+
+def test_report_carries_sample_cap():
+    cluster = TinyCluster(2)
+    checker = make_checker(cluster, sample_cap=16)
+    assert checker.report()["sample_cap"] == 16
+
+
 def test_healthy_cluster_stays_violation_free():
     """A fully wired, undisturbed cluster with all timers running must
     produce zero violations over a multi-second window."""
